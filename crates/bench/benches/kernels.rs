@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the instrumented kernels (experiments E2–E7):
+//! wall-clock cost of the verified simulated runs across memory sizes.
+
+use balance_kernels::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2_matmul");
+    g.sample_size(10);
+    for b in [4usize, 8, 16] {
+        let m = 3 * b * b;
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, &m| {
+            bench.iter(|| MatMul.run(48, m, 1).expect("verified"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_triangularization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_triangularization");
+    g.sample_size(10);
+    for m in [48usize, 300, 768] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, &m| {
+            bench.iter(|| Triangularization.run(48, m, 1).expect("verified"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_grid");
+    g.sample_size(10);
+    for d in [1usize, 2, 3] {
+        let kernel = GridRelaxation::new(d);
+        let m = kernel.min_memory(8) * 4;
+        g.bench_with_input(BenchmarkId::new("dim", d), &d, |bench, _| {
+            bench.iter(|| kernel.run(8, m, 1).expect("verified"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5_fft");
+    g.sample_size(10);
+    for m in [8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, &m| {
+            bench.iter(|| Fft.run(1024, m, 1).expect("verified"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E6_sort");
+    g.sample_size(10);
+    for m in [32usize, 128, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, &m| {
+            bench.iter(|| ExternalSort.run(m * m, m, 1).expect("verified"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_io_bounded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7_io_bounded");
+    g.sample_size(10);
+    g.bench_function("matvec", |bench| {
+        bench.iter(|| MatVec.run(64, 256, 1).expect("verified"));
+    });
+    g.bench_function("trisolve", |bench| {
+        bench.iter(|| TriSolve.run(64, 256, 1).expect("verified"));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_triangularization,
+    bench_grid,
+    bench_fft,
+    bench_sort,
+    bench_io_bounded
+);
+criterion_main!(benches);

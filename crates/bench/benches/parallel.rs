@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the parallel architectures (experiments E8–E9).
+
+use balance_core::{GrowthLaw, Words};
+use balance_kernels::workload;
+use balance_parallel::systolic::givens::triangularize;
+use balance_parallel::systolic::matmul::systolic_matmul;
+use balance_parallel::{linear_array_series, mesh_series, warp_cell};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_systolic_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9_systolic_matmul");
+    for n in [8usize, 16, 32] {
+        let a = workload::random_matrix(n, 1);
+        let b = workload::random_matrix(n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| systolic_matmul(&a, &b, n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_systolic_givens(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9_systolic_givens");
+    for n in [8usize, 16, 32] {
+        let a = workload::random_matrix(n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| triangularize(&a, n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling_series(c: &mut Criterion) {
+    let ps: Vec<u64> = (1..=64).collect();
+    let law = GrowthLaw::Polynomial { degree: 2.0 };
+    c.bench_function("E8_linear_array_series_64", |b| {
+        b.iter(|| linear_array_series(warp_cell(), law, Words::new(4096), &ps).expect("series"));
+    });
+    c.bench_function("E9_mesh_series_64", |b| {
+        b.iter(|| mesh_series(warp_cell(), law, Words::new(4096), &ps).expect("series"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_systolic_matmul,
+    bench_systolic_givens,
+    bench_scaling_series
+);
+criterion_main!(benches);

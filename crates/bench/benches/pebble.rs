@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the pebble game (experiment E11).
+
+use balance_pebble::builders::{fft_dag, matmul_dag, tree_dag};
+use balance_pebble::optimal::minimum_io;
+use balance_pebble::strategies::{blocked_fft_order, blocked_matmul_order};
+use balance_pebble::{schedule_with_order, EvictionPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_matmul_schedule(c: &mut Criterion) {
+    let dag = matmul_dag(8);
+    let order = blocked_matmul_order(8, 2);
+    c.bench_function("E11_pebble_matmul8_blocked", |b| {
+        b.iter(|| {
+            schedule_with_order(&dag, &order, 16, EvictionPolicy::Belady).expect("schedules")
+        });
+    });
+}
+
+fn bench_fft_schedule(c: &mut Criterion) {
+    let dag = fft_dag(64);
+    let order = blocked_fft_order(64, 8);
+    c.bench_function("E11_pebble_fft64_blocked", |b| {
+        b.iter(|| {
+            schedule_with_order(&dag, &order, 24, EvictionPolicy::Belady).expect("schedules")
+        });
+    });
+}
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let dag = tree_dag(8);
+    c.bench_function("E11_exact_minimum_io_tree8", |b| {
+        b.iter(|| minimum_io(&dag, 4).expect("solvable"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_schedule,
+    bench_fft_schedule,
+    bench_exact_solver
+);
+criterion_main!(benches);

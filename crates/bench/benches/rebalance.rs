@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the core balance machinery (experiment E1):
+//! law fitting, curve inversion, and the rebalancing solver.
+
+use balance_core::fit::{fit_best, DataPoint};
+use balance_core::solver::MeasuredCurve;
+use balance_core::{rebalance, Alpha, IntensityModel, Words};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn synthetic_points(n: usize) -> Vec<DataPoint> {
+    (0..n)
+        .map(|i| {
+            let m = 32.0 * 1.5f64.powi(i as i32);
+            DataPoint::new(m, 0.57 * m.sqrt())
+        })
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let pts = synthetic_points(24);
+    c.bench_function("E1_fit_best_24pts", |b| {
+        b.iter(|| fit_best(std::hint::black_box(&pts)).expect("fits"));
+    });
+}
+
+fn bench_curve_inversion(c: &mut Criterion) {
+    let pts = synthetic_points(24);
+    let curve = MeasuredCurve::new(&pts).expect("curve");
+    c.bench_function("E1_empirical_rebalance", |b| {
+        b.iter(|| curve.empirical_rebalance(3.0, 256.0).expect("solves"));
+    });
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    let model = IntensityModel::sqrt_m(0.577);
+    let alpha = Alpha::new(4.0).expect("valid");
+    c.bench_function("E1_rebalance_closed_form", |b| {
+        b.iter(|| rebalance(&model, alpha, Words::new(4096)).expect("possible"));
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_curve_inversion, bench_closed_form);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! The `balance` CLI: explore the Kung (1985) model from the terminal.
+//!
+//! See `balance help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match balance_bench::cli::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

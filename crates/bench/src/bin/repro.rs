@@ -1,0 +1,36 @@
+//! Regenerates every table and figure of Kung (1985).
+//!
+//! Usage: `repro [all | <id>...]` where ids are F1–F4, E1–E13.
+//! Exits nonzero if any requested experiment's findings fail.
+
+use balance_bench::{run_by_id, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case("all"))
+    {
+        ALL_IDS.iter().map(|s| (*s).to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut all_ok = true;
+    for id in &ids {
+        match run_by_id(id) {
+            Some(report) => {
+                println!("{report}");
+                all_ok &= report.passed();
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment id: {id} (known: {})",
+                    ALL_IDS.join(", ")
+                );
+                all_ok = false;
+            }
+        }
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

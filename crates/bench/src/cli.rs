@@ -1,0 +1,322 @@
+//! The `balance` command-line explorer: interactive access to the model.
+//!
+//! All logic lives here as pure string-producing functions so it is unit
+//! testable; `src/bin/balance.rs` is a thin argv wrapper.
+
+use std::collections::HashMap;
+
+use balance_core::prelude::*;
+use balance_kernels::prelude::*;
+
+/// Parsed command-line flags: `--key value` pairs after a subcommand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Flags {
+    map: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for dangling or malformed flags.
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got {key}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} is missing a value"));
+            };
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Flags { map })
+    }
+
+    /// A required f64 flag.
+    ///
+    /// # Errors
+    ///
+    /// Missing or unparsable values.
+    pub fn f64(&self, name: &str) -> Result<f64, String> {
+        self.map
+            .get(name)
+            .ok_or(format!("missing required flag --{name}"))?
+            .parse()
+            .map_err(|e| format!("--{name}: {e}"))
+    }
+
+    /// A required u64 flag.
+    ///
+    /// # Errors
+    ///
+    /// Missing or unparsable values.
+    pub fn u64(&self, name: &str) -> Result<u64, String> {
+        self.map
+            .get(name)
+            .ok_or(format!("missing required flag --{name}"))?
+            .parse()
+            .map_err(|e| format!("--{name}: {e}"))
+    }
+
+    /// An optional string flag.
+    #[must_use]
+    pub fn str_opt(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+}
+
+/// The intensity model registry for the CLI, keyed by computation name.
+///
+/// # Errors
+///
+/// Unknown names, with the list of valid ones.
+pub fn model_by_name(name: &str) -> Result<IntensityModel, String> {
+    Ok(match name {
+        "matmul" => IntensityModel::sqrt_m(1.0 / 3.0f64.sqrt()),
+        "lu" | "triangularization" => IntensityModel::sqrt_m(0.5 / 3.0f64.sqrt()),
+        "grid1" => IntensityModel::root_m(1, 0.6),
+        "grid2" => IntensityModel::root_m(2, 0.884),
+        "grid3" => IntensityModel::root_m(3, 0.926),
+        "grid4" => IntensityModel::root_m(4, 0.945),
+        "fft" => IntensityModel::log2_m(1.5),
+        "sort" => IntensityModel::log2_m(0.9),
+        "matvec" | "trisolve" => IntensityModel::constant(2.0),
+        other => {
+            return Err(format!(
+                "unknown computation '{other}' (try: matmul, lu, grid1..grid4, fft, sort, matvec)"
+            ))
+        }
+    })
+}
+
+/// `balance pe --c <ops/s> --io <words/s> --m <words>`: characterize a PE.
+///
+/// # Errors
+///
+/// Flag or model errors, as user-facing strings.
+pub fn cmd_pe(flags: &Flags) -> Result<String, String> {
+    let pe = PeSpec::new(
+        OpsPerSec::new(flags.f64("c")?),
+        WordsPerSec::new(flags.f64("io")?),
+        Words::new(flags.u64("m")?),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{pe}\n\nmachine balance C/IO = {:.4} op/word\n",
+        pe.machine_balance()
+    );
+    out.push_str("\nbalanced memory per computation at this C/IO:\n");
+    out.push_str(&format!(
+        "{:<12} {:>16} {:>10}\n",
+        "computation", "M_bal (words)", "fits?"
+    ));
+    for name in ["matmul", "lu", "grid2", "grid3", "fft", "sort", "matvec"] {
+        let model = model_by_name(name)?;
+        let row = match model.balanced_memory(pe.machine_balance()) {
+            Ok(m) => format!(
+                "{:<12} {:>16} {:>10}\n",
+                name,
+                m.get(),
+                if m <= pe.memory() { "yes" } else { "NO" }
+            ),
+            Err(BalanceError::IoBounded) => {
+                format!("{:<12} {:>16} {:>10}\n", name, "impossible", "-")
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        out.push_str(&row);
+    }
+    Ok(out)
+}
+
+/// `balance rebalance --law <name> --alpha <f> --m <words>`: the paper's
+/// question, answered.
+///
+/// # Errors
+///
+/// Flag or model errors, as user-facing strings.
+pub fn cmd_rebalance(flags: &Flags) -> Result<String, String> {
+    let law = flags
+        .str_opt("law")
+        .ok_or("missing required flag --law".to_string())?;
+    let model = model_by_name(law)?;
+    let alpha = Alpha::new(flags.f64("alpha")?).map_err(|e| e.to_string())?;
+    let m_old = Words::new(flags.u64("m")?);
+    match rebalance(&model, alpha, m_old) {
+        Ok(plan) => Ok(format!("{law}: {plan}\n")),
+        Err(e) => Ok(format!("{law}: {e}\n")),
+    }
+}
+
+/// `balance sweep --kernel <name> --n <size> [--seed <u64>]`: run a real
+/// measured sweep and fit the law.
+///
+/// # Errors
+///
+/// Flag, kernel, or fitting errors, as user-facing strings.
+pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
+    let name = flags
+        .str_opt("kernel")
+        .ok_or("missing required flag --kernel".to_string())?;
+    let n = flags.u64("n")? as usize;
+    let seed = flags.u64("seed").unwrap_or(42);
+    let kernel: Box<dyn Kernel> = match name {
+        "matmul" => Box::new(MatMul),
+        "lu" | "triangularization" => Box::new(Triangularization),
+        "grid2" => Box::new(GridRelaxation::new(2)),
+        "grid3" => Box::new(GridRelaxation::new(3)),
+        "fft" => Box::new(Fft),
+        "sort" => Box::new(ExternalSort),
+        "matvec" => Box::new(MatVec),
+        "trisolve" => Box::new(TriSolve),
+        other => return Err(format!("unknown kernel '{other}'")),
+    };
+    let cfg = SweepConfig::pow2(n, 5, 12, seed);
+    let result = intensity_sweep(kernel.as_ref(), &cfg).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{:>10} {:>14} {:>14} {:>10}\n",
+        "M (words)", "C_comp", "C_io", "ratio"
+    );
+    for run in &result.runs {
+        out.push_str(&format!(
+            "{:>10} {:>14} {:>14} {:>10.3}\n",
+            run.m,
+            run.execution.cost.comp_ops(),
+            run.execution.cost.io_words(),
+            run.intensity()
+        ));
+    }
+    let fit = result.fit().map_err(|e| e.to_string())?;
+    out.push_str(&format!(
+        "\nfitted: {}\ngrowth rule: {}\n",
+        fit.best,
+        fit.best.growth_law()
+    ));
+    Ok(out)
+}
+
+/// `balance warp`: the §5 case study.
+#[must_use]
+pub fn cmd_warp() -> String {
+    balance_parallel::case_study(&balance_parallel::warp::default_computations())
+        .expect("constants valid")
+        .to_string()
+}
+
+/// Top-level dispatch; returns the output text or a usage error.
+///
+/// # Errors
+///
+/// User-facing messages for unknown commands or bad flags.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "pe" => cmd_pe(&flags),
+        "rebalance" => cmd_rebalance(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "warp" => Ok(cmd_warp()),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+/// The usage string.
+#[must_use]
+pub fn usage() -> String {
+    "balance — explore Kung's (1985) balance model
+
+USAGE:
+  balance pe --c <ops/s> --io <words/s> --m <words>
+      Characterize a PE: machine balance + balanced memory per computation.
+  balance rebalance --law <matmul|lu|grid1..grid4|fft|sort|matvec> --alpha <f> --m <words>
+      The paper's question: how much memory restores balance after C/IO grows α-fold?
+  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>]
+      Run the instrumented kernel across a memory sweep and fit the law.
+  balance warp
+      The §5 Warp machine case study.
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs() {
+        let f = Flags::parse(&args(&["--alpha", "2.5", "--m", "4096"])).unwrap();
+        assert_eq!(f.f64("alpha").unwrap(), 2.5);
+        assert_eq!(f.u64("m").unwrap(), 4096);
+        assert!(f.f64("missing").is_err());
+    }
+
+    #[test]
+    fn flags_reject_malformed_input() {
+        assert!(Flags::parse(&args(&["alpha", "2"])).is_err());
+        assert!(Flags::parse(&args(&["--alpha"])).is_err());
+        let f = Flags::parse(&args(&["--alpha", "abc"])).unwrap();
+        assert!(f.f64("alpha").is_err());
+    }
+
+    #[test]
+    fn model_registry_matches_paper() {
+        assert!(matches!(
+            model_by_name("matmul").unwrap(),
+            IntensityModel::Power { .. }
+        ));
+        assert!(matches!(
+            model_by_name("fft").unwrap(),
+            IntensityModel::Log2 { .. }
+        ));
+        assert!(matches!(
+            model_by_name("matvec").unwrap(),
+            IntensityModel::Constant { .. }
+        ));
+        assert!(model_by_name("nonsense").is_err());
+    }
+
+    #[test]
+    fn pe_command_renders_table() {
+        let f = Flags::parse(&args(&["--c", "1e8", "--io", "1e7", "--m", "4096"])).unwrap();
+        let out = cmd_pe(&f).unwrap();
+        assert!(out.contains("machine balance C/IO = 10"));
+        assert!(out.contains("matmul"));
+        assert!(out.contains("impossible")); // matvec row
+    }
+
+    #[test]
+    fn rebalance_command_answers_and_refuses() {
+        let f = Flags::parse(&args(&["--law", "matmul", "--alpha", "2", "--m", "100"])).unwrap();
+        let out = cmd_rebalance(&f).unwrap();
+        assert!(out.contains("400 words"), "{out}");
+        let f = Flags::parse(&args(&["--law", "matvec", "--alpha", "2", "--m", "100"])).unwrap();
+        let out = cmd_rebalance(&f).unwrap();
+        assert!(out.contains("I/O-bounded"));
+    }
+
+    #[test]
+    fn sweep_command_runs_a_real_kernel() {
+        let f = Flags::parse(&args(&["--kernel", "matmul", "--n", "24"])).unwrap();
+        let out = cmd_sweep(&f).unwrap();
+        assert!(out.contains("fitted:"));
+        assert!(out.contains("growth rule:"));
+    }
+
+    #[test]
+    fn dispatch_handles_commands_and_errors() {
+        assert!(dispatch(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(dispatch(&args(&["warp"])).unwrap().contains("Warp"));
+        assert!(dispatch(&args(&["bogus"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+}

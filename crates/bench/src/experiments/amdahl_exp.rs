@@ -1,0 +1,92 @@
+//! Experiment E15: Kung's laws vs Amdahl's rule of thumb.
+//!
+//! The paper's introduction: *"It is well known that the size of the local
+//! memory must be large if the computation bandwidth of the processing
+//! element is large, as represented by 'Amdahl's rule'."* Amdahl's rule is
+//! **linear** — about one byte of memory per instruction per second. The
+//! paper's point is that for real computations the requirement grows
+//! *faster*: quadratically in the bandwidth ratio for matrix work,
+//! exponentially for FFT/sorting. This experiment tabulates the gap.
+
+use balance_core::amdahl::excess_over_amdahl;
+use balance_core::{GrowthLaw, Words};
+
+use crate::report::{Finding, Report};
+
+/// E15 — how far each computation's memory law outruns Amdahl's linear rule.
+#[must_use]
+pub fn e15_amdahl() -> Report {
+    let m_old = Words::new(4096);
+    let laws: [(&str, GrowthLaw); 5] = [
+        ("grid1d", GrowthLaw::Polynomial { degree: 1.0 }),
+        ("matmul/LU/grid2d", GrowthLaw::Polynomial { degree: 2.0 }),
+        ("grid3d", GrowthLaw::Polynomial { degree: 3.0 }),
+        ("fft/sort", GrowthLaw::Exponential),
+        ("matvec/trisolve", GrowthLaw::Impossible),
+    ];
+
+    let mut body = format!(
+        "memory growth factor when C/IO rises by α (M_old = {m_old}):\n{:<18} {:>12} {:>14} {:>16}\n",
+        "computation", "α=2", "α=4", "excess/Amdahl α=4"
+    );
+    let mut findings = Vec::new();
+    for (name, law) in laws {
+        let g2 = law.growth_factor(2.0, m_old);
+        let g4 = law.growth_factor(4.0, m_old);
+        let ex4 = excess_over_amdahl(law, 4.0, m_old);
+        let fmt = |r: &Result<f64, _>| match r {
+            Ok(v) if *v < 1.0e9 => format!("×{v:.0}"),
+            Ok(v) => format!("×{v:.2e}"),
+            Err(_) => "impossible".to_string(),
+        };
+        body.push_str(&format!(
+            "{:<18} {:>12} {:>14} {:>16}\n",
+            name,
+            fmt(&g2),
+            fmt(&g4),
+            fmt(&ex4)
+        ));
+    }
+
+    // Checks: Amdahl (linear) matches only the 1-d grid; everything else
+    // outruns it by exactly the documented factor.
+    let ex_linear =
+        excess_over_amdahl(GrowthLaw::Polynomial { degree: 1.0 }, 4.0, m_old).expect("possible");
+    findings.push(Finding::new(
+        "1-d grid matches Amdahl's linear rule",
+        "excess ×1",
+        format!("×{ex_linear:.2}"),
+        (ex_linear - 1.0).abs() < 1e-12,
+    ));
+    let ex_matrix =
+        excess_over_amdahl(GrowthLaw::Polynomial { degree: 2.0 }, 4.0, m_old).expect("possible");
+    findings.push(Finding::new(
+        "matrix law exceeds Amdahl by α",
+        "excess ×4 at α=4",
+        format!("×{ex_matrix:.2}"),
+        (ex_matrix - 4.0).abs() < 1e-12,
+    ));
+    let ex_fft = excess_over_amdahl(GrowthLaw::Exponential, 2.0, m_old).expect("possible");
+    findings.push(Finding::new(
+        "FFT law dwarfs Amdahl even at α=2",
+        "excess = M_old/α = 2048",
+        format!("×{ex_fft:.0}"),
+        (ex_fft - 2048.0).abs() < 1.0,
+    ));
+    findings.push(Finding::new(
+        "I/O-bounded laws have no Amdahl comparison",
+        "impossible",
+        format!(
+            "{}",
+            excess_over_amdahl(GrowthLaw::Impossible, 2.0, m_old).is_err()
+        ),
+        excess_over_amdahl(GrowthLaw::Impossible, 2.0, m_old).is_err(),
+    ));
+
+    Report {
+        id: "E15",
+        title: "Kung's laws vs Amdahl's linear rule (paper §1)",
+        body,
+        findings,
+    }
+}

@@ -1,0 +1,101 @@
+//! Figures F1–F4: the paper's diagrams, regenerated from the library types.
+
+use balance_kernels::fft::decomposition;
+use balance_parallel::topology::{render_linear_array, render_mesh};
+use balance_parallel::warp_cell;
+
+use crate::report::{Finding, Report};
+
+/// F1 — Fig. 1: the PE characterization diagram (rendered from `PeSpec`).
+#[must_use]
+pub fn fig1_pe() -> Report {
+    let art = warp_cell().to_string();
+    let findings = vec![Finding::new(
+        "diagram carries C, IO, M",
+        "all three labels",
+        "rendered",
+        art.contains("C  =") && art.contains("IO =") && art.contains("M  ="),
+    )];
+    Report {
+        id: "F1",
+        title: "Fig. 1 — processing element characterized by (C, IO, M)",
+        body: art,
+        findings,
+    }
+}
+
+/// F2 — Fig. 2: the 16-point FFT decomposed into 4-point blocks.
+#[must_use]
+pub fn fig2_fft_decomposition() -> Report {
+    let d = decomposition(16, 4).expect("valid Fig. 2 parameters");
+    let art = d.to_string();
+    let findings = vec![
+        Finding::new(
+            "number of passes",
+            "2 (log₄ 16)",
+            d.passes.len().to_string(),
+            d.passes.len() == 2,
+        ),
+        Finding::new(
+            "blocks per pass",
+            "4 blocks of 4 points",
+            format!(
+                "{} and {}",
+                d.passes[0].blocks.len(),
+                d.passes[1].blocks.len()
+            ),
+            d.passes.iter().all(|p| p.blocks.len() == 4)
+                && d.passes
+                    .iter()
+                    .all(|p| p.blocks.iter().all(|b| b.len() == 4)),
+        ),
+        Finding::new(
+            "pass 2 blocks are the shuffled (strided) sets",
+            "[0,4,8,12] …",
+            format!("{:?}", d.passes[1].blocks[0]),
+            d.passes[1].blocks[0] == vec![0, 4, 8, 12],
+        ),
+    ];
+    Report {
+        id: "F2",
+        title: "Fig. 2 — decomposing the 16-point FFT for M = 4",
+        body: art,
+        findings,
+    }
+}
+
+/// F3 — Fig. 3: one PE becomes a linear array.
+#[must_use]
+pub fn fig3_linear() -> Report {
+    let art = render_linear_array(6);
+    let findings = vec![Finding::new(
+        "six PEs drawn with boundary I/O",
+        "6 + 1 PEs",
+        art.matches("[PE]").count().to_string(),
+        art.matches("[PE]").count() == 7,
+    )];
+    Report {
+        id: "F3",
+        title: "Fig. 3 — using p PEs to perform computation formerly done by one PE",
+        body: art,
+        findings,
+    }
+}
+
+/// F4 — Fig. 4: one PE becomes a `p × p` mesh.
+#[must_use]
+pub fn fig4_mesh() -> Report {
+    let art = render_mesh(4);
+    let findings = vec![Finding::new(
+        "4×4 mesh drawn",
+        "16 + 1 PEs",
+        art.matches("[PE]").count().to_string(),
+        art.matches("[PE]").count() == 17,
+    )];
+    Report {
+        id: "F4",
+        title: "Fig. 4 — using p × p PEs to perform computation formerly done by one PE",
+        body: art,
+        findings,
+    }
+}

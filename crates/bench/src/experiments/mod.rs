@@ -1,0 +1,83 @@
+//! The experiment registry: every table and figure of the paper, with an
+//! executable regenerator.
+
+pub mod ablation;
+pub mod amdahl_exp;
+pub mod extension;
+pub mod figures;
+pub mod laws;
+pub mod parallel_exp;
+pub mod pebble_exp;
+pub mod roofline_exp;
+
+use crate::report::Report;
+
+/// All experiment ids in presentation order.
+pub const ALL_IDS: [&str; 19] = [
+    "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+    "E12", "E13", "E14", "E15",
+];
+
+/// Runs one experiment by id (case-insensitive). Returns `None` for unknown
+/// ids.
+#[must_use]
+pub fn run_by_id(id: &str) -> Option<Report> {
+    Some(match id.to_ascii_uppercase().as_str() {
+        "F1" => figures::fig1_pe(),
+        "F2" => figures::fig2_fft_decomposition(),
+        "F3" => figures::fig3_linear(),
+        "F4" => figures::fig4_mesh(),
+        "E1" => laws::e1_summary_table(),
+        "E2" => laws::e2_matmul(),
+        "E3" => laws::e3_triangularization(),
+        "E4" => laws::e4_grid(),
+        "E5" => laws::e5_fft(),
+        "E6" => laws::e6_sorting(),
+        "E7" => laws::e7_io_bounded(),
+        "E8" => parallel_exp::e8_linear_array(),
+        "E9" => parallel_exp::e9_mesh(),
+        "E10" => parallel_exp::e10_warp(),
+        "E11" => pebble_exp::e11_pebble(),
+        "E12" => roofline_exp::e12_roofline(),
+        "E13" => ablation::e13_lru_ablation(),
+        "E14" => extension::e14_extension_kernels(),
+        "E15" => amdahl_exp::e15_amdahl(),
+        _ => return None,
+    })
+}
+
+/// Runs every experiment, in order.
+#[must_use]
+pub fn run_all() -> Vec<Report> {
+    ALL_IDS
+        .iter()
+        .map(|id| run_by_id(id).expect("registry covers ALL_IDS"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_ids_are_none() {
+        assert!(run_by_id("E99").is_none());
+        assert!(run_by_id("").is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(run_by_id("f1").is_some());
+        assert!(run_by_id("e13").is_some());
+    }
+
+    #[test]
+    fn quick_experiments_pass() {
+        // The fast subset (figures + closed-form experiments); the heavy
+        // measured experiments run in the integration suite and in `repro`.
+        for id in ["F1", "F2", "F3", "F4", "E8", "E9", "E10", "E12", "E15"] {
+            let report = run_by_id(id).unwrap();
+            assert!(report.passed(), "{id} failed:\n{report}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment E12: the roofline view of the balance law (extension).
+
+use balance_core::IntensityModel;
+use balance_roofline::{kernel_series, render, Roofline};
+
+use crate::report::{Finding, Report};
+
+/// E12 — roofline extension: ridge point = machine balance; balanced
+/// memories are the ridge crossings of each kernel's `r(M)` path.
+#[must_use]
+pub fn e12_roofline() -> Report {
+    // A machine with balance 16 op/word (compute-rich, like a scaled PE).
+    let rl = Roofline::new(
+        balance_core::OpsPerSec::new(1.6e9),
+        balance_core::WordsPerSec::new(1.0e8),
+    )
+    .expect("valid rates");
+    let mems: Vec<u64> = (2..=22).map(|k| 1u64 << k).collect();
+
+    let matmul_model = IntensityModel::sqrt_m(1.0 / 3.0f64.sqrt());
+    let fft_model = IntensityModel::log2_m(1.5);
+    let matvec_model = IntensityModel::constant(2.0);
+
+    let matmul = kernel_series("matmul", &rl, &matmul_model, &mems).expect("series");
+    let fft = kernel_series("fft", &rl, &fft_model, &mems).expect("series");
+    let matvec = kernel_series("vec (matvec)", &rl, &matvec_model, &mems).expect("series");
+
+    let body = render(&rl, &[matmul.clone(), fft.clone(), matvec.clone()], 64, 18);
+
+    let mut findings = vec![Finding::new(
+        "ridge point equals machine balance",
+        "16 op/word",
+        format!("{:.2}", rl.ridge_point()),
+        (rl.ridge_point() - 16.0).abs() < 1e-9,
+    )];
+    // matmul balanced memory: (16·√3)² ≈ 768.
+    let expect_matmul = (16.0 * 3.0f64.sqrt()).powi(2).round() as u64;
+    findings.push(Finding::new(
+        "matmul balanced memory (ridge crossing)",
+        format!("{expect_matmul} words"),
+        format!("{:?}", matmul.balanced_memory),
+        matmul.balanced_memory == Some(expect_matmul),
+    ));
+    // fft balanced memory: 2^(16/1.5) ≈ 2^10.67 ≈ 1626 words.
+    let expect_fft = 2.0f64.powf(16.0 / 1.5);
+    let got_fft = fft.balanced_memory.unwrap_or(0) as f64;
+    findings.push(Finding::new(
+        "fft balanced memory (ridge crossing)",
+        format!("{expect_fft:.0} words"),
+        format!("{got_fft:.0}"),
+        (got_fft / expect_fft - 1.0).abs() < 0.01,
+    ));
+    findings.push(Finding::new(
+        "matvec never reaches the ridge",
+        "no balanced memory",
+        format!("{:?}", matvec.balanced_memory),
+        matvec.balanced_memory.is_none(),
+    ));
+    // Monotone attainable throughput, capped at peak.
+    let capped = matmul
+        .points
+        .iter()
+        .all(|p| p.attainable <= rl.peak().get() + 1e-6);
+    findings.push(Finding::new(
+        "attainable throughput never exceeds the roof",
+        "true",
+        format!("{capped}"),
+        capped,
+    ));
+    Report {
+        id: "E12",
+        title: "roofline view of the balance law (extension)",
+        body,
+        findings,
+    }
+}

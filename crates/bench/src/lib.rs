@@ -1,0 +1,29 @@
+//! # balance-bench
+//!
+//! The experiment harness for the kung-balance reproduction: one executable
+//! regenerator per table and figure in Kung (1985), plus the Criterion
+//! benchmarks. See `DESIGN.md` at the workspace root for the experiment
+//! index and `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//!
+//! Run everything:
+//!
+//! ```bash
+//! cargo run --release -p balance-bench --bin repro -- all
+//! ```
+//!
+//! or a single experiment:
+//!
+//! ```bash
+//! cargo run --release -p balance-bench --bin repro -- E5 F2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cli;
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{run_all, run_by_id, ALL_IDS};
+pub use report::{Finding, Report};

@@ -1,0 +1,120 @@
+//! Experiment report types shared by the `repro` binary and the
+//! integration tests.
+
+use core::fmt;
+
+/// One checked finding: expected vs measured, with a pass flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// What is being checked.
+    pub label: String,
+    /// The paper's prediction.
+    pub expected: String,
+    /// What the code measured.
+    pub measured: String,
+    /// Whether the measurement confirms the prediction.
+    pub ok: bool,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(
+        label: impl Into<String>,
+        expected: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) -> Self {
+        Finding {
+            label: label.into(),
+            expected: expected.into(),
+            measured: measured.into(),
+            ok,
+        }
+    }
+}
+
+/// A full experiment report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Experiment id (e.g. `"E2"`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Free-form table/diagram body (already formatted).
+    pub body: String,
+    /// The checked findings.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// True when every finding passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.findings.iter().all(|f| f.ok)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        if !self.body.is_empty() {
+            writeln!(f, "{}", self.body)?;
+        }
+        if !self.findings.is_empty() {
+            writeln!(
+                f,
+                "{:<44} {:>24} {:>24} {:>6}",
+                "check", "paper", "measured", "status"
+            )?;
+            for finding in &self.findings {
+                writeln!(
+                    f,
+                    "{:<44} {:>24} {:>24} {:>6}",
+                    finding.label,
+                    finding.expected,
+                    finding.measured,
+                    if finding.ok { "OK" } else { "FAIL" }
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "--- {} {} ---",
+            self.id,
+            if self.passed() { "PASSED" } else { "FAILED" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_fail_logic() {
+        let mut r = Report {
+            id: "E0",
+            title: "test",
+            body: String::new(),
+            findings: vec![Finding::new("a", "1", "1", true)],
+        };
+        assert!(r.passed());
+        r.findings.push(Finding::new("b", "2", "3", false));
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn display_includes_findings() {
+        let r = Report {
+            id: "E9",
+            title: "mesh",
+            body: "a table".into(),
+            findings: vec![Finding::new("slope", "0", "0.001", true)],
+        };
+        let s = r.to_string();
+        assert!(s.contains("E9"));
+        assert!(s.contains("a table"));
+        assert!(s.contains("slope"));
+        assert!(s.contains("PASSED"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Amdahl's memory rule of thumb, for contrast with the paper's laws.
+//!
+//! The paper's introduction notes: *"It is well known that the size of the
+//! local memory must be large if the computation bandwidth of the processing
+//! element is large, as represented by 'Amdahl's rule'"* (Siewiorek, Bell &
+//! Newell 1982). Amdahl's rule is linear — roughly one byte of memory per
+//! instruction per second. Kung's contribution is showing that for concrete
+//! computations the true requirement grows *faster* than linearly in the
+//! compute bandwidth (quadratically for matrix work, exponentially for
+//! FFT/sorting). The helpers here quantify that gap.
+
+use crate::error::BalanceError;
+use crate::growth::GrowthLaw;
+use crate::units::{OpsPerSec, Words};
+
+/// Amdahl's classic constant: one byte of memory per instruction per second.
+pub const BYTES_PER_OPS: f64 = 1.0;
+
+/// Memory suggested by Amdahl's rule for a given compute bandwidth, in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::amdahl::amdahl_memory_bytes;
+/// use balance_core::OpsPerSec;
+///
+/// // A 1-MIPS machine wants ~1 MB.
+/// assert_eq!(amdahl_memory_bytes(OpsPerSec::new(1.0e6)), 1.0e6);
+/// ```
+#[must_use]
+pub fn amdahl_memory_bytes(comp_bw: OpsPerSec) -> f64 {
+    comp_bw.get() * BYTES_PER_OPS
+}
+
+/// Memory suggested by Amdahl's rule, in words of `bytes_per_word` bytes.
+#[must_use]
+pub fn amdahl_memory_words(comp_bw: OpsPerSec, bytes_per_word: u32) -> Words {
+    Words::from_f64_rounded(amdahl_memory_bytes(comp_bw) / f64::from(bytes_per_word.max(1)))
+}
+
+/// How much faster than Amdahl's linear rule a computation's memory must grow
+/// when the compute bandwidth is scaled by `alpha` with I/O held fixed.
+///
+/// Returns `M_kung_growth / alpha` — i.e. by what extra factor Kung's law
+/// outpaces the linear rule. A value of 1 means Amdahl's rule suffices;
+/// matrix computations give `alpha` (quadratic vs linear); FFT-class
+/// computations diverge much faster.
+///
+/// # Errors
+///
+/// As [`GrowthLaw::growth_factor`]: [`BalanceError::IoBounded`] for
+/// impossible laws, [`BalanceError::AlphaBelowOne`] for invalid `alpha`.
+pub fn excess_over_amdahl(law: GrowthLaw, alpha: f64, m_old: Words) -> Result<f64, BalanceError> {
+    Ok(law.growth_factor(alpha, m_old)? / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_byte_per_ops() {
+        assert_eq!(amdahl_memory_bytes(OpsPerSec::new(10.0e6)), 10.0e6);
+    }
+
+    #[test]
+    fn words_conversion() {
+        // 10 Mops/s, 4-byte words -> 2.5 Mwords.
+        assert_eq!(
+            amdahl_memory_words(OpsPerSec::new(10.0e6), 4).get(),
+            2_500_000
+        );
+        // Guard against division by zero.
+        assert_eq!(amdahl_memory_words(OpsPerSec::new(8.0), 0).get(), 8);
+    }
+
+    #[test]
+    fn matrix_law_exceeds_amdahl_by_alpha() {
+        // Kung: α² growth; Amdahl: α growth; excess = α.
+        let law = GrowthLaw::Polynomial { degree: 2.0 };
+        let excess = excess_over_amdahl(law, 4.0, Words::new(1024)).unwrap();
+        assert!((excess - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_law_matches_amdahl() {
+        // A 1-D grid (degree 1) grows exactly like Amdahl's rule.
+        let law = GrowthLaw::Polynomial { degree: 1.0 };
+        let excess = excess_over_amdahl(law, 8.0, Words::new(1024)).unwrap();
+        assert!((excess - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_law_dwarfs_amdahl() {
+        // M_old = 2^10, α = 2: Kung growth = 2^10, Amdahl growth = 2.
+        let excess = excess_over_amdahl(GrowthLaw::Exponential, 2.0, Words::new(1024)).unwrap();
+        assert!((excess - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_law_propagates() {
+        assert_eq!(
+            excess_over_amdahl(GrowthLaw::Impossible, 2.0, Words::new(64)),
+            Err(BalanceError::IoBounded)
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Computation cost profiles and the balance predicate.
+//!
+//! For a given computation, `C_comp` is the total number of operations the PE
+//! must deliver and `C_io` the total number of words it must exchange with
+//! the outside world. Running on a PE with bandwidths `(C, IO)` the computing
+//! time is `C_comp / C` and the I/O time is `C_io / IO`; the PE is *balanced*
+//! when the two are equal (paper, Section 2, equation (1)).
+
+use core::fmt;
+
+use crate::pe::PeSpec;
+use crate::units::{Seconds, Words};
+
+/// Total operation and I/O-word counts for one computation.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::CostProfile;
+///
+/// // Blocked 512x512 matmul with b=32 tiles: 2N^3 ops, ~2N^3/b + N^2 words.
+/// let cost = CostProfile::new(2 * 512u64.pow(3), 2 * 512u64.pow(3) / 32 + 512 * 512);
+/// assert!((cost.intensity() - 30.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostProfile {
+    comp_ops: u64,
+    io_words: u64,
+}
+
+impl CostProfile {
+    /// Creates a cost profile from raw counts.
+    #[must_use]
+    pub const fn new(comp_ops: u64, io_words: u64) -> Self {
+        CostProfile { comp_ops, io_words }
+    }
+
+    /// Total operations `C_comp`.
+    #[must_use]
+    pub const fn comp_ops(&self) -> u64 {
+        self.comp_ops
+    }
+
+    /// Total I/O traffic `C_io`, in words.
+    #[must_use]
+    pub const fn io_words(&self) -> u64 {
+        self.io_words
+    }
+
+    /// The operational intensity `C_comp / C_io`, in operations per word.
+    ///
+    /// Returns `f64::INFINITY` when the computation performs no I/O (a fully
+    /// resident computation) and `0.0` when it performs no operations.
+    #[must_use]
+    pub fn intensity(&self) -> f64 {
+        if self.io_words == 0 {
+            if self.comp_ops == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.comp_ops as f64 / self.io_words as f64
+        }
+    }
+
+    /// Component-wise sum of two profiles (e.g. phases of one computation).
+    #[must_use]
+    pub const fn combined(&self, other: &CostProfile) -> CostProfile {
+        CostProfile {
+            comp_ops: self.comp_ops + other.comp_ops,
+            io_words: self.io_words + other.io_words,
+        }
+    }
+
+    /// Time to execute the operations on a PE with compute bandwidth `C`.
+    #[must_use]
+    pub fn compute_time(&self, pe: &PeSpec) -> Seconds {
+        Seconds::new(self.comp_ops as f64 / pe.comp_bw().get())
+    }
+
+    /// Time to move the words on a PE with I/O bandwidth `IO`.
+    #[must_use]
+    pub fn io_time(&self, pe: &PeSpec) -> Seconds {
+        Seconds::new(self.io_words as f64 / pe.io_bw().get())
+    }
+
+    /// Classifies the execution on `pe` (compute and I/O fully overlapped).
+    ///
+    /// The PE is [`BalanceState::Balanced`] when the two times agree to
+    /// within `tolerance` (a relative tolerance, e.g. `0.05` for ±5 %).
+    #[must_use]
+    pub fn balance_state(&self, pe: &PeSpec, tolerance: f64) -> BalanceState {
+        let tc = self.compute_time(pe).get();
+        let tio = self.io_time(pe).get();
+        let max = tc.max(tio);
+        if max == 0.0 || (tc - tio).abs() <= tolerance * max {
+            BalanceState::Balanced
+        } else if tio > tc {
+            // The PE waits for I/O: the compute subsystem is over-designed.
+            BalanceState::IoLimited {
+                idle_fraction: (tio - tc) / tio,
+            }
+        } else {
+            BalanceState::ComputeLimited {
+                idle_fraction: (tc - tio) / tc,
+            }
+        }
+    }
+
+    /// Elapsed time assuming perfect overlap of compute and I/O: the maximum
+    /// of the two subsystem times.
+    #[must_use]
+    pub fn elapsed(&self, pe: &PeSpec) -> Seconds {
+        Seconds::new(self.compute_time(pe).get().max(self.io_time(pe).get()))
+    }
+}
+
+impl fmt::Display for CostProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C_comp = {} ops, C_io = {} words (intensity {:.3} op/word)",
+            self.comp_ops,
+            self.io_words,
+            self.intensity()
+        )
+    }
+}
+
+/// Which subsystem limits the execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BalanceState {
+    /// Compute time equals I/O time (within tolerance): the design point the
+    /// paper is after.
+    Balanced,
+    /// I/O time dominates; the compute units idle for `idle_fraction` of the
+    /// run. This is the "imbalanced, has to wait for I/O" situation that
+    /// enlarging `M` is meant to fix.
+    IoLimited {
+        /// Fraction of the elapsed time the compute subsystem is idle.
+        idle_fraction: f64,
+    },
+    /// Compute time dominates; the I/O port idles for `idle_fraction`.
+    ComputeLimited {
+        /// Fraction of the elapsed time the I/O subsystem is idle.
+        idle_fraction: f64,
+    },
+}
+
+impl BalanceState {
+    /// True for [`BalanceState::Balanced`].
+    #[must_use]
+    pub fn is_balanced(&self) -> bool {
+        matches!(self, BalanceState::Balanced)
+    }
+}
+
+impl fmt::Display for BalanceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BalanceState::Balanced => write!(f, "balanced"),
+            BalanceState::IoLimited { idle_fraction } => {
+                write!(
+                    f,
+                    "I/O-limited (compute idle {:.1}%)",
+                    idle_fraction * 100.0
+                )
+            }
+            BalanceState::ComputeLimited { idle_fraction } => {
+                write!(
+                    f,
+                    "compute-limited (I/O idle {:.1}%)",
+                    idle_fraction * 100.0
+                )
+            }
+        }
+    }
+}
+
+/// The result of executing a computation on a concrete PE: the measured cost
+/// plus the memory actually used.
+///
+/// Produced by the `balance-machine` simulator and by analytic models alike;
+/// keeping it here lets every crate in the workspace speak the same type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Execution {
+    /// Measured operation and word counts.
+    pub cost: CostProfile,
+    /// Peak local-memory footprint during the run.
+    pub peak_memory: Words,
+}
+
+impl Execution {
+    /// Creates an execution record.
+    #[must_use]
+    pub const fn new(cost: CostProfile, peak_memory: Words) -> Self {
+        Execution { cost, peak_memory }
+    }
+
+    /// The measured operational intensity.
+    #[must_use]
+    pub fn intensity(&self) -> f64 {
+        self.cost.intensity()
+    }
+}
+
+impl fmt::Display for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} using peak {}", self.cost, self.peak_memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{OpsPerSec, WordsPerSec};
+
+    fn pe(c: f64, io: f64) -> PeSpec {
+        PeSpec::new(OpsPerSec::new(c), WordsPerSec::new(io), Words::new(1024)).unwrap()
+    }
+
+    #[test]
+    fn intensity_basics() {
+        assert_eq!(CostProfile::new(100, 50).intensity(), 2.0);
+        assert_eq!(CostProfile::new(0, 50).intensity(), 0.0);
+        assert_eq!(CostProfile::new(5, 0).intensity(), f64::INFINITY);
+        assert_eq!(CostProfile::new(0, 0).intensity(), 0.0);
+    }
+
+    #[test]
+    fn times_follow_bandwidths() {
+        let cost = CostProfile::new(1000, 100);
+        let spec = pe(100.0, 10.0);
+        assert_eq!(cost.compute_time(&spec).get(), 10.0);
+        assert_eq!(cost.io_time(&spec).get(), 10.0);
+        assert_eq!(cost.elapsed(&spec).get(), 10.0);
+    }
+
+    #[test]
+    fn balance_condition_matches_paper_equation_1() {
+        // Balanced iff C_comp / C == C_io / IO, i.e. C/IO == C_comp/C_io.
+        let cost = CostProfile::new(1000, 100); // intensity 10
+        assert!(cost.balance_state(&pe(100.0, 10.0), 1e-9).is_balanced());
+        // Raise C 4x: now compute takes 2.5, io takes 10 -> I/O-limited.
+        match cost.balance_state(&pe(400.0, 10.0), 1e-9) {
+            BalanceState::IoLimited { idle_fraction } => {
+                assert!((idle_fraction - 0.75).abs() < 1e-12);
+            }
+            other => panic!("expected IoLimited, got {other:?}"),
+        }
+        // Lower C 4x: compute-limited.
+        match cost.balance_state(&pe(25.0, 10.0), 1e-9) {
+            BalanceState::ComputeLimited { idle_fraction } => {
+                assert!((idle_fraction - 0.75).abs() < 1e-12);
+            }
+            other => panic!("expected ComputeLimited, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerance_widens_balanced_band() {
+        let cost = CostProfile::new(1050, 100); // 5% off at C/IO = 10
+        let spec = pe(100.0, 10.0);
+        assert!(!cost.balance_state(&spec, 0.01).is_balanced());
+        assert!(cost.balance_state(&spec, 0.10).is_balanced());
+    }
+
+    #[test]
+    fn zero_cost_is_trivially_balanced() {
+        let cost = CostProfile::new(0, 0);
+        assert!(cost.balance_state(&pe(1.0, 1.0), 0.0).is_balanced());
+    }
+
+    #[test]
+    fn combined_sums_componentwise() {
+        let a = CostProfile::new(10, 4);
+        let b = CostProfile::new(5, 6);
+        let c = a.combined(&b);
+        assert_eq!(c.comp_ops(), 15);
+        assert_eq!(c.io_words(), 10);
+    }
+
+    #[test]
+    fn elapsed_takes_the_max() {
+        let cost = CostProfile::new(1000, 10);
+        let spec = pe(10.0, 10.0);
+        assert_eq!(cost.elapsed(&spec).get(), 100.0);
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(BalanceState::Balanced.to_string(), "balanced");
+        assert!(BalanceState::IoLimited { idle_fraction: 0.5 }
+            .to_string()
+            .contains("50.0%"));
+        assert!(BalanceState::ComputeLimited {
+            idle_fraction: 0.25
+        }
+        .to_string()
+        .contains("25.0%"));
+        let e = Execution::new(CostProfile::new(4, 2), Words::new(7));
+        assert!(e.to_string().contains("peak 7 words"));
+        assert_eq!(e.intensity(), 2.0);
+    }
+}

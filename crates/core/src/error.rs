@@ -1,0 +1,135 @@
+//! Error type shared by the balance-model APIs.
+
+use core::fmt;
+
+use crate::units::Words;
+
+/// Errors produced by balance-model computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BalanceError {
+    /// A bandwidth, ratio, or scale factor must be finite and positive.
+    InvalidQuantity {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The rebalance factor `α` must be ≥ 1 (the paper's question assumes the
+    /// compute-to-I/O ratio *increased*).
+    AlphaBelowOne {
+        /// The offending value.
+        value: f64,
+    },
+    /// The computation is I/O-bounded (`r(M) = Θ(1)`): no memory size can
+    /// restore balance without raising the I/O bandwidth (paper §3.6).
+    IoBounded,
+    /// A memory size of zero words was supplied where a positive size is
+    /// required.
+    ZeroMemory,
+    /// The requested memory exceeds what can be represented.
+    MemoryOverflow {
+        /// The uncapped analytic answer, in words.
+        requested: f64,
+    },
+    /// The intensity value cannot be reached by the model (e.g. inverting a
+    /// constant model, or a non-positive target).
+    UnreachableIntensity {
+        /// The target intensity.
+        target: f64,
+    },
+    /// Not enough data points to fit a law (at least two distinct memory
+    /// sizes with positive ratios are required).
+    InsufficientData {
+        /// Number of usable points supplied.
+        points: usize,
+    },
+    /// A numeric solver failed to bracket or converge.
+    SolverFailure {
+        /// Human-readable cause.
+        reason: &'static str,
+    },
+    /// The supplied memory is too small for the computation's minimum working
+    /// set.
+    MemoryTooSmall {
+        /// The supplied size.
+        have: Words,
+        /// The minimum required size.
+        need: Words,
+    },
+}
+
+impl fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BalanceError::InvalidQuantity { what, value } => {
+                write!(f, "invalid {what}: {value} (must be finite and positive)")
+            }
+            BalanceError::AlphaBelowOne { value } => {
+                write!(f, "rebalance factor alpha must be >= 1, got {value}")
+            }
+            BalanceError::IoBounded => write!(
+                f,
+                "computation is I/O-bounded: no local memory size restores balance \
+                 without increasing I/O bandwidth"
+            ),
+            BalanceError::ZeroMemory => write!(f, "memory size must be positive"),
+            BalanceError::MemoryOverflow { requested } => {
+                write!(f, "required memory overflows u64: {requested:.3e} words")
+            }
+            BalanceError::UnreachableIntensity { target } => {
+                write!(f, "intensity {target} is unreachable for this model")
+            }
+            BalanceError::InsufficientData { points } => {
+                write!(f, "need at least 2 usable data points, got {points}")
+            }
+            BalanceError::SolverFailure { reason } => write!(f, "solver failure: {reason}"),
+            BalanceError::MemoryTooSmall { have, need } => {
+                write!(f, "memory too small: have {have}, need at least {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BalanceError::InvalidQuantity {
+            what: "io bandwidth",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("io bandwidth"));
+        assert!(e.to_string().contains("-1"));
+
+        assert!(BalanceError::IoBounded.to_string().contains("I/O-bounded"));
+        assert!(BalanceError::AlphaBelowOne { value: 0.5 }
+            .to_string()
+            .contains("0.5"));
+        let e = BalanceError::MemoryTooSmall {
+            have: Words::new(3),
+            need: Words::new(12),
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BalanceError::ZeroMemory);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(BalanceError::IoBounded, BalanceError::IoBounded);
+        assert_ne!(
+            BalanceError::ZeroMemory,
+            BalanceError::AlphaBelowOne { value: 0.0 }
+        );
+    }
+}

@@ -1,0 +1,554 @@
+//! Empirical law fitting: recover the intensity model from measured data.
+//!
+//! The experiments in this workspace *measure* `(M, r)` pairs by running
+//! instrumented out-of-core kernels, then ask which of the paper's law
+//! shapes — power `c·M^e`, logarithmic `a + c·log₂M`, or constant — explains
+//! the data. Fitting is by least squares (log–log for the power law), model
+//! selection by the coefficient of determination R² computed in the original
+//! data space so the three candidates are directly comparable.
+
+use core::fmt;
+
+use crate::error::BalanceError;
+use crate::growth::GrowthLaw;
+use crate::intensity::IntensityModel;
+
+/// One measured sample: local memory size and observed intensity ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DataPoint {
+    /// Local memory size, in words.
+    pub memory: f64,
+    /// Observed `C_comp / C_io`.
+    pub ratio: f64,
+}
+
+impl DataPoint {
+    /// Creates a data point.
+    #[must_use]
+    pub const fn new(memory: f64, ratio: f64) -> Self {
+        DataPoint { memory, ratio }
+    }
+
+    fn is_usable(&self) -> bool {
+        self.memory.is_finite() && self.memory > 1.0 && self.ratio.is_finite() && self.ratio > 0.0
+    }
+}
+
+/// A fitted candidate law with its goodness of fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FittedLaw {
+    /// `r ≈ coeff · M^exponent`.
+    Power {
+        /// Fitted leading constant.
+        coeff: f64,
+        /// Fitted exponent.
+        exponent: f64,
+        /// R² in the original space.
+        r2: f64,
+    },
+    /// `r ≈ intercept + coeff · log₂ M`.
+    Log2 {
+        /// Fitted slope per doubling of memory.
+        coeff: f64,
+        /// Fitted intercept (absorbs lower-order terms).
+        intercept: f64,
+        /// R² in the original space.
+        r2: f64,
+    },
+    /// `r ≈ value` independent of `M`.
+    Constant {
+        /// Fitted mean ratio.
+        value: f64,
+        /// 1 minus the normalized spread (1 = perfectly flat).
+        r2: f64,
+    },
+}
+
+impl FittedLaw {
+    /// The goodness of fit, in the original data space.
+    #[must_use]
+    pub fn r2(&self) -> f64 {
+        match *self {
+            FittedLaw::Power { r2, .. }
+            | FittedLaw::Log2 { r2, .. }
+            | FittedLaw::Constant { r2, .. } => r2,
+        }
+    }
+
+    /// Converts to the closest [`IntensityModel`] (intercepts dropped).
+    #[must_use]
+    pub fn to_model(&self) -> IntensityModel {
+        match *self {
+            FittedLaw::Power {
+                coeff, exponent, ..
+            } => IntensityModel::Power { coeff, exponent },
+            FittedLaw::Log2 { coeff, .. } => IntensityModel::Log2 { coeff },
+            FittedLaw::Constant { value, .. } => IntensityModel::Constant { value },
+        }
+    }
+
+    /// The growth law this fit implies for the rebalancing question.
+    #[must_use]
+    pub fn growth_law(&self) -> GrowthLaw {
+        self.to_model().growth_law()
+    }
+
+    /// Predicted ratio at memory `m`.
+    #[must_use]
+    pub fn predict(&self, m: f64) -> f64 {
+        match *self {
+            FittedLaw::Power {
+                coeff, exponent, ..
+            } => coeff * m.powf(exponent),
+            FittedLaw::Log2 {
+                coeff, intercept, ..
+            } => intercept + coeff * m.log2(),
+            FittedLaw::Constant { value, .. } => value,
+        }
+    }
+}
+
+impl fmt::Display for FittedLaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FittedLaw::Power {
+                coeff,
+                exponent,
+                r2,
+            } => {
+                write!(f, "r ≈ {coeff:.3}·M^{exponent:.3} (R²={r2:.4})")
+            }
+            FittedLaw::Log2 {
+                coeff,
+                intercept,
+                r2,
+            } => {
+                write!(f, "r ≈ {intercept:.3} + {coeff:.3}·log₂M (R²={r2:.4})")
+            }
+            FittedLaw::Constant { value, r2 } => {
+                write!(f, "r ≈ {value:.3} (constant, R²={r2:.4})")
+            }
+        }
+    }
+}
+
+/// The result of fitting all candidate laws to a data set.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FitReport {
+    /// The selected law.
+    pub best: FittedLaw,
+    /// All fitted candidates (power, log, constant) for inspection.
+    pub candidates: Vec<FittedLaw>,
+}
+
+impl fmt::Display for FitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "best: {}", self.best)
+    }
+}
+
+fn usable(points: &[DataPoint]) -> Result<Vec<DataPoint>, BalanceError> {
+    let pts: Vec<DataPoint> = points
+        .iter()
+        .copied()
+        .filter(DataPoint::is_usable)
+        .collect();
+    let distinct = {
+        let mut ms: Vec<f64> = pts.iter().map(|p| p.memory).collect();
+        ms.sort_by(f64::total_cmp);
+        ms.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON);
+        ms.len()
+    };
+    if distinct < 2 {
+        return Err(BalanceError::InsufficientData { points: distinct });
+    }
+    Ok(pts)
+}
+
+/// Ordinary least squares for `y = a + b·x`; returns `(a, b)`.
+fn ols(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return (sy / n, 0.0);
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// R² of `predict` against the points, in the original space.
+fn r_squared(points: &[DataPoint], predict: impl Fn(f64) -> f64) -> f64 {
+    let mean = points.iter().map(|p| p.ratio).sum::<f64>() / points.len() as f64;
+    let ss_tot: f64 = points.iter().map(|p| (p.ratio - mean).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.ratio - predict(p.memory)).powi(2))
+        .sum();
+    if ss_tot <= 0.0 {
+        // Perfectly flat data: a model is "perfect" iff it has no residual.
+        if ss_res <= 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Fits `r = c·M^e` by log–log least squares.
+///
+/// # Errors
+///
+/// Returns [`BalanceError::InsufficientData`] without two distinct usable
+/// memory sizes.
+pub fn fit_power(points: &[DataPoint]) -> Result<FittedLaw, BalanceError> {
+    let pts = usable(points)?;
+    let xs: Vec<f64> = pts.iter().map(|p| p.memory.ln()).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.ratio.ln()).collect();
+    let (a, b) = ols(&xs, &ys);
+    let coeff = a.exp();
+    let r2 = r_squared(&pts, |m| coeff * m.powf(b));
+    Ok(FittedLaw::Power {
+        coeff,
+        exponent: b,
+        r2,
+    })
+}
+
+/// Fits `r = a + c·log₂ M` by least squares.
+///
+/// # Errors
+///
+/// Returns [`BalanceError::InsufficientData`] without two distinct usable
+/// memory sizes.
+pub fn fit_log2(points: &[DataPoint]) -> Result<FittedLaw, BalanceError> {
+    let pts = usable(points)?;
+    let xs: Vec<f64> = pts.iter().map(|p| p.memory.log2()).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.ratio).collect();
+    let (a, b) = ols(&xs, &ys);
+    let r2 = r_squared(&pts, |m| a + b * m.log2());
+    Ok(FittedLaw::Log2 {
+        coeff: b,
+        intercept: a,
+        r2,
+    })
+}
+
+/// Fits `r = const` (the mean), scoring by flatness.
+///
+/// # Errors
+///
+/// Returns [`BalanceError::InsufficientData`] without two distinct usable
+/// memory sizes.
+pub fn fit_constant(points: &[DataPoint]) -> Result<FittedLaw, BalanceError> {
+    let pts = usable(points)?;
+    let mean = pts.iter().map(|p| p.ratio).sum::<f64>() / pts.len() as f64;
+    // Score flatness by relative spread: 1 - (max-min)/mean, clamped to [0,1].
+    let max = pts.iter().map(|p| p.ratio).fold(f64::MIN, f64::max);
+    let min = pts.iter().map(|p| p.ratio).fold(f64::MAX, f64::min);
+    let spread = if mean > 0.0 { (max - min) / mean } else { 0.0 };
+    let r2 = (1.0 - spread).clamp(0.0, 1.0);
+    Ok(FittedLaw::Constant { value: mean, r2 })
+}
+
+/// Relative spread threshold below which data counts as constant.
+const FLATNESS_THRESHOLD: f64 = 0.15;
+
+/// Relative spread threshold for the *tail* (largest memories): an
+/// I/O-bounded computation may ramp up at small `M` but must saturate.
+const TAIL_FLATNESS_THRESHOLD: f64 = 0.10;
+
+/// Fits all candidate laws and selects the best.
+///
+/// Selection rule, mirroring the paper's taxonomy:
+///
+/// 1. if the data is nearly flat overall (relative spread below 15 %), or
+///    the *tail half* of the sweep is flat (below 10 % — the saturation
+///    signature of an I/O-bounded computation whose intensity stops growing
+///    once the memory exceeds "a certain constant", §3.6), classify
+///    constant;
+/// 2. otherwise the power and logarithmic fits compete on R² in the
+///    original space.
+///
+/// # Errors
+///
+/// Returns [`BalanceError::InsufficientData`] without two distinct usable
+/// memory sizes.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::fit::{fit_best, snap_degree, DataPoint};
+/// use balance_core::GrowthLaw;
+///
+/// // Synthetic matmul-like data: r = 0.6·√M.
+/// let pts: Vec<DataPoint> = (6..=16)
+///     .map(|k| {
+///         let m = (1u64 << k) as f64;
+///         DataPoint::new(m, 0.6 * m.sqrt())
+///     })
+///     .collect();
+/// let report = fit_best(&pts)?;
+/// let law = snap_degree(report.best.growth_law(), 0.05);
+/// assert_eq!(law, GrowthLaw::Polynomial { degree: 2.0 });
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+pub fn fit_best(points: &[DataPoint]) -> Result<FitReport, BalanceError> {
+    let power = fit_power(points)?;
+    let log = fit_log2(points)?;
+    let constant = fit_constant(points)?;
+    let candidates = vec![power, log, constant];
+
+    let mut pts = usable(points)?;
+    pts.sort_by(|a, b| a.memory.total_cmp(&b.memory));
+    let mean = pts.iter().map(|p| p.ratio).sum::<f64>() / pts.len() as f64;
+    let max = pts.iter().map(|p| p.ratio).fold(f64::MIN, f64::max);
+    let min = pts.iter().map(|p| p.ratio).fold(f64::MAX, f64::min);
+    let spread = if mean > 0.0 { (max - min) / mean } else { 0.0 };
+
+    // Saturation test on the tail half of the sweep (at least 3 points).
+    let tail_flat = if pts.len() >= 4 {
+        let tail = &pts[pts.len() / 2..];
+        let t_mean = tail.iter().map(|p| p.ratio).sum::<f64>() / tail.len() as f64;
+        let t_max = tail.iter().map(|p| p.ratio).fold(f64::MIN, f64::max);
+        let t_min = tail.iter().map(|p| p.ratio).fold(f64::MAX, f64::min);
+        t_mean > 0.0 && (t_max - t_min) / t_mean < TAIL_FLATNESS_THRESHOLD
+    } else {
+        false
+    };
+
+    let best = if spread < FLATNESS_THRESHOLD || tail_flat {
+        // Report the saturated value, not the ramp-polluted mean.
+        let tail = &pts[pts.len() / 2..];
+        let value = tail.iter().map(|p| p.ratio).sum::<f64>() / tail.len() as f64;
+        FittedLaw::Constant {
+            value,
+            r2: constant.r2(),
+        }
+    } else if power.r2() >= log.r2() {
+        power
+    } else {
+        log
+    };
+    Ok(FitReport { best, candidates })
+}
+
+/// Rounds a fitted polynomial growth degree to the nearest integer when it is
+/// within `tol`, leaving other laws untouched.
+///
+/// Measured exponents come out as e.g. `0.497`; for reporting against the
+/// paper's table it is convenient to snap `1/0.497 ≈ 2.01` to `2`.
+#[must_use]
+pub fn snap_degree(law: GrowthLaw, tol: f64) -> GrowthLaw {
+    match law {
+        GrowthLaw::Polynomial { degree } => {
+            let nearest = degree.round();
+            if (degree - nearest).abs() <= tol && nearest >= 1.0 {
+                GrowthLaw::Polynomial { degree: nearest }
+            } else {
+                GrowthLaw::Polynomial { degree }
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(f: impl Fn(f64) -> f64) -> Vec<DataPoint> {
+        (6..=16)
+            .map(|k| {
+                let m = (1u64 << k) as f64;
+                DataPoint::new(m, f(m))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_planted_power_law() {
+        let report = fit_best(&sweep(|m| 0.57 * m.powf(0.5))).unwrap();
+        match report.best {
+            FittedLaw::Power {
+                coeff,
+                exponent,
+                r2,
+            } => {
+                assert!((coeff - 0.57).abs() < 1e-6);
+                assert!((exponent - 0.5).abs() < 1e-9);
+                assert!(r2 > 0.999_999);
+            }
+            other => panic!("expected power, got {other}"),
+        }
+    }
+
+    #[test]
+    fn recovers_planted_cube_root_law() {
+        let report = fit_best(&sweep(|m| 1.4 * m.powf(1.0 / 3.0))).unwrap();
+        match report.best {
+            FittedLaw::Power { exponent, .. } => assert!((exponent - 1.0 / 3.0).abs() < 1e-9),
+            other => panic!("expected power, got {other}"),
+        }
+        assert_eq!(
+            snap_degree(report.best.growth_law(), 0.05),
+            GrowthLaw::Polynomial { degree: 3.0 }
+        );
+    }
+
+    #[test]
+    fn recovers_planted_log_law() {
+        let report = fit_best(&sweep(|m| 0.8 * m.log2())).unwrap();
+        match report.best {
+            FittedLaw::Log2 {
+                coeff,
+                intercept,
+                r2,
+            } => {
+                assert!((coeff - 0.8).abs() < 1e-9);
+                assert!(intercept.abs() < 1e-9);
+                assert!(r2 > 0.999_999);
+            }
+            other => panic!("expected log, got {other}"),
+        }
+        assert_eq!(report.best.growth_law(), GrowthLaw::Exponential);
+    }
+
+    #[test]
+    fn recovers_log_law_with_offset() {
+        // Sorting-style data: the merge phase adds a constant offset.
+        let report = fit_best(&sweep(|m| 1.5 + 0.5 * m.log2())).unwrap();
+        assert!(matches!(report.best, FittedLaw::Log2 { .. }));
+    }
+
+    #[test]
+    fn recovers_constant_law() {
+        let report = fit_best(&sweep(|_| 2.0)).unwrap();
+        match report.best {
+            FittedLaw::Constant { value, .. } => assert!((value - 2.0).abs() < 1e-12),
+            other => panic!("expected constant, got {other}"),
+        }
+        assert_eq!(report.best.growth_law(), GrowthLaw::Impossible);
+    }
+
+    #[test]
+    fn recovers_constant_law_with_saturation_noise() {
+        // Matvec-style data: ratio approaches 2 from below as M grows.
+        let report = fit_best(&sweep(|m| 2.0 * (1.0 - 1.0 / m.sqrt()))).unwrap();
+        assert!(
+            matches!(report.best, FittedLaw::Constant { .. }),
+            "got {}",
+            report.best
+        );
+    }
+
+    #[test]
+    fn distinguishes_log_from_power_on_kernel_like_data() {
+        // FFT-like measured data with a lower-order perturbation.
+        let pts = sweep(|m| m.log2() * (1.0 + 0.02 * (m.log2() / 16.0)));
+        let report = fit_best(&pts).unwrap();
+        assert!(
+            matches!(report.best, FittedLaw::Log2 { .. }),
+            "got {}",
+            report.best
+        );
+    }
+
+    #[test]
+    fn distinguishes_power_from_log_on_kernel_like_data() {
+        // Matmul-like measured data including the N² write-back term:
+        // r = 2N³ / (2N³/b + N²) with b = sqrt(M/3), N = 768.
+        let n = 768.0f64;
+        let pts = sweep(|m| {
+            let b = (m / 3.0).sqrt();
+            2.0 * n.powi(3) / (2.0 * n.powi(3) / b + n * n)
+        });
+        let report = fit_best(&pts).unwrap();
+        match report.best {
+            FittedLaw::Power { exponent, .. } => {
+                assert!((exponent - 0.5).abs() < 0.1, "exponent {exponent}");
+            }
+            other => panic!("expected power, got {other}"),
+        }
+    }
+
+    #[test]
+    fn insufficient_data_is_rejected() {
+        assert!(matches!(
+            fit_best(&[]),
+            Err(BalanceError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            fit_best(&[DataPoint::new(64.0, 8.0)]),
+            Err(BalanceError::InsufficientData { .. })
+        ));
+        // Two points at the same memory size are still insufficient.
+        assert!(matches!(
+            fit_best(&[DataPoint::new(64.0, 8.0), DataPoint::new(64.0, 8.1)]),
+            Err(BalanceError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn unusable_points_are_filtered() {
+        let mut pts = sweep(|m| m.sqrt());
+        pts.push(DataPoint::new(f64::NAN, 1.0));
+        pts.push(DataPoint::new(128.0, -3.0));
+        pts.push(DataPoint::new(0.5, 1.0));
+        let report = fit_best(&pts).unwrap();
+        assert!(matches!(report.best, FittedLaw::Power { .. }));
+    }
+
+    #[test]
+    fn snap_degree_behaviour() {
+        assert_eq!(
+            snap_degree(GrowthLaw::Polynomial { degree: 2.03 }, 0.05),
+            GrowthLaw::Polynomial { degree: 2.0 }
+        );
+        assert_eq!(
+            snap_degree(GrowthLaw::Polynomial { degree: 2.3 }, 0.05),
+            GrowthLaw::Polynomial { degree: 2.3 }
+        );
+        assert_eq!(
+            snap_degree(GrowthLaw::Exponential, 0.05),
+            GrowthLaw::Exponential
+        );
+    }
+
+    #[test]
+    fn predict_matches_law_shape() {
+        let p = FittedLaw::Power {
+            coeff: 2.0,
+            exponent: 0.5,
+            r2: 1.0,
+        };
+        assert_eq!(p.predict(25.0), 10.0);
+        let l = FittedLaw::Log2 {
+            coeff: 1.0,
+            intercept: 3.0,
+            r2: 1.0,
+        };
+        assert_eq!(l.predict(8.0), 6.0);
+        let c = FittedLaw::Constant {
+            value: 2.0,
+            r2: 1.0,
+        };
+        assert_eq!(c.predict(1.0e9), 2.0);
+    }
+
+    #[test]
+    fn report_display() {
+        let report = fit_best(&sweep(|m| m.sqrt())).unwrap();
+        assert!(report.to_string().contains("best:"));
+        assert_eq!(report.candidates.len(), 3);
+    }
+}

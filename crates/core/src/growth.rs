@@ -1,0 +1,222 @@
+//! Memory growth laws: the paper's answers to "by how much must `M` grow?".
+//!
+//! When the machine balance `C/IO` rises by a factor `α`, restoring balance
+//! requires raising the intensity ratio `r(M)` by the same `α` (equation (1)
+//! of the paper). Depending on the shape of `r`, the memory must grow:
+//!
+//! * **polynomially in α** — `M_new = α^k · M_old` (matrix computations:
+//!   `k = 2`; d-dimensional grids: `k = d`);
+//! * **exponentially** — `M_new = M_old^α` (FFT, sorting);
+//! * **not at all, because no size works** — I/O-bounded computations.
+
+use core::fmt;
+
+use crate::error::BalanceError;
+use crate::units::Words;
+
+/// How the balanced memory size scales with the rebalance factor `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GrowthLaw {
+    /// `M_new = α^degree · M_old`.
+    ///
+    /// Matrix multiplication and triangularization have `degree = 2`
+    /// (paper §3.1–3.2); a d-dimensional grid has `degree = d` (§3.3).
+    Polynomial {
+        /// The exponent `k` in `M_new = α^k · M_old`.
+        degree: f64,
+    },
+    /// `M_new = M_old^α` — FFT and sorting (§3.4–3.5).
+    Exponential,
+    /// No enlargement of local memory restores balance (§3.6).
+    Impossible,
+}
+
+impl GrowthLaw {
+    /// Computes `M_new` for a given `α` and `M_old`, as an exact real value.
+    ///
+    /// # Errors
+    ///
+    /// * [`BalanceError::IoBounded`] for [`GrowthLaw::Impossible`];
+    /// * [`BalanceError::AlphaBelowOne`] when `alpha < 1`;
+    /// * [`BalanceError::ZeroMemory`] when `m_old` is zero (and, for the
+    ///   exponential law, when `m_old == 1`, which the law cannot grow).
+    pub fn new_memory_f64(&self, alpha: f64, m_old: Words) -> Result<f64, BalanceError> {
+        if !(alpha.is_finite()) || alpha < 1.0 {
+            return Err(BalanceError::AlphaBelowOne { value: alpha });
+        }
+        if m_old.is_zero() {
+            return Err(BalanceError::ZeroMemory);
+        }
+        match *self {
+            GrowthLaw::Polynomial { degree } => Ok(alpha.powf(degree) * m_old.as_f64()),
+            GrowthLaw::Exponential => {
+                if m_old.get() == 1 {
+                    // log₂ 1 = 0: intensity is stuck at zero, cannot scale.
+                    return Err(BalanceError::ZeroMemory);
+                }
+                Ok(m_old.as_f64().powf(alpha))
+            }
+            GrowthLaw::Impossible => Err(BalanceError::IoBounded),
+        }
+    }
+
+    /// Computes `M_new` rounded to whole words.
+    ///
+    /// # Errors
+    ///
+    /// As [`new_memory_f64`](Self::new_memory_f64), plus
+    /// [`BalanceError::MemoryOverflow`] when the answer exceeds `u64`.
+    pub fn new_memory(&self, alpha: f64, m_old: Words) -> Result<Words, BalanceError> {
+        let m = self.new_memory_f64(alpha, m_old)?;
+        if m >= u64::MAX as f64 {
+            return Err(BalanceError::MemoryOverflow { requested: m });
+        }
+        Ok(Words::from_f64_rounded(m))
+    }
+
+    /// The memory *growth factor* `M_new / M_old`.
+    ///
+    /// # Errors
+    ///
+    /// As [`new_memory_f64`](Self::new_memory_f64).
+    pub fn growth_factor(&self, alpha: f64, m_old: Words) -> Result<f64, BalanceError> {
+        Ok(self.new_memory_f64(alpha, m_old)? / m_old.as_f64())
+    }
+
+    /// True when rebalancing by memory alone is possible.
+    #[must_use]
+    pub fn is_possible(&self) -> bool {
+        !matches!(self, GrowthLaw::Impossible)
+    }
+}
+
+impl fmt::Display for GrowthLaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GrowthLaw::Polynomial { degree } => {
+                if (degree - degree.round()).abs() < 1e-9 {
+                    write!(f, "M_new = α^{} · M_old", degree.round() as i64)
+                } else {
+                    write!(f, "M_new = α^{degree:.2} · M_old")
+                }
+            }
+            GrowthLaw::Exponential => write!(f, "M_new = M_old^α"),
+            GrowthLaw::Impossible => write!(f, "impossible (I/O-bounded)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_law_alpha_squared() {
+        // Paper §3.1: M_new = α²·M_old.
+        let law = GrowthLaw::Polynomial { degree: 2.0 };
+        assert_eq!(law.new_memory(2.0, Words::new(100)).unwrap().get(), 400);
+        assert_eq!(law.new_memory(3.0, Words::new(100)).unwrap().get(), 900);
+        assert_eq!(law.growth_factor(4.0, Words::new(10)).unwrap(), 16.0);
+    }
+
+    #[test]
+    fn grid_law_alpha_to_the_d() {
+        // Paper §3.3: M_new = α^d·M_old for a d-dimensional grid.
+        for d in 1..=4u32 {
+            let law = GrowthLaw::Polynomial {
+                degree: f64::from(d),
+            };
+            let got = law.growth_factor(2.0, Words::new(64)).unwrap();
+            assert!((got - 2.0f64.powi(d as i32)).abs() < 1e-9, "d={d}");
+        }
+    }
+
+    #[test]
+    fn fft_law_memory_to_the_alpha() {
+        // Paper §3.4: M_new = M_old^α.
+        let law = GrowthLaw::Exponential;
+        assert_eq!(
+            law.new_memory(2.0, Words::new(1024)).unwrap().get(),
+            1024 * 1024
+        );
+        assert_eq!(law.new_memory(3.0, Words::new(4)).unwrap().get(), 64);
+    }
+
+    #[test]
+    fn exponential_law_explodes_fast() {
+        // Paper §5: "the size of the local memory may become unrealistically
+        // large" — with M_old = 2^16 and α = 4, M_new = 2^64 overflows.
+        let law = GrowthLaw::Exponential;
+        assert!(matches!(
+            law.new_memory(4.0, Words::new(1 << 16)),
+            Err(BalanceError::MemoryOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn impossible_law_always_errors() {
+        let law = GrowthLaw::Impossible;
+        assert_eq!(
+            law.new_memory(2.0, Words::new(100)),
+            Err(BalanceError::IoBounded)
+        );
+        assert!(!law.is_possible());
+        assert!(GrowthLaw::Exponential.is_possible());
+    }
+
+    #[test]
+    fn alpha_below_one_rejected() {
+        let law = GrowthLaw::Polynomial { degree: 2.0 };
+        assert!(matches!(
+            law.new_memory(0.5, Words::new(8)),
+            Err(BalanceError::AlphaBelowOne { .. })
+        ));
+        assert!(matches!(
+            law.new_memory(f64::NAN, Words::new(8)),
+            Err(BalanceError::AlphaBelowOne { .. })
+        ));
+    }
+
+    #[test]
+    fn alpha_one_is_identity() {
+        for law in [
+            GrowthLaw::Polynomial { degree: 2.0 },
+            GrowthLaw::Polynomial { degree: 3.0 },
+            GrowthLaw::Exponential,
+        ] {
+            assert_eq!(law.new_memory(1.0, Words::new(64)).unwrap().get(), 64);
+        }
+    }
+
+    #[test]
+    fn degenerate_memories_rejected() {
+        let law = GrowthLaw::Exponential;
+        assert_eq!(
+            law.new_memory(2.0, Words::ZERO),
+            Err(BalanceError::ZeroMemory)
+        );
+        assert_eq!(
+            law.new_memory(2.0, Words::new(1)),
+            Err(BalanceError::ZeroMemory)
+        );
+        let law = GrowthLaw::Polynomial { degree: 2.0 };
+        assert_eq!(
+            law.new_memory(2.0, Words::ZERO),
+            Err(BalanceError::ZeroMemory)
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            GrowthLaw::Polynomial { degree: 2.0 }.to_string(),
+            "M_new = α^2 · M_old"
+        );
+        assert_eq!(GrowthLaw::Exponential.to_string(), "M_new = M_old^α");
+        assert!(GrowthLaw::Impossible.to_string().contains("impossible"));
+        assert!(GrowthLaw::Polynomial { degree: 2.5 }
+            .to_string()
+            .contains("2.50"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Intensity-ratio models `r(M)`: how a computation's operations-per-word
+//! ratio grows with local memory.
+//!
+//! Section 3 of the paper derives, for each computation, the ratio
+//! `C_comp / C_io` as a function of the local memory size `M` under the best
+//! decomposition scheme:
+//!
+//! * blocked matrix multiplication, triangularization, 2-D relaxation:
+//!   `r(M) = Θ(√M)`;
+//! * d-dimensional relaxation: `r(M) = Θ(M^(1/d))`;
+//! * FFT and sorting: `r(M) = Θ(log₂ M)`;
+//! * matrix–vector multiply, triangular solve: `r(M) = Θ(1)`.
+//!
+//! [`IntensityModel`] captures those shapes with explicit leading constants,
+//! evaluates them, inverts them exactly, and reports the induced
+//! [`GrowthLaw`].
+
+use core::fmt;
+
+use crate::error::BalanceError;
+use crate::growth::GrowthLaw;
+use crate::units::Words;
+
+/// A parametric model of operational intensity as a function of memory.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::IntensityModel;
+///
+/// let matmul = IntensityModel::sqrt_m(0.5);        // r(M) = 0.5·√M
+/// assert_eq!(matmul.eval(1600.0), 20.0);
+/// assert_eq!(matmul.inverse(20.0).unwrap(), 1600.0);
+///
+/// let fft = IntensityModel::log2_m(1.0);           // r(M) = log₂ M
+/// assert_eq!(fft.eval(1024.0), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum IntensityModel {
+    /// `r(M) = coeff · M^exponent` with `exponent > 0`.
+    ///
+    /// The paper's polynomial family: `exponent = 1/2` for matrix
+    /// computations and 2-D grids, `exponent = 1/d` for d-dimensional grids.
+    Power {
+        /// Leading constant.
+        coeff: f64,
+        /// Memory exponent (strictly positive).
+        exponent: f64,
+    },
+    /// `r(M) = coeff · log₂ M` — the FFT/sorting family.
+    Log2 {
+        /// Leading constant.
+        coeff: f64,
+    },
+    /// `r(M) = value` — I/O-bounded computations whose intensity saturates.
+    Constant {
+        /// The saturated intensity.
+        value: f64,
+    },
+}
+
+impl IntensityModel {
+    /// `r(M) = c·√M` (matrix multiplication, triangularization, 2-D grids).
+    #[must_use]
+    pub fn sqrt_m(coeff: f64) -> Self {
+        IntensityModel::Power {
+            coeff,
+            exponent: 0.5,
+        }
+    }
+
+    /// `r(M) = c·M^(1/d)` (d-dimensional grid relaxation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn root_m(d: u32, coeff: f64) -> Self {
+        assert!(d > 0, "grid dimension must be positive");
+        IntensityModel::Power {
+            coeff,
+            exponent: 1.0 / f64::from(d),
+        }
+    }
+
+    /// `r(M) = c·log₂ M` (FFT, sorting).
+    #[must_use]
+    pub fn log2_m(coeff: f64) -> Self {
+        IntensityModel::Log2 { coeff }
+    }
+
+    /// `r(M) = v` (I/O-bounded computations, paper §3.6).
+    #[must_use]
+    pub fn constant(value: f64) -> Self {
+        IntensityModel::Constant { value }
+    }
+
+    /// Evaluates `r(M)`.
+    ///
+    /// For `m <= 1` the log model returns 0 at `m = 1` and is clamped to 0
+    /// below (memory sizes below one word are meaningless; callers validate).
+    #[must_use]
+    pub fn eval(&self, m: f64) -> f64 {
+        match *self {
+            IntensityModel::Power { coeff, exponent } => coeff * m.powf(exponent),
+            IntensityModel::Log2 { coeff } => {
+                if m <= 1.0 {
+                    0.0
+                } else {
+                    coeff * m.log2()
+                }
+            }
+            IntensityModel::Constant { value } => value,
+        }
+    }
+
+    /// Evaluates at an integral memory size.
+    #[must_use]
+    pub fn eval_words(&self, m: Words) -> f64 {
+        self.eval(m.as_f64())
+    }
+
+    /// Inverts the model: the memory size at which the intensity reaches
+    /// `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::UnreachableIntensity`] for non-positive
+    /// targets, [`BalanceError::IoBounded`] for the constant model (no
+    /// memory size changes a saturated intensity — the paper's "impossible"
+    /// row), and [`BalanceError::MemoryOverflow`] when the answer is not
+    /// representable as a finite number of words.
+    pub fn inverse(&self, target: f64) -> Result<f64, BalanceError> {
+        if !(target.is_finite() && target > 0.0) {
+            return Err(BalanceError::UnreachableIntensity { target });
+        }
+        let m = match *self {
+            IntensityModel::Power { coeff, exponent } => {
+                if !(coeff.is_finite() && coeff > 0.0 && exponent > 0.0) {
+                    return Err(BalanceError::UnreachableIntensity { target });
+                }
+                (target / coeff).powf(1.0 / exponent)
+            }
+            IntensityModel::Log2 { coeff } => {
+                if !(coeff.is_finite() && coeff > 0.0) {
+                    return Err(BalanceError::UnreachableIntensity { target });
+                }
+                (target / coeff).exp2()
+            }
+            IntensityModel::Constant { .. } => return Err(BalanceError::IoBounded),
+        };
+        if !m.is_finite() {
+            return Err(BalanceError::MemoryOverflow { requested: m });
+        }
+        Ok(m)
+    }
+
+    /// The memory size that balances a machine with compute-to-I/O ratio
+    /// `machine_balance` (ops per word): solves `r(M) = C/IO`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`inverse`](Self::inverse); additionally the
+    /// answer is checked for representability.
+    pub fn balanced_memory(&self, machine_balance: f64) -> Result<Words, BalanceError> {
+        let m = self.inverse(machine_balance)?;
+        if m >= u64::MAX as f64 {
+            return Err(BalanceError::MemoryOverflow { requested: m });
+        }
+        Ok(Words::from_f64_rounded(m))
+    }
+
+    /// The growth law induced by this ratio shape: how `M_new` relates to
+    /// `M_old` when the machine balance rises by `α`.
+    ///
+    /// * power model with exponent `e` → `M_new = α^(1/e) · M_old`
+    ///   (√M ⇒ α², M^(1/d) ⇒ α^d);
+    /// * log model → `M_new = M_old^α`;
+    /// * constant model → impossible.
+    #[must_use]
+    pub fn growth_law(&self) -> GrowthLaw {
+        match *self {
+            IntensityModel::Power { exponent, .. } => GrowthLaw::Polynomial {
+                degree: 1.0 / exponent,
+            },
+            IntensityModel::Log2 { .. } => GrowthLaw::Exponential,
+            IntensityModel::Constant { .. } => GrowthLaw::Impossible,
+        }
+    }
+
+    /// True for models whose intensity does not grow with memory (paper
+    /// §3.6: "I/O bounded computations").
+    #[must_use]
+    pub fn is_io_bounded(&self) -> bool {
+        matches!(self, IntensityModel::Constant { .. })
+    }
+
+    /// The leading constant of the model.
+    #[must_use]
+    pub fn coeff(&self) -> f64 {
+        match *self {
+            IntensityModel::Power { coeff, .. } => coeff,
+            IntensityModel::Log2 { coeff } => coeff,
+            IntensityModel::Constant { value } => value,
+        }
+    }
+}
+
+impl fmt::Display for IntensityModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IntensityModel::Power { coeff, exponent } => {
+                if (exponent - 0.5).abs() < 1e-12 {
+                    write!(f, "r(M) = {coeff:.3}·√M")
+                } else {
+                    write!(f, "r(M) = {coeff:.3}·M^{exponent:.3}")
+                }
+            }
+            IntensityModel::Log2 { coeff } => write!(f, "r(M) = {coeff:.3}·log₂M"),
+            IntensityModel::Constant { value } => write!(f, "r(M) = {value:.3} (constant)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_model_matches_paper_matmul() {
+        // Paper §3.1: C_comp/C_io = Θ(√M).
+        let r = IntensityModel::sqrt_m(1.0);
+        assert_eq!(r.eval(100.0), 10.0);
+        assert_eq!(r.eval(10_000.0), 100.0);
+        assert_eq!(r.inverse(10.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn root_model_matches_paper_grids() {
+        // Paper §3.3: d-dimensional grid has ratio Θ(M^(1/d)).
+        let r3 = IntensityModel::root_m(3, 1.0);
+        assert!((r3.eval(27.0) - 3.0).abs() < 1e-12);
+        assert!((r3.inverse(3.0).unwrap() - 27.0).abs() < 1e-9);
+        // d = 2 coincides with sqrt.
+        let r2 = IntensityModel::root_m(2, 2.0);
+        assert_eq!(r2.eval(25.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimension")]
+    fn root_model_rejects_dimension_zero() {
+        let _ = IntensityModel::root_m(0, 1.0);
+    }
+
+    #[test]
+    fn log_model_matches_paper_fft() {
+        // Paper §3.4: C_comp/C_io = Θ(log₂ M).
+        let r = IntensityModel::log2_m(1.0);
+        assert_eq!(r.eval(4.0), 2.0);
+        assert_eq!(r.eval(1024.0), 10.0);
+        assert_eq!(r.eval(1.0), 0.0);
+        assert_eq!(r.eval(0.5), 0.0);
+        assert_eq!(r.inverse(10.0).unwrap(), 1024.0);
+    }
+
+    #[test]
+    fn constant_model_cannot_be_inverted() {
+        // Paper §3.6: having a local memory will not reduce the overall I/O
+        // requirement after the size exceeds a certain constant.
+        let r = IntensityModel::constant(2.0);
+        assert_eq!(r.eval(10.0), 2.0);
+        assert_eq!(r.eval(1.0e9), 2.0);
+        assert_eq!(r.inverse(4.0), Err(BalanceError::IoBounded));
+        assert!(r.is_io_bounded());
+    }
+
+    #[test]
+    fn inverse_rejects_bad_targets() {
+        let r = IntensityModel::sqrt_m(1.0);
+        assert!(matches!(
+            r.inverse(0.0),
+            Err(BalanceError::UnreachableIntensity { .. })
+        ));
+        assert!(matches!(
+            r.inverse(-3.0),
+            Err(BalanceError::UnreachableIntensity { .. })
+        ));
+        assert!(matches!(
+            r.inverse(f64::NAN),
+            Err(BalanceError::UnreachableIntensity { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_rejects_degenerate_models() {
+        let r = IntensityModel::Power {
+            coeff: 0.0,
+            exponent: 0.5,
+        };
+        assert!(r.inverse(1.0).is_err());
+        let r = IntensityModel::Log2 { coeff: -1.0 };
+        assert!(r.inverse(1.0).is_err());
+    }
+
+    #[test]
+    fn balanced_memory_solves_the_design_point() {
+        // Warp-like machine balance C/IO = 0.5 against √M matmul with c=0.5:
+        // 0.5·√M = 0.5 => M = 1.
+        let r = IntensityModel::sqrt_m(0.5);
+        assert_eq!(r.balanced_memory(0.5).unwrap().get(), 1);
+        // Balance 16 => M = 1024.
+        assert_eq!(r.balanced_memory(16.0).unwrap().get(), 1024);
+    }
+
+    #[test]
+    fn balanced_memory_detects_overflow() {
+        let r = IntensityModel::log2_m(1.0);
+        // 2^1000 words overflows u64.
+        assert!(matches!(
+            r.balanced_memory(1000.0),
+            Err(BalanceError::MemoryOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn growth_laws_match_the_summary_table() {
+        assert_eq!(
+            IntensityModel::sqrt_m(1.0).growth_law(),
+            GrowthLaw::Polynomial { degree: 2.0 }
+        );
+        match IntensityModel::root_m(4, 1.0).growth_law() {
+            GrowthLaw::Polynomial { degree } => assert!((degree - 4.0).abs() < 1e-9),
+            other => panic!("expected polynomial, got {other:?}"),
+        }
+        assert_eq!(
+            IntensityModel::log2_m(1.0).growth_law(),
+            GrowthLaw::Exponential
+        );
+        assert_eq!(
+            IntensityModel::constant(2.0).growth_law(),
+            GrowthLaw::Impossible
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert!(IntensityModel::sqrt_m(1.0).to_string().contains("√M"));
+        assert!(IntensityModel::root_m(3, 1.0)
+            .to_string()
+            .contains("M^0.333"));
+        assert!(IntensityModel::log2_m(2.0).to_string().contains("log₂M"));
+        assert!(IntensityModel::constant(2.0)
+            .to_string()
+            .contains("constant"));
+    }
+
+    #[test]
+    fn eval_words_matches_eval() {
+        let r = IntensityModel::sqrt_m(3.0);
+        assert_eq!(r.eval_words(Words::new(49)), r.eval(49.0));
+    }
+}

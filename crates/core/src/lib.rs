@@ -1,0 +1,104 @@
+//! # balance-core
+//!
+//! The analytical heart of H. T. Kung's *"Memory Requirements for Balanced
+//! Computer Architectures"* (Journal of Complexity 1, 147–157, 1985).
+//!
+//! The paper characterizes a processing element (PE) by three numbers — its
+//! computation bandwidth `C` (operations per second), its I/O bandwidth `IO`
+//! (words per second), and its local memory size `M` (words) — and calls the
+//! PE **balanced** for a computation when the computing time equals the I/O
+//! time:
+//!
+//! ```text
+//! C_comp / C = C_io / IO        ⇔        C / IO = C_comp / C_io
+//! ```
+//!
+//! The right-hand quantity `C_comp / C_io` is the computation's
+//! *operational intensity* (operations per word of traffic), a function
+//! `r(M)` of the local memory size. The central question of the paper: if the
+//! machine's compute-to-I/O ratio `C/IO` grows by a factor `α`, how much must
+//! `M` grow to restore balance? The answer depends on the *shape* of `r(M)`:
+//!
+//! | `r(M)`            | rebalance rule          | examples                      |
+//! |-------------------|-------------------------|-------------------------------|
+//! | `Θ(√M)`           | `M_new = α² · M_old`    | matmul, LU, 2-D relaxation    |
+//! | `Θ(M^(1/d))`      | `M_new = α^d · M_old`   | d-dimensional relaxation      |
+//! | `Θ(log₂ M)`       | `M_new = M_old^α`       | FFT, sorting                  |
+//! | `Θ(1)`            | impossible              | matvec, triangular solve      |
+//!
+//! This crate provides:
+//!
+//! * unit-safe quantities ([`Words`], [`OpsPerSec`], [`WordsPerSec`], …) in
+//!   [`units`];
+//! * the PE characterization [`PeSpec`] (the paper's Fig. 1) in [`pe`];
+//! * measured/analytic cost profiles and the balance predicate in [`cost`];
+//! * the intensity-ratio models `r(M)` with exact inverses in [`intensity`];
+//! * the growth laws and the rebalancing solver in [`growth`] and
+//!   [`mod@rebalance`];
+//! * empirical law fitting (recover the exponent from measured `(M, r)`
+//!   sweeps) in [`fit`];
+//! * numeric utilities (monotone bisection, measured-curve inversion) in
+//!   [`solver`];
+//! * the classical Amdahl memory rule of thumb, for contrast, in [`amdahl`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use balance_core::prelude::*;
+//!
+//! // A PE delivering 100 Mop/s over a 10 Mword/s port: machine balance = 10.
+//! let pe = PeSpec::builder()
+//!     .comp_bw(OpsPerSec::new(100.0e6))
+//!     .io_bw(WordsPerSec::new(10.0e6))
+//!     .memory(Words::new(4096))
+//!     .build()?;
+//!
+//! // Blocked matrix multiplication has intensity r(M) = c·√M.
+//! let matmul = IntensityModel::sqrt_m(1.0);
+//!
+//! // Memory that balances this PE for matmul: r(M) = C/IO  ⇒  M = 100.
+//! let balanced = matmul.balanced_memory(pe.machine_balance())?;
+//! assert_eq!(balanced.get(), 100);
+//!
+//! // Now compute bandwidth rises 4× (I/O unchanged): α = 4 ⇒ M must grow α² = 16×.
+//! let plan = rebalance(&matmul, Alpha::new(4.0)?, balanced)?;
+//! assert_eq!(plan.new_memory.get(), 1600);
+//! # Ok::<(), balance_core::BalanceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amdahl;
+pub mod cost;
+pub mod error;
+pub mod fit;
+pub mod growth;
+pub mod intensity;
+pub mod pe;
+pub mod rebalance;
+pub mod solver;
+pub mod units;
+
+pub use cost::{BalanceState, CostProfile, Execution};
+pub use error::BalanceError;
+pub use fit::{fit_best, FitReport, FittedLaw};
+pub use growth::GrowthLaw;
+pub use intensity::IntensityModel;
+pub use pe::{PeSpec, PeSpecBuilder};
+pub use rebalance::{rebalance, Alpha, RebalancePlan};
+pub use units::{OpsPerSec, Seconds, Words, WordsPerSec};
+
+/// Convenient glob import: `use balance_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::amdahl;
+    pub use crate::cost::{BalanceState, CostProfile, Execution};
+    pub use crate::error::BalanceError;
+    pub use crate::fit::{fit_best, FitReport, FittedLaw};
+    pub use crate::growth::GrowthLaw;
+    pub use crate::intensity::IntensityModel;
+    pub use crate::pe::{PeSpec, PeSpecBuilder};
+    pub use crate::rebalance::{rebalance, Alpha, RebalancePlan};
+    pub use crate::units::{OpsPerSec, Seconds, Words, WordsPerSec};
+}

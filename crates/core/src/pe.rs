@@ -1,0 +1,379 @@
+//! The processing-element characterization (the paper's Fig. 1).
+//!
+//! A PE is fully described, for the purposes of the balance analysis, by the
+//! triple `(C, IO, M)`: computation bandwidth, I/O bandwidth, and local
+//! memory size. [`PeSpec`] carries that triple; its [`Display`] impl renders
+//! the paper's Figure 1 as ASCII art.
+//!
+//! [`Display`]: core::fmt::Display
+
+use core::fmt;
+
+use crate::error::BalanceError;
+use crate::units::{OpsPerSec, Words, WordsPerSec};
+
+/// The information-model characterization of a processing element.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::{PeSpec, OpsPerSec, WordsPerSec, Words};
+///
+/// // The Warp cell of the paper's Section 5: 10 MFLOPS, 20 Mword/s, 64K words.
+/// let warp = PeSpec::builder()
+///     .comp_bw(OpsPerSec::new(10.0e6))
+///     .io_bw(WordsPerSec::new(20.0e6))
+///     .memory(Words::new(64 * 1024))
+///     .build()?;
+/// assert_eq!(warp.machine_balance(), 0.5); // ops per word of I/O
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PeSpec {
+    comp_bw: OpsPerSec,
+    io_bw: WordsPerSec,
+    memory: Words,
+}
+
+impl PeSpec {
+    /// Starts building a PE specification.
+    #[must_use]
+    pub fn builder() -> PeSpecBuilder {
+        PeSpecBuilder::default()
+    }
+
+    /// Creates a PE spec directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::InvalidQuantity`] if either bandwidth is not
+    /// finite and positive, and [`BalanceError::ZeroMemory`] if `memory` is
+    /// zero.
+    pub fn new(
+        comp_bw: OpsPerSec,
+        io_bw: WordsPerSec,
+        memory: Words,
+    ) -> Result<Self, BalanceError> {
+        if !comp_bw.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "computation bandwidth",
+                value: comp_bw.get(),
+            });
+        }
+        if !io_bw.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "io bandwidth",
+                value: io_bw.get(),
+            });
+        }
+        if memory.is_zero() {
+            return Err(BalanceError::ZeroMemory);
+        }
+        Ok(PeSpec {
+            comp_bw,
+            io_bw,
+            memory,
+        })
+    }
+
+    /// The computation bandwidth `C`.
+    #[must_use]
+    pub fn comp_bw(&self) -> OpsPerSec {
+        self.comp_bw
+    }
+
+    /// The I/O bandwidth `IO`.
+    #[must_use]
+    pub fn io_bw(&self) -> WordsPerSec {
+        self.io_bw
+    }
+
+    /// The local memory size `M`.
+    #[must_use]
+    pub fn memory(&self) -> Words {
+        self.memory
+    }
+
+    /// The machine balance `C / IO`, in operations per word.
+    ///
+    /// A computation whose operational intensity equals this value runs the
+    /// compute and I/O subsystems at equal utilization.
+    #[must_use]
+    pub fn machine_balance(&self) -> f64 {
+        self.comp_bw.get() / self.io_bw.get()
+    }
+
+    /// Returns a copy with the computation bandwidth scaled by `factor`,
+    /// I/O bandwidth and memory unchanged.
+    ///
+    /// This is the paper's scaling move: "the computation bandwidth of the PE
+    /// is increased by a factor of α relative to its I/O bandwidth".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::InvalidQuantity`] if `factor` is not finite
+    /// and positive.
+    pub fn with_comp_scaled(&self, factor: f64) -> Result<PeSpec, BalanceError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(BalanceError::InvalidQuantity {
+                what: "scale factor",
+                value: factor,
+            });
+        }
+        PeSpec::new(self.comp_bw.scaled(factor), self.io_bw, self.memory)
+    }
+
+    /// Returns a copy with a different memory size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::ZeroMemory`] if `memory` is zero.
+    pub fn with_memory(&self, memory: Words) -> Result<PeSpec, BalanceError> {
+        PeSpec::new(self.comp_bw, self.io_bw, memory)
+    }
+
+    /// Views a collection of `p` such PEs, all hidden behind the *same* I/O
+    /// port, as one aggregate PE: `p`-fold compute and memory, unchanged I/O.
+    ///
+    /// This is the "new processing element" viewpoint of the paper's
+    /// Section 4.1 (the linear array). For the mesh of Section 4.2 use
+    /// [`aggregate_scaled`](Self::aggregate_scaled) with `io_factor = p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `p == 0` or the aggregate memory overflows.
+    pub fn aggregate(&self, p: u64) -> Result<PeSpec, BalanceError> {
+        self.aggregate_scaled(p, 1.0)
+    }
+
+    /// Aggregates `p` PEs with an I/O bandwidth scaled by `io_factor`.
+    ///
+    /// A `p×p` mesh whose perimeter PEs all talk to the outside world has
+    /// `p²` compute and `p`-fold I/O: `spec.aggregate_scaled(p * p, p as f64)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `p == 0`, `io_factor` is invalid, or memory
+    /// overflows.
+    pub fn aggregate_scaled(&self, p: u64, io_factor: f64) -> Result<PeSpec, BalanceError> {
+        if p == 0 {
+            return Err(BalanceError::InvalidQuantity {
+                what: "PE count",
+                value: 0.0,
+            });
+        }
+        let memory = self
+            .memory
+            .checked_mul(p)
+            .ok_or(BalanceError::MemoryOverflow {
+                requested: self.memory.as_f64() * p as f64,
+            })?;
+        if !(io_factor.is_finite() && io_factor > 0.0) {
+            return Err(BalanceError::InvalidQuantity {
+                what: "io scale factor",
+                value: io_factor,
+            });
+        }
+        PeSpec::new(
+            self.comp_bw.scaled(p as f64),
+            self.io_bw.scaled(io_factor),
+            memory,
+        )
+    }
+}
+
+impl fmt::Display for PeSpec {
+    /// Renders the paper's Figure 1: a PE characterized by `C`, `IO`, `M`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = format!("C  = {:>12.4e} op/s", self.comp_bw.get());
+        let io = format!("IO = {:>12.4e} word/s", self.io_bw.get());
+        let m = format!("M  = {:>12} words", self.memory.get());
+        let width = c.len().max(io.len()).max(m.len()) + 4;
+        writeln!(f, "        +{}+", "-".repeat(width))?;
+        writeln!(f, "        |{:^width$}|", "processing element")?;
+        writeln!(f, "  IO    |{:^width$}|", c)?;
+        writeln!(f, "<=====> |{:^width$}|", io)?;
+        writeln!(f, "        |{:^width$}|", m)?;
+        write!(f, "        +{}+", "-".repeat(width))
+    }
+}
+
+/// Builder for [`PeSpec`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone, Default)]
+pub struct PeSpecBuilder {
+    comp_bw: Option<OpsPerSec>,
+    io_bw: Option<WordsPerSec>,
+    memory: Option<Words>,
+}
+
+impl PeSpecBuilder {
+    /// Sets the computation bandwidth `C`.
+    #[must_use]
+    pub fn comp_bw(mut self, comp_bw: OpsPerSec) -> Self {
+        self.comp_bw = Some(comp_bw);
+        self
+    }
+
+    /// Sets the I/O bandwidth `IO`.
+    #[must_use]
+    pub fn io_bw(mut self, io_bw: WordsPerSec) -> Self {
+        self.io_bw = Some(io_bw);
+        self
+    }
+
+    /// Sets the local memory size `M`.
+    #[must_use]
+    pub fn memory(mut self, memory: Words) -> Self {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// Builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::InvalidQuantity`] / [`BalanceError::ZeroMemory`]
+    /// for missing or invalid fields (missing fields are reported as invalid
+    /// zero values).
+    pub fn build(self) -> Result<PeSpec, BalanceError> {
+        PeSpec::new(
+            self.comp_bw.unwrap_or(OpsPerSec::new(0.0)),
+            self.io_bw.unwrap_or(WordsPerSec::new(0.0)),
+            self.memory.unwrap_or(Words::ZERO),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warp_cell() -> PeSpec {
+        PeSpec::new(
+            OpsPerSec::new(10.0e6),
+            WordsPerSec::new(20.0e6),
+            Words::new(64 * 1024),
+        )
+        .expect("valid spec")
+    }
+
+    #[test]
+    fn machine_balance_is_c_over_io() {
+        assert_eq!(warp_cell().machine_balance(), 0.5);
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let spec = PeSpec::builder()
+            .comp_bw(OpsPerSec::new(1.0e6))
+            .io_bw(WordsPerSec::new(2.0e6))
+            .memory(Words::new(1024))
+            .build()
+            .unwrap();
+        assert_eq!(spec.comp_bw().get(), 1.0e6);
+        assert_eq!(spec.io_bw().get(), 2.0e6);
+        assert_eq!(spec.memory().get(), 1024);
+    }
+
+    #[test]
+    fn builder_rejects_missing_fields() {
+        assert!(PeSpec::builder().build().is_err());
+        assert!(PeSpec::builder()
+            .comp_bw(OpsPerSec::new(1.0))
+            .io_bw(WordsPerSec::new(1.0))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_quantities() {
+        assert!(matches!(
+            PeSpec::new(OpsPerSec::new(0.0), WordsPerSec::new(1.0), Words::new(1)),
+            Err(BalanceError::InvalidQuantity {
+                what: "computation bandwidth",
+                ..
+            })
+        ));
+        assert!(matches!(
+            PeSpec::new(
+                OpsPerSec::new(1.0),
+                WordsPerSec::new(f64::NAN),
+                Words::new(1)
+            ),
+            Err(BalanceError::InvalidQuantity {
+                what: "io bandwidth",
+                ..
+            })
+        ));
+        assert_eq!(
+            PeSpec::new(OpsPerSec::new(1.0), WordsPerSec::new(1.0), Words::ZERO),
+            Err(BalanceError::ZeroMemory)
+        );
+    }
+
+    #[test]
+    fn comp_scaling_changes_balance() {
+        let spec = warp_cell().with_comp_scaled(4.0).unwrap();
+        assert_eq!(spec.machine_balance(), 2.0);
+        assert_eq!(spec.memory(), warp_cell().memory());
+        assert!(warp_cell().with_comp_scaled(0.0).is_err());
+        assert!(warp_cell().with_comp_scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn with_memory_replaces_memory_only() {
+        let spec = warp_cell().with_memory(Words::new(1)).unwrap();
+        assert_eq!(spec.memory().get(), 1);
+        assert_eq!(spec.comp_bw(), warp_cell().comp_bw());
+        assert!(warp_cell().with_memory(Words::ZERO).is_err());
+    }
+
+    #[test]
+    fn aggregate_linear_array_raises_balance_p_fold() {
+        // Section 4.1: p PEs behind one I/O port => alpha = p.
+        let one = warp_cell();
+        let agg = one.aggregate(10).unwrap();
+        assert_eq!(agg.machine_balance(), one.machine_balance() * 10.0);
+        assert_eq!(agg.memory().get(), one.memory().get() * 10);
+        assert_eq!(agg.io_bw(), one.io_bw());
+    }
+
+    #[test]
+    fn aggregate_mesh_raises_balance_p_fold() {
+        // Section 4.2: p*p PEs with p-fold I/O => alpha = p.
+        let one = warp_cell();
+        let p = 8u64;
+        let agg = one.aggregate_scaled(p * p, p as f64).unwrap();
+        let ratio = agg.machine_balance() / one.machine_balance();
+        assert!((ratio - p as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_rejects_degenerate_inputs() {
+        assert!(warp_cell().aggregate(0).is_err());
+        assert!(warp_cell().aggregate_scaled(2, 0.0).is_err());
+        let huge = PeSpec::new(
+            OpsPerSec::new(1.0),
+            WordsPerSec::new(1.0),
+            Words::new(u64::MAX),
+        )
+        .unwrap();
+        assert!(matches!(
+            huge.aggregate(2),
+            Err(BalanceError::MemoryOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn display_renders_figure_1() {
+        let art = warp_cell().to_string();
+        assert!(art.contains("processing element"));
+        assert!(art.contains("C  ="));
+        assert!(art.contains("IO ="));
+        assert!(art.contains("M  ="));
+        assert!(art.contains("<=====>"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The rebalancing solver: the paper's central question, answered.
+//!
+//! > *Assume that a PE is balanced for a given computation. Now `C/IO` is
+//! > increased by a factor of α. To rebalance the PE for the same computation
+//! > (without increasing IO), by how much must `M` be increased?*
+//!
+//! [`rebalance`] answers it for any [`IntensityModel`]; [`RebalancePlan`]
+//! packages the answer together with the law that produced it.
+
+use core::fmt;
+
+use crate::error::BalanceError;
+use crate::growth::GrowthLaw;
+use crate::intensity::IntensityModel;
+use crate::pe::PeSpec;
+use crate::units::Words;
+
+/// The rebalance factor `α ≥ 1` by which `C/IO` increased.
+///
+/// A newtype so that α cannot be confused with intensities, balances, or
+/// memory growth factors in call sites.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::Alpha;
+///
+/// let a = Alpha::new(4.0)?;
+/// assert_eq!(a.get(), 4.0);
+/// assert!(Alpha::new(0.5).is_err());
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Alpha(f64);
+
+impl Alpha {
+    /// Validates and wraps a rebalance factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::AlphaBelowOne`] unless `value` is finite and
+    /// at least 1.
+    pub fn new(value: f64) -> Result<Self, BalanceError> {
+        if value.is_finite() && value >= 1.0 {
+            Ok(Alpha(value))
+        } else {
+            Err(BalanceError::AlphaBelowOne { value })
+        }
+    }
+
+    /// The raw factor.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The α implied by two machine configurations: the ratio of their
+    /// machine balances (new over old).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::AlphaBelowOne`] if the balance decreased
+    /// (the paper's question assumes growth).
+    pub fn between(old: &PeSpec, new: &PeSpec) -> Result<Self, BalanceError> {
+        Alpha::new(new.machine_balance() / old.machine_balance())
+    }
+}
+
+impl fmt::Display for Alpha {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α = {}", self.0)
+    }
+}
+
+/// The answer to the rebalancing question for one computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RebalancePlan {
+    /// The rebalance factor applied.
+    pub alpha: f64,
+    /// The memory before the bandwidth change.
+    pub old_memory: Words,
+    /// The minimum memory that restores balance.
+    pub new_memory: Words,
+    /// The growth law that produced `new_memory`.
+    pub law: GrowthLaw,
+}
+
+impl RebalancePlan {
+    /// The growth factor `M_new / M_old`.
+    #[must_use]
+    pub fn growth_factor(&self) -> f64 {
+        self.new_memory.as_f64() / self.old_memory.as_f64()
+    }
+}
+
+impl fmt::Display for RebalancePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "α = {:.3}: M {} → {} ({}, growth ×{:.3})",
+            self.alpha,
+            self.old_memory,
+            self.new_memory,
+            self.law,
+            self.growth_factor()
+        )
+    }
+}
+
+/// Computes the minimum new memory size that rebalances a PE whose `C/IO`
+/// rose by `alpha`, for a computation with intensity model `model`.
+///
+/// This is equation (1) of the paper applied to the model: the new memory
+/// must satisfy `r(M_new) = α · r(M_old)`.
+///
+/// # Errors
+///
+/// * [`BalanceError::IoBounded`] when the computation's intensity is
+///   constant in `M` (rebalancing impossible, §3.6);
+/// * [`BalanceError::ZeroMemory`] for degenerate old sizes;
+/// * [`BalanceError::MemoryOverflow`] when the answer exceeds `u64` (the
+///   paper's "unrealistically large" regime for FFT/sorting).
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::{rebalance, Alpha, IntensityModel, Words};
+///
+/// // Matrix multiplication, α = 2 ⇒ memory must quadruple (§3.1).
+/// let plan = rebalance(&IntensityModel::sqrt_m(1.0), Alpha::new(2.0)?, Words::new(256))?;
+/// assert_eq!(plan.new_memory.get(), 1024);
+///
+/// // FFT, α = 2 ⇒ memory must square (§3.4).
+/// let plan = rebalance(&IntensityModel::log2_m(1.0), Alpha::new(2.0)?, Words::new(1024))?;
+/// assert_eq!(plan.new_memory.get(), 1024 * 1024);
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+pub fn rebalance(
+    model: &IntensityModel,
+    alpha: Alpha,
+    old_memory: Words,
+) -> Result<RebalancePlan, BalanceError> {
+    let law = model.growth_law();
+    let new_memory = law.new_memory(alpha.get(), old_memory)?;
+    Ok(RebalancePlan {
+        alpha: alpha.get(),
+        old_memory,
+        new_memory,
+        law,
+    })
+}
+
+/// Computes `M_new` directly from the model by inverting the target
+/// intensity, rather than through the closed-form growth law.
+///
+/// Useful as a cross-check: for exact models the two answers agree (up to
+/// rounding); for fitted models with intercepts they may differ slightly.
+///
+/// # Errors
+///
+/// As [`rebalance`].
+pub fn rebalance_by_inversion(
+    model: &IntensityModel,
+    alpha: Alpha,
+    old_memory: Words,
+) -> Result<RebalancePlan, BalanceError> {
+    if old_memory.is_zero() {
+        return Err(BalanceError::ZeroMemory);
+    }
+    let r_old = model.eval_words(old_memory);
+    if r_old <= 0.0 {
+        return Err(BalanceError::ZeroMemory);
+    }
+    let m_new = model.inverse(alpha.get() * r_old)?;
+    if m_new >= u64::MAX as f64 {
+        return Err(BalanceError::MemoryOverflow { requested: m_new });
+    }
+    Ok(RebalancePlan {
+        alpha: alpha.get(),
+        old_memory,
+        new_memory: Words::from_f64_rounded(m_new),
+        law: model.growth_law(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{OpsPerSec, WordsPerSec};
+
+    #[test]
+    fn alpha_validation() {
+        assert!(Alpha::new(1.0).is_ok());
+        assert!(Alpha::new(7.5).is_ok());
+        assert!(Alpha::new(0.99).is_err());
+        assert!(Alpha::new(f64::INFINITY).is_err());
+        assert_eq!(Alpha::new(2.0).unwrap().to_string(), "α = 2");
+    }
+
+    #[test]
+    fn alpha_between_specs() {
+        let old = PeSpec::new(OpsPerSec::new(10.0), WordsPerSec::new(10.0), Words::new(4)).unwrap();
+        let new = PeSpec::new(OpsPerSec::new(40.0), WordsPerSec::new(10.0), Words::new(4)).unwrap();
+        assert_eq!(Alpha::between(&old, &new).unwrap().get(), 4.0);
+        assert!(Alpha::between(&new, &old).is_err());
+    }
+
+    #[test]
+    fn paper_summary_table_via_rebalance() {
+        let m0 = Words::new(4096);
+        let a = Alpha::new(2.0).unwrap();
+
+        // Matrix computations: α² = 4×.
+        let plan = rebalance(&IntensityModel::sqrt_m(0.5), a, m0).unwrap();
+        assert_eq!(plan.new_memory.get(), 4 * 4096);
+
+        // 3-D grid: α³ = 8×.
+        let plan = rebalance(&IntensityModel::root_m(3, 1.0), a, m0).unwrap();
+        assert_eq!(plan.new_memory.get(), 8 * 4096);
+
+        // FFT: M² (α = 2).
+        let plan = rebalance(&IntensityModel::log2_m(1.0), a, m0).unwrap();
+        assert_eq!(plan.new_memory.get(), 4096 * 4096);
+
+        // I/O-bounded: impossible.
+        assert_eq!(
+            rebalance(&IntensityModel::constant(2.0), a, m0),
+            Err(BalanceError::IoBounded)
+        );
+    }
+
+    #[test]
+    fn inversion_agrees_with_growth_law() {
+        let m0 = Words::new(900);
+        let a = Alpha::new(3.0).unwrap();
+        for model in [
+            IntensityModel::sqrt_m(0.7),
+            IntensityModel::root_m(3, 1.3),
+            IntensityModel::log2_m(0.9),
+        ] {
+            let by_law = rebalance(&model, a, m0).unwrap();
+            let by_inv = rebalance_by_inversion(&model, a, m0).unwrap();
+            let rel = (by_law.new_memory.as_f64() - by_inv.new_memory.as_f64()).abs()
+                / by_law.new_memory.as_f64();
+            assert!(rel < 1e-9, "{model}: law {by_law}, inv {by_inv}");
+        }
+    }
+
+    #[test]
+    fn inversion_rejects_degenerate_inputs() {
+        let a = Alpha::new(2.0).unwrap();
+        assert!(rebalance_by_inversion(&IntensityModel::sqrt_m(1.0), a, Words::ZERO).is_err());
+        // log2(1) = 0 intensity cannot be scaled.
+        assert!(rebalance_by_inversion(&IntensityModel::log2_m(1.0), a, Words::new(1)).is_err());
+        assert_eq!(
+            rebalance_by_inversion(&IntensityModel::constant(1.0), a, Words::new(64)),
+            Err(BalanceError::IoBounded)
+        );
+    }
+
+    #[test]
+    fn plan_reports_growth_factor_and_displays() {
+        let plan = rebalance(
+            &IntensityModel::sqrt_m(1.0),
+            Alpha::new(2.0).unwrap(),
+            Words::new(100),
+        )
+        .unwrap();
+        assert_eq!(plan.growth_factor(), 4.0);
+        let text = plan.to_string();
+        assert!(text.contains("100 words"));
+        assert!(text.contains("400 words"));
+        assert!(text.contains("×4"));
+    }
+}

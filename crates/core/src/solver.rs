@@ -1,0 +1,343 @@
+//! Numeric utilities: monotone bisection and measured-curve inversion.
+//!
+//! The closed-form laws in [`crate::intensity`] invert exactly; experiments,
+//! however, produce *measured* intensity curves with lower-order terms. This
+//! module inverts those numerically: [`MeasuredCurve`] interpolates a set of
+//! `(M, r)` samples monotonically in log–log space and answers the empirical
+//! rebalancing question "what memory did the measurements say we need?"
+//! without assuming any law shape.
+
+use crate::error::BalanceError;
+use crate::fit::DataPoint;
+
+/// Finds `x ∈ [lo, hi]` with `f(x) = target` for a non-decreasing `f`,
+/// by bisection.
+///
+/// # Errors
+///
+/// * [`BalanceError::SolverFailure`] if the bracket is invalid or the target
+///   is not enclosed by `[f(lo), f(hi)]`.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::solver::bisect_increasing;
+///
+/// let root = bisect_increasing(|x| x * x, 9.0, 0.0, 10.0, 1e-12, 200)?;
+/// assert!((root - 3.0).abs() < 1e-9);
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+pub fn bisect_increasing(
+    f: impl Fn(f64) -> f64,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, BalanceError> {
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(BalanceError::SolverFailure {
+            reason: "invalid bracket",
+        });
+    }
+    let flo = f(lo);
+    let fhi = f(hi);
+    if !(flo <= target && target <= fhi) {
+        return Err(BalanceError::SolverFailure {
+            reason: "target not bracketed",
+        });
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if (fm - target).abs() <= tol || (hi - lo) <= tol * mid.abs().max(1.0) {
+            return Ok(mid);
+        }
+        if fm < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// A measured intensity curve: sorted `(M, r)` samples with log–log
+/// interpolation and extrapolation.
+///
+/// The curve need not follow any particular law; it only needs to be
+/// (weakly) increasing in `M`, which every computation in the paper
+/// satisfies — more memory never hurts the best decomposition scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredCurve {
+    // Sorted by memory, strictly increasing memory, positive ratios.
+    points: Vec<DataPoint>,
+}
+
+impl MeasuredCurve {
+    /// Builds a curve from samples.
+    ///
+    /// Samples with non-positive memory or ratio are discarded; duplicates
+    /// (same `M`) are averaged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::InsufficientData`] if fewer than two distinct
+    /// memory sizes remain.
+    pub fn new(samples: &[DataPoint]) -> Result<Self, BalanceError> {
+        let mut pts: Vec<DataPoint> = samples
+            .iter()
+            .filter(|p| {
+                p.memory.is_finite() && p.memory > 0.0 && p.ratio.is_finite() && p.ratio > 0.0
+            })
+            .copied()
+            .collect();
+        pts.sort_by(|a, b| a.memory.total_cmp(&b.memory));
+        // Average duplicates.
+        let mut merged: Vec<DataPoint> = Vec::with_capacity(pts.len());
+        for p in pts {
+            match merged.last_mut() {
+                Some(last) if (last.memory - p.memory).abs() < f64::EPSILON * last.memory => {
+                    last.ratio = 0.5 * (last.ratio + p.ratio);
+                }
+                _ => merged.push(p),
+            }
+        }
+        if merged.len() < 2 {
+            return Err(BalanceError::InsufficientData {
+                points: merged.len(),
+            });
+        }
+        Ok(MeasuredCurve { points: merged })
+    }
+
+    /// The retained samples, sorted by memory.
+    #[must_use]
+    pub fn points(&self) -> &[DataPoint] {
+        &self.points
+    }
+
+    /// Interpolated ratio at memory `m` (log–log linear; extrapolates with
+    /// the slope of the nearest segment).
+    #[must_use]
+    pub fn ratio_at(&self, m: f64) -> f64 {
+        let pts = &self.points;
+        let lm = m.ln();
+        // Locate the segment.
+        let seg = match pts.iter().position(|p| p.memory >= m) {
+            Some(0) => (0, 1),
+            Some(i) => (i - 1, i),
+            None => (pts.len() - 2, pts.len() - 1),
+        };
+        let (a, b) = (pts[seg.0], pts[seg.1]);
+        let (xa, xb) = (a.memory.ln(), b.memory.ln());
+        let (ya, yb) = (a.ratio.ln(), b.ratio.ln());
+        let t = if (xb - xa).abs() < 1e-300 {
+            0.0
+        } else {
+            (lm - xa) / (xb - xa)
+        };
+        (ya + t * (yb - ya)).exp()
+    }
+
+    /// Inverts the curve: the memory at which the ratio reaches `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BalanceError::SolverFailure`] when the curve is not
+    /// increasing enough to extrapolate (flat tail — the I/O-bounded
+    /// signature) and the target lies above the measured range.
+    pub fn memory_for_ratio(&self, target: f64) -> Result<f64, BalanceError> {
+        if !(target.is_finite() && target > 0.0) {
+            return Err(BalanceError::UnreachableIntensity { target });
+        }
+        let first = self.points[0];
+        let last = *self.points.last().expect("at least two points");
+        if target <= first.ratio {
+            // Extrapolate below with the head segment slope.
+            return self.extrapolate(target, self.points[0], self.points[1]);
+        }
+        if target > last.ratio {
+            // Extrapolate above with the tail segment slope.
+            let n = self.points.len();
+            return self.extrapolate(target, self.points[n - 2], self.points[n - 1]);
+        }
+        // In range: bisect on the interpolated curve.
+        bisect_increasing(
+            |m| self.ratio_at(m),
+            target,
+            first.memory,
+            last.memory,
+            1e-9,
+            200,
+        )
+    }
+
+    /// The empirical rebalancing answer: the memory at which the measured
+    /// ratio is `alpha` times the measured ratio at `m_old`.
+    ///
+    /// # Errors
+    ///
+    /// As [`memory_for_ratio`](Self::memory_for_ratio).
+    pub fn empirical_rebalance(&self, alpha: f64, m_old: f64) -> Result<f64, BalanceError> {
+        if !(alpha.is_finite()) || alpha < 1.0 {
+            return Err(BalanceError::AlphaBelowOne { value: alpha });
+        }
+        let r_old = self.ratio_at(m_old);
+        self.memory_for_ratio(alpha * r_old)
+    }
+
+    /// The local log–log slope of the tail (an estimate of the exponent `e`
+    /// in `r ∝ M^e` at large `M`). Near-zero slope signals an I/O-bounded
+    /// computation.
+    #[must_use]
+    pub fn tail_slope(&self) -> f64 {
+        let n = self.points.len();
+        let a = self.points[n - 2];
+        let b = self.points[n - 1];
+        (b.ratio.ln() - a.ratio.ln()) / (b.memory.ln() - a.memory.ln())
+    }
+
+    fn extrapolate(&self, target: f64, a: DataPoint, b: DataPoint) -> Result<f64, BalanceError> {
+        let slope = (b.ratio.ln() - a.ratio.ln()) / (b.memory.ln() - a.memory.ln());
+        if slope <= 1e-6 {
+            return Err(BalanceError::SolverFailure {
+                reason: "curve is flat: intensity does not grow with memory",
+            });
+        }
+        // ln r = ln r_b + slope (ln m - ln m_b)  =>  ln m = ln m_b + (ln target - ln r_b)/slope
+        Ok((b.memory.ln() + (target.ln() - b.ratio.ln()) / slope).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sqrt_curve() -> MeasuredCurve {
+        let pts: Vec<DataPoint> = (4..=14)
+            .map(|k| {
+                let m = (1u64 << k) as f64;
+                DataPoint::new(m, 0.5 * m.sqrt())
+            })
+            .collect();
+        MeasuredCurve::new(&pts).unwrap()
+    }
+
+    #[test]
+    fn bisection_finds_roots() {
+        let x = bisect_increasing(|x| x.powi(3), 27.0, 0.0, 100.0, 1e-12, 300).unwrap();
+        assert!((x - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bisection_rejects_bad_brackets() {
+        assert!(bisect_increasing(|x| x, 5.0, 10.0, 0.0, 1e-9, 100).is_err());
+        assert!(bisect_increasing(|x| x, 50.0, 0.0, 10.0, 1e-9, 100).is_err());
+        assert!(bisect_increasing(|x| x, 5.0, f64::NAN, 10.0, 1e-9, 100).is_err());
+    }
+
+    #[test]
+    fn interpolation_is_exact_on_power_data() {
+        let curve = sqrt_curve();
+        // Log-log interpolation reproduces a pure power law exactly,
+        // including between samples.
+        assert!((curve.ratio_at(100.0) - 5.0).abs() < 1e-9);
+        assert!((curve.ratio_at(10_000.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_recovers_memory() {
+        let curve = sqrt_curve();
+        let m = curve.memory_for_ratio(10.0).unwrap(); // 0.5·√M = 10 → M = 400
+        assert!((m - 400.0).abs() / 400.0 < 1e-6);
+    }
+
+    #[test]
+    fn extrapolation_beyond_measured_range() {
+        let curve = sqrt_curve(); // up to M = 16384, r = 64
+        let m = curve.memory_for_ratio(128.0).unwrap(); // → M = 65536
+        assert!((m - 65536.0).abs() / 65536.0 < 1e-6);
+        let m = curve.memory_for_ratio(1.0).unwrap(); // below range → M = 4
+        assert!((m - 4.0).abs() / 4.0 < 1e-6);
+    }
+
+    #[test]
+    fn empirical_rebalance_matches_alpha_squared() {
+        // The whole point: measured √M data must yield M_new ≈ α²·M_old.
+        let curve = sqrt_curve();
+        for alpha in [2.0, 3.0, 4.0] {
+            let m_new = curve.empirical_rebalance(alpha, 256.0).unwrap();
+            let expected = alpha * alpha * 256.0;
+            assert!(
+                (m_new - expected).abs() / expected < 1e-6,
+                "alpha={alpha}: {m_new} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_rebalance_rejects_alpha_below_one() {
+        assert!(sqrt_curve().empirical_rebalance(0.5, 256.0).is_err());
+    }
+
+    #[test]
+    fn flat_curve_signals_io_bounded() {
+        let pts: Vec<DataPoint> = (4..=14)
+            .map(|k| DataPoint::new((1u64 << k) as f64, 2.0))
+            .collect();
+        let curve = MeasuredCurve::new(&pts).unwrap();
+        assert!(curve.tail_slope().abs() < 1e-9);
+        assert!(matches!(
+            curve.memory_for_ratio(4.0),
+            Err(BalanceError::SolverFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn log_curve_tail_slope_shrinks() {
+        let pts: Vec<DataPoint> = (4..=20)
+            .map(|k| {
+                let m = (1u64 << k) as f64;
+                DataPoint::new(m, m.log2())
+            })
+            .collect();
+        let curve = MeasuredCurve::new(&pts).unwrap();
+        // d(ln log2 m)/d(ln m) = 1/ln(m)·(1/log2(m))·... ≈ 0.075 at m = 2^20.
+        assert!(curve.tail_slope() < 0.12);
+        assert!(curve.tail_slope() > 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_averaged_and_junk_filtered() {
+        let pts = [
+            DataPoint::new(64.0, 4.0),
+            DataPoint::new(64.0, 6.0),
+            DataPoint::new(256.0, 10.0),
+            DataPoint::new(-1.0, 3.0),
+            DataPoint::new(128.0, f64::NAN),
+        ];
+        let curve = MeasuredCurve::new(&pts).unwrap();
+        assert_eq!(curve.points().len(), 2);
+        assert_eq!(curve.points()[0].ratio, 5.0);
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(MeasuredCurve::new(&[]).is_err());
+        assert!(MeasuredCurve::new(&[DataPoint::new(4.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let pts = [
+            DataPoint::new(1024.0, 16.0),
+            DataPoint::new(64.0, 4.0),
+            DataPoint::new(256.0, 8.0),
+        ];
+        let curve = MeasuredCurve::new(&pts).unwrap();
+        let ms: Vec<f64> = curve.points().iter().map(|p| p.memory).collect();
+        assert_eq!(ms, vec![64.0, 256.0, 1024.0]);
+    }
+}

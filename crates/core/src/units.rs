@@ -1,0 +1,356 @@
+//! Unit-safe newtypes for the quantities in the information model.
+//!
+//! The paper's model works with three kinds of quantities: memory sizes and
+//! traffic volumes in *words*, bandwidths in *per-second* rates, and times in
+//! *seconds*. Mixing them up is the classic source of silent errors in
+//! balance arithmetic, so each gets its own newtype ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A memory size or traffic volume, in words.
+///
+/// One I/O operation transfers one word to or from the PE, so both local
+/// memory capacity (`M`) and total I/O cost (`C_io`) are measured in words.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::units::Words;
+///
+/// let m = Words::new(64 * 1024);
+/// assert_eq!(m.get(), 65_536);
+/// assert_eq!(format!("{m}"), "65536 words");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Words(u64);
+
+impl Words {
+    /// Zero words.
+    pub const ZERO: Words = Words(0);
+
+    /// Creates a word count.
+    #[must_use]
+    pub const fn new(words: u64) -> Self {
+        Words(words)
+    }
+
+    /// Returns the raw count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count as `f64` (for ratio arithmetic).
+    #[must_use]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Creates a word count from a (non-negative, finite) float, rounding to
+    /// the nearest integer.
+    ///
+    /// Values are clamped at zero; NaN maps to zero. Infinite values saturate
+    /// at `u64::MAX`. This is the boundary where analytic answers (always
+    /// real-valued) get materialized into physical memory sizes.
+    #[must_use]
+    pub fn from_f64_rounded(value: f64) -> Self {
+        if value.is_nan() || value <= 0.0 {
+            Words(0)
+        } else if value >= u64::MAX as f64 {
+            Words(u64::MAX)
+        } else {
+            Words(value.round() as u64)
+        }
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Words) -> Words {
+        Words(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by a scalar.
+    #[must_use]
+    pub const fn checked_mul(self, factor: u64) -> Option<Words> {
+        match self.0.checked_mul(factor) {
+            Some(v) => Some(Words(v)),
+            None => None,
+        }
+    }
+
+    /// True when the count is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Words {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} words", self.0)
+    }
+}
+
+impl Add for Words {
+    type Output = Words;
+    fn add(self, rhs: Words) -> Words {
+        Words(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Words {
+    fn add_assign(&mut self, rhs: Words) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Words {
+    type Output = Words;
+    fn sub(self, rhs: Words) -> Words {
+        Words(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Words {
+    type Output = Words;
+    fn mul(self, rhs: u64) -> Words {
+        Words(self.0 * rhs)
+    }
+}
+
+impl Sum for Words {
+    fn sum<I: Iterator<Item = Words>>(iter: I) -> Words {
+        Words(iter.map(|w| w.0).sum())
+    }
+}
+
+impl From<u64> for Words {
+    fn from(value: u64) -> Self {
+        Words(value)
+    }
+}
+
+/// A computation bandwidth `C`, in operations per second.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::units::OpsPerSec;
+///
+/// // A 10-MFLOPS floating point unit (the Warp cell of the paper's Section 5).
+/// let c = OpsPerSec::new(10.0e6);
+/// assert_eq!(c.get(), 10.0e6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpsPerSec(f64);
+
+impl OpsPerSec {
+    /// Creates a computation bandwidth.
+    #[must_use]
+    pub const fn new(ops_per_sec: f64) -> Self {
+        OpsPerSec(ops_per_sec)
+    }
+
+    /// Returns the raw rate.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// True when the rate is finite and strictly positive.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 > 0.0
+    }
+
+    /// Scales the bandwidth by a factor (e.g. ganging `p` PEs together).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> OpsPerSec {
+        OpsPerSec(self.0 * factor)
+    }
+}
+
+impl fmt::Display for OpsPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} op/s", self.0)
+    }
+}
+
+/// An I/O bandwidth `IO`, in words per second.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::units::WordsPerSec;
+///
+/// // A 20-Mword/s inter-cell link (Warp).
+/// let io = WordsPerSec::new(20.0e6);
+/// assert!(io.is_valid());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WordsPerSec(f64);
+
+impl WordsPerSec {
+    /// Creates an I/O bandwidth.
+    #[must_use]
+    pub const fn new(words_per_sec: f64) -> Self {
+        WordsPerSec(words_per_sec)
+    }
+
+    /// Returns the raw rate.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// True when the rate is finite and strictly positive.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 > 0.0
+    }
+
+    /// Scales the bandwidth by a factor.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> WordsPerSec {
+        WordsPerSec(self.0 * factor)
+    }
+}
+
+impl fmt::Display for WordsPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} word/s", self.0)
+    }
+}
+
+/// A time duration, in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::units::Seconds;
+///
+/// let t = Seconds::new(1.5) + Seconds::new(0.5);
+/// assert_eq!(t.get(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Creates a duration.
+    #[must_use]
+    pub const fn new(seconds: f64) -> Self {
+        Seconds(seconds)
+    }
+
+    /// Returns the raw duration.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s", self.0)
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Div for Seconds {
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_arithmetic() {
+        let a = Words::new(100);
+        let b = Words::new(28);
+        assert_eq!((a + b).get(), 128);
+        assert_eq!((a - b).get(), 72);
+        assert_eq!((a * 3).get(), 300);
+        assert_eq!(a.saturating_sub(Words::new(200)), Words::ZERO);
+    }
+
+    #[test]
+    fn words_from_f64_boundaries() {
+        assert_eq!(Words::from_f64_rounded(-1.0), Words::ZERO);
+        assert_eq!(Words::from_f64_rounded(f64::NAN), Words::ZERO);
+        assert_eq!(Words::from_f64_rounded(2.4).get(), 2);
+        assert_eq!(Words::from_f64_rounded(2.5).get(), 3);
+        assert_eq!(Words::from_f64_rounded(f64::INFINITY).get(), u64::MAX);
+    }
+
+    #[test]
+    fn words_sum_and_ordering() {
+        let total: Words = [1u64, 2, 3].into_iter().map(Words::new).sum();
+        assert_eq!(total.get(), 6);
+        assert!(Words::new(5) < Words::new(6));
+        assert!(Words::new(0).is_zero());
+    }
+
+    #[test]
+    fn words_checked_mul_overflow() {
+        assert_eq!(Words::new(2).checked_mul(3), Some(Words::new(6)));
+        assert_eq!(Words::new(u64::MAX).checked_mul(2), None);
+    }
+
+    #[test]
+    fn bandwidth_validity() {
+        assert!(OpsPerSec::new(1.0).is_valid());
+        assert!(!OpsPerSec::new(0.0).is_valid());
+        assert!(!OpsPerSec::new(-5.0).is_valid());
+        assert!(!OpsPerSec::new(f64::NAN).is_valid());
+        assert!(!WordsPerSec::new(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn bandwidth_scaling() {
+        let c = OpsPerSec::new(10.0e6).scaled(4.0);
+        assert_eq!(c.get(), 40.0e6);
+        let io = WordsPerSec::new(20.0e6).scaled(0.5);
+        assert_eq!(io.get(), 10.0e6);
+    }
+
+    #[test]
+    fn seconds_arithmetic() {
+        let t = Seconds::new(3.0);
+        assert_eq!((t + Seconds::new(1.0)).get(), 4.0);
+        assert_eq!((t - Seconds::new(1.0)).get(), 2.0);
+        assert_eq!(t / Seconds::new(1.5), 2.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Words::new(42)), "42 words");
+        assert_eq!(format!("{}", OpsPerSec::new(2.0)), "2 op/s");
+        assert_eq!(format!("{}", WordsPerSec::new(3.0)), "3 word/s");
+        assert_eq!(format!("{}", Seconds::new(0.5)), "0.5 s");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the balance-model invariants.
+
+use balance_core::fit::{fit_best, DataPoint, FittedLaw};
+use balance_core::solver::{bisect_increasing, MeasuredCurve};
+use balance_core::{
+    rebalance, Alpha, BalanceError, CostProfile, GrowthLaw, IntensityModel, OpsPerSec, PeSpec,
+    Words, WordsPerSec,
+};
+use proptest::prelude::*;
+
+fn arb_power_model() -> impl Strategy<Value = IntensityModel> {
+    (0.05f64..10.0, 0.1f64..1.0)
+        .prop_map(|(coeff, exponent)| IntensityModel::Power { coeff, exponent })
+}
+
+fn arb_model() -> impl Strategy<Value = IntensityModel> {
+    prop_oneof![
+        arb_power_model(),
+        (0.05f64..10.0).prop_map(IntensityModel::log2_m),
+        (0.05f64..10.0).prop_map(IntensityModel::constant),
+    ]
+}
+
+proptest! {
+    /// r(inverse(t)) == t for every invertible model.
+    #[test]
+    fn inverse_is_right_inverse(model in arb_model(), target in 0.5f64..500.0) {
+        match model.inverse(target) {
+            Ok(m) => {
+                let r = model.eval(m);
+                prop_assert!((r - target).abs() / target < 1e-9,
+                    "model {model}: eval(inverse({target})) = {r}");
+            }
+            Err(BalanceError::IoBounded) => prop_assert!(model.is_io_bounded()),
+            Err(BalanceError::MemoryOverflow { .. }) => {
+                // Log models with tiny coefficients can demand > u64 memory.
+                let is_log = matches!(model, IntensityModel::Log2 { .. });
+                prop_assert!(is_log);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// inverse(r(M)) == M for invertible models over sensible memory sizes.
+    #[test]
+    fn inverse_is_left_inverse(model in arb_model(), m in 4.0f64..1.0e9) {
+        let r = model.eval(m);
+        if r > 0.0 {
+            match model.inverse(r) {
+                Ok(m2) => prop_assert!((m2 - m).abs() / m < 1e-6,
+                    "model {model}: inverse(eval({m})) = {m2}"),
+                Err(BalanceError::IoBounded) => prop_assert!(model.is_io_bounded()),
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+
+    /// The rebalanced memory indeed raises the model ratio by alpha.
+    #[test]
+    fn rebalance_achieves_alpha(
+        model in arb_model(),
+        alpha in 1.0f64..4.0,
+        m_old in 16u64..100_000,
+    ) {
+        let m_old = Words::new(m_old);
+        match rebalance(&model, Alpha::new(alpha).unwrap(), m_old) {
+            Ok(plan) => {
+                let r_old = model.eval_words(m_old);
+                let r_new = model.eval_words(plan.new_memory);
+                // Rounding to whole words costs a little accuracy at small M.
+                prop_assert!((r_new / r_old - alpha).abs() / alpha < 0.02,
+                    "model {model}, alpha {alpha}: ratio grew {}", r_new / r_old);
+            }
+            Err(BalanceError::IoBounded) => prop_assert!(model.is_io_bounded()),
+            Err(BalanceError::MemoryOverflow { .. }) => {
+                // Exponential law can overflow; that is the paper's point.
+                prop_assert!(matches!(model.growth_law(), GrowthLaw::Exponential));
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Growth factors are monotone in alpha.
+    #[test]
+    fn growth_monotone_in_alpha(
+        degree in 1.0f64..4.0,
+        a1 in 1.0f64..4.0,
+        a2 in 1.0f64..4.0,
+    ) {
+        let law = GrowthLaw::Polynomial { degree };
+        let m = Words::new(1024);
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        let g_lo = law.growth_factor(lo, m).unwrap();
+        let g_hi = law.growth_factor(hi, m).unwrap();
+        prop_assert!(g_lo <= g_hi + 1e-12);
+    }
+
+    /// Fitting recovers a planted power exponent to within 2%.
+    #[test]
+    fn fit_recovers_power_exponent(coeff in 0.1f64..5.0, exponent in 0.2f64..0.9) {
+        let pts: Vec<DataPoint> = (5..=17)
+            .map(|k| {
+                let m = (1u64 << k) as f64;
+                DataPoint::new(m, coeff * m.powf(exponent))
+            })
+            .collect();
+        let report = fit_best(&pts).unwrap();
+        match report.best {
+            FittedLaw::Power { exponent: e, .. } =>
+                prop_assert!((e - exponent).abs() < 0.02 * exponent.max(0.2)),
+            other => prop_assert!(false, "expected power law, got {other}"),
+        }
+    }
+
+    /// Fitting recovers a planted log law.
+    #[test]
+    fn fit_recovers_log_law(coeff in 0.2f64..5.0, intercept in 0.0f64..3.0) {
+        let pts: Vec<DataPoint> = (5..=17)
+            .map(|k| {
+                let m = (1u64 << k) as f64;
+                DataPoint::new(m, intercept + coeff * m.log2())
+            })
+            .collect();
+        let report = fit_best(&pts).unwrap();
+        prop_assert!(matches!(report.best, FittedLaw::Log2 { .. }),
+            "got {}", report.best);
+    }
+
+    /// MeasuredCurve::empirical_rebalance on planted power data matches
+    /// the alpha^(1/e) law without being told the law.
+    #[test]
+    fn curve_rebalance_matches_law(
+        exponent in 0.25f64..0.75,
+        alpha in 1.1f64..3.0,
+    ) {
+        let pts: Vec<DataPoint> = (4..=20)
+            .map(|k| {
+                let m = (1u64 << k) as f64;
+                DataPoint::new(m, 2.0 * m.powf(exponent))
+            })
+            .collect();
+        let curve = MeasuredCurve::new(&pts).unwrap();
+        let m_old = 4096.0;
+        let m_new = curve.empirical_rebalance(alpha, m_old).unwrap();
+        let expected = alpha.powf(1.0 / exponent) * m_old;
+        prop_assert!((m_new - expected).abs() / expected < 1e-3,
+            "exponent {exponent}, alpha {alpha}: {m_new} vs {expected}");
+    }
+
+    /// Bisection solves monotone targets it brackets.
+    #[test]
+    fn bisection_solves(target in 0.1f64..99.0) {
+        let x = bisect_increasing(|x| x, target, 0.0, 100.0, 1e-12, 200).unwrap();
+        prop_assert!((x - target).abs() < 1e-6);
+    }
+
+    /// Balance predicate: scaling C and IO by the same factor preserves the
+    /// balance state.
+    #[test]
+    fn balance_invariant_under_uniform_scaling(
+        comp in 1u64..1_000_000,
+        io in 1u64..1_000_000,
+        scale in 0.1f64..100.0,
+    ) {
+        let cost = CostProfile::new(comp, io);
+        let pe1 = PeSpec::new(OpsPerSec::new(50.0), WordsPerSec::new(10.0), Words::new(64)).unwrap();
+        let pe2 = PeSpec::new(
+            OpsPerSec::new(50.0 * scale),
+            WordsPerSec::new(10.0 * scale),
+            Words::new(64),
+        ).unwrap();
+        let s1 = cost.balance_state(&pe1, 0.05);
+        let s2 = cost.balance_state(&pe2, 0.05);
+        prop_assert_eq!(s1.is_balanced(), s2.is_balanced());
+    }
+
+    /// Aggregating p PEs behind one port multiplies machine balance by p.
+    #[test]
+    fn aggregate_alpha_is_p(p in 1u64..1000) {
+        let pe = PeSpec::new(OpsPerSec::new(7.0), WordsPerSec::new(3.0), Words::new(128)).unwrap();
+        let agg = pe.aggregate(p).unwrap();
+        let alpha = Alpha::between(&pe, &agg).unwrap();
+        prop_assert!((alpha.get() - p as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Errors raised by kernel execution.
+
+use core::fmt;
+
+use balance_machine::MachineError;
+
+/// Errors raised while running an instrumented kernel.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The simulated PE rejected an operation (usually: the working set did
+    /// not fit in `M`).
+    Machine(MachineError),
+    /// The supplied memory is below the kernel's minimum working set for
+    /// this problem size.
+    MemoryTooSmall {
+        /// Supplied memory, in words.
+        have: usize,
+        /// Minimum required, in words.
+        need: usize,
+    },
+    /// A parameter combination is unsupported.
+    BadParameters {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The computed output did not match the reference implementation.
+    VerificationFailed {
+        /// What was being verified.
+        what: &'static str,
+        /// Worst absolute/relative discrepancy observed.
+        max_error: f64,
+        /// The tolerance that was exceeded.
+        tolerance: f64,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Machine(e) => write!(f, "machine error: {e}"),
+            KernelError::MemoryTooSmall { have, need } => {
+                write!(f, "memory too small: have {have} words, need {need}")
+            }
+            KernelError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+            KernelError::VerificationFailed {
+                what,
+                max_error,
+                tolerance,
+            } => write!(
+                f,
+                "verification failed for {what}: max error {max_error:.3e} exceeds {tolerance:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for KernelError {
+    fn from(e: MachineError) -> Self {
+        KernelError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = KernelError::from(MachineError::ZeroStride);
+        assert!(e.to_string().contains("machine error"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = KernelError::MemoryTooSmall { have: 3, need: 12 };
+        assert!(e.to_string().contains("12"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = KernelError::VerificationFailed {
+            what: "matmul",
+            max_error: 1.0,
+            tolerance: 1e-9,
+        };
+        assert!(e.to_string().contains("matmul"));
+    }
+}

@@ -1,0 +1,424 @@
+//! Blocked out-of-core FFT (paper §3.4, Fig. 2).
+//!
+//! The paper decomposes an `N`-point FFT into sub-computation blocks small
+//! enough to run entirely inside the local memory, with results shuffled
+//! between passes (Fig. 2 shows `N = 16`, `M = 4`). Each block of `M` points
+//! performs `Θ(M·log₂M)` operations for `Θ(M)` words of I/O:
+//!
+//! ```text
+//! r(M) = Θ(log₂ M)      ⇒      M_new = M_old^α
+//! ```
+//!
+//! Hong & Kung (1981) proved this optimal in order of magnitude.
+//!
+//! The implementation is a radix-2 decimation-in-time FFT whose `log₂N`
+//! stages are grouped into passes of `μ = log₂B` stages (`B` complex points
+//! per block, `2B ≤ M` words). Within a pass, each block gathers `B`
+//! elements at stride `2^s0`, runs `μ` butterfly stages in memory with the
+//! correct global twiddles, and scatters the block back — exactly the
+//! paper's picture. [`decomposition`] reproduces Fig. 2 itself.
+//!
+//! Word accounting: one complex point = two words (re, im).
+
+use core::fmt;
+
+use balance_core::{CostProfile, IntensityModel, Words};
+use balance_machine::{ExternalStore, Pe};
+
+use crate::error::KernelError;
+use crate::reference;
+use crate::traits::{Kernel, KernelRun};
+use crate::workload;
+
+/// Blocked out-of-core FFT. Problem size `n` = number of complex points
+/// (must be a power of two).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fft;
+
+/// The largest block size (complex points) fitting in `m` words: the
+/// greatest power of two `B` with `2B ≤ m`, at least 2.
+#[must_use]
+pub fn block_points(m: usize) -> usize {
+    let max = (m / 2).max(2);
+    let mut b = 2usize;
+    while b * 2 <= max {
+        b *= 2;
+    }
+    b
+}
+
+impl Kernel for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn description(&self) -> &'static str {
+        "N-point radix-2 FFT in log_B(N) passes of in-memory B-point blocks (paper §3.4)"
+    }
+
+    fn intensity_model(&self) -> IntensityModel {
+        // Per block: 12 ops per butterfly × (B/2)·log₂B butterflies vs
+        // 4B words (gather + scatter): r ≈ (12/8)·log₂B ≈ 1.5·(log₂M − 1).
+        IntensityModel::log2_m(1.5)
+    }
+
+    fn analytic_cost(&self, n: usize, m: usize) -> CostProfile {
+        let b = block_points(m).min(n.max(2));
+        let mu = b.trailing_zeros() as u64;
+        let t = (n.max(2)).trailing_zeros() as u64;
+        let n64 = n as u64;
+        let passes = t.div_ceil(mu);
+        // Butterflies total: (N/2)·t, 12 ops each; bit-reversal is pure I/O.
+        let comp = 12 * (n64 / 2) * t;
+        // I/O: bit-reversal copy (4N words) + per pass gather+scatter (4N).
+        let io = 4 * n64 + passes * 4 * n64;
+        CostProfile::new(comp, io)
+    }
+
+    fn min_memory(&self, _n: usize) -> usize {
+        4 // one block of 2 complex points
+    }
+
+    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(KernelError::BadParameters {
+                reason: format!("FFT size must be a power of two >= 2, got {n}"),
+            });
+        }
+        if m < self.min_memory(n) {
+            return Err(KernelError::MemoryTooSmall {
+                have: m,
+                need: self.min_memory(n),
+            });
+        }
+        let t = n.trailing_zeros() as usize;
+        let b = block_points(m).min(n);
+        let mu = b.trailing_zeros() as usize;
+
+        let signal = workload::random_complex_signal(n, seed);
+        let mut store = ExternalStore::new();
+        let input = store.alloc_from(&signal);
+        let work = store.alloc(2 * n);
+
+        let mut pe = Pe::new(Words::new(m as u64));
+        let buf = pe.alloc(2 * b)?;
+
+        // --- Bit-reversal permutation pass (pure I/O) ---
+        for chunk0 in (0..n).step_by(b) {
+            let len = b.min(n - chunk0);
+            pe.load(&store, input.at(2 * chunk0, 2 * len)?, buf, 0)?;
+            for i in 0..len {
+                let g = chunk0 + i;
+                let rev = g.reverse_bits() >> (usize::BITS as usize - t);
+                pe.store(&mut store, buf, 2 * i, work.at(2 * rev, 2)?)?;
+            }
+        }
+
+        // --- Butterfly passes ---
+        let mut s0 = 0usize;
+        while s0 < t {
+            let mu_p = mu.min(t - s0);
+            let bp = 1usize << mu_p;
+            let stride = 1usize << s0; // index stride between block elements
+            let outer = 1usize << (s0 + mu_p);
+            for high in 0..(n / outer) {
+                for low in 0..stride {
+                    let base = high * outer + low;
+                    // Gather: re parts to buf[0..bp), im parts to buf[bp..2bp).
+                    pe.load_strided(&store, work.offset() + 2 * base, 2 * stride, bp, buf, 0)?;
+                    pe.load_strided(
+                        &store,
+                        work.offset() + 2 * base + 1,
+                        2 * stride,
+                        bp,
+                        buf,
+                        bp,
+                    )?;
+                    // In-memory stages s0 .. s0+mu_p.
+                    let ops = {
+                        let x = pe.buf_mut(buf)?;
+                        let mut ops = 0u64;
+                        for ls in 0..mu_p {
+                            let half = 1usize << ls;
+                            let span = half * 2;
+                            let s_global = s0 + ls;
+                            let period = 1usize << s_global; // 2^s
+                            for j0 in (0..bp).step_by(span) {
+                                for jj in 0..half {
+                                    let j1 = j0 + jj;
+                                    let j2 = j1 + half;
+                                    let g1 = base + j1 * stride;
+                                    let k = g1 & (period - 1); // g1 mod 2^s
+                                    let angle =
+                                        -std::f64::consts::PI * (k as f64) / (period as f64);
+                                    let (sn, cs) = angle.sin_cos();
+                                    let (ar, ai) = (x[j1], x[bp + j1]);
+                                    let (br, bi) = (x[j2], x[bp + j2]);
+                                    let (tr, ti) = (br * cs - bi * sn, br * sn + bi * cs);
+                                    x[j1] = ar + tr;
+                                    x[bp + j1] = ai + ti;
+                                    x[j2] = ar - tr;
+                                    x[bp + j2] = ai - ti;
+                                    ops += 12; // 2 trig + 4 mul + 6 add/sub
+                                }
+                            }
+                        }
+                        ops
+                    };
+                    pe.count_ops(ops);
+                    // Scatter back.
+                    pe.store_strided(&mut store, buf, 0, work.offset() + 2 * base, 2 * stride, bp)?;
+                    pe.store_strided(
+                        &mut store,
+                        buf,
+                        bp,
+                        work.offset() + 2 * base + 1,
+                        2 * stride,
+                        bp,
+                    )?;
+                }
+            }
+            s0 += mu_p;
+        }
+
+        // Verify against the in-memory reference FFT.
+        let want = reference::fft(&signal);
+        let got = store.slice(work);
+        let err = reference::max_abs_diff(&want, got);
+        let tol = 1e-9 * (n as f64).sqrt().max(1.0);
+        if err > tol {
+            return Err(KernelError::VerificationFailed {
+                what: "fft",
+                max_error: err,
+                tolerance: tol,
+            });
+        }
+
+        Ok(KernelRun {
+            n,
+            m,
+            execution: pe.execution(),
+        })
+    }
+}
+
+/// The paper's Fig. 2: the block/shuffle structure of a blocked FFT.
+///
+/// For `N = 2^t` points and blocks of `B = 2^μ` points, the FFT runs in
+/// `⌈t/μ⌉` passes; pass `p` covers butterfly stages `[p·μ, min((p+1)·μ, t))`
+/// and partitions the `N` signal indices into `N/B'` blocks that can each be
+/// computed entirely in local memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FftDecomposition {
+    /// Number of points `N`.
+    pub n: usize,
+    /// Block size in complex points.
+    pub block: usize,
+    /// The passes, in execution order.
+    pub passes: Vec<FftPass>,
+}
+
+/// One pass of the decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FftPass {
+    /// Butterfly stages `[from, to)` executed by this pass.
+    pub stages: (usize, usize),
+    /// The index blocks; each inner vector lists the global indices (in
+    /// natural, pre-bit-reversal order of the work array) handled by one
+    /// in-memory sub-computation.
+    pub blocks: Vec<Vec<usize>>,
+}
+
+/// Computes the block decomposition of an `n`-point FFT with `block`-point
+/// in-memory blocks (both powers of two).
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadParameters`] unless both arguments are powers
+/// of two with `2 ≤ block ≤ n`.
+pub fn decomposition(n: usize, block: usize) -> Result<FftDecomposition, KernelError> {
+    if !n.is_power_of_two() || !block.is_power_of_two() || block < 2 || block > n {
+        return Err(KernelError::BadParameters {
+            reason: format!("need powers of two with 2 <= block <= n, got n={n}, block={block}"),
+        });
+    }
+    let t = n.trailing_zeros() as usize;
+    let mu = block.trailing_zeros() as usize;
+    let mut passes = Vec::new();
+    let mut s0 = 0usize;
+    while s0 < t {
+        let mu_p = mu.min(t - s0);
+        let bp = 1usize << mu_p;
+        let stride = 1usize << s0;
+        let outer = 1usize << (s0 + mu_p);
+        let mut blocks = Vec::with_capacity(n / bp);
+        for high in 0..(n / outer) {
+            for low in 0..stride {
+                let base = high * outer + low;
+                blocks.push((0..bp).map(|j| base + j * stride).collect());
+            }
+        }
+        passes.push(FftPass {
+            stages: (s0, s0 + mu_p),
+            blocks,
+        });
+        s0 += mu_p;
+    }
+    Ok(FftDecomposition { n, block, passes })
+}
+
+impl fmt::Display for FftDecomposition {
+    /// Renders the decomposition in the style of the paper's Fig. 2(b):
+    /// one line per block, grouped by pass, shuffles implied between passes.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}-point FFT decomposed into {}-point in-memory blocks:",
+            self.n, self.block
+        )?;
+        for (p, pass) in self.passes.iter().enumerate() {
+            writeln!(
+                f,
+                "pass {} (stages {}..{}):",
+                p + 1,
+                pass.stages.0,
+                pass.stages.1
+            )?;
+            for block in &pass.blocks {
+                let items: Vec<String> = block.iter().map(|i| format!("{i:>3}")).collect();
+                writeln!(f, "  [{}]", items.join(" "))?;
+            }
+            if p + 1 < self.passes.len() {
+                writeln!(f, "  --- shuffle ---")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_points_fits() {
+        assert_eq!(block_points(4), 2);
+        assert_eq!(block_points(7), 2);
+        assert_eq!(block_points(8), 4);
+        assert_eq!(block_points(1024), 512);
+        for m in [4usize, 9, 100, 4096] {
+            assert!(2 * block_points(m) <= m.max(4));
+        }
+    }
+
+    #[test]
+    fn fft_verifies_across_sizes_and_memories() {
+        for (n, m) in [(8, 4), (16, 4), (64, 8), (256, 32), (1024, 64)] {
+            let run = Fft.run(n, m, 11).unwrap();
+            assert!(run.execution.cost.comp_ops() > 0, "n={n}, m={m}");
+        }
+    }
+
+    #[test]
+    fn comp_ops_are_12_per_butterfly() {
+        let (n, m) = (64, 16);
+        let run = Fft.run(n, m, 1).unwrap();
+        let t = 6u64;
+        assert_eq!(run.execution.cost.comp_ops(), 12 * (n as u64 / 2) * t);
+    }
+
+    #[test]
+    fn io_matches_analytic_model_when_stages_divide() {
+        // t divisible by mu: every pass is full.
+        let (n, m) = (4096, 32); // t = 12, mu = 4 -> 3 passes
+        let run = Fft.run(n, m, 2).unwrap();
+        let analytic = Fft.analytic_cost(n, m);
+        assert_eq!(run.execution.cost.io_words(), analytic.io_words());
+    }
+
+    #[test]
+    fn intensity_grows_logarithmically() {
+        let n = 4096;
+        let r16 = Fft.run(n, 2 * 16, 3).unwrap().intensity(); // B = 16
+        let r256 = Fft.run(n, 2 * 256, 3).unwrap().intensity(); // B = 256
+                                                                // log2 B: 4 vs 8 -> passes 3 vs ceil(12/8)=2.
+                                                                // ratio of intensities should be well under 2b-growth but > 1.
+        assert!(r256 > r16, "r16={r16}, r256={r256}");
+        assert!(r256 / r16 < 3.0);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(matches!(
+            Fft.run(12, 64, 0),
+            Err(KernelError::BadParameters { .. })
+        ));
+        assert!(matches!(
+            Fft.run(1, 64, 0),
+            Err(KernelError::BadParameters { .. })
+        ));
+        assert!(matches!(
+            Fft.run(16, 3, 0),
+            Err(KernelError::MemoryTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn peak_memory_within_m() {
+        let run = Fft.run(256, 40, 4).unwrap();
+        assert!(run.execution.peak_memory.get() <= 40);
+    }
+
+    #[test]
+    fn figure_2_structure_n16_m4() {
+        // The paper's exact example: 16-point FFT, 4-point blocks.
+        let d = decomposition(16, 4).unwrap();
+        assert_eq!(d.passes.len(), 2);
+        // Pass 1: stages 0..2, blocks of consecutive indices.
+        assert_eq!(d.passes[0].stages, (0, 2));
+        assert_eq!(d.passes[0].blocks.len(), 4);
+        assert_eq!(d.passes[0].blocks[0], vec![0, 1, 2, 3]);
+        assert_eq!(d.passes[0].blocks[3], vec![12, 13, 14, 15]);
+        // Pass 2: stages 2..4, blocks strided by 4 (the shuffle).
+        assert_eq!(d.passes[1].stages, (2, 4));
+        assert_eq!(d.passes[1].blocks[0], vec![0, 4, 8, 12]);
+        assert_eq!(d.passes[1].blocks[1], vec![1, 5, 9, 13]);
+    }
+
+    #[test]
+    fn decomposition_blocks_partition_indices() {
+        for (n, b) in [(16, 4), (64, 4), (64, 8), (256, 16), (32, 2)] {
+            let d = decomposition(n, b).unwrap();
+            for pass in &d.passes {
+                let mut all: Vec<usize> = pass.blocks.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n}, b={b}");
+                for block in &pass.blocks {
+                    assert!(block.len() <= b);
+                }
+            }
+            // Stage coverage: passes tile 0..t.
+            let t = n.trailing_zeros() as usize;
+            assert_eq!(d.passes.first().unwrap().stages.0, 0);
+            assert_eq!(d.passes.last().unwrap().stages.1, t);
+        }
+    }
+
+    #[test]
+    fn decomposition_rejects_bad_args() {
+        assert!(decomposition(12, 4).is_err());
+        assert!(decomposition(16, 3).is_err());
+        assert!(decomposition(16, 1).is_err());
+        assert!(decomposition(8, 16).is_err());
+    }
+
+    #[test]
+    fn display_renders_figure() {
+        let d = decomposition(16, 4).unwrap();
+        let art = d.to_string();
+        assert!(art.contains("pass 1"));
+        assert!(art.contains("pass 2"));
+        assert!(art.contains("shuffle"));
+        assert!(art.contains("[  0   4   8  12]"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Row-major matrix views over the external store, with counted block I/O.
+//!
+//! All matrix kernels move data in `rows × cols` blocks. A [`MatrixHandle`]
+//! names an `R × C` matrix living in a store [`Region`]; [`load_block`] and
+//! [`store_block`] transfer sub-blocks through the PE row by row (each row of
+//! a block is contiguous in the store), counting every word.
+
+use balance_machine::{BufferId, ExternalStore, MachineError, Pe, Region};
+
+/// A row-major `rows × cols` matrix stored in an external-store region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixHandle {
+    region: Region,
+    rows: usize,
+    cols: usize,
+}
+
+impl MatrixHandle {
+    /// Wraps a region as a matrix view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region size does not equal `rows * cols` (harness bug,
+    /// not kernel input).
+    #[must_use]
+    pub fn new(region: Region, rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            region.len(),
+            rows * cols,
+            "region size must match matrix shape"
+        );
+        MatrixHandle { region, rows, cols }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The backing region.
+    #[must_use]
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The store region of `len` elements of row `r` starting at column `c0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors as [`MachineError::StoreOutOfBounds`].
+    pub fn row_segment(&self, r: usize, c0: usize, len: usize) -> Result<Region, MachineError> {
+        if r >= self.rows || c0 + len > self.cols {
+            return Err(MachineError::StoreOutOfBounds {
+                offset: r * self.cols + c0,
+                len,
+                size: self.region.len(),
+            });
+        }
+        self.region.at(r * self.cols + c0, len)
+    }
+
+    /// Uncounted full read of the matrix (harness-side verification).
+    #[must_use]
+    pub fn snapshot(&self, store: &ExternalStore) -> Vec<f64> {
+        store.slice(self.region).to_vec()
+    }
+
+    /// Uncounted full write of the matrix (harness-side input setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length differs from the matrix size.
+    pub fn fill(&self, store: &mut ExternalStore, data: &[f64]) {
+        store.slice_mut(self.region).copy_from_slice(data);
+    }
+}
+
+/// Loads the `rows × cols` block at `(r0, c0)` of `mat` into `buf`
+/// (row-major, packed), counting `rows·cols` words of I/O.
+///
+/// # Errors
+///
+/// Bounds errors from the store or the buffer.
+#[allow(clippy::too_many_arguments)] // (r0, c0, rows, cols) is a block address
+pub fn load_block(
+    pe: &mut Pe,
+    store: &ExternalStore,
+    mat: &MatrixHandle,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    buf: BufferId,
+) -> Result<(), MachineError> {
+    for r in 0..rows {
+        let region = mat.row_segment(r0 + r, c0, cols)?;
+        pe.load(store, region, buf, r * cols)?;
+    }
+    Ok(())
+}
+
+/// Stores a packed `rows × cols` block from `buf` to `(r0, c0)` of `mat`,
+/// counting `rows·cols` words of I/O.
+///
+/// # Errors
+///
+/// Bounds errors from the store or the buffer.
+#[allow(clippy::too_many_arguments)] // (r0, c0, rows, cols) is a block address
+pub fn store_block(
+    pe: &mut Pe,
+    store: &mut ExternalStore,
+    mat: &MatrixHandle,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    buf: BufferId,
+) -> Result<(), MachineError> {
+    for r in 0..rows {
+        let region = mat.row_segment(r0 + r, c0, cols)?;
+        pe.store(store, buf, r * cols, region)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_core::Words;
+
+    fn setup() -> (ExternalStore, MatrixHandle) {
+        let mut store = ExternalStore::new();
+        let data: Vec<f64> = (0..12).map(f64::from).collect();
+        let region = store.alloc_from(&data);
+        let mat = MatrixHandle::new(region, 3, 4);
+        (store, mat)
+    }
+
+    #[test]
+    fn row_segments_index_row_major() {
+        let (store, mat) = setup();
+        let seg = mat.row_segment(1, 1, 2).unwrap();
+        assert_eq!(store.slice(seg), &[5.0, 6.0]);
+        assert!(mat.row_segment(3, 0, 1).is_err());
+        assert!(mat.row_segment(0, 3, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "region size")]
+    fn shape_mismatch_panics() {
+        let mut store = ExternalStore::new();
+        let region = store.alloc(10);
+        let _ = MatrixHandle::new(region, 3, 4);
+    }
+
+    #[test]
+    fn block_roundtrip_counts_io() {
+        let (mut store, mat) = setup();
+        let mut pe = Pe::new(Words::new(16));
+        let buf = pe.alloc(4).unwrap();
+        // Load the 2x2 block at (1,1): [[5,6],[9,10]].
+        load_block(&mut pe, &store, &mat, 1, 1, 2, 2, buf).unwrap();
+        assert_eq!(pe.buf(buf).unwrap(), &[5.0, 6.0, 9.0, 10.0]);
+        assert_eq!(pe.io_reads(), 4);
+        // Scale and write back.
+        for v in pe.buf_mut(buf).unwrap() {
+            *v *= 2.0;
+        }
+        store_block(&mut pe, &mut store, &mat, 1, 1, 2, 2, buf).unwrap();
+        assert_eq!(pe.io_writes(), 4);
+        assert_eq!(
+            mat.snapshot(&store),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 10.0, 12.0, 7.0, 8.0, 18.0, 20.0, 11.0]
+        );
+    }
+
+    #[test]
+    fn fill_and_snapshot_roundtrip() {
+        let (mut store, mat) = setup();
+        let new_data: Vec<f64> = (0..12).map(|i| f64::from(i) * 0.5).collect();
+        mat.fill(&mut store, &new_data);
+        assert_eq!(mat.snapshot(&store), new_data);
+    }
+
+    #[test]
+    fn out_of_bounds_block_fails() {
+        let (store, mat) = setup();
+        let mut pe = Pe::new(Words::new(64));
+        let buf = pe.alloc(64).unwrap();
+        assert!(load_block(&mut pe, &store, &mat, 2, 2, 2, 2, buf).is_err());
+    }
+}

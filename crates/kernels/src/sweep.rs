@@ -1,0 +1,159 @@
+//! Memory sweeps: measure `r(M)` curves from real kernel runs.
+//!
+//! This is the measurement half of every experiment: run a kernel at a fixed
+//! problem size across a range of memory sizes, collect the measured
+//! `(M, C_comp/C_io)` points, and hand them to `balance-core`'s fitting and
+//! curve-inversion machinery.
+
+use balance_core::fit::{fit_best, DataPoint, FitReport};
+use balance_core::solver::MeasuredCurve;
+use balance_core::BalanceError;
+
+use crate::error::KernelError;
+use crate::traits::{Kernel, KernelRun};
+
+/// Parameters of one memory sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Problem size passed to every run.
+    pub n: usize,
+    /// Memory sizes to measure, in words.
+    pub memories: Vec<usize>,
+    /// Workload seed (same inputs at every memory size).
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// A sweep over powers of two `2^lo ..= 2^hi`.
+    #[must_use]
+    pub fn pow2(n: usize, lo: u32, hi: u32, seed: u64) -> Self {
+        SweepConfig {
+            n,
+            memories: (lo..=hi).map(|k| 1usize << k).collect(),
+            seed,
+        }
+    }
+}
+
+/// The measured result of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Measured `(M, intensity)` samples.
+    pub points: Vec<DataPoint>,
+    /// The underlying verified runs.
+    pub runs: Vec<KernelRun>,
+}
+
+impl SweepResult {
+    /// The measured intensity curve (log–log interpolable).
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InsufficientData`] with fewer than two samples.
+    pub fn curve(&self) -> Result<MeasuredCurve, BalanceError> {
+        MeasuredCurve::new(&self.points)
+    }
+
+    /// Fits the paper's candidate laws to the measured points.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InsufficientData`] with fewer than two samples.
+    pub fn fit(&self) -> Result<FitReport, BalanceError> {
+        fit_best(&self.points)
+    }
+}
+
+/// Runs `kernel` at every memory size in the sweep; skips sizes below the
+/// kernel's minimum. Every run is verified.
+///
+/// # Errors
+///
+/// Propagates the first kernel failure (including verification failures —
+/// a sweep with wrong numerics must not produce data).
+pub fn intensity_sweep(kernel: &dyn Kernel, cfg: &SweepConfig) -> Result<SweepResult, KernelError> {
+    let mut points = Vec::new();
+    let mut runs = Vec::new();
+    for &m in &cfg.memories {
+        if m < kernel.min_memory(cfg.n) {
+            continue;
+        }
+        let run = kernel.run(cfg.n, m, cfg.seed)?;
+        points.push(DataPoint::new(m as f64, run.intensity()));
+        runs.push(run);
+    }
+    Ok(SweepResult {
+        kernel: kernel.name(),
+        points,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::MatMul;
+    use crate::matvec::MatVec;
+    use balance_core::fit::FittedLaw;
+    use balance_core::GrowthLaw;
+
+    #[test]
+    fn pow2_config() {
+        let cfg = SweepConfig::pow2(10, 4, 7, 1);
+        assert_eq!(cfg.memories, vec![16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn matmul_sweep_fits_sqrt_law() {
+        let cfg = SweepConfig::pow2(48, 5, 11, 42);
+        let result = intensity_sweep(&MatMul, &cfg).unwrap();
+        assert!(result.points.len() >= 6);
+        let fit = result.fit().unwrap();
+        match fit.best {
+            FittedLaw::Power { exponent, .. } => {
+                assert!((exponent - 0.5).abs() < 0.12, "fitted exponent {exponent}");
+            }
+            other => panic!("expected power law, got {other}"),
+        }
+    }
+
+    #[test]
+    fn matvec_sweep_fits_constant_law() {
+        let cfg = SweepConfig::pow2(64, 5, 12, 42);
+        let result = intensity_sweep(&MatVec, &cfg).unwrap();
+        let fit = result.fit().unwrap();
+        assert_eq!(
+            fit.best.growth_law(),
+            GrowthLaw::Impossible,
+            "got {}",
+            fit.best
+        );
+    }
+
+    #[test]
+    fn sweep_skips_too_small_memories() {
+        let cfg = SweepConfig {
+            n: 16,
+            memories: vec![1, 2, 64],
+            seed: 0,
+        };
+        let result = intensity_sweep(&MatMul, &cfg).unwrap();
+        assert_eq!(result.points.len(), 1);
+    }
+
+    #[test]
+    fn curve_supports_empirical_rebalance() {
+        let cfg = SweepConfig::pow2(48, 5, 11, 7);
+        let result = intensity_sweep(&MatMul, &cfg).unwrap();
+        let curve = result.curve().unwrap();
+        // alpha = 2 on sqrt-law data: memory should grow ~4x.
+        let m_new = curve.empirical_rebalance(2.0, 256.0).unwrap();
+        let factor = m_new / 256.0;
+        assert!(
+            (2.5..6.5).contains(&factor),
+            "empirical growth factor {factor}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! The [`Kernel`] abstraction: one instrumented computation.
+//!
+//! A kernel bundles, for one of the paper's computations:
+//!
+//! * the **analytic cost model** (`C_comp`, `C_io` as closed forms in `N`
+//!   and `M`),
+//! * the **intensity model** `r(M)` (the paper's Θ-shape),
+//! * the **operational algorithm**: the out-of-core implementation that runs
+//!   on the simulated PE, verifies its own output against a reference, and
+//!   reports the *measured* cost profile.
+//!
+//! The experiments compare the three: measured ≈ analytic, and fitted
+//! measured shape ≈ the paper's law.
+
+use balance_core::{CostProfile, Execution, IntensityModel};
+
+use crate::error::KernelError;
+
+/// The result of one instrumented, verified kernel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelRun {
+    /// Problem size `N` (kernel-specific meaning; documented per kernel).
+    pub n: usize,
+    /// Local memory `M` available, in words.
+    pub m: usize,
+    /// Measured costs and peak memory.
+    pub execution: Execution,
+}
+
+impl KernelRun {
+    /// The measured intensity `C_comp / C_io`.
+    #[must_use]
+    pub fn intensity(&self) -> f64 {
+        self.execution.intensity()
+    }
+}
+
+/// One of the paper's computations, instrumented.
+///
+/// Implementations guarantee:
+///
+/// * `run` executes the computation *within* `m` words of simulated local
+///   memory (allocation failures surface as errors rather than silently
+///   overflowing `M`);
+/// * `run` verifies its numeric output against an uninstrumented reference
+///   and fails with [`KernelError::VerificationFailed`] on mismatch;
+/// * the returned counts include every word moved and every operation
+///   performed.
+pub trait Kernel {
+    /// Short identifier (e.g. `"matmul"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description of the computation and its paper section.
+    fn description(&self) -> &'static str;
+
+    /// The paper's intensity model `r(M)` for this computation, with a
+    /// representative leading constant.
+    fn intensity_model(&self) -> IntensityModel;
+
+    /// Closed-form cost estimate for problem size `n` under memory `m`.
+    fn analytic_cost(&self, n: usize, m: usize) -> CostProfile;
+
+    /// The smallest memory (words) for which `run(n, m, …)` is supported.
+    fn min_memory(&self, n: usize) -> usize;
+
+    /// Runs the instrumented computation and verifies the result.
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::MemoryTooSmall`] / [`KernelError::BadParameters`]
+    ///   for unsupported parameters;
+    /// * [`KernelError::Machine`] if the algorithm exceeds `m` (a blocking
+    ///   bug — treated as a test failure);
+    /// * [`KernelError::VerificationFailed`] if the output is wrong.
+    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError>;
+
+    /// True for computations whose intensity saturates (paper §3.6).
+    fn io_bounded(&self) -> bool {
+        self.intensity_model().is_io_bounded()
+    }
+}
+
+/// All kernels from the paper, in Section-3 order.
+#[must_use]
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(crate::matmul::MatMul),
+        Box::new(crate::triangularization::Triangularization),
+        Box::new(crate::grid::GridRelaxation::new(2)),
+        Box::new(crate::grid::GridRelaxation::new(3)),
+        Box::new(crate::fft::Fft),
+        Box::new(crate::sorting::ExternalSort),
+        Box::new(crate::matvec::MatVec),
+        Box::new(crate::trisolve::TriSolve),
+    ]
+}
+
+/// The extension kernels (computations beyond the paper's table,
+/// characterized with the same methodology — the "further work" its
+/// conclusion invites).
+#[must_use]
+pub fn extension_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(crate::convolution::Convolution::new(16)),
+        Box::new(crate::transpose::Transpose),
+        Box::new(crate::multi_matvec::MultiMatVec::new(8)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_summary_table() {
+        let kernels = all_kernels();
+        let names: Vec<&str> = kernels.iter().map(|k| k.name()).collect();
+        for expected in [
+            "matmul",
+            "triangularization",
+            "grid2d",
+            "grid3d",
+            "fft",
+            "sort",
+            "matvec",
+            "trisolve",
+        ] {
+            assert!(names.contains(&expected), "missing kernel {expected}");
+        }
+    }
+
+    #[test]
+    fn io_bounded_flags_match_the_paper() {
+        for k in all_kernels() {
+            let expected = matches!(k.name(), "matvec" | "trisolve");
+            assert_eq!(k.io_bounded(), expected, "kernel {}", k.name());
+        }
+    }
+}

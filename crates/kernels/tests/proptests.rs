@@ -1,0 +1,123 @@
+//! Property-based tests: the out-of-core kernels agree with naive references
+//! for arbitrary (small) problem sizes, memory sizes, and seeds — and their
+//! cost accounting obeys structural invariants.
+
+use balance_core::IntensityModel;
+use balance_kernels::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked matmul verifies (internally, against naive) for arbitrary
+    /// shapes and memory sizes, and its op count is exactly 2n³.
+    #[test]
+    fn matmul_correct_for_any_blocking(n in 1usize..24, m in 3usize..600, seed in 0u64..50) {
+        let run = MatMul.run(n, m, seed).unwrap();
+        prop_assert_eq!(run.execution.cost.comp_ops(), 2 * (n as u64).pow(3));
+        prop_assert!(run.execution.peak_memory.get() as usize <= m);
+    }
+
+    /// Blocked LU verifies for arbitrary shapes/memories.
+    #[test]
+    fn lu_correct_for_any_blocking(n in 1usize..20, m in 3usize..400, seed in 0u64..50) {
+        let run = Triangularization.run(n, m, seed).unwrap();
+        prop_assert!(run.execution.peak_memory.get() as usize <= m);
+    }
+
+    /// External sort verifies (sortedness + permutation) for arbitrary
+    /// sizes; I/O is a multiple of 2n (each word crosses in and out once
+    /// per level).
+    #[test]
+    fn sort_correct_and_io_is_leveled(n in 1usize..600, m in 8usize..128, seed in 0u64..50) {
+        let run = ExternalSort.run(n, m, seed).unwrap();
+        let io = run.execution.cost.io_words();
+        prop_assert_eq!(io % (2 * n as u64), 0, "io {} not a multiple of 2n", io);
+        prop_assert!(run.execution.peak_memory.get() as usize <= m);
+    }
+
+    /// Blocked FFT verifies against the reference for any power-of-two size
+    /// and block size.
+    #[test]
+    fn fft_correct_for_any_blocking(logn in 1u32..9, m in 4usize..256, seed in 0u64..50) {
+        let n = 1usize << logn;
+        let run = Fft.run(n, m, seed).unwrap();
+        let t = u64::from(logn);
+        prop_assert_eq!(run.execution.cost.comp_ops(), 12 * (n as u64 / 2) * t);
+    }
+
+    /// Grid relaxation verifies (bit-exact halo plumbing) for every
+    /// dimension and arbitrary iteration counts.
+    #[test]
+    fn grid_correct_for_all_dims(d in 1usize..=4, iters in 1usize..6, extra in 0usize..200, seed in 0u64..50) {
+        let k = GridRelaxation::new(d);
+        let m = k.min_memory(iters) + extra;
+        let run = k.run(iters, m, seed).unwrap();
+        let s = k.tile_side(m) as u64;
+        let expected_ops = iters as u64 * (2 * d as u64 + 1) * s.pow(d as u32);
+        prop_assert_eq!(run.execution.cost.comp_ops(), expected_ops);
+    }
+
+    /// Matvec and trisolve verify and stay I/O-bounded: intensity never
+    /// exceeds the constant bound regardless of memory.
+    #[test]
+    fn io_bounded_kernels_saturate(n in 4usize..48, m in 4usize..2000, seed in 0u64..50) {
+        let mv = MatVec.run(n, m.max(3), seed).unwrap();
+        prop_assert!(mv.intensity() <= 2.01, "matvec intensity {}", mv.intensity());
+        let ts = TriSolve.run(n, m.max(4), seed).unwrap();
+        prop_assert!(ts.intensity() <= 2.6, "trisolve intensity {}", ts.intensity());
+    }
+
+    /// More memory never decreases measured intensity (the monotonicity the
+    /// rebalancing argument relies on), modulo blocking granularity.
+    #[test]
+    fn intensity_weakly_monotone_in_memory(seed in 0u64..20) {
+        let n = 32;
+        let mut last = 0.0f64;
+        for m in [27usize, 108, 432, 1728] { // 4x steps: b doubles exactly
+            let r = MatMul.run(n, m, seed).unwrap().intensity();
+            prop_assert!(r >= last * 0.999, "m={m}: {r} < {last}");
+            last = r;
+        }
+    }
+
+    /// Analytic cost models track measured costs within a factor of two
+    /// across the operating range (they share the Θ-shape).
+    #[test]
+    fn analytic_tracks_measured(m in 12usize..400, seed in 0u64..10) {
+        let n = 24;
+        let run = MatMul.run(n, m, seed).unwrap();
+        let analytic = MatMul.analytic_cost(n, m);
+        let ratio = run.execution.cost.io_words() as f64 / analytic.io_words() as f64;
+        prop_assert!((0.5..2.0).contains(&ratio), "io ratio {ratio}");
+    }
+}
+
+#[test]
+fn intensity_models_match_paper_shapes() {
+    // A non-random structural check over the whole registry.
+    for k in all_kernels() {
+        let model = k.intensity_model();
+        match k.name() {
+            "matmul" | "triangularization" | "grid2d" => {
+                assert!(
+                    matches!(model, IntensityModel::Power { exponent, .. } if (exponent - 0.5).abs() < 1e-9),
+                    "{} should be sqrt-shaped",
+                    k.name()
+                );
+            }
+            "grid3d" => {
+                assert!(
+                    matches!(model, IntensityModel::Power { exponent, .. } if (exponent - 1.0/3.0).abs() < 1e-9)
+                );
+            }
+            "fft" | "sort" => {
+                assert!(matches!(model, IntensityModel::Log2 { .. }));
+            }
+            "matvec" | "trisolve" => {
+                assert!(matches!(model, IntensityModel::Constant { .. }));
+            }
+            other => panic!("unexpected kernel {other}"),
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! A fully-associative LRU cache model.
+//!
+//! The paper's decomposition schemes manage the local memory *explicitly*.
+//! The introduction, however, motivates local memory as something that can
+//! "cache frequently used data". The ablation experiment (E13) contrasts the
+//! two: an LRU-managed memory of the same capacity `M`, fed the address
+//! trace of a naive algorithm, versus the explicit blocked scheme. [`LruCache`]
+//! is the model for the former — each miss costs one line of I/O.
+//!
+//! The implementation is an index-linked LRU list over a hash map, O(1) per
+//! access, no unsafe code.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// A fully-associative LRU cache with word- or line-granularity.
+///
+/// # Examples
+///
+/// ```
+/// use balance_machine::LruCache;
+///
+/// let mut cache = LruCache::new(2, 1); // 2 lines of 1 word
+/// assert!(!cache.access(10));  // miss
+/// assert!(!cache.access(20));  // miss
+/// assert!(cache.access(10));   // hit
+/// assert!(!cache.access(30));  // miss, evicts 20
+/// assert!(!cache.access(20));  // miss again
+/// assert_eq!(cache.misses(), 4);
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity_lines: usize,
+    line_words: u64,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding `capacity_lines` lines of `line_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(capacity_lines: usize, line_words: u64) -> Self {
+        assert!(capacity_lines > 0, "cache must hold at least one line");
+        assert!(line_words > 0, "lines must hold at least one word");
+        LruCache {
+            capacity_lines,
+            line_words,
+            map: HashMap::with_capacity(capacity_lines * 2),
+            nodes: Vec::with_capacity(capacity_lines),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates a word-granular cache of `capacity_words` words — the
+    /// configuration that makes cache capacity directly comparable to the
+    /// paper's `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_words` is zero.
+    #[must_use]
+    pub fn with_capacity_words(capacity_words: usize) -> Self {
+        LruCache::new(capacity_words, 1)
+    }
+
+    /// Touches word address `addr`; returns `true` on hit. A miss inserts
+    /// the containing line, evicting the least recently used line if full.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let key = addr / self.line_words;
+        if let Some(&idx) = self.map.get(&key) {
+            self.hits += 1;
+            self.move_to_front(idx);
+            return true;
+        }
+        self.misses += 1;
+        if self.map.len() == self.capacity_lines {
+            self.evict_lru();
+        }
+        let idx = self.alloc_node(key);
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        false
+    }
+
+    /// Runs a whole address trace; returns the number of misses incurred.
+    pub fn run_trace(&mut self, addrs: impl IntoIterator<Item = u64>) -> u64 {
+        let before = self.misses;
+        for a in addrs {
+            self.access(a);
+        }
+        self.misses - before
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// I/O words implied by the misses (`misses × line_words`).
+    #[must_use]
+    pub fn miss_words(&self) -> u64 {
+        self.misses * self.line_words
+    }
+
+    /// Lines currently resident.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The configured capacity in lines.
+    #[must_use]
+    pub fn capacity_lines(&self) -> usize {
+        self.capacity_lines
+    }
+
+    fn alloc_node(&mut self, key: u64) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict called on empty cache");
+        self.unlink(idx);
+        let key = self.nodes[idx].key;
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = LruCache::with_capacity_words(3);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(!c.access(3));
+        assert!(c.access(1));
+        assert!(c.access(2));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.resident_lines(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruCache::with_capacity_words(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 1 is now MRU, 2 is LRU
+        c.access(3); // evicts 2
+        assert!(c.access(1));
+        assert!(!c.access(2));
+    }
+
+    #[test]
+    fn line_granularity_groups_addresses() {
+        let mut c = LruCache::new(2, 8);
+        assert!(!c.access(0)); // line 0
+        assert!(c.access(7)); // same line
+        assert!(!c.access(8)); // line 1
+        assert_eq!(c.miss_words(), 16);
+    }
+
+    #[test]
+    fn capacity_one_thrashes() {
+        let mut c = LruCache::with_capacity_words(1);
+        for _ in 0..3 {
+            assert!(!c.access(1));
+            assert!(!c.access(2));
+        }
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 6);
+    }
+
+    #[test]
+    fn run_trace_counts_misses() {
+        let mut c = LruCache::with_capacity_words(2);
+        let misses = c.run_trace([1, 2, 1, 3, 1, 2]);
+        // 1:m 2:m 1:h 3:m(evict 2) 1:h 2:m
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn sequential_scan_larger_than_cache_never_hits() {
+        let mut c = LruCache::with_capacity_words(64);
+        for round in 0..3 {
+            for a in 0..128u64 {
+                assert!(!c.access(a), "round {round}, addr {a}");
+            }
+        }
+        assert_eq!(c.misses(), 3 * 128);
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        let mut c = LruCache::with_capacity_words(64);
+        for a in 0..64u64 {
+            c.access(a);
+        }
+        let misses_before = c.misses();
+        for _ in 0..10 {
+            // Re-touch in the same order: LRU keeps the whole set resident.
+            for a in 0..64u64 {
+                assert!(c.access(a));
+            }
+        }
+        assert_eq!(c.misses(), misses_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_line_panics() {
+        let _ = LruCache::new(1, 0);
+    }
+
+    #[test]
+    fn eviction_reuses_nodes() {
+        let mut c = LruCache::with_capacity_words(2);
+        for a in 0..100u64 {
+            c.access(a);
+        }
+        // Node arena should not have grown beyond capacity + O(1).
+        assert!(c.nodes.len() <= 3, "arena grew to {}", c.nodes.len());
+    }
+}

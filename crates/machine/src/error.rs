@@ -1,0 +1,122 @@
+//! Errors raised by the PE simulator.
+
+use core::fmt;
+
+/// Errors raised by the PE simulator.
+///
+/// The most important variant is [`MachineError::OutOfMemory`]: it fires when
+/// an algorithm's working set exceeds the configured local memory `M`, which
+/// is precisely the condition the paper's blocking schemes are designed to
+/// avoid. A kernel that trips it under some `(N, M)` has a blocking bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// An allocation would exceed the local memory capacity.
+    OutOfMemory {
+        /// Words requested by the allocation.
+        requested: usize,
+        /// Words currently in use.
+        in_use: usize,
+        /// Total capacity `M`, in words.
+        capacity: usize,
+    },
+    /// A buffer id does not refer to a live allocation.
+    InvalidBuffer {
+        /// The offending handle index.
+        id: usize,
+    },
+    /// The same buffer was passed both as destination and source of an
+    /// in-memory update.
+    AliasedBuffers {
+        /// The offending handle index.
+        id: usize,
+    },
+    /// An access went past the end of a local buffer.
+    BufferOutOfBounds {
+        /// The offending handle index.
+        id: usize,
+        /// First word accessed.
+        offset: usize,
+        /// Number of words accessed.
+        len: usize,
+        /// The buffer's actual size.
+        size: usize,
+    },
+    /// An access went past the end of an external-store region.
+    StoreOutOfBounds {
+        /// First word accessed (absolute).
+        offset: usize,
+        /// Number of words accessed.
+        len: usize,
+        /// The store or region size.
+        size: usize,
+    },
+    /// A strided access had a zero stride with more than one element.
+    ZeroStride,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "local memory exhausted: requested {requested} words with {in_use}/{capacity} in use"
+            ),
+            MachineError::InvalidBuffer { id } => write!(f, "invalid buffer id {id}"),
+            MachineError::AliasedBuffers { id } => {
+                write!(f, "buffer {id} passed as both destination and source")
+            }
+            MachineError::BufferOutOfBounds {
+                id,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "buffer {id} access out of bounds: [{offset}, {offset}+{len}) of {size}"
+            ),
+            MachineError::StoreOutOfBounds { offset, len, size } => write!(
+                f,
+                "external store access out of bounds: [{offset}, {offset}+{len}) of {size}"
+            ),
+            MachineError::ZeroStride => write!(f, "strided access with zero stride"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_numbers() {
+        let e = MachineError::OutOfMemory {
+            requested: 100,
+            in_use: 30,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("30") && s.contains("64"));
+
+        let e = MachineError::BufferOutOfBounds {
+            id: 2,
+            offset: 10,
+            len: 5,
+            size: 12,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(MachineError::ZeroStride.to_string().contains("stride"));
+    }
+
+    #[test]
+    fn is_error_trait_object() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&MachineError::InvalidBuffer { id: 0 });
+    }
+}

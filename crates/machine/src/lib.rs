@@ -1,0 +1,68 @@
+//! # balance-machine
+//!
+//! A counting simulator for the paper's processing element (PE).
+//!
+//! The balance analysis of Kung (1985) depends on exactly two measured
+//! quantities per computation: the number of operations delivered (`C_comp`)
+//! and the number of words exchanged with the outside world (`C_io`). This
+//! crate provides a PE whose local memory enforces the capacity `M` and whose
+//! I/O paths count every word, so that out-of-core algorithms written against
+//! it *measure* their own cost profile instead of asserting it.
+//!
+//! * [`LocalMemory`] — a word-addressed arena with hard capacity checks;
+//!   an allocation that exceeds `M` fails, which catches blocking bugs
+//!   (e.g. a tile size that does not actually fit).
+//! * [`ExternalStore`] — the "outside world": a flat word store holding the
+//!   problem inputs and outputs.
+//! * [`Pe`] — couples the two: `load`/`store` move words between store and
+//!   local buffers *and count them*; [`Pe::count_ops`] tallies arithmetic.
+//! * [`LruCache`] — an automatically-managed cache model used by the
+//!   ablation experiment (E13) to contrast *explicit* blocking with LRU
+//!   caching at equal capacity.
+//! * [`PhaseRecorder`] — phase-labeled cost attribution for multi-phase
+//!   algorithms (e.g. the two phases of external sorting).
+//!
+//! ## Example
+//!
+//! ```
+//! use balance_core::Words;
+//! use balance_machine::{ExternalStore, Pe};
+//!
+//! // Sum 1024 words through a 64-word local memory, 64 words at a time.
+//! let mut store = ExternalStore::new();
+//! let data = store.alloc_from(&vec![1.0; 1024]);
+//! let mut pe = Pe::new(Words::new(64));
+//! let buf = pe.alloc(64)?;
+//! let mut total = 0.0;
+//! for chunk in 0..16 {
+//!     pe.load(&store, data.at(chunk * 64, 64)?, buf, 0)?;
+//!     let s: f64 = pe.buf(buf)?.iter().sum();
+//!     pe.count_ops(64);
+//!     total += s;
+//! }
+//! assert_eq!(total, 1024.0);
+//! let exec = pe.execution();
+//! assert_eq!(exec.cost.io_words(), 1024);   // every word crossed the port once
+//! assert_eq!(exec.cost.comp_ops(), 1024);
+//! # Ok::<(), balance_machine::MachineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod error;
+pub mod memory;
+pub mod pe;
+pub mod store;
+pub mod timeline;
+pub mod trace;
+
+pub use cache::LruCache;
+pub use error::MachineError;
+pub use memory::{BufferId, LocalMemory};
+pub use pe::Pe;
+pub use store::{ExternalStore, Region};
+pub use timeline::{Timeline, TimelineEntry};
+pub use trace::{Phase, PhaseRecorder};

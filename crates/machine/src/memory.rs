@@ -1,0 +1,346 @@
+//! Capacity-enforced local memory.
+//!
+//! The paper's `M` is a hard physical limit: a decomposition scheme is only
+//! valid if every intermediate it keeps resident fits within `M` words.
+//! [`LocalMemory`] enforces that: allocations beyond the capacity fail with
+//! [`MachineError::OutOfMemory`], and the peak footprint is recorded so
+//! experiments can report how much of `M` a scheme actually used.
+
+use balance_core::Words;
+
+use crate::error::MachineError;
+
+/// Handle to a live allocation inside a [`LocalMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+impl BufferId {
+    /// The raw slot index (for diagnostics).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A word-addressed local memory of fixed capacity.
+///
+/// Buffers are explicitly allocated and freed; capacity accounting is exact
+/// (one `f64` = one word, matching the paper's "one I/O operation transfers
+/// a word").
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::Words;
+/// use balance_machine::LocalMemory;
+///
+/// let mut mem = LocalMemory::new(Words::new(100));
+/// let a = mem.alloc(60)?;
+/// assert!(mem.alloc(60).is_err());      // would exceed M
+/// mem.free(a)?;
+/// let _b = mem.alloc(100)?;             // fits again
+/// assert_eq!(mem.peak(), Words::new(100));
+/// # Ok::<(), balance_machine::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalMemory {
+    capacity: usize,
+    in_use: usize,
+    peak: usize,
+    slots: Vec<Option<Vec<f64>>>,
+    free_slots: Vec<usize>,
+}
+
+impl LocalMemory {
+    /// Creates a memory of `capacity` words.
+    #[must_use]
+    pub fn new(capacity: Words) -> Self {
+        LocalMemory {
+            capacity: capacity.get() as usize,
+            in_use: 0,
+            peak: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+        }
+    }
+
+    /// The configured capacity `M`.
+    #[must_use]
+    pub fn capacity(&self) -> Words {
+        Words::new(self.capacity as u64)
+    }
+
+    /// Words currently allocated.
+    #[must_use]
+    pub fn in_use(&self) -> Words {
+        Words::new(self.in_use as u64)
+    }
+
+    /// The high-water mark of allocated words over the memory's lifetime.
+    #[must_use]
+    pub fn peak(&self) -> Words {
+        Words::new(self.peak as u64)
+    }
+
+    /// Words still available.
+    #[must_use]
+    pub fn available(&self) -> Words {
+        Words::new((self.capacity - self.in_use) as u64)
+    }
+
+    /// Allocates a zero-initialized buffer of `len` words.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::OutOfMemory`] if the allocation would exceed `M`.
+    pub fn alloc(&mut self, len: usize) -> Result<BufferId, MachineError> {
+        if self.in_use + len > self.capacity {
+            return Err(MachineError::OutOfMemory {
+                requested: len,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += len;
+        self.peak = self.peak.max(self.in_use);
+        let buf = vec![0.0; len];
+        let id = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(buf);
+                slot
+            }
+            None => {
+                self.slots.push(Some(buf));
+                self.slots.len() - 1
+            }
+        };
+        Ok(BufferId(id))
+    }
+
+    /// Releases a buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::InvalidBuffer`] if the handle is stale.
+    pub fn free(&mut self, id: BufferId) -> Result<(), MachineError> {
+        let slot = self
+            .slots
+            .get_mut(id.0)
+            .ok_or(MachineError::InvalidBuffer { id: id.0 })?;
+        let buf = slot
+            .take()
+            .ok_or(MachineError::InvalidBuffer { id: id.0 })?;
+        self.in_use -= buf.len();
+        self.free_slots.push(id.0);
+        Ok(())
+    }
+
+    /// Read access to a buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::InvalidBuffer`] if the handle is stale.
+    pub fn buf(&self, id: BufferId) -> Result<&[f64], MachineError> {
+        self.slots
+            .get(id.0)
+            .and_then(|s| s.as_deref())
+            .ok_or(MachineError::InvalidBuffer { id: id.0 })
+    }
+
+    /// Write access to a buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::InvalidBuffer`] if the handle is stale.
+    pub fn buf_mut(&mut self, id: BufferId) -> Result<&mut [f64], MachineError> {
+        self.slots
+            .get_mut(id.0)
+            .and_then(|s| s.as_deref_mut())
+            .ok_or(MachineError::InvalidBuffer { id: id.0 })
+    }
+
+    /// Runs an in-memory update that writes buffer `dst` while reading the
+    /// buffers in `srcs`.
+    ///
+    /// This is how kernels express e.g. `C_tile += A_tile · B_tile` without
+    /// aliasing: the destination is temporarily detached from the arena, so
+    /// the sources can be borrowed immutably alongside it.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::AliasedBuffers`] if `dst` also appears in `srcs`;
+    /// * [`MachineError::InvalidBuffer`] for stale handles (the destination
+    ///   is restored before returning).
+    pub fn update<R>(
+        &mut self,
+        dst: BufferId,
+        srcs: &[BufferId],
+        f: impl FnOnce(&mut [f64], &[&[f64]]) -> R,
+    ) -> Result<R, MachineError> {
+        if srcs.contains(&dst) {
+            return Err(MachineError::AliasedBuffers { id: dst.0 });
+        }
+        let slot = self
+            .slots
+            .get_mut(dst.0)
+            .ok_or(MachineError::InvalidBuffer { id: dst.0 })?;
+        let mut dst_buf = slot
+            .take()
+            .ok_or(MachineError::InvalidBuffer { id: dst.0 })?;
+
+        let result = (|| {
+            let mut src_refs: Vec<&[f64]> = Vec::with_capacity(srcs.len());
+            for &s in srcs {
+                src_refs.push(
+                    self.slots
+                        .get(s.0)
+                        .and_then(|x| x.as_deref())
+                        .ok_or(MachineError::InvalidBuffer { id: s.0 })?,
+                );
+            }
+            Ok(f(&mut dst_buf, &src_refs))
+        })();
+
+        // Always restore the destination, even if a source was invalid.
+        self.slots[dst.0] = Some(dst_buf);
+        result
+    }
+
+    /// Frees every live buffer (e.g. between phases).
+    pub fn free_all(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(buf) = slot.take() {
+                self.in_use -= buf.len();
+                self.free_slots.push(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut mem = LocalMemory::new(Words::new(10));
+        let a = mem.alloc(6).unwrap();
+        assert_eq!(mem.in_use().get(), 6);
+        let err = mem.alloc(5).unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::OutOfMemory {
+                requested: 5,
+                in_use: 6,
+                capacity: 10
+            }
+        ));
+        mem.free(a).unwrap();
+        assert_eq!(mem.in_use().get(), 0);
+        let _ = mem.alloc(10).unwrap();
+    }
+
+    #[test]
+    fn zero_length_allocations_are_fine() {
+        let mut mem = LocalMemory::new(Words::new(4));
+        let a = mem.alloc(0).unwrap();
+        assert_eq!(mem.buf(a).unwrap().len(), 0);
+        mem.free(a).unwrap();
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut mem = LocalMemory::new(Words::new(100));
+        let a = mem.alloc(40).unwrap();
+        let b = mem.alloc(30).unwrap();
+        mem.free(a).unwrap();
+        let _c = mem.alloc(20).unwrap();
+        assert_eq!(mem.peak().get(), 70);
+        mem.free(b).unwrap();
+        assert_eq!(mem.peak().get(), 70);
+    }
+
+    #[test]
+    fn stale_handles_are_rejected() {
+        let mut mem = LocalMemory::new(Words::new(10));
+        let a = mem.alloc(4).unwrap();
+        mem.free(a).unwrap();
+        assert!(mem.buf(a).is_err());
+        assert!(mem.buf_mut(a).is_err());
+        assert!(mem.free(a).is_err());
+        assert!(mem.buf(BufferId(99)).is_err());
+    }
+
+    #[test]
+    fn slots_are_reused_after_free() {
+        let mut mem = LocalMemory::new(Words::new(10));
+        let a = mem.alloc(4).unwrap();
+        mem.free(a).unwrap();
+        let b = mem.alloc(4).unwrap();
+        // Implementation detail but worth pinning: the arena does not grow.
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn buffers_read_and_write() {
+        let mut mem = LocalMemory::new(Words::new(8));
+        let a = mem.alloc(4).unwrap();
+        mem.buf_mut(a)
+            .unwrap()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mem.buf(a).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn update_gives_disjoint_access() {
+        let mut mem = LocalMemory::new(Words::new(12));
+        let a = mem.alloc(4).unwrap();
+        let b = mem.alloc(4).unwrap();
+        let c = mem.alloc(4).unwrap();
+        mem.buf_mut(a)
+            .unwrap()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        mem.buf_mut(b)
+            .unwrap()
+            .copy_from_slice(&[10.0, 20.0, 30.0, 40.0]);
+        mem.update(c, &[a, b], |dst, srcs| {
+            for i in 0..4 {
+                dst[i] = srcs[0][i] + srcs[1][i];
+            }
+        })
+        .unwrap();
+        assert_eq!(mem.buf(c).unwrap(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn update_rejects_aliasing() {
+        let mut mem = LocalMemory::new(Words::new(8));
+        let a = mem.alloc(4).unwrap();
+        let err = mem.update(a, &[a], |_, _| ()).unwrap_err();
+        assert!(matches!(err, MachineError::AliasedBuffers { .. }));
+        // The buffer must still be usable afterwards.
+        assert!(mem.buf(a).is_ok());
+    }
+
+    #[test]
+    fn update_restores_dst_on_source_error() {
+        let mut mem = LocalMemory::new(Words::new(8));
+        let a = mem.alloc(4).unwrap();
+        let ghost = BufferId(42);
+        let err = mem.update(a, &[ghost], |_, _| ()).unwrap_err();
+        assert!(matches!(err, MachineError::InvalidBuffer { id: 42 }));
+        assert!(mem.buf(a).is_ok(), "dst must be restored after error");
+    }
+
+    #[test]
+    fn free_all_resets_usage_but_not_peak() {
+        let mut mem = LocalMemory::new(Words::new(20));
+        let _a = mem.alloc(8).unwrap();
+        let _b = mem.alloc(8).unwrap();
+        mem.free_all();
+        assert_eq!(mem.in_use().get(), 0);
+        assert_eq!(mem.peak().get(), 16);
+        assert_eq!(mem.available().get(), 20);
+        let _ = mem.alloc(20).unwrap();
+    }
+}

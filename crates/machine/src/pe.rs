@@ -1,0 +1,394 @@
+//! The simulated processing element.
+//!
+//! [`Pe`] couples a [`LocalMemory`] with I/O and operation counters. Every
+//! word moved between the external store and a local buffer increments the
+//! I/O counter; every arithmetic operation a kernel performs is tallied with
+//! [`Pe::count_ops`]. At the end of a run, [`Pe::execution`] yields the
+//! measured [`Execution`] — exactly the `(C_comp, C_io)` pair the paper's
+//! balance condition needs.
+
+use balance_core::{CostProfile, Execution, Words};
+
+use crate::error::MachineError;
+use crate::memory::{BufferId, LocalMemory};
+use crate::store::{ExternalStore, Region};
+
+/// A processing element with counted I/O and compute.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::Words;
+/// use balance_machine::{ExternalStore, Pe};
+///
+/// let mut store = ExternalStore::new();
+/// let input = store.alloc_from(&[3.0, 4.0]);
+/// let output = store.alloc(1);
+///
+/// let mut pe = Pe::new(Words::new(8));
+/// let buf = pe.alloc(2)?;
+/// pe.load(&store, input, buf, 0)?;
+/// let hyp = {
+///     let v = pe.buf(buf)?;
+///     (v[0] * v[0] + v[1] * v[1]).sqrt()
+/// };
+/// pe.count_ops(4); // 2 mul + 1 add + 1 sqrt
+/// pe.buf_mut(buf)?[0] = hyp;
+/// pe.store(&mut store, buf, 0, output)?;
+/// assert_eq!(store.slice(output), &[5.0]);
+/// assert_eq!(pe.execution().cost.io_words(), 3);
+/// # Ok::<(), balance_machine::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pe {
+    mem: LocalMemory,
+    ops: u64,
+    io_read_words: u64,
+    io_write_words: u64,
+}
+
+impl Pe {
+    /// Creates a PE with `memory` words of local memory.
+    #[must_use]
+    pub fn new(memory: Words) -> Self {
+        Pe {
+            mem: LocalMemory::new(memory),
+            ops: 0,
+            io_read_words: 0,
+            io_write_words: 0,
+        }
+    }
+
+    /// The local memory (read-only view).
+    #[must_use]
+    pub fn mem(&self) -> &LocalMemory {
+        &self.mem
+    }
+
+    /// Allocates a local buffer (forwards to [`LocalMemory::alloc`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::OutOfMemory`] if the working set would exceed `M`.
+    pub fn alloc(&mut self, len: usize) -> Result<BufferId, MachineError> {
+        self.mem.alloc(len)
+    }
+
+    /// Frees a local buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::InvalidBuffer`] for stale handles.
+    pub fn free(&mut self, id: BufferId) -> Result<(), MachineError> {
+        self.mem.free(id)
+    }
+
+    /// Frees all local buffers (between phases).
+    pub fn free_all(&mut self) {
+        self.mem.free_all();
+    }
+
+    /// Read access to a local buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::InvalidBuffer`] for stale handles.
+    pub fn buf(&self, id: BufferId) -> Result<&[f64], MachineError> {
+        self.mem.buf(id)
+    }
+
+    /// Write access to a local buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::InvalidBuffer`] for stale handles.
+    pub fn buf_mut(&mut self, id: BufferId) -> Result<&mut [f64], MachineError> {
+        self.mem.buf_mut(id)
+    }
+
+    /// In-memory update of `dst` reading `srcs` (see [`LocalMemory::update`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`LocalMemory::update`].
+    pub fn update<R>(
+        &mut self,
+        dst: BufferId,
+        srcs: &[BufferId],
+        f: impl FnOnce(&mut [f64], &[&[f64]]) -> R,
+    ) -> Result<R, MachineError> {
+        self.mem.update(dst, srcs, f)
+    }
+
+    /// Counts `n` arithmetic operations.
+    pub fn count_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Loads `region.len()` contiguous words from the store into local
+    /// buffer `buf` at `dst_offset`, counting the transfer.
+    ///
+    /// # Errors
+    ///
+    /// Bounds errors from either side; the transfer is all-or-nothing.
+    pub fn load(
+        &mut self,
+        store: &ExternalStore,
+        region: Region,
+        buf: BufferId,
+        dst_offset: usize,
+    ) -> Result<(), MachineError> {
+        let b = self.mem.buf_mut(buf)?;
+        let size = b.len();
+        if dst_offset + region.len() > size {
+            return Err(MachineError::BufferOutOfBounds {
+                id: buf.index(),
+                offset: dst_offset,
+                len: region.len(),
+                size,
+            });
+        }
+        store.read_words(region, &mut b[dst_offset..dst_offset + region.len()])?;
+        self.io_read_words += region.len() as u64;
+        Ok(())
+    }
+
+    /// Stores `region.len()` words from local buffer `buf` (starting at
+    /// `src_offset`) to the store, counting the transfer.
+    ///
+    /// # Errors
+    ///
+    /// Bounds errors from either side.
+    pub fn store(
+        &mut self,
+        store: &mut ExternalStore,
+        buf: BufferId,
+        src_offset: usize,
+        region: Region,
+    ) -> Result<(), MachineError> {
+        let b = self.mem.buf(buf)?;
+        if src_offset + region.len() > b.len() {
+            return Err(MachineError::BufferOutOfBounds {
+                id: buf.index(),
+                offset: src_offset,
+                len: region.len(),
+                size: b.len(),
+            });
+        }
+        store.write_words(region, &b[src_offset..src_offset + region.len()])?;
+        self.io_write_words += region.len() as u64;
+        Ok(())
+    }
+
+    /// Gathers `count` words at absolute store offset `start` with `stride`
+    /// into the head of `buf` (offset `dst_offset`), counting the transfer.
+    ///
+    /// Used by the blocked FFT (strided butterfly blocks) and by matrix
+    /// column access.
+    ///
+    /// # Errors
+    ///
+    /// Bounds/stride errors from either side.
+    pub fn load_strided(
+        &mut self,
+        store: &ExternalStore,
+        start: usize,
+        stride: usize,
+        count: usize,
+        buf: BufferId,
+        dst_offset: usize,
+    ) -> Result<(), MachineError> {
+        let b = self.mem.buf_mut(buf)?;
+        let size = b.len();
+        if dst_offset + count > size {
+            return Err(MachineError::BufferOutOfBounds {
+                id: buf.index(),
+                offset: dst_offset,
+                len: count,
+                size,
+            });
+        }
+        store.read_strided(start, stride, count, &mut b[dst_offset..dst_offset + count])?;
+        self.io_read_words += count as u64;
+        Ok(())
+    }
+
+    /// Scatters `count` words from `buf` (offset `src_offset`) to absolute
+    /// store offset `start` with `stride`, counting the transfer.
+    ///
+    /// # Errors
+    ///
+    /// Bounds/stride errors from either side.
+    pub fn store_strided(
+        &mut self,
+        store: &mut ExternalStore,
+        buf: BufferId,
+        src_offset: usize,
+        start: usize,
+        stride: usize,
+        count: usize,
+    ) -> Result<(), MachineError> {
+        let b = self.mem.buf(buf)?;
+        if src_offset + count > b.len() {
+            return Err(MachineError::BufferOutOfBounds {
+                id: buf.index(),
+                offset: src_offset,
+                len: count,
+                size: b.len(),
+            });
+        }
+        store.write_strided(start, stride, count, &b[src_offset..src_offset + count])?;
+        self.io_write_words += count as u64;
+        Ok(())
+    }
+
+    /// Words read from the outside world so far.
+    #[must_use]
+    pub fn io_reads(&self) -> u64 {
+        self.io_read_words
+    }
+
+    /// Words written to the outside world so far.
+    #[must_use]
+    pub fn io_writes(&self) -> u64 {
+        self.io_write_words
+    }
+
+    /// Operations delivered so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The measured execution record: `(C_comp, C_io)` plus the peak local
+    /// memory footprint.
+    #[must_use]
+    pub fn execution(&self) -> Execution {
+        Execution::new(
+            CostProfile::new(self.ops, self.io_read_words + self.io_write_words),
+            self.mem.peak(),
+        )
+    }
+
+    /// Resets the counters (not the memory contents or peak).
+    pub fn reset_counters(&mut self) {
+        self.ops = 0;
+        self.io_read_words = 0;
+        self.io_write_words = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_is_counted_per_word() {
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[1.0, 2.0, 3.0, 4.0]);
+        let mut pe = Pe::new(Words::new(16));
+        let buf = pe.alloc(4).unwrap();
+        pe.load(&store, r, buf, 0).unwrap();
+        assert_eq!(pe.io_reads(), 4);
+        pe.store(&mut store, buf, 0, r).unwrap();
+        assert_eq!(pe.io_writes(), 4);
+        assert_eq!(pe.execution().cost.io_words(), 8);
+    }
+
+    #[test]
+    fn ops_are_counted() {
+        let mut pe = Pe::new(Words::new(4));
+        pe.count_ops(10);
+        pe.count_ops(5);
+        assert_eq!(pe.ops(), 15);
+        assert_eq!(pe.execution().cost.comp_ops(), 15);
+    }
+
+    #[test]
+    fn load_checks_buffer_bounds() {
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[1.0, 2.0, 3.0, 4.0]);
+        let mut pe = Pe::new(Words::new(16));
+        let buf = pe.alloc(2).unwrap();
+        assert!(matches!(
+            pe.load(&store, r, buf, 0),
+            Err(MachineError::BufferOutOfBounds { .. })
+        ));
+        // Failed transfers count nothing.
+        assert_eq!(pe.io_reads(), 0);
+    }
+
+    #[test]
+    fn store_checks_buffer_bounds() {
+        let mut store = ExternalStore::new();
+        let r = store.alloc(4);
+        let mut pe = Pe::new(Words::new(16));
+        let buf = pe.alloc(2).unwrap();
+        assert!(matches!(
+            pe.store(&mut store, buf, 1, r),
+            Err(MachineError::BufferOutOfBounds { .. })
+        ));
+        assert_eq!(pe.io_writes(), 0);
+    }
+
+    #[test]
+    fn strided_transfers_count_and_roundtrip() {
+        let mut store = ExternalStore::new();
+        let _ = store.alloc_from(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let mut pe = Pe::new(Words::new(8));
+        let buf = pe.alloc(4).unwrap();
+        pe.load_strided(&store, 0, 2, 4, buf, 0).unwrap();
+        assert_eq!(pe.buf(buf).unwrap(), &[0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(pe.io_reads(), 4);
+        pe.store_strided(&mut store, buf, 0, 1, 2, 4).unwrap();
+        assert_eq!(pe.io_writes(), 4);
+    }
+
+    #[test]
+    fn strided_bounds_failures_count_nothing() {
+        let mut store = ExternalStore::new();
+        let _ = store.alloc(4);
+        let mut pe = Pe::new(Words::new(8));
+        let buf = pe.alloc(8).unwrap();
+        assert!(pe.load_strided(&store, 0, 2, 4, buf, 0).is_err());
+        assert!(pe.load_strided(&store, 0, 1, 8, buf, 4).is_err()); // buffer bound
+        assert_eq!(pe.io_reads(), 0);
+    }
+
+    #[test]
+    fn peak_memory_reported_in_execution() {
+        let mut pe = Pe::new(Words::new(100));
+        let a = pe.alloc(60).unwrap();
+        pe.free(a).unwrap();
+        let _ = pe.alloc(10).unwrap();
+        assert_eq!(pe.execution().peak_memory.get(), 60);
+    }
+
+    #[test]
+    fn reset_counters_keeps_memory() {
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[1.0, 2.0]);
+        let mut pe = Pe::new(Words::new(8));
+        let buf = pe.alloc(2).unwrap();
+        pe.load(&store, r, buf, 0).unwrap();
+        pe.count_ops(3);
+        pe.reset_counters();
+        assert_eq!(pe.ops(), 0);
+        assert_eq!(pe.io_reads(), 0);
+        assert_eq!(pe.buf(buf).unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn update_forwards_to_memory() {
+        let mut pe = Pe::new(Words::new(8));
+        let a = pe.alloc(2).unwrap();
+        let b = pe.alloc(2).unwrap();
+        pe.buf_mut(a).unwrap().copy_from_slice(&[1.0, 2.0]);
+        pe.update(b, &[a], |dst, srcs| {
+            dst[0] = srcs[0][0] * 10.0;
+            dst[1] = srcs[0][1] * 10.0;
+        })
+        .unwrap();
+        assert_eq!(pe.buf(b).unwrap(), &[10.0, 20.0]);
+    }
+}

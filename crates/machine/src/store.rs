@@ -1,0 +1,292 @@
+//! The external store: everything outside the PE.
+//!
+//! In the information model the "outside world" (system memory, disks,
+//! neighboring PEs) is opaque; all that matters is the number of words that
+//! cross the PE boundary. [`ExternalStore`] is a flat word store that holds
+//! problem inputs and outputs. Direct access through [`ExternalStore::slice`]
+//! is *not* counted as I/O — it is how test harnesses build inputs and verify
+//! outputs; counted transfers go through [`crate::Pe::load`] /
+//! [`crate::Pe::store`].
+
+use crate::error::MachineError;
+
+/// A contiguous region of the external store, returned by allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    offset: usize,
+    len: usize,
+}
+
+impl Region {
+    /// Absolute offset of the first word.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Length in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty region.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-region `[start, start+len)` relative to this region.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::StoreOutOfBounds`] if the sub-range does not fit.
+    pub fn at(&self, start: usize, len: usize) -> Result<Region, MachineError> {
+        if start + len > self.len {
+            return Err(MachineError::StoreOutOfBounds {
+                offset: start,
+                len,
+                size: self.len,
+            });
+        }
+        Ok(Region {
+            offset: self.offset + start,
+            len,
+        })
+    }
+}
+
+/// A flat, growable word store representing the world outside the PE.
+///
+/// # Examples
+///
+/// ```
+/// use balance_machine::ExternalStore;
+///
+/// let mut store = ExternalStore::new();
+/// let a = store.alloc_from(&[1.0, 2.0, 3.0]);
+/// let b = store.alloc(2);
+/// assert_eq!(store.slice(a), &[1.0, 2.0, 3.0]);
+/// assert_eq!(store.slice(b), &[0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExternalStore {
+    data: Vec<f64>,
+}
+
+impl ExternalStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ExternalStore::default()
+    }
+
+    /// Total words allocated in the store.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been allocated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Allocates a zero-initialized region of `len` words.
+    pub fn alloc(&mut self, len: usize) -> Region {
+        let offset = self.data.len();
+        self.data.resize(offset + len, 0.0);
+        Region { offset, len }
+    }
+
+    /// Allocates a region initialized from `data`.
+    pub fn alloc_from(&mut self, data: &[f64]) -> Region {
+        let offset = self.data.len();
+        self.data.extend_from_slice(data);
+        Region {
+            offset,
+            len: data.len(),
+        }
+    }
+
+    /// Uncounted read access (harness-side: building inputs, verifying
+    /// outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` does not lie within the store (regions are only
+    /// produced by this store's allocators, so this indicates harness
+    /// misuse, not kernel misuse).
+    #[must_use]
+    pub fn slice(&self, region: Region) -> &[f64] {
+        &self.data[region.offset..region.offset + region.len]
+    }
+
+    /// Uncounted write access (harness-side).
+    ///
+    /// # Panics
+    ///
+    /// As [`slice`](Self::slice).
+    #[must_use]
+    pub fn slice_mut(&mut self, region: Region) -> &mut [f64] {
+        &mut self.data[region.offset..region.offset + region.len]
+    }
+
+    pub(crate) fn read_words(&self, region: Region, out: &mut [f64]) -> Result<(), MachineError> {
+        self.check(region)?;
+        out.copy_from_slice(self.slice(region));
+        Ok(())
+    }
+
+    pub(crate) fn write_words(&mut self, region: Region, src: &[f64]) -> Result<(), MachineError> {
+        self.check(region)?;
+        self.slice_mut(region).copy_from_slice(src);
+        Ok(())
+    }
+
+    pub(crate) fn read_strided(
+        &self,
+        start: usize,
+        stride: usize,
+        count: usize,
+        out: &mut [f64],
+    ) -> Result<(), MachineError> {
+        if stride == 0 && count > 1 {
+            return Err(MachineError::ZeroStride);
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let last = start + stride * (count - 1);
+        if last >= self.data.len() {
+            return Err(MachineError::StoreOutOfBounds {
+                offset: start,
+                len: stride * (count - 1) + 1,
+                size: self.data.len(),
+            });
+        }
+        for (i, slot) in out.iter_mut().take(count).enumerate() {
+            *slot = self.data[start + i * stride];
+        }
+        Ok(())
+    }
+
+    pub(crate) fn write_strided(
+        &mut self,
+        start: usize,
+        stride: usize,
+        count: usize,
+        src: &[f64],
+    ) -> Result<(), MachineError> {
+        if stride == 0 && count > 1 {
+            return Err(MachineError::ZeroStride);
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let last = start + stride * (count - 1);
+        if last >= self.data.len() {
+            return Err(MachineError::StoreOutOfBounds {
+                offset: start,
+                len: stride * (count - 1) + 1,
+                size: self.data.len(),
+            });
+        }
+        for (i, &v) in src.iter().take(count).enumerate() {
+            self.data[start + i * stride] = v;
+        }
+        Ok(())
+    }
+
+    fn check(&self, region: Region) -> Result<(), MachineError> {
+        if region.offset + region.len > self.data.len() {
+            return Err(MachineError::StoreOutOfBounds {
+                offset: region.offset,
+                len: region.len,
+                size: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut store = ExternalStore::new();
+        assert!(store.is_empty());
+        let a = store.alloc(3);
+        let b = store.alloc_from(&[7.0, 8.0]);
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.slice(a), &[0.0; 3]);
+        assert_eq!(store.slice(b), &[7.0, 8.0]);
+        store.slice_mut(a)[1] = 5.0;
+        assert_eq!(store.slice(a), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn subregions() {
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let sub = r.at(1, 3).unwrap();
+        assert_eq!(store.slice(sub), &[2.0, 3.0, 4.0]);
+        assert!(r.at(3, 3).is_err());
+        assert!(r.at(5, 1).is_err());
+        assert!(r.at(5, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn counted_reads_and_writes_roundtrip() {
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[1.0, 2.0, 3.0, 4.0]);
+        let mut buf = [0.0; 2];
+        store.read_words(r.at(1, 2).unwrap(), &mut buf).unwrap();
+        assert_eq!(buf, [2.0, 3.0]);
+        store.write_words(r.at(0, 2).unwrap(), &[9.0, 8.0]).unwrap();
+        assert_eq!(store.slice(r), &[9.0, 8.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn strided_access() {
+        let mut store = ExternalStore::new();
+        let _ = store.alloc_from(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let mut buf = [0.0; 4];
+        store.read_strided(1, 2, 4, &mut buf).unwrap();
+        assert_eq!(buf, [1.0, 3.0, 5.0, 7.0]);
+        store
+            .write_strided(0, 2, 4, &[10.0, 11.0, 12.0, 13.0])
+            .unwrap();
+        let r = Region { offset: 0, len: 8 };
+        assert_eq!(
+            store.slice(r),
+            &[10.0, 1.0, 11.0, 3.0, 12.0, 5.0, 13.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn strided_bounds_and_zero_stride() {
+        let mut store = ExternalStore::new();
+        let _ = store.alloc(4);
+        let mut buf = [0.0; 4];
+        assert!(matches!(
+            store.read_strided(0, 2, 4, &mut buf),
+            Err(MachineError::StoreOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            store.read_strided(0, 0, 2, &mut buf),
+            Err(MachineError::ZeroStride)
+        ));
+        // Zero stride with a single element is allowed.
+        store.read_strided(2, 0, 1, &mut buf).unwrap();
+        // Zero count is a no-op.
+        store.read_strided(0, 3, 0, &mut buf).unwrap();
+        assert!(matches!(
+            store.write_strided(2, 1, 4, &[0.0; 4]),
+            Err(MachineError::StoreOutOfBounds { .. })
+        ));
+    }
+}

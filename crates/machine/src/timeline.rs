@@ -1,0 +1,211 @@
+//! Execution timelines: turning counted costs into time on a concrete PE.
+//!
+//! The balance condition compares `C_comp/C` with `C_io/IO`. A [`Timeline`]
+//! applies a [`PeSpec`]'s bandwidths to recorded [`Phase`] costs and reports,
+//! per phase and in total: compute time, I/O time, the overlapped elapsed
+//! time (`max`), the serial elapsed time (`sum` — a PE that cannot overlap),
+//! and which subsystem idles. The ASCII rendering makes imbalance visible at
+//! a glance:
+//!
+//! ```text
+//! run-formation  comp ████████░░  io ██████████   io-limited (20% idle)
+//! merge          comp ██████████  io ████░░░░░░   compute-limited
+//! ```
+
+use core::fmt;
+
+use balance_core::{BalanceState, PeSpec, Seconds};
+
+use crate::trace::Phase;
+
+/// One phase of a timeline: costs turned into times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Phase label.
+    pub label: String,
+    /// Time the compute subsystem is busy.
+    pub compute_time: Seconds,
+    /// Time the I/O subsystem is busy.
+    pub io_time: Seconds,
+    /// Elapsed time with perfect overlap (`max` of the two).
+    pub elapsed_overlapped: Seconds,
+    /// Which subsystem limits the phase (5 % tolerance).
+    pub state: BalanceState,
+}
+
+/// A per-phase execution timeline on a concrete PE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Builds a timeline from recorded phases and a PE specification.
+    #[must_use]
+    pub fn new(phases: &[Phase], pe: &PeSpec) -> Self {
+        let entries = phases
+            .iter()
+            .map(|p| TimelineEntry {
+                label: p.label.clone(),
+                compute_time: p.cost.compute_time(pe),
+                io_time: p.cost.io_time(pe),
+                elapsed_overlapped: p.cost.elapsed(pe),
+                state: p.cost.balance_state(pe, 0.05),
+            })
+            .collect();
+        Timeline { entries }
+    }
+
+    /// The per-phase entries, in order.
+    #[must_use]
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Total elapsed time with per-phase overlap (phases are sequential;
+    /// compute and I/O overlap only within a phase).
+    #[must_use]
+    pub fn elapsed_overlapped(&self) -> Seconds {
+        Seconds::new(
+            self.entries
+                .iter()
+                .map(|e| e.elapsed_overlapped.get())
+                .sum(),
+        )
+    }
+
+    /// Total elapsed time with no overlap at all (compute then I/O).
+    #[must_use]
+    pub fn elapsed_serial(&self) -> Seconds {
+        Seconds::new(
+            self.entries
+                .iter()
+                .map(|e| e.compute_time.get() + e.io_time.get())
+                .sum(),
+        )
+    }
+
+    /// The speedup overlap buys: `serial / overlapped` (1.0–2.0; exactly
+    /// 2.0 only when every phase is perfectly balanced — the paper's ideal).
+    #[must_use]
+    pub fn overlap_speedup(&self) -> f64 {
+        let o = self.elapsed_overlapped().get();
+        if o == 0.0 {
+            1.0
+        } else {
+            self.elapsed_serial().get() / o
+        }
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const BAR: usize = 10;
+        let max = self
+            .entries
+            .iter()
+            .map(|e| e.compute_time.get().max(e.io_time.get()))
+            .fold(0.0f64, f64::max);
+        for e in &self.entries {
+            let bar = |t: f64| -> String {
+                let filled = if max > 0.0 {
+                    ((t / max) * BAR as f64).round() as usize
+                } else {
+                    0
+                };
+                let filled = filled.min(BAR);
+                format!("{}{}", "█".repeat(filled), "░".repeat(BAR - filled))
+            };
+            writeln!(
+                f,
+                "{:<16} comp {}  io {}   {}",
+                e.label,
+                bar(e.compute_time.get()),
+                bar(e.io_time.get()),
+                e.state
+            )?;
+        }
+        write!(
+            f,
+            "total: {:.3e} s overlapped, {:.3e} s serial (overlap speedup {:.2}x)",
+            self.elapsed_overlapped().get(),
+            self.elapsed_serial().get(),
+            self.overlap_speedup()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_core::{CostProfile, OpsPerSec, Words, WordsPerSec};
+
+    fn pe(c: f64, io: f64) -> PeSpec {
+        PeSpec::new(OpsPerSec::new(c), WordsPerSec::new(io), Words::new(64)).unwrap()
+    }
+
+    fn phases() -> Vec<Phase> {
+        vec![
+            Phase {
+                label: "load".into(),
+                cost: CostProfile::new(100, 1000), // io-heavy
+            },
+            Phase {
+                label: "crunch".into(),
+                cost: CostProfile::new(4000, 200), // compute-heavy
+            },
+        ]
+    }
+
+    #[test]
+    fn times_follow_bandwidths() {
+        let tl = Timeline::new(&phases(), &pe(1000.0, 100.0));
+        let e = &tl.entries()[0];
+        assert_eq!(e.compute_time.get(), 0.1);
+        assert_eq!(e.io_time.get(), 10.0);
+        assert_eq!(e.elapsed_overlapped.get(), 10.0);
+        assert!(matches!(e.state, BalanceState::IoLimited { .. }));
+        let e = &tl.entries()[1];
+        assert_eq!(e.compute_time.get(), 4.0);
+        assert_eq!(e.io_time.get(), 2.0);
+        assert!(matches!(e.state, BalanceState::ComputeLimited { .. }));
+    }
+
+    #[test]
+    fn totals_and_speedup() {
+        let tl = Timeline::new(&phases(), &pe(1000.0, 100.0));
+        assert_eq!(tl.elapsed_overlapped().get(), 14.0); // 10 + 4
+        assert!((tl.elapsed_serial().get() - 16.1).abs() < 1e-12); // 10.1 + 6
+        assert!((tl.overlap_speedup() - 16.1 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_phase_gets_full_overlap_speedup() {
+        let phases = vec![Phase {
+            label: "balanced".into(),
+            cost: CostProfile::new(1000, 100),
+        }];
+        // C/IO = 10 matches the intensity exactly.
+        let tl = Timeline::new(&phases, &pe(1000.0, 100.0));
+        assert!(tl.entries()[0].state.is_balanced());
+        assert!((tl.overlap_speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timeline_is_degenerate_but_safe() {
+        let tl = Timeline::new(&[], &pe(1.0, 1.0));
+        assert_eq!(tl.elapsed_overlapped().get(), 0.0);
+        assert_eq!(tl.overlap_speedup(), 1.0);
+    }
+
+    #[test]
+    fn render_shows_bars_and_states() {
+        let tl = Timeline::new(&phases(), &pe(1000.0, 100.0));
+        let art = tl.to_string();
+        assert!(art.contains("load"));
+        assert!(art.contains("crunch"));
+        assert!(art.contains('█'));
+        assert!(art.contains("I/O-limited"));
+        assert!(art.contains("overlap speedup"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Phase-labeled cost attribution.
+//!
+//! Multi-phase algorithms (external sorting's run formation + merge, LU's
+//! panel + update) want per-phase `(C_comp, C_io)` breakdowns. A
+//! [`PhaseRecorder`] snapshots a [`Pe`]'s counters at phase boundaries and
+//! reports the deltas.
+
+use balance_core::CostProfile;
+
+use crate::pe::Pe;
+
+/// One recorded phase: a label and the costs incurred during it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase label (e.g. `"run-formation"`).
+    pub label: String,
+    /// Costs incurred during the phase.
+    pub cost: CostProfile,
+}
+
+/// Records per-phase cost deltas from a PE's monotone counters.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::Words;
+/// use balance_machine::{ExternalStore, Pe, PhaseRecorder};
+///
+/// let mut store = ExternalStore::new();
+/// let r = store.alloc_from(&[1.0, 2.0, 3.0, 4.0]);
+/// let mut pe = Pe::new(Words::new(8));
+/// let mut rec = PhaseRecorder::new(&pe);
+///
+/// let buf = pe.alloc(4)?;
+/// pe.load(&store, r, buf, 0)?;
+/// rec.record("load", &pe);
+///
+/// pe.count_ops(42);
+/// rec.record("compute", &pe);
+///
+/// assert_eq!(rec.phases()[0].cost.io_words(), 4);
+/// assert_eq!(rec.phases()[1].cost.comp_ops(), 42);
+/// # Ok::<(), balance_machine::MachineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseRecorder {
+    last_ops: u64,
+    last_io: u64,
+    phases: Vec<Phase>,
+}
+
+impl PhaseRecorder {
+    /// Starts recording from the PE's current counter values.
+    #[must_use]
+    pub fn new(pe: &Pe) -> Self {
+        PhaseRecorder {
+            last_ops: pe.ops(),
+            last_io: pe.io_reads() + pe.io_writes(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Closes the current phase under `label`, recording costs since the
+    /// previous boundary.
+    pub fn record(&mut self, label: impl Into<String>, pe: &Pe) {
+        let ops = pe.ops();
+        let io = pe.io_reads() + pe.io_writes();
+        self.phases.push(Phase {
+            label: label.into(),
+            cost: CostProfile::new(ops - self.last_ops, io - self.last_io),
+        });
+        self.last_ops = ops;
+        self.last_io = io;
+    }
+
+    /// The recorded phases, in order.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Sum of all recorded phases.
+    #[must_use]
+    pub fn total(&self) -> CostProfile {
+        self.phases
+            .iter()
+            .fold(CostProfile::new(0, 0), |acc, p| acc.combined(&p.cost))
+    }
+
+    /// The phase with the given label, if recorded.
+    #[must_use]
+    pub fn phase(&self, label: &str) -> Option<&Phase> {
+        self.phases.iter().find(|p| p.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ExternalStore;
+    use balance_core::Words;
+
+    #[test]
+    fn deltas_are_attributed_to_phases() {
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[0.0; 10]);
+        let mut pe = Pe::new(Words::new(16));
+        let mut rec = PhaseRecorder::new(&pe);
+
+        let buf = pe.alloc(10).unwrap();
+        pe.load(&store, r, buf, 0).unwrap();
+        pe.count_ops(5);
+        rec.record("a", &pe);
+
+        pe.count_ops(7);
+        pe.store(&mut store, buf, 0, r).unwrap();
+        rec.record("b", &pe);
+
+        assert_eq!(rec.phases().len(), 2);
+        assert_eq!(rec.phase("a").unwrap().cost, CostProfile::new(5, 10));
+        assert_eq!(rec.phase("b").unwrap().cost, CostProfile::new(7, 10));
+        assert_eq!(rec.total(), CostProfile::new(12, 20));
+        assert!(rec.phase("c").is_none());
+    }
+
+    #[test]
+    fn empty_phase_records_zero() {
+        let pe = Pe::new(Words::new(4));
+        let mut rec = PhaseRecorder::new(&pe);
+        rec.record("idle", &pe);
+        assert_eq!(rec.phase("idle").unwrap().cost, CostProfile::new(0, 0));
+    }
+
+    #[test]
+    fn recorder_starts_at_current_counters() {
+        let mut pe = Pe::new(Words::new(4));
+        pe.count_ops(100);
+        let mut rec = PhaseRecorder::new(&pe);
+        pe.count_ops(1);
+        rec.record("tail", &pe);
+        assert_eq!(rec.phase("tail").unwrap().cost.comp_ops(), 1);
+    }
+}

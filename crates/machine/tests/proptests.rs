@@ -1,0 +1,120 @@
+//! Property-based tests for the PE simulator.
+
+use balance_core::Words;
+use balance_machine::{ExternalStore, LruCache, Pe};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+proptest! {
+    /// Every successful load/store transfer counts exactly its word count,
+    /// and contents round-trip.
+    #[test]
+    fn io_accounting_is_exact(chunks in proptest::collection::vec(1usize..32, 1..20)) {
+        let total: usize = chunks.iter().sum();
+        let mut store = ExternalStore::new();
+        let data: Vec<f64> = (0..total).map(|i| i as f64).collect();
+        let region = store.alloc_from(&data);
+        let out_region = store.alloc(total);
+
+        let mut pe = Pe::new(Words::new(64));
+        let buf = pe.alloc(32).unwrap();
+        let mut offset = 0usize;
+        for len in &chunks {
+            pe.load(&store, region.at(offset, *len).unwrap(), buf, 0).unwrap();
+            pe.store(&mut store, buf, 0, out_region.at(offset, *len).unwrap()).unwrap();
+            offset += len;
+        }
+        prop_assert_eq!(pe.io_reads() as usize, total);
+        prop_assert_eq!(pe.io_writes() as usize, total);
+        prop_assert_eq!(store.slice(out_region), store.slice(region));
+    }
+
+    /// Allocation never exceeds capacity; in_use + available == capacity.
+    #[test]
+    fn memory_conservation(
+        capacity in 1usize..256,
+        sizes in proptest::collection::vec(0usize..64, 0..32),
+    ) {
+        let mut pe = Pe::new(Words::new(capacity as u64));
+        let mut live = Vec::new();
+        for len in sizes {
+            if let Ok(id) = pe.alloc(len) {
+                live.push((id, len));
+            }
+            let in_use: usize = live.iter().map(|(_, l)| *l).sum();
+            prop_assert!(in_use <= capacity);
+            prop_assert_eq!(pe.mem().in_use().get() as usize, in_use);
+            prop_assert_eq!(
+                pe.mem().available().get() as usize,
+                capacity - in_use
+            );
+        }
+        for (id, _) in live {
+            pe.free(id).unwrap();
+        }
+        prop_assert_eq!(pe.mem().in_use().get(), 0);
+    }
+
+    /// LRU hit/miss counts always sum to the number of accesses, and
+    /// residency never exceeds capacity.
+    #[test]
+    fn lru_counts_are_consistent(
+        capacity in 1usize..64,
+        trace in proptest::collection::vec(0u64..128, 0..500),
+    ) {
+        let mut c = LruCache::with_capacity_words(capacity);
+        for &a in &trace {
+            c.access(a);
+            prop_assert!(c.resident_lines() <= capacity);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), trace.len() as u64);
+    }
+
+    /// LRU with capacity >= distinct addresses only misses cold.
+    #[test]
+    fn lru_compulsory_misses_only(trace in proptest::collection::vec(0u64..32, 1..300)) {
+        let mut distinct: Vec<u64> = trace.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut c = LruCache::with_capacity_words(64); // > 32 possible addresses
+        for &a in &trace {
+            c.access(a);
+        }
+        prop_assert_eq!(c.misses() as usize, distinct.len());
+    }
+
+    /// LRU inclusion property: a larger cache never misses more on the same
+    /// trace (LRU is a stack algorithm).
+    #[test]
+    fn lru_stack_property(seed in 0u64..1000, small in 2usize..32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace: Vec<u64> = (0..400).map(|_| rng.gen_range(0..100)).collect();
+        let mut c_small = LruCache::with_capacity_words(small);
+        let mut c_big = LruCache::with_capacity_words(small * 2);
+        for &a in &trace {
+            c_small.access(a);
+            c_big.access(a);
+        }
+        prop_assert!(c_big.misses() <= c_small.misses());
+    }
+
+    /// Strided gather matches a manual gather.
+    #[test]
+    fn strided_gather_matches_reference(
+        start in 0usize..8,
+        stride in 1usize..8,
+        count in 1usize..16,
+    ) {
+        let n = start + stride * count + 1;
+        let data: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
+        let mut store = ExternalStore::new();
+        let _ = store.alloc_from(&data);
+        let mut pe = Pe::new(Words::new(64));
+        let buf = pe.alloc(16).unwrap();
+        pe.load_strided(&store, start, stride, count, buf, 0).unwrap();
+        let got = &pe.buf(buf).unwrap()[..count];
+        let want: Vec<f64> = (0..count).map(|i| data[start + i * stride]).collect();
+        prop_assert_eq!(got, &want[..]);
+    }
+}

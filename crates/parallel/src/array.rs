@@ -1,0 +1,190 @@
+//! The one-dimensional processor array (paper §4.1, Fig. 3).
+//!
+//! `p` linearly connected PEs replace one PE. Only the two boundary PEs talk
+//! to the outside world, so the collection — viewed as a single "new
+//! processing element" — has `p` times the computation bandwidth at the
+//! *same* I/O bandwidth: `α = p`. For computations obeying
+//! `M_new ≥ α²·M_old` the aggregate needs `p²` times the memory, i.e.
+//! **each PE's local memory must grow linearly with `p`**: the larger the
+//! array, the larger each PE's memory.
+
+use balance_core::{Alpha, BalanceError, GrowthLaw, PeSpec, Words};
+
+/// A linear array of `p` identical PEs behind a single I/O boundary.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::{GrowthLaw, OpsPerSec, PeSpec, Words, WordsPerSec};
+/// use balance_parallel::LinearArray;
+///
+/// let cell = PeSpec::new(OpsPerSec::new(1.0e7), WordsPerSec::new(2.0e7), Words::new(1024))?;
+/// let array = LinearArray::new(16, cell)?;
+/// assert_eq!(array.alpha().get(), 16.0);
+///
+/// // Matrix law: per-PE memory grows linearly with p.
+/// let per_pe = array.required_memory_per_pe(GrowthLaw::Polynomial { degree: 2.0 }, Words::new(1024))?;
+/// assert_eq!(per_pe.get(), 16 * 1024);
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearArray {
+    p: u64,
+    cell: PeSpec,
+}
+
+impl LinearArray {
+    /// Creates an array of `p ≥ 1` cells.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidQuantity`] if `p == 0`.
+    pub fn new(p: u64, cell: PeSpec) -> Result<Self, BalanceError> {
+        if p == 0 {
+            return Err(BalanceError::InvalidQuantity {
+                what: "PE count",
+                value: 0.0,
+            });
+        }
+        Ok(LinearArray { p, cell })
+    }
+
+    /// Number of PEs.
+    #[must_use]
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// The per-cell specification.
+    #[must_use]
+    pub fn cell(&self) -> PeSpec {
+        self.cell
+    }
+
+    /// The array viewed as one PE: `p`-fold compute and memory, unchanged
+    /// I/O (only boundary PEs reach the outside world).
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::MemoryOverflow`] for absurd `p`.
+    pub fn aggregate(&self) -> Result<PeSpec, BalanceError> {
+        self.cell.aggregate(self.p)
+    }
+
+    /// The rebalance factor the arrangement imposes: `α = p`.
+    #[must_use]
+    pub fn alpha(&self) -> Alpha {
+        Alpha::new(self.p as f64).expect("p >= 1")
+    }
+
+    /// Total aggregate memory needed to keep the array balanced for a
+    /// computation with growth law `law`, where `m_old` balances one PE.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::IoBounded`] for I/O-bounded computations,
+    /// [`BalanceError::MemoryOverflow`] when the law explodes.
+    pub fn required_total_memory(
+        &self,
+        law: GrowthLaw,
+        m_old: Words,
+    ) -> Result<Words, BalanceError> {
+        law.new_memory(self.p as f64, m_old)
+    }
+
+    /// Memory each PE must have to keep the array balanced (total / p).
+    ///
+    /// For the matrix law (`α²`) this is `p·M_old` — the paper's headline
+    /// §4.1 result: per-PE memory grows linearly with the array size.
+    ///
+    /// # Errors
+    ///
+    /// As [`required_total_memory`](Self::required_total_memory).
+    pub fn required_memory_per_pe(
+        &self,
+        law: GrowthLaw,
+        m_old: Words,
+    ) -> Result<Words, BalanceError> {
+        let total = self.required_total_memory(law, m_old)?;
+        Ok(Words::new(total.get().div_ceil(self.p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_core::{OpsPerSec, WordsPerSec};
+
+    fn cell() -> PeSpec {
+        PeSpec::new(
+            OpsPerSec::new(10.0e6),
+            WordsPerSec::new(20.0e6),
+            Words::new(1024),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregate_scales_compute_not_io() {
+        let array = LinearArray::new(8, cell()).unwrap();
+        let agg = array.aggregate().unwrap();
+        assert_eq!(agg.comp_bw().get(), 80.0e6);
+        assert_eq!(agg.io_bw().get(), 20.0e6);
+        assert_eq!(agg.memory().get(), 8 * 1024);
+        assert_eq!(array.alpha().get(), 8.0);
+    }
+
+    #[test]
+    fn per_pe_memory_grows_linearly_for_matrix_law() {
+        // The paper's §4.1 result, verified across array sizes.
+        let law = GrowthLaw::Polynomial { degree: 2.0 };
+        let m_old = Words::new(4096);
+        for p in [1u64, 2, 4, 8, 16, 32, 64] {
+            let array = LinearArray::new(p, cell()).unwrap();
+            let per_pe = array.required_memory_per_pe(law, m_old).unwrap();
+            assert_eq!(per_pe.get(), p * 4096, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn per_pe_memory_grows_quadratically_for_3d_grids() {
+        let law = GrowthLaw::Polynomial { degree: 3.0 };
+        let array = LinearArray::new(10, cell()).unwrap();
+        let per_pe = array.required_memory_per_pe(law, Words::new(1000)).unwrap();
+        // total = p³·M_old = 1000·1000 words; per PE = total/p = p²·M_old.
+        assert_eq!(per_pe.get(), 100 * 1000);
+    }
+
+    #[test]
+    fn io_bounded_computations_cannot_balance_any_array() {
+        let array = LinearArray::new(4, cell()).unwrap();
+        assert_eq!(
+            array.required_memory_per_pe(GrowthLaw::Impossible, Words::new(64)),
+            Err(BalanceError::IoBounded)
+        );
+    }
+
+    #[test]
+    fn fft_law_explodes_with_p() {
+        // M_old^p: even p = 8 with M_old = 4096 overflows u64 (2^96).
+        let array = LinearArray::new(8, cell()).unwrap();
+        assert!(matches!(
+            array.required_total_memory(GrowthLaw::Exponential, Words::new(4096)),
+            Err(BalanceError::MemoryOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn p_one_is_identity() {
+        let array = LinearArray::new(1, cell()).unwrap();
+        let per_pe = array
+            .required_memory_per_pe(GrowthLaw::Polynomial { degree: 2.0 }, Words::new(77))
+            .unwrap();
+        assert_eq!(per_pe.get(), 77);
+    }
+
+    #[test]
+    fn zero_pes_rejected() {
+        assert!(LinearArray::new(0, cell()).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # balance-parallel
+//!
+//! The parallel-architecture half of Kung (1985), Section 4: parallel
+//! processing viewed as "a particular method of increasing the computation
+//! bandwidth of a PE", and what that does to memory requirements.
+//!
+//! * [`mod@array`] — the linear array (§4.1, Fig. 3): `α = p`, so per-PE memory
+//!   must grow **linearly with the array size** for matrix computations;
+//! * [`mesh`] — the square mesh (§4.2, Fig. 4): `α = p` but `p²` PEs, so
+//!   per-PE memory is **constant** for `α²`-laws and grows as `p^(d-2)` for
+//!   d-dimensional grids with `d > 2`;
+//! * [`systolic`] — cycle-level simulations of the decompositions the paper
+//!   cites as making the mesh result attainable: Kung–Leiserson matrix
+//!   multiplication and Gentleman–Kung Givens triangularization;
+//! * [`warp`] — the §5 CMU Warp machine case study (10 MFLOP/s cells,
+//!   20 Mwords/s links, 64K-word memories);
+//! * [`topology`] — ASCII renderings of Figures 3 and 4;
+//! * [`scaling`] — the `(p, memory-per-PE)` series behind experiments E8
+//!   and E9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod array;
+pub mod mesh;
+pub mod scaling;
+pub mod systolic;
+pub mod topology;
+pub mod warp;
+
+pub use array::LinearArray;
+pub use mesh::SquareMesh;
+pub use scaling::{growth_exponent, linear_array_series, mesh_series, ScalingPoint};
+pub use warp::{case_study, warp_array, warp_cell, WarpReport};

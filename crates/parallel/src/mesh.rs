@@ -1,0 +1,196 @@
+//! The two-dimensional processor array (paper §4.2, Fig. 4).
+//!
+//! A `p × p` mesh replacing one PE has `p²`-fold computation bandwidth and
+//! `p`-fold I/O bandwidth (the perimeter scales with `p`), so `α = p` again.
+//! For `α²`-law computations the required total memory is `p²·M_old` —
+//! which the `p²` PEs supply **automatically with constant per-PE memory**.
+//! That is the paper's remarkable §4.2 result: a square array is
+//! self-balancing for matrix computations as it grows, *provided the
+//! computation decomposes onto the mesh* (which the systolic algorithms in
+//! [`crate::systolic`] demonstrate). For `α^d`-laws with `d > 2`, per-PE
+//! memory must still grow like `p^(d-2)`.
+
+use balance_core::{Alpha, BalanceError, GrowthLaw, PeSpec, Words};
+
+/// A `p × p` mesh of identical PEs with perimeter I/O.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::{GrowthLaw, OpsPerSec, PeSpec, Words, WordsPerSec};
+/// use balance_parallel::SquareMesh;
+///
+/// let cell = PeSpec::new(OpsPerSec::new(1.0e7), WordsPerSec::new(2.0e7), Words::new(1024))?;
+/// let mesh = SquareMesh::new(8, cell)?;
+///
+/// // Matrix law: constant per-PE memory regardless of p.
+/// let law = GrowthLaw::Polynomial { degree: 2.0 };
+/// assert_eq!(mesh.required_memory_per_pe(law, Words::new(1024))?.get(), 1024);
+///
+/// // 3-D grid law: per-PE memory grows with p.
+/// let law3 = GrowthLaw::Polynomial { degree: 3.0 };
+/// assert_eq!(mesh.required_memory_per_pe(law3, Words::new(1024))?.get(), 8 * 1024);
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareMesh {
+    p: u64,
+    cell: PeSpec,
+}
+
+impl SquareMesh {
+    /// Creates a `p × p` mesh, `p ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidQuantity`] if `p == 0`.
+    pub fn new(p: u64, cell: PeSpec) -> Result<Self, BalanceError> {
+        if p == 0 {
+            return Err(BalanceError::InvalidQuantity {
+                what: "mesh side",
+                value: 0.0,
+            });
+        }
+        Ok(SquareMesh { p, cell })
+    }
+
+    /// Mesh side `p` (the array has `p²` PEs).
+    #[must_use]
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// Total number of PEs, `p²`.
+    #[must_use]
+    pub fn cells(&self) -> u64 {
+        self.p * self.p
+    }
+
+    /// The per-cell specification.
+    #[must_use]
+    pub fn cell(&self) -> PeSpec {
+        self.cell
+    }
+
+    /// The mesh viewed as one PE: `p²`-fold compute and memory, `p`-fold
+    /// I/O.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::MemoryOverflow`] for absurd `p`.
+    pub fn aggregate(&self) -> Result<PeSpec, BalanceError> {
+        self.cell.aggregate_scaled(self.p * self.p, self.p as f64)
+    }
+
+    /// The rebalance factor the arrangement imposes: `α = p²/p = p`.
+    #[must_use]
+    pub fn alpha(&self) -> Alpha {
+        Alpha::new(self.p as f64).expect("p >= 1")
+    }
+
+    /// Total aggregate memory needed to keep the mesh balanced.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::IoBounded`] / [`BalanceError::MemoryOverflow`] per
+    /// the law.
+    pub fn required_total_memory(
+        &self,
+        law: GrowthLaw,
+        m_old: Words,
+    ) -> Result<Words, BalanceError> {
+        law.new_memory(self.p as f64, m_old)
+    }
+
+    /// Memory each of the `p²` PEs must have to keep the mesh balanced.
+    ///
+    /// `α²`-law: `M_old` (constant — the self-balancing case).
+    /// `α^d`-law: `p^(d-2)·M_old`.
+    ///
+    /// # Errors
+    ///
+    /// As [`required_total_memory`](Self::required_total_memory).
+    pub fn required_memory_per_pe(
+        &self,
+        law: GrowthLaw,
+        m_old: Words,
+    ) -> Result<Words, BalanceError> {
+        let total = self.required_total_memory(law, m_old)?;
+        Ok(Words::new(total.get().div_ceil(self.cells())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_core::{OpsPerSec, WordsPerSec};
+
+    fn cell() -> PeSpec {
+        PeSpec::new(
+            OpsPerSec::new(10.0e6),
+            WordsPerSec::new(20.0e6),
+            Words::new(256),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregate_scales_like_the_paper_says() {
+        let mesh = SquareMesh::new(8, cell()).unwrap();
+        let agg = mesh.aggregate().unwrap();
+        assert_eq!(agg.comp_bw().get(), 64.0 * 10.0e6);
+        assert_eq!(agg.io_bw().get(), 8.0 * 20.0e6);
+        assert_eq!(agg.memory().get(), 64 * 256);
+        // alpha = p.
+        let cell_balance = cell().machine_balance();
+        assert!((agg.machine_balance() / cell_balance - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_law_is_self_balancing() {
+        // The §4.2 headline: constant per-PE memory for α²-computations.
+        let law = GrowthLaw::Polynomial { degree: 2.0 };
+        for p in [1u64, 2, 4, 8, 16, 32] {
+            let mesh = SquareMesh::new(p, cell()).unwrap();
+            let per_pe = mesh.required_memory_per_pe(law, Words::new(256)).unwrap();
+            assert_eq!(per_pe.get(), 256, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn high_dimensional_grids_are_never_self_balancing() {
+        // For d > 2, per-PE memory grows as p^(d-2): "an automatically
+        // rebalanced, square processor array is never possible".
+        let law3 = GrowthLaw::Polynomial { degree: 3.0 };
+        let law4 = GrowthLaw::Polynomial { degree: 4.0 };
+        for p in [2u64, 4, 8] {
+            let mesh = SquareMesh::new(p, cell()).unwrap();
+            let m3 = mesh.required_memory_per_pe(law3, Words::new(256)).unwrap();
+            let m4 = mesh.required_memory_per_pe(law4, Words::new(256)).unwrap();
+            assert_eq!(m3.get(), p * 256, "d=3, p={p}");
+            assert_eq!(m4.get(), p * p * 256, "d=4, p={p}");
+        }
+    }
+
+    #[test]
+    fn io_bounded_and_exponential_laws_behave() {
+        let mesh = SquareMesh::new(4, cell()).unwrap();
+        assert_eq!(
+            mesh.required_memory_per_pe(GrowthLaw::Impossible, Words::new(64)),
+            Err(BalanceError::IoBounded)
+        );
+        // Exponential: 64^4 = 2^24 total; per PE = 2^24/16 = 2^20.
+        let per_pe = mesh
+            .required_memory_per_pe(GrowthLaw::Exponential, Words::new(64))
+            .unwrap();
+        assert_eq!(per_pe.get(), (1u64 << 24) / 16);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(SquareMesh::new(0, cell()).is_err());
+        let mesh = SquareMesh::new(1, cell()).unwrap();
+        assert_eq!(mesh.cells(), 1);
+        assert_eq!(mesh.alpha().get(), 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Scaling series for the §4 experiments (E8, E9).
+//!
+//! Generates `(p, memory-per-PE)` curves for linear arrays and square
+//! meshes under each growth law — the data behind Figures 3 and 4's
+//! architectural conclusions.
+
+use balance_core::{BalanceError, GrowthLaw, PeSpec, Words};
+
+use crate::array::LinearArray;
+use crate::mesh::SquareMesh;
+
+/// One point of a scaling series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Array size parameter (`p` PEs for linear, `p × p` for mesh).
+    pub p: u64,
+    /// Memory each PE needs, in words.
+    pub per_pe_memory: u64,
+    /// Aggregate memory across the machine, in words.
+    pub total_memory: u64,
+}
+
+/// Per-PE memory requirement of a linear array of each size in `ps`, for a
+/// computation with growth law `law` balanced at `m_old` on one PE.
+///
+/// # Errors
+///
+/// Propagates law errors ([`BalanceError::IoBounded`], overflow).
+pub fn linear_array_series(
+    cell: PeSpec,
+    law: GrowthLaw,
+    m_old: Words,
+    ps: &[u64],
+) -> Result<Vec<ScalingPoint>, BalanceError> {
+    ps.iter()
+        .map(|&p| {
+            let array = LinearArray::new(p, cell)?;
+            let total = array.required_total_memory(law, m_old)?;
+            let per_pe = array.required_memory_per_pe(law, m_old)?;
+            Ok(ScalingPoint {
+                p,
+                per_pe_memory: per_pe.get(),
+                total_memory: total.get(),
+            })
+        })
+        .collect()
+}
+
+/// Per-PE memory requirement of a `p × p` mesh for each `p` in `ps`.
+///
+/// # Errors
+///
+/// Propagates law errors.
+pub fn mesh_series(
+    cell: PeSpec,
+    law: GrowthLaw,
+    m_old: Words,
+    ps: &[u64],
+) -> Result<Vec<ScalingPoint>, BalanceError> {
+    ps.iter()
+        .map(|&p| {
+            let mesh = SquareMesh::new(p, cell)?;
+            let total = mesh.required_total_memory(law, m_old)?;
+            let per_pe = mesh.required_memory_per_pe(law, m_old)?;
+            Ok(ScalingPoint {
+                p,
+                per_pe_memory: per_pe.get(),
+                total_memory: total.get(),
+            })
+        })
+        .collect()
+}
+
+/// Fits the slope of `log(per_pe_memory)` against `log(p)` — the growth
+/// exponent of the series (1.0 = linear growth, 0.0 = constant).
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied (harness misuse).
+#[must_use]
+pub fn growth_exponent(series: &[ScalingPoint]) -> f64 {
+    assert!(series.len() >= 2, "need at least two points");
+    let xs: Vec<f64> = series.iter().map(|s| (s.p as f64).ln()).collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .map(|s| (s.per_pe_memory.max(1) as f64).ln())
+        .collect();
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_core::{OpsPerSec, WordsPerSec};
+
+    fn cell() -> PeSpec {
+        PeSpec::new(
+            OpsPerSec::new(1.0e7),
+            WordsPerSec::new(2.0e7),
+            Words::new(1024),
+        )
+        .unwrap()
+    }
+
+    const PS: [u64; 6] = [2, 4, 8, 16, 32, 64];
+
+    #[test]
+    fn linear_array_matrix_law_grows_linearly() {
+        // E8 / Fig 3: per-PE memory ∝ p.
+        let series = linear_array_series(
+            cell(),
+            GrowthLaw::Polynomial { degree: 2.0 },
+            Words::new(1024),
+            &PS,
+        )
+        .unwrap();
+        let slope = growth_exponent(&series);
+        assert!((slope - 1.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn mesh_matrix_law_is_flat() {
+        // E9 / Fig 4: per-PE memory constant.
+        let series = mesh_series(
+            cell(),
+            GrowthLaw::Polynomial { degree: 2.0 },
+            Words::new(1024),
+            &PS,
+        )
+        .unwrap();
+        let slope = growth_exponent(&series);
+        assert!(slope.abs() < 1e-9, "slope {slope}");
+        assert!(series.iter().all(|s| s.per_pe_memory == 1024));
+    }
+
+    #[test]
+    fn mesh_3d_grid_law_grows_linearly() {
+        // E9's second half: d = 3 grids grow per-PE memory like p^(d-2) = p.
+        let series = mesh_series(
+            cell(),
+            GrowthLaw::Polynomial { degree: 3.0 },
+            Words::new(1024),
+            &PS,
+        )
+        .unwrap();
+        let slope = growth_exponent(&series);
+        assert!((slope - 1.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn io_bounded_law_propagates_error() {
+        assert!(linear_array_series(cell(), GrowthLaw::Impossible, Words::new(64), &PS).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn growth_exponent_needs_points() {
+        let _ = growth_exponent(&[]);
+    }
+}

@@ -1,0 +1,275 @@
+//! The Gentleman–Kung triangularization array (SPIE 1981).
+//!
+//! A triangular array of cells computes the `R` factor of a matrix `A` by
+//! Givens rotations — the paper's §3.2 cites exactly this array as the
+//! demonstration that triangularization decomposes onto a mesh. Cell layout
+//! for `n = 4`:
+//!
+//! ```text
+//! row 0:   ◇ □ □ □     ◇ = boundary cell (generates rotations, holds r_ii)
+//! row 1:     ◇ □ □     □ = internal cell (applies rotations, holds r_ij)
+//! row 2:       ◇ □
+//! row 3:         ◇
+//! ```
+//!
+//! Rows of `A` stream in from the top. When a row reaches cell row `i`, the
+//! boundary cell computes the rotation `(c, s)` that annihilates its leading
+//! entry against the stored `r_ii`, and the internal cells apply that
+//! rotation to the remaining entries. The rotation coefficients travel
+//! rightward, the updated row trickles down — one row per cycle in steady
+//! state (pipeline depth `2n − 1`, so `≈ 3n` cycles for an `n × n` matrix).
+//!
+//! The simulation is functionally cycle-faithful: each matrix row passes
+//! through cell rows in order, exactly as the pipeline would compute it, and
+//! the cycle count is reported from the standard skewing schedule.
+
+use balance_core::CostProfile;
+
+/// The outcome of a triangularization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GivensRun {
+    /// The upper-triangular factor, row-major `n × n` (zeros below).
+    pub r: Vec<f64>,
+    /// Pipeline cycles: rows enter one per cycle, depth `2n − 1`.
+    pub cycles: u64,
+    /// Aggregate cost: rotation generations + applications vs boundary I/O
+    /// (`A` in, `R` out).
+    pub cost: CostProfile,
+    /// Words of storage per cell (the stored `r` element plus pass-through).
+    pub memory_per_cell: u64,
+}
+
+/// The triangular Givens array for `n × n` matrices.
+#[derive(Debug, Clone)]
+pub struct GivensArray {
+    n: usize,
+    /// r[i][j] for j >= i, stored row-major in a full matrix for simplicity.
+    r: Vec<f64>,
+    ops: u64,
+}
+
+impl GivensArray {
+    /// Creates the array (all cells empty).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        GivensArray {
+            n,
+            r: vec![0.0; n * n],
+            ops: 0,
+        }
+    }
+
+    /// Feeds one matrix row through the array (the top-edge input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length is not `n`.
+    pub fn feed_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.n, "row length mismatch");
+        let n = self.n;
+        let mut x = row.to_vec();
+        for i in 0..n {
+            if x[i..].iter().all(|&v| v == 0.0) {
+                break;
+            }
+            let rii = self.r[i * n + i];
+            // Boundary cell: generate the rotation annihilating x[i].
+            let (c, s) = if x[i] == 0.0 {
+                (1.0, 0.0)
+            } else if rii == 0.0 {
+                // First value lands directly; the sign goes into the
+                // rotation so that diag(R) stays nonnegative.
+                (0.0, x[i].signum())
+            } else {
+                let t = (rii * rii + x[i] * x[i]).sqrt();
+                (rii / t, x[i] / t)
+            };
+            // 5 ops to generate (2 mul, 1 add, 1 sqrt, 1 div amortized x2).
+            self.ops += 5;
+            // Apply to the boundary element.
+            let new_rii = c * rii + s * x[i];
+            self.r[i * n + i] = new_rii;
+            x[i] = 0.0;
+            // Internal cells: rotate (r[i][j], x[j]) pairs.
+            #[allow(clippy::needless_range_loop)] // paired r/x indexing
+            for j in i + 1..n {
+                let rij = self.r[i * n + j];
+                let xj = x[j];
+                self.r[i * n + j] = c * rij + s * xj;
+                x[j] = -s * rij + c * xj;
+                self.ops += 6;
+            }
+        }
+    }
+
+    /// Finishes the computation and reports the run.
+    #[must_use]
+    pub fn finish(self, rows_fed: usize) -> GivensRun {
+        let n = self.n;
+        // I/O: every A word enters once; R (n(n+1)/2 words) drains out.
+        let io = (rows_fed * n + n * (n + 1) / 2) as u64;
+        // Pipeline: rows enter 1/cycle after skew; depth 2n-1; drain n.
+        let cycles = if n == 0 {
+            0
+        } else {
+            (rows_fed + 2 * n - 1) as u64
+        };
+        GivensRun {
+            r: self.r,
+            cycles,
+            cost: CostProfile::new(self.ops, io),
+            memory_per_cell: 2, // stored r element + pass-through register
+        }
+    }
+}
+
+/// Triangularizes a row-major `n × n` matrix; returns the run record.
+///
+/// # Panics
+///
+/// Panics if `a` is not `n × n`.
+#[must_use]
+pub fn triangularize(a: &[f64], n: usize) -> GivensRun {
+    assert_eq!(a.len(), n * n, "a must be n x n");
+    let mut array = GivensArray::new(n);
+    for i in 0..n {
+        array.feed_row(&a[i * n..(i + 1) * n]);
+    }
+    array.finish(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_kernels::{reference, workload};
+
+    /// ‖RᵀR − AᵀA‖_max — zero iff R equals QᵀA for some orthogonal Q.
+    fn gram_error(r: &[f64], a: &[f64], n: usize) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let mut rr = 0.0;
+                let mut aa = 0.0;
+                for k in 0..n {
+                    rr += r[k * n + i] * r[k * n + j];
+                    aa += a[k * n + i] * a[k * n + j];
+                }
+                max = max.max((rr - aa).abs());
+            }
+        }
+        max
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let n = 8;
+        let a = workload::random_matrix(n, 31);
+        let run = triangularize(&a, n);
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(run.r[i * n + j], 0.0, "R[{i}][{j}] not annihilated");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matrices_match() {
+        // QᵀA = R with orthogonal Q implies RᵀR = AᵀA.
+        for n in [1usize, 2, 4, 7, 10] {
+            let a = workload::random_matrix(n, 32 + n as u64);
+            let run = triangularize(&a, n);
+            let err = gram_error(&run.r, &a, n);
+            assert!(err < 1e-9 * (n as f64 + 1.0), "n = {n}, err = {err}");
+        }
+    }
+
+    #[test]
+    fn triangularizing_an_upper_triangular_matrix_is_cheapish() {
+        // Feeding an already-upper-triangular matrix: the first row lands
+        // directly; later rows still trigger rotations but R stays upper.
+        let n = 5;
+        let mut a = workload::random_matrix(n, 33);
+        for i in 0..n {
+            for j in 0..i {
+                a[i * n + j] = 0.0;
+            }
+        }
+        let run = triangularize(&a, n);
+        let err = gram_error(&run.r, &a, n);
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_of_r_is_nonnegative() {
+        // The generation rule uses t = +sqrt(...), so r_ii >= 0.
+        let n = 9;
+        let a = workload::random_matrix(n, 34);
+        let run = triangularize(&a, n);
+        for i in 0..n {
+            assert!(run.r[i * n + i] >= 0.0, "r[{i}][{i}] negative");
+        }
+    }
+
+    #[test]
+    fn cost_and_cycle_model() {
+        let n = 6;
+        let a = workload::random_matrix(n, 35);
+        let run = triangularize(&a, n);
+        assert_eq!(run.cycles, (n + 2 * n - 1) as u64);
+        assert_eq!(run.cost.io_words(), (n * n + n * (n + 1) / 2) as u64);
+        // ops = Θ(n³): between n³ and 10n³ for this op accounting.
+        let n3 = (n as u64).pow(3);
+        assert!(run.cost.comp_ops() > n3 && run.cost.comp_ops() < 10 * n3);
+        assert_eq!(run.memory_per_cell, 2);
+    }
+
+    #[test]
+    fn solves_least_squares_consistently_with_reference_lu_on_spd_case() {
+        // For a diagonally dominant A, verify R via the Cholesky relation:
+        // RᵀR = AᵀA, and AᵀA is SPD, so R is its unique Cholesky factor
+        // (up to row signs — fixed here since diag(R) >= 0).
+        let n = 6;
+        let a = workload::random_diagonally_dominant(n, 36);
+        let run = triangularize(&a, n);
+        // Build AᵀA and factor it with our reference LU to cross-check.
+        let mut ata = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a[k * n + i] * a[k * n + j];
+                }
+                ata[i * n + j] = s;
+            }
+        }
+        // RᵀR must reproduce AᵀA.
+        let mut rtr = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += run.r[k * n + i] * run.r[k * n + j];
+                }
+                rtr[i * n + j] = s;
+            }
+        }
+        assert!(reference::max_abs_diff(&ata, &rtr) < 1e-8 * (n as f64 + 1.0) * 10.0);
+    }
+
+    #[test]
+    fn zero_rows_short_circuit() {
+        let n = 4;
+        let mut array = GivensArray::new(n);
+        array.feed_row(&[0.0; 4]);
+        let run = array.finish(1);
+        assert_eq!(run.cost.comp_ops(), 0);
+        assert!(run.r.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn wrong_row_length_panics() {
+        let mut array = GivensArray::new(4);
+        array.feed_row(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Cycle-level systolic matrix multiplication (Kung & Leiserson 1978).
+//!
+//! An `n × n` mesh of cells computes `C = A·B`. Cell `(i, j)` holds exactly
+//! three registers — the accumulating `c[i][j]`, plus pass-through registers
+//! for the `a` value moving east and the `b` value moving south. Row `i` of
+//! `A` enters at the west edge delayed by `i` cycles; column `j` of `B`
+//! enters at the north edge delayed by `j` cycles. After `3n − 2` cycles all
+//! products have been accumulated.
+//!
+//! The simulation demonstrates the paper's §4.2 premise with `O(1)` words
+//! per PE: total memory `Θ(n²) = Θ(p²)`, exactly the `α² = p²` growth the
+//! balance law demands, supplied entirely by adding PEs.
+
+use balance_core::CostProfile;
+
+/// The outcome of a systolic matmul run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystolicRun {
+    /// The computed product, row-major `n × n`.
+    pub c: Vec<f64>,
+    /// Cycles simulated until completion.
+    pub cycles: u64,
+    /// Aggregate cost: ops performed by all cells, words crossing the array
+    /// boundary (A and B in, C out).
+    pub cost: CostProfile,
+    /// Words of storage per cell (registers).
+    pub memory_per_cell: u64,
+    /// Fraction of cell-cycles doing useful multiply-accumulate work.
+    pub utilization: f64,
+}
+
+/// Runs the `n × n` systolic array on row-major inputs `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is not `n × n`.
+#[must_use]
+pub fn systolic_matmul(a: &[f64], b: &[f64], n: usize) -> SystolicRun {
+    assert_eq!(a.len(), n * n, "a must be n x n");
+    assert_eq!(b.len(), n * n, "b must be n x n");
+
+    // Per-cell registers.
+    let mut c = vec![0.0f64; n * n];
+    let mut a_reg: Vec<Option<f64>> = vec![None; n * n];
+    let mut b_reg: Vec<Option<f64>> = vec![None; n * n];
+
+    let mut ops = 0u64;
+    let mut busy_cell_cycles = 0u64;
+    let total_cycles = if n == 0 { 0 } else { 3 * n - 2 };
+
+    for cycle in 0..total_cycles {
+        // Values move simultaneously: compute the next register state from
+        // the current one.
+        let mut a_next: Vec<Option<f64>> = vec![None; n * n];
+        let mut b_next: Vec<Option<f64>> = vec![None; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                // West input for column 0: row i of A, skewed by i.
+                let a_in = if j == 0 {
+                    // a[i][k] enters cell (i,0) at cycle i + k.
+                    cycle
+                        .checked_sub(i)
+                        .and_then(|k| if k < n { Some(a[i * n + k]) } else { None })
+                } else {
+                    a_reg[i * n + (j - 1)]
+                };
+                // North input for row 0: column j of B, skewed by j.
+                let b_in = if i == 0 {
+                    cycle
+                        .checked_sub(j)
+                        .and_then(|k| if k < n { Some(b[k * n + j]) } else { None })
+                } else {
+                    b_reg[(i - 1) * n + j]
+                };
+                if let (Some(av), Some(bv)) = (a_in, b_in) {
+                    c[i * n + j] += av * bv;
+                    ops += 2;
+                    busy_cell_cycles += 1;
+                }
+                a_next[i * n + j] = a_in;
+                b_next[i * n + j] = b_in;
+            }
+        }
+        a_reg = a_next;
+        b_reg = b_next;
+    }
+
+    // Boundary I/O: every A and B word enters once, every C word leaves once.
+    let io_words = (3 * n * n) as u64;
+    let cells = (n * n) as u64;
+    let utilization = if cells == 0 || total_cycles == 0 {
+        0.0
+    } else {
+        busy_cell_cycles as f64 / (cells * total_cycles as u64) as f64
+    };
+
+    SystolicRun {
+        c,
+        cycles: total_cycles as u64,
+        cost: CostProfile::new(ops, io_words),
+        memory_per_cell: 3, // c + a + b registers
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_kernels::{reference, workload};
+
+    #[test]
+    fn computes_the_exact_product() {
+        for n in [1usize, 2, 3, 5, 8, 12] {
+            let a = workload::random_matrix(n, 21);
+            let b = workload::random_matrix(n, 22);
+            let run = systolic_matmul(&a, &b, n);
+            let want = reference::matmul(&a, &b, n);
+            let err = reference::max_abs_diff(&run.c, &want);
+            assert!(err < 1e-12 * (n as f64 + 1.0), "n = {n}, err = {err}");
+        }
+    }
+
+    #[test]
+    fn completes_in_3n_minus_2_cycles() {
+        let n = 6;
+        let a = workload::random_matrix(n, 1);
+        let b = workload::random_matrix(n, 2);
+        let run = systolic_matmul(&a, &b, n);
+        assert_eq!(run.cycles, (3 * n - 2) as u64);
+    }
+
+    #[test]
+    fn performs_exactly_2n3_ops() {
+        let n = 7;
+        let a = workload::random_matrix(n, 3);
+        let b = workload::random_matrix(n, 4);
+        let run = systolic_matmul(&a, &b, n);
+        assert_eq!(run.cost.comp_ops(), 2 * (n as u64).pow(3));
+        assert_eq!(run.cost.io_words(), 3 * (n as u64).pow(2));
+    }
+
+    #[test]
+    fn constant_memory_per_cell() {
+        for n in [2usize, 8, 16] {
+            let a = workload::random_matrix(n, 5);
+            let b = workload::random_matrix(n, 6);
+            let run = systolic_matmul(&a, &b, n);
+            assert_eq!(run.memory_per_cell, 3, "independent of n = {n}");
+        }
+    }
+
+    #[test]
+    fn utilization_approaches_one_third() {
+        // n³ useful cell-cycles out of n²·(3n-2): → 1/3 for large n.
+        let n = 16;
+        let a = workload::random_matrix(n, 7);
+        let b = workload::random_matrix(n, 8);
+        let run = systolic_matmul(&a, &b, n);
+        assert!(
+            (run.utilization - 1.0 / 3.0).abs() < 0.05,
+            "{}",
+            run.utilization
+        );
+    }
+
+    #[test]
+    fn aggregate_intensity_matches_the_balance_view() {
+        // The n×n mesh (p = n) achieves intensity 2n³/3n² = 2n/3 = Θ(p):
+        // exactly the α = p growth that Section 4.2 says a square mesh
+        // absorbs with constant per-PE memory.
+        let n = 12;
+        let a = workload::random_matrix(n, 9);
+        let b = workload::random_matrix(n, 10);
+        let run = systolic_matmul(&a, &b, n);
+        let intensity = run.cost.intensity();
+        assert!((intensity - 2.0 * n as f64 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_identity() {
+        let run = systolic_matmul(&[], &[], 0);
+        assert_eq!(run.cycles, 0);
+        assert!(run.c.is_empty());
+
+        let n = 4;
+        let a = workload::random_matrix(n, 11);
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let run = systolic_matmul(&a, &eye, n);
+        assert!(reference::max_abs_diff(&run.c, &a) < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! Cycle-level systolic array simulations.
+//!
+//! Section 4.2's self-balancing claim for square meshes hinges on a premise:
+//! that matrix computations *actually decompose* onto a mesh with constant
+//! per-PE memory. The paper cites the Kung–Leiserson matrix-multiplication
+//! array and the Gentleman–Kung triangularization array as proof. This
+//! module simulates both at cycle level and verifies their outputs, closing
+//! that loop executably:
+//!
+//! * [`matmul`] — `n × n` mesh computing `C = A·B` with three registers per
+//!   cell; operands stream in skewed from the west and north edges.
+//! * [`givens`] — triangular array computing the `R` factor of `A` by
+//!   Givens rotations; boundary cells generate rotations, internal cells
+//!   apply them.
+
+pub mod givens;
+pub mod matmul;
+
+pub use givens::{GivensArray, GivensRun};
+pub use matmul::{systolic_matmul, SystolicRun};

@@ -1,0 +1,79 @@
+//! ASCII renderings of the paper's array figures.
+//!
+//! Figure 3 (one PE becomes a linear array) and Figure 4 (one PE becomes a
+//! `p × p` mesh) are reproduced as text diagrams for the `repro` harness.
+
+/// Renders Figure 3: one PE replaced by `p` linearly connected PEs, with
+/// I/O only at the boundary.
+#[must_use]
+pub fn render_linear_array(p: usize) -> String {
+    let mut s = String::new();
+    s.push_str("Before: 1 PE          Now: p PEs (I/O at the boundary only)\n\n");
+    s.push_str("<=> [PE]              <=> ");
+    for i in 0..p {
+        s.push_str("[PE]");
+        if i + 1 < p {
+            s.push('-');
+        }
+    }
+    s.push_str(" <=>\n");
+    s
+}
+
+/// Renders Figure 4: one PE replaced by a `p × p` mesh with perimeter I/O.
+#[must_use]
+pub fn render_mesh(p: usize) -> String {
+    let mut s = String::new();
+    s.push_str("Before: 1 PE          Now: p x p PEs (perimeter I/O)\n\n");
+    for row in 0..p {
+        if row == 0 {
+            s.push_str("<=> [PE]          ");
+        } else {
+            s.push_str("                  ");
+        }
+        s.push_str("<=> ");
+        for col in 0..p {
+            s.push_str("[PE]");
+            if col + 1 < p {
+                s.push('-');
+            }
+        }
+        s.push_str(" <=>\n");
+        if row + 1 < p {
+            s.push_str("                      ");
+            for col in 0..p {
+                s.push_str("  | ");
+                if col + 1 < p {
+                    s.push(' ');
+                }
+            }
+            s.push('\n');
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_array_shows_p_pes() {
+        let art = render_linear_array(4);
+        assert_eq!(art.matches("[PE]").count(), 5); // 1 before + 4 after
+        assert!(art.contains("boundary"));
+    }
+
+    #[test]
+    fn mesh_shows_p_squared_pes() {
+        let art = render_mesh(3);
+        assert_eq!(art.matches("[PE]").count(), 10); // 1 before + 9 after
+        assert!(art.contains('|')); // vertical links
+    }
+
+    #[test]
+    fn degenerate_sizes_render() {
+        assert!(render_linear_array(1).contains("[PE]"));
+        assert!(render_mesh(1).contains("[PE]"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the parallel-architecture models and the
+//! systolic simulators.
+
+use balance_core::{GrowthLaw, OpsPerSec, PeSpec, Words, WordsPerSec};
+use balance_kernels::{reference, workload};
+use balance_parallel::systolic::givens::triangularize;
+use balance_parallel::systolic::matmul::systolic_matmul;
+use balance_parallel::{LinearArray, SquareMesh};
+use proptest::prelude::*;
+
+fn cell() -> PeSpec {
+    PeSpec::new(
+        OpsPerSec::new(1.0e7),
+        WordsPerSec::new(2.0e7),
+        Words::new(1024),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Systolic matmul equals the reference product for random sizes/seeds.
+    #[test]
+    fn systolic_matmul_is_exact(n in 1usize..14, seed in 0u64..500) {
+        let a = workload::random_matrix(n, seed);
+        let b = workload::random_matrix(n, seed ^ 0xff);
+        let run = systolic_matmul(&a, &b, n);
+        let want = reference::matmul(&a, &b, n);
+        prop_assert!(reference::max_abs_diff(&run.c, &want) < 1e-11 * (n as f64 + 1.0));
+        prop_assert_eq!(run.cost.comp_ops(), 2 * (n as u64).pow(3));
+        prop_assert_eq!(run.memory_per_cell, 3);
+    }
+
+    /// Givens triangularization preserves the Gram matrix and yields an
+    /// upper-triangular R with nonnegative diagonal.
+    #[test]
+    fn givens_preserves_gram(n in 1usize..12, seed in 0u64..500) {
+        let a = workload::random_matrix(n, seed);
+        let run = triangularize(&a, n);
+        for i in 0..n {
+            prop_assert!(run.r[i * n + i] >= 0.0);
+            for j in 0..i {
+                prop_assert_eq!(run.r[i * n + j], 0.0);
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let mut rr = 0.0;
+                let mut aa = 0.0;
+                for k in 0..n {
+                    rr += run.r[k * n + i] * run.r[k * n + j];
+                    aa += a[k * n + i] * a[k * n + j];
+                }
+                prop_assert!((rr - aa).abs() < 1e-9 * (n as f64 + 1.0),
+                    "gram mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    /// Linear array: total required memory is p² × per-cell baseline for
+    /// the matrix law, and per-PE memory is total / p — for any p.
+    #[test]
+    fn linear_array_identities(p in 1u64..200, m_old in 1u64..10_000) {
+        let array = LinearArray::new(p, cell()).unwrap();
+        let law = GrowthLaw::Polynomial { degree: 2.0 };
+        let total = array.required_total_memory(law, Words::new(m_old)).unwrap();
+        let per_pe = array.required_memory_per_pe(law, Words::new(m_old)).unwrap();
+        prop_assert_eq!(total.get(), p * p * m_old);
+        prop_assert_eq!(per_pe.get(), p * m_old);
+        prop_assert!((array.alpha().get() - p as f64).abs() < 1e-12);
+    }
+
+    /// Square mesh: per-PE memory for the α²-law is exactly the baseline,
+    /// independent of p; for the α³-law it is p × baseline.
+    #[test]
+    fn mesh_identities(p in 1u64..200, m_old in 1u64..10_000) {
+        let mesh = SquareMesh::new(p, cell()).unwrap();
+        let law2 = GrowthLaw::Polynomial { degree: 2.0 };
+        let law3 = GrowthLaw::Polynomial { degree: 3.0 };
+        prop_assert_eq!(
+            mesh.required_memory_per_pe(law2, Words::new(m_old)).unwrap().get(),
+            m_old
+        );
+        prop_assert_eq!(
+            mesh.required_memory_per_pe(law3, Words::new(m_old)).unwrap().get(),
+            p * m_old
+        );
+    }
+
+    /// Mesh and linear array agree on alpha for equal PE counts only when
+    /// p_mesh² = p_linear — the mesh gets more I/O for the same compute.
+    #[test]
+    fn mesh_has_more_io_headroom(p in 2u64..40) {
+        let linear = LinearArray::new(p * p, cell()).unwrap();
+        let mesh = SquareMesh::new(p, cell()).unwrap();
+        // Same compute (p² cells), but mesh alpha = p < linear alpha = p².
+        prop_assert!((linear.alpha().get() - (p * p) as f64).abs() < 1e-12);
+        prop_assert!((mesh.alpha().get() - p as f64).abs() < 1e-12);
+    }
+
+    /// Systolic matmul utilization is exactly n/(3n−2): n³ useful
+    /// cell-cycles over n²·(3n−2) — approaching 1/3 from above.
+    #[test]
+    fn systolic_utilization_exact(n in 2usize..16) {
+        let a = workload::random_matrix(n, 1);
+        let b = workload::random_matrix(n, 2);
+        let run = systolic_matmul(&a, &b, n);
+        let exact = n as f64 / (3 * n - 2) as f64;
+        prop_assert!((run.utilization - exact).abs() < 1e-12);
+    }
+}

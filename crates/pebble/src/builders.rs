@@ -1,0 +1,230 @@
+//! DAG builders for the computations the paper cites.
+//!
+//! The Hong–Kung results the paper leans on ("best possible among all
+//! decomposition schemes") are theorems about these graphs: the FFT
+//! butterfly network and the matrix-multiplication DAG. Stencil, tree, and
+//! diamond graphs round out the test menagerie.
+
+use crate::dag::{Dag, NodeId};
+
+/// The radix-2 FFT butterfly graph on `n = 2^t` points: `t` ranks of `n`
+/// vertices; the vertex for value `i` at rank `r+1` depends on the rank-`r`
+/// vertices of `i` and `i XOR 2^r`. Inputs are rank 0 (in bit-reversed
+/// signal order, matching decimation-in-time); the last rank is the output.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+#[must_use]
+pub fn fft_dag(n: usize) -> Dag {
+    assert!(n.is_power_of_two() && n >= 2, "fft size must be 2^t >= 2");
+    let t = n.trailing_zeros() as usize;
+    let mut dag = Dag::new();
+    let mut rank: Vec<NodeId> = (0..n).map(|_| dag.add_input()).collect();
+    for r in 0..t {
+        let bit = 1usize << r;
+        let next: Vec<NodeId> = (0..n)
+            .map(|i| dag.add_node(&[rank[i], rank[i ^ bit]]))
+            .collect();
+        rank = next;
+    }
+    for v in &rank {
+        dag.mark_output(*v);
+    }
+    dag
+}
+
+/// The naive matrix-multiplication DAG for `C = A·B` (`n × n`): inputs
+/// `a[i][k]` and `b[k][j]`; for each `(i,j)` a chain of `n` multiply-add
+/// vertices (each multiply vertex feeds an accumulate vertex); the final
+/// accumulate of each `(i,j)` is an output.
+///
+/// Vertex count: `2n²` inputs + `2n³` internal (n multiplies and n adds per
+/// output element, with the first "add" being a copy of the first product).
+#[must_use]
+pub fn matmul_dag(n: usize) -> Dag {
+    let mut dag = Dag::new();
+    let a: Vec<NodeId> = (0..n * n).map(|_| dag.add_input()).collect();
+    let b: Vec<NodeId> = (0..n * n).map(|_| dag.add_input()).collect();
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: Option<NodeId> = None;
+            for k in 0..n {
+                let prod = dag.add_node(&[a[i * n + k], b[k * n + j]]);
+                acc = Some(match acc {
+                    None => prod,
+                    Some(prev) => dag.add_node(&[prev, prod]),
+                });
+            }
+            dag.mark_output(acc.expect("n >= 1"));
+        }
+    }
+    dag
+}
+
+/// A 1-D three-point stencil iterated `t` times on `n` points with periodic
+/// boundary: rank `r+1` point `i` depends on rank-`r` points `i-1, i, i+1`.
+/// Rank 0 is the input; rank `t` is the output.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `t == 0`.
+#[must_use]
+pub fn stencil1d_dag(n: usize, t: usize) -> Dag {
+    assert!(n >= 3, "stencil needs at least 3 points");
+    assert!(t >= 1, "stencil needs at least one step");
+    let mut dag = Dag::new();
+    let mut rank: Vec<NodeId> = (0..n).map(|_| dag.add_input()).collect();
+    for _ in 0..t {
+        let next: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let left = rank[(i + n - 1) % n];
+                let right = rank[(i + 1) % n];
+                dag.add_node(&[left, rank[i], right])
+            })
+            .collect();
+        rank = next;
+    }
+    for v in &rank {
+        dag.mark_output(*v);
+    }
+    dag
+}
+
+/// A binary reduction tree over `n = 2^k` inputs; the root is the output.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+#[must_use]
+pub fn tree_dag(n: usize) -> Dag {
+    assert!(n.is_power_of_two() && n >= 2, "tree size must be 2^k >= 2");
+    let mut dag = Dag::new();
+    let mut level: Vec<NodeId> = (0..n).map(|_| dag.add_input()).collect();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| dag.add_node(&[pair[0], pair[1]]))
+            .collect();
+    }
+    dag.mark_output(level[0]);
+    dag
+}
+
+/// The diamond DAG: one input fans out to `width` middle vertices which all
+/// feed one output vertex. Classic worst case for tiny red-pebble budgets.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn diamond_dag(width: usize) -> Dag {
+    assert!(width >= 1);
+    let mut dag = Dag::new();
+    let src = dag.add_input();
+    let mid: Vec<NodeId> = (0..width).map(|_| dag.add_node(&[src])).collect();
+    let out = dag.add_node(&mid);
+    dag.mark_output(out);
+    dag
+}
+
+/// A simple dependency chain of `len` compute vertices after one input.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+#[must_use]
+pub fn chain_dag(len: usize) -> Dag {
+    assert!(len >= 1);
+    let mut dag = Dag::new();
+    let mut prev = dag.add_input();
+    for _ in 0..len {
+        prev = dag.add_node(&[prev]);
+    }
+    dag.mark_output(prev);
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_dag_shape() {
+        let n = 8;
+        let dag = fft_dag(n);
+        let t = 3;
+        assert_eq!(dag.len(), n * (t + 1));
+        assert_eq!(dag.inputs().len(), n);
+        assert_eq!(dag.outputs().len(), n);
+        assert_eq!(dag.max_fan_in(), 2);
+        // Every non-input vertex has exactly 2 predecessors.
+        for v in dag.topo_order() {
+            if !dag.is_input(v) {
+                assert_eq!(dag.preds(v).len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_dag_butterfly_partners() {
+        // At rank 1 (first butterfly level) node for index i pairs with i^1.
+        let dag = fft_dag(4);
+        // Inputs are ids 0..4; rank-1 nodes are ids 4..8.
+        let v = crate::dag::NodeId(4); // index 0, rank 1
+        let preds = dag.preds(v);
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].0, 0);
+        assert_eq!(preds[1].0, 1); // 0 XOR 1
+    }
+
+    #[test]
+    #[should_panic(expected = "fft size must be 2^t")]
+    fn fft_dag_rejects_non_power() {
+        let _ = fft_dag(6);
+    }
+
+    #[test]
+    fn matmul_dag_shape() {
+        let n = 3;
+        let dag = matmul_dag(n);
+        // 2n² inputs + n³ products + n²(n-1) accumulates.
+        assert_eq!(dag.len(), 2 * n * n + n * n * n + n * n * (n - 1));
+        assert_eq!(dag.inputs().len(), 2 * n * n);
+        assert_eq!(dag.outputs().len(), n * n);
+    }
+
+    #[test]
+    fn matmul_dag_n1_degenerates_to_products() {
+        let dag = matmul_dag(1);
+        assert_eq!(dag.len(), 3); // a, b, a*b
+        assert_eq!(dag.outputs().len(), 1);
+    }
+
+    #[test]
+    fn stencil_dag_shape() {
+        let dag = stencil1d_dag(5, 2);
+        assert_eq!(dag.len(), 5 * 3);
+        assert_eq!(dag.inputs().len(), 5);
+        assert_eq!(dag.outputs().len(), 5);
+        assert_eq!(dag.max_fan_in(), 3);
+    }
+
+    #[test]
+    fn tree_dag_shape() {
+        let dag = tree_dag(8);
+        assert_eq!(dag.len(), 15);
+        assert_eq!(dag.outputs().len(), 1);
+        assert_eq!(dag.compute_count(), 7);
+    }
+
+    #[test]
+    fn diamond_and_chain() {
+        let d = diamond_dag(4);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.max_fan_in(), 4);
+        let c = chain_dag(5);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.outputs().len(), 1);
+    }
+}

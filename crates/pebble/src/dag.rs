@@ -1,0 +1,239 @@
+//! Computation DAGs for the pebble game.
+//!
+//! A [`Dag`] is the directed acyclic graph of a straight-line computation:
+//! vertices are values, edges point from operands to results. Vertices with
+//! no predecessors are **inputs**; vertices marked as results are
+//! **outputs**. Acyclicity is guaranteed by construction — a node may only
+//! name already-existing nodes as predecessors, so node ids are a
+//! topological order.
+
+use core::fmt;
+
+/// A vertex in a computation DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A computation DAG under construction / in use.
+///
+/// # Examples
+///
+/// ```
+/// use balance_pebble::dag::Dag;
+///
+/// // c = a + b
+/// let mut dag = Dag::new();
+/// let a = dag.add_input();
+/// let b = dag.add_input();
+/// let c = dag.add_node(&[a, b]);
+/// dag.mark_output(c);
+/// assert_eq!(dag.inputs().len(), 2);
+/// assert_eq!(dag.outputs(), &[c]);
+/// assert_eq!(dag.preds(c), &[a, b]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+    outputs: Vec<NodeId>,
+    is_output: Vec<bool>,
+}
+
+impl Dag {
+    /// Creates an empty DAG.
+    #[must_use]
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Adds an input vertex (no predecessors).
+    pub fn add_input(&mut self) -> NodeId {
+        self.add_node(&[])
+    }
+
+    /// Adds a vertex computed from `preds` (all must already exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a predecessor id is out of range (construction bug).
+    pub fn add_node(&mut self, preds: &[NodeId]) -> NodeId {
+        let id = NodeId(u32::try_from(self.preds.len()).expect("dag too large"));
+        for p in preds {
+            assert!(
+                p.index() < self.preds.len(),
+                "predecessor {p} does not exist yet"
+            );
+            self.succs[p.index()].push(id);
+        }
+        self.preds.push(preds.to_vec());
+        self.succs.push(Vec::new());
+        self.is_output.push(false);
+        id
+    }
+
+    /// Marks a vertex as an output of the computation.
+    ///
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn mark_output(&mut self, v: NodeId) {
+        assert!(v.index() < self.preds.len(), "no such node {v}");
+        if !self.is_output[v.index()] {
+            self.is_output[v.index()] = true;
+            self.outputs.push(v);
+        }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True when the DAG has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The predecessors (operands) of `v`.
+    #[must_use]
+    pub fn preds(&self, v: NodeId) -> &[NodeId] {
+        &self.preds[v.index()]
+    }
+
+    /// The successors (uses) of `v`.
+    #[must_use]
+    pub fn succs(&self, v: NodeId) -> &[NodeId] {
+        &self.succs[v.index()]
+    }
+
+    /// All input vertices (no predecessors), in id order.
+    #[must_use]
+    pub fn inputs(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// The output vertices, in marking order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// True if `v` is an input.
+    #[must_use]
+    pub fn is_input(&self, v: NodeId) -> bool {
+        self.preds[v.index()].is_empty()
+    }
+
+    /// True if `v` is an output.
+    #[must_use]
+    pub fn is_output(&self, v: NodeId) -> bool {
+        self.is_output[v.index()]
+    }
+
+    /// All vertices in id order (a valid topological order by construction).
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        (0..self.len()).map(|i| NodeId(i as u32)).collect()
+    }
+
+    /// The number of non-input vertices (the "computation size").
+    #[must_use]
+    pub fn compute_count(&self) -> usize {
+        (0..self.len())
+            .filter(|&i| !self.preds[i].is_empty())
+            .count()
+    }
+
+    /// The maximum in-degree (operand fan-in) in the DAG.
+    #[must_use]
+    pub fn max_fan_in(&self) -> usize {
+        self.preds.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_queries() {
+        let mut dag = Dag::new();
+        let a = dag.add_input();
+        let b = dag.add_input();
+        let c = dag.add_node(&[a, b]);
+        let d = dag.add_node(&[c]);
+        dag.mark_output(d);
+
+        assert_eq!(dag.len(), 4);
+        assert!(!dag.is_empty());
+        assert_eq!(dag.inputs(), vec![a, b]);
+        assert_eq!(dag.outputs(), &[d]);
+        assert!(dag.is_input(a));
+        assert!(!dag.is_input(c));
+        assert!(dag.is_output(d));
+        assert!(!dag.is_output(c));
+        assert_eq!(dag.succs(a), &[c]);
+        assert_eq!(dag.succs(c), &[d]);
+        assert_eq!(dag.preds(d), &[c]);
+        assert_eq!(dag.compute_count(), 2);
+        assert_eq!(dag.max_fan_in(), 2);
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let mut dag = Dag::new();
+        let a = dag.add_input();
+        dag.mark_output(a);
+        dag.mark_output(a);
+        assert_eq!(dag.outputs().len(), 1);
+    }
+
+    #[test]
+    fn ids_are_topological() {
+        let mut dag = Dag::new();
+        let a = dag.add_input();
+        let b = dag.add_node(&[a]);
+        let c = dag.add_node(&[a, b]);
+        for v in dag.topo_order() {
+            for p in dag.preds(v) {
+                assert!(p.0 < v.0, "edge {p} -> {v} violates id order");
+            }
+        }
+        assert_eq!(dag.topo_order(), vec![a, b, c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_references_panic() {
+        let mut dag = Dag::new();
+        let _ = dag.add_node(&[NodeId(5)]);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = Dag::new();
+        assert!(dag.is_empty());
+        assert_eq!(dag.inputs().len(), 0);
+        assert_eq!(dag.max_fan_in(), 0);
+    }
+}

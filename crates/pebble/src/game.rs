@@ -1,0 +1,399 @@
+//! The red–blue pebble game of Hong & Kung (1981).
+//!
+//! The game models a two-level memory: **red** pebbles are words in fast
+//! memory (at most `S` at a time — the paper's `M`), **blue** pebbles are
+//! words in slow memory (unbounded). The rules:
+//!
+//! * **R1 (input)** — a red pebble may be placed on any vertex that has a
+//!   blue pebble *(one I/O)*;
+//! * **R2 (compute)** — a red pebble may be placed on a vertex all of whose
+//!   predecessors carry red pebbles;
+//! * **R3 (output)** — a blue pebble may be placed on any vertex that has a
+//!   red pebble *(one I/O)*;
+//! * **R4 (delete)** — a red pebble may be removed from any vertex.
+//!
+//! Initially every input vertex carries a blue pebble. The game is won when
+//! every output vertex carries a blue pebble. The minimum number of
+//! R1/R3 moves over all strategies is the I/O complexity `Q(S)` — the
+//! quantity whose lower bounds make the paper's schemes "best possible".
+
+use core::fmt;
+
+use crate::dag::{Dag, NodeId};
+
+/// A move in the red–blue pebble game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// R1: load a blue-pebbled vertex into fast memory (1 I/O).
+    ReadIn(NodeId),
+    /// R2: compute a vertex whose predecessors are all red.
+    Compute(NodeId),
+    /// R3: write a red-pebbled vertex to slow memory (1 I/O).
+    WriteOut(NodeId),
+    /// R4: discard a red pebble.
+    Delete(NodeId),
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Move::ReadIn(v) => write!(f, "R1 read {v}"),
+            Move::Compute(v) => write!(f, "R2 compute {v}"),
+            Move::WriteOut(v) => write!(f, "R3 write {v}"),
+            Move::Delete(v) => write!(f, "R4 delete {v}"),
+        }
+    }
+}
+
+/// Rule violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// R1 on a vertex without a blue pebble.
+    NotBlue(NodeId),
+    /// R2 with a predecessor lacking a red pebble.
+    PredNotRed {
+        /// The vertex being computed.
+        vertex: NodeId,
+        /// The offending predecessor.
+        missing: NodeId,
+    },
+    /// R3/R4 on a vertex without a red pebble.
+    NotRed(NodeId),
+    /// Placing a red pebble would exceed the capacity `S`.
+    CapacityExceeded {
+        /// The capacity.
+        s: usize,
+    },
+    /// Placing a red pebble where one already is (wasteful; treated as
+    /// illegal to keep schedules canonical).
+    AlreadyRed(NodeId),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::NotBlue(v) => write!(f, "{v} has no blue pebble to read"),
+            GameError::PredNotRed { vertex, missing } => {
+                write!(f, "cannot compute {vertex}: predecessor {missing} not red")
+            }
+            GameError::NotRed(v) => write!(f, "{v} has no red pebble"),
+            GameError::CapacityExceeded { s } => {
+                write!(f, "red pebble capacity {s} exceeded")
+            }
+            GameError::AlreadyRed(v) => write!(f, "{v} already has a red pebble"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+/// A game in progress.
+#[derive(Debug, Clone)]
+pub struct Game<'a> {
+    dag: &'a Dag,
+    s: usize,
+    red: Vec<bool>,
+    blue: Vec<bool>,
+    red_count: usize,
+    io: u64,
+    computes: u64,
+}
+
+impl<'a> Game<'a> {
+    /// Starts a game with red-pebble capacity `s`; inputs start blue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`.
+    #[must_use]
+    pub fn new(dag: &'a Dag, s: usize) -> Self {
+        assert!(s > 0, "need at least one red pebble");
+        let mut blue = vec![false; dag.len()];
+        for v in dag.inputs() {
+            blue[v.index()] = true;
+        }
+        Game {
+            dag,
+            s,
+            red: vec![false; dag.len()],
+            blue,
+            red_count: 0,
+            io: 0,
+            computes: 0,
+        }
+    }
+
+    /// Applies one move.
+    ///
+    /// # Errors
+    ///
+    /// A [`GameError`] describing the rule violation; the state is unchanged
+    /// on error.
+    pub fn apply(&mut self, mv: Move) -> Result<(), GameError> {
+        match mv {
+            Move::ReadIn(v) => {
+                if !self.blue[v.index()] {
+                    return Err(GameError::NotBlue(v));
+                }
+                self.place_red(v)?;
+                self.io += 1;
+            }
+            Move::Compute(v) => {
+                if self.dag.is_input(v) {
+                    // Inputs are given, not computed; they enter via R1.
+                    return Err(GameError::PredNotRed {
+                        vertex: v,
+                        missing: v,
+                    });
+                }
+                for &p in self.dag.preds(v) {
+                    if !self.red[p.index()] {
+                        return Err(GameError::PredNotRed {
+                            vertex: v,
+                            missing: p,
+                        });
+                    }
+                }
+                self.place_red(v)?;
+                self.computes += 1;
+            }
+            Move::WriteOut(v) => {
+                if !self.red[v.index()] {
+                    return Err(GameError::NotRed(v));
+                }
+                self.blue[v.index()] = true;
+                self.io += 1;
+            }
+            Move::Delete(v) => {
+                if !self.red[v.index()] {
+                    return Err(GameError::NotRed(v));
+                }
+                self.red[v.index()] = false;
+                self.red_count -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn place_red(&mut self, v: NodeId) -> Result<(), GameError> {
+        if self.red[v.index()] {
+            return Err(GameError::AlreadyRed(v));
+        }
+        if self.red_count == self.s {
+            return Err(GameError::CapacityExceeded { s: self.s });
+        }
+        self.red[v.index()] = true;
+        self.red_count += 1;
+        Ok(())
+    }
+
+    /// Replays a whole schedule.
+    ///
+    /// # Errors
+    ///
+    /// The first rule violation, with the offending move index attached via
+    /// the error's `Display`.
+    pub fn play(&mut self, schedule: &[Move]) -> Result<(), GameError> {
+        for &mv in schedule {
+            self.apply(mv)?;
+        }
+        Ok(())
+    }
+
+    /// True when every output vertex carries a blue pebble.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.dag.outputs().iter().all(|v| self.blue[v.index()])
+    }
+
+    /// I/O moves so far (R1 + R3).
+    #[must_use]
+    pub fn io(&self) -> u64 {
+        self.io
+    }
+
+    /// Compute moves so far (R2).
+    #[must_use]
+    pub fn computes(&self) -> u64 {
+        self.computes
+    }
+
+    /// Red pebbles currently placed.
+    #[must_use]
+    pub fn red_count(&self) -> usize {
+        self.red_count
+    }
+
+    /// The red-pebble capacity `S`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.s
+    }
+
+    /// Whether `v` currently has a red pebble.
+    #[must_use]
+    pub fn is_red(&self, v: NodeId) -> bool {
+        self.red[v.index()]
+    }
+
+    /// Whether `v` currently has a blue pebble.
+    #[must_use]
+    pub fn is_blue(&self, v: NodeId) -> bool {
+        self.blue[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{chain_dag, tree_dag};
+    use crate::dag::Dag;
+
+    fn tiny() -> Dag {
+        // c = a + b, output c.
+        let mut dag = Dag::new();
+        let a = dag.add_input();
+        let b = dag.add_input();
+        let c = dag.add_node(&[a, b]);
+        dag.mark_output(c);
+        dag
+    }
+
+    #[test]
+    fn happy_path_costs_three_io() {
+        let dag = tiny();
+        let mut g = Game::new(&dag, 3);
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        g.play(&[
+            Move::ReadIn(a),
+            Move::ReadIn(b),
+            Move::Compute(c),
+            Move::WriteOut(c),
+        ])
+        .unwrap();
+        assert!(g.is_complete());
+        assert_eq!(g.io(), 3);
+        assert_eq!(g.computes(), 1);
+    }
+
+    #[test]
+    fn compute_requires_red_predecessors() {
+        let dag = tiny();
+        let mut g = Game::new(&dag, 3);
+        let err = g.apply(Move::Compute(NodeId(2))).unwrap_err();
+        assert!(matches!(err, GameError::PredNotRed { .. }));
+    }
+
+    #[test]
+    fn inputs_cannot_be_computed_for_free() {
+        let dag = tiny();
+        let mut g = Game::new(&dag, 3);
+        assert!(g.apply(Move::Compute(NodeId(0))).is_err());
+    }
+
+    #[test]
+    fn read_requires_blue() {
+        let dag = tiny();
+        let mut g = Game::new(&dag, 3);
+        // c has no blue pebble initially.
+        assert_eq!(
+            g.apply(Move::ReadIn(NodeId(2))),
+            Err(GameError::NotBlue(NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let dag = tiny();
+        let mut g = Game::new(&dag, 1);
+        g.apply(Move::ReadIn(NodeId(0))).unwrap();
+        assert_eq!(
+            g.apply(Move::ReadIn(NodeId(1))),
+            Err(GameError::CapacityExceeded { s: 1 })
+        );
+        // Delete frees the slot.
+        g.apply(Move::Delete(NodeId(0))).unwrap();
+        g.apply(Move::ReadIn(NodeId(1))).unwrap();
+        assert_eq!(g.red_count(), 1);
+    }
+
+    #[test]
+    fn cannot_double_place_or_delete() {
+        let dag = tiny();
+        let mut g = Game::new(&dag, 3);
+        g.apply(Move::ReadIn(NodeId(0))).unwrap();
+        assert_eq!(
+            g.apply(Move::ReadIn(NodeId(0))),
+            Err(GameError::AlreadyRed(NodeId(0)))
+        );
+        g.apply(Move::Delete(NodeId(0))).unwrap();
+        assert_eq!(
+            g.apply(Move::Delete(NodeId(0))),
+            Err(GameError::NotRed(NodeId(0)))
+        );
+        assert_eq!(
+            g.apply(Move::WriteOut(NodeId(0))),
+            Err(GameError::NotRed(NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn recompute_after_delete_is_legal() {
+        // The red pebble game allows recomputation — pinning that semantics.
+        let dag = chain_dag(2); // input v0 -> v1 -> v2(out)
+        let mut g = Game::new(&dag, 2);
+        g.play(&[
+            Move::ReadIn(NodeId(0)),
+            Move::Compute(NodeId(1)),
+            Move::Delete(NodeId(1)),
+            Move::Compute(NodeId(1)), // recompute from the still-red input
+        ])
+        .unwrap();
+        assert_eq!(g.computes(), 2);
+    }
+
+    #[test]
+    fn errors_leave_state_unchanged() {
+        let dag = tiny();
+        let mut g = Game::new(&dag, 1);
+        g.apply(Move::ReadIn(NodeId(0))).unwrap();
+        let io_before = g.io();
+        let _ = g.apply(Move::ReadIn(NodeId(1))).unwrap_err();
+        assert_eq!(g.io(), io_before);
+        assert_eq!(g.red_count(), 1);
+        assert!(g.is_red(NodeId(0)));
+    }
+
+    #[test]
+    fn completion_requires_all_outputs_blue() {
+        let dag = tree_dag(4); // 4 inputs, 3 computes, 1 output
+        let mut g = Game::new(&dag, 4);
+        assert!(!g.is_complete());
+        g.play(&[
+            Move::ReadIn(NodeId(0)),
+            Move::ReadIn(NodeId(1)),
+            Move::Compute(NodeId(4)),
+            Move::Delete(NodeId(0)),
+            Move::Delete(NodeId(1)),
+            Move::ReadIn(NodeId(2)),
+            Move::ReadIn(NodeId(3)),
+            Move::Compute(NodeId(5)),
+            Move::Delete(NodeId(2)),
+            Move::Delete(NodeId(3)),
+            Move::Compute(NodeId(6)),
+            Move::WriteOut(NodeId(6)),
+        ])
+        .unwrap();
+        assert!(g.is_complete());
+        assert_eq!(g.io(), 5); // 4 reads + 1 write
+        assert!(g.is_blue(NodeId(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one red")]
+    fn zero_capacity_panics() {
+        let dag = tiny();
+        let _ = Game::new(&dag, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # balance-pebble
+//!
+//! The red–blue pebble game of Hong & Kung (STOC 1981) — the machinery
+//! behind the optimality claims in Kung (1985): *"It has been shown that for
+//! matrix multiplication / the FFT, any decomposition scheme yields [the
+//! stated ratio], … the best possible."*
+//!
+//! * [`dag`] — computation DAGs (built by [`builders`]: FFT butterflies,
+//!   matmul chains, stencils, trees, diamonds);
+//! * [`game`] — the four rules (R1 input, R2 compute, R3 output, R4 delete),
+//!   legality checking, and I/O counting under a red-pebble budget `S`;
+//! * [`strategies`] — schedule generation from computation orders (the
+//!   paper's blocked schemes expressed as pebbling orders) with Belady or
+//!   LRU spilling;
+//! * [`optimal`] — exact minimum-I/O search for tiny DAGs (0-1 BFS over
+//!   game states);
+//! * [`bounds`] — conservative explicit-constant Hong–Kung lower bounds.
+//!
+//! ## Example
+//!
+//! ```
+//! use balance_pebble::builders::fft_dag;
+//! use balance_pebble::strategies::{blocked_fft_order, schedule_with_order, EvictionPolicy};
+//! use balance_pebble::bounds::fft_lower_bound;
+//!
+//! let n = 16;
+//! let dag = fft_dag(n);
+//! let out = schedule_with_order(&dag, &blocked_fft_order(n, 4), 12, EvictionPolicy::Belady)?;
+//! assert!(out.io >= fft_lower_bound(n, 12)); // never beats the lower bound
+//! # Ok::<(), balance_pebble::strategies::StrategyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod builders;
+pub mod dag;
+pub mod game;
+pub mod optimal;
+pub mod strategies;
+
+pub use dag::{Dag, NodeId};
+pub use game::{Game, GameError, Move};
+pub use strategies::{schedule_with_order, EvictionPolicy, StrategyOutcome};

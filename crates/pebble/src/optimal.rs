@@ -1,0 +1,211 @@
+//! Exact minimum-I/O search for tiny DAGs.
+//!
+//! For DAGs of up to a couple dozen vertices the full game state — which
+//! vertices are red, which are blue — fits in a pair of bitmasks, and the
+//! minimum I/O is a shortest-path problem: R1/R3 cost one, R2/R4 cost zero.
+//! [`minimum_io`] solves it with 0-1 BFS. Used to sanity-check the greedy
+//! strategies and to pin known-optimal values in tests.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::dag::Dag;
+
+/// Hard cap on DAG size for the exact solver (state space `4^len`).
+pub const MAX_NODES: usize = 24;
+
+/// Computes the exact minimum number of I/O moves (R1 + R3) needed to win
+/// the red–blue pebble game on `dag` with `s` red pebbles, or `None` if the
+/// DAG exceeds [`MAX_NODES`] (state space too large) or cannot be pebbled
+/// (capacity below fan-in + 1).
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+#[must_use]
+pub fn minimum_io(dag: &Dag, s: usize) -> Option<u64> {
+    assert!(s > 0, "need at least one red pebble");
+    let n = dag.len();
+    if n > MAX_NODES {
+        return None;
+    }
+
+    let mut initial_blue: u32 = 0;
+    for v in dag.inputs() {
+        initial_blue |= 1 << v.index();
+    }
+    let mut goal: u32 = 0;
+    for v in dag.outputs() {
+        goal |= 1 << v.index();
+    }
+
+    // 0-1 BFS over (red, blue) states.
+    let start = (0u32, initial_blue);
+    let mut dist: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut dq: VecDeque<((u32, u32), u64)> = VecDeque::new();
+    dist.insert(start, 0);
+    dq.push_back((start, 0));
+
+    while let Some(((red, blue), d)) = dq.pop_front() {
+        if dist.get(&(red, blue)) != Some(&d) {
+            continue; // stale entry
+        }
+        if blue & goal == goal {
+            return Some(d);
+        }
+        let red_count = red.count_ones() as usize;
+
+        let push = |dq: &mut VecDeque<((u32, u32), u64)>,
+                    dist: &mut HashMap<(u32, u32), u64>,
+                    state: (u32, u32),
+                    nd: u64,
+                    zero_cost: bool| {
+            let better = dist.get(&state).is_none_or(|&old| nd < old);
+            if better {
+                dist.insert(state, nd);
+                if zero_cost {
+                    dq.push_front((state, nd));
+                } else {
+                    dq.push_back((state, nd));
+                }
+            }
+        };
+
+        for i in 0..n {
+            let bit = 1u32 << i;
+            let v = crate::dag::NodeId(i as u32);
+            // R4: delete (cost 0).
+            if red & bit != 0 {
+                push(&mut dq, &mut dist, (red & !bit, blue), d, true);
+                // R3: write out (cost 1) — skip if already blue (useless).
+                if blue & bit == 0 {
+                    push(&mut dq, &mut dist, (red, blue | bit), d + 1, false);
+                }
+            } else if red_count < s {
+                // R1: read in (cost 1).
+                if blue & bit != 0 {
+                    push(&mut dq, &mut dist, (red | bit, blue), d + 1, false);
+                }
+                // R2: compute (cost 0).
+                if !dag.is_input(v) {
+                    let ready = dag.preds(v).iter().all(|p| red & (1 << p.index()) != 0);
+                    if ready {
+                        push(&mut dq, &mut dist, (red | bit, blue), d, true);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{chain_dag, diamond_dag, tree_dag};
+    use crate::dag::Dag;
+    use crate::strategies::{natural_order, schedule_with_order, EvictionPolicy};
+
+    #[test]
+    fn single_add_needs_three_io() {
+        let mut dag = Dag::new();
+        let a = dag.add_input();
+        let b = dag.add_input();
+        let c = dag.add_node(&[a, b]);
+        dag.mark_output(c);
+        assert_eq!(minimum_io(&dag, 3), Some(3));
+        // Capacity 2 cannot hold both operands and the result... but the
+        // result can only be placed when a slot exists. With s=3 it's 3 io;
+        // with s=2 the game is unwinnable for fan-in 2? No: compute places
+        // a third pebble — requires capacity 3.
+        assert_eq!(minimum_io(&dag, 2), None);
+    }
+
+    #[test]
+    fn chain_costs_two_io_regardless_of_length() {
+        // Read the input, compute along the chain deleting as we go, write
+        // the final value: 2 I/O with s = 2.
+        for len in [1usize, 3, 6] {
+            let dag = chain_dag(len);
+            assert_eq!(minimum_io(&dag, 2), Some(2), "len = {len}");
+        }
+    }
+
+    #[test]
+    fn diamond_optimal_known_values() {
+        // diamond(2): src -> m1, m2 -> out (fan-in 2).
+        let dag = diamond_dag(2);
+        // s = 3: read src (1), compute m1, m2 needs src+m2+... states:
+        // {src,m1,m2} exceeds 3? src+m1+m2 = 3 pebbles, then out needs
+        // m1,m2 red + its own slot: delete src first -> {m1,m2,out}. 2 io.
+        assert_eq!(minimum_io(&dag, 3), Some(2));
+        // s = 4: trivially 2 (read src, write out).
+        assert_eq!(minimum_io(&dag, 4), Some(2));
+    }
+
+    #[test]
+    fn diamond_with_tight_memory_pays_extra_io() {
+        // diamond(3): out has fan-in 3; s = 4 is the minimum capacity.
+        let dag = diamond_dag(3);
+        let tight = minimum_io(&dag, 4).unwrap();
+        assert_eq!(tight, 2); // {m1,m2,m3,out}: src deleted after computing mids
+                              // Fan-in 3 with s = 3 is impossible.
+        assert_eq!(minimum_io(&dag, 3), None);
+    }
+
+    #[test]
+    fn tree_optimal_depends_on_capacity() {
+        // tree(4): 4 inputs + 1 output. With s = 4 the left subtree result
+        // can stay resident: compulsory 5 I/O. With s = 3 it must be spilled
+        // and reloaded once: 7 I/O. The solver proves both exactly.
+        let dag = tree_dag(4);
+        assert_eq!(minimum_io(&dag, 4), Some(5));
+        assert_eq!(minimum_io(&dag, 3), Some(7));
+    }
+
+    #[test]
+    fn greedy_strategy_is_never_better_than_optimal() {
+        for (dag, s) in [
+            (tree_dag(8), 4usize),
+            (diamond_dag(3), 5),
+            (chain_dag(6), 3),
+            (crate::builders::stencil1d_dag(4, 2), 5),
+        ] {
+            let opt = minimum_io(&dag, s).expect("solvable");
+            let greedy = schedule_with_order(&dag, &natural_order(&dag), s, EvictionPolicy::Belady)
+                .expect("schedulable");
+            assert!(
+                greedy.io >= opt,
+                "greedy {} beat optimal {opt} — game or strategy bug",
+                greedy.io
+            );
+            // And greedy should be within a small factor on these toys.
+            assert!(
+                greedy.io <= 3 * opt,
+                "greedy {} vs optimal {opt}",
+                greedy.io
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_dags_return_none() {
+        let dag = crate::builders::matmul_dag(3); // 45 nodes
+        assert_eq!(minimum_io(&dag, 8), None);
+    }
+
+    #[test]
+    fn recomputation_can_save_io() {
+        // A value used twice far apart can be recomputed instead of spilled.
+        // dag: in -> x; out1 = f(x); out2 = g(x). s = 2.
+        let mut dag = Dag::new();
+        let input = dag.add_input();
+        let x = dag.add_node(&[input]);
+        let o1 = dag.add_node(&[x]);
+        let o2 = dag.add_node(&[x]);
+        dag.mark_output(o1);
+        dag.mark_output(o2);
+        // With s = 2: read in, compute x (in,x), delete in, compute o1 (x,o1),
+        // write o1, delete o1, compute o2 (x,o2), write o2: io = 3.
+        assert_eq!(minimum_io(&dag, 2), Some(3));
+    }
+}

@@ -1,0 +1,543 @@
+//! Pebbling strategies: turn a computation order into a legal schedule.
+//!
+//! A *strategy* decides the order in which vertices are computed and which
+//! red pebbles to spill when fast memory is full. [`schedule_with_order`]
+//! handles the mechanics (loads, write-backs, deletes, capacity) for any
+//! computation order and eviction policy; the `blocked_*_order` functions
+//! produce the orders corresponding to the paper's decomposition schemes, so
+//! that the resulting I/O can be compared directly against both the
+//! instrumented kernels and the Hong–Kung lower bounds.
+
+use std::collections::VecDeque;
+
+use crate::dag::{Dag, NodeId};
+use crate::game::{Game, Move};
+
+/// Which red pebble to spill when memory is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the value whose next use is furthest in the future (optimal
+    /// for a fixed computation order).
+    Belady,
+    /// Evict the least recently touched value.
+    Lru,
+}
+
+/// A generated schedule plus its cost.
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// The legal move sequence.
+    pub schedule: Vec<Move>,
+    /// I/O moves in the schedule (R1 + R3).
+    pub io: u64,
+    /// Compute moves in the schedule (R2).
+    pub computes: u64,
+}
+
+/// Errors from strategy construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StrategyError {
+    /// The capacity cannot hold one vertex plus its operands.
+    CapacityTooSmall {
+        /// Provided capacity.
+        s: usize,
+        /// Minimum needed (`max fan-in + 1`).
+        need: usize,
+    },
+    /// The order is not a permutation of the non-input vertices.
+    InvalidOrder,
+}
+
+impl core::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StrategyError::CapacityTooSmall { s, need } => {
+                write!(
+                    f,
+                    "capacity {s} too small: need at least {need} red pebbles"
+                )
+            }
+            StrategyError::InvalidOrder => {
+                write!(
+                    f,
+                    "order must list every non-input vertex exactly once, topologically"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// Builds a legal schedule that computes the DAG in the given order with at
+/// most `s` red pebbles, spilling by `policy`. Every intermediate that is
+/// still needed is written back before deletion, so no recomputation occurs.
+///
+/// # Errors
+///
+/// [`StrategyError::CapacityTooSmall`] if `s < max_fan_in + 1`;
+/// [`StrategyError::InvalidOrder`] if `order` is not a topological
+/// permutation of the non-input vertices.
+pub fn schedule_with_order(
+    dag: &Dag,
+    order: &[NodeId],
+    s: usize,
+    policy: EvictionPolicy,
+) -> Result<StrategyOutcome, StrategyError> {
+    let need = dag.max_fan_in() + 1;
+    if s < need {
+        return Err(StrategyError::CapacityTooSmall { s, need });
+    }
+    // Validate the order: every non-input exactly once, predecessors before
+    // their uses (or inputs).
+    {
+        let mut seen = vec![false; dag.len()];
+        for v in dag.inputs() {
+            seen[v.index()] = true;
+        }
+        let mut count = 0usize;
+        for &v in order {
+            if dag.is_input(v) || seen[v.index()] {
+                return Err(StrategyError::InvalidOrder);
+            }
+            for &p in dag.preds(v) {
+                if !seen[p.index()] {
+                    return Err(StrategyError::InvalidOrder);
+                }
+            }
+            seen[v.index()] = true;
+            count += 1;
+        }
+        if count != dag.compute_count() {
+            return Err(StrategyError::InvalidOrder);
+        }
+    }
+
+    // Precompute use positions (as operand) per vertex.
+    let mut use_positions: Vec<VecDeque<usize>> = vec![VecDeque::new(); dag.len()];
+    for (pos, &v) in order.iter().enumerate() {
+        for &p in dag.preds(v) {
+            use_positions[p.index()].push_back(pos);
+        }
+    }
+
+    // All spill/load mechanics share this state; methods on a context
+    // struct keep the borrow checker happy without unsafe tricks.
+    struct Ctx<'d> {
+        dag: &'d Dag,
+        schedule: Vec<Move>,
+        red: Vec<bool>,
+        blue: Vec<bool>,
+        red_list: Vec<NodeId>,
+        last_touch: Vec<u64>,
+        io: u64,
+        policy: EvictionPolicy,
+        s: usize,
+    }
+
+    impl Ctx<'_> {
+        fn delete(&mut self, v: NodeId) {
+            self.red[v.index()] = false;
+            self.red_list.retain(|&x| x != v);
+            self.schedule.push(Move::Delete(v));
+        }
+
+        fn spill(&mut self, v: NodeId) {
+            if !self.blue[v.index()] {
+                self.schedule.push(Move::WriteOut(v));
+                self.blue[v.index()] = true;
+                self.io += 1;
+            }
+            self.delete(v);
+        }
+
+        /// Frees one slot, never evicting a vertex in `pinned`.
+        fn evict_one(&mut self, pinned: &[NodeId], use_positions: &[VecDeque<usize>]) {
+            let victim = self
+                .red_list
+                .iter()
+                .copied()
+                .filter(|v| !pinned.contains(v))
+                .max_by_key(|v| match self.policy {
+                    EvictionPolicy::Belady => (
+                        use_positions[v.index()]
+                            .front()
+                            .copied()
+                            .map_or(usize::MAX, |p| p),
+                        0u64,
+                    ),
+                    EvictionPolicy::Lru => (usize::MAX, u64::MAX - self.last_touch[v.index()]),
+                })
+                .expect("capacity >= fan-in + 1 guarantees an evictable vertex");
+            // A victim with no future uses and no output obligation can be
+            // dropped without write-back.
+            let needs_writeback = !use_positions[victim.index()].is_empty()
+                || (self.dag.is_output(victim) && !self.blue[victim.index()]);
+            if needs_writeback {
+                self.spill(victim);
+            } else {
+                self.delete(victim);
+            }
+        }
+
+        fn make_room(&mut self, pinned: &[NodeId], use_positions: &[VecDeque<usize>]) {
+            while self.red_list.len() >= self.s {
+                self.evict_one(pinned, use_positions);
+            }
+        }
+
+        fn load(&mut self, v: NodeId, pinned: &[NodeId], use_positions: &[VecDeque<usize>]) {
+            debug_assert!(self.blue[v.index()], "loading a value never written");
+            self.make_room(pinned, use_positions);
+            self.schedule.push(Move::ReadIn(v));
+            self.red[v.index()] = true;
+            self.red_list.push(v);
+            self.io += 1;
+        }
+    }
+
+    let mut blue = vec![false; dag.len()];
+    for v in dag.inputs() {
+        blue[v.index()] = true;
+    }
+    let mut ctx = Ctx {
+        dag,
+        schedule: Vec::new(),
+        red: vec![false; dag.len()],
+        blue,
+        red_list: Vec::new(),
+        last_touch: vec![0u64; dag.len()],
+        io: 0,
+        policy,
+        s,
+    };
+    let mut clock = 0u64;
+
+    for (pos, &v) in order.iter().enumerate() {
+        // Bring all operands into fast memory.
+        let pinned: Vec<NodeId> = dag.preds(v).to_vec();
+        for &p in dag.preds(v) {
+            if !ctx.red[p.index()] {
+                ctx.load(p, &pinned, &use_positions);
+            }
+            clock += 1;
+            ctx.last_touch[p.index()] = clock;
+        }
+        // Room for the result itself.
+        ctx.make_room(&pinned, &use_positions);
+        ctx.schedule.push(Move::Compute(v));
+        ctx.red[v.index()] = true;
+        ctx.red_list.push(v);
+        clock += 1;
+        ctx.last_touch[v.index()] = clock;
+
+        // Consume this use from each operand; drop operands that are dead.
+        for &p in dag.preds(v) {
+            let q = &mut use_positions[p.index()];
+            debug_assert_eq!(q.front().copied(), Some(pos));
+            q.pop_front();
+            if q.is_empty() && ctx.red[p.index()] {
+                if dag.is_output(p) && !ctx.blue[p.index()] {
+                    ctx.spill(p);
+                } else {
+                    ctx.delete(p);
+                }
+            }
+        }
+        // Outputs go to slow memory; dead results leave fast memory.
+        if dag.is_output(v) {
+            ctx.schedule.push(Move::WriteOut(v));
+            ctx.blue[v.index()] = true;
+            ctx.io += 1;
+        }
+        if use_positions[v.index()].is_empty() && ctx.red[v.index()] {
+            ctx.delete(v);
+        }
+    }
+
+    let computes = order.len() as u64;
+    Ok(StrategyOutcome {
+        schedule: ctx.schedule,
+        io: ctx.io,
+        computes,
+    })
+}
+
+/// Runs a schedule through the game and returns the final game for
+/// inspection.
+///
+/// # Panics
+///
+/// Panics if the schedule is illegal — generated schedules are supposed to
+/// be legal by construction, so a panic here is a strategy bug.
+#[must_use]
+pub fn replay<'a>(dag: &'a Dag, s: usize, schedule: &[Move]) -> Game<'a> {
+    let mut game = Game::new(dag, s);
+    for (i, &mv) in schedule.iter().enumerate() {
+        if let Err(e) = game.apply(mv) {
+            panic!("illegal move #{i} ({mv}): {e}");
+        }
+    }
+    game
+}
+
+/// The natural (row-by-row, `ijk`) computation order of
+/// [`crate::builders::matmul_dag`]: simply id order of non-input vertices.
+#[must_use]
+pub fn natural_order(dag: &Dag) -> Vec<NodeId> {
+    dag.topo_order()
+        .into_iter()
+        .filter(|&v| !dag.is_input(v))
+        .collect()
+}
+
+/// The blocked computation order for [`crate::builders::matmul_dag`]`(n)`
+/// with `b × b` tiles: all multiply-accumulate chains of a `C` tile advance
+/// through one `k`-tile before the next — the paper's §3.1 scheme as a
+/// pebbling order.
+///
+/// # Panics
+///
+/// Panics if `b == 0` or `b > n`.
+#[must_use]
+pub fn blocked_matmul_order(n: usize, b: usize) -> Vec<NodeId> {
+    assert!(b >= 1 && b <= n, "tile must satisfy 1 <= b <= n");
+    let base = 2 * n * n;
+    let per_elem = 2 * n - 1; // n products + (n-1) accumulates
+    let node =
+        |i: usize, j: usize, idx: usize| NodeId((base + (i * n + j) * per_elem + idx) as u32);
+    let mut order = Vec::with_capacity(n * n * per_elem);
+    for i0 in (0..n).step_by(b) {
+        let ib = b.min(n - i0);
+        for j0 in (0..n).step_by(b) {
+            let jb = b.min(n - j0);
+            for k0 in (0..n).step_by(b) {
+                let kb = b.min(n - k0);
+                for i in i0..i0 + ib {
+                    for j in j0..j0 + jb {
+                        for k in k0..k0 + kb {
+                            // product node for (i,j,k): idx = 2k - (k>0)
+                            if k == 0 {
+                                order.push(node(i, j, 0));
+                            } else {
+                                order.push(node(i, j, 2 * k - 1)); // product
+                                order.push(node(i, j, 2 * k)); // accumulate
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+/// The blocked pass order for [`crate::builders::fft_dag`]`(n)` with
+/// `block`-point in-memory blocks — the paper's Fig. 2 as a pebbling order.
+///
+/// # Panics
+///
+/// Panics unless `n` and `block` are powers of two with `2 ≤ block ≤ n`.
+#[must_use]
+pub fn blocked_fft_order(n: usize, block: usize) -> Vec<NodeId> {
+    assert!(
+        n.is_power_of_two() && block.is_power_of_two() && block >= 2 && block <= n,
+        "need powers of two with 2 <= block <= n"
+    );
+    let t = n.trailing_zeros() as usize;
+    let mu = block.trailing_zeros() as usize;
+    let node = |rank: usize, i: usize| NodeId((rank * n + i) as u32);
+    let mut order = Vec::with_capacity(n * t);
+    let mut s0 = 0usize;
+    while s0 < t {
+        let mu_p = mu.min(t - s0);
+        let bp = 1usize << mu_p;
+        let stride = 1usize << s0;
+        let outer = 1usize << (s0 + mu_p);
+        for high in 0..(n / outer) {
+            for low in 0..stride {
+                let base = high * outer + low;
+                for ls in 0..mu_p {
+                    let rank = s0 + ls + 1;
+                    for j in 0..bp {
+                        order.push(node(rank, base + j * stride));
+                    }
+                }
+            }
+        }
+        s0 += mu_p;
+    }
+    order
+}
+
+/// The stage-by-stage (unblocked) order for [`crate::builders::fft_dag`].
+#[must_use]
+pub fn staged_fft_order(n: usize) -> Vec<NodeId> {
+    let t = n.trailing_zeros() as usize;
+    let mut order = Vec::with_capacity(n * t);
+    for rank in 1..=t {
+        for i in 0..n {
+            order.push(NodeId((rank * n + i) as u32));
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{fft_dag, matmul_dag, stencil1d_dag, tree_dag};
+
+    fn run(dag: &Dag, order: &[NodeId], s: usize, policy: EvictionPolicy) -> StrategyOutcome {
+        let out = schedule_with_order(dag, order, s, policy).unwrap();
+        let game = replay(dag, s, &out.schedule);
+        assert!(game.is_complete(), "schedule does not complete the DAG");
+        assert_eq!(game.io(), out.io, "io accounting mismatch");
+        assert_eq!(game.computes(), out.computes);
+        out
+    }
+
+    #[test]
+    fn tree_is_pebbled_exactly_once() {
+        let dag = tree_dag(8);
+        let order = natural_order(&dag);
+        // The level-by-level order holds up to 4 subtree results while
+        // loading 2 leaves: S = 6 avoids all spills.
+        let out = run(&dag, &order, 6, EvictionPolicy::Belady);
+        assert_eq!(out.io, 9); // 8 leaf reads + 1 root write
+        assert_eq!(out.computes, 7);
+        // At S = 4 the same order must spill: still legal, just costlier.
+        let tight = run(&dag, &order, 4, EvictionPolicy::Belady);
+        assert!(tight.io > 9);
+    }
+
+    #[test]
+    fn capacity_too_small_is_rejected() {
+        let dag = tree_dag(4);
+        let order = natural_order(&dag);
+        assert!(matches!(
+            schedule_with_order(&dag, &order, 2, EvictionPolicy::Belady),
+            Err(StrategyError::CapacityTooSmall { need: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let dag = tree_dag(4);
+        let mut order = natural_order(&dag);
+        // Duplicate a vertex.
+        let dup = order[0];
+        order.push(dup);
+        assert!(matches!(
+            schedule_with_order(&dag, &order, 4, EvictionPolicy::Belady),
+            Err(StrategyError::InvalidOrder)
+        ));
+        // Missing vertex.
+        let order = &natural_order(&dag)[1..];
+        assert!(schedule_with_order(&dag, order, 4, EvictionPolicy::Belady).is_err());
+        // Including an input.
+        let mut order = natural_order(&dag);
+        order.insert(0, crate::dag::NodeId(0));
+        assert!(schedule_with_order(&dag, &order, 4, EvictionPolicy::Belady).is_err());
+    }
+
+    #[test]
+    fn stencil_pebbles_with_small_memory() {
+        let dag = stencil1d_dag(8, 3);
+        let order = natural_order(&dag);
+        for s in [4, 6, 12] {
+            let out = run(&dag, &order, s, EvictionPolicy::Belady);
+            assert!(out.io >= 16, "must at least read inputs + write outputs");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_order_is_valid_and_cheaper() {
+        let n = 6;
+        let dag = matmul_dag(n);
+        let s = 14; // fits ~3 tiles of b=2 plus operands
+        let b = 2;
+        let blocked = run(&dag, &blocked_matmul_order(n, b), s, EvictionPolicy::Belady);
+        let naive = run(&dag, &natural_order(&dag), s, EvictionPolicy::Belady);
+        assert!(
+            blocked.io <= naive.io,
+            "blocked {} should not exceed naive {}",
+            blocked.io,
+            naive.io
+        );
+    }
+
+    #[test]
+    fn blocked_matmul_io_scales_like_n3_over_b() {
+        let n = 8;
+        let dag = matmul_dag(n);
+        // b = 1 vs b = 2 with capacities 3b² + 2 operand slots.
+        let io1 = run(&dag, &blocked_matmul_order(n, 1), 5, EvictionPolicy::Belady).io;
+        let io2 = run(
+            &dag,
+            &blocked_matmul_order(n, 2),
+            16,
+            EvictionPolicy::Belady,
+        )
+        .io;
+        // Doubling b should cut the streaming term roughly in half.
+        assert!((io2 as f64) < 0.75 * io1 as f64, "io1 = {io1}, io2 = {io2}");
+    }
+
+    #[test]
+    fn blocked_fft_matches_pass_structure() {
+        let n = 16;
+        let dag = fft_dag(n);
+        let block = 4;
+        let out = run(
+            &dag,
+            &blocked_fft_order(n, block),
+            12,
+            EvictionPolicy::Belady,
+        );
+        // Fig. 2: 2 passes; each moves ~2n words: io ≈ read 16 + boundary
+        // writes/reads 32 + write 16.
+        let staged = run(&dag, &staged_fft_order(n), 12, EvictionPolicy::Belady);
+        assert!(
+            out.io <= staged.io,
+            "blocked {} vs staged {}",
+            out.io,
+            staged.io
+        );
+    }
+
+    #[test]
+    fn lru_also_yields_legal_schedules() {
+        let dag = matmul_dag(4);
+        let out = run(&dag, &natural_order(&dag), 8, EvictionPolicy::Lru);
+        assert!(out.io > 0);
+    }
+
+    #[test]
+    fn more_memory_never_hurts_belady() {
+        let n = 6;
+        let dag = matmul_dag(n);
+        let order = blocked_matmul_order(n, 2);
+        let mut last = u64::MAX;
+        for s in [5usize, 8, 16, 32, 64] {
+            let out = run(&dag, &order, s, EvictionPolicy::Belady);
+            assert!(out.io <= last, "s={s}: io {} > previous {last}", out.io);
+            last = out.io;
+        }
+    }
+
+    #[test]
+    fn big_memory_reaches_compulsory_io_only() {
+        // With S >= |V|, io = inputs + outputs exactly.
+        let n = 4;
+        let dag = matmul_dag(n);
+        let out = run(
+            &dag,
+            &natural_order(&dag),
+            dag.len(),
+            EvictionPolicy::Belady,
+        );
+        assert_eq!(out.io as usize, 2 * n * n + n * n);
+    }
+}

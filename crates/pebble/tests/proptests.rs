@@ -1,0 +1,189 @@
+//! Property-based tests for the pebble game: random DAGs, random orders,
+//! random capacities — schedules must always be legal, complete, and no
+//! better than the exact optimum.
+
+use balance_pebble::bounds::compulsory_lower_bound;
+use balance_pebble::builders::{fft_dag, matmul_dag, stencil1d_dag, tree_dag};
+use balance_pebble::dag::Dag;
+use balance_pebble::optimal::minimum_io;
+use balance_pebble::strategies::{natural_order, schedule_with_order};
+use balance_pebble::{EvictionPolicy, Game};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// A random layered DAG: `layers × width` vertices, each non-input vertex
+/// drawing 1–3 predecessors from the previous layer; last layer = outputs.
+fn random_layered_dag(layers: usize, width: usize, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dag = Dag::new();
+    let mut prev: Vec<_> = (0..width).map(|_| dag.add_input()).collect();
+    for _ in 1..layers {
+        let next: Vec<_> = (0..width)
+            .map(|_| {
+                let fan = rng.gen_range(1..=3.min(width));
+                let mut preds = Vec::with_capacity(fan);
+                while preds.len() < fan {
+                    let p = prev[rng.gen_range(0..width)];
+                    if !preds.contains(&p) {
+                        preds.push(p);
+                    }
+                }
+                dag.add_node(&preds)
+            })
+            .collect();
+        prev = next;
+    }
+    for v in prev {
+        dag.mark_output(v);
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated schedule replays legally and completes the DAG, with
+    /// matching I/O accounting — for random DAGs, policies, and capacities.
+    #[test]
+    fn schedules_are_legal_and_complete(
+        layers in 2usize..5,
+        width in 2usize..6,
+        seed in 0u64..500,
+        extra_capacity in 0usize..8,
+        lru in proptest::bool::ANY,
+    ) {
+        let dag = random_layered_dag(layers, width, seed);
+        let s = dag.max_fan_in() + 1 + extra_capacity;
+        let policy = if lru { EvictionPolicy::Lru } else { EvictionPolicy::Belady };
+        let out = schedule_with_order(&dag, &natural_order(&dag), s, policy).unwrap();
+
+        let mut game = Game::new(&dag, s);
+        game.play(&out.schedule).unwrap();
+        prop_assert!(game.is_complete());
+        prop_assert_eq!(game.io(), out.io);
+        prop_assert_eq!(game.computes(), out.computes);
+        // Each non-input vertex computed exactly once (no recompute in this
+        // strategy family).
+        prop_assert_eq!(out.computes as usize, dag.compute_count());
+    }
+
+    /// I/O never beats the compulsory bound.
+    #[test]
+    fn io_respects_compulsory_bound(
+        layers in 2usize..5,
+        width in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let dag = random_layered_dag(layers, width, seed);
+        let s = dag.max_fan_in() + 2;
+        let out = schedule_with_order(&dag, &natural_order(&dag), s, EvictionPolicy::Belady)
+            .unwrap();
+        prop_assert!(out.io >= compulsory_lower_bound(&dag));
+    }
+
+    /// With unbounded capacity the greedy schedule reads each consumed
+    /// input exactly once and writes each output exactly once. (The
+    /// strategy computes every vertex, so inputs consumed only by dead
+    /// vertices are still read — it does no dead-code elimination; the
+    /// compulsory bound may be strictly lower.)
+    #[test]
+    fn unbounded_capacity_is_compulsory(
+        layers in 2usize..5,
+        width in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let dag = random_layered_dag(layers, width, seed);
+        let out = schedule_with_order(
+            &dag,
+            &natural_order(&dag),
+            dag.len() + 1,
+            EvictionPolicy::Belady,
+        )
+        .unwrap();
+        let consumed_inputs = dag
+            .inputs()
+            .iter()
+            .filter(|v| !dag.succs(**v).is_empty())
+            .count() as u64;
+        prop_assert_eq!(out.io, consumed_inputs + dag.outputs().len() as u64);
+        prop_assert!(out.io >= compulsory_lower_bound(&dag));
+    }
+
+    /// Belady's classical guarantee: for a fixed reference order it never
+    /// performs more *fetches* (R1 reads) than any other eviction policy.
+    /// (Total I/O can differ either way: a far-future victim may be dirty
+    /// and cost a write-back where LRU happened to evict a clean value —
+    /// proptest found exactly such a case, pinned in the regression file.)
+    #[test]
+    fn belady_never_fetches_more_than_lru(
+        layers in 2usize..5,
+        width in 2usize..5,
+        seed in 0u64..300,
+        extra in 0usize..4,
+    ) {
+        let dag = random_layered_dag(layers, width, seed);
+        let s = dag.max_fan_in() + 1 + extra;
+        let order = natural_order(&dag);
+        let belady = schedule_with_order(&dag, &order, s, EvictionPolicy::Belady).unwrap();
+        let lru = schedule_with_order(&dag, &order, s, EvictionPolicy::Lru).unwrap();
+        let reads = |schedule: &[balance_pebble::Move]| {
+            schedule
+                .iter()
+                .filter(|m| matches!(m, balance_pebble::Move::ReadIn(_)))
+                .count()
+        };
+        prop_assert!(
+            reads(&belady.schedule) <= reads(&lru.schedule),
+            "belady {} reads > lru {} reads",
+            reads(&belady.schedule),
+            reads(&lru.schedule)
+        );
+    }
+
+    /// Greedy I/O is monotone non-increasing in capacity (Belady).
+    #[test]
+    fn io_monotone_in_capacity(seed in 0u64..200) {
+        let dag = random_layered_dag(4, 4, seed);
+        let order = natural_order(&dag);
+        let base = dag.max_fan_in() + 1;
+        let mut last = u64::MAX;
+        for s in [base, base + 2, base + 4, base + 8, base + 16] {
+            let out = schedule_with_order(&dag, &order, s, EvictionPolicy::Belady).unwrap();
+            prop_assert!(out.io <= last);
+            last = out.io;
+        }
+    }
+
+    /// Greedy never beats the exact optimum on tiny random DAGs.
+    #[test]
+    fn greedy_never_beats_optimal(seed in 0u64..150) {
+        let dag = random_layered_dag(3, 3, seed); // 9 nodes: solvable exactly
+        let s = dag.max_fan_in() + 1;
+        if let Some(opt) = minimum_io(&dag, s) {
+            let greedy =
+                schedule_with_order(&dag, &natural_order(&dag), s, EvictionPolicy::Belady)
+                    .unwrap();
+            prop_assert!(greedy.io >= opt, "greedy {} < optimal {opt}", greedy.io);
+        }
+    }
+}
+
+#[test]
+fn classic_dags_all_schedule() {
+    // A non-random sweep over the builder menagerie at assorted capacities.
+    let cases: Vec<(Dag, usize)> = vec![
+        (fft_dag(16), 8),
+        (fft_dag(32), 12),
+        (matmul_dag(4), 6),
+        (stencil1d_dag(8, 3), 6),
+        (tree_dag(16), 5),
+    ];
+    for (dag, s) in cases {
+        let out = schedule_with_order(&dag, &natural_order(&dag), s, EvictionPolicy::Belady)
+            .expect("schedulable");
+        let mut game = Game::new(&dag, s);
+        game.play(&out.schedule).expect("legal");
+        assert!(game.is_complete());
+    }
+}

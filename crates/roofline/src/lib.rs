@@ -1,0 +1,38 @@
+//! # balance-roofline
+//!
+//! A roofline-model extension of Kung's balance analysis. The paper's
+//! balance condition `C/IO = C_comp/C_io` is precisely the *ridge point* of
+//! the roofline model that appeared two decades later; this crate makes the
+//! connection executable:
+//!
+//! * [`model::Roofline`] — peak/bandwidth rooflines, attainable throughput,
+//!   and the **balanced memory size** (the `M` at which a kernel's
+//!   intensity `r(M)` reaches the ridge);
+//! * [`series`] — kernels swept across memory sizes, tracing their path up
+//!   the bandwidth slope onto the compute roof;
+//! * [`plot`] — ASCII roofline charts for the `repro` harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use balance_core::{IntensityModel, OpsPerSec, WordsPerSec};
+//! use balance_roofline::Roofline;
+//!
+//! let rl = Roofline::new(OpsPerSec::new(1.0e8), WordsPerSec::new(1.0e7))?;
+//! // Blocked matmul reaches peak exactly at the balanced memory:
+//! let m = rl.balanced_memory(&IntensityModel::sqrt_m(1.0))?;
+//! assert_eq!(rl.attainable_at_memory(&IntensityModel::sqrt_m(1.0), m), 1.0e8);
+//! # Ok::<(), balance_core::BalanceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod model;
+pub mod plot;
+pub mod series;
+
+pub use model::Roofline;
+pub use plot::render;
+pub use series::{kernel_series, KernelSeries, SeriesPoint};

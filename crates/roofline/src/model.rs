@@ -1,0 +1,196 @@
+//! The roofline model, derived from the balance law.
+//!
+//! Kung's balance condition `C/IO = C_comp/C_io` is the ridge point of what
+//! later became the roofline model (Williams, Waterman & Patterson 2009): a
+//! machine with peak compute `C` and memory bandwidth `IO` attains
+//!
+//! ```text
+//! attainable(AI) = min(C, AI · IO)
+//! ```
+//!
+//! at operational intensity `AI`. The "ridge" `AI = C/IO` is exactly the
+//! balance point; Kung's contribution is the *memory dimension*: for a given
+//! computation, `AI` is a function of the local memory `M`, so the ridge
+//! translates into a **balanced memory size** — the `M` at which the kernel
+//! leaves the bandwidth-bound slope and reaches peak compute.
+
+use balance_core::{BalanceError, IntensityModel, OpsPerSec, PeSpec, Words, WordsPerSec};
+
+/// A two-parameter roofline: peak compute and memory bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::{IntensityModel, OpsPerSec, WordsPerSec};
+/// use balance_roofline::Roofline;
+///
+/// let rl = Roofline::new(OpsPerSec::new(100.0), WordsPerSec::new(10.0))?;
+/// assert_eq!(rl.ridge_point(), 10.0);
+/// assert_eq!(rl.attainable(5.0), 50.0);   // bandwidth-bound
+/// assert_eq!(rl.attainable(40.0), 100.0); // compute-bound
+///
+/// // The memory at which blocked matmul (r = √M) reaches the ridge:
+/// let m = rl.balanced_memory(&IntensityModel::sqrt_m(1.0))?;
+/// assert_eq!(m.get(), 100);
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    peak: OpsPerSec,
+    bandwidth: WordsPerSec,
+}
+
+impl Roofline {
+    /// Creates a roofline from peak compute and memory bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidQuantity`] for non-positive rates.
+    pub fn new(peak: OpsPerSec, bandwidth: WordsPerSec) -> Result<Self, BalanceError> {
+        if !peak.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "peak compute",
+                value: peak.get(),
+            });
+        }
+        if !bandwidth.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "memory bandwidth",
+                value: bandwidth.get(),
+            });
+        }
+        Ok(Roofline { peak, bandwidth })
+    }
+
+    /// Builds the roofline of a PE specification.
+    #[must_use]
+    pub fn from_pe(pe: &PeSpec) -> Self {
+        Roofline {
+            peak: pe.comp_bw(),
+            bandwidth: pe.io_bw(),
+        }
+    }
+
+    /// Peak compute rate.
+    #[must_use]
+    pub fn peak(&self) -> OpsPerSec {
+        self.peak
+    }
+
+    /// Memory bandwidth.
+    #[must_use]
+    pub fn bandwidth(&self) -> WordsPerSec {
+        self.bandwidth
+    }
+
+    /// The ridge point `C/IO` in ops per word — Kung's machine balance.
+    #[must_use]
+    pub fn ridge_point(&self) -> f64 {
+        self.peak.get() / self.bandwidth.get()
+    }
+
+    /// Attainable throughput (ops/s) at operational intensity `ai`.
+    #[must_use]
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.bandwidth.get()).min(self.peak.get())
+    }
+
+    /// True when intensity `ai` is bandwidth-bound (left of the ridge).
+    #[must_use]
+    pub fn is_bandwidth_bound(&self, ai: f64) -> bool {
+        ai < self.ridge_point()
+    }
+
+    /// The memory size at which a kernel with intensity model `model`
+    /// reaches the ridge — Kung's balanced memory.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::IoBounded`] for constant-intensity kernels that sit
+    /// below the ridge forever.
+    pub fn balanced_memory(&self, model: &IntensityModel) -> Result<Words, BalanceError> {
+        model.balanced_memory(self.ridge_point())
+    }
+
+    /// Attainable throughput of a kernel at memory `m` under this roofline.
+    #[must_use]
+    pub fn attainable_at_memory(&self, model: &IntensityModel, m: Words) -> f64 {
+        self.attainable(model.eval_words(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rl() -> Roofline {
+        Roofline::new(OpsPerSec::new(100.0e6), WordsPerSec::new(10.0e6)).unwrap()
+    }
+
+    #[test]
+    fn ridge_is_machine_balance() {
+        assert_eq!(rl().ridge_point(), 10.0);
+        let pe = PeSpec::new(
+            OpsPerSec::new(10.0e6),
+            WordsPerSec::new(20.0e6),
+            Words::new(1024),
+        )
+        .unwrap();
+        assert_eq!(Roofline::from_pe(&pe).ridge_point(), pe.machine_balance());
+    }
+
+    #[test]
+    fn attainable_has_two_regimes() {
+        let r = rl();
+        // Bandwidth-bound slope.
+        assert_eq!(r.attainable(1.0), 10.0e6);
+        assert_eq!(r.attainable(5.0), 50.0e6);
+        assert!(r.is_bandwidth_bound(5.0));
+        // Flat compute roof.
+        assert_eq!(r.attainable(10.0), 100.0e6);
+        assert_eq!(r.attainable(1000.0), 100.0e6);
+        assert!(!r.is_bandwidth_bound(10.0));
+    }
+
+    #[test]
+    fn balanced_memory_is_ridge_inversion() {
+        let r = rl();
+        // sqrt model: √M = 10 => M = 100.
+        assert_eq!(
+            r.balanced_memory(&IntensityModel::sqrt_m(1.0))
+                .unwrap()
+                .get(),
+            100
+        );
+        // log model: log2 M = 10 => M = 1024.
+        assert_eq!(
+            r.balanced_memory(&IntensityModel::log2_m(1.0))
+                .unwrap()
+                .get(),
+            1024
+        );
+        // Constant model: never reaches the ridge.
+        assert_eq!(
+            r.balanced_memory(&IntensityModel::constant(2.0)),
+            Err(BalanceError::IoBounded)
+        );
+    }
+
+    #[test]
+    fn kernel_throughput_grows_with_memory_until_the_roof() {
+        let r = rl();
+        let matmul = IntensityModel::sqrt_m(1.0);
+        let t_small = r.attainable_at_memory(&matmul, Words::new(4)); // AI=2
+        let t_bal = r.attainable_at_memory(&matmul, Words::new(100)); // AI=10
+        let t_big = r.attainable_at_memory(&matmul, Words::new(10_000)); // AI=100
+        assert_eq!(t_small, 20.0e6);
+        assert_eq!(t_bal, 100.0e6);
+        assert_eq!(t_big, 100.0e6); // no benefit past balance
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        assert!(Roofline::new(OpsPerSec::new(0.0), WordsPerSec::new(1.0)).is_err());
+        assert!(Roofline::new(OpsPerSec::new(1.0), WordsPerSec::new(f64::NAN)).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! ASCII roofline plots for the terminal-based `repro` harness.
+
+use crate::model::Roofline;
+use crate::series::KernelSeries;
+
+/// Renders a log–log roofline chart with kernel paths as ASCII art.
+///
+/// Columns are decades of operational intensity; rows are decades of
+/// throughput. The roof itself is drawn with `/` and `-`; each kernel's
+/// sampled points are drawn with its first letter.
+#[must_use]
+pub fn render(roofline: &Roofline, series: &[KernelSeries], width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(8);
+
+    // Intensity range: from 1e-1 to 10x the ridge or max sample.
+    let ridge = roofline.ridge_point();
+    let mut ai_max: f64 = ridge * 10.0;
+    let mut ai_min: f64 = 0.1;
+    for s in series {
+        for p in &s.points {
+            if p.intensity > 0.0 {
+                ai_max = ai_max.max(p.intensity * 1.5);
+                ai_min = ai_min.min(p.intensity);
+            }
+        }
+    }
+    let (lx0, lx1) = (ai_min.log10(), ai_max.log10());
+    let peak = roofline.peak().get();
+    let y_max = peak * 2.0;
+    let y_min = roofline.attainable(ai_min) / 2.0;
+    let (ly0, ly1) = (y_min.log10(), y_max.log10());
+
+    let to_col = |ai: f64| -> usize {
+        let t = (ai.log10() - lx0) / (lx1 - lx0);
+        ((t * (width - 1) as f64).round() as isize).clamp(0, width as isize - 1) as usize
+    };
+    let to_row = |y: f64| -> usize {
+        let t = (y.log10() - ly0) / (ly1 - ly0);
+        let r = ((1.0 - t) * (height - 1) as f64).round() as isize;
+        r.clamp(0, height as isize - 1) as usize
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    // Draw the roof.
+    #[allow(clippy::needless_range_loop)] // col drives both axis and grid
+    for col in 0..width {
+        let ai = 10f64.powf(lx0 + (lx1 - lx0) * col as f64 / (width - 1) as f64);
+        let y = roofline.attainable(ai);
+        let row = to_row(y);
+        grid[row][col] = if roofline.is_bandwidth_bound(ai) {
+            '/'
+        } else {
+            '-'
+        };
+    }
+    // Mark the ridge.
+    let ridge_col = to_col(ridge);
+    let ridge_row = to_row(peak);
+    grid[ridge_row][ridge_col] = '+';
+    // Draw kernel samples.
+    for s in series {
+        let mark = s.name.chars().next().unwrap_or('?');
+        for p in &s.points {
+            if p.intensity > 0.0 {
+                let (r, c) = (to_row(p.attainable), to_col(p.intensity));
+                if grid[r][c] == ' ' || grid[r][c] == '/' || grid[r][c] == '-' {
+                    grid[r][c] = mark;
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "roofline: peak {:.3e} op/s, bw {:.3e} word/s, ridge {:.2} op/word\n",
+        peak,
+        roofline.bandwidth().get(),
+        ridge
+    ));
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "x: intensity 10^{lx0:.1} .. 10^{lx1:.1} op/word (log); y: throughput (log)\n"
+    ));
+    for s in series {
+        let bal = s.balanced_memory.map_or_else(
+            || "never (I/O-bounded)".to_string(),
+            |m| format!("{m} words"),
+        );
+        out.push_str(&format!(
+            "  {} = {} (balanced memory: {})\n",
+            s.name.chars().next().unwrap_or('?'),
+            s.name,
+            bal
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::kernel_series;
+    use balance_core::{IntensityModel, OpsPerSec, WordsPerSec};
+
+    #[test]
+    fn renders_roof_and_legend() {
+        let rl = Roofline::new(OpsPerSec::new(100.0), WordsPerSec::new(10.0)).unwrap();
+        let mems: Vec<u64> = (2..=12).map(|k| 1u64 << k).collect();
+        let s1 = kernel_series("matmul", &rl, &IntensityModel::sqrt_m(1.0), &mems).unwrap();
+        let s2 = kernel_series("vecmat", &rl, &IntensityModel::constant(2.0), &mems).unwrap();
+        let art = render(&rl, &[s1, s2], 60, 16);
+        assert!(art.contains('/'));
+        assert!(art.contains('-'));
+        assert!(art.contains('+'));
+        assert!(art.contains("matmul"));
+        assert!(art.contains("I/O-bounded"));
+        // 16 grid rows + header + axis + 2 legend lines.
+        assert!(art.lines().count() >= 19);
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_clamped() {
+        let rl = Roofline::new(OpsPerSec::new(10.0), WordsPerSec::new(1.0)).unwrap();
+        let art = render(&rl, &[], 1, 1);
+        assert!(art.lines().count() >= 8);
+    }
+}

@@ -1,0 +1,122 @@
+//! Roofline series: kernels swept across memory sizes.
+//!
+//! For experiment E12: each kernel's operational intensity is a function of
+//! `M`, so sweeping `M` traces a path along the roofline — up the bandwidth
+//! slope and (for non-I/O-bounded kernels) onto the compute roof at exactly
+//! the balanced memory size.
+
+use balance_core::{BalanceError, IntensityModel, Words};
+
+use crate::model::Roofline;
+
+/// One sampled point of a kernel's path along the roofline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Local memory size, words.
+    pub memory: u64,
+    /// Operational intensity at that memory.
+    pub intensity: f64,
+    /// Attainable throughput (ops/s).
+    pub attainable: f64,
+    /// Whether the point is bandwidth-bound.
+    pub bandwidth_bound: bool,
+}
+
+/// A kernel's roofline path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSeries {
+    /// Kernel label.
+    pub name: String,
+    /// Sampled points, ascending in memory.
+    pub points: Vec<SeriesPoint>,
+    /// The balanced memory (ridge crossing), if one exists.
+    pub balanced_memory: Option<u64>,
+}
+
+/// Sweeps `model` across `memories` under `roofline`.
+///
+/// # Errors
+///
+/// Propagates unexpected model errors; an I/O-bounded kernel yields
+/// `balanced_memory = None` rather than an error.
+pub fn kernel_series(
+    name: impl Into<String>,
+    roofline: &Roofline,
+    model: &IntensityModel,
+    memories: &[u64],
+) -> Result<KernelSeries, BalanceError> {
+    let points = memories
+        .iter()
+        .map(|&m| {
+            let intensity = model.eval_words(Words::new(m));
+            SeriesPoint {
+                memory: m,
+                intensity,
+                attainable: roofline.attainable(intensity),
+                bandwidth_bound: roofline.is_bandwidth_bound(intensity),
+            }
+        })
+        .collect();
+    let balanced_memory = match roofline.balanced_memory(model) {
+        Ok(m) => Some(m.get()),
+        Err(BalanceError::IoBounded) => None,
+        Err(BalanceError::MemoryOverflow { .. }) => None,
+        Err(e) => return Err(e),
+    };
+    Ok(KernelSeries {
+        name: name.into(),
+        points,
+        balanced_memory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_core::{OpsPerSec, WordsPerSec};
+
+    fn rl() -> Roofline {
+        Roofline::new(OpsPerSec::new(100.0), WordsPerSec::new(10.0)).unwrap()
+    }
+
+    fn mems() -> Vec<u64> {
+        (2..=14).map(|k| 1u64 << k).collect()
+    }
+
+    #[test]
+    fn sqrt_kernel_crosses_the_ridge() {
+        let s = kernel_series("matmul", &rl(), &IntensityModel::sqrt_m(1.0), &mems()).unwrap();
+        assert_eq!(s.balanced_memory, Some(100));
+        // Below 100 words: bandwidth-bound; above: compute-bound.
+        for p in &s.points {
+            assert_eq!(p.bandwidth_bound, p.memory < 100, "m = {}", p.memory);
+        }
+        // Attainable is monotone nondecreasing and capped at the peak.
+        for w in s.points.windows(2) {
+            assert!(w[1].attainable >= w[0].attainable);
+        }
+        assert_eq!(s.points.last().unwrap().attainable, 100.0);
+    }
+
+    #[test]
+    fn constant_kernel_never_crosses() {
+        let s = kernel_series("matvec", &rl(), &IntensityModel::constant(2.0), &mems()).unwrap();
+        assert_eq!(s.balanced_memory, None);
+        assert!(s.points.iter().all(|p| p.bandwidth_bound));
+        assert!(s.points.iter().all(|p| p.attainable == 20.0));
+    }
+
+    #[test]
+    fn log_kernel_crossing_is_exponentially_far() {
+        // Ridge 10 with r = log2 M: balanced at M = 1024.
+        let s = kernel_series("fft", &rl(), &IntensityModel::log2_m(1.0), &mems()).unwrap();
+        assert_eq!(s.balanced_memory, Some(1024));
+    }
+
+    #[test]
+    fn overflowing_balanced_memory_reported_as_none() {
+        // Ridge 10 with r = 0.01·log2 M: M = 2^1000 overflows.
+        let s = kernel_series("slowlog", &rl(), &IntensityModel::log2_m(0.01), &mems()).unwrap();
+        assert_eq!(s.balanced_memory, None);
+    }
+}

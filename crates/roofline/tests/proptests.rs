@@ -1,0 +1,81 @@
+//! Property-based tests for the roofline model.
+
+use balance_core::{BalanceError, IntensityModel, OpsPerSec, WordsPerSec};
+use balance_roofline::{kernel_series, Roofline};
+use proptest::prelude::*;
+
+fn arb_roofline() -> impl Strategy<Value = Roofline> {
+    (1.0f64..1.0e10, 1.0f64..1.0e9).prop_map(|(peak, bw)| {
+        Roofline::new(OpsPerSec::new(peak), WordsPerSec::new(bw)).expect("positive rates")
+    })
+}
+
+proptest! {
+    /// Attainable throughput is monotone in intensity and capped at peak.
+    #[test]
+    fn attainable_monotone_and_capped(
+        rl in arb_roofline(),
+        ai1 in 0.0f64..1.0e6,
+        ai2 in 0.0f64..1.0e6,
+    ) {
+        let (lo, hi) = if ai1 <= ai2 { (ai1, ai2) } else { (ai2, ai1) };
+        prop_assert!(rl.attainable(lo) <= rl.attainable(hi) + 1e-9);
+        prop_assert!(rl.attainable(hi) <= rl.peak().get() + 1e-9);
+    }
+
+    /// At the ridge point, both bounds coincide.
+    #[test]
+    fn ridge_is_the_crossover(rl in arb_roofline()) {
+        let ridge = rl.ridge_point();
+        let at_ridge = rl.attainable(ridge);
+        prop_assert!((at_ridge - rl.peak().get()).abs() / rl.peak().get() < 1e-12);
+        prop_assert!(rl.is_bandwidth_bound(ridge * 0.999));
+        prop_assert!(!rl.is_bandwidth_bound(ridge * 1.001));
+    }
+
+    /// The balanced memory is exactly the model-inverse of the ridge, and
+    /// evaluating there attains (nearly) peak.
+    #[test]
+    fn balanced_memory_attains_peak(
+        rl in arb_roofline(),
+        coeff in 0.05f64..5.0,
+        exponent in 0.2f64..0.9,
+    ) {
+        let model = IntensityModel::Power { coeff, exponent };
+        match rl.balanced_memory(&model) {
+            Ok(m) if m.get() >= 100 => {
+                // Integer rounding matters below ~100 words; above it the
+                // attained throughput is within 2% of peak.
+                let t = rl.attainable_at_memory(&model, m);
+                prop_assert!(t >= 0.98 * rl.peak().get(),
+                    "attained {t} vs peak {}", rl.peak().get());
+            }
+            Ok(_) => {} // tiny balanced memories: rounding dominates
+            Err(BalanceError::MemoryOverflow { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Series points agree with the roofline pointwise.
+    #[test]
+    fn series_matches_roofline(rl in arb_roofline(), coeff in 0.1f64..4.0) {
+        let model = IntensityModel::sqrt_m(coeff);
+        let mems: Vec<u64> = (2..=20).map(|k| 1u64 << k).collect();
+        let series = kernel_series("k", &rl, &model, &mems).unwrap();
+        for p in &series.points {
+            let expect = rl.attainable(model.eval(p.memory as f64));
+            prop_assert!((p.attainable - expect).abs() <= 1e-9 * expect.max(1.0));
+            prop_assert_eq!(p.bandwidth_bound, rl.is_bandwidth_bound(p.intensity));
+        }
+    }
+
+    /// Constant-intensity kernels never get a balanced memory.
+    #[test]
+    fn constant_kernels_have_no_crossing(rl in arb_roofline(), v in 0.01f64..100.0) {
+        let model = IntensityModel::constant(v);
+        prop_assert!(matches!(
+            rl.balanced_memory(&model),
+            Err(BalanceError::IoBounded)
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the balance law in ten lines, then the paper's question.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use kung_balance::core::prelude::*;
+
+fn main() -> Result<(), BalanceError> {
+    // Characterize a PE (the paper's Fig. 1): 100 Mop/s compute, 10 Mword/s
+    // I/O, 4096 words of local memory.
+    let pe = PeSpec::builder()
+        .comp_bw(OpsPerSec::new(100.0e6))
+        .io_bw(WordsPerSec::new(10.0e6))
+        .memory(Words::new(4096))
+        .build()?;
+    println!("{pe}\n");
+    println!("machine balance C/IO = {} op/word\n", pe.machine_balance());
+
+    // Blocked matrix multiplication has intensity r(M) ≈ 0.577·√M (§3.1).
+    let matmul = IntensityModel::sqrt_m(1.0 / 3.0_f64.sqrt());
+    println!("matmul intensity model: {matmul}");
+
+    // Is the PE balanced at its current memory?
+    let r = matmul.eval_words(pe.memory());
+    println!(
+        "r({}) = {:.2} op/word vs machine balance {:.2} → {}",
+        pe.memory(),
+        r,
+        pe.machine_balance(),
+        if r >= pe.machine_balance() {
+            "compute-limited or balanced (memory suffices)"
+        } else {
+            "I/O-limited (memory too small)"
+        }
+    );
+
+    // The memory that balances this machine exactly:
+    let m_bal = matmul.balanced_memory(pe.machine_balance())?;
+    println!("balanced memory for matmul: {m_bal}\n");
+
+    // THE question of the paper: compute bandwidth rises 4× (I/O fixed).
+    // How much memory does balance now require?
+    let alpha = Alpha::new(4.0)?;
+    let plan = rebalance(&matmul, alpha, m_bal)?;
+    println!("after C/IO grows by α = 4:");
+    println!("  {plan}");
+
+    // And for an FFT workload the same α is catastrophically more expensive:
+    let fft = IntensityModel::log2_m(1.5);
+    let fft_bal = fft.balanced_memory(pe.machine_balance())?;
+    match rebalance(&fft, alpha, fft_bal) {
+        Ok(plan) => println!("  FFT: {plan}"),
+        Err(e) => println!("  FFT from {fft_bal}: {e}"),
+    }
+
+    // While matrix–vector multiplication cannot be rebalanced at all (§3.6):
+    match rebalance(&IntensityModel::constant(2.0), alpha, m_bal) {
+        Ok(_) => unreachable!("matvec is I/O-bounded"),
+        Err(e) => println!("  matvec: {e}"),
+    }
+    Ok(())
+}

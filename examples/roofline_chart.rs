@@ -1,0 +1,43 @@
+//! The balance law as a roofline (extension experiment E12).
+//!
+//! Kung's balance point `C/IO = C_comp/C_io` is the roofline ridge; each
+//! kernel's memory-dependent intensity `r(M)` traces a path along the roof.
+//!
+//! ```bash
+//! cargo run --example roofline_chart
+//! ```
+
+use kung_balance::core::{IntensityModel, OpsPerSec, WordsPerSec};
+use kung_balance::roofline::{kernel_series, render, Roofline};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A compute-rich machine: 1.6 Gop/s over 100 Mword/s → ridge at 16.
+    let rl = Roofline::new(OpsPerSec::new(1.6e9), WordsPerSec::new(1.0e8))?;
+    let memories: Vec<u64> = (2..=22).map(|k| 1u64 << k).collect();
+
+    let series = vec![
+        kernel_series(
+            "matmul (√M)",
+            &rl,
+            &IntensityModel::sqrt_m(1.0 / 3.0_f64.sqrt()),
+            &memories,
+        )?,
+        kernel_series("fft (log₂M)", &rl, &IntensityModel::log2_m(1.5), &memories)?,
+        kernel_series(
+            "vec: matvec (Θ(1))",
+            &rl,
+            &IntensityModel::constant(2.0),
+            &memories,
+        )?,
+    ];
+
+    println!("{}", render(&rl, &series, 72, 20));
+    println!("Reading the chart:");
+    println!("  · the '/' slope is the bandwidth bound, '-' the compute roof,");
+    println!("    '+' the ridge = Kung's balance point;");
+    println!("  · matmul reaches the roof at its balanced memory (α² growth");
+    println!("    keeps it reachable as machines scale);");
+    println!("  · fft reaches it only at exponentially larger memory;");
+    println!("  · matvec never reaches it — no memory size helps (§3.6).");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! The systolic arrays behind the paper's §4.2 mesh result.
+//!
+//! The claim that a square mesh is "automatically balanced" presumes that
+//! matrix computations decompose onto it with constant per-PE memory. This
+//! example runs both cited decompositions at cycle level:
+//!
+//! * Kung–Leiserson matrix multiplication (3 registers per cell),
+//! * Gentleman–Kung Givens triangularization (2 words per cell),
+//!
+//! verifies their outputs, and reports the cost profiles.
+//!
+//! ```bash
+//! cargo run --example systolic_arrays
+//! ```
+
+use kung_balance::kernels::{reference, workload};
+use kung_balance::parallel::systolic::givens::triangularize;
+use kung_balance::parallel::systolic::matmul::systolic_matmul;
+
+fn main() {
+    let n = 8usize;
+    println!("=== Kung–Leiserson systolic matmul on an {n}×{n} mesh ===\n");
+    let a = workload::random_matrix(n, 1);
+    let b = workload::random_matrix(n, 2);
+    let run = systolic_matmul(&a, &b, n);
+    let want = reference::matmul(&a, &b, n);
+    let err = reference::max_abs_diff(&run.c, &want);
+    println!("cycles:           {}   (= 3n − 2)", run.cycles);
+    println!("ops:              {}   (= 2n³)", run.cost.comp_ops());
+    println!("boundary I/O:     {} words (= 3n²)", run.cost.io_words());
+    println!(
+        "memory per cell:  {} words (independent of n!)",
+        run.memory_per_cell
+    );
+    println!("utilization:      {:.1}%", run.utilization * 100.0);
+    println!("max |C - A·B|:    {err:.2e}");
+    println!(
+        "aggregate intensity: {:.2} op/word = Θ(p) — exactly the α = p\n\
+         growth a p×p mesh must absorb, absorbed with O(1) memory per cell.\n",
+        run.cost.intensity()
+    );
+
+    println!("=== Gentleman–Kung triangularization array ===\n");
+    let m = workload::random_matrix(n, 3);
+    let qr = triangularize(&m, n);
+    println!(
+        "cycles:           {}   (pipeline depth 2n − 1 + n rows)",
+        qr.cycles
+    );
+    println!("rotation ops:     {}", qr.cost.comp_ops());
+    println!(
+        "boundary I/O:     {} words (A in, R out)",
+        qr.cost.io_words()
+    );
+    println!("memory per cell:  {} words", qr.memory_per_cell);
+    // Verify RᵀR = AᵀA (Q is orthogonal, so the Gram matrix is preserved).
+    let mut max_err = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut rr = 0.0;
+            let mut aa = 0.0;
+            for k in 0..n {
+                rr += qr.r[k * n + i] * qr.r[k * n + j];
+                aa += m[k * n + i] * m[k * n + j];
+            }
+            max_err = max_err.max((rr - aa).abs());
+        }
+    }
+    println!("max |RᵀR − AᵀA|:  {max_err:.2e}");
+    println!("\nR (upper triangle, first rows):");
+    for i in 0..n.min(4) {
+        let row: Vec<String> = (0..n)
+            .map(|j| format!("{:>7.3}", qr.r[i * n + j]))
+            .collect();
+        println!("  [{}]", row.join(" "));
+    }
+}

@@ -1,0 +1,49 @@
+//! # kung-balance
+//!
+//! Facade crate for the executable reproduction of H. T. Kung,
+//! *"Memory Requirements for Balanced Computer Architectures"*
+//! (Journal of Complexity 1, 147–157, 1985).
+//!
+//! Each subsystem lives in its own crate, re-exported here as a module:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `balance-core` | the balance model: [`core::PeSpec`], intensity laws, the rebalancing solver, law fitting |
+//! | [`machine`] | `balance-machine` | the counting PE simulator: capacity-enforced memory, counted I/O, LRU model, timelines |
+//! | [`kernels`] | `balance-kernels` | instrumented, verified out-of-core kernels for every computation in the paper (+ extensions) |
+//! | [`pebble`] | `balance-pebble` | the Hong–Kung red–blue pebble game: DAGs, rules, strategies, exact optima, lower bounds |
+//! | [`parallel`] | `balance-parallel` | Section 4: linear arrays, square meshes, systolic algorithms, the Warp case study |
+//! | [`roofline`] | `balance-roofline` | the balance law as a roofline: ridge points and balanced memories |
+//!
+//! The experiment harness (every table and figure of the paper as a
+//! regenerable, self-checking report) lives in the `balance-bench` crate:
+//! `cargo run --release -p balance-bench --bin repro -- all`.
+//!
+//! ## The paper in one expression
+//!
+//! ```
+//! use kung_balance::core::prelude::*;
+//!
+//! // A PE balanced for blocked matmul whose C/IO then quadruples must
+//! // grow its memory sixteen-fold (α² law, paper §3.1):
+//! let plan = rebalance(
+//!     &IntensityModel::sqrt_m(1.0),
+//!     Alpha::new(4.0)?,
+//!     Words::new(1024),
+//! )?;
+//! assert_eq!(plan.growth_factor(), 16.0);
+//!
+//! // …while no memory rebalances an I/O-bounded computation (§3.6):
+//! assert!(rebalance(&IntensityModel::constant(2.0), Alpha::new(4.0)?, Words::new(1024)).is_err());
+//! # Ok::<(), kung_balance::core::BalanceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use balance_core as core;
+pub use balance_kernels as kernels;
+pub use balance_machine as machine;
+pub use balance_parallel as parallel;
+pub use balance_pebble as pebble;
+pub use balance_roofline as roofline;

@@ -1,0 +1,114 @@
+//! Integration: every table and figure of the paper regenerates and its
+//! findings hold. Each experiment is a separate test so the suite
+//! parallelizes and failures are attributable.
+
+use balance_bench::run_by_id;
+
+fn check(id: &str) {
+    let report = run_by_id(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    assert!(report.passed(), "{id} failed:\n{report}");
+}
+
+#[test]
+fn fig1_pe_diagram() {
+    check("F1");
+}
+
+#[test]
+fn fig2_fft_decomposition() {
+    check("F2");
+}
+
+#[test]
+fn fig3_linear_array() {
+    check("F3");
+}
+
+#[test]
+fn fig4_mesh() {
+    check("F4");
+}
+
+#[test]
+fn e1_summary_table() {
+    check("E1");
+}
+
+#[test]
+fn e2_matmul() {
+    check("E2");
+}
+
+#[test]
+fn e3_triangularization() {
+    check("E3");
+}
+
+#[test]
+fn e4_grid() {
+    check("E4");
+}
+
+#[test]
+fn e5_fft() {
+    check("E5");
+}
+
+#[test]
+fn e6_sorting() {
+    check("E6");
+}
+
+#[test]
+fn e7_io_bounded() {
+    check("E7");
+}
+
+#[test]
+fn e8_linear_array() {
+    check("E8");
+}
+
+#[test]
+fn e9_mesh() {
+    check("E9");
+}
+
+#[test]
+fn e10_warp() {
+    check("E10");
+}
+
+#[test]
+fn e11_pebble() {
+    check("E11");
+}
+
+#[test]
+fn e12_roofline() {
+    check("E12");
+}
+
+#[test]
+fn e13_lru_ablation() {
+    check("E13");
+}
+
+#[test]
+fn e14_extension_kernels() {
+    check("E14");
+}
+
+#[test]
+fn e15_amdahl() {
+    check("E15");
+}
+
+#[test]
+fn registry_is_complete_and_consistent() {
+    for id in balance_bench::ALL_IDS {
+        let report = run_by_id(id).unwrap();
+        assert_eq!(report.id, id);
+        assert!(!report.findings.is_empty(), "{id} has no findings");
+    }
+}
