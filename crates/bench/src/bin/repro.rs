@@ -1,6 +1,6 @@
 //! Regenerates every table and figure of Kung (1985).
 //!
-//! Usage: `repro [all | <id>...]` where ids are F1–F4, E1–E13.
+//! Usage: `repro [all | <id>...]` where ids are F1–F4, E1–E15.
 //! Exits nonzero if any requested experiment's findings fail.
 
 use balance_bench::{run_by_id, ALL_IDS};

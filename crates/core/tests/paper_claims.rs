@@ -1,0 +1,139 @@
+//! Fast executable checks of the paper's headline claims (Kung 1985).
+//!
+//! Each test pins one of the quantitative statements the paper is cited for,
+//! straight through the public `balance-core` API:
+//!
+//! * §3.1–3.2 — `r(M) = Θ(√M)` computations (matmul, LU) need `M_new = α²·M_old`;
+//! * §3.3 — `r(M) = Θ(M^(1/d))` (d-dimensional grids) need `M_new = α^d·M_old`;
+//! * §3.4–3.5 — `r(M) = Θ(log₂ M)` (FFT, sorting) need `M_new = M_old^α`;
+//! * §3.6 — constant intensity (matvec, trisolve) cannot be rebalanced by any
+//!   memory enlargement.
+//!
+//! Everything here is closed-form arithmetic: the whole suite runs in
+//! microseconds and acts as the tier-1 smoke check for the model crate.
+
+use balance_core::{rebalance, Alpha, BalanceError, GrowthLaw, IntensityModel, Words};
+
+const M_OLD: u64 = 4096;
+
+fn growth(model: &IntensityModel, alpha: f64) -> f64 {
+    rebalance(model, Alpha::new(alpha).unwrap(), Words::new(M_OLD))
+        .expect("rebalanceable model")
+        .growth_factor()
+}
+
+/// §3.1: when C/IO grows by α, a √M-intensity computation (blocked matmul)
+/// must grow its memory by exactly α².
+#[test]
+fn sqrt_m_rebalances_as_alpha_squared() {
+    for alpha in [1.0, 1.5, 2.0, 3.0, 4.0, 8.0] {
+        let g = growth(&IntensityModel::sqrt_m(1.0), alpha);
+        let expected = alpha * alpha;
+        assert!(
+            (g - expected).abs() / expected < 1e-9,
+            "alpha {alpha}: growth {g}, expected {expected}"
+        );
+    }
+}
+
+/// §3.1 as the paper states it: quadrupling C/IO means sixteen-fold memory.
+#[test]
+fn quadrupled_balance_needs_sixteenfold_memory() {
+    let plan = rebalance(
+        &IntensityModel::sqrt_m(1.0),
+        Alpha::new(4.0).unwrap(),
+        Words::new(1024),
+    )
+    .unwrap();
+    assert_eq!(plan.growth_factor(), 16.0);
+    assert_eq!(plan.new_memory, Words::new(16 * 1024));
+}
+
+/// §3.3 specialised to d = 3: cube-root intensity (3-D grid relaxation)
+/// rebalances as α³.
+#[test]
+fn cube_root_rebalances_as_alpha_cubed() {
+    for alpha in [1.0, 2.0, 3.0, 4.0] {
+        let g = growth(&IntensityModel::root_m(3, 1.0), alpha);
+        let expected = alpha.powi(3);
+        assert!(
+            (g - expected).abs() / expected < 1e-9,
+            "alpha {alpha}: growth {g}, expected {expected}"
+        );
+    }
+}
+
+/// §3.3 in general: M^(1/d) intensity rebalances as α^d, and the model
+/// reports exactly that polynomial growth law.
+#[test]
+fn root_m_rebalances_as_alpha_to_the_d() {
+    for d in 1..=4u32 {
+        let model = IntensityModel::root_m(d, 1.0);
+        assert_eq!(
+            model.growth_law(),
+            GrowthLaw::Polynomial { degree: d as f64 }
+        );
+        for alpha in [1.5, 2.0, 4.0] {
+            let g = growth(&model, alpha);
+            let expected = alpha.powi(d as i32);
+            assert!(
+                (g - expected).abs() / expected < 1e-9,
+                "d {d}, alpha {alpha}: growth {g}, expected {expected}"
+            );
+        }
+    }
+}
+
+/// §3.4–3.5: log₂ M intensity (FFT, sorting) needs M_new = M_old^α — the
+/// exponential law, with its catastrophic growth even at small α.
+#[test]
+fn log2_m_rebalances_exponentially() {
+    let model = IntensityModel::log2_m(1.0);
+    assert_eq!(model.growth_law(), GrowthLaw::Exponential);
+    let plan = rebalance(&model, Alpha::new(2.0).unwrap(), Words::new(M_OLD)).unwrap();
+    let expected = (M_OLD as f64).powf(2.0); // 4096² = 16,777,216 words
+    let got = plan.new_memory.as_f64();
+    assert!(
+        (got - expected).abs() / expected < 1e-9,
+        "expected M_old^2 = {expected}, got {got}"
+    );
+    // The growth factor equals M_old^(α-1) = 4096 — already dwarfing the α²=4
+    // a matrix computation would need (the paper's FFT-vs-matmul contrast).
+    assert!((plan.growth_factor() - 4096.0).abs() < 1e-6);
+}
+
+/// §3.6: constant intensity (matvec, triangular solve with large bandwidth)
+/// is I/O-bounded — no memory enlargement restores balance, and the solver
+/// says so with a structured error rather than a huge number.
+#[test]
+fn constant_intensity_cannot_be_rebalanced() {
+    for value in [0.5, 1.0, 2.0, 100.0] {
+        let model = IntensityModel::constant(value);
+        assert!(model.is_io_bounded());
+        assert_eq!(model.growth_law(), GrowthLaw::Impossible);
+        for alpha in [1.5, 2.0, 4.0] {
+            match rebalance(&model, Alpha::new(alpha).unwrap(), Words::new(M_OLD)) {
+                Err(BalanceError::IoBounded) => {}
+                other => panic!("expected IoBounded for r(M)={value}, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// The degenerate α = 1 case: nothing changed, so no model asks for more
+/// memory (growth factor exactly 1 for every rebalanceable law).
+#[test]
+fn alpha_one_is_a_no_op() {
+    for model in [
+        IntensityModel::sqrt_m(2.0),
+        IntensityModel::root_m(3, 1.0),
+        IntensityModel::log2_m(1.0),
+    ] {
+        let plan = rebalance(&model, Alpha::new(1.0).unwrap(), Words::new(M_OLD)).unwrap();
+        assert_eq!(
+            plan.growth_factor(),
+            1.0,
+            "model {model} grew at alpha = 1"
+        );
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! minimal, API-compatible subset of proptest sufficient for the six
+//! `crates/*/tests/proptests.rs` suites:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric ranges,
+//!   tuples, and the combinators below;
+//! * [`prop_oneof!`], [`collection::vec`], [`bool::ANY`];
+//! * the [`proptest!`] test-harness macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning structured failures.
+//!
+//! ## Determinism
+//!
+//! Unlike upstream proptest (OS-entropy seeds + shrinking), every test case
+//! here is derived from a fixed per-test seed: the FNV-1a hash of the test's
+//! `module_path!()::name`. Runs are therefore bit-for-bit reproducible across
+//! machines and CI runs — no flakes, no regression files. Case counts are
+//! bounded (default 64) and can be overridden per-suite with
+//! `ProptestConfig::with_cases(n)` or globally with the `PROPTEST_CASES`
+//! environment variable. There is no shrinking: failures report the case
+//! index and seed, which replays exactly.
+
+#![forbid(unsafe_code)]
+
+pub use rand;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// The source of randomness handed to strategies: the workspace's
+    /// deterministic SplitMix64 generator.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Mirrors `proptest::strategy::Strategy` minus shrinking: `generate`
+    /// replaces `new_tree` + `current`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that yields a fixed value (upstream's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A type-erased generation closure, as stored by [`Union`].
+    pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice among boxed alternatives; built by [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        variants: Vec<BoxedGen<V>>,
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} variants)", self.variants.len())
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Build from the closures produced by [`Union::boxed`].
+        pub fn new(variants: Vec<BoxedGen<V>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+            Union { variants }
+        }
+
+        /// Erase a strategy into a generation closure.
+        pub fn boxed<S>(s: S) -> BoxedGen<V>
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            Box::new(move |rng| s.generate(rng))
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            use rand::Rng as _;
+            let idx = rng.gen_range(0..self.variants.len());
+            (self.variants[idx])(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng as _;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng as _;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+    impl Strategy for std::ops::Range<i32> {
+        type Value = i32;
+        fn generate(&self, rng: &mut TestRng) -> i32 {
+            use rand::Rng as _;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element strategy `elem` and a length drawn
+    /// from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(elem, 1..20)`: vectors of 1–19 elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let n = if self.len.start + 1 == self.len.end {
+                self.len.start
+            } else {
+                // Empty ranges fall through and panic in gen_range, matching
+                // upstream proptest's rejection of them.
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            use rand::Rng as _;
+            rng.gen_range(0u32..2) == 1
+        }
+    }
+}
+
+/// Test-runner configuration and failure plumbing.
+pub mod test_runner {
+    use rand::SeedableRng as _;
+
+    /// Per-suite configuration, exposed in the prelude as `ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property runs. Bounded by design; override
+        /// globally with the `PROPTEST_CASES` env var.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Cases to actually run: `PROPTEST_CASES` env override, else the
+        /// configured count.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256 with shrinking; 64 deterministic cases
+            // keeps tier-1 fast while still sweeping each strategy broadly.
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property case (what `prop_assert!` returns).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Deterministic per-test seed: FNV-1a over the fully qualified test name.
+    pub fn seed_for(test_name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// RNG for case `case` of the test named `test_name`.
+    pub fn rng_for(test_name: &str, case: u32) -> crate::strategy::TestRng {
+        crate::strategy::TestRng::seed_from_u64(
+            seed_for(test_name).wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)),
+        )
+    }
+}
+
+/// Everything the test suites import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among the listed strategies (all must share a `Value`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body; failures abort only the current case
+/// with a structured message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` ({:?} != {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// The proptest harness macro: wraps each `fn name(arg in strategy, …)` into
+/// a `#[test]` that runs `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let cases = config.effective_cases();
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::rng_for(test_name, case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        return ::core::result::Result::Ok(());
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} of {} failed: {}\n(deterministic; rerun reproduces this case)",
+                            case + 1, cases, test_name, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
