@@ -1,0 +1,71 @@
+//! Sweep-executor benchmarks: the wall-clock effect of the two measurement
+//! engine optimizations on the matmul intensity sweep at `n = 96`.
+//!
+//! * `serial_full` — the pre-optimization baseline: one point at a time,
+//!   every point recomputing the `O(n³)` reference.
+//! * `serial_freivalds` — verification share removed (`O(n²)` anchored
+//!   Freivalds checks), still serial.
+//! * `parallel_freivalds` — the production configuration: the same points
+//!   fanned out over `available_parallelism` scoped workers.
+//!
+//! On an `c`-core runner the parallel/freivalds configuration improves on
+//! the serial/full baseline by roughly `c × (1 + verify share)`; the three
+//! medians land in `BENCH_2.json` via the bench-smoke script so the ratio
+//! is tracked across PRs.
+
+use balance_kernels::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn matmul_cfg(verify: Verify) -> SweepConfig {
+    SweepConfig {
+        n: 96,
+        memories: [4usize, 6, 8, 12, 16, 24, 32, 48]
+            .iter()
+            .map(|b| 3 * b * b)
+            .collect(),
+        seed: 1,
+        verify,
+    }
+}
+
+fn bench_sweep_executors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_matmul_n96");
+    g.sample_size(10);
+    let full = matmul_cfg(Verify::Full);
+    let cheap = matmul_cfg(Verify::Freivalds { rounds: 2 });
+    g.bench_function("serial_full", |b| {
+        b.iter(|| intensity_sweep(&MatMul, &full).expect("verified"));
+    });
+    g.bench_function("serial_freivalds", |b| {
+        b.iter(|| intensity_sweep(&MatMul, &cheap).expect("verified"));
+    });
+    g.bench_function("parallel_freivalds", |b| {
+        b.iter(|| intensity_sweep_par(&MatMul, &cheap).expect("verified"));
+    });
+    g.finish();
+}
+
+fn bench_trace_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_trace");
+    g.sample_size(10);
+    // The E13 inner loop at a size whose trace (3n³ = 6M addresses) would
+    // be 48 MB materialized: stream it through both cache backends.
+    let n = 128usize;
+    let bound = 3 * (n as u64) * (n as u64);
+    g.bench_function("direct_indexed", |b| {
+        b.iter(|| {
+            let mut cache = balance_machine::LruCache::with_address_bound(3072, 1, bound);
+            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n))
+        });
+    });
+    g.bench_function("hashed_fallback", |b| {
+        b.iter(|| {
+            let mut cache = balance_machine::LruCache::new(3072, 1);
+            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_executors, bench_trace_streaming);
+criterion_main!(benches);

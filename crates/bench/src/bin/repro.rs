@@ -1,12 +1,32 @@
 //! Regenerates every table and figure of Kung (1985).
 //!
-//! Usage: `repro [all | <id>...]` where ids are F1–F4, E1–E15.
-//! Exits nonzero if any requested experiment's findings fail.
+//! Usage: `repro [--scale small|large] [all | <id>...]` where ids are
+//! F1–F4, E1–E15. `--scale large` runs the scale-sensitive experiments
+//! (currently E13) at thousands-scale problem sizes on the streaming
+//! measurement engine. Exits nonzero if any requested experiment's
+//! findings fail.
 
-use balance_bench::{run_by_id, ALL_IDS};
+use balance_bench::{run_by_id_at, Scale, ALL_IDS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut scale = Scale::Small;
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        if pos + 1 >= args.len() {
+            eprintln!("--scale requires a value (small | large)");
+            std::process::exit(1);
+        }
+        match Scale::parse(&args[pos + 1]) {
+            Ok(s) => scale = s,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        args.drain(pos..=pos + 1);
+    }
+
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case("all"))
     {
         ALL_IDS.iter().map(|s| (*s).to_string()).collect()
@@ -16,7 +36,7 @@ fn main() {
 
     let mut all_ok = true;
     for id in &ids {
-        match run_by_id(id) {
+        match run_by_id_at(id, scale) {
             Some(report) => {
                 println!("{report}");
                 all_ok &= report.passed();

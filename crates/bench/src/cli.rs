@@ -151,8 +151,25 @@ pub fn cmd_rebalance(flags: &Flags) -> Result<String, String> {
     }
 }
 
-/// `balance sweep --kernel <name> --n <size> [--seed <u64>]`: run a real
-/// measured sweep and fit the law.
+/// Parses a `--verify` flag value into a [`Verify`] policy.
+///
+/// # Errors
+///
+/// Unknown mode names, with the list of valid ones.
+pub fn verify_by_name(name: &str) -> Result<Verify, String> {
+    Ok(match name {
+        "full" => Verify::Full,
+        "freivalds" => Verify::Freivalds { rounds: 2 },
+        "none" => Verify::None,
+        other => Err(format!(
+            "unknown verify mode '{other}' (try: full, freivalds, none)"
+        ))?,
+    })
+}
+
+/// `balance sweep --kernel <name> --n <size> [--seed <u64>]
+/// [--verify full|freivalds|none]`: run a real measured sweep (in
+/// parallel across cores) and fit the law.
 ///
 /// # Errors
 ///
@@ -163,6 +180,10 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
         .ok_or("missing required flag --kernel".to_string())?;
     let n = flags.u64("n")? as usize;
     let seed = flags.u64("seed").unwrap_or(42);
+    let verify = match flags.str_opt("verify") {
+        Some(mode) => verify_by_name(mode)?,
+        Option::None => Verify::auto(n),
+    };
     let kernel: Box<dyn Kernel> = match name {
         "matmul" => Box::new(MatMul),
         "lu" | "triangularization" => Box::new(Triangularization),
@@ -174,8 +195,8 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
         "trisolve" => Box::new(TriSolve),
         other => return Err(format!("unknown kernel '{other}'")),
     };
-    let cfg = SweepConfig::pow2(n, 5, 12, seed);
-    let result = intensity_sweep(kernel.as_ref(), &cfg).map_err(|e| e.to_string())?;
+    let cfg = SweepConfig::pow2(n, 5, 12, seed).with_verify(verify);
+    let result = intensity_sweep_par(kernel.as_ref(), &cfg).map_err(|e| e.to_string())?;
     let mut out = format!(
         "{:>10} {:>14} {:>14} {:>10}\n",
         "M (words)", "C_comp", "C_io", "ratio"
@@ -236,8 +257,10 @@ USAGE:
       Characterize a PE: machine balance + balanced memory per computation.
   balance rebalance --law <matmul|lu|grid1..grid4|fft|sort|matvec> --alpha <f> --m <words>
       The paper's question: how much memory restores balance after C/IO grows α-fold?
-  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>]
-      Run the instrumented kernel across a memory sweep and fit the law.
+  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>] [--verify full|freivalds|none]
+      Run the instrumented kernel across a memory sweep (parallel across
+      cores; default verification: full up to n=64, anchored Freivalds
+      beyond) and fit the law.
   balance warp
       The §5 Warp machine case study.
 "
@@ -310,6 +333,38 @@ mod tests {
         let out = cmd_sweep(&f).unwrap();
         assert!(out.contains("fitted:"));
         assert!(out.contains("growth rule:"));
+    }
+
+    #[test]
+    fn sweep_verify_modes_measure_identically() {
+        let full = cmd_sweep(
+            &Flags::parse(&args(&["--kernel", "matmul", "--n", "24", "--verify", "full"]))
+                .unwrap(),
+        )
+        .unwrap();
+        let cheap = cmd_sweep(
+            &Flags::parse(&args(&[
+                "--kernel", "matmul", "--n", "24", "--verify", "freivalds",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // Verification policy changes checking cost, never the measurement.
+        assert_eq!(full, cheap);
+        let f = Flags::parse(&args(&["--kernel", "matmul", "--n", "8", "--verify", "bogus"]))
+            .unwrap();
+        assert!(cmd_sweep(&f).is_err());
+    }
+
+    #[test]
+    fn verify_registry_parses_all_modes() {
+        assert_eq!(verify_by_name("full").unwrap(), Verify::Full);
+        assert_eq!(
+            verify_by_name("freivalds").unwrap(),
+            Verify::Freivalds { rounds: 2 }
+        );
+        assert_eq!(verify_by_name("none").unwrap(), Verify::None);
+        assert!(verify_by_name("3").is_err());
     }
 
     #[test]

@@ -8,21 +8,56 @@
 //! measured intensity at the same `M`. LRU on the naive order falls far
 //! short of the `√M` law once the matrices outgrow the cache — the scheme,
 //! not the SRAM, earns the balance.
+//!
+//! The measurement stack is built for scale: the trace streams from
+//! [`NaiveTrace`] (O(1) memory — the `n = 512` trace is 402M addresses,
+//! ~3 GB materialized), the cache uses the direct-indexed backend over the
+//! dense `[0, 3n²)` address range (~3 MB of slot table at `n = 512`), the
+//! blocked runs verify by Freivalds checks at large `n` (first point fully
+//! verified as the anchor), and the per-`M` measurements fan out across
+//! cores. `Scale::Large` is the `repro --scale large` tier.
 
-use balance_kernels::matmul::{naive_address_trace, tile_side, MatMul};
-use balance_kernels::Kernel;
+use balance_kernels::matmul::{tile_side, MatMul, NaiveTrace};
+use balance_kernels::sweep::par_map;
+use balance_kernels::{Kernel, Verify};
 use balance_machine::LruCache;
 
+use crate::experiments::Scale;
 use crate::report::{Finding, Report};
 
 /// E13 — LRU-vs-blocked ablation at equal memory capacity.
 #[must_use]
 pub fn e13_lru_ablation() -> Report {
-    // n chosen so a single matrix (n² = 1024 words) outgrows every cache
-    // size below — the regime the paper's blocking schemes are for.
-    let n = 32usize;
+    e13_lru_ablation_at(Scale::Small)
+}
+
+/// E13 at an explicit scale tier. `Small` (n = 32) is the default and CI
+/// regime; `Large` (n = 512) exercises the streaming/direct-indexed path
+/// on a 402M-address trace.
+#[must_use]
+pub fn e13_lru_ablation_at(scale: Scale) -> Report {
+    // n chosen so a single matrix (n² words) outgrows every cache size
+    // below — the regime the paper's blocking schemes are for.
+    let (n, memories): (usize, Vec<usize>) = match scale {
+        Scale::Small => (32, vec![48, 108, 192, 432, 768]),
+        Scale::Large => (512, vec![3072, 12288, 49152, 110_592, 196_608]),
+    };
     let ops = 2 * (n as u64).pow(3);
-    let trace = naive_address_trace(n);
+    let addr_bound = 3 * (n as u64) * (n as u64);
+
+    // One fully independent measurement per memory size: stream the naive
+    // trace through an LRU of capacity M, then run the verified blocked
+    // kernel at the same M. par_map keeps the rows in sweep order; the
+    // first point is the fully-verified anchor (as in intensity_sweep),
+    // the rest use the size-appropriate policy.
+    let rows: Vec<(usize, f64, f64)> = par_map(&memories, |i, &m| {
+        let mut cache = LruCache::with_address_bound(m, 1, addr_bound);
+        let misses = cache.run_trace(NaiveTrace::new(n));
+        let lru_intensity = ops as f64 / misses as f64;
+        let verify = if i == 0 { Verify::Full } else { Verify::auto(n) };
+        let run = MatMul.run_with(n, m, 99, verify).expect("verified run");
+        (m, lru_intensity, run.intensity())
+    });
 
     let mut body = format!(
         "{:>8} {:>6} {:>16} {:>16} {:>10}\n",
@@ -31,13 +66,7 @@ pub fn e13_lru_ablation() -> Report {
     let mut findings = Vec::new();
     let mut advantages = Vec::new();
 
-    for m in [48usize, 108, 192, 432, 768] {
-        let mut cache = LruCache::with_capacity_words(m);
-        let misses = cache.run_trace(trace.iter().copied());
-        let lru_intensity = ops as f64 / misses as f64;
-
-        let run = MatMul.run(n, m, 99).expect("verified run");
-        let blocked_intensity = run.intensity();
+    for &(m, lru_intensity, blocked_intensity) in &rows {
         let advantage = blocked_intensity / lru_intensity;
         advantages.push((m, advantage));
         body.push_str(&format!(
@@ -72,8 +101,8 @@ pub fn e13_lru_ablation() -> Report {
     // Control: when the whole problem fits in cache, LRU is fine — only
     // compulsory misses remain.
     let m_fits = 3 * n * n + 8;
-    let mut cache = LruCache::with_capacity_words(m_fits);
-    let misses = cache.run_trace(trace.iter().copied());
+    let mut cache = LruCache::with_address_bound(m_fits, 1, addr_bound);
+    let misses = cache.run_trace(NaiveTrace::new(n));
     findings.push(Finding::new(
         "control: fully-resident problem has compulsory misses only",
         format!("{} misses (A, B, C touched once)", 3 * n * n),

@@ -35,7 +35,9 @@ fn law_name(law: GrowthLaw) -> String {
 }
 
 fn sweep(kernel: &dyn Kernel, cfg: &SweepConfig) -> SweepResult {
-    intensity_sweep(kernel, cfg)
+    // All law sweeps run on the parallel executor (bit-identical to the
+    // serial one) under the config's own verification policy.
+    intensity_sweep_par(kernel, cfg)
         .unwrap_or_else(|e| panic!("kernel {} failed its verified sweep: {e}", kernel.name()))
 }
 
@@ -67,9 +69,7 @@ fn points_table(result: &SweepResult) -> String {
 /// overhead vanishes as `s` grows and is not part of the law.
 fn grid_sweep(d: usize, sides: &[usize]) -> SweepResult {
     let kernel = GridRelaxation::new(d);
-    let mut points = Vec::new();
-    let mut runs = Vec::new();
-    for &s in sides {
+    let results = par_map(sides, |_, &s| {
         let m = (s + 2).pow(d as u32) + s.pow(d as u32);
         assert_eq!(kernel.tile_side(m), s, "memory {m} must give side {s}");
         let iters = 4 * s;
@@ -77,9 +77,9 @@ fn grid_sweep(d: usize, sides: &[usize]) -> SweepResult {
             .run(iters, m, SEED)
             .unwrap_or_else(|e| panic!("grid{d}d s={s} failed: {e}"));
         let m_paper = s.pow(d as u32) as f64;
-        points.push(balance_core::fit::DataPoint::new(m_paper, run.intensity()));
-        runs.push(run);
-    }
+        (balance_core::fit::DataPoint::new(m_paper, run.intensity()), run)
+    });
+    let (points, runs) = results.into_iter().unzip();
     SweepResult {
         kernel: kernel.name(),
         points,
@@ -92,16 +92,14 @@ fn grid_sweep(d: usize, sides: &[usize]) -> SweepResult {
 /// intensity follows the smooth `Θ(log₂M)` law instead of a merge-level
 /// staircase.
 fn sort_sweep(ms: &[usize]) -> SweepResult {
-    let mut points = Vec::new();
-    let mut runs = Vec::new();
-    for &m in ms {
+    let results = par_map(ms, |_, &m| {
         let n = m * m;
         let run = ExternalSort
             .run(n, m, SEED)
             .unwrap_or_else(|e| panic!("sort m={m} failed: {e}"));
-        points.push(balance_core::fit::DataPoint::new(m as f64, run.intensity()));
-        runs.push(run);
-    }
+        (balance_core::fit::DataPoint::new(m as f64, run.intensity()), run)
+    });
+    let (points, runs) = results.into_iter().unzip();
     SweepResult {
         kernel: "sort",
         points,
@@ -133,6 +131,7 @@ fn fft_sweep(t: u32) -> SweepResult {
         n,
         memories,
         seed: SEED,
+        verify: Verify::Full,
     };
     sweep(&Fft, &cfg)
 }
@@ -179,6 +178,8 @@ fn alpha2_factor(kernel: &dyn Kernel, n: usize, memories: &[usize], m_old: f64) 
         n,
         memories: memories.to_vec(),
         seed: SEED,
+        // Anchored Freivalds beyond n = 64 — the sweep's cost knob.
+        verify: Verify::auto(n),
     };
     let result = sweep(kernel, &cfg);
     let curve = result.curve().expect("enough points");
@@ -193,6 +194,8 @@ pub fn e2_matmul() -> Report {
         n,
         memories: matmul_memories(n, &[4, 6, 8, 12, 16, 24, 32, 48]),
         seed: SEED,
+        // n = 96: anchored Freivalds keeps the verify share O(n²).
+        verify: Verify::auto(n),
     };
     let result = sweep(&MatMul, &cfg);
     let fit = result.fit().expect("enough points");
@@ -237,7 +240,7 @@ pub fn e2_matmul() -> Report {
 /// E3 — §3.2 triangularization: `r(M) = Θ(√M)`, `M_new = α²·M_old`.
 #[must_use]
 pub fn e3_triangularization() -> Report {
-    let cfg = SweepConfig::pow2(128, 5, 13, SEED);
+    let cfg = SweepConfig::pow2(128, 5, 13, SEED).with_verify(Verify::auto(128));
     let result = sweep(&Triangularization, &cfg);
     let fit = result.fit().expect("enough points");
     let curve = result.curve().expect("enough points");
@@ -482,7 +485,7 @@ pub fn e7_io_bounded() -> Report {
     let mut findings = Vec::new();
     let kernels: [(&dyn Kernel, usize); 2] = [(&MatVec, 96), (&TriSolve, 96)];
     for (kernel, n) in kernels {
-        let cfg = SweepConfig::pow2(n, 3, 13, SEED);
+        let cfg = SweepConfig::pow2(n, 3, 13, SEED).with_verify(Verify::auto(n));
         let result = sweep(kernel, &cfg);
         body.push_str(&format!(
             "-- {} --\n{}",

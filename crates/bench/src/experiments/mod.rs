@@ -12,16 +12,54 @@ pub mod roofline_exp;
 
 use crate::report::Report;
 
+/// The problem-size tier an experiment runs at.
+///
+/// `Small` is the CI/default regime (seconds per experiment). `Large`
+/// (`repro --scale large`) pushes the scale-sensitive experiments to the
+/// sizes the measurement engine was rebuilt for — currently E13 at
+/// `n = 512`, whose naive trace is 402M addresses, streamed in O(1) memory
+/// through the direct-indexed LRU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Toy sizes: every experiment finishes in seconds.
+    #[default]
+    Small,
+    /// Thousands-scale problem sizes for the scale-sensitive experiments.
+    Large,
+}
+
+impl Scale {
+    /// Parses a `--scale` value.
+    ///
+    /// # Errors
+    ///
+    /// A user-facing message for unknown tiers.
+    pub fn parse(s: &str) -> Result<Scale, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Ok(Scale::Small),
+            "large" => Ok(Scale::Large),
+            other => Err(format!("unknown scale '{other}' (try: small, large)")),
+        }
+    }
+}
+
 /// All experiment ids in presentation order.
 pub const ALL_IDS: [&str; 19] = [
     "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
     "E12", "E13", "E14", "E15",
 ];
 
-/// Runs one experiment by id (case-insensitive). Returns `None` for unknown
-/// ids.
+/// Runs one experiment by id (case-insensitive) at the default scale.
+/// Returns `None` for unknown ids.
 #[must_use]
 pub fn run_by_id(id: &str) -> Option<Report> {
+    run_by_id_at(id, Scale::Small)
+}
+
+/// Runs one experiment by id at an explicit [`Scale`] tier. Experiments
+/// without a large-scale variant run identically at either tier.
+#[must_use]
+pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
     Some(match id.to_ascii_uppercase().as_str() {
         "F1" => figures::fig1_pe(),
         "F2" => figures::fig2_fft_decomposition(),
@@ -39,20 +77,40 @@ pub fn run_by_id(id: &str) -> Option<Report> {
         "E10" => parallel_exp::e10_warp(),
         "E11" => pebble_exp::e11_pebble(),
         "E12" => roofline_exp::e12_roofline(),
-        "E13" => ablation::e13_lru_ablation(),
+        "E13" => ablation::e13_lru_ablation_at(scale),
         "E14" => extension::e14_extension_kernels(),
         "E15" => amdahl_exp::e15_amdahl(),
         _ => return None,
     })
 }
 
-/// Runs every experiment, in order.
+/// Runs every experiment, in order, at the default scale.
 #[must_use]
 pub fn run_all() -> Vec<Report> {
     ALL_IDS
         .iter()
         .map(|id| run_by_id(id).expect("registry covers ALL_IDS"))
         .collect()
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_case_insensitively() {
+        assert_eq!(Scale::parse("small").unwrap(), Scale::Small);
+        assert_eq!(Scale::parse("LARGE").unwrap(), Scale::Large);
+        assert!(Scale::parse("huge").is_err());
+    }
+
+    #[test]
+    fn scale_only_changes_scale_sensitive_experiments() {
+        // F1 has no large tier: both scales must agree.
+        let a = run_by_id_at("F1", Scale::Small).unwrap();
+        let b = run_by_id_at("F1", Scale::Large).unwrap();
+        assert_eq!(a.body, b.body);
+    }
 }
 
 #[cfg(test)]

@@ -25,5 +25,5 @@ pub mod cli;
 pub mod experiments;
 pub mod report;
 
-pub use experiments::{run_all, run_by_id, ALL_IDS};
+pub use experiments::{run_all, run_by_id, run_by_id_at, Scale, ALL_IDS};
 pub use report::{Finding, Report};

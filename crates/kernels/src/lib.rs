@@ -55,10 +55,12 @@ pub mod traits;
 pub mod transpose;
 pub mod triangularization;
 pub mod trisolve;
+pub mod verify;
 pub mod workload;
 
 pub use error::KernelError;
 pub use traits::{all_kernels, extension_kernels, Kernel, KernelRun};
+pub use verify::Verify;
 
 /// Convenient glob import: `use balance_kernels::prelude::*;`.
 pub mod prelude {
@@ -70,9 +72,12 @@ pub mod prelude {
     pub use crate::matvec::MatVec;
     pub use crate::multi_matvec::MultiMatVec;
     pub use crate::sorting::ExternalSort;
-    pub use crate::sweep::{intensity_sweep, SweepConfig, SweepResult};
+    pub use crate::sweep::{
+        intensity_sweep, intensity_sweep_par, par_map, SweepConfig, SweepResult,
+    };
     pub use crate::traits::{all_kernels, extension_kernels, Kernel, KernelRun};
     pub use crate::transpose::Transpose;
     pub use crate::triangularization::Triangularization;
     pub use crate::trisolve::TriSolve;
+    pub use crate::verify::Verify;
 }

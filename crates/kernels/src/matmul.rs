@@ -14,11 +14,12 @@
 //! Hong & Kung (1981) showed this is the best possible up to a constant, so
 //! `M_new = α²·M_old` is tight — this kernel is the paper's flagship example.
 //!
-//! The module also exports an **address-trace** generator for the naive
-//! (unblocked) triple loop, used by the E13 ablation to show that an LRU
-//! cache of the same capacity, fed the naive trace, does *not* achieve the
-//! `√M` intensity — the decomposition scheme, not the memory itself, earns
-//! the balance.
+//! The module also exports **streaming address-trace** generators
+//! ([`NaiveTrace`], [`BlockedTrace`]: lazy `Iterator<Item = u64> +
+//! ExactSizeIterator`, O(1) memory for the `3n³`-address traces), used by
+//! the E13 ablation to show that an LRU cache of the same capacity, fed
+//! the naive trace, does *not* achieve the `√M` intensity — the
+//! decomposition scheme, not the memory itself, earns the balance.
 
 use balance_core::{CostProfile, IntensityModel, Words};
 use balance_machine::{ExternalStore, Pe};
@@ -27,6 +28,7 @@ use crate::error::KernelError;
 use crate::matrix::{load_block, store_block, MatrixHandle};
 use crate::reference;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::{self, Verify};
 use crate::workload;
 
 /// Blocked out-of-core matrix multiplication.
@@ -34,9 +36,12 @@ use crate::workload;
 pub struct MatMul;
 
 /// The largest tile side `b` with `3b² ≤ m` (at least 1).
+///
+/// Integer `isqrt`, not `f64::sqrt`: above 2⁵³ the float rounds, and a
+/// rounded-up `b` would break the `3b² ≤ m` capacity contract.
 #[must_use]
 pub fn tile_side(m: usize) -> usize {
-    (((m / 3) as f64).sqrt().floor() as usize).max(1)
+    (m / 3).isqrt().max(1)
 }
 
 impl Kernel for MatMul {
@@ -69,6 +74,10 @@ impl Kernel for MatMul {
     }
 
     fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+        self.run_with(n, m, seed, Verify::Full)
+    }
+
+    fn run_with(&self, n: usize, m: usize, seed: u64, verify: Verify) -> Result<KernelRun, KernelError> {
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "matrix size must be positive".into(),
@@ -123,17 +132,26 @@ impl Kernel for MatMul {
             }
         }
 
-        // Verify against the naive reference.
-        let want = reference::matmul(&a_data, &b_data, n);
-        let got = c.snapshot(&store);
-        let err = reference::max_abs_diff(&want, &got);
-        let tol = 1e-9 * (n as f64);
-        if err > tol {
-            return Err(KernelError::VerificationFailed {
-                what: "matmul",
-                max_error: err,
-                tolerance: tol,
-            });
+        match verify {
+            Verify::Full => {
+                // Recompute the naive reference and compare elementwise.
+                let want = reference::matmul(&a_data, &b_data, n);
+                let got = c.snapshot(&store);
+                let err = reference::max_abs_diff(&want, &got);
+                let tol = 1e-9 * (n as f64);
+                if err > tol {
+                    return Err(KernelError::VerificationFailed {
+                        what: "matmul",
+                        max_error: err,
+                        tolerance: tol,
+                    });
+                }
+            }
+            Verify::Freivalds { rounds } => {
+                let got = c.snapshot(&store);
+                verify::freivalds_matmul(&a_data, &b_data, &got, n, seed, rounds)?;
+            }
+            Verify::None => {}
         }
 
         Ok(KernelRun {
@@ -144,52 +162,203 @@ impl Kernel for MatMul {
     }
 }
 
-/// Emits the word-address trace of the *naive* triple-loop `C = A·B`
+/// Streaming word-address trace of the *naive* triple-loop `C = A·B`
 /// (row-major, `ijk` order), for the LRU ablation (E13).
 ///
 /// Addresses: `A` at `[0, n²)`, `B` at `[n², 2n²)`, `C` at `[2n², 3n²)`.
-/// Each inner iteration touches `C[i][j]`, `A[i][k]`, `B[k][j]`.
-#[must_use]
-pub fn naive_address_trace(n: usize) -> Vec<u64> {
-    let n2 = (n * n) as u64;
-    let mut trace = Vec::with_capacity(3 * n * n * n);
-    for i in 0..n as u64 {
-        for j in 0..n as u64 {
-            for k in 0..n as u64 {
-                trace.push(i * n as u64 + k); // A[i][k]
-                trace.push(n2 + k * n as u64 + j); // B[k][j]
-                trace.push(2 * n2 + i * n as u64 + j); // C[i][j]
-            }
-        }
-    }
-    trace
+/// Each inner iteration touches `A[i][k]`, `B[k][j]`, `C[i][j]`.
+///
+/// The trace is `3n³` addresses long — ~3 GB materialized at `n = 512` —
+/// so it is generated lazily: the iterator holds a handful of counters and
+/// feeds `LruCache::run_trace` in O(1) memory. [`naive_address_trace`] is
+/// the thin `collect()` wrapper for small-`n` uses.
+#[derive(Debug, Clone)]
+pub struct NaiveTrace {
+    n: u64,
+    n2: u64,
+    i: u64,
+    j: u64,
+    k: u64,
+    phase: u8,
+    remaining: u64,
 }
 
-/// Emits the word-address trace of the *blocked* algorithm with tile side
-/// `b` (same address map as [`naive_address_trace`]).
-#[must_use]
-pub fn blocked_address_trace(n: usize, b: usize) -> Vec<u64> {
-    let n2 = (n * n) as u64;
-    let mut trace = Vec::new();
-    for i0 in (0..n).step_by(b) {
-        let ib = b.min(n - i0);
-        for j0 in (0..n).step_by(b) {
-            let jb = b.min(n - j0);
-            for k0 in (0..n).step_by(b) {
-                let kb = b.min(n - k0);
-                for i in i0..i0 + ib {
-                    for k in k0..k0 + kb {
-                        for j in j0..j0 + jb {
-                            trace.push((i * n + k) as u64);
-                            trace.push(n2 + (k * n + j) as u64);
-                            trace.push(2 * n2 + (i * n + j) as u64);
-                        }
-                    }
+impl NaiveTrace {
+    /// The trace for an `n × n` product.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let n = n as u64;
+        NaiveTrace {
+            n,
+            n2: n * n,
+            i: 0,
+            j: 0,
+            k: 0,
+            phase: 0,
+            remaining: 3 * n * n * n,
+        }
+    }
+}
+
+impl Iterator for NaiveTrace {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let addr = match self.phase {
+            0 => self.i * self.n + self.k,               // A[i][k]
+            1 => self.n2 + self.k * self.n + self.j,     // B[k][j]
+            _ => 2 * self.n2 + self.i * self.n + self.j, // C[i][j]
+        };
+        self.phase += 1;
+        if self.phase == 3 {
+            self.phase = 0;
+            self.k += 1;
+            if self.k == self.n {
+                self.k = 0;
+                self.j += 1;
+                if self.j == self.n {
+                    self.j = 0;
+                    self.i += 1;
                 }
             }
         }
+        Some(addr)
     }
-    trace
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining as usize;
+        (r, Some(r))
+    }
+}
+
+impl ExactSizeIterator for NaiveTrace {}
+
+/// Streaming word-address trace of the *blocked* algorithm with tile side
+/// `b` (same address map and O(1) memory as [`NaiveTrace`]);
+/// [`blocked_address_trace`] is the materializing wrapper.
+#[derive(Debug, Clone)]
+pub struct BlockedTrace {
+    n: usize,
+    b: usize,
+    n2: u64,
+    // Block origins and in-block coordinates of the next emission.
+    i0: usize,
+    j0: usize,
+    k0: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+    phase: u8,
+    remaining: u64,
+}
+
+impl BlockedTrace {
+    /// The trace for an `n × n` product in `b × b` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero.
+    #[must_use]
+    pub fn new(n: usize, b: usize) -> Self {
+        assert!(b > 0, "tile side must be positive");
+        let n64 = n as u64;
+        BlockedTrace {
+            n,
+            b,
+            n2: n64 * n64,
+            i0: 0,
+            j0: 0,
+            k0: 0,
+            i: 0,
+            j: 0,
+            k: 0,
+            phase: 0,
+            remaining: 3 * n64 * n64 * n64,
+        }
+    }
+
+    /// Advances the loop nest to the next `(i, k, j)` triple, innermost
+    /// (j) first, carrying into k, i, then the k0/j0/i0 block origins.
+    fn advance(&mut self) {
+        self.j += 1;
+        if self.j < (self.j0 + self.b).min(self.n) {
+            return;
+        }
+        self.j = self.j0;
+        self.k += 1;
+        if self.k < (self.k0 + self.b).min(self.n) {
+            return;
+        }
+        self.k = self.k0;
+        self.i += 1;
+        if self.i < (self.i0 + self.b).min(self.n) {
+            return;
+        }
+        self.i = self.i0;
+        self.k0 += self.b;
+        if self.k0 < self.n {
+            self.k = self.k0;
+            return;
+        }
+        self.k0 = 0;
+        self.k = 0;
+        self.j0 += self.b;
+        if self.j0 < self.n {
+            self.j = self.j0;
+            return;
+        }
+        self.j0 = 0;
+        self.j = 0;
+        self.i0 += self.b;
+        self.i = self.i0;
+    }
+}
+
+impl Iterator for BlockedTrace {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let n = self.n as u64;
+        let (i, j, k) = (self.i as u64, self.j as u64, self.k as u64);
+        let addr = match self.phase {
+            0 => i * n + k,                   // A[i][k]
+            1 => self.n2 + k * n + j,         // B[k][j]
+            _ => 2 * self.n2 + i * n + j,     // C[i][j]
+        };
+        self.phase += 1;
+        if self.phase == 3 {
+            self.phase = 0;
+            self.advance();
+        }
+        Some(addr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining as usize;
+        (r, Some(r))
+    }
+}
+
+impl ExactSizeIterator for BlockedTrace {}
+
+/// Materialized form of [`NaiveTrace`] for small `n` (tests, plots).
+#[must_use]
+pub fn naive_address_trace(n: usize) -> Vec<u64> {
+    NaiveTrace::new(n).collect()
+}
+
+/// Materialized form of [`BlockedTrace`] for small `n` (tests, plots).
+#[must_use]
+pub fn blocked_address_trace(n: usize, b: usize) -> Vec<u64> {
+    BlockedTrace::new(n, b).collect()
 }
 
 #[cfg(test)]
@@ -284,6 +453,46 @@ mod tests {
         // n = 17 with b = 4 exercises ragged edge blocks.
         let run = MatMul.run(17, 48, 7).unwrap();
         assert_eq!(run.execution.cost.comp_ops(), 2 * 17u64.pow(3));
+    }
+
+    #[test]
+    fn tile_side_is_exact_beyond_f64_precision() {
+        // Above 2⁵³, `(m/3) as f64` rounds; the old sqrt-based tile_side
+        // could round b up past the 3b² ≤ m contract. isqrt cannot.
+        for b in [94_906_265usize, 94_906_266, 1 << 27, (1 << 27) + 1] {
+            let m = 3 * b * b;
+            assert_eq!(tile_side(m), b, "exact capacity for b = {b}");
+            assert_eq!(tile_side(m - 1), b - 1, "one word short of b = {b}");
+            assert_eq!(tile_side(m + 1), b);
+        }
+        // The invariant itself, across adversarial huge capacities.
+        for m in [
+            usize::MAX,
+            usize::MAX - 1,
+            (1usize << 53) + 1,
+            3 * ((1usize << 53) + 7),
+        ] {
+            let b = tile_side(m);
+            assert!(3 * (b as u128) * (b as u128) <= m as u128, "m = {m}");
+            let b1 = b as u128 + 1;
+            assert!(3 * b1 * b1 > m as u128, "b not maximal for m = {m}");
+        }
+    }
+
+    #[test]
+    fn streaming_traces_report_exact_lengths() {
+        let mut t = NaiveTrace::new(5);
+        assert_eq!(t.len(), 3 * 5 * 5 * 5);
+        let mut left = t.len();
+        while t.next().is_some() {
+            left -= 1;
+            assert_eq!(t.len(), left);
+        }
+        let b = BlockedTrace::new(7, 3);
+        assert_eq!(b.len(), 3 * 7 * 7 * 7);
+        assert_eq!(b.count(), 3 * 7 * 7 * 7);
+        assert_eq!(NaiveTrace::new(0).len(), 0);
+        assert_eq!(BlockedTrace::new(0, 2).next(), None);
     }
 
     #[test]

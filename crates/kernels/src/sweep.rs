@@ -4,6 +4,23 @@
 //! problem size across a range of memory sizes, collect the measured
 //! `(M, C_comp/C_io)` points, and hand them to `balance-core`'s fitting and
 //! curve-inversion machinery.
+//!
+//! Two executors produce **bit-identical** results:
+//!
+//! * [`intensity_sweep`] — one point after another on the calling thread;
+//! * [`intensity_sweep_par`] — the same points fanned out over
+//!   `std::thread::available_parallelism` scoped workers. Every run is
+//!   independent (kernels take `&self` and own their `Pe`/`ExternalStore`),
+//!   workloads and verification probes are seeded per run, and points are
+//!   re-sorted into sweep order before they are returned.
+//!
+//! Verification cost is a knob ([`SweepConfig::verify`]): `Full` recomputes
+//! the `O(n³)` reference at every point, [`Verify::Freivalds`] downgrades
+//! all but the first eligible point (the *anchor*, which stays fully
+//! verified) to `O(n²)` randomized checks, and `Verify::None` is for timing
+//! studies only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use balance_core::fit::{fit_best, DataPoint, FitReport};
 use balance_core::solver::MeasuredCurve;
@@ -11,6 +28,7 @@ use balance_core::BalanceError;
 
 use crate::error::KernelError;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::Verify;
 
 /// Parameters of one memory sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,17 +39,28 @@ pub struct SweepConfig {
     pub memories: Vec<usize>,
     /// Workload seed (same inputs at every memory size).
     pub seed: u64,
+    /// Verification policy per point (the first eligible point is always
+    /// fully verified when this is [`Verify::Freivalds`]).
+    pub verify: Verify,
 }
 
 impl SweepConfig {
-    /// A sweep over powers of two `2^lo ..= 2^hi`.
+    /// A sweep over powers of two `2^lo ..= 2^hi`, fully verified.
     #[must_use]
     pub fn pow2(n: usize, lo: u32, hi: u32, seed: u64) -> Self {
         SweepConfig {
             n,
             memories: (lo..=hi).map(|k| 1usize << k).collect(),
             seed,
+            verify: Verify::Full,
         }
+    }
+
+    /// The same sweep under a different verification policy.
+    #[must_use]
+    pub fn with_verify(mut self, verify: Verify) -> Self {
+        self.verify = verify;
+        self
     }
 }
 
@@ -66,22 +95,35 @@ impl SweepResult {
     }
 }
 
-/// Runs `kernel` at every memory size in the sweep; skips sizes below the
-/// kernel's minimum. Every run is verified.
-///
-/// # Errors
-///
-/// Propagates the first kernel failure (including verification failures —
-/// a sweep with wrong numerics must not produce data).
-pub fn intensity_sweep(kernel: &dyn Kernel, cfg: &SweepConfig) -> Result<SweepResult, KernelError> {
+/// Memory sizes at or above the kernel's minimum, in sweep order.
+fn eligible_memories(kernel: &dyn Kernel, cfg: &SweepConfig) -> Vec<usize> {
+    let floor = kernel.min_memory(cfg.n);
+    cfg.memories.iter().copied().filter(|&m| m >= floor).collect()
+}
+
+/// The verification policy for point `idx`: under `Freivalds`, the first
+/// point is the fully-verified anchor so every sweep retains end-to-end
+/// correctness coverage.
+fn point_verify(cfg: Verify, idx: usize) -> Verify {
+    match cfg {
+        Verify::Freivalds { .. } if idx == 0 => Verify::Full,
+        other => other,
+    }
+}
+
+/// Folds per-point results into a [`SweepResult`], stopping at the first
+/// error. The iterator is consumed lazily, so when the serial executor
+/// passes its *unevaluated* run stream, a failing point aborts the sweep
+/// without computing the remaining (expensive) points.
+fn collect_sweep(
+    kernel: &dyn Kernel,
+    results: impl IntoIterator<Item = Result<KernelRun, KernelError>>,
+) -> Result<SweepResult, KernelError> {
     let mut points = Vec::new();
     let mut runs = Vec::new();
-    for &m in &cfg.memories {
-        if m < kernel.min_memory(cfg.n) {
-            continue;
-        }
-        let run = kernel.run(cfg.n, m, cfg.seed)?;
-        points.push(DataPoint::new(m as f64, run.intensity()));
+    for result in results {
+        let run = result?;
+        points.push(DataPoint::new(run.m as f64, run.intensity()));
         runs.push(run);
     }
     Ok(SweepResult {
@@ -89,6 +131,107 @@ pub fn intensity_sweep(kernel: &dyn Kernel, cfg: &SweepConfig) -> Result<SweepRe
         points,
         runs,
     })
+}
+
+/// Runs `kernel` at every memory size in the sweep; skips sizes below the
+/// kernel's minimum. Every run is verified under the sweep's policy.
+///
+/// # Errors
+///
+/// Propagates the first kernel failure in sweep order (including
+/// verification failures — a sweep with wrong numerics must not produce
+/// data).
+pub fn intensity_sweep(kernel: &dyn Kernel, cfg: &SweepConfig) -> Result<SweepResult, KernelError> {
+    let memories = eligible_memories(kernel, cfg);
+    // Lazy map: collect_sweep stops pulling (and thus running) points at
+    // the first failure.
+    collect_sweep(
+        kernel,
+        memories
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| kernel.run_with(cfg.n, m, cfg.seed, point_verify(cfg.verify, i))),
+    )
+}
+
+/// [`intensity_sweep`] fanned out over scoped worker threads — bit-identical
+/// `DataPoint`s, sweep wall-clock divided by the available cores.
+///
+/// Worker count comes from `std::thread::available_parallelism`; on a
+/// single-core host this degrades to the serial executor with zero thread
+/// overhead. Points are handed to workers through an atomic cursor and
+/// re-sorted into sweep order, so the output (including which point is the
+/// fully-verified anchor) does not depend on scheduling.
+///
+/// # Errors
+///
+/// As [`intensity_sweep`]: the first failure *in sweep order* (all points
+/// are attempted, then inspected in order).
+pub fn intensity_sweep_par(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+) -> Result<SweepResult, KernelError> {
+    let memories = eligible_memories(kernel, cfg);
+    let results = par_map(&memories, |i, &m| {
+        kernel.run_with(cfg.n, m, cfg.seed, point_verify(cfg.verify, i))
+    });
+    collect_sweep(kernel, results)
+}
+
+/// Applies `f` to every item of `items` on a scoped thread pool sized by
+/// `std::thread::available_parallelism`, returning outputs **in input
+/// order**. `f` receives `(index, &item)`.
+///
+/// This is the repo's only parallel primitive (rayon is unavailable
+/// offline): an atomic cursor feeds indices to workers, each worker
+/// accumulates `(index, output)` pairs, and the merged result is sorted by
+/// index — deterministic regardless of thread scheduling. With one core
+/// (or one item) it runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            return local;
+                        };
+                        local.push((i, f(i, item)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                // Re-raise with the original payload so callers' panic
+                // messages (kernel name, size, error) survive the hop.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, u)| u).collect()
 }
 
 #[cfg(test)]
@@ -103,6 +246,7 @@ mod tests {
     fn pow2_config() {
         let cfg = SweepConfig::pow2(10, 4, 7, 1);
         assert_eq!(cfg.memories, vec![16, 32, 64, 128]);
+        assert_eq!(cfg.verify, Verify::Full);
     }
 
     #[test]
@@ -138,6 +282,7 @@ mod tests {
             n: 16,
             memories: vec![1, 2, 64],
             seed: 0,
+            verify: Verify::Full,
         };
         let result = intensity_sweep(&MatMul, &cfg).unwrap();
         assert_eq!(result.points.len(), 1);
@@ -155,5 +300,108 @@ mod tests {
             (2.5..6.5).contains(&factor),
             "empirical growth factor {factor}"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        for verify in [Verify::Full, Verify::Freivalds { rounds: 2 }] {
+            let cfg = SweepConfig::pow2(32, 5, 10, 9).with_verify(verify);
+            let serial = intensity_sweep(&MatMul, &cfg).unwrap();
+            let par = intensity_sweep_par(&MatMul, &cfg).unwrap();
+            assert_eq!(serial.points.len(), par.points.len());
+            for (s, p) in serial.points.iter().zip(&par.points) {
+                assert_eq!(s.memory.to_bits(), p.memory.to_bits());
+                assert_eq!(s.ratio.to_bits(), p.ratio.to_bits());
+            }
+            assert_eq!(serial.runs, par.runs);
+        }
+    }
+
+    #[test]
+    fn freivalds_sweep_matches_full_sweep_measurements() {
+        // Verification mode must not change what is measured, only how the
+        // output is checked.
+        let base = SweepConfig::pow2(48, 5, 9, 4);
+        let full = intensity_sweep(&MatMul, &base).unwrap();
+        let cheap = intensity_sweep(
+            &MatMul,
+            &base.clone().with_verify(Verify::Freivalds { rounds: 1 }),
+        )
+        .unwrap();
+        assert_eq!(full.runs, cheap.runs);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(par_map::<usize, usize, _>(&[], |_, &x| x), Vec::<usize>::new());
+    }
+
+    /// A kernel that fails at every memory size, each failure naming its
+    /// `m` — lets the tests observe *which* error an executor surfaces.
+    #[derive(Debug)]
+    struct AlwaysFails;
+
+    impl Kernel for AlwaysFails {
+        fn name(&self) -> &'static str {
+            "always-fails"
+        }
+        fn description(&self) -> &'static str {
+            "test kernel: every run fails, tagged with its m"
+        }
+        fn intensity_model(&self) -> balance_core::IntensityModel {
+            balance_core::IntensityModel::constant(1.0)
+        }
+        fn analytic_cost(&self, _n: usize, _m: usize) -> balance_core::CostProfile {
+            balance_core::CostProfile::new(0, 0)
+        }
+        fn min_memory(&self, _n: usize) -> usize {
+            4
+        }
+        fn run(&self, _n: usize, m: usize, _seed: u64) -> Result<KernelRun, KernelError> {
+            Err(KernelError::BadParameters {
+                reason: format!("injected failure at m={m}"),
+            })
+        }
+    }
+
+    #[test]
+    fn both_executors_report_the_first_error_in_sweep_order() {
+        let cfg = SweepConfig {
+            n: 8,
+            memories: vec![1, 64, 16, 256], // 1 skipped (< min_memory)
+            seed: 0,
+            verify: Verify::Full,
+        };
+        for result in [
+            intensity_sweep(&AlwaysFails, &cfg),
+            intensity_sweep_par(&AlwaysFails, &cfg),
+        ] {
+            match result {
+                Err(KernelError::BadParameters { reason }) => {
+                    // First *eligible* point in sweep order, not the
+                    // smallest m and not whichever worker finished first.
+                    assert_eq!(reason, "injected failure at m=64");
+                }
+                other => panic!("expected the m=64 failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_with_only_ineligible_memories_is_empty_ok() {
+        let cfg = SweepConfig {
+            n: 8,
+            memories: vec![1, 2], // both below MatMul::min_memory
+            seed: 0,
+            verify: Verify::Full,
+        };
+        let result = intensity_sweep_par(&MatMul, &cfg).unwrap();
+        assert!(result.points.is_empty());
     }
 }

@@ -15,6 +15,7 @@
 use balance_core::{CostProfile, Execution, IntensityModel};
 
 use crate::error::KernelError;
+use crate::verify::Verify;
 
 /// The result of one instrumented, verified kernel run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +47,12 @@ impl KernelRun {
 ///   and fails with [`KernelError::VerificationFailed`] on mismatch;
 /// * the returned counts include every word moved and every operation
 ///   performed.
-pub trait Kernel {
+///
+/// Implementations must be [`Sync`]: kernels take `&self` and own their
+/// `Pe`/`ExternalStore` per run, so the parallel sweep executor
+/// ([`crate::sweep::intensity_sweep_par`]) shares one kernel across worker
+/// threads.
+pub trait Kernel: Sync {
     /// Short identifier (e.g. `"matmul"`).
     fn name(&self) -> &'static str;
 
@@ -73,6 +79,27 @@ pub trait Kernel {
     ///   bug — treated as a test failure);
     /// * [`KernelError::VerificationFailed`] if the output is wrong.
     fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError>;
+
+    /// Runs the computation under an explicit [`Verify`] policy.
+    ///
+    /// The default implementation ignores the policy and performs the
+    /// kernel's full verification (`run`); kernels with a cheap randomized
+    /// check (matmul, triangularization, trisolve) override it so that
+    /// large-`n` sweeps are not dominated by `O(n³)` reference recomputes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::run`].
+    fn run_with(
+        &self,
+        n: usize,
+        m: usize,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        let _ = verify;
+        self.run(n, m, seed)
+    }
 
     /// True for computations whose intensity saturates (paper §3.6).
     fn io_bounded(&self) -> bool {

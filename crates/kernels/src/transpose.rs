@@ -56,7 +56,8 @@ impl Kernel for Transpose {
                 need: self.min_memory(n),
             });
         }
-        let b = ((m as f64).sqrt().floor() as usize).clamp(1, n);
+        // Integer isqrt: f64 rounding above 2⁵³ must not inflate b².
+        let b = m.isqrt().clamp(1, n);
 
         let a_data = workload::random_matrix(n, seed);
         let mut store = ExternalStore::new();

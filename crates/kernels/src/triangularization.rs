@@ -28,6 +28,7 @@ use crate::matmul::tile_side;
 use crate::matrix::{load_block, store_block, MatrixHandle};
 use crate::reference;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::{self, Verify};
 use crate::workload;
 
 /// Blocked out-of-core LU triangularization.
@@ -64,6 +65,10 @@ impl Kernel for Triangularization {
     }
 
     fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+        self.run_with(n, m, seed, Verify::Full)
+    }
+
+    fn run_with(&self, n: usize, m: usize, seed: u64, verify: Verify) -> Result<KernelRun, KernelError> {
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "matrix size must be positive".into(),
@@ -183,17 +188,26 @@ impl Kernel for Triangularization {
             }
         }
 
-        // Verify: the packed L\U must reconstruct the original matrix.
-        let lu = a.snapshot(&store);
-        let back = reference::lu_reconstruct(&lu, n);
-        let err = reference::max_abs_diff(&a_data, &back);
-        let tol = 1e-9 * (n as f64 + 1.0);
-        if err > tol {
-            return Err(KernelError::VerificationFailed {
-                what: "triangularization",
-                max_error: err,
-                tolerance: tol,
-            });
+        match verify {
+            Verify::Full => {
+                // The packed L\U must reconstruct the original matrix.
+                let lu = a.snapshot(&store);
+                let back = reference::lu_reconstruct(&lu, n);
+                let err = reference::max_abs_diff(&a_data, &back);
+                let tol = 1e-9 * (n as f64 + 1.0);
+                if err > tol {
+                    return Err(KernelError::VerificationFailed {
+                        what: "triangularization",
+                        max_error: err,
+                        tolerance: tol,
+                    });
+                }
+            }
+            Verify::Freivalds { rounds } => {
+                let lu = a.snapshot(&store);
+                verify::freivalds_lu(&a_data, &lu, n, seed, rounds)?;
+            }
+            Verify::None => {}
         }
 
         Ok(KernelRun {

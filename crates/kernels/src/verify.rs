@@ -1,0 +1,371 @@
+//! Verification strategies for kernel runs.
+//!
+//! Every kernel run is checked against ground truth, but *how* is a cost
+//! knob. The default [`Verify::Full`] recomputes the uninstrumented
+//! reference (`O(n³)` for the matrix kernels) — bulletproof, but it
+//! dominates sweep wall-clock at large `n` because the sweep re-runs the
+//! kernel once per memory size while the reference cost never shrinks.
+//!
+//! [`Verify::Freivalds`] replaces the recomputation with Freivalds'
+//! randomized check: to test `C = A·B`, draw a random `±1` vector `x` and
+//! compare `A·(B·x)` with `C·x` — three matrix–vector products, `O(n²)`
+//! per round instead of `O(n³)`. A wrong product survives one round with
+//! probability at most ½ in the exact-arithmetic adversarial model, and in
+//! floating point a blocked-algorithm bug (lost panel, misindexed tile)
+//! perturbs whole rows and is caught essentially always; `k` rounds drive
+//! the error exponent down further. The same idea verifies the LU
+//! factorization (`L·(U·x)` vs `A·x`) and the triangular solve (residual
+//! `L·x̂` vs `b`, which is already `O(n²)` and deterministic).
+//!
+//! All randomness is drawn from the workspace's deterministic `rand` shim,
+//! seeded from the run's own `(seed, round)` — verification is replayable
+//! and identical between serial and parallel sweep executors.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+use crate::error::KernelError;
+
+/// How a kernel run verifies its numeric output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verify {
+    /// Recompute the full uninstrumented reference (`O(n³)` for matrix
+    /// kernels) and compare elementwise. The default.
+    #[default]
+    Full,
+    /// Freivalds-style randomized check: `rounds` independent `O(n²)`
+    /// probes. Kernels without a randomized check fall back to `Full`.
+    Freivalds {
+        /// Number of independent probe vectors.
+        rounds: u32,
+    },
+    /// Skip verification entirely (timing studies of already-verified
+    /// configurations only).
+    None,
+}
+
+impl Verify {
+    /// The recommended policy for a given problem size: `Full` while the
+    /// reference is cheap (`n ≤ 64`), two Freivalds rounds beyond.
+    #[must_use]
+    pub fn auto(n: usize) -> Verify {
+        if n <= 64 {
+            Verify::Full
+        } else {
+            Verify::Freivalds { rounds: 2 }
+        }
+    }
+}
+
+/// A deterministic `±1` probe vector for round `round` of a check seeded
+/// with `seed`.
+fn probe_vector(n: usize, seed: u64, round: u32) -> Vec<f64> {
+    // Distinct stream per round; the xor constant decorrelates the probe
+    // from the workload streams derived from the same user seed.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf7ea_1d5d_u64.rotate_left(round));
+    (0..n)
+        .map(|_| if rng.gen_range(0u32..2) == 0 { -1.0 } else { 1.0 })
+        .collect()
+}
+
+/// `y = M·x` for a row-major `n × n` matrix, alongside `Σ|m_ij·x_j|` per
+/// row — the magnitude bound the comparison tolerances scale with.
+fn matvec_with_abs(m: &[f64], x: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut y = vec![0.0; n];
+    let mut yabs = vec![0.0; n];
+    for i in 0..n {
+        let (mut s, mut sa) = (0.0, 0.0);
+        for j in 0..n {
+            let t = m[i * n + j] * x[j];
+            s += t;
+            sa += t.abs();
+        }
+        y[i] = s;
+        yabs[i] = sa;
+    }
+    (y, yabs)
+}
+
+/// Componentwise `|a - b| ≤ 1e-9·(scale + 1)` comparison; returns the
+/// worst relative violation if any component fails. NaN anywhere (error or
+/// tolerance) is a violation — `!(err <= tol)` rather than `err > tol`, so
+/// a NaN-corrupted kernel output cannot slip through the randomized check.
+fn compare(a: &[f64], b: &[f64], scale: &[f64], what: &'static str) -> Result<(), KernelError> {
+    let mut worst: Option<(f64, f64)> = None;
+    for i in 0..a.len() {
+        let err = (a[i] - b[i]).abs();
+        let tol = 1e-9 * (scale[i] + 1.0);
+        if err.is_nan() || tol.is_nan() || err > tol {
+            let supersedes = match worst {
+                Option::None => true,
+                // A NaN ratio also supersedes, so the NaN violation is the
+                // one reported.
+                Some((we, wt)) => {
+                    let ratio = err / tol;
+                    ratio.is_nan() || ratio > we / wt
+                }
+            };
+            if supersedes {
+                worst = Some((err, tol));
+            }
+        }
+    }
+    if let Some((max_error, tolerance)) = worst {
+        return Err(KernelError::VerificationFailed {
+            what,
+            max_error,
+            tolerance,
+        });
+    }
+    Ok(())
+}
+
+/// Freivalds' check for `C = A·B` (all row-major `n × n`): per round,
+/// compare `A·(B·x)` against `C·x` for a random `±1` vector `x`.
+///
+/// `rounds` is clamped to at least 1 — `Freivalds { rounds: 0 }` must
+/// never degrade into an unannounced `Verify::None`.
+///
+/// # Errors
+///
+/// [`KernelError::VerificationFailed`] if any round detects a mismatch.
+pub fn freivalds_matmul(
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    n: usize,
+    seed: u64,
+    rounds: u32,
+) -> Result<(), KernelError> {
+    for round in 0..rounds.max(1) {
+        let x = probe_vector(n, seed, round);
+        let (bx, bx_abs) = matvec_with_abs(b, &x, n);
+        let (abx, abx_abs) = matvec_with_abs(a, &bx, n);
+        let (cx, cx_abs) = matvec_with_abs(c, &x, n);
+        // The |·|-sums already bound the accumulated magnitudes, and f64
+        // rounding contributes only ~n·ε ≈ 1e-13 of them — 1e-9·(sums)
+        // keeps orders of magnitude of headroom on both sides. (An extra
+        // ×n here would loosen the check to ~element errors of 1e-2 at
+        // n = 512, silently passing real corruption.)
+        let scale: Vec<f64> = (0..n)
+            .map(|i| abx_abs[i] + cx_abs[i] + bx_abs[i])
+            .collect();
+        compare(&abx, &cx, &scale, "matmul (Freivalds)")?;
+    }
+    Ok(())
+}
+
+/// Freivalds' check for a packed LU factorization: `L·(U·x)` must match
+/// `A·x`, with `L` unit-lower and `U` upper, both packed in `lu`.
+///
+/// `rounds` is clamped to at least 1, as in [`freivalds_matmul`].
+///
+/// # Errors
+///
+/// [`KernelError::VerificationFailed`] if any round detects a mismatch.
+pub fn freivalds_lu(
+    a: &[f64],
+    lu: &[f64],
+    n: usize,
+    seed: u64,
+    rounds: u32,
+) -> Result<(), KernelError> {
+    for round in 0..rounds.max(1) {
+        let x = probe_vector(n, seed, round);
+        // y = U·x (U[k][j] = lu[k][j] for j ≥ k).
+        let mut y = vec![0.0; n];
+        let mut yabs = vec![0.0; n];
+        for k in 0..n {
+            let (mut s, mut sa) = (0.0, 0.0);
+            for j in k..n {
+                let t = lu[k * n + j] * x[j];
+                s += t;
+                sa += t.abs();
+            }
+            y[k] = s;
+            yabs[k] = sa;
+        }
+        // z = L·y (unit diagonal, L[i][k] = lu[i][k] for k < i).
+        let mut z = vec![0.0; n];
+        let mut zabs = vec![0.0; n];
+        for i in 0..n {
+            let (mut s, mut sa) = (y[i], yabs[i]);
+            for k in 0..i {
+                let t = lu[i * n + k] * y[k];
+                s += t;
+                sa += lu[i * n + k].abs() * yabs[k];
+            }
+            z[i] = s;
+            zabs[i] = sa;
+        }
+        let (ax, ax_abs) = matvec_with_abs(a, &x, n);
+        // As in freivalds_matmul: the |·|-sums are the tolerance scale;
+        // no extra ×n, which would mask real corruption at large n.
+        let scale: Vec<f64> = (0..n).map(|i| zabs[i] + ax_abs[i]).collect();
+        compare(&z, &ax, &scale, "triangularization (Freivalds)")?;
+    }
+    Ok(())
+}
+
+/// Residual check for a triangular solve: `L·x` must reproduce `b`.
+/// Deterministic and already `O(n²)` — the cheap-verification mode for
+/// [`crate::trisolve::TriSolve`].
+///
+/// # Errors
+///
+/// [`KernelError::VerificationFailed`] on a residual above tolerance.
+pub fn trisolve_residual(l: &[f64], x: &[f64], b: &[f64], n: usize) -> Result<(), KernelError> {
+    let mut lx = vec![0.0; n];
+    let mut scale = vec![0.0; n];
+    for i in 0..n {
+        let (mut s, mut sa) = (0.0, 0.0);
+        for j in 0..=i {
+            let t = l[i * n + j] * x[j];
+            s += t;
+            sa += t.abs();
+        }
+        lx[i] = s;
+        // The |·|-sum bounds the backward-stable residual of forward
+        // substitution with ~7 orders of headroom at 1e-9.
+        scale[i] = sa + b[i].abs();
+    }
+    compare(&lx, b, &scale, "trisolve (residual)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::workload;
+
+    #[test]
+    fn auto_switches_at_the_reference_cost_knee() {
+        assert_eq!(Verify::auto(16), Verify::Full);
+        assert_eq!(Verify::auto(64), Verify::Full);
+        assert_eq!(Verify::auto(65), Verify::Freivalds { rounds: 2 });
+    }
+
+    #[test]
+    fn zero_rounds_still_verifies() {
+        // Freivalds { rounds: 0 } must not silently become Verify::None.
+        let n = 16;
+        let a = workload::random_matrix(n, 1);
+        let b = workload::random_matrix(n, 2);
+        let mut c = reference::matmul(&a, &b, n);
+        c[5] += 1.0;
+        assert!(freivalds_matmul(&a, &b, &c, n, 3, 0).is_err());
+        let good = reference::matmul(&a, &b, n);
+        freivalds_matmul(&a, &b, &good, n, 3, 0).unwrap();
+    }
+
+    #[test]
+    fn nan_outputs_are_rejected() {
+        // err > tol is false for NaN; the check must use the inverted
+        // comparison so NaN-corrupted results fail verification.
+        let n = 16;
+        let a = workload::random_matrix(n, 1);
+        let b = workload::random_matrix(n, 2);
+        let mut c = reference::matmul(&a, &b, n);
+        c[7 * n + 7] = f64::NAN;
+        assert!(freivalds_matmul(&a, &b, &c, n, 5, 1).is_err());
+        let l = workload::random_lower_triangular(n, 3);
+        let rhs = workload::random_vector(n, 4);
+        let mut x = reference::trisolve(&l, &rhs, n);
+        x[0] = f64::NAN;
+        assert!(trisolve_residual(&l, &x, &rhs, n).is_err());
+    }
+
+    #[test]
+    fn freivalds_accepts_a_correct_product() {
+        let n = 40;
+        let a = workload::random_matrix(n, 1);
+        let b = workload::random_matrix(n, 2);
+        let c = reference::matmul(&a, &b, n);
+        freivalds_matmul(&a, &b, &c, n, 7, 3).unwrap();
+    }
+
+    #[test]
+    fn freivalds_rejects_a_corrupted_product() {
+        let n = 40;
+        let a = workload::random_matrix(n, 1);
+        let b = workload::random_matrix(n, 2);
+        let mut c = reference::matmul(&a, &b, n);
+        c[17 * n + 3] += 0.5; // single corrupted element
+        for seed in 0..20 {
+            let err = freivalds_matmul(&a, &b, &c, n, seed, 2).unwrap_err();
+            assert!(matches!(err, KernelError::VerificationFailed { .. }));
+        }
+    }
+
+    #[test]
+    fn freivalds_detects_small_corruption_at_large_n() {
+        // Tolerance-sensitivity pin: a single element off by 1e-3 at a
+        // sweep-realistic size must be caught (an over-scaled tolerance
+        // once let 3e-2 corruption through at n = 512).
+        let n = 128;
+        let a = workload::random_matrix(n, 21);
+        let b = workload::random_matrix(n, 22);
+        let mut c = reference::matmul(&a, &b, n);
+        c[100 * n + 37] += 1e-3;
+        for seed in 0..10 {
+            assert!(
+                freivalds_matmul(&a, &b, &c, n, seed, 2).is_err(),
+                "seed {seed} missed the corruption"
+            );
+        }
+        // And the clean product still passes with the tighter tolerance.
+        let good = reference::matmul(&a, &b, n);
+        for seed in 0..10 {
+            freivalds_matmul(&a, &b, &good, n, seed, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn freivalds_rejects_a_dropped_panel() {
+        // The realistic failure: a blocking bug loses a whole k-panel.
+        let n = 32;
+        let a = workload::random_matrix(n, 3);
+        let b = workload::random_matrix(n, 4);
+        let mut a_cut = a.clone();
+        for i in 0..n {
+            for k in 24..n {
+                a_cut[i * n + k] = 0.0;
+            }
+        }
+        let c = reference::matmul(&a_cut, &b, n);
+        assert!(freivalds_matmul(&a, &b, &c, n, 11, 1).is_err());
+    }
+
+    #[test]
+    fn freivalds_lu_accepts_and_rejects() {
+        let n = 24;
+        let a = workload::random_diagonally_dominant(n, 5);
+        let lu = reference::lu_factor(&a, n);
+        freivalds_lu(&a, &lu, n, 9, 3).unwrap();
+        let mut bad = lu.clone();
+        bad[5 * n + 2] += 1.0;
+        assert!(freivalds_lu(&a, &bad, n, 9, 2).is_err());
+    }
+
+    #[test]
+    fn trisolve_residual_accepts_and_rejects() {
+        let n = 24;
+        let l = workload::random_lower_triangular(n, 6);
+        let b = workload::random_vector(n, 7);
+        let x = reference::trisolve(&l, &b, n);
+        trisolve_residual(&l, &x, &b, n).unwrap();
+        let mut bad = x.clone();
+        bad[3] += 1e-3;
+        assert!(trisolve_residual(&l, &bad, &b, n).is_err());
+    }
+
+    #[test]
+    fn probe_vectors_are_deterministic_and_round_distinct() {
+        let a = probe_vector(64, 42, 0);
+        let b = probe_vector(64, 42, 0);
+        let c = probe_vector(64, 42, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+}

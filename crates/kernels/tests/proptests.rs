@@ -91,6 +91,91 @@ proptest! {
         let ratio = run.execution.cost.io_words() as f64 / analytic.io_words() as f64;
         prop_assert!((0.5..2.0).contains(&ratio), "io ratio {ratio}");
     }
+
+    /// The streaming naive trace yields exactly the sequence the old
+    /// materializing generator produced, and its `ExactSizeIterator::len`
+    /// stays truthful at every step.
+    #[test]
+    fn naive_trace_streams_the_materialized_sequence(n in 0usize..14) {
+        // The pre-streaming generator, verbatim, as the oracle.
+        let n2 = (n * n) as u64;
+        let mut want = Vec::with_capacity(3 * n * n * n);
+        for i in 0..n as u64 {
+            for j in 0..n as u64 {
+                for k in 0..n as u64 {
+                    want.push(i * n as u64 + k);
+                    want.push(n2 + k * n as u64 + j);
+                    want.push(2 * n2 + i * n as u64 + j);
+                }
+            }
+        }
+        let mut it = balance_kernels::matmul::NaiveTrace::new(n);
+        prop_assert_eq!(it.len(), 3 * n * n * n);
+        let mut got = Vec::with_capacity(it.len());
+        while let Some(a) = it.next() {
+            got.push(a);
+            prop_assert_eq!(it.len(), want.len() - got.len());
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Same pin for the blocked trace, across ragged tile sides (b > n,
+    /// b ∤ n, b = 1 all included in the ranges).
+    #[test]
+    fn blocked_trace_streams_the_materialized_sequence(n in 1usize..14, b in 1usize..17) {
+        let n2 = (n * n) as u64;
+        let mut want = Vec::new();
+        for i0 in (0..n).step_by(b) {
+            let ib = b.min(n - i0);
+            for j0 in (0..n).step_by(b) {
+                let jb = b.min(n - j0);
+                for k0 in (0..n).step_by(b) {
+                    let kb = b.min(n - k0);
+                    for i in i0..i0 + ib {
+                        for k in k0..k0 + kb {
+                            for j in j0..j0 + jb {
+                                want.push((i * n + k) as u64);
+                                want.push(n2 + (k * n + j) as u64);
+                                want.push(2 * n2 + (i * n + j) as u64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let it = balance_kernels::matmul::BlockedTrace::new(n, b);
+        prop_assert_eq!(it.len(), 3 * n * n * n);
+        let got: Vec<u64> = it.collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Freivalds verification accepts every run the full reference check
+    /// accepts, and both modes measure identical cost profiles.
+    #[test]
+    fn freivalds_agrees_with_full_verification(n in 1usize..28, m in 3usize..600, seed in 0u64..30) {
+        let full = MatMul.run_with(n, m, seed, Verify::Full).unwrap();
+        let cheap = MatMul.run_with(n, m, seed, Verify::Freivalds { rounds: 2 }).unwrap();
+        let skipped = MatMul.run_with(n, m, seed, Verify::None).unwrap();
+        prop_assert_eq!(full, cheap);
+        prop_assert_eq!(full, skipped);
+        let lu_full = Triangularization.run_with(n, m, seed, Verify::Full).unwrap();
+        let lu_cheap = Triangularization.run_with(n, m, seed, Verify::Freivalds { rounds: 2 }).unwrap();
+        prop_assert_eq!(lu_full, lu_cheap);
+    }
+
+    /// The parallel sweep executor is bit-identical to the serial one for
+    /// arbitrary configs (same points, same order, same anchor).
+    #[test]
+    fn parallel_sweep_matches_serial(n in 4usize..24, seed in 0u64..20, hi in 6u32..10) {
+        let cfg = SweepConfig::pow2(n, 2, hi, seed).with_verify(Verify::auto(n));
+        let serial = intensity_sweep(&MatMul, &cfg).unwrap();
+        let par = intensity_sweep_par(&MatMul, &cfg).unwrap();
+        prop_assert_eq!(serial.runs, par.runs);
+        for (s, p) in serial.points.iter().zip(&par.points) {
+            prop_assert_eq!(s.memory.to_bits(), p.memory.to_bits());
+            prop_assert_eq!(s.ratio.to_bits(), p.ratio.to_bits());
+        }
+    }
 }
 
 #[test]

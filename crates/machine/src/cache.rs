@@ -7,18 +7,137 @@
 //! trace of a naive algorithm, versus the explicit blocked scheme. [`LruCache`]
 //! is the model for the former — each miss costs one line of I/O.
 //!
-//! The implementation is an index-linked LRU list over a hash map, O(1) per
-//! access, no unsafe code.
-
-use std::collections::HashMap;
+//! The replacement policy lives in an index-linked LRU list over a node
+//! arena; the **line index** (line id → node) has two backends, chosen at
+//! construction:
+//!
+//! * **Direct-indexed** ([`LruCache::with_address_bound`]): when the caller
+//!   can bound the address space — kernel traces address a dense
+//!   `[0, 3n²)` range — the index is a flat `Vec<u32>` keyed by line id.
+//!   One array read per access, no hashing at all. This is the backend the
+//!   large-scale ablation (hundreds of millions of accesses) runs on.
+//! * **Open-addressed fallback** ([`LruCache::new`]): a Fibonacci-hashed
+//!   (FxHash-style multiplicative) linear-probing table with backward-shift
+//!   deletion, ≤ 50% load factor. A hit costs a single probe sequence; a
+//!   non-evicting miss reuses the probe's insertion slot (entry-style)
+//!   instead of re-hashing for the insert (an evicting miss must re-probe:
+//!   the eviction's backward-shift can move the insertion slot).
+//!
+//! Both backends are O(1) per access, no unsafe code, and bit-identical in
+//! behavior (pinned by property test against a model LRU).
 
 const NIL: usize = usize::MAX;
+
+/// Vacant marker in both index backends (also bounds the node arena: a
+/// cache can hold at most `u32::MAX - 1` lines).
+const EMPTY: u32 = u32::MAX;
 
 #[derive(Debug, Clone)]
 struct Node {
     key: u64,
     prev: usize,
     next: usize,
+}
+
+/// Open-addressed line index: Fibonacci multiplicative hash, linear
+/// probing, backward-shift deletion. Values are node-arena indices;
+/// `EMPTY` marks a vacant slot (so `0` keys need no special casing).
+#[derive(Debug, Clone)]
+struct FxMap {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    mask: usize,
+    shift: u32,
+}
+
+impl FxMap {
+    /// A table sized for `entries` live keys at ≤ 50% load.
+    fn with_capacity(entries: usize) -> Self {
+        let size = (entries.max(1) * 2).next_power_of_two().max(8);
+        FxMap {
+            keys: vec![0; size],
+            vals: vec![EMPTY; size],
+            mask: size - 1,
+            shift: u64::BITS - size.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn ideal(&self, key: u64) -> usize {
+        // Fibonacci hashing: the golden-ratio multiplier diffuses the low
+        // bits that dense line ids vary in into the table's high bits.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    /// The slot holding `key` (`Ok`) or the slot where it would be
+    /// inserted (`Err`) — the entry-API primitive both paths share.
+    #[inline]
+    fn find(&self, key: u64) -> Result<usize, usize> {
+        let mut pos = self.ideal(key);
+        loop {
+            if self.vals[pos] == EMPTY {
+                return Err(pos);
+            }
+            if self.keys[pos] == key {
+                return Ok(pos);
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+
+    /// Fills a slot previously returned by [`FxMap::find`]'s `Err` arm.
+    #[inline]
+    fn insert_at(&mut self, pos: usize, key: u64, val: u32) {
+        debug_assert_eq!(self.vals[pos], EMPTY, "insert into occupied slot");
+        self.keys[pos] = key;
+        self.vals[pos] = val;
+    }
+
+    fn insert(&mut self, key: u64, val: u32) {
+        match self.find(key) {
+            Ok(pos) => self.vals[pos] = val,
+            Err(pos) => self.insert_at(pos, key, val),
+        }
+    }
+
+    /// Removes `key` (if present) with backward-shift deletion: no
+    /// tombstones, so probe lengths never degrade under churn.
+    fn remove(&mut self, key: u64) {
+        let Ok(mut hole) = self.find(key) else {
+            return;
+        };
+        let mut probe = hole;
+        loop {
+            probe = (probe + 1) & self.mask;
+            if self.vals[probe] == EMPTY {
+                break;
+            }
+            let home = self.ideal(self.keys[probe]);
+            // `probe`'s entry may slide back into the hole only if its home
+            // slot is cyclically outside (hole, probe] — otherwise a lookup
+            // starting at `home` would never reach the hole.
+            let home_in_gap = if hole <= probe {
+                hole < home && home <= probe
+            } else {
+                home <= probe || home > hole
+            };
+            if !home_in_gap {
+                self.keys[hole] = self.keys[probe];
+                self.vals[hole] = self.vals[probe];
+                hole = probe;
+            }
+        }
+        self.vals[hole] = EMPTY;
+    }
+}
+
+/// The line-id → node index, in one of the two backend representations.
+#[derive(Debug, Clone)]
+enum LineIndex {
+    /// Flat slot table keyed directly by line id (`EMPTY` = absent).
+    Direct { slots: Vec<u32> },
+    /// Open-addressed hash fallback for unbounded address spaces.
+    Fx(FxMap),
 }
 
 /// A fully-associative LRU cache with word- or line-granularity.
@@ -41,7 +160,8 @@ struct Node {
 pub struct LruCache {
     capacity_lines: usize,
     line_words: u64,
-    map: HashMap<u64, usize>,
+    index: LineIndex,
+    resident: usize,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -51,26 +171,70 @@ pub struct LruCache {
 }
 
 impl LruCache {
-    /// Creates a cache holding `capacity_lines` lines of `line_words` words.
+    /// Creates a cache holding `capacity_lines` lines of `line_words` words,
+    /// using the hash-indexed backend (no assumption about the address
+    /// range). When the trace's addresses are known to be bounded, prefer
+    /// [`LruCache::with_address_bound`] — it is substantially faster.
     ///
     /// # Panics
     ///
-    /// Panics if either argument is zero.
+    /// Panics if either argument is zero, or if `capacity_lines` does not
+    /// fit the `u32` node-index space.
     #[must_use]
     pub fn new(capacity_lines: usize, line_words: u64) -> Self {
-        assert!(capacity_lines > 0, "cache must hold at least one line");
-        assert!(line_words > 0, "lines must hold at least one word");
+        Self::check_shape(capacity_lines, line_words);
+        let index = LineIndex::Fx(FxMap::with_capacity(capacity_lines));
+        Self::with_index(capacity_lines, line_words, index)
+    }
+
+    fn with_index(capacity_lines: usize, line_words: u64, index: LineIndex) -> Self {
         LruCache {
             capacity_lines,
             line_words,
-            map: HashMap::with_capacity(capacity_lines * 2),
-            nodes: Vec::with_capacity(capacity_lines),
+            index,
+            resident: 0,
+            nodes: Vec::with_capacity(capacity_lines.min(1 << 20)),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Creates a cache whose trace addresses are promised to lie in
+    /// `[0, addr_bound)`, selecting the direct-indexed backend: the line
+    /// index is a flat slot table (4 bytes per possible line) and every
+    /// access costs exactly one array probe — no hashing.
+    ///
+    /// Kernel traces address the dense range `[0, 3n²)`, so the table for
+    /// an `n = 512` matmul trace is ~3 MB while the trace itself streams
+    /// hundreds of millions of addresses through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero, if `capacity_lines` does not fit the
+    /// `u32` node-index space, and on [`LruCache::access`] with an address
+    /// `≥ addr_bound` (a caller contract violation).
+    #[must_use]
+    pub fn with_address_bound(capacity_lines: usize, line_words: u64, addr_bound: u64) -> Self {
+        Self::check_shape(capacity_lines, line_words);
+        assert!(addr_bound > 0, "address bound must be positive");
+        let lines = usize::try_from(addr_bound.div_ceil(line_words))
+            .expect("address bound overflows usize");
+        let index = LineIndex::Direct {
+            slots: vec![EMPTY; lines],
+        };
+        Self::with_index(capacity_lines, line_words, index)
+    }
+
+    fn check_shape(capacity_lines: usize, line_words: u64) {
+        assert!(capacity_lines > 0, "cache must hold at least one line");
+        assert!(line_words > 0, "lines must hold at least one word");
+        assert!(
+            capacity_lines < EMPTY as usize,
+            "capacity exceeds the u32 node-index space"
+        );
     }
 
     /// Creates a word-granular cache of `capacity_words` words — the
@@ -87,24 +251,69 @@ impl LruCache {
 
     /// Touches word address `addr`; returns `true` on hit. A miss inserts
     /// the containing line, evicting the least recently used line if full.
+    ///
+    /// # Panics
+    ///
+    /// On the direct-indexed backend, panics if `addr` exceeds the bound
+    /// declared at construction.
     pub fn access(&mut self, addr: u64) -> bool {
         let key = addr / self.line_words;
-        if let Some(&idx) = self.map.get(&key) {
-            self.hits += 1;
-            self.move_to_front(idx);
-            return true;
-        }
+        // One probe on either backend. The Fx probe is entry-style: on a
+        // miss it also yields the slot the key will be inserted into.
+        let probed: Result<usize, Option<usize>> = match &self.index {
+            LineIndex::Direct { slots } => {
+                let line = usize::try_from(key)
+                    .ok()
+                    .filter(|&k| k < slots.len())
+                    .unwrap_or_else(|| {
+                        panic!("address {addr} exceeds the declared address bound")
+                    });
+                let slot = slots[line];
+                if slot != EMPTY {
+                    Ok(slot as usize)
+                } else {
+                    Err(None)
+                }
+            }
+            LineIndex::Fx(map) => match map.find(key) {
+                Ok(pos) => Ok(map.vals[pos] as usize),
+                Err(ins) => Err(Some(ins)),
+            },
+        };
+        let fx_slot = match probed {
+            Ok(idx) => {
+                self.hits += 1;
+                self.move_to_front(idx);
+                return true;
+            }
+            Err(fx_slot) => fx_slot,
+        };
         self.misses += 1;
-        if self.map.len() == self.capacity_lines {
+        let evicted = self.resident == self.capacity_lines;
+        if evicted {
             self.evict_lru();
         }
         let idx = self.alloc_node(key);
         self.push_front(idx);
-        self.map.insert(key, idx);
+        match &mut self.index {
+            LineIndex::Direct { slots } => slots[key as usize] = idx as u32,
+            LineIndex::Fx(map) => match fx_slot {
+                // Entry-style insert into the slot the probe found. An
+                // eviction's backward-shift may have moved that slot, so
+                // the (rarer) evicting miss re-probes instead.
+                Some(ins) if !evicted => map.insert_at(ins, key, idx as u32),
+                _ => map.insert(key, idx as u32),
+            },
+        }
+        self.resident += 1;
         false
     }
 
     /// Runs a whole address trace; returns the number of misses incurred.
+    ///
+    /// Accepts any address iterator — in particular the streaming trace
+    /// generators (`balance-kernels`' `NaiveTrace` / `BlockedTrace`), which
+    /// feed the cache in O(1) memory without materializing the trace.
     pub fn run_trace(&mut self, addrs: impl IntoIterator<Item = u64>) -> u64 {
         let before = self.misses;
         for a in addrs {
@@ -134,7 +343,7 @@ impl LruCache {
     /// Lines currently resident.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.map.len()
+        self.resident
     }
 
     /// The configured capacity in lines.
@@ -200,8 +409,12 @@ impl LruCache {
         debug_assert_ne!(idx, NIL, "evict called on empty cache");
         self.unlink(idx);
         let key = self.nodes[idx].key;
-        self.map.remove(&key);
+        match &mut self.index {
+            LineIndex::Direct { slots } => slots[key as usize] = EMPTY,
+            LineIndex::Fx(map) => map.remove(key),
+        }
         self.free.push(idx);
+        self.resident -= 1;
     }
 }
 
@@ -209,83 +422,98 @@ impl LruCache {
 mod tests {
     use super::*;
 
+    /// Both backends for the same shape, for behavior-pinning tests.
+    fn both(capacity: usize, line_words: u64, bound: u64) -> [LruCache; 2] {
+        [
+            LruCache::new(capacity, line_words),
+            LruCache::with_address_bound(capacity, line_words, bound),
+        ]
+    }
+
     #[test]
     fn hits_and_misses() {
-        let mut c = LruCache::with_capacity_words(3);
-        assert!(!c.access(1));
-        assert!(!c.access(2));
-        assert!(!c.access(3));
-        assert!(c.access(1));
-        assert!(c.access(2));
-        assert_eq!(c.hits(), 2);
-        assert_eq!(c.misses(), 3);
-        assert_eq!(c.resident_lines(), 3);
+        for mut c in both(3, 1, 64) {
+            assert!(!c.access(1));
+            assert!(!c.access(2));
+            assert!(!c.access(3));
+            assert!(c.access(1));
+            assert!(c.access(2));
+            assert_eq!(c.hits(), 2);
+            assert_eq!(c.misses(), 3);
+            assert_eq!(c.resident_lines(), 3);
+        }
     }
 
     #[test]
     fn lru_eviction_order() {
-        let mut c = LruCache::with_capacity_words(2);
-        c.access(1);
-        c.access(2);
-        c.access(1); // 1 is now MRU, 2 is LRU
-        c.access(3); // evicts 2
-        assert!(c.access(1));
-        assert!(!c.access(2));
+        for mut c in both(2, 1, 64) {
+            c.access(1);
+            c.access(2);
+            c.access(1); // 1 is now MRU, 2 is LRU
+            c.access(3); // evicts 2
+            assert!(c.access(1));
+            assert!(!c.access(2));
+        }
     }
 
     #[test]
     fn line_granularity_groups_addresses() {
-        let mut c = LruCache::new(2, 8);
-        assert!(!c.access(0)); // line 0
-        assert!(c.access(7)); // same line
-        assert!(!c.access(8)); // line 1
-        assert_eq!(c.miss_words(), 16);
+        for mut c in both(2, 8, 64) {
+            assert!(!c.access(0)); // line 0
+            assert!(c.access(7)); // same line
+            assert!(!c.access(8)); // line 1
+            assert_eq!(c.miss_words(), 16);
+        }
     }
 
     #[test]
     fn capacity_one_thrashes() {
-        let mut c = LruCache::with_capacity_words(1);
-        for _ in 0..3 {
-            assert!(!c.access(1));
-            assert!(!c.access(2));
+        for mut c in both(1, 1, 64) {
+            for _ in 0..3 {
+                assert!(!c.access(1));
+                assert!(!c.access(2));
+            }
+            assert_eq!(c.hits(), 0);
+            assert_eq!(c.misses(), 6);
         }
-        assert_eq!(c.hits(), 0);
-        assert_eq!(c.misses(), 6);
     }
 
     #[test]
     fn run_trace_counts_misses() {
-        let mut c = LruCache::with_capacity_words(2);
-        let misses = c.run_trace([1, 2, 1, 3, 1, 2]);
-        // 1:m 2:m 1:h 3:m(evict 2) 1:h 2:m
-        assert_eq!(misses, 4);
+        for mut c in both(2, 1, 64) {
+            let misses = c.run_trace([1, 2, 1, 3, 1, 2]);
+            // 1:m 2:m 1:h 3:m(evict 2) 1:h 2:m
+            assert_eq!(misses, 4);
+        }
     }
 
     #[test]
     fn sequential_scan_larger_than_cache_never_hits() {
-        let mut c = LruCache::with_capacity_words(64);
-        for round in 0..3 {
-            for a in 0..128u64 {
-                assert!(!c.access(a), "round {round}, addr {a}");
+        for mut c in both(64, 1, 128) {
+            for round in 0..3 {
+                for a in 0..128u64 {
+                    assert!(!c.access(a), "round {round}, addr {a}");
+                }
             }
+            assert_eq!(c.misses(), 3 * 128);
         }
-        assert_eq!(c.misses(), 3 * 128);
     }
 
     #[test]
     fn working_set_within_capacity_all_hits_after_warmup() {
-        let mut c = LruCache::with_capacity_words(64);
-        for a in 0..64u64 {
-            c.access(a);
-        }
-        let misses_before = c.misses();
-        for _ in 0..10 {
-            // Re-touch in the same order: LRU keeps the whole set resident.
+        for mut c in both(64, 1, 64) {
             for a in 0..64u64 {
-                assert!(c.access(a));
+                c.access(a);
             }
+            let misses_before = c.misses();
+            for _ in 0..10 {
+                // Re-touch in the same order: LRU keeps the whole set resident.
+                for a in 0..64u64 {
+                    assert!(c.access(a));
+                }
+            }
+            assert_eq!(c.misses(), misses_before);
         }
-        assert_eq!(c.misses(), misses_before);
     }
 
     #[test]
@@ -301,12 +529,56 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "address bound")]
+    fn direct_backend_rejects_out_of_bound_addresses() {
+        let mut c = LruCache::with_address_bound(4, 1, 16);
+        c.access(16);
+    }
+
+    #[test]
     fn eviction_reuses_nodes() {
-        let mut c = LruCache::with_capacity_words(2);
-        for a in 0..100u64 {
-            c.access(a);
+        for mut c in both(2, 1, 128) {
+            for a in 0..100u64 {
+                c.access(a);
+            }
+            // Node arena should not have grown beyond capacity + O(1).
+            assert!(c.nodes.len() <= 3, "arena grew to {}", c.nodes.len());
         }
-        // Node arena should not have grown beyond capacity + O(1).
-        assert!(c.nodes.len() <= 3, "arena grew to {}", c.nodes.len());
+    }
+
+    #[test]
+    fn address_bound_with_line_granularity_rounds_up() {
+        // Bound 17 with 8-word lines needs 3 slots (lines 0, 1, 2).
+        let mut c = LruCache::with_address_bound(4, 8, 17);
+        assert!(!c.access(16)); // line 2, in bounds
+        assert!(c.access(16));
+    }
+
+    #[test]
+    fn fx_map_survives_heavy_churn_with_colliding_keys() {
+        // Dense-stride keys stress the probe chains and backshift deletion.
+        let mut c = LruCache::new(17, 1);
+        let mut misses = 0u64;
+        for round in 0..50u64 {
+            for k in 0..40u64 {
+                if !c.access(k * 1024 + round % 3) {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(c.hits() + misses, 50 * 40);
+        assert!(c.resident_lines() <= 17);
+    }
+
+    #[test]
+    fn backends_agree_on_a_mixed_trace() {
+        let addrs: Vec<u64> = (0..2000u64).map(|i| (i * i * 31 + i) % 512).collect();
+        let [mut fx, mut direct] = both(37, 4, 512);
+        for &a in &addrs {
+            assert_eq!(fx.access(a), direct.access(a), "addr {a}");
+        }
+        assert_eq!(fx.misses(), direct.misses());
+        assert_eq!(fx.hits(), direct.hits());
+        assert_eq!(fx.resident_lines(), direct.resident_lines());
     }
 }

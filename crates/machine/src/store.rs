@@ -42,17 +42,19 @@ impl Region {
     ///
     /// [`MachineError::StoreOutOfBounds`] if the sub-range does not fit.
     pub fn at(&self, start: usize, len: usize) -> Result<Region, MachineError> {
-        if start + len > self.len {
-            return Err(MachineError::StoreOutOfBounds {
+        // checked_add: `start + len` near usize::MAX must report the range
+        // error, not overflow (a debug-only panic, silent wrap in release).
+        match start.checked_add(len) {
+            Some(end) if end <= self.len => Ok(Region {
+                offset: self.offset + start,
+                len,
+            }),
+            _ => Err(MachineError::StoreOutOfBounds {
                 offset: start,
                 len,
                 size: self.len,
-            });
+            }),
         }
-        Ok(Region {
-            offset: self.offset + start,
-            len,
-        })
     }
 }
 
@@ -158,14 +160,7 @@ impl ExternalStore {
         if count == 0 {
             return Ok(());
         }
-        let last = start + stride * (count - 1);
-        if last >= self.data.len() {
-            return Err(MachineError::StoreOutOfBounds {
-                offset: start,
-                len: stride * (count - 1) + 1,
-                size: self.data.len(),
-            });
-        }
+        self.check_strided(start, stride, count)?;
         for (i, slot) in out.iter_mut().take(count).enumerate() {
             *slot = self.data[start + i * stride];
         }
@@ -185,29 +180,39 @@ impl ExternalStore {
         if count == 0 {
             return Ok(());
         }
-        let last = start + stride * (count - 1);
-        if last >= self.data.len() {
-            return Err(MachineError::StoreOutOfBounds {
-                offset: start,
-                len: stride * (count - 1) + 1,
-                size: self.data.len(),
-            });
-        }
+        self.check_strided(start, stride, count)?;
         for (i, &v) in src.iter().take(count).enumerate() {
             self.data[start + i * stride] = v;
         }
         Ok(())
     }
 
+    /// Bounds check for a strided access, overflow-safe: `start +
+    /// stride·(count−1)` near `usize::MAX` reports the range error rather
+    /// than wrapping (debug-only panic otherwise).
+    fn check_strided(&self, start: usize, stride: usize, count: usize) -> Result<(), MachineError> {
+        let last = stride
+            .checked_mul(count - 1)
+            .and_then(|span| start.checked_add(span));
+        match last {
+            Some(last) if last < self.data.len() => Ok(()),
+            _ => Err(MachineError::StoreOutOfBounds {
+                offset: start,
+                len: stride.saturating_mul(count - 1).saturating_add(1),
+                size: self.data.len(),
+            }),
+        }
+    }
+
     fn check(&self, region: Region) -> Result<(), MachineError> {
-        if region.offset + region.len > self.data.len() {
-            return Err(MachineError::StoreOutOfBounds {
+        match region.offset.checked_add(region.len) {
+            Some(end) if end <= self.data.len() => Ok(()),
+            _ => Err(MachineError::StoreOutOfBounds {
                 offset: region.offset,
                 len: region.len,
                 size: self.data.len(),
-            });
+            }),
         }
-        Ok(())
     }
 }
 
@@ -265,6 +270,31 @@ mod tests {
             store.slice(r),
             &[10.0, 1.0, 11.0, 3.0, 12.0, 5.0, 13.0, 7.0]
         );
+    }
+
+    #[test]
+    fn overflowing_ranges_are_errors_not_panics() {
+        let mut store = ExternalStore::new();
+        let r = store.alloc(8);
+        // Region::at with start+len wrapping past usize::MAX.
+        assert!(matches!(
+            r.at(usize::MAX, 2),
+            Err(MachineError::StoreOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.at(2, usize::MAX),
+            Err(MachineError::StoreOutOfBounds { .. })
+        ));
+        // Strided access with stride·(count−1) overflowing.
+        let mut buf = [0.0; 4];
+        assert!(matches!(
+            store.read_strided(1, usize::MAX / 2, 4, &mut buf),
+            Err(MachineError::StoreOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            store.write_strided(usize::MAX, 1, 2, &[0.0; 2]),
+            Err(MachineError::StoreOutOfBounds { .. })
+        ));
     }
 
     #[test]

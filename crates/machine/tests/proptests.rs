@@ -6,6 +6,42 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
 
+/// Brute-force reference LRU: a plain recency-ordered vector of resident
+/// line ids (MRU first). Deliberately the most obvious possible
+/// implementation, against which both production backends are pinned.
+struct ModelLru {
+    capacity: usize,
+    line_words: u64,
+    lines: Vec<u64>,
+}
+
+impl ModelLru {
+    fn new(capacity: usize, line_words: u64) -> Self {
+        ModelLru {
+            capacity,
+            line_words,
+            lines: Vec::new(),
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let key = addr / self.line_words;
+        if let Some(pos) = self.lines.iter().position(|&k| k == key) {
+            self.lines.remove(pos);
+            self.lines.insert(0, key);
+            true
+        } else {
+            self.lines.insert(0, key);
+            self.lines.truncate(self.capacity);
+            false
+        }
+    }
+
+    fn resident(&self) -> usize {
+        self.lines.len()
+    }
+}
+
 proptest! {
     /// Every successful load/store transfer counts exactly its word count,
     /// and contents round-trip.
@@ -97,6 +133,56 @@ proptest! {
             c_big.access(a);
         }
         prop_assert!(c_big.misses() <= c_small.misses());
+    }
+
+    /// The direct-indexed cache backend is bit-identical to a brute-force
+    /// model LRU on every access of a random trace.
+    #[test]
+    fn direct_backend_matches_model_lru(
+        capacity in 1usize..48,
+        line_words in 1u64..8,
+        trace in proptest::collection::vec(0u64..512, 0..600),
+    ) {
+        let mut cache = LruCache::with_address_bound(capacity, line_words, 512);
+        let mut model = ModelLru::new(capacity, line_words);
+        for (step, &a) in trace.iter().enumerate() {
+            prop_assert_eq!(cache.access(a), model.access(a), "step {}", step);
+        }
+        prop_assert_eq!(cache.resident_lines(), model.resident());
+    }
+
+    /// The open-addressed fallback backend is bit-identical to the model
+    /// LRU — including under eviction churn, which exercises the
+    /// backward-shift deletion in the probe table.
+    #[test]
+    fn fx_backend_matches_model_lru(
+        capacity in 1usize..48,
+        line_words in 1u64..8,
+        trace in proptest::collection::vec(0u64..512, 0..600),
+    ) {
+        let mut cache = LruCache::new(capacity, line_words);
+        let mut model = ModelLru::new(capacity, line_words);
+        for (step, &a) in trace.iter().enumerate() {
+            prop_assert_eq!(cache.access(a), model.access(a), "step {}", step);
+        }
+        prop_assert_eq!(cache.resident_lines(), model.resident());
+    }
+
+    /// Both production backends agree with each other on sparse address
+    /// spaces (large strides stress hash collisions in the fallback map).
+    #[test]
+    fn cache_backends_agree(
+        capacity in 1usize..32,
+        stride in 1u64..4096,
+        trace in proptest::collection::vec(0u64..64, 0..400),
+    ) {
+        let mut fx = LruCache::new(capacity, 1);
+        let mut direct = LruCache::with_address_bound(capacity, 1, 64 * stride + 1);
+        for &a in &trace {
+            prop_assert_eq!(fx.access(a * stride), direct.access(a * stride));
+        }
+        prop_assert_eq!(fx.misses(), direct.misses());
+        prop_assert_eq!(fx.hits(), direct.hits());
     }
 
     /// Strided gather matches a manual gather.

@@ -9,6 +9,15 @@
 //! warm-up pass) and prints one line per benchmark — no statistics engine,
 //! plots, or baselines. `cargo bench` compiles and runs; `cargo test` builds
 //! bench targets in test mode and runs nothing, exactly like upstream.
+//!
+//! Two environment knobs drive the CI bench-smoke step
+//! (`scripts/bench_smoke.sh`):
+//!
+//! * `BENCH_SMOKE=1` clamps every benchmark to ≤ 3 samples of ≤ 3 iters —
+//!   coarse medians, but the whole suite finishes in seconds;
+//! * `BENCH_JSON=<path>` appends one JSON object-member line per benchmark
+//!   (`"group/name": <median ns>`); the smoke script wraps the lines into
+//!   the `BENCH_<n>.json` perf-trajectory file at the repo root.
 
 #![forbid(unsafe_code)]
 
@@ -68,10 +77,16 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let iter_cap = if smoke_mode() { 3 } else { 10_000 };
+        let iters =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, iter_cap) as u32;
         self.iters_per_sample = iters;
 
-        let samples = self.samples_target.max(1);
+        let samples = if smoke_mode() {
+            self.samples_target.clamp(1, 3)
+        } else {
+            self.samples_target.max(1)
+        };
         self.samples.clear();
         for _ in 0..samples {
             let t = Instant::now();
@@ -173,6 +188,11 @@ impl Criterion {
     pub fn final_summary(&mut self) {}
 }
 
+/// True when `BENCH_SMOKE` asks for reduced iterations (CI smoke step).
+fn smoke_mode() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 fn report(name: &str, b: &Bencher) {
     let med = b.median();
     println!(
@@ -181,6 +201,25 @@ fn report(name: &str, b: &Bencher) {
         b.samples.len(),
         b.iters_per_sample,
     );
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        append_json_line(&path, name, med);
+    }
+}
+
+/// Appends `"name": <median ns>` to the `BENCH_JSON` file — one JSON
+/// object member per line, assembled into a full object by the bench-smoke
+/// script. Bench names contain no characters needing JSON escaping.
+fn append_json_line(path: &std::ffi::OsStr, name: &str, med: Duration) {
+    use std::io::Write as _;
+    let line = format!("\"{name}\": {}\n", med.as_nanos());
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: BENCH_JSON write to {path:?} failed: {e}");
+    }
 }
 
 fn format_duration(d: Duration) -> String {
@@ -236,5 +275,16 @@ mod tests {
         });
         g.finish();
         c.bench_function("solo", |b| b.iter(|| 40 + 2));
+    }
+
+    #[test]
+    fn json_lines_are_object_members() {
+        let path = std::env::temp_dir().join("criterion_shim_json_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_json_line(path.as_os_str(), "grp/bench", Duration::from_nanos(1234));
+        append_json_line(path.as_os_str(), "solo", Duration::from_micros(5));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "\"grp/bench\": 1234\n\"solo\": 5000\n");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -23,8 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|b| 3 * b * b)
             .collect(),
         seed: 42,
+        // n = 96: anchored Freivalds verification (O(n²) per point, first
+        // point fully verified) keeps the sweep fast without losing coverage.
+        verify: Verify::auto(n),
     };
-    let result = intensity_sweep(&MatMul, &cfg)?;
+    // The parallel executor produces bit-identical points to the serial one.
+    let result = intensity_sweep_par(&MatMul, &cfg)?;
     println!("measured intensity of blocked {n}×{n} matmul:");
     println!("{:>8} {:>12} {:>12} {:>10}", "M", "C_comp", "C_io", "ratio");
     for run in &result.runs {

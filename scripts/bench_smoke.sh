@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Bench-smoke: run every criterion-shim bench target at reduced iterations
+# (BENCH_SMOKE=1 → ≤ 3 samples × ≤ 3 iters per bench) and assemble the
+# median-ns-per-bench results into BENCH_<n>.json at the repo root, seeding
+# the perf trajectory tracked across PRs.
+#
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_2.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+# Absolute path: cargo bench runs each target with cwd = its package dir.
+jsonl="$(pwd)/target/bench_smoke.jsonl"
+rm -f "$jsonl"
+
+BENCH_SMOKE=1 BENCH_JSON="$jsonl" cargo bench -p balance-bench
+
+# Each shim line is one JSON object member ("name": ns); wrap into an object.
+{
+  echo '{'
+  sed 's/^/  /; $!s/$/,/' "$jsonl"
+  echo '}'
+} > "$out"
+
+echo "wrote $out ($(grep -c ':' "$out") benches)"

@@ -41,6 +41,7 @@ fn pipeline_closes_the_loop_on_matmul() {
         n,
         memories,
         seed: 3,
+        verify: Verify::Full,
     };
     let result = intensity_sweep(&MatMul, &cfg).unwrap();
     let fit = result.fit().unwrap();
@@ -147,6 +148,7 @@ fn law_is_sweep_invariant() {
         n,
         memories: [4usize, 8, 16, 32].iter().map(|b| 3 * b * b).collect(),
         seed: 9,
+        verify: Verify::Full,
     };
     let fine = SweepConfig {
         n,
@@ -155,6 +157,7 @@ fn law_is_sweep_invariant() {
             .map(|b| 3 * b * b)
             .collect(),
         seed: 9,
+        verify: Verify::Full,
     };
     let f_coarse = intensity_sweep(&MatMul, &coarse)
         .unwrap()
