@@ -45,6 +45,23 @@ fn bench_sweep_executors(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_hierarchy_sweep(c: &mut Criterion) {
+    use balance_core::{LevelSpec, Words, WordsPerSec};
+    let mut g = c.benchmark_group("hierarchy_sweep_matmul_n96");
+    g.sample_size(10);
+    let cfg = matmul_cfg(Verify::Freivalds { rounds: 2 });
+    // The production two-level configuration: every transferred word also
+    // walks a 16 K-word L2 model, so this bench prices the per-level
+    // accounting against the flat parallel sweep above.
+    let outer = [
+        LevelSpec::new(Words::new(16384), WordsPerSec::new(1.0e7)).expect("valid level"),
+    ];
+    g.bench_function("two_level_parallel", |b| {
+        b.iter(|| hierarchy_sweep_par(&MatMul, &cfg, &outer).expect("verified"));
+    });
+    g.finish();
+}
+
 fn bench_trace_streaming(c: &mut Criterion) {
     let mut g = c.benchmark_group("lru_trace");
     g.sample_size(10);
@@ -67,5 +84,10 @@ fn bench_trace_streaming(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sweep_executors, bench_trace_streaming);
+criterion_group!(
+    benches,
+    bench_sweep_executors,
+    bench_hierarchy_sweep,
+    bench_trace_streaming
+);
 criterion_main!(benches);

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 
 use balance_core::prelude::*;
 use balance_kernels::prelude::*;
+use balance_roofline::HierarchicalRoofline;
 
 /// Parsed command-line flags: `--key value` pairs after a subcommand.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -68,6 +69,11 @@ impl Flags {
     }
 }
 
+/// The canonical computation names the table-rendering commands iterate —
+/// one per distinct law in [`model_by_name`] (aliases like `trisolve` and
+/// the rarely-plotted `grid1`/`grid4` resolve to the same models).
+pub const MODEL_NAMES: [&str; 7] = ["matmul", "lu", "grid2", "grid3", "fft", "sort", "matvec"];
+
 /// The intensity model registry for the CLI, keyed by computation name.
 ///
 /// # Errors
@@ -113,7 +119,7 @@ pub fn cmd_pe(flags: &Flags) -> Result<String, String> {
         "{:<12} {:>16} {:>10}\n",
         "computation", "M_bal (words)", "fits?"
     ));
-    for name in ["matmul", "lu", "grid2", "grid3", "fft", "sort", "matvec"] {
+    for name in MODEL_NAMES {
         let model = model_by_name(name)?;
         let row = match model.balanced_memory(pe.machine_balance()) {
             Ok(m) => format!(
@@ -219,6 +225,110 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses a `--levels CAP:BW[,CAP:BW...]` hierarchy description (innermost
+/// level first; capacities in words, bandwidths in words/s).
+///
+/// # Errors
+///
+/// User-facing messages for malformed items, zero capacities, non-positive
+/// bandwidths, and capacities that do not grow outward.
+pub fn parse_levels(s: &str) -> Result<HierarchySpec, String> {
+    let mut levels = Vec::new();
+    for (i, item) in s.split(',').enumerate() {
+        let item = item.trim();
+        let Some((cap, bw)) = item.split_once(':') else {
+            return Err(format!(
+                "level {}: expected CAP:BW, got '{item}' (e.g. --levels 1024:1e8,65536:1e7)",
+                i + 1
+            ));
+        };
+        let cap: u64 = cap
+            .trim()
+            .parse()
+            .map_err(|e| format!("level {}: capacity '{}': {e}", i + 1, cap.trim()))?;
+        let bw: f64 = bw
+            .trim()
+            .parse()
+            .map_err(|e| format!("level {}: bandwidth '{}': {e}", i + 1, bw.trim()))?;
+        let level = LevelSpec::new(Words::new(cap), WordsPerSec::new(bw))
+            .map_err(|e| format!("level {}: {e}", i + 1))?;
+        levels.push(level);
+    }
+    HierarchySpec::new(levels).map_err(|e| e.to_string())
+}
+
+/// `balance hierarchy --levels CAP:BW[,CAP:BW...] [--c <ops/s>]`: the
+/// balance law per level of a memory hierarchy.
+///
+/// Prints each boundary's ridge point, then — for each law in
+/// [`MODEL_NAMES`] — the attainable throughput
+/// `min(C, min_i r(M_i)·IO_i)`, the binding level, and the balanced
+/// capacity each level would need to reach its own ridge.
+///
+/// # Errors
+///
+/// Flag, parsing, or model errors, as user-facing strings.
+pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
+    let spec = parse_levels(
+        flags
+            .str_opt("levels")
+            .ok_or("missing required flag --levels (CAP:BW[,CAP:BW...])".to_string())?,
+    )?;
+    let c = match flags.str_opt("c") {
+        Some(_) => flags.f64("c")?,
+        None => 1.0e9,
+    };
+    let roofline =
+        HierarchicalRoofline::new(OpsPerSec::new(c), &spec).map_err(|e| e.to_string())?;
+
+    let mut out = format!("machine: C = {c:.3e} op/s over {} level(s)\n\n", spec.depth());
+    out.push_str(&format!(
+        "{:<6} {:>14} {:>14} {:>14}\n",
+        "level", "M_i (words)", "IO_i (w/s)", "ridge C/IO_i"
+    ));
+    for (i, level) in spec.levels().iter().enumerate() {
+        out.push_str(&format!(
+            "L{:<5} {:>14} {:>14.3e} {:>14.3}\n",
+            i + 1,
+            level.capacity().get(),
+            level.bandwidth().get(),
+            roofline.ridge_at(i)
+        ));
+    }
+
+    out.push_str(&format!(
+        "\n{:<12} {:>14} {:>7}  {}\n",
+        "computation", "attainable", "binds", "M_bal per level (words)"
+    ));
+    for name in MODEL_NAMES {
+        let model = model_by_name(name)?;
+        let ai: Vec<f64> = spec
+            .levels()
+            .iter()
+            .map(|l| model.eval_words(l.capacity()))
+            .collect();
+        let binds = match roofline.binding_level(&ai) {
+            Some(level) => format!("L{}", level + 1),
+            None => "roof".to_string(),
+        };
+        let m_bal: Vec<String> = (0..spec.depth())
+            .map(|i| match roofline.balanced_memory_at(i, &model) {
+                Ok(m) => m.get().to_string(),
+                Err(BalanceError::IoBounded) => "impossible".to_string(),
+                Err(e) => e.to_string(),
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<12} {:>14.3e} {:>7}  [{}]\n",
+            name,
+            roofline.attainable(&ai),
+            binds,
+            m_bal.join(", ")
+        ));
+    }
+    Ok(out)
+}
+
 /// `balance warp`: the §5 case study.
 #[must_use]
 pub fn cmd_warp() -> String {
@@ -241,6 +351,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "pe" => cmd_pe(&flags),
         "rebalance" => cmd_rebalance(&flags),
         "sweep" => cmd_sweep(&flags),
+        "hierarchy" => cmd_hierarchy(&flags),
         "warp" => Ok(cmd_warp()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -261,6 +372,10 @@ USAGE:
       Run the instrumented kernel across a memory sweep (parallel across
       cores; default verification: full up to n=64, anchored Freivalds
       beyond) and fit the law.
+  balance hierarchy --levels CAP:BW[,CAP:BW...] [--c <ops/s>]
+      The balance law per level of a memory hierarchy (innermost level
+      first): per-boundary ridges, binding level, and balanced capacity
+      per level for each of the paper's intensity laws.
   balance warp
       The §5 Warp machine case study.
 "
@@ -373,5 +488,67 @@ mod tests {
         assert!(dispatch(&args(&["warp"])).unwrap().contains("Warp"));
         assert!(dispatch(&args(&["bogus"])).is_err());
         assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn levels_parse_happy_path() {
+        let spec = parse_levels("1024:1e8,65536:1e7").unwrap();
+        assert_eq!(spec.depth(), 2);
+        assert_eq!(spec.level(0).capacity().get(), 1024);
+        assert_eq!(spec.level(1).bandwidth().get(), 1.0e7);
+        // Whitespace around items and separators is tolerated.
+        let spec = parse_levels(" 64 : 2.5 , 128 : 1.0 ").unwrap();
+        assert_eq!(spec.depth(), 2);
+        // A single level is a valid (flat) machine.
+        assert_eq!(parse_levels("4096:1e9").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn levels_reject_malformed_specs() {
+        // No colon.
+        let err = parse_levels("1024").unwrap_err();
+        assert!(err.contains("expected CAP:BW"), "{err}");
+        // Unparsable capacity / bandwidth.
+        assert!(parse_levels("abc:1e6").unwrap_err().contains("capacity"));
+        assert!(parse_levels("1024:xyz").unwrap_err().contains("bandwidth"));
+        // Fractional capacities are not words.
+        assert!(parse_levels("10.5:1e6").unwrap_err().contains("capacity"));
+        // Empty item (trailing comma).
+        assert!(parse_levels("1024:1e6,").is_err());
+        assert!(parse_levels("").is_err());
+    }
+
+    #[test]
+    fn levels_reject_zero_capacity_and_bad_bandwidth() {
+        let err = parse_levels("0:1e6").unwrap_err();
+        assert!(err.contains("level 1"), "{err}");
+        assert!(err.contains("positive"), "{err}");
+        let err = parse_levels("1024:0").unwrap_err();
+        assert!(err.contains("bandwidth"), "{err}");
+        assert!(parse_levels("1024:-2e6").is_err());
+    }
+
+    #[test]
+    fn levels_reject_non_monotone_capacities() {
+        let err = parse_levels("4096:1e8,1024:1e7").unwrap_err();
+        assert!(err.contains("grow outward"), "{err}");
+        // Equal capacities are just as invalid.
+        assert!(parse_levels("4096:1e8,4096:1e7").is_err());
+    }
+
+    #[test]
+    fn hierarchy_command_renders_per_level_tables() {
+        let f = Flags::parse(&args(&["--levels", "100:1e7,10000:1e6", "--c", "1e8"])).unwrap();
+        let out = cmd_hierarchy(&f).unwrap();
+        assert!(out.contains("L1"), "{out}");
+        assert!(out.contains("L2"), "{out}");
+        // Port ridge C/IO_0 = 10, outer ridge = 100.
+        assert!(out.contains("10"), "{out}");
+        // matmul balanced at M = (10·√3)² = 300 at the port; matvec never.
+        assert!(out.contains("impossible"), "{out}");
+        // Missing --levels is a usage error, as is a malformed value.
+        assert!(cmd_hierarchy(&Flags::parse(&args(&[])).unwrap()).is_err());
+        let f = Flags::parse(&args(&["--levels", "bogus"])).unwrap();
+        assert!(cmd_hierarchy(&f).is_err());
     }
 }

@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod amdahl_exp;
 pub mod extension;
 pub mod figures;
+pub mod hierarchy_exp;
 pub mod laws;
 pub mod parallel_exp;
 pub mod pebble_exp;
@@ -44,9 +45,9 @@ impl Scale {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-    "E12", "E13", "E14", "E15",
+    "E12", "E13", "E14", "E15", "E20",
 ];
 
 /// Runs one experiment by id (case-insensitive) at the default scale.
@@ -80,6 +81,8 @@ pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
         "E13" => ablation::e13_lru_ablation_at(scale),
         "E14" => extension::e14_extension_kernels(),
         "E15" => amdahl_exp::e15_amdahl(),
+        // "hierarchy" is the mnemonic alias the CI smoke step uses.
+        "E20" | "HIERARCHY" => hierarchy_exp::e20_hierarchy(),
         _ => return None,
     })
 }

@@ -5,11 +5,124 @@
 //! the outside world. Running on a PE with bandwidths `(C, IO)` the computing
 //! time is `C_comp / C` and the I/O time is `C_io / IO`; the PE is *balanced*
 //! when the two are equal (paper, Section 2, equation (1)).
+//!
+//! On a memory hierarchy the scalar `C_io` generalizes to a **traffic
+//! vector** ([`LevelTraffic`]): one word count per boundary, innermost
+//! first, with the balance law holding per level (`r_i = C_comp / IO_i`
+//! against the level's bandwidth). The scalar accessors ([`CostProfile::
+//! io_words`], [`CostProfile::intensity`]) read boundary 0 — the PE port —
+//! so every one-level consumer keeps its pre-hierarchy meaning bit for bit.
 
 use core::fmt;
 
+use crate::hierarchy::MAX_MEMORY_LEVELS;
 use crate::pe::PeSpec;
 use crate::units::{Seconds, Words};
+
+/// Per-boundary I/O traffic, innermost boundary first.
+///
+/// Stored inline (up to [`MAX_MEMORY_LEVELS`] entries) so cost profiles
+/// stay `Copy` and hashable. Entry `i` is the number of words that crossed
+/// the boundary between level `i` and level `i+1` (the last entry faces the
+/// external world).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LevelTraffic {
+    len: u8,
+    words: [u64; MAX_MEMORY_LEVELS],
+}
+
+impl LevelTraffic {
+    /// A one-boundary vector — the flat, pre-hierarchy world.
+    #[must_use]
+    pub const fn single(io_words: u64) -> Self {
+        let mut words = [0u64; MAX_MEMORY_LEVELS];
+        words[0] = io_words;
+        LevelTraffic { len: 1, words }
+    }
+
+    /// A traffic vector from per-boundary word counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`MAX_MEMORY_LEVELS`] boundaries are supplied.
+    #[must_use]
+    pub fn from_slice(traffic: &[u64]) -> Self {
+        assert!(
+            traffic.len() <= MAX_MEMORY_LEVELS,
+            "{} boundaries exceed the supported maximum of {MAX_MEMORY_LEVELS}",
+            traffic.len()
+        );
+        let mut words = [0u64; MAX_MEMORY_LEVELS];
+        words[..traffic.len()].copy_from_slice(traffic);
+        LevelTraffic {
+            len: traffic.len() as u8,
+            words,
+        }
+    }
+
+    /// Number of recorded boundaries.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no boundary has been recorded.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Traffic at boundary `level`, or `None` beyond the recorded depth.
+    #[must_use]
+    pub const fn get(&self, level: usize) -> Option<u64> {
+        if level < self.len as usize {
+            Some(self.words[level])
+        } else {
+            None
+        }
+    }
+
+    /// The recorded boundaries as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.words[..self.len as usize]
+    }
+
+    /// Component-wise sum; the result spans the deeper of the two vectors,
+    /// treating missing boundaries as zero traffic.
+    #[must_use]
+    pub const fn combined(&self, other: &LevelTraffic) -> LevelTraffic {
+        let len = if self.len > other.len { self.len } else { other.len };
+        let mut words = [0u64; MAX_MEMORY_LEVELS];
+        let mut i = 0;
+        while i < len as usize {
+            words[i] = self.words[i] + other.words[i];
+            i += 1;
+        }
+        LevelTraffic { len, words }
+    }
+
+    /// True when traffic never grows with depth — a word can only reach
+    /// level `i+1` by missing at level `i` (inclusive accounting).
+    #[must_use]
+    pub fn is_monotone_non_increasing(&self) -> bool {
+        self.as_slice().windows(2).all(|w| w[1] <= w[0])
+    }
+}
+
+impl fmt::Display for LevelTraffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, w) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "]")
+    }
+}
 
 /// Total operation and I/O-word counts for one computation.
 ///
@@ -22,18 +135,50 @@ use crate::units::{Seconds, Words};
 /// let cost = CostProfile::new(2 * 512u64.pow(3), 2 * 512u64.pow(3) / 32 + 512 * 512);
 /// assert!((cost.intensity() - 30.0).abs() < 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostProfile {
     comp_ops: u64,
-    io_words: u64,
+    io: LevelTraffic,
+}
+
+/// The empty one-level profile, equal to `CostProfile::new(0, 0)` — every
+/// profile, including the default, has at least one boundary.
+impl Default for CostProfile {
+    fn default() -> Self {
+        CostProfile::new(0, 0)
+    }
 }
 
 impl CostProfile {
-    /// Creates a cost profile from raw counts.
+    /// Creates a one-level cost profile from raw counts (the historical
+    /// constructor; every pre-hierarchy call site keeps its meaning).
     #[must_use]
     pub const fn new(comp_ops: u64, io_words: u64) -> Self {
-        CostProfile { comp_ops, io_words }
+        CostProfile {
+            comp_ops,
+            io: LevelTraffic::single(io_words),
+        }
+    }
+
+    /// Creates a cost profile with per-boundary traffic, innermost first.
+    ///
+    /// An empty slice is normalized to one zero-traffic boundary, so every
+    /// profile has at least one level and `with_levels(ops, &[])` equals
+    /// `new(ops, 0)` (both fully-resident computations).
+    ///
+    /// # Panics
+    ///
+    /// As [`LevelTraffic::from_slice`]: more than
+    /// [`MAX_MEMORY_LEVELS`] boundaries panic.
+    #[must_use]
+    pub fn with_levels(comp_ops: u64, traffic: &[u64]) -> Self {
+        let io = if traffic.is_empty() {
+            LevelTraffic::single(0)
+        } else {
+            LevelTraffic::from_slice(traffic)
+        };
+        CostProfile { comp_ops, io }
     }
 
     /// Total operations `C_comp`.
@@ -42,35 +187,74 @@ impl CostProfile {
         self.comp_ops
     }
 
-    /// Total I/O traffic `C_io`, in words.
+    /// I/O traffic `C_io` at the PE port (boundary 0), in words.
+    ///
+    /// On a one-level profile this is the only boundary — the historical
+    /// scalar. Deeper boundaries are read with [`CostProfile::io_at`].
     #[must_use]
     pub const fn io_words(&self) -> u64 {
-        self.io_words
+        match self.io.get(0) {
+            Some(w) => w,
+            None => 0,
+        }
     }
 
-    /// The operational intensity `C_comp / C_io`, in operations per word.
+    /// Traffic at boundary `level` (0 = PE port, last = external world),
+    /// or `None` beyond the recorded depth.
+    #[must_use]
+    pub const fn io_at(&self, level: usize) -> Option<u64> {
+        self.io.get(level)
+    }
+
+    /// Number of recorded boundaries (1 for every flat profile).
+    #[must_use]
+    pub const fn level_count(&self) -> usize {
+        self.io.len()
+    }
+
+    /// The whole traffic vector.
+    #[must_use]
+    pub const fn traffic(&self) -> LevelTraffic {
+        self.io
+    }
+
+    /// The operational intensity `C_comp / C_io` at the PE port, in
+    /// operations per word.
     ///
     /// Returns `f64::INFINITY` when the computation performs no I/O (a fully
     /// resident computation) and `0.0` when it performs no operations.
     #[must_use]
     pub fn intensity(&self) -> f64 {
-        if self.io_words == 0 {
+        self.intensity_at(0).unwrap_or(0.0)
+    }
+
+    /// The per-level intensity `r_i = C_comp / IO_i` at boundary `level`,
+    /// or `None` beyond the recorded depth.
+    ///
+    /// Zero traffic at a boundary yields `f64::INFINITY` for a computation
+    /// with operations (fully resident above that boundary) and `0.0` for
+    /// an empty computation.
+    #[must_use]
+    pub fn intensity_at(&self, level: usize) -> Option<f64> {
+        let io = self.io.get(level)?;
+        Some(if io == 0 {
             if self.comp_ops == 0 {
                 0.0
             } else {
                 f64::INFINITY
             }
         } else {
-            self.comp_ops as f64 / self.io_words as f64
-        }
+            self.comp_ops as f64 / io as f64
+        })
     }
 
     /// Component-wise sum of two profiles (e.g. phases of one computation).
+    /// Traffic vectors add per boundary, spanning the deeper of the two.
     #[must_use]
     pub const fn combined(&self, other: &CostProfile) -> CostProfile {
         CostProfile {
             comp_ops: self.comp_ops + other.comp_ops,
-            io_words: self.io_words + other.io_words,
+            io: self.io.combined(&other.io),
         }
     }
 
@@ -80,10 +264,10 @@ impl CostProfile {
         Seconds::new(self.comp_ops as f64 / pe.comp_bw().get())
     }
 
-    /// Time to move the words on a PE with I/O bandwidth `IO`.
+    /// Time to move the words on a PE with I/O bandwidth `IO` (boundary 0).
     #[must_use]
     pub fn io_time(&self, pe: &PeSpec) -> Seconds {
-        Seconds::new(self.io_words as f64 / pe.io_bw().get())
+        Seconds::new(self.io_words() as f64 / pe.io_bw().get())
     }
 
     /// Classifies the execution on `pe` (compute and I/O fully overlapped).
@@ -123,9 +307,13 @@ impl fmt::Display for CostProfile {
             f,
             "C_comp = {} ops, C_io = {} words (intensity {:.3} op/word)",
             self.comp_ops,
-            self.io_words,
+            self.io_words(),
             self.intensity()
-        )
+        )?;
+        if self.level_count() > 1 {
+            write!(f, " over {} boundaries {}", self.level_count(), self.io)?;
+        }
+        Ok(())
     }
 }
 
@@ -201,10 +389,22 @@ impl Execution {
         Execution { cost, peak_memory }
     }
 
-    /// The measured operational intensity.
+    /// The measured operational intensity at the PE port.
     #[must_use]
     pub fn intensity(&self) -> f64 {
         self.cost.intensity()
+    }
+
+    /// The measured per-level intensity `r_i` at boundary `level`.
+    #[must_use]
+    pub fn intensity_at(&self, level: usize) -> Option<f64> {
+        self.cost.intensity_at(level)
+    }
+
+    /// Traffic at boundary `level`, in words.
+    #[must_use]
+    pub fn io_at(&self, level: usize) -> Option<u64> {
+        self.cost.io_at(level)
     }
 }
 
@@ -285,6 +485,82 @@ mod tests {
     }
 
     #[test]
+    fn leveled_profiles_expose_per_boundary_traffic() {
+        let cost = CostProfile::with_levels(1000, &[100, 40, 10]);
+        assert_eq!(cost.level_count(), 3);
+        assert_eq!(cost.io_words(), 100, "scalar C_io reads the PE port");
+        assert_eq!(cost.io_at(0), Some(100));
+        assert_eq!(cost.io_at(2), Some(10));
+        assert_eq!(cost.io_at(3), None);
+        assert_eq!(cost.intensity(), 10.0);
+        assert_eq!(cost.intensity_at(1), Some(25.0));
+        assert_eq!(cost.intensity_at(2), Some(100.0));
+        assert_eq!(cost.intensity_at(5), None);
+        assert!(cost.traffic().is_monotone_non_increasing());
+        assert!(!CostProfile::with_levels(1, &[3, 9])
+            .traffic()
+            .is_monotone_non_increasing());
+    }
+
+    #[test]
+    fn flat_profile_is_one_level() {
+        let cost = CostProfile::new(100, 50);
+        assert_eq!(cost.level_count(), 1);
+        assert_eq!(cost.io_at(0), Some(50));
+        assert_eq!(cost.io_at(1), None);
+        assert_eq!(cost, CostProfile::with_levels(100, &[50]));
+    }
+
+    #[test]
+    fn empty_traffic_normalizes_to_one_zero_boundary() {
+        let cost = CostProfile::with_levels(100, &[]);
+        assert_eq!(cost, CostProfile::new(100, 0));
+        assert_eq!(cost.level_count(), 1);
+        assert_eq!(cost.intensity(), f64::INFINITY);
+        // The default profile keeps the at-least-one-boundary invariant
+        // and its historical equality with new(0, 0).
+        assert_eq!(CostProfile::default(), CostProfile::new(0, 0));
+        assert_eq!(CostProfile::default().io_at(0), Some(0));
+    }
+
+    #[test]
+    fn combined_pads_shallower_vectors_with_zero() {
+        let flat = CostProfile::new(10, 4);
+        let deep = CostProfile::with_levels(5, &[6, 2]);
+        let sum = flat.combined(&deep);
+        assert_eq!(sum.comp_ops(), 15);
+        assert_eq!(sum.io_at(0), Some(10));
+        assert_eq!(sum.io_at(1), Some(2));
+        assert_eq!(sum.level_count(), 2);
+    }
+
+    #[test]
+    fn zero_traffic_boundaries_have_infinite_intensity() {
+        let cost = CostProfile::with_levels(7, &[4, 0]);
+        assert_eq!(cost.intensity_at(1), Some(f64::INFINITY));
+        let idle = CostProfile::with_levels(0, &[0, 0]);
+        assert_eq!(idle.intensity_at(1), Some(0.0));
+    }
+
+    #[test]
+    fn level_traffic_display_and_accessors() {
+        let t = LevelTraffic::from_slice(&[8, 4, 2]);
+        assert_eq!(t.to_string(), "[8, 4, 2]");
+        assert_eq!(t.as_slice(), &[8, 4, 2]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(LevelTraffic::default().is_empty());
+        let deep = CostProfile::with_levels(1, &[9, 3, 1]);
+        assert!(deep.to_string().contains("[9, 3, 1]"), "{deep}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the supported maximum")]
+    fn too_many_levels_panic() {
+        let _ = LevelTraffic::from_slice(&[1; 9]);
+    }
+
+    #[test]
     fn elapsed_takes_the_max() {
         let cost = CostProfile::new(1000, 10);
         let spec = pe(10.0, 10.0);
@@ -305,5 +581,8 @@ mod tests {
         let e = Execution::new(CostProfile::new(4, 2), Words::new(7));
         assert!(e.to_string().contains("peak 7 words"));
         assert_eq!(e.intensity(), 2.0);
+        assert_eq!(e.intensity_at(0), Some(2.0));
+        assert_eq!(e.io_at(0), Some(2));
+        assert_eq!(e.io_at(1), None);
     }
 }

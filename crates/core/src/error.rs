@@ -57,6 +57,12 @@ pub enum BalanceError {
         /// The minimum required size.
         need: Words,
     },
+    /// A memory-hierarchy specification is malformed (empty, too deep, or
+    /// capacities not growing outward).
+    InvalidHierarchy {
+        /// Human-readable cause.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BalanceError {
@@ -87,6 +93,9 @@ impl fmt::Display for BalanceError {
             BalanceError::MemoryTooSmall { have, need } => {
                 write!(f, "memory too small: have {have}, need at least {need}")
             }
+            BalanceError::InvalidHierarchy { reason } => {
+                write!(f, "invalid memory hierarchy: {reason}")
+            }
         }
     }
 }
@@ -116,6 +125,10 @@ mod tests {
         };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains("12"));
+        let e = BalanceError::InvalidHierarchy {
+            reason: "capacities shrink".into(),
+        };
+        assert!(e.to_string().contains("capacities shrink"));
     }
 
     #[test]

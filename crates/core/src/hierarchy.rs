@@ -1,0 +1,360 @@
+//! Memory-hierarchy specifications: the balance law, per level.
+//!
+//! Kung states the balance condition for one PE/memory/I-O boundary, but
+//! §5 of the paper (and essentially all of its successors) applies it *per
+//! level* of a memory hierarchy: between every pair of adjacent levels there
+//! is a boundary with its own traffic `IO_i`, its own capacity `M_i`, and
+//! therefore its own balanced-memory point. A machine is balanced only when
+//! every boundary is.
+//!
+//! [`HierarchySpec`] is the declarative description: an ordered list of
+//! [`LevelSpec`]s, innermost (smallest, fastest) first, each carrying a
+//! capacity, the bandwidth of the channel *below* it (toward the outside
+//! world), and an optional access latency. Validation enforces the physical
+//! shape — capacities strictly growing outward, positive bandwidths — so
+//! every consumer (the `balance-machine` simulator, the hierarchical
+//! roofline, the CLI) can assume a well-formed ladder.
+//!
+//! The numbering convention used across the workspace: **level 0** is the
+//! PE's local memory; **boundary `i`** is the channel between level `i` and
+//! level `i+1` (the last boundary faces the external world). A traffic
+//! vector therefore has one entry per level.
+
+use core::fmt;
+
+use crate::error::BalanceError;
+use crate::units::{Seconds, Words, WordsPerSec};
+
+/// The maximum number of levels a hierarchy (and a traffic vector) may
+/// have. Eight covers every real machine ladder (registers → L1 → L2 → L3
+/// → HBM → DRAM → CXL → disk) while keeping traffic vectors inline and
+/// `Copy`.
+pub const MAX_MEMORY_LEVELS: usize = 8;
+
+/// One level of a memory hierarchy: capacity, the bandwidth of the channel
+/// below it, and an access latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LevelSpec {
+    capacity: Words,
+    bandwidth: WordsPerSec,
+    latency: Seconds,
+}
+
+impl LevelSpec {
+    /// Creates a level with zero latency.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::ZeroMemory`] for a zero capacity,
+    /// [`BalanceError::InvalidQuantity`] for a non-positive or non-finite
+    /// bandwidth.
+    pub fn new(capacity: Words, bandwidth: WordsPerSec) -> Result<Self, BalanceError> {
+        if capacity.is_zero() {
+            return Err(BalanceError::ZeroMemory);
+        }
+        if !bandwidth.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "level bandwidth",
+                value: bandwidth.get(),
+            });
+        }
+        Ok(LevelSpec {
+            capacity,
+            bandwidth,
+            latency: Seconds::new(0.0),
+        })
+    }
+
+    /// The same level with an access latency attached.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidQuantity`] for a negative or non-finite
+    /// latency.
+    pub fn with_latency(mut self, latency: Seconds) -> Result<Self, BalanceError> {
+        if !latency.get().is_finite() || latency.get() < 0.0 {
+            return Err(BalanceError::InvalidQuantity {
+                what: "level latency",
+                value: latency.get(),
+            });
+        }
+        self.latency = latency;
+        Ok(self)
+    }
+
+    /// Capacity `M_i`, in words.
+    #[must_use]
+    pub fn capacity(&self) -> Words {
+        self.capacity
+    }
+
+    /// Bandwidth `IO_i` of the boundary below this level, in words/s.
+    #[must_use]
+    pub fn bandwidth(&self) -> WordsPerSec {
+        self.bandwidth
+    }
+
+    /// Access latency of this level.
+    #[must_use]
+    pub fn latency(&self) -> Seconds {
+        self.latency
+    }
+}
+
+impl fmt::Display for LevelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.capacity, self.bandwidth)?;
+        if self.latency.get() > 0.0 {
+            write!(f, " (+{})", self.latency)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered memory hierarchy, innermost level first.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::hierarchy::{HierarchySpec, LevelSpec};
+/// use balance_core::{Words, WordsPerSec};
+///
+/// // 1 K words of fast memory over 64 K words of slow memory.
+/// let spec = HierarchySpec::new(vec![
+///     LevelSpec::new(Words::new(1024), WordsPerSec::new(1.0e8))?,
+///     LevelSpec::new(Words::new(65_536), WordsPerSec::new(1.0e7))?,
+/// ])?;
+/// assert_eq!(spec.depth(), 2);
+/// assert_eq!(spec.local_capacity().get(), 1024);
+///
+/// // The one-level world every existing experiment runs in:
+/// let flat = HierarchySpec::flat(Words::new(4096));
+/// assert_eq!(flat.depth(), 1);
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HierarchySpec {
+    levels: Vec<LevelSpec>,
+}
+
+impl HierarchySpec {
+    /// Creates a validated hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidHierarchy`] when the level list is empty,
+    /// deeper than [`MAX_MEMORY_LEVELS`], or its capacities do not grow
+    /// strictly outward (each level must be larger than the one above it —
+    /// a smaller outer level could never hold the inner one's working set).
+    pub fn new(levels: Vec<LevelSpec>) -> Result<Self, BalanceError> {
+        if levels.is_empty() {
+            return Err(BalanceError::InvalidHierarchy {
+                reason: "a hierarchy needs at least one level".into(),
+            });
+        }
+        if levels.len() > MAX_MEMORY_LEVELS {
+            return Err(BalanceError::InvalidHierarchy {
+                reason: format!(
+                    "{} levels exceed the supported maximum of {MAX_MEMORY_LEVELS}",
+                    levels.len()
+                ),
+            });
+        }
+        for (i, pair) in levels.windows(2).enumerate() {
+            if pair[1].capacity <= pair[0].capacity {
+                return Err(BalanceError::InvalidHierarchy {
+                    reason: format!(
+                        "level {} capacity ({}) must exceed level {} capacity ({}): \
+                         capacities grow outward",
+                        i + 1,
+                        pair[1].capacity,
+                        i,
+                        pair[0].capacity
+                    ),
+                });
+            }
+        }
+        Ok(HierarchySpec { levels })
+    }
+
+    /// The trivial one-level hierarchy every pre-hierarchy experiment runs
+    /// in: capacity `m`, unit bandwidth (counting simulators never consult
+    /// it), zero latency.
+    ///
+    /// Unlike [`HierarchySpec::new`] this performs no validation: even a
+    /// zero capacity passes through unchanged, so consumers that reject
+    /// undersized memories themselves (kernels, via their `min_memory`)
+    /// see exactly the value the caller supplied.
+    #[must_use]
+    pub fn flat(m: Words) -> Self {
+        HierarchySpec {
+            levels: vec![LevelSpec {
+                capacity: m,
+                bandwidth: WordsPerSec::new(1.0),
+                latency: Seconds::new(0.0),
+            }],
+        }
+    }
+
+    /// [`HierarchySpec::flat`] from a raw word count (the historical `m:
+    /// usize` kernel parameter).
+    #[must_use]
+    pub fn flat_words(m: usize) -> Self {
+        HierarchySpec::flat(Words::new(m as u64))
+    }
+
+    /// The levels, innermost first.
+    #[must_use]
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// Number of levels (= number of boundaries in a traffic vector).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level at `index` (0 = innermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index ≥ depth()`.
+    #[must_use]
+    pub fn level(&self, index: usize) -> &LevelSpec {
+        &self.levels[index]
+    }
+
+    /// Capacity of level 0, the PE's local memory `M_1`.
+    #[must_use]
+    pub fn local_capacity(&self) -> Words {
+        self.levels[0].capacity
+    }
+
+    /// [`HierarchySpec::local_capacity`] as `usize` (the historical kernel
+    /// `m` parameter), saturating on 32-bit targets.
+    #[must_use]
+    pub fn local_capacity_words(&self) -> usize {
+        usize::try_from(self.levels[0].capacity.get()).unwrap_or(usize::MAX)
+    }
+
+    /// Sum of all level latencies — the cost of a word missing all the way
+    /// down the ladder.
+    #[must_use]
+    pub fn total_latency(&self) -> Seconds {
+        Seconds::new(self.levels.iter().map(|l| l.latency().get()).sum())
+    }
+}
+
+impl fmt::Display for HierarchySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, level) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, " / ")?;
+            }
+            write!(f, "L{}: {level}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(cap: u64, bw: f64) -> LevelSpec {
+        LevelSpec::new(Words::new(cap), WordsPerSec::new(bw)).unwrap()
+    }
+
+    #[test]
+    fn valid_hierarchies_build() {
+        let spec = HierarchySpec::new(vec![level(64, 1e8), level(4096, 1e7), level(65536, 1e6)])
+            .unwrap();
+        assert_eq!(spec.depth(), 3);
+        assert_eq!(spec.local_capacity().get(), 64);
+        assert_eq!(spec.local_capacity_words(), 64);
+        assert_eq!(spec.level(2).capacity().get(), 65536);
+        assert_eq!(spec.levels().len(), 3);
+    }
+
+    #[test]
+    fn level_validation() {
+        assert_eq!(
+            LevelSpec::new(Words::ZERO, WordsPerSec::new(1.0)),
+            Err(BalanceError::ZeroMemory)
+        );
+        assert!(matches!(
+            LevelSpec::new(Words::new(4), WordsPerSec::new(0.0)),
+            Err(BalanceError::InvalidQuantity { .. })
+        ));
+        assert!(matches!(
+            LevelSpec::new(Words::new(4), WordsPerSec::new(f64::NAN)),
+            Err(BalanceError::InvalidQuantity { .. })
+        ));
+        assert!(level(4, 1.0).with_latency(Seconds::new(-1.0)).is_err());
+        let l = level(4, 1.0).with_latency(Seconds::new(0.25)).unwrap();
+        assert_eq!(l.latency().get(), 0.25);
+    }
+
+    #[test]
+    fn empty_and_oversized_hierarchies_rejected() {
+        assert!(matches!(
+            HierarchySpec::new(vec![]),
+            Err(BalanceError::InvalidHierarchy { .. })
+        ));
+        let too_deep: Vec<LevelSpec> = (0..=MAX_MEMORY_LEVELS as u64)
+            .map(|i| level(1 << (i + 2), 1.0))
+            .collect();
+        assert!(matches!(
+            HierarchySpec::new(too_deep),
+            Err(BalanceError::InvalidHierarchy { .. })
+        ));
+    }
+
+    #[test]
+    fn non_monotone_capacities_rejected() {
+        let err = HierarchySpec::new(vec![level(1024, 1.0), level(512, 1.0)]).unwrap_err();
+        match err {
+            BalanceError::InvalidHierarchy { reason } => {
+                assert!(reason.contains("grow outward"), "{reason}");
+            }
+            other => panic!("expected InvalidHierarchy, got {other:?}"),
+        }
+        // Equal capacities are just as impossible.
+        assert!(HierarchySpec::new(vec![level(64, 1.0), level(64, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn flat_is_one_level_and_unvalidated() {
+        let flat = HierarchySpec::flat_words(4096);
+        assert_eq!(flat.depth(), 1);
+        assert_eq!(flat.local_capacity().get(), 4096);
+        // flat passes even a zero capacity through: kernels report their
+        // own MemoryTooSmall with the caller's exact value.
+        assert_eq!(HierarchySpec::flat(Words::ZERO).local_capacity().get(), 0);
+    }
+
+    #[test]
+    fn latency_accumulates() {
+        let spec = HierarchySpec::new(vec![
+            level(64, 1.0).with_latency(Seconds::new(0.5)).unwrap(),
+            level(128, 1.0).with_latency(Seconds::new(1.5)).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(spec.total_latency().get(), 2.0);
+    }
+
+    #[test]
+    fn display_labels_levels() {
+        let spec = HierarchySpec::new(vec![
+            level(64, 2.0),
+            level(128, 1.0).with_latency(Seconds::new(0.5)).unwrap(),
+        ])
+        .unwrap();
+        let s = spec.to_string();
+        assert!(s.contains("L1: 64 words @ 2 word/s"), "{s}");
+        assert!(s.contains("L2: 128 words @ 1 word/s (+0.5 s)"), "{s}");
+    }
+}

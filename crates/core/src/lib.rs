@@ -75,14 +75,16 @@ pub mod cost;
 pub mod error;
 pub mod fit;
 pub mod growth;
+pub mod hierarchy;
 pub mod intensity;
 pub mod pe;
 pub mod rebalance;
 pub mod solver;
 pub mod units;
 
-pub use cost::{BalanceState, CostProfile, Execution};
+pub use cost::{BalanceState, CostProfile, Execution, LevelTraffic};
 pub use error::BalanceError;
+pub use hierarchy::{HierarchySpec, LevelSpec, MAX_MEMORY_LEVELS};
 pub use fit::{fit_best, FitReport, FittedLaw};
 pub use growth::GrowthLaw;
 pub use intensity::IntensityModel;
@@ -93,8 +95,9 @@ pub use units::{OpsPerSec, Seconds, Words, WordsPerSec};
 /// Convenient glob import: `use balance_core::prelude::*;`.
 pub mod prelude {
     pub use crate::amdahl;
-    pub use crate::cost::{BalanceState, CostProfile, Execution};
+    pub use crate::cost::{BalanceState, CostProfile, Execution, LevelTraffic};
     pub use crate::error::BalanceError;
+    pub use crate::hierarchy::{HierarchySpec, LevelSpec, MAX_MEMORY_LEVELS};
     pub use crate::fit::{fit_best, FitReport, FittedLaw};
     pub use crate::growth::GrowthLaw;
     pub use crate::intensity::IntensityModel;

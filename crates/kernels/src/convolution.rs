@@ -11,11 +11,12 @@
 //! The out-of-core algorithm keeps the filter and a sliding input window
 //! resident and streams the signal through once.
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::Verify;
 use crate::workload;
 
 /// Streaming FIR convolution `y[i] = Σ_j h[j]·x[i+j]`. Problem size `n` =
@@ -77,7 +78,16 @@ impl Kernel for Convolution {
         2 * self.taps + 2
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        // No cheap randomized check exists: verify fully under any policy.
+        let _ = verify;
+        let m = machine.local_capacity_words();
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "output count must be positive".into(),
@@ -98,7 +108,7 @@ impl Kernel for Convolution {
         let h = store.alloc_from(&h_data);
         let y = store.alloc(n);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let buf_h = pe.alloc(k)?;
         pe.load(&store, h, buf_h, 0)?;
         // Sliding window: chunk of inputs covering `c` outputs needs c+k-1

@@ -22,12 +22,13 @@
 
 use core::fmt;
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::reference;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::Verify;
 use crate::workload;
 
 /// Blocked out-of-core FFT. Problem size `n` = number of complex points
@@ -79,7 +80,16 @@ impl Kernel for Fft {
         4 // one block of 2 complex points
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        // No cheap randomized check exists: verify fully under any policy.
+        let _ = verify;
+        let m = machine.local_capacity_words();
         if !n.is_power_of_two() || n < 2 {
             return Err(KernelError::BadParameters {
                 reason: format!("FFT size must be a power of two >= 2, got {n}"),
@@ -100,7 +110,7 @@ impl Kernel for Fft {
         let input = store.alloc_from(&signal);
         let work = store.alloc(2 * n);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let buf = pe.alloc(2 * b)?;
 
         // --- Bit-reversal permutation pass (pure I/O) ---

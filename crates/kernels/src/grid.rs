@@ -22,12 +22,13 @@
 //! The problem size `n` is the **iteration count**; the tile side `s` is the
 //! largest that fits `(s+2)^d + s^d ≤ M`.
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::reference;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::Verify;
 use crate::workload;
 
 /// Jacobi relaxation on a d-dimensional grid (d = 1..=4).
@@ -130,7 +131,16 @@ impl Kernel for GridRelaxation {
         3usize.pow(self.dim as u32) + 1
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        // No cheap randomized check exists: verify fully under any policy.
+        let _ = verify;
+        let m = machine.local_capacity_words();
         let d = self.dim;
         if n == 0 {
             return Err(KernelError::BadParameters {
@@ -160,7 +170,7 @@ impl Kernel for GridRelaxation {
         let grid_region = store.alloc_from(&state);
         let out_region = store.alloc(tile_points);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let tile = pe.alloc(tile_points)?;
         let ext = pe.alloc(ext_points)?;
 

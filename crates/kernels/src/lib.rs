@@ -73,7 +73,8 @@ pub mod prelude {
     pub use crate::multi_matvec::MultiMatVec;
     pub use crate::sorting::ExternalSort;
     pub use crate::sweep::{
-        intensity_sweep, intensity_sweep_par, par_map, SweepConfig, SweepResult,
+        hierarchy_sweep, hierarchy_sweep_par, intensity_sweep, intensity_sweep_par, par_map,
+        SweepConfig, SweepResult,
     };
     pub use crate::traits::{all_kernels, extension_kernels, Kernel, KernelRun};
     pub use crate::transpose::Transpose;

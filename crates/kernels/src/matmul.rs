@@ -21,7 +21,7 @@
 //! the naive trace, does *not* achieve the `√M` intensity — the
 //! decomposition scheme, not the memory itself, earns the balance.
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
@@ -73,11 +73,14 @@ impl Kernel for MatMul {
         3 // b = 1 needs 3 words
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
-        self.run_with(n, m, seed, Verify::Full)
-    }
-
-    fn run_with(&self, n: usize, m: usize, seed: u64, verify: Verify) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        let m = machine.local_capacity_words();
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "matrix size must be positive".into(),
@@ -99,7 +102,7 @@ impl Kernel for MatMul {
         let bm = MatrixHandle::new(store.alloc_from(&b_data), n, n);
         let c = MatrixHandle::new(store.alloc(n * n), n, n);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let buf_a = pe.alloc(b * b)?;
         let buf_b = pe.alloc(b * b)?;
         let buf_c = pe.alloc(b * b)?;

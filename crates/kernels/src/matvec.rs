@@ -17,13 +17,14 @@
 //!
 //! [`GrowthLaw::Impossible`]: balance_core::GrowthLaw
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::matrix::MatrixHandle;
 use crate::reference;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::Verify;
 use crate::workload;
 
 /// Blocked streaming `y = A·x`. Problem size `n` = matrix dimension.
@@ -57,7 +58,16 @@ impl Kernel for MatVec {
         3
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        // No cheap randomized check exists: verify fully under any policy.
+        let _ = verify;
+        let m = machine.local_capacity_words();
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "matrix size must be positive".into(),
@@ -80,7 +90,7 @@ impl Kernel for MatVec {
         let x = store.alloc_from(&x_data);
         let y = store.alloc(n);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let buf_y = pe.alloc(r)?;
         let buf_x = pe.alloc(c)?;
         let buf_a = pe.alloc(c)?;

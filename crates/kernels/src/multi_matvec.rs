@@ -15,13 +15,14 @@
 //! saturation ceiling — the average reuse of the dominant data — is what
 //! decides whether memory can buy balance.
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::matrix::{load_block, store_block, MatrixHandle};
 use crate::reference;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::Verify;
 use crate::workload;
 
 /// Blocked `Y = A·X` with `v` columns in `X`. Problem size `n` = matrix
@@ -89,7 +90,16 @@ impl Kernel for MultiMatVec {
         1 + 2 * self.vectors
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        // No cheap randomized check exists: verify fully under any policy.
+        let _ = verify;
+        let m = machine.local_capacity_words();
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "matrix size must be positive".into(),
@@ -111,7 +121,7 @@ impl Kernel for MultiMatVec {
         let x = MatrixHandle::new(store.alloc_from(&x_data), n, v);
         let y = MatrixHandle::new(store.alloc(n * v), n, v);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let buf_a = pe.alloc(b * b)?;
         let buf_x = pe.alloc(b * v)?;
         let buf_y = pe.alloc(b * v)?;

@@ -16,11 +16,12 @@
 //! one word. The merge heap and its cursor bookkeeping are allocated inside
 //! the simulated local memory, so the capacity `M` is honestly charged.
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{BufferId, ExternalStore, Pe, Phase, PhaseRecorder, Region};
 
 use crate::error::KernelError;
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::Verify;
 use crate::workload;
 
 /// Two-phase external merge sort. Problem size `n` = number of keys.
@@ -216,8 +217,16 @@ impl Kernel for ExternalSort {
         8
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
-        self.run_with_phases(n, m, seed).map(|(run, _)| run)
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        // No cheap randomized check exists: verify fully under any policy.
+        let _ = verify;
+        self.run_on_with_phases(n, machine, seed).map(|(run, _)| run)
     }
 }
 
@@ -235,6 +244,21 @@ impl ExternalSort {
         m: usize,
         seed: u64,
     ) -> Result<(KernelRun, Vec<Phase>), KernelError> {
+        self.run_on_with_phases(n, &HierarchySpec::flat_words(m), seed)
+    }
+
+    /// [`ExternalSort::run_with_phases`] against an explicit hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::run_on`].
+    pub fn run_on_with_phases(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+    ) -> Result<(KernelRun, Vec<Phase>), KernelError> {
+        let m = machine.local_capacity_words();
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "key count must be positive".into(),
@@ -253,7 +277,7 @@ impl ExternalSort {
         let area_a = store.alloc(n);
         let area_b = store.alloc(n);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let mut recorder = PhaseRecorder::new(&pe);
 
         // --- Phase 1: run formation (in-place heapsort of M-key chunks) ---

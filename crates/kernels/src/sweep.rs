@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use balance_core::fit::{fit_best, DataPoint, FitReport};
 use balance_core::solver::MeasuredCurve;
-use balance_core::BalanceError;
+use balance_core::{BalanceError, HierarchySpec, LevelSpec, Words, WordsPerSec};
 
 use crate::error::KernelError;
 use crate::traits::{Kernel, KernelRun};
@@ -95,10 +95,68 @@ impl SweepResult {
     }
 }
 
-/// Memory sizes at or above the kernel's minimum, in sweep order.
-fn eligible_memories(kernel: &dyn Kernel, cfg: &SweepConfig) -> Vec<usize> {
+/// Memory sizes at or above the kernel's minimum — and, when outer levels
+/// are present, strictly below the first outer capacity (level 0 must stay
+/// the smallest level of the ladder) — in sweep order.
+fn eligible_memories(kernel: &dyn Kernel, cfg: &SweepConfig, outer: &[LevelSpec]) -> Vec<usize> {
     let floor = kernel.min_memory(cfg.n);
-    cfg.memories.iter().copied().filter(|&m| m >= floor).collect()
+    let ceiling = outer
+        .first()
+        .map_or(u64::MAX, |level| level.capacity().get());
+    cfg.memories
+        .iter()
+        .copied()
+        .filter(|&m| m >= floor && (m as u64) < ceiling)
+        .collect()
+}
+
+/// Rejects a malformed outer ladder up front — before any memory
+/// filtering — so even a sweep with zero eligible points reports it.
+///
+/// # Errors
+///
+/// [`KernelError::BadParameters`] for non-monotone outer capacities or a
+/// ladder too deep to sit under a local level.
+fn validate_outer(outer: &[LevelSpec]) -> Result<(), KernelError> {
+    if outer.is_empty() {
+        return Ok(());
+    }
+    let bad = |reason: String| KernelError::BadParameters { reason };
+    if outer.len() + 1 > balance_core::MAX_MEMORY_LEVELS {
+        return Err(bad(format!(
+            "{} outer levels plus the local level exceed the supported maximum of {}",
+            outer.len(),
+            balance_core::MAX_MEMORY_LEVELS
+        )));
+    }
+    // The outer levels on their own must form a valid ladder; the local
+    // level below them is covered by the eligibility ceiling.
+    HierarchySpec::new(outer.to_vec())
+        .map(|_| ())
+        .map_err(|e| bad(format!("outer levels: {e}")))
+}
+
+/// The machine for one sweep point: local memory `m` under the fixed outer
+/// levels (a flat spec when there are none).
+///
+/// # Errors
+///
+/// [`KernelError::BadParameters`] when the resulting ladder is malformed
+/// (e.g. a zero local capacity from a `min_memory() == 0` kernel).
+fn machine_for(m: usize, outer: &[LevelSpec]) -> Result<HierarchySpec, KernelError> {
+    if outer.is_empty() {
+        return Ok(HierarchySpec::flat_words(m));
+    }
+    // m = 0 is possible for a kernel whose min_memory is 0: surface it as
+    // the documented error, not a panic.
+    let bad = |e: &dyn core::fmt::Display| KernelError::BadParameters {
+        reason: format!("sweep point M = {m}: {e}"),
+    };
+    let local =
+        LevelSpec::new(Words::new(m as u64), WordsPerSec::new(1.0)).map_err(|e| bad(&e))?;
+    let mut levels = vec![local];
+    levels.extend_from_slice(outer);
+    HierarchySpec::new(levels).map_err(|e| bad(&e))
 }
 
 /// The verification policy for point `idx`: under `Freivalds`, the first
@@ -142,16 +200,7 @@ fn collect_sweep(
 /// verification failures — a sweep with wrong numerics must not produce
 /// data).
 pub fn intensity_sweep(kernel: &dyn Kernel, cfg: &SweepConfig) -> Result<SweepResult, KernelError> {
-    let memories = eligible_memories(kernel, cfg);
-    // Lazy map: collect_sweep stops pulling (and thus running) points at
-    // the first failure.
-    collect_sweep(
-        kernel,
-        memories
-            .iter()
-            .enumerate()
-            .map(|(i, &m)| kernel.run_with(cfg.n, m, cfg.seed, point_verify(cfg.verify, i))),
-    )
+    hierarchy_sweep(kernel, cfg, &[])
 }
 
 /// [`intensity_sweep`] fanned out over scoped worker threads — bit-identical
@@ -171,9 +220,58 @@ pub fn intensity_sweep_par(
     kernel: &dyn Kernel,
     cfg: &SweepConfig,
 ) -> Result<SweepResult, KernelError> {
-    let memories = eligible_memories(kernel, cfg);
+    hierarchy_sweep_par(kernel, cfg, &[])
+}
+
+/// Sweeps the local memory `M_1` over `cfg.memories` while the fixed
+/// `outer` levels sit below it — the hierarchy generalization of
+/// [`intensity_sweep`], and exactly it when `outer` is empty.
+///
+/// Each run's [`KernelRun::execution`] carries one traffic entry per level
+/// (`io_at`, `intensity_at`); the returned `DataPoint`s keep the PE-port
+/// intensity, so every fitting/inversion consumer works unchanged.
+/// Memory sizes at or above the first outer capacity are skipped (level 0
+/// must stay the smallest level), as are sizes below the kernel's minimum.
+///
+/// # Errors
+///
+/// As [`intensity_sweep`], plus [`KernelError::BadParameters`] for a
+/// malformed `outer` ladder.
+pub fn hierarchy_sweep(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+) -> Result<SweepResult, KernelError> {
+    validate_outer(outer)?;
+    let memories = eligible_memories(kernel, cfg, outer);
+    // Lazy map: collect_sweep stops pulling (and thus running) points at
+    // the first failure.
+    collect_sweep(
+        kernel,
+        memories.iter().enumerate().map(|(i, &m)| {
+            let machine = machine_for(m, outer)?;
+            kernel.run_on(cfg.n, &machine, cfg.seed, point_verify(cfg.verify, i))
+        }),
+    )
+}
+
+/// [`hierarchy_sweep`] fanned out over scoped worker threads (the same
+/// executor as [`intensity_sweep_par`] — bit-identical points, first error
+/// in sweep order).
+///
+/// # Errors
+///
+/// As [`hierarchy_sweep`].
+pub fn hierarchy_sweep_par(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+) -> Result<SweepResult, KernelError> {
+    validate_outer(outer)?;
+    let memories = eligible_memories(kernel, cfg, outer);
     let results = par_map(&memories, |i, &m| {
-        kernel.run_with(cfg.n, m, cfg.seed, point_verify(cfg.verify, i))
+        let machine = machine_for(m, outer)?;
+        kernel.run_on(cfg.n, &machine, cfg.seed, point_verify(cfg.verify, i))
     });
     collect_sweep(kernel, results)
 }
@@ -363,9 +461,15 @@ mod tests {
         fn min_memory(&self, _n: usize) -> usize {
             4
         }
-        fn run(&self, _n: usize, m: usize, _seed: u64) -> Result<KernelRun, KernelError> {
+        fn run_on(
+            &self,
+            _n: usize,
+            machine: &HierarchySpec,
+            _seed: u64,
+            _verify: Verify,
+        ) -> Result<KernelRun, KernelError> {
             Err(KernelError::BadParameters {
-                reason: format!("injected failure at m={m}"),
+                reason: format!("injected failure at m={}", machine.local_capacity_words()),
             })
         }
     }
@@ -403,5 +507,99 @@ mod tests {
         };
         let result = intensity_sweep_par(&MatMul, &cfg).unwrap();
         assert!(result.points.is_empty());
+    }
+
+    fn outer_levels(caps: &[u64]) -> Vec<LevelSpec> {
+        caps.iter()
+            .map(|&c| LevelSpec::new(Words::new(c), WordsPerSec::new(1.0)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn hierarchy_sweep_with_no_outer_levels_is_intensity_sweep() {
+        let cfg = SweepConfig::pow2(32, 5, 9, 11);
+        let flat = intensity_sweep(&MatMul, &cfg).unwrap();
+        let hier = hierarchy_sweep(&MatMul, &cfg, &[]).unwrap();
+        assert_eq!(flat.runs, hier.runs);
+    }
+
+    #[test]
+    fn hierarchy_sweep_reports_inclusive_per_level_traffic() {
+        let cfg = SweepConfig::pow2(24, 5, 8, 3);
+        let outer = outer_levels(&[1024, 4096]);
+        let result = hierarchy_sweep(&MatMul, &cfg, &outer).unwrap();
+        assert!(!result.runs.is_empty());
+        for run in &result.runs {
+            assert_eq!(run.execution.cost.level_count(), 3, "m = {}", run.m);
+            assert!(
+                run.execution.cost.traffic().is_monotone_non_increasing(),
+                "m = {}: {}",
+                run.m,
+                run.execution.cost.traffic()
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_sweep_port_traffic_matches_flat_sweep() {
+        // The outer levels only observe; the PE-port measurement (and thus
+        // every DataPoint) is identical to the flat sweep.
+        let cfg = SweepConfig::pow2(24, 5, 8, 3);
+        let flat = intensity_sweep(&MatMul, &cfg).unwrap();
+        let hier = hierarchy_sweep(&MatMul, &cfg, &outer_levels(&[4096])).unwrap();
+        assert_eq!(flat.points.len(), hier.points.len());
+        for (f, h) in flat.points.iter().zip(&hier.points) {
+            assert_eq!(f.memory.to_bits(), h.memory.to_bits());
+            assert_eq!(f.ratio.to_bits(), h.ratio.to_bits());
+        }
+    }
+
+    #[test]
+    fn hierarchy_sweep_par_is_bit_identical_to_serial() {
+        let cfg = SweepConfig::pow2(24, 5, 9, 5);
+        let outer = outer_levels(&[2048]);
+        let serial = hierarchy_sweep(&MatMul, &cfg, &outer).unwrap();
+        let par = hierarchy_sweep_par(&MatMul, &cfg, &outer).unwrap();
+        assert_eq!(serial.runs, par.runs);
+    }
+
+    #[test]
+    fn hierarchy_sweep_skips_memories_at_or_above_first_outer_capacity() {
+        let cfg = SweepConfig {
+            n: 16,
+            memories: vec![16, 64, 128, 256],
+            seed: 0,
+            verify: Verify::Full,
+        };
+        let result = hierarchy_sweep(&MatMul, &cfg, &outer_levels(&[128])).unwrap();
+        let ms: Vec<usize> = result.runs.iter().map(|r| r.m).collect();
+        assert_eq!(ms, vec![16, 64]);
+    }
+
+    #[test]
+    fn hierarchy_sweep_rejects_malformed_outer_ladders() {
+        let cfg = SweepConfig {
+            n: 16,
+            memories: vec![16],
+            seed: 0,
+            verify: Verify::Full,
+        };
+        // Outer capacities must grow: 4096 then 1024 is rejected.
+        let err = hierarchy_sweep(&MatMul, &cfg, &outer_levels(&[4096, 1024])).unwrap_err();
+        assert!(matches!(err, KernelError::BadParameters { .. }), "{err}");
+        // ... even when no sweep point survives the eligibility filter
+        // (the ladder is validated up front, not per point).
+        let empty_cfg = SweepConfig {
+            n: 16,
+            memories: vec![8192], // >= first outer capacity: filtered out
+            seed: 0,
+            verify: Verify::Full,
+        };
+        for result in [
+            hierarchy_sweep(&MatMul, &empty_cfg, &outer_levels(&[4096, 1024])),
+            hierarchy_sweep_par(&MatMul, &empty_cfg, &outer_levels(&[4096, 1024])),
+        ] {
+            assert!(matches!(result, Err(KernelError::BadParameters { .. })));
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! The experiments compare the three: measured ≈ analytic, and fitted
 //! measured shape ≈ the paper's law.
 
-use balance_core::{CostProfile, Execution, IntensityModel};
+use balance_core::{CostProfile, Execution, HierarchySpec, IntensityModel};
 
 use crate::error::KernelError;
 use crate::verify::Verify;
@@ -38,15 +38,26 @@ impl KernelRun {
 
 /// One of the paper's computations, instrumented.
 ///
+/// Every kernel executes against a memory *system*, described by a
+/// [`HierarchySpec`]: level 0 is the explicitly managed local memory the
+/// decomposition scheme blocks for (the paper's `M`); deeper levels, when
+/// present, are cache-modeled and account traffic per boundary (see
+/// `balance_machine::Pe::for_hierarchy`). The historical one-level entry
+/// points [`Kernel::run`] and [`Kernel::run_with`] are provided wrappers
+/// over [`Kernel::run_on`] with a flat spec — bit-identical to the
+/// pre-hierarchy behavior (pinned by property test).
+///
 /// Implementations guarantee:
 ///
-/// * `run` executes the computation *within* `m` words of simulated local
-///   memory (allocation failures surface as errors rather than silently
-///   overflowing `M`);
-/// * `run` verifies its numeric output against an uninstrumented reference
-///   and fails with [`KernelError::VerificationFailed`] on mismatch;
+/// * `run_on` executes the computation *within* level 0's capacity of
+///   simulated local memory (allocation failures surface as errors rather
+///   than silently overflowing `M`);
+/// * `run_on` verifies its numeric output against an uninstrumented
+///   reference and fails with [`KernelError::VerificationFailed`] on
+///   mismatch (kernels with a cheap randomized check honor the [`Verify`]
+///   policy; the rest verify fully regardless);
 /// * the returned counts include every word moved and every operation
-///   performed.
+///   performed, at every boundary of the hierarchy.
 ///
 /// Implementations must be [`Sync`]: kernels take `&self` and own their
 /// `Pe`/`ExternalStore` per run, so the parallel sweep executor
@@ -69,27 +80,46 @@ pub trait Kernel: Sync {
     /// The smallest memory (words) for which `run(n, m, …)` is supported.
     fn min_memory(&self, n: usize) -> usize;
 
-    /// Runs the instrumented computation and verifies the result.
+    /// Runs the instrumented computation against `machine` under the given
+    /// [`Verify`] policy — the single required execution method.
+    ///
+    /// The decomposition scheme blocks for `machine.local_capacity()`;
+    /// deeper levels observe the transfer addresses and account inclusive
+    /// per-boundary traffic in the returned execution record.
     ///
     /// # Errors
     ///
     /// * [`KernelError::MemoryTooSmall`] / [`KernelError::BadParameters`]
     ///   for unsupported parameters;
-    /// * [`KernelError::Machine`] if the algorithm exceeds `m` (a blocking
-    ///   bug — treated as a test failure);
+    /// * [`KernelError::Machine`] if the algorithm exceeds level 0 (a
+    ///   blocking bug — treated as a test failure);
     /// * [`KernelError::VerificationFailed`] if the output is wrong.
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError>;
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError>;
 
-    /// Runs the computation under an explicit [`Verify`] policy.
-    ///
-    /// The default implementation ignores the policy and performs the
-    /// kernel's full verification (`run`); kernels with a cheap randomized
-    /// check (matmul, triangularization, trisolve) override it so that
-    /// large-`n` sweeps are not dominated by `O(n³)` reference recomputes.
+    /// Runs fully verified on the classic one-level machine of `m` words.
     ///
     /// # Errors
     ///
-    /// As [`Kernel::run`].
+    /// As [`Kernel::run_on`].
+    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+        self.run_on(n, &HierarchySpec::flat_words(m), seed, Verify::Full)
+    }
+
+    /// Runs on the classic one-level machine under an explicit [`Verify`]
+    /// policy. Kernels with a cheap randomized check (matmul,
+    /// triangularization, trisolve) honor it; the rest perform their full
+    /// verification regardless, so that large-`n` sweeps of the cheap
+    /// kernels are not dominated by `O(n³)` reference recomputes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::run_on`].
     fn run_with(
         &self,
         n: usize,
@@ -97,8 +127,7 @@ pub trait Kernel: Sync {
         seed: u64,
         verify: Verify,
     ) -> Result<KernelRun, KernelError> {
-        let _ = verify;
-        self.run(n, m, seed)
+        self.run_on(n, &HierarchySpec::flat_words(m), seed, verify)
     }
 
     /// True for computations whose intensity saturates (paper §3.6).

@@ -10,12 +10,13 @@
 //! The blocked algorithm still *needs* its `b × b` tile to avoid strided
 //! writes — memory buys transfer regularity, just never balance.
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::matrix::{load_block, MatrixHandle};
 use crate::traits::{Kernel, KernelRun};
+use crate::verify::Verify;
 use crate::workload;
 
 /// Blocked out-of-core transpose. Problem size `n` = matrix dimension.
@@ -44,7 +45,16 @@ impl Kernel for Transpose {
         1
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        // No cheap randomized check exists: verify fully under any policy.
+        let _ = verify;
+        let m = machine.local_capacity_words();
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "matrix size must be positive".into(),
@@ -64,7 +74,7 @@ impl Kernel for Transpose {
         let a = MatrixHandle::new(store.alloc_from(&a_data), n, n);
         let t = MatrixHandle::new(store.alloc(n * n), n, n);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let tile = pe.alloc(b * b)?;
 
         for i0 in (0..n).step_by(b) {

@@ -20,7 +20,7 @@
 //! algorithms the paper names; the other (Givens rotations) is implemented
 //! as a systolic array in `balance-parallel` (Gentleman–Kung).
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
@@ -64,11 +64,14 @@ impl Kernel for Triangularization {
         3
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
-        self.run_with(n, m, seed, Verify::Full)
-    }
-
-    fn run_with(&self, n: usize, m: usize, seed: u64, verify: Verify) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        let m = machine.local_capacity_words();
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "matrix size must be positive".into(),
@@ -86,7 +89,7 @@ impl Kernel for Triangularization {
         let a_data = workload::random_diagonally_dominant(n, seed);
         let a = MatrixHandle::new(store.alloc_from(&a_data), n, n);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let buf_d = pe.alloc(b * b)?; // diagonal block / L(i,k)
         let buf_p = pe.alloc(b * b)?; // panel block / U(k,j)
         let buf_t = pe.alloc(b * b)?; // trailing tile

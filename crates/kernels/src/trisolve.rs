@@ -10,7 +10,7 @@
 //! previously computed `x` blocks are re-read once, the corresponding `L`
 //! panel streams through, and the diagonal block is solved in memory.
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{ExternalStore, Pe};
 
 use crate::error::KernelError;
@@ -50,11 +50,14 @@ impl Kernel for TriSolve {
         4
     }
 
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
-        self.run_with(n, m, seed, Verify::Full)
-    }
-
-    fn run_with(&self, n: usize, m: usize, seed: u64, verify: Verify) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        let m = machine.local_capacity_words();
         if n == 0 {
             return Err(KernelError::BadParameters {
                 reason: "matrix size must be positive".into(),
@@ -77,7 +80,7 @@ impl Kernel for TriSolve {
         let bvec = store.alloc_from(&b_data);
         let xvec = store.alloc(n);
 
-        let mut pe = Pe::new(Words::new(m as u64));
+        let mut pe = Pe::for_hierarchy(machine);
         let buf_acc = pe.alloc(bs)?; // partial sums, then solved x block
         let buf_x = pe.alloc(bs)?; // a previously computed x block
         let buf_l = pe.alloc(bs)?; // one row segment of L

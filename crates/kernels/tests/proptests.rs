@@ -2,7 +2,7 @@
 //! for arbitrary (small) problem sizes, memory sizes, and seeds — and their
 //! cost accounting obeys structural invariants.
 
-use balance_core::IntensityModel;
+use balance_core::{HierarchySpec, IntensityModel, LevelSpec, Words, WordsPerSec};
 use balance_kernels::prelude::*;
 use proptest::prelude::*;
 
@@ -175,6 +175,62 @@ proptest! {
             prop_assert_eq!(s.memory.to_bits(), p.memory.to_bits());
             prop_assert_eq!(s.ratio.to_bits(), p.ratio.to_bits());
         }
+    }
+
+    /// One-level backward compatibility, pinned across the whole registry:
+    /// for every kernel, `run_with(n, m, …)` and `run_on` with a flat spec
+    /// produce bit-identical `KernelRun`s, and the execution is a one-level
+    /// profile whose scalar `io_words` equals its boundary-0 traffic.
+    #[test]
+    fn flat_run_on_is_bit_identical_to_run_with(
+        kernel_idx in 0usize..8,
+        m in 8usize..512,
+        seed in 0u64..20,
+    ) {
+        let kernels = all_kernels();
+        let kernel = &kernels[kernel_idx];
+        // A size every kernel accepts (fft needs a power of two).
+        let n = 16;
+        let m = m.max(kernel.min_memory(n));
+        let classic = kernel.run_with(n, m, seed, Verify::auto(n)).unwrap();
+        let flat = kernel
+            .run_on(n, &HierarchySpec::flat_words(m), seed, Verify::auto(n))
+            .unwrap();
+        prop_assert_eq!(classic, flat, "kernel {}", kernel.name());
+        prop_assert_eq!(classic.execution.cost.level_count(), 1);
+        prop_assert_eq!(
+            classic.execution.cost.io_at(0),
+            Some(classic.execution.cost.io_words())
+        );
+    }
+
+    /// Hierarchy runs change only the *accounting depth*: the computation,
+    /// its port traffic, ops, and peak memory are identical to the flat
+    /// run at the same `M_1`, the traffic vector is inclusive, and deeper
+    /// levels (being larger) see no more than the port.
+    #[test]
+    fn hierarchy_run_preserves_flat_measurement_at_the_port(
+        kernel_idx in 0usize..8,
+        m in 8usize..256,
+        l2_factor in 2u64..8,
+        seed in 0u64..20,
+    ) {
+        let kernels = all_kernels();
+        let kernel = &kernels[kernel_idx];
+        let n = 16;
+        let m = m.max(kernel.min_memory(n));
+        let spec = HierarchySpec::new(vec![
+            LevelSpec::new(Words::new(m as u64), WordsPerSec::new(2.0)).unwrap(),
+            LevelSpec::new(Words::new(m as u64 * l2_factor), WordsPerSec::new(1.0)).unwrap(),
+        ]).unwrap();
+        let flat = kernel.run_with(n, m, seed, Verify::auto(n)).unwrap();
+        let hier = kernel.run_on(n, &spec, seed, Verify::auto(n)).unwrap();
+        prop_assert_eq!(hier.execution.cost.comp_ops(), flat.execution.cost.comp_ops());
+        prop_assert_eq!(hier.execution.cost.io_words(), flat.execution.cost.io_words());
+        prop_assert_eq!(hier.execution.peak_memory, flat.execution.peak_memory);
+        prop_assert_eq!(hier.execution.cost.level_count(), 2);
+        let t = hier.execution.cost.traffic();
+        prop_assert!(t.is_monotone_non_increasing(), "kernel {}: {}", kernel.name(), t);
     }
 }
 

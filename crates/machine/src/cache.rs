@@ -352,6 +352,12 @@ impl LruCache {
         self.capacity_lines
     }
 
+    /// The configured line size in words.
+    #[must_use]
+    pub fn line_words(&self) -> u64 {
+        self.line_words
+    }
+
     fn alloc_node(&mut self, key: u64) -> usize {
         if let Some(idx) = self.free.pop() {
             self.nodes[idx] = Node {

@@ -25,6 +25,13 @@ pub enum MachineError {
         /// The offending handle index.
         id: usize,
     },
+    /// A buffer was freed twice (the second free found the slot already
+    /// empty). Distinguished from [`MachineError::InvalidBuffer`] so
+    /// teardown bugs in kernels surface under their real name.
+    DoubleFree {
+        /// The offending handle index.
+        id: usize,
+    },
     /// The same buffer was passed both as destination and source of an
     /// in-memory update.
     AliasedBuffers {
@@ -67,6 +74,9 @@ impl fmt::Display for MachineError {
                 "local memory exhausted: requested {requested} words with {in_use}/{capacity} in use"
             ),
             MachineError::InvalidBuffer { id } => write!(f, "invalid buffer id {id}"),
+            MachineError::DoubleFree { id } => {
+                write!(f, "buffer {id} freed twice (already returned to the arena)")
+            }
             MachineError::AliasedBuffers { id } => {
                 write!(f, "buffer {id} passed as both destination and source")
             }
@@ -112,6 +122,9 @@ mod tests {
         };
         assert!(e.to_string().contains("10"));
         assert!(MachineError::ZeroStride.to_string().contains("stride"));
+        let e = MachineError::DoubleFree { id: 3 };
+        assert!(e.to_string().contains("freed twice"));
+        assert!(e.to_string().contains('3'));
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! * [`LruCache`] — an automatically-managed cache model used by the
 //!   ablation experiment (E13) to contrast *explicit* blocking with LRU
 //!   caching at equal capacity.
+//! * [`MemorySystem`] / [`Hierarchy`] — the N-level generalization: any
+//!   memory system is, to the balance model, an accountant for the word
+//!   traffic at each of its boundaries. [`LocalMemory`] and [`LruCache`]
+//!   are the trivial one-level implementations; [`Hierarchy`] chains LRU
+//!   levels with inclusive traffic accounting, and [`Pe::for_hierarchy`]
+//!   runs the explicit schemes against a whole ladder, producing one
+//!   traffic entry per level.
 //! * [`PhaseRecorder`] — phase-labeled cost attribution for multi-phase
 //!   algorithms (e.g. the two phases of external sorting).
 //!
@@ -53,6 +60,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod hierarchy;
 pub mod memory;
 pub mod pe;
 pub mod store;
@@ -61,6 +69,7 @@ pub mod trace;
 
 pub use cache::LruCache;
 pub use error::MachineError;
+pub use hierarchy::{Hierarchy, MemorySystem};
 pub use memory::{BufferId, LocalMemory};
 pub use pe::Pe;
 pub use store::{ExternalStore, Region};

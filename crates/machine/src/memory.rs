@@ -49,6 +49,7 @@ pub struct LocalMemory {
     peak: usize,
     slots: Vec<Option<Vec<f64>>>,
     free_slots: Vec<usize>,
+    traffic_words: u64,
 }
 
 impl LocalMemory {
@@ -61,7 +62,28 @@ impl LocalMemory {
             peak: 0,
             slots: Vec::new(),
             free_slots: Vec::new(),
+            traffic_words: 0,
         }
+    }
+
+    /// Counts `words` of boundary traffic (the explicit scheme's
+    /// [`crate::MemorySystem`] accounting: every transfer the algorithm
+    /// decides on crosses the single boundary).
+    pub(crate) fn record_traffic(&mut self, words: u64) {
+        self.traffic_words += words;
+    }
+
+    /// Clears the boundary-traffic counter.
+    pub(crate) fn reset_traffic(&mut self) {
+        self.traffic_words = 0;
+    }
+
+    /// Boundary traffic recorded via the [`crate::MemorySystem`] view.
+    /// [`crate::Pe`] keeps this in sync with its port counters: after a
+    /// run, it equals `io_reads() + io_writes()`.
+    #[must_use]
+    pub fn recorded_traffic(&self) -> u64 {
+        self.traffic_words
     }
 
     /// The configured capacity `M`.
@@ -121,15 +143,19 @@ impl LocalMemory {
     ///
     /// # Errors
     ///
-    /// [`MachineError::InvalidBuffer`] if the handle is stale.
+    /// * [`MachineError::InvalidBuffer`] if the handle never named an
+    ///   allocation of this arena;
+    /// * [`MachineError::DoubleFree`] if the handle's buffer was already
+    ///   freed (and its slot not yet reused) — the distinct diagnosis makes
+    ///   kernel teardown bugs searchable.
     pub fn free(&mut self, id: BufferId) -> Result<(), MachineError> {
         let slot = self
             .slots
             .get_mut(id.0)
             .ok_or(MachineError::InvalidBuffer { id: id.0 })?;
-        let buf = slot
-            .take()
-            .ok_or(MachineError::InvalidBuffer { id: id.0 })?;
+        // An in-range slot only becomes `None` through a free: report the
+        // second free as exactly that, not as a generic stale handle.
+        let buf = slot.take().ok_or(MachineError::DoubleFree { id: id.0 })?;
         self.in_use -= buf.len();
         self.free_slots.push(id.0);
         Ok(())
@@ -269,6 +295,31 @@ mod tests {
         assert!(mem.buf_mut(a).is_err());
         assert!(mem.free(a).is_err());
         assert!(mem.buf(BufferId(99)).is_err());
+    }
+
+    #[test]
+    fn double_free_is_its_own_error() {
+        let mut mem = LocalMemory::new(Words::new(10));
+        let a = mem.alloc(4).unwrap();
+        mem.free(a).unwrap();
+        // Regression: the second free used to alias the generic stale-handle
+        // path; it must be diagnosed as a double free.
+        assert!(matches!(
+            mem.free(a),
+            Err(MachineError::DoubleFree { id }) if id == a.index()
+        ));
+        // A handle that never named an allocation stays InvalidBuffer...
+        assert!(matches!(
+            mem.free(BufferId(99)),
+            Err(MachineError::InvalidBuffer { id: 99 })
+        ));
+        // ...and the arena is still consistent: the slot can be reused, and
+        // freeing the *new* occupant works once.
+        let b = mem.alloc(2).unwrap();
+        assert_eq!(a.index(), b.index());
+        mem.free(b).unwrap();
+        assert!(matches!(mem.free(b), Err(MachineError::DoubleFree { .. })));
+        assert_eq!(mem.in_use().get(), 0);
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! measured [`Execution`] — exactly the `(C_comp, C_io)` pair the paper's
 //! balance condition needs.
 
-use balance_core::{CostProfile, Execution, Words};
+use balance_core::{CostProfile, Execution, HierarchySpec, Words};
 
 use crate::error::MachineError;
+use crate::hierarchy::{Hierarchy, MemorySystem};
 use crate::memory::{BufferId, LocalMemory};
 use crate::store::{ExternalStore, Region};
 
@@ -45,10 +46,15 @@ pub struct Pe {
     ops: u64,
     io_read_words: u64,
     io_write_words: u64,
+    /// Levels beyond the explicit local memory (level 0): a chain of LRU
+    /// caches observing the addresses of every transfer the PE performs.
+    /// `None` in the classic one-level configuration — zero overhead there.
+    outer: Option<Hierarchy>,
 }
 
 impl Pe {
-    /// Creates a PE with `memory` words of local memory.
+    /// Creates a PE with `memory` words of local memory (the classic
+    /// one-level machine).
     #[must_use]
     pub fn new(memory: Words) -> Self {
         Pe {
@@ -56,6 +62,62 @@ impl Pe {
             ops: 0,
             io_read_words: 0,
             io_write_words: 0,
+            outer: None,
+        }
+    }
+
+    /// Creates a PE running against a memory hierarchy.
+    ///
+    /// Level 0 of `machine` becomes the explicitly managed local memory
+    /// (the paper's `M`, enforced exactly as in [`Pe::new`]); every deeper
+    /// level is modeled as a word-granular LRU cache fed the address of
+    /// each word the PE transfers, with inclusive traffic accounting. The
+    /// resulting [`Pe::execution`] carries one traffic entry per level:
+    /// entry 0 is the PE-port word count (the historical `C_io`), entry
+    /// `i > 0` the words that missed all levels up to `i` and crossed into
+    /// level `i+1`.
+    ///
+    /// With a one-level spec this is exactly `Pe::new(spec.local_capacity())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an outer level's capacity exceeds the cache backend's
+    /// index space (≥ `u32::MAX` words) — far beyond any simulated ladder.
+    #[must_use]
+    pub fn for_hierarchy(machine: &HierarchySpec) -> Self {
+        let mut pe = Pe::new(machine.local_capacity());
+        if machine.depth() > 1 {
+            let caps: Vec<Words> = machine.levels()[1..]
+                .iter()
+                .map(|l| l.capacity())
+                .collect();
+            pe.outer = Some(Hierarchy::new(&caps));
+        }
+        pe
+    }
+
+    /// Feeds a transferred word range to the memory system: the local
+    /// memory's explicit-scheme accounting (so its [`MemorySystem`] view
+    /// reports true port traffic) and the outer levels, if any.
+    #[inline]
+    fn observe_range(&mut self, start: usize, len: usize) {
+        self.mem.record_traffic(len as u64);
+        if let Some(outer) = &mut self.outer {
+            for addr in start..start + len {
+                outer.access(addr as u64);
+            }
+        }
+    }
+
+    /// Feeds a strided transfer to the memory system (see
+    /// [`Pe::observe_range`]).
+    #[inline]
+    fn observe_strided(&mut self, start: usize, stride: usize, count: usize) {
+        self.mem.record_traffic(count as u64);
+        if let Some(outer) = &mut self.outer {
+            for i in 0..count {
+                outer.access((start + i * stride) as u64);
+            }
         }
     }
 
@@ -150,6 +212,7 @@ impl Pe {
         }
         store.read_words(region, &mut b[dst_offset..dst_offset + region.len()])?;
         self.io_read_words += region.len() as u64;
+        self.observe_range(region.offset(), region.len());
         Ok(())
     }
 
@@ -177,6 +240,7 @@ impl Pe {
         }
         store.write_words(region, &b[src_offset..src_offset + region.len()])?;
         self.io_write_words += region.len() as u64;
+        self.observe_range(region.offset(), region.len());
         Ok(())
     }
 
@@ -210,6 +274,7 @@ impl Pe {
         }
         store.read_strided(start, stride, count, &mut b[dst_offset..dst_offset + count])?;
         self.io_read_words += count as u64;
+        self.observe_strided(start, stride, count);
         Ok(())
     }
 
@@ -239,6 +304,7 @@ impl Pe {
         }
         store.write_strided(start, stride, count, &b[src_offset..src_offset + count])?;
         self.io_write_words += count as u64;
+        self.observe_strided(start, stride, count);
         Ok(())
     }
 
@@ -261,20 +327,46 @@ impl Pe {
     }
 
     /// The measured execution record: `(C_comp, C_io)` plus the peak local
-    /// memory footprint.
+    /// memory footprint. On a hierarchy PE the cost carries one traffic
+    /// entry per level (see [`Pe::for_hierarchy`]); on the classic PE it is
+    /// the historical one-level profile, bit for bit.
     #[must_use]
     pub fn execution(&self) -> Execution {
-        Execution::new(
-            CostProfile::new(self.ops, self.io_read_words + self.io_write_words),
-            self.mem.peak(),
-        )
+        let port = self.io_read_words + self.io_write_words;
+        let cost = match &self.outer {
+            None => CostProfile::new(self.ops, port),
+            Some(outer) => {
+                let mut traffic = vec![port];
+                traffic.extend_from_slice(outer.traffic().as_slice());
+                CostProfile::with_levels(self.ops, &traffic)
+            }
+        };
+        Execution::new(cost, self.mem.peak())
     }
 
-    /// Resets the counters (not the memory contents or peak).
+    /// The number of memory levels this PE runs against (1 for the classic
+    /// configuration).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        1 + self.outer.as_ref().map_or(0, Hierarchy::depth)
+    }
+
+    /// The outer levels' accounting, when running against a hierarchy.
+    #[must_use]
+    pub fn outer_levels(&self) -> Option<&Hierarchy> {
+        self.outer.as_ref()
+    }
+
+    /// Resets the counters (not the memory contents or peak). On a
+    /// hierarchy PE the outer levels' caches and counters reset too.
     pub fn reset_counters(&mut self) {
         self.ops = 0;
         self.io_read_words = 0;
         self.io_write_words = 0;
+        self.mem.reset_traffic();
+        if let Some(outer) = &mut self.outer {
+            outer.reset();
+        }
     }
 }
 
@@ -293,6 +385,10 @@ mod tests {
         pe.store(&mut store, buf, 0, r).unwrap();
         assert_eq!(pe.io_writes(), 4);
         assert_eq!(pe.execution().cost.io_words(), 8);
+        // The local memory's MemorySystem view agrees with the counters.
+        assert_eq!(pe.mem().recorded_traffic(), 8);
+        pe.reset_counters();
+        assert_eq!(pe.mem().recorded_traffic(), 0);
     }
 
     #[test]
@@ -376,6 +472,90 @@ mod tests {
         assert_eq!(pe.ops(), 0);
         assert_eq!(pe.io_reads(), 0);
         assert_eq!(pe.buf(buf).unwrap(), &[1.0, 2.0]);
+    }
+
+    fn two_level_spec(m1: u64, m2: u64) -> HierarchySpec {
+        use balance_core::{LevelSpec, WordsPerSec};
+        HierarchySpec::new(vec![
+            LevelSpec::new(Words::new(m1), WordsPerSec::new(2.0)).unwrap(),
+            LevelSpec::new(Words::new(m2), WordsPerSec::new(1.0)).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_spec_pe_matches_classic_pe_exactly() {
+        let spec = HierarchySpec::flat(Words::new(16));
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[1.0, 2.0, 3.0, 4.0]);
+        let mut classic = Pe::new(Words::new(16));
+        let mut hier = Pe::for_hierarchy(&spec);
+        for pe in [&mut classic, &mut hier] {
+            let buf = pe.alloc(4).unwrap();
+            pe.load(&store, r, buf, 0).unwrap();
+            pe.count_ops(8);
+        }
+        assert_eq!(classic.execution(), hier.execution());
+        assert_eq!(hier.depth(), 1);
+        assert!(hier.outer_levels().is_none());
+    }
+
+    #[test]
+    fn hierarchy_pe_reports_per_level_traffic() {
+        let spec = two_level_spec(8, 64);
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[0.0; 16]);
+        let mut pe = Pe::for_hierarchy(&spec);
+        assert_eq!(pe.depth(), 2);
+        let buf = pe.alloc(8).unwrap();
+        // Load the same 8 words twice: the port moves 16 words, but the
+        // 64-word L2 retains them, so only 8 compulsory words go deeper.
+        pe.load(&store, r.at(0, 8).unwrap(), buf, 0).unwrap();
+        pe.load(&store, r.at(0, 8).unwrap(), buf, 0).unwrap();
+        let exec = pe.execution();
+        assert_eq!(exec.cost.level_count(), 2);
+        assert_eq!(exec.cost.io_words(), 16, "port traffic is every transfer");
+        assert_eq!(exec.cost.io_at(1), Some(8), "L2 filters the re-load");
+        assert!(exec.cost.traffic().is_monotone_non_increasing());
+    }
+
+    #[test]
+    fn strided_transfers_feed_outer_levels() {
+        let spec = two_level_spec(8, 32);
+        let mut store = ExternalStore::new();
+        let _ = store.alloc_from(&[0.0; 16]);
+        let mut pe = Pe::for_hierarchy(&spec);
+        let buf = pe.alloc(4).unwrap();
+        pe.load_strided(&store, 0, 2, 4, buf, 0).unwrap();
+        pe.load_strided(&store, 0, 2, 4, buf, 0).unwrap();
+        let exec = pe.execution();
+        assert_eq!(exec.cost.io_at(0), Some(8));
+        assert_eq!(exec.cost.io_at(1), Some(4));
+    }
+
+    #[test]
+    fn failed_transfers_feed_nothing_to_outer_levels() {
+        let spec = two_level_spec(8, 32);
+        let mut store = ExternalStore::new();
+        let r = store.alloc(4);
+        let mut pe = Pe::for_hierarchy(&spec);
+        let buf = pe.alloc(2).unwrap();
+        assert!(pe.load(&store, r, buf, 0).is_err());
+        assert_eq!(pe.execution().cost.io_at(1), Some(0));
+    }
+
+    #[test]
+    fn reset_counters_clears_outer_levels() {
+        let spec = two_level_spec(8, 32);
+        let mut store = ExternalStore::new();
+        let r = store.alloc_from(&[0.0; 8]);
+        let mut pe = Pe::for_hierarchy(&spec);
+        let buf = pe.alloc(8).unwrap();
+        pe.load(&store, r, buf, 0).unwrap();
+        pe.reset_counters();
+        let exec = pe.execution();
+        assert_eq!(exec.cost.io_at(0), Some(0));
+        assert_eq!(exec.cost.io_at(1), Some(0));
     }
 
     #[test]

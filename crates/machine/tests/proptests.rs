@@ -1,7 +1,7 @@
 //! Property-based tests for the PE simulator.
 
 use balance_core::Words;
-use balance_machine::{ExternalStore, LruCache, Pe};
+use balance_machine::{ExternalStore, Hierarchy, LruCache, MemorySystem, Pe};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
@@ -183,6 +183,78 @@ proptest! {
         }
         prop_assert_eq!(fx.misses(), direct.misses());
         prop_assert_eq!(fx.hits(), direct.hits());
+    }
+
+    /// Inclusion property of the chained hierarchy: for any trace and any
+    /// 2–3 level ladder, the words reaching level `i+1` never exceed the
+    /// words reaching level `i` — traffic is monotone non-increasing with
+    /// depth, and bounded by the access count at the top.
+    #[test]
+    fn hierarchy_traffic_is_inclusive(
+        l1 in 1u64..24,
+        growth2 in 1u64..24,
+        growth3 in 0u64..24,
+        trace in proptest::collection::vec(0u64..256, 0..600),
+    ) {
+        let mut caps = vec![Words::new(l1), Words::new(l1 + growth2)];
+        if growth3 > 0 {
+            caps.push(Words::new(l1 + growth2 + growth3));
+        }
+        let mut h = Hierarchy::new(&caps);
+        for &a in &trace {
+            h.access(a);
+        }
+        let t = h.traffic();
+        prop_assert_eq!(t.len(), caps.len());
+        prop_assert!(t.is_monotone_non_increasing(), "traffic {}", t);
+        prop_assert!(t.get(0).unwrap() <= trace.len() as u64);
+    }
+
+    /// A one-level Hierarchy is bit-identical to a bare LruCache of the
+    /// same capacity: same hit/miss outcome on every access, same counters,
+    /// same traffic.
+    #[test]
+    fn one_level_hierarchy_is_bit_identical_to_lru(
+        capacity in 1u64..48,
+        trace in proptest::collection::vec(0u64..256, 0..600),
+    ) {
+        let mut h = Hierarchy::new(&[Words::new(capacity)]);
+        let mut c = LruCache::new(capacity as usize, 1);
+        for (step, &a) in trace.iter().enumerate() {
+            let hit_level = h.access_returning_level(a);
+            let hit = c.access(a);
+            prop_assert_eq!(hit_level == 0, hit, "step {}", step);
+        }
+        prop_assert_eq!(h.traffic(), MemorySystem::traffic(&c));
+        prop_assert_eq!(h.level(0).hits(), c.hits());
+        prop_assert_eq!(h.level(0).misses(), c.misses());
+        prop_assert_eq!(h.level(0).resident_lines(), c.resident_lines());
+    }
+
+    /// Every level of a chained hierarchy behaves exactly like a bare LRU
+    /// fed the miss stream of the levels above it.
+    #[test]
+    fn chained_levels_match_independently_fed_caches(
+        l1 in 1u64..16,
+        l2 in 16u64..48,
+        trace in proptest::collection::vec(0u64..128, 0..500),
+    ) {
+        let mut h = Hierarchy::new(&[Words::new(l1), Words::new(l2)]);
+        let mut top = LruCache::new(l1 as usize, 1);
+        let mut bottom = LruCache::new(l2 as usize, 1);
+        for &a in &trace {
+            h.access(a);
+            if !top.access(a) {
+                bottom.access(a);
+            }
+        }
+        prop_assert_eq!(h.level(0).misses(), top.misses());
+        prop_assert_eq!(h.level(1).misses(), bottom.misses());
+        let traffic = h.traffic();
+        prop_assert_eq!(
+            traffic.as_slice(),
+            &[top.miss_words(), bottom.miss_words()][..]
+        );
     }
 
     /// Strided gather matches a manual gather.

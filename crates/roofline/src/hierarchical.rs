@@ -1,0 +1,286 @@
+//! The hierarchical roofline: one ridge per memory level.
+//!
+//! On an N-level machine the attainable throughput at per-level intensities
+//! `AI_i = C_comp / traffic_i` is
+//!
+//! ```text
+//! attainable(AI) = min(C, min_i AI_i · IO_i)
+//! ```
+//!
+//! — the compute roof and one bandwidth slope per boundary. Each level has
+//! its own ridge `C / IO_i` and therefore its own **balanced-memory point**:
+//! the capacity `M_i` at which the kernel's intensity model reaches that
+//! level's ridge. The binding level is whichever slope sits lowest; as the
+//! innermost capacity grows (raising `AI_0`), the binding constraint walks
+//! outward down the ladder. With one level this reduces exactly to
+//! [`Roofline`] (pinned by property test).
+
+use balance_core::{
+    BalanceError, HierarchySpec, IntensityModel, LevelSpec, OpsPerSec, Words,
+};
+
+use crate::model::Roofline;
+
+/// A multi-level roofline: peak compute over one bandwidth slope per
+/// memory boundary.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::{HierarchySpec, IntensityModel, LevelSpec, OpsPerSec, Words, WordsPerSec};
+/// use balance_roofline::HierarchicalRoofline;
+///
+/// let spec = HierarchySpec::new(vec![
+///     LevelSpec::new(Words::new(100), WordsPerSec::new(1.0e7))?,
+///     LevelSpec::new(Words::new(10_000), WordsPerSec::new(1.0e6))?,
+/// ])?;
+/// let rl = HierarchicalRoofline::new(OpsPerSec::new(1.0e8), &spec)?;
+///
+/// // Ridges: 10 op/word at the port, 100 op/word at the outer boundary.
+/// assert_eq!(rl.ridge_at(0), 10.0);
+/// assert_eq!(rl.ridge_at(1), 100.0);
+///
+/// // √M kernel: r(100) = 10 saturates level 0; r(10_000) = 100 saturates
+/// // level 1 — this ladder is balanced at every boundary simultaneously.
+/// let matmul = IntensityModel::sqrt_m(1.0);
+/// assert_eq!(rl.attainable_model(&matmul), 1.0e8);
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalRoofline {
+    peak: OpsPerSec,
+    levels: Vec<LevelSpec>,
+}
+
+impl HierarchicalRoofline {
+    /// Builds the roofline of `spec` under peak compute `peak`.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidQuantity`] for a non-positive peak (the
+    /// spec's bandwidths are already validated by [`HierarchySpec`]).
+    pub fn new(peak: OpsPerSec, spec: &HierarchySpec) -> Result<Self, BalanceError> {
+        if !peak.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "peak compute",
+                value: peak.get(),
+            });
+        }
+        Ok(HierarchicalRoofline {
+            peak,
+            levels: spec.levels().to_vec(),
+        })
+    }
+
+    /// Peak compute rate.
+    #[must_use]
+    pub fn peak(&self) -> OpsPerSec {
+        self.peak
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels, innermost first.
+    #[must_use]
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// The ridge `C / IO_i` of boundary `level`, in ops per word — the
+    /// machine balance of that level pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level ≥ depth()`.
+    #[must_use]
+    pub fn ridge_at(&self, level: usize) -> f64 {
+        self.peak.get() / self.levels[level].bandwidth().get()
+    }
+
+    /// Attainable throughput (ops/s) at per-level intensities `ai`
+    /// (innermost first): `min(C, min_i ai_i · IO_i)`.
+    ///
+    /// Intensities beyond `ai.len()` are treated as unconstrained (their
+    /// boundary saw no traffic), and extra entries are ignored; callers
+    /// normally pass exactly one intensity per level.
+    #[must_use]
+    pub fn attainable(&self, ai: &[f64]) -> f64 {
+        let mut best = self.peak.get();
+        for (level, intensity) in self.levels.iter().zip(ai) {
+            best = best.min(intensity * level.bandwidth().get());
+        }
+        best
+    }
+
+    /// The boundary whose bandwidth slope binds at intensities `ai`, or
+    /// `None` when the compute roof does (ties resolve to the innermost
+    /// binding boundary).
+    #[must_use]
+    pub fn binding_level(&self, ai: &[f64]) -> Option<usize> {
+        let attainable = self.attainable(ai);
+        if attainable >= self.peak.get() {
+            return None;
+        }
+        self.levels
+            .iter()
+            .zip(ai)
+            .position(|(level, intensity)| intensity * level.bandwidth().get() <= attainable)
+    }
+
+    /// Attainable throughput for a kernel with intensity model `model`,
+    /// each level blocked for its own capacity: `AI_i = r(M_i)`.
+    ///
+    /// This is the scheme-optimal projection — a decomposition scheme that
+    /// blocks for every level (matching the inclusive accounting of
+    /// `balance_machine::Hierarchy`) reaches intensity `r(M_i)` at boundary
+    /// `i` because the working set resident in level `i` is what the
+    /// paper's one-level analysis would keep in `M = M_i`.
+    #[must_use]
+    pub fn attainable_model(&self, model: &IntensityModel) -> f64 {
+        let ai: Vec<f64> = self
+            .levels
+            .iter()
+            .map(|l| model.eval_words(l.capacity()))
+            .collect();
+        self.attainable(&ai)
+    }
+
+    /// The capacity at which `model` reaches boundary `level`'s ridge —
+    /// Kung's balanced memory, per level.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::IoBounded`] for constant-intensity kernels that sit
+    /// below every ridge forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level ≥ depth()`.
+    pub fn balanced_memory_at(
+        &self,
+        level: usize,
+        model: &IntensityModel,
+    ) -> Result<Words, BalanceError> {
+        model.balanced_memory(self.ridge_at(level))
+    }
+
+    /// The one-level [`Roofline`] this reduces to, when `depth() == 1`.
+    #[must_use]
+    pub fn flat(&self) -> Option<Roofline> {
+        if self.levels.len() == 1 {
+            Roofline::new(self.peak, self.levels[0].bandwidth()).ok()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balance_core::WordsPerSec;
+
+    fn spec(levels: &[(u64, f64)]) -> HierarchySpec {
+        HierarchySpec::new(
+            levels
+                .iter()
+                .map(|&(cap, bw)| {
+                    LevelSpec::new(Words::new(cap), WordsPerSec::new(bw)).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_level_reduces_to_flat_roofline() {
+        let h = HierarchicalRoofline::new(OpsPerSec::new(1.0e8), &spec(&[(4096, 1.0e7)]))
+            .unwrap();
+        let flat = h.flat().unwrap();
+        assert_eq!(h.ridge_at(0), flat.ridge_point());
+        for ai in [0.0, 0.5, 5.0, 10.0, 1000.0] {
+            assert_eq!(h.attainable(&[ai]), flat.attainable(ai), "ai = {ai}");
+        }
+        assert!(HierarchicalRoofline::new(
+            OpsPerSec::new(1.0),
+            &spec(&[(10, 1.0), (100, 0.5)])
+        )
+        .unwrap()
+        .flat()
+        .is_none());
+    }
+
+    #[test]
+    fn attainable_is_min_over_levels_and_roof() {
+        let h = HierarchicalRoofline::new(OpsPerSec::new(100.0), &spec(&[(10, 10.0), (100, 2.0)]))
+            .unwrap();
+        // Level 0 binds: 3·10 = 30 < 20·2 = 40 < 100. Wait: min(30, 40) = 30.
+        assert_eq!(h.attainable(&[3.0, 20.0]), 30.0);
+        assert_eq!(h.binding_level(&[3.0, 20.0]), Some(0));
+        // Level 1 binds once the port intensity rises.
+        assert_eq!(h.attainable(&[8.0, 20.0]), 40.0);
+        assert_eq!(h.binding_level(&[8.0, 20.0]), Some(1));
+        // The roof binds when both slopes clear it.
+        assert_eq!(h.attainable(&[100.0, 100.0]), 100.0);
+        assert_eq!(h.binding_level(&[100.0, 100.0]), None);
+    }
+
+    #[test]
+    fn missing_intensities_are_unconstrained() {
+        let h = HierarchicalRoofline::new(OpsPerSec::new(100.0), &spec(&[(10, 10.0), (100, 2.0)]))
+            .unwrap();
+        // Only the port intensity known: the outer slope cannot bind.
+        assert_eq!(h.attainable(&[5.0]), 50.0);
+    }
+
+    #[test]
+    fn per_level_ridges_and_balanced_memories() {
+        let h = HierarchicalRoofline::new(
+            OpsPerSec::new(1.0e8),
+            &spec(&[(64, 1.0e7), (65536, 1.0e6)]),
+        )
+        .unwrap();
+        assert_eq!(h.ridge_at(0), 10.0);
+        assert_eq!(h.ridge_at(1), 100.0);
+        let sqrt = IntensityModel::sqrt_m(1.0);
+        assert_eq!(h.balanced_memory_at(0, &sqrt).unwrap().get(), 100);
+        assert_eq!(h.balanced_memory_at(1, &sqrt).unwrap().get(), 10_000);
+        assert_eq!(
+            h.balanced_memory_at(1, &IntensityModel::constant(2.0)),
+            Err(BalanceError::IoBounded)
+        );
+    }
+
+    #[test]
+    fn model_projection_reads_capacities_per_level() {
+        // Port: r(100) = 10 → 10·1e7 = 1e8 (at the roof). Outer: r(2500) =
+        // 50 → 50·1e6 = 5e7 — the outer level is starved and binds.
+        let h = HierarchicalRoofline::new(
+            OpsPerSec::new(1.0e8),
+            &spec(&[(100, 1.0e7), (2500, 1.0e6)]),
+        )
+        .unwrap();
+        let sqrt = IntensityModel::sqrt_m(1.0);
+        assert_eq!(h.attainable_model(&sqrt), 5.0e7);
+    }
+
+    #[test]
+    fn invalid_peak_rejected() {
+        assert!(
+            HierarchicalRoofline::new(OpsPerSec::new(0.0), &spec(&[(10, 1.0)])).is_err()
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let h = HierarchicalRoofline::new(OpsPerSec::new(50.0), &spec(&[(10, 1.0), (20, 0.5)]))
+            .unwrap();
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.peak().get(), 50.0);
+        assert_eq!(h.levels()[1].capacity().get(), 20);
+    }
+}

@@ -8,6 +8,10 @@
 //! * [`model::Roofline`] — peak/bandwidth rooflines, attainable throughput,
 //!   and the **balanced memory size** (the `M` at which a kernel's
 //!   intensity `r(M)` reaches the ridge);
+//! * [`hierarchical::HierarchicalRoofline`] — the N-level generalization:
+//!   `attainable(AI) = min(C, min_i AI_i · IO_i)`, one ridge and one
+//!   balanced-memory point per level, reducing exactly to [`Roofline`]
+//!   for one-level machines;
 //! * [`series`] — kernels swept across memory sizes, tracing their path up
 //!   the bandwidth slope onto the compute roof;
 //! * [`plot`] — ASCII roofline charts for the `repro` harness.
@@ -29,10 +33,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod hierarchical;
 pub mod model;
 pub mod plot;
 pub mod series;
 
+pub use hierarchical::HierarchicalRoofline;
 pub use model::Roofline;
 pub use plot::render;
 pub use series::{kernel_series, KernelSeries, SeriesPoint};

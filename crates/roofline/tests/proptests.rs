@@ -1,7 +1,9 @@
 //! Property-based tests for the roofline model.
 
-use balance_core::{BalanceError, IntensityModel, OpsPerSec, WordsPerSec};
-use balance_roofline::{kernel_series, Roofline};
+use balance_core::{
+    BalanceError, HierarchySpec, IntensityModel, LevelSpec, OpsPerSec, Words, WordsPerSec,
+};
+use balance_roofline::{kernel_series, HierarchicalRoofline, Roofline};
 use proptest::prelude::*;
 
 fn arb_roofline() -> impl Strategy<Value = Roofline> {
@@ -77,5 +79,62 @@ proptest! {
             rl.balanced_memory(&model),
             Err(BalanceError::IoBounded)
         ));
+    }
+
+    /// The hierarchical roofline with exactly one level reduces to the flat
+    /// [`Roofline`]: same ridge, same attainable throughput everywhere,
+    /// same balanced memory for any power-law model.
+    #[test]
+    fn one_level_hierarchical_reduces_to_flat(
+        rl in arb_roofline(),
+        cap in 1u64..1_000_000,
+        ai in 0.0f64..1.0e6,
+        coeff in 0.05f64..5.0,
+    ) {
+        let spec = HierarchySpec::new(vec![
+            LevelSpec::new(Words::new(cap), rl.bandwidth()).unwrap(),
+        ]).unwrap();
+        let h = HierarchicalRoofline::new(rl.peak(), &spec).unwrap();
+        prop_assert_eq!(h.ridge_at(0).to_bits(), rl.ridge_point().to_bits());
+        prop_assert_eq!(h.attainable(&[ai]).to_bits(), rl.attainable(ai).to_bits());
+        prop_assert_eq!(h.flat(), Some(rl));
+        let model = IntensityModel::sqrt_m(coeff);
+        prop_assert_eq!(
+            h.balanced_memory_at(0, &model),
+            rl.balanced_memory(&model)
+        );
+        // A bandwidth slope binds exactly when it sits below the roof
+        // (including ai = 0, where the slope pins attainable at zero).
+        prop_assert_eq!(
+            h.binding_level(&[ai]).is_some(),
+            rl.attainable(ai) < rl.peak().get()
+        );
+    }
+
+    /// Adding a level never raises attainable throughput (every slope is
+    /// another min-term), and the binding level names a genuine minimizer.
+    #[test]
+    fn deeper_ladders_only_constrain(
+        peak in 1.0f64..1.0e9,
+        bw0 in 1.0f64..1.0e8,
+        bw1 in 1.0f64..1.0e8,
+        ai0 in 0.001f64..1.0e5,
+        ai1 in 0.001f64..1.0e5,
+    ) {
+        let spec1 = HierarchySpec::new(vec![
+            LevelSpec::new(Words::new(16), WordsPerSec::new(bw0)).unwrap(),
+        ]).unwrap();
+        let spec2 = HierarchySpec::new(vec![
+            LevelSpec::new(Words::new(16), WordsPerSec::new(bw0)).unwrap(),
+            LevelSpec::new(Words::new(64), WordsPerSec::new(bw1)).unwrap(),
+        ]).unwrap();
+        let peak = OpsPerSec::new(peak);
+        let one = HierarchicalRoofline::new(peak, &spec1).unwrap();
+        let two = HierarchicalRoofline::new(peak, &spec2).unwrap();
+        prop_assert!(two.attainable(&[ai0, ai1]) <= one.attainable(&[ai0]));
+        if let Some(level) = two.binding_level(&[ai0, ai1]) {
+            let slopes = [ai0 * bw0, ai1 * bw1];
+            prop_assert!((slopes[level] - two.attainable(&[ai0, ai1])).abs() <= 1e-9 * slopes[level].max(1.0));
+        }
     }
 }

@@ -105,6 +105,13 @@ fn e15_amdahl() {
 }
 
 #[test]
+fn e20_hierarchy() {
+    check("E20");
+    // The CI smoke step runs this experiment by its mnemonic alias.
+    check("hierarchy");
+}
+
+#[test]
 fn registry_is_complete_and_consistent() {
     for id in balance_bench::ALL_IDS {
         let report = run_by_id(id).unwrap();

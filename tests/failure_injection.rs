@@ -2,9 +2,10 @@
 //! not just bless correct ones. Each test implements a deliberately buggy
 //! out-of-core algorithm and asserts that the machinery rejects it.
 
-use balance_core::{CostProfile, IntensityModel, Words};
+use balance_core::{CostProfile, HierarchySpec, IntensityModel, Words};
 use balance_machine::{ExternalStore, MachineError, Pe};
 use kung_balance::kernels::matrix::{load_block, store_block, MatrixHandle};
+use kung_balance::kernels::verify::Verify;
 use kung_balance::kernels::{reference, workload, Kernel, KernelError, KernelRun};
 
 /// A matmul whose blocking is wrong: it skips the final k-block of every
@@ -28,7 +29,14 @@ impl Kernel for SkippedPanelMatMul {
     fn min_memory(&self, _n: usize) -> usize {
         3
     }
-    fn run(&self, n: usize, m: usize, seed: u64) -> Result<KernelRun, KernelError> {
+    fn run_on(
+        &self,
+        n: usize,
+        machine: &HierarchySpec,
+        seed: u64,
+        _verify: Verify,
+    ) -> Result<KernelRun, KernelError> {
+        let m = machine.local_capacity_words();
         let b = kung_balance::kernels::matmul::tile_side(m).min(n);
         let mut store = ExternalStore::new();
         let a_data = workload::random_matrix(n, seed);
