@@ -1,10 +1,14 @@
-//! Criterion benchmarks for the parallel architectures (experiments E8–E9).
+//! Criterion benchmarks for the parallel architectures (experiments E8–E9
+//! and the E21 measured multi-PE sweep).
 
 use balance_core::{GrowthLaw, Words};
-use balance_kernels::workload;
+use balance_kernels::{workload, Verify};
 use balance_parallel::systolic::givens::triangularize;
 use balance_parallel::systolic::matmul::systolic_matmul;
-use balance_parallel::{linear_array_series, mesh_series, warp_cell};
+use balance_parallel::{
+    linear_array_series, mesh_series, parallel_sweep_par, warp_cell, ParMatMul,
+    ParallelSweepConfig, Topology,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_systolic_matmul(c: &mut Criterion) {
@@ -41,10 +45,35 @@ fn bench_scaling_series(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_sweep(c: &mut Criterion) {
+    // The E21 production configuration: matmul at n = 48 across 1/2/4-PE
+    // linear machines and a pow2 per-PE memory ladder, anchored Freivalds
+    // verification — prices the whole measured-§4 pipeline (distributed
+    // big tiles, ring rotation, two-ledger accounting).
+    let cfg = ParallelSweepConfig::new(
+        48,
+        vec![
+            Topology::linear(1).expect("valid"),
+            Topology::linear(2).expect("valid"),
+            Topology::linear(4).expect("valid"),
+        ],
+        (5..=10).map(|k| 1usize << k).collect(),
+        1,
+    )
+    .with_verify(Verify::Freivalds { rounds: 2 });
+    let mut g = c.benchmark_group("parallel_sweep_matmul_n48");
+    g.sample_size(10);
+    g.bench_function("linear_1_2_4", |b| {
+        b.iter(|| parallel_sweep_par(&ParMatMul, &cfg).expect("verified"));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_systolic_matmul,
     bench_systolic_givens,
-    bench_scaling_series
+    bench_scaling_series,
+    bench_parallel_sweep
 );
 criterion_main!(benches);

@@ -7,7 +7,11 @@ use std::collections::HashMap;
 
 use balance_core::prelude::*;
 use balance_kernels::prelude::*;
-use balance_roofline::HierarchicalRoofline;
+use balance_parallel::{
+    parallel_sweep_par, ParGrid2d, ParMatMul, ParTranspose, ParallelKernel, ParallelSweepConfig,
+    Topology, TopologyKind,
+};
+use balance_roofline::{HierarchicalRoofline, ParallelRoofline};
 
 /// Parsed command-line flags: `--key value` pairs after a subcommand.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -225,39 +229,49 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
-/// Parses a `--levels CAP:BW[,CAP:BW...]` hierarchy description (innermost
-/// level first; capacities in words, bandwidths in words/s).
+/// Parses a `--levels CAP:BW[:LAT][,CAP:BW[:LAT]...]` hierarchy
+/// description (innermost level first; capacities in words, bandwidths in
+/// words/s, optional per-word access latencies in seconds).
 ///
 /// # Errors
 ///
 /// User-facing messages for malformed items, zero capacities, non-positive
-/// bandwidths, and capacities that do not grow outward.
+/// bandwidths, negative or non-finite latencies, and capacities that do
+/// not grow outward.
 pub fn parse_levels(s: &str) -> Result<HierarchySpec, String> {
     let mut levels = Vec::new();
     for (i, item) in s.split(',').enumerate() {
         let item = item.trim();
-        let Some((cap, bw)) = item.split_once(':') else {
+        let fields: Vec<&str> = item.split(':').map(str::trim).collect();
+        if !(2..=3).contains(&fields.len()) {
             return Err(format!(
-                "level {}: expected CAP:BW, got '{item}' (e.g. --levels 1024:1e8,65536:1e7)",
+                "level {}: expected CAP:BW[:LAT], got '{item}' \
+                 (e.g. --levels 1024:1e8,65536:1e7:2e-7)",
                 i + 1
             ));
-        };
-        let cap: u64 = cap
-            .trim()
+        }
+        let cap: u64 = fields[0]
             .parse()
-            .map_err(|e| format!("level {}: capacity '{}': {e}", i + 1, cap.trim()))?;
-        let bw: f64 = bw
-            .trim()
+            .map_err(|e| format!("level {}: capacity '{}': {e}", i + 1, fields[0]))?;
+        let bw: f64 = fields[1]
             .parse()
-            .map_err(|e| format!("level {}: bandwidth '{}': {e}", i + 1, bw.trim()))?;
-        let level = LevelSpec::new(Words::new(cap), WordsPerSec::new(bw))
+            .map_err(|e| format!("level {}: bandwidth '{}': {e}", i + 1, fields[1]))?;
+        let mut level = LevelSpec::new(Words::new(cap), WordsPerSec::new(bw))
             .map_err(|e| format!("level {}: {e}", i + 1))?;
+        if let Some(lat) = fields.get(2) {
+            let lat: f64 = lat
+                .parse()
+                .map_err(|e| format!("level {}: latency '{lat}': {e}", i + 1))?;
+            level = level
+                .with_latency(Seconds::new(lat))
+                .map_err(|e| format!("level {}: {e}", i + 1))?;
+        }
         levels.push(level);
     }
     HierarchySpec::new(levels).map_err(|e| e.to_string())
 }
 
-/// `balance hierarchy --levels CAP:BW[,CAP:BW...] [--c <ops/s>]`: the
+/// `balance hierarchy --levels CAP:BW[:LAT][,...] [--c <ops/s>]`: the
 /// balance law per level of a memory hierarchy.
 ///
 /// Prints each boundary's ridge point, then — for each law in
@@ -272,7 +286,7 @@ pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
     let spec = parse_levels(
         flags
             .str_opt("levels")
-            .ok_or("missing required flag --levels (CAP:BW[,CAP:BW...])".to_string())?,
+            .ok_or("missing required flag --levels (CAP:BW[:LAT][,...])".to_string())?,
     )?;
     let c = match flags.str_opt("c") {
         Some(_) => flags.f64("c")?,
@@ -329,6 +343,124 @@ pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+/// `balance parallel --pes P --topology linear|mesh [--kernel
+/// matmul|transpose|grid2] [--n <size>] [--seed <u64>]`: run a kernel on a
+/// measured P-PE machine across a per-PE memory sweep.
+///
+/// The cell is the §5 Warp PE (10 Mop/s, 20 Mword/s, 64 K words); for a
+/// mesh, `P` must be a perfect square (`side = √P`). Each row reports the
+/// machine's external and communication traffic separately, the balance
+/// verdict against the aggregate machine, and which term of the parallel
+/// roofline (compute roof / external I/O / bisection) binds.
+///
+/// # Errors
+///
+/// Flag, topology, kernel, or run errors, as user-facing strings.
+pub fn cmd_parallel(flags: &Flags) -> Result<String, String> {
+    let pes = flags.u64("pes")?;
+    let kind = TopologyKind::parse(
+        flags
+            .str_opt("topology")
+            .ok_or("missing required flag --topology (linear | mesh)".to_string())?,
+    )?;
+    let topology = match kind {
+        TopologyKind::Linear => Topology::linear(pes),
+        TopologyKind::Mesh => {
+            let side = pes.isqrt();
+            if side * side != pes {
+                // Suggest the nearest non-degenerate square.
+                let next = (side + 1) * (side + 1);
+                return Err(format!(
+                    "--pes {pes}: a mesh needs a square PE count (e.g. {})",
+                    if side < 2 { 4 } else { next }
+                ));
+            }
+            Topology::mesh(side)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    let kernel: Box<dyn ParallelKernel> = match flags.str_opt("kernel").unwrap_or("matmul") {
+        "matmul" => Box::new(ParMatMul),
+        "transpose" => Box::new(ParTranspose),
+        "grid2" | "grid2d" => Box::new(ParGrid2d),
+        other => return Err(format!("unknown parallel kernel '{other}' (try: matmul, transpose, grid2)")),
+    };
+    let default_n = if kernel.name() == "grid2d" { 8 } else { 32 };
+    let n = match flags.str_opt("n") {
+        Some(_) => flags.u64("n")? as usize,
+        None => default_n,
+    };
+    let seed = match flags.str_opt("seed") {
+        Some(_) => flags.u64("seed")?,
+        None => 42,
+    };
+
+    let cell = balance_parallel::warp_cell();
+    let agg = topology.aggregate(cell).map_err(|e| e.to_string())?;
+    let roofline = ParallelRoofline::new(
+        agg.comp_bw(),
+        agg.io_bw(),
+        WordsPerSec::new(cell.io_bw().get() * topology.bisection_links() as f64),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let cfg = ParallelSweepConfig::new(
+        n,
+        vec![topology],
+        (5..=12).map(|k| 1usize << k).collect(),
+        seed,
+    );
+    let points = parallel_sweep_par(kernel.as_ref(), &cfg).map_err(|e| e.to_string())?;
+    if points.is_empty() {
+        return Err(format!(
+            "no per-PE memory in the sweep supports {} at n = {n}",
+            kernel.name()
+        ));
+    }
+
+    let mut out = format!(
+        "{} on {topology}: aggregate C = {:.3e} op/s, IO_ext = {:.3e} word/s \
+         (ridge {:.2}), BW_bis = {:.3e} word/s (ridge {:.2})\n\n",
+        kernel.name(),
+        agg.comp_bw().get(),
+        agg.io_bw().get(),
+        roofline.ridge_external(),
+        roofline.bisection_bw().get(),
+        roofline.ridge_bisection(),
+    );
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>12} {:>8} {:>8} {:>12} {:>10}  {}\n",
+        "M/PE", "ext words", "comm words", "r_ext", "r_comm", "attainable", "binds", "verdict"
+    ));
+    for pt in &points {
+        let (r_ext, r_comm) = (
+            pt.run.external_intensity(),
+            pt.run.execution.comm_intensity(),
+        );
+        let verdict = pt
+            .run
+            .execution
+            .balance_state(cell, 0.05)
+            .map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "{:>8} {:>12} {:>12} {:>8.2} {:>8} {:>12.3e} {:>10}  {}\n",
+            pt.per_pe_m,
+            pt.run.execution.external_words(),
+            pt.run.execution.comm_words,
+            r_ext,
+            if r_comm.is_finite() {
+                format!("{r_comm:.2}")
+            } else {
+                "-".to_string()
+            },
+            roofline.attainable(r_ext, r_comm),
+            roofline.binding(r_ext, r_comm).to_string(),
+            verdict,
+        ));
+    }
+    Ok(out)
+}
+
 /// `balance warp`: the §5 case study.
 #[must_use]
 pub fn cmd_warp() -> String {
@@ -352,6 +484,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "rebalance" => cmd_rebalance(&flags),
         "sweep" => cmd_sweep(&flags),
         "hierarchy" => cmd_hierarchy(&flags),
+        "parallel" => cmd_parallel(&flags),
         "warp" => Ok(cmd_warp()),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -372,10 +505,17 @@ USAGE:
       Run the instrumented kernel across a memory sweep (parallel across
       cores; default verification: full up to n=64, anchored Freivalds
       beyond) and fit the law.
-  balance hierarchy --levels CAP:BW[,CAP:BW...] [--c <ops/s>]
+  balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>]
       The balance law per level of a memory hierarchy (innermost level
       first): per-boundary ridges, binding level, and balanced capacity
-      per level for each of the paper's intensity laws.
+      per level for each of the paper's intensity laws. LAT is the level's
+      per-word access latency in seconds; it lowers the level's effective
+      bandwidth and therefore raises its ridge.
+  balance parallel --pes <P> --topology <linear|mesh> [--kernel matmul|transpose|grid2] [--n <size>] [--seed <u64>]
+      Run a kernel on a measured P-PE machine (Warp cells) across a per-PE
+      memory sweep: external vs communication traffic, the balance verdict
+      against the aggregate machine, and the binding parallel-roofline
+      term. A mesh needs a square PE count.
   balance warp
       The §5 Warp machine case study.
 "
@@ -491,6 +631,49 @@ mod tests {
     }
 
     #[test]
+    fn parallel_command_renders_the_sweep_table() {
+        let f = Flags::parse(&args(&[
+            "--pes", "2", "--topology", "linear", "--n", "16",
+        ]))
+        .unwrap();
+        let out = cmd_parallel(&f).unwrap();
+        assert!(out.contains("matmul on linear(2)"), "{out}");
+        assert!(out.contains("r_ext"), "{out}");
+        assert!(out.contains("binds"), "{out}");
+        // A mesh of 4 PEs is a 2x2 arrangement.
+        let f = Flags::parse(&args(&[
+            "--pes", "4", "--topology", "mesh", "--kernel", "transpose", "--n", "12",
+        ]))
+        .unwrap();
+        let out = cmd_parallel(&f).unwrap();
+        assert!(out.contains("transpose on mesh(2x2)"), "{out}");
+        // Transpose never communicates: r_comm renders as "-".
+        assert!(out.contains(" - "), "{out}");
+    }
+
+    #[test]
+    fn parallel_command_rejects_bad_shapes() {
+        // Non-square mesh PE count.
+        let f = Flags::parse(&args(&["--pes", "3", "--topology", "mesh"])).unwrap();
+        assert!(cmd_parallel(&f).unwrap_err().contains("square"), "mesh check");
+        // Unknown topology / kernel; missing required flags.
+        let f = Flags::parse(&args(&["--pes", "2", "--topology", "ring"])).unwrap();
+        assert!(cmd_parallel(&f).unwrap_err().contains("unknown topology"));
+        let f = Flags::parse(&args(&[
+            "--pes", "2", "--topology", "linear", "--kernel", "fft",
+        ]))
+        .unwrap();
+        assert!(cmd_parallel(&f).unwrap_err().contains("unknown parallel kernel"));
+        let f = Flags::parse(&args(&["--pes", "2"])).unwrap();
+        assert!(cmd_parallel(&f).unwrap_err().contains("--topology"));
+        let f = Flags::parse(&args(&["--topology", "linear"])).unwrap();
+        assert!(cmd_parallel(&f).unwrap_err().contains("pes"));
+        // Zero PEs.
+        let f = Flags::parse(&args(&["--pes", "0", "--topology", "linear"])).unwrap();
+        assert!(cmd_parallel(&f).is_err());
+    }
+
+    #[test]
     fn levels_parse_happy_path() {
         let spec = parse_levels("1024:1e8,65536:1e7").unwrap();
         assert_eq!(spec.depth(), 2);
@@ -526,6 +709,55 @@ mod tests {
         let err = parse_levels("1024:0").unwrap_err();
         assert!(err.contains("bandwidth"), "{err}");
         assert!(parse_levels("1024:-2e6").is_err());
+    }
+
+    #[test]
+    fn levels_parse_optional_latency() {
+        let spec = parse_levels("1024:1e8,65536:1e7:2e-7").unwrap();
+        assert_eq!(spec.level(0).latency().get(), 0.0);
+        assert_eq!(spec.level(1).latency().get(), 2.0e-7);
+        // Whitespace around the third field is tolerated too.
+        let spec = parse_levels(" 64 : 2.5 : 0.125 , 128 : 1.0 ").unwrap();
+        assert_eq!(spec.level(0).latency().get(), 0.125);
+        // Explicit zero latency is valid (the streaming model).
+        assert_eq!(
+            parse_levels("64:1.0:0").unwrap().level(0).latency().get(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn levels_reject_bad_latencies() {
+        // Negative and non-finite latencies are physically meaningless.
+        let err = parse_levels("1024:1e8:-1").unwrap_err();
+        assert!(err.contains("level 1"), "{err}");
+        assert!(err.contains("latency"), "{err}");
+        assert!(parse_levels("1024:1e8:NaN").is_err());
+        assert!(parse_levels("1024:1e8:inf").is_err());
+        // Unparsable latency.
+        assert!(parse_levels("1024:1e8:soon").unwrap_err().contains("latency"));
+        // Too many fields.
+        let err = parse_levels("1024:1e8:0.5:7").unwrap_err();
+        assert!(err.contains("expected CAP:BW[:LAT]"), "{err}");
+    }
+
+    #[test]
+    fn hierarchy_command_consumes_latency() {
+        // The knob must reach the computation: the same ladder with a
+        // latency on the outer level reports a different (higher) ridge.
+        let base = Flags::parse(&args(&["--levels", "100:1e7,10000:1e6", "--c", "1e8"])).unwrap();
+        let with_lat = Flags::parse(&args(&[
+            "--levels",
+            "100:1e7,10000:1e6:1e-6",
+            "--c",
+            "1e8",
+        ]))
+        .unwrap();
+        let a = cmd_hierarchy(&base).unwrap();
+        let b = cmd_hierarchy(&with_lat).unwrap();
+        assert_ne!(a, b, "latency must change the rendered analysis");
+        // Outer ridge doubles: 1e8/1e6 = 100 -> 1e8/5e5 = 200.
+        assert!(b.contains("200"), "{b}");
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub mod figures;
 pub mod hierarchy_exp;
 pub mod laws;
 pub mod parallel_exp;
+pub mod parallel_measured;
 pub mod pebble_exp;
 pub mod roofline_exp;
 
@@ -45,9 +46,9 @@ impl Scale {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-    "E12", "E13", "E14", "E15", "E20",
+    "E12", "E13", "E14", "E15", "E20", "E21",
 ];
 
 /// Runs one experiment by id (case-insensitive) at the default scale.
@@ -81,8 +82,10 @@ pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
         "E13" => ablation::e13_lru_ablation_at(scale),
         "E14" => extension::e14_extension_kernels(),
         "E15" => amdahl_exp::e15_amdahl(),
-        // "hierarchy" is the mnemonic alias the CI smoke step uses.
+        // "hierarchy"/"parallel" are the mnemonic aliases the CI smoke
+        // steps use.
         "E20" | "HIERARCHY" => hierarchy_exp::e20_hierarchy(),
+        "E21" | "PARALLEL" => parallel_measured::e21_parallel(),
         _ => return None,
     })
 }

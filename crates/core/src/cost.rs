@@ -15,9 +15,9 @@
 
 use core::fmt;
 
-use crate::hierarchy::MAX_MEMORY_LEVELS;
+use crate::hierarchy::{HierarchySpec, MAX_MEMORY_LEVELS};
 use crate::pe::PeSpec;
-use crate::units::{Seconds, Words};
+use crate::units::{OpsPerSec, Seconds, Words};
 
 /// Per-boundary I/O traffic, innermost boundary first.
 ///
@@ -62,9 +62,19 @@ impl LevelTraffic {
     }
 
     /// Number of recorded boundaries.
+    ///
+    /// Clamped to [`MAX_MEMORY_LEVELS`]: the constructors never exceed
+    /// it, but a value deserialized from untrusted data (the optional
+    /// `serde` feature derives `Deserialize` field-wise) could carry an
+    /// oversized `len`, and every slice accessor routes through here —
+    /// corrupt input degrades to a truncated vector instead of a panic.
     #[must_use]
     pub const fn len(&self) -> usize {
-        self.len as usize
+        if (self.len as usize) < MAX_MEMORY_LEVELS {
+            self.len as usize
+        } else {
+            MAX_MEMORY_LEVELS
+        }
     }
 
     /// True when no boundary has been recorded.
@@ -76,7 +86,7 @@ impl LevelTraffic {
     /// Traffic at boundary `level`, or `None` beyond the recorded depth.
     #[must_use]
     pub const fn get(&self, level: usize) -> Option<u64> {
-        if level < self.len as usize {
+        if level < self.len() {
             Some(self.words[level])
         } else {
             None
@@ -86,21 +96,28 @@ impl LevelTraffic {
     /// The recorded boundaries as a slice.
     #[must_use]
     pub fn as_slice(&self) -> &[u64] {
-        &self.words[..self.len as usize]
+        &self.words[..self.len()]
     }
 
     /// Component-wise sum; the result spans the deeper of the two vectors,
     /// treating missing boundaries as zero traffic.
     #[must_use]
     pub const fn combined(&self, other: &LevelTraffic) -> LevelTraffic {
-        let len = if self.len > other.len { self.len } else { other.len };
+        let len = if self.len() > other.len() {
+            self.len()
+        } else {
+            other.len()
+        };
         let mut words = [0u64; MAX_MEMORY_LEVELS];
         let mut i = 0;
-        while i < len as usize {
+        while i < len {
             words[i] = self.words[i] + other.words[i];
             i += 1;
         }
-        LevelTraffic { len, words }
+        LevelTraffic {
+            len: len as u8,
+            words,
+        }
     }
 
     /// True when traffic never grows with depth — a word can only reach
@@ -270,27 +287,83 @@ impl CostProfile {
         Seconds::new(self.io_words() as f64 / pe.io_bw().get())
     }
 
+    /// Time to move the traffic at boundary `level` of `spec`: the level's
+    /// bandwidth term plus its per-word access latency
+    /// (`io_i · (1/IO_i + latency_i)`, see [`LevelSpec::seconds_per_word`]).
+    ///
+    /// Returns `None` beyond the recorded traffic depth. Boundaries of
+    /// `spec` deeper than the recorded traffic are simply not consulted
+    /// (they saw no traffic); traffic deeper than `spec` is a caller error
+    /// and also yields `None`.
+    ///
+    /// [`LevelSpec::seconds_per_word`]: crate::hierarchy::LevelSpec::seconds_per_word
+    #[must_use]
+    pub fn io_time_at(&self, spec: &HierarchySpec, level: usize) -> Option<Seconds> {
+        if level >= spec.depth() {
+            return None;
+        }
+        let io = self.io.get(level)? as f64;
+        let l = spec.level(level);
+        // Sum form rather than io·seconds_per_word: at zero latency this is
+        // exactly the historical io/IO_i, bit for bit.
+        Some(Seconds::new(
+            io / l.bandwidth().get() + io * l.latency().get(),
+        ))
+    }
+
+    /// The slowest boundary's I/O time on `spec` — the I/O subsystem is
+    /// done only when every level's channel is.
+    ///
+    /// This is where a level's latency enters elapsed-time accounting:
+    /// each boundary's time is `io_i/IO_i + io_i·latency_i`, so a
+    /// nonzero-latency level can become the binding channel even when its
+    /// nominal bandwidth would clear the traffic comfortably.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the profile records no traffic deeper than
+    /// `spec` has levels — a mismatched spec (e.g. a flat spec for a
+    /// hierarchy run) would otherwise silently drop the deeper
+    /// boundaries' time. A *shallower* profile is fine: the spec's extra
+    /// levels simply saw no traffic.
+    #[must_use]
+    pub fn io_time_on(&self, spec: &HierarchySpec) -> Seconds {
+        debug_assert!(
+            self.level_count() <= spec.depth(),
+            "profile records {} boundaries but the spec has only {} levels",
+            self.level_count(),
+            spec.depth()
+        );
+        let depth = self.level_count().min(spec.depth());
+        Seconds::new(
+            (0..depth)
+                .filter_map(|i| self.io_time_at(spec, i))
+                .map(Seconds::get)
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Elapsed time on a machine with peak compute `peak` over the memory
+    /// system `spec`, with compute and I/O perfectly overlapped:
+    /// `max(C_comp/peak, max_i io_time_at(i))`.
+    ///
+    /// The hierarchy generalization of [`CostProfile::elapsed`] — and the
+    /// per-level latency knob's consumer: two specs differing only in a
+    /// level's latency yield different elapsed times whenever that level
+    /// carried traffic.
+    #[must_use]
+    pub fn elapsed_on(&self, peak: OpsPerSec, spec: &HierarchySpec) -> Seconds {
+        let tc = self.comp_ops as f64 / peak.get();
+        Seconds::new(tc.max(self.io_time_on(spec).get()))
+    }
+
     /// Classifies the execution on `pe` (compute and I/O fully overlapped).
     ///
     /// The PE is [`BalanceState::Balanced`] when the two times agree to
     /// within `tolerance` (a relative tolerance, e.g. `0.05` for ±5 %).
     #[must_use]
     pub fn balance_state(&self, pe: &PeSpec, tolerance: f64) -> BalanceState {
-        let tc = self.compute_time(pe).get();
-        let tio = self.io_time(pe).get();
-        let max = tc.max(tio);
-        if max == 0.0 || (tc - tio).abs() <= tolerance * max {
-            BalanceState::Balanced
-        } else if tio > tc {
-            // The PE waits for I/O: the compute subsystem is over-designed.
-            BalanceState::IoLimited {
-                idle_fraction: (tio - tc) / tio,
-            }
-        } else {
-            BalanceState::ComputeLimited {
-                idle_fraction: (tc - tio) / tc,
-            }
-        }
+        BalanceState::from_times(self.compute_time(pe), self.io_time(pe), tolerance)
     }
 
     /// Elapsed time assuming perfect overlap of compute and I/O: the maximum
@@ -339,6 +412,31 @@ pub enum BalanceState {
 }
 
 impl BalanceState {
+    /// Classifies a pair of subsystem times: balanced when they agree to
+    /// within the relative `tolerance`, otherwise the slower subsystem
+    /// limits and the other idles for the reported fraction of the run.
+    ///
+    /// The single source of the classifier semantics — used by
+    /// [`CostProfile::balance_state`] and by the hierarchy/parallel
+    /// timeline builders, so the tolerance convention cannot drift.
+    #[must_use]
+    pub fn from_times(compute_time: Seconds, io_time: Seconds, tolerance: f64) -> BalanceState {
+        let (tc, tio) = (compute_time.get(), io_time.get());
+        let max = tc.max(tio);
+        if max == 0.0 || (tc - tio).abs() <= tolerance * max {
+            BalanceState::Balanced
+        } else if tio > tc {
+            // The PE waits for I/O: the compute subsystem is over-designed.
+            BalanceState::IoLimited {
+                idle_fraction: (tio - tc) / tio,
+            }
+        } else {
+            BalanceState::ComputeLimited {
+                idle_fraction: (tc - tio) / tc,
+            }
+        }
+    }
+
     /// True for [`BalanceState::Balanced`].
     #[must_use]
     pub fn is_balanced(&self) -> bool {
@@ -565,6 +663,70 @@ mod tests {
         let cost = CostProfile::new(1000, 10);
         let spec = pe(10.0, 10.0);
         assert_eq!(cost.elapsed(&spec).get(), 100.0);
+    }
+
+    fn spec_with_latencies(lats: &[f64]) -> crate::hierarchy::HierarchySpec {
+        use crate::hierarchy::LevelSpec;
+        use crate::units::WordsPerSec;
+        crate::hierarchy::HierarchySpec::new(
+            lats.iter()
+                .enumerate()
+                .map(|(i, &lat)| {
+                    LevelSpec::new(Words::new(64 << i), WordsPerSec::new(10.0))
+                        .unwrap()
+                        .with_latency(Seconds::new(lat))
+                        .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn io_time_charges_per_word_latency() {
+        let cost = CostProfile::with_levels(1000, &[100, 40]);
+        let zero = spec_with_latencies(&[0.0, 0.0]);
+        // Pure bandwidth: 100/10 = 10 s at the port, 40/10 = 4 s outside.
+        assert_eq!(cost.io_time_at(&zero, 0).unwrap().get(), 10.0);
+        assert_eq!(cost.io_time_at(&zero, 1).unwrap().get(), 4.0);
+        assert_eq!(cost.io_time_on(&zero).get(), 10.0);
+        // 0.4 s/word of latency at the outer level: 40·(0.1 + 0.4) = 20 s —
+        // the outer boundary becomes the binding channel.
+        let lat = spec_with_latencies(&[0.0, 0.4]);
+        assert_eq!(cost.io_time_at(&lat, 1).unwrap().get(), 20.0);
+        assert_eq!(cost.io_time_on(&lat).get(), 20.0);
+        // Beyond the recorded depth (or the spec's): None.
+        assert_eq!(cost.io_time_at(&lat, 2), None);
+        assert_eq!(CostProfile::new(1, 1).io_time_at(&lat, 1), None);
+    }
+
+    #[test]
+    fn nonzero_latency_changes_elapsed_time() {
+        // The dead-knob regression: a spec differing ONLY in latency must
+        // produce a different elapsed time.
+        let cost = CostProfile::with_levels(1000, &[100, 40]);
+        let peak = OpsPerSec::new(100.0); // compute time 10 s
+        let zero = spec_with_latencies(&[0.0, 0.0]);
+        let lat = spec_with_latencies(&[0.0, 0.4]);
+        assert_eq!(cost.elapsed_on(peak, &zero).get(), 10.0);
+        assert_eq!(cost.elapsed_on(peak, &lat).get(), 20.0);
+        assert!(
+            cost.elapsed_on(peak, &lat) > cost.elapsed_on(peak, &zero),
+            "latency must enter the elapsed-time computation"
+        );
+    }
+
+    #[test]
+    fn elapsed_on_flat_spec_matches_elapsed() {
+        // One zero-latency level with the PeSpec's bandwidths: identical
+        // numbers through either entry point.
+        let cost = CostProfile::new(1000, 100);
+        let spec = pe(100.0, 10.0);
+        let flat = spec_with_latencies(&[0.0]);
+        assert_eq!(
+            cost.elapsed_on(OpsPerSec::new(100.0), &flat).get(),
+            cost.elapsed(&spec).get()
+        );
     }
 
     #[test]

@@ -100,6 +100,36 @@ impl LevelSpec {
     pub fn latency(&self) -> Seconds {
         self.latency
     }
+
+    /// Seconds to move one word across this level's boundary: the
+    /// bandwidth term `1/IO_i` plus the per-word access latency.
+    ///
+    /// This is the *serial* latency model: the ladders simulated in this
+    /// workspace transfer word-granularly, so each word pays the level's
+    /// access latency in full (no pipelining). A zero latency recovers the
+    /// pure-streaming model exactly.
+    #[must_use]
+    pub fn seconds_per_word(&self) -> Seconds {
+        Seconds::new(1.0 / self.bandwidth.get() + self.latency.get())
+    }
+
+    /// The bandwidth this level actually sustains once its access latency
+    /// is charged per word: `1 / (1/IO_i + latency_i)`, in words/s.
+    ///
+    /// Equal to [`LevelSpec::bandwidth`] when the latency is zero (bit for
+    /// bit — no `1/(1/IO)` round trip, so every pre-latency consumer keeps
+    /// its exact numbers); strictly smaller otherwise. Every time
+    /// computation (elapsed time, timelines, the hierarchical roofline)
+    /// consumes this, so a nonzero latency always shows up in the numbers —
+    /// it is not a display-only field.
+    #[must_use]
+    pub fn effective_bandwidth(&self) -> WordsPerSec {
+        if self.latency.get() == 0.0 {
+            self.bandwidth
+        } else {
+            WordsPerSec::new(1.0 / self.seconds_per_word().get())
+        }
+    }
 }
 
 impl fmt::Display for LevelSpec {
@@ -334,6 +364,19 @@ mod tests {
         // flat passes even a zero capacity through: kernels report their
         // own MemoryTooSmall with the caller's exact value.
         assert_eq!(HierarchySpec::flat(Words::ZERO).local_capacity().get(), 0);
+    }
+
+    #[test]
+    fn latency_reduces_effective_bandwidth() {
+        // Zero latency: effective bandwidth is the nominal bandwidth.
+        let fast = level(64, 4.0);
+        assert_eq!(fast.effective_bandwidth().get(), 4.0);
+        assert_eq!(fast.seconds_per_word().get(), 0.25);
+        // 0.25 s/word of latency on a 4 word/s channel: 0.5 s/word total,
+        // i.e. the channel sustains only 2 words/s.
+        let slow = level(64, 4.0).with_latency(Seconds::new(0.25)).unwrap();
+        assert_eq!(slow.seconds_per_word().get(), 0.5);
+        assert_eq!(slow.effective_bandwidth().get(), 2.0);
     }
 
     #[test]

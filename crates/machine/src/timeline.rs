@@ -14,7 +14,7 @@
 
 use core::fmt;
 
-use balance_core::{BalanceState, PeSpec, Seconds};
+use balance_core::{BalanceState, HierarchySpec, OpsPerSec, PeSpec, Seconds};
 
 use crate::trace::Phase;
 
@@ -51,6 +51,37 @@ impl Timeline {
                 io_time: p.cost.io_time(pe),
                 elapsed_overlapped: p.cost.elapsed(pe),
                 state: p.cost.balance_state(pe, 0.05),
+            })
+            .collect();
+        Timeline { entries }
+    }
+
+    /// Builds a hierarchy-aware timeline: each phase's I/O time is the
+    /// slowest boundary's — traffic over the level's bandwidth **plus its
+    /// per-word access latency** (`CostProfile::io_time_on`), compute time
+    /// from `peak`.
+    ///
+    /// This is where a [`LevelSpec`]'s latency reaches the timeline: two
+    /// specs that differ only in a level's latency render different bars,
+    /// states, and totals whenever that level carried traffic. With a
+    /// one-level zero-latency spec and matching bandwidths this reduces
+    /// exactly to [`Timeline::new`].
+    ///
+    /// [`LevelSpec`]: balance_core::LevelSpec
+    #[must_use]
+    pub fn for_hierarchy(phases: &[Phase], peak: OpsPerSec, spec: &HierarchySpec) -> Self {
+        let entries = phases
+            .iter()
+            .map(|p| {
+                let compute_time = Seconds::new(p.cost.comp_ops() as f64 / peak.get());
+                let io_time = p.cost.io_time_on(spec);
+                TimelineEntry {
+                    label: p.label.clone(),
+                    compute_time,
+                    io_time,
+                    elapsed_overlapped: Seconds::new(compute_time.get().max(io_time.get())),
+                    state: BalanceState::from_times(compute_time, io_time, 0.05),
+                }
             })
             .collect();
         Timeline { entries }
@@ -196,6 +227,52 @@ mod tests {
         let tl = Timeline::new(&[], &pe(1.0, 1.0));
         assert_eq!(tl.elapsed_overlapped().get(), 0.0);
         assert_eq!(tl.overlap_speedup(), 1.0);
+    }
+
+    fn two_level_spec(latency: f64) -> HierarchySpec {
+        use balance_core::LevelSpec;
+        HierarchySpec::new(vec![
+            LevelSpec::new(Words::new(64), WordsPerSec::new(100.0)).unwrap(),
+            LevelSpec::new(Words::new(1024), WordsPerSec::new(100.0))
+                .unwrap()
+                .with_latency(Seconds::new(latency))
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hierarchy_timeline_reduces_to_flat_at_zero_latency() {
+        let spec = HierarchySpec::new(vec![balance_core::LevelSpec::new(
+            Words::new(64),
+            WordsPerSec::new(100.0),
+        )
+        .unwrap()])
+        .unwrap();
+        let flat = Timeline::new(&phases(), &pe(1000.0, 100.0));
+        let hier = Timeline::for_hierarchy(&phases(), OpsPerSec::new(1000.0), &spec);
+        assert_eq!(flat, hier);
+    }
+
+    #[test]
+    fn hierarchy_timeline_charges_level_latency() {
+        // The dead-knob regression at the timeline layer: the same phases
+        // on the same bandwidths, differing only in the outer level's
+        // latency, must produce different I/O times and totals.
+        let leveled = vec![Phase {
+            label: "crunch".into(),
+            cost: balance_core::CostProfile::with_levels(4000, &[200, 100]),
+        }];
+        let zero = Timeline::for_hierarchy(&leveled, OpsPerSec::new(1000.0), &two_level_spec(0.0));
+        // 0.03 s/word at L2: io time there 100·(0.01 + 0.03) = 4 s, up from
+        // 1 s — overtaking both the port (2 s) and compute (4 s).
+        let lat = Timeline::for_hierarchy(&leveled, OpsPerSec::new(1000.0), &two_level_spec(0.03));
+        assert_eq!(zero.entries()[0].io_time.get(), 2.0);
+        assert_eq!(lat.entries()[0].io_time.get(), 4.0);
+        assert!(matches!(zero.entries()[0].state, BalanceState::ComputeLimited { .. }));
+        assert!(lat.entries()[0].state.is_balanced());
+        assert!(lat.elapsed_overlapped().get() >= zero.elapsed_overlapped().get());
+        assert!(lat.elapsed_serial().get() > zero.elapsed_serial().get());
     }
 
     #[test]

@@ -16,20 +16,41 @@
 //!   20 Mwords/s links, 64K-word memories);
 //! * [`topology`] — ASCII renderings of Figures 3 and 4;
 //! * [`scaling`] — the `(p, memory-per-PE)` series behind experiments E8
-//!   and E9.
+//!   and E9;
+//! * [`pmachine`] — the **measured** §4 machine: a [`ParallelMachine`] of
+//!   `p` counting PEs (each with its own memory system, flat or a full
+//!   hierarchy) with external I/O and inter-PE communication as distinct
+//!   traffic classes;
+//! * [`pkernels`] — block-partitioned parallel matmul / transpose /
+//!   grid relaxation running on it (1-PE machines are bit-identical to the
+//!   serial kernels);
+//! * [`measure`] — `parallel_sweep(_par)` executors plus the
+//!   measured-balance machinery that validates the §4 scaling laws (the
+//!   analytic [`scaling`] series) by measurement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod array;
+pub mod measure;
 pub mod mesh;
+pub mod pkernels;
+pub mod pmachine;
 pub mod scaling;
 pub mod systolic;
 pub mod topology;
 pub mod warp;
 
 pub use array::LinearArray;
+pub use measure::{
+    measured_balance_memory, measured_growth_law, measured_series, parallel_sweep,
+    parallel_sweep_par, MeasuredBalanceConfig, ParallelPoint, ParallelSweepConfig,
+};
 pub use mesh::SquareMesh;
+pub use pkernels::{
+    parallel_kernels, ParGrid2d, ParMatMul, ParTranspose, ParallelKernel, ParallelRun,
+};
+pub use pmachine::{ParallelExecution, ParallelMachine, PeReport, Topology, TopologyKind};
 pub use scaling::{growth_exponent, linear_array_series, mesh_series, ScalingPoint};
 pub use warp::{case_study, warp_array, warp_cell, WarpReport};

@@ -1,0 +1,430 @@
+//! Measured §4: sweep executors and the memory-at-balance machinery.
+//!
+//! `balance-kernels`' sweeps vary one PE's memory; the executors here vary
+//! the **machine** — fixed total problem size, swept over arrangements
+//! (`p` PEs on a line, `side × side` meshes) and per-PE memories — and
+//! read the aggregate external intensity off each measured
+//! [`ParallelRun`]. Three consumers build on them:
+//!
+//! * [`measured_balance_memory`] inverts a measurement: the smallest
+//!   per-PE memory at which the machine's measured intensity reaches its
+//!   aggregate machine balance — Kung's balanced memory, found by running
+//!   the actual kernel instead of evaluating a closed form;
+//! * [`measured_series`] walks it across array sizes, producing the
+//!   measured counterpart of [`crate::scaling::linear_array_series`] /
+//!   [`crate::scaling::mesh_series`] (Figures 3 and 4, by measurement);
+//! * [`measured_growth_law`] fits the paper's law shapes to the measured
+//!   `(total memory, intensity)` cloud — across *all* swept arrangements,
+//!   since a well-decomposed machine's intensity depends only on its
+//!   aggregate memory — and snaps near-integer polynomial degrees, giving
+//!   the growth law §4's closed forms need as *measured* input.
+
+use balance_core::fit::{fit_best, snap_degree, DataPoint};
+use balance_core::{GrowthLaw, HierarchySpec, PeSpec, Words};
+use balance_kernels::error::KernelError;
+use balance_kernels::sweep::par_map;
+use balance_kernels::Verify;
+
+use crate::pkernels::{ParallelKernel, ParallelRun};
+use crate::pmachine::{Topology, TopologyKind};
+use crate::scaling::ScalingPoint;
+
+/// Parameters of one parallel sweep: a grid of arrangements × per-PE
+/// memories at a fixed total problem size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSweepConfig {
+    /// Problem size passed to every run (the total problem is fixed; only
+    /// the machine varies).
+    pub n: usize,
+    /// The arrangements to measure.
+    pub topologies: Vec<Topology>,
+    /// Per-PE local memory sizes to measure, in words.
+    pub per_pe_memories: Vec<usize>,
+    /// Workload seed (same inputs at every point).
+    pub seed: u64,
+    /// Verification policy per point.
+    pub verify: Verify,
+}
+
+impl ParallelSweepConfig {
+    /// A fully verified sweep.
+    #[must_use]
+    pub fn new(n: usize, topologies: Vec<Topology>, per_pe_memories: Vec<usize>, seed: u64) -> Self {
+        ParallelSweepConfig {
+            n,
+            topologies,
+            per_pe_memories,
+            seed,
+            verify: Verify::Full,
+        }
+    }
+
+    /// The same sweep under a different verification policy.
+    #[must_use]
+    pub fn with_verify(mut self, verify: Verify) -> Self {
+        self.verify = verify;
+        self
+    }
+}
+
+/// One measured point of a parallel sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelPoint {
+    /// The arrangement this point ran on.
+    pub topology: Topology,
+    /// Per-PE local memory, in words.
+    pub per_pe_m: usize,
+    /// The verified run.
+    pub run: ParallelRun,
+}
+
+/// The sweep grid in sweep order (topology-major), with per-PE memories
+/// below the kernel's per-topology minimum skipped (partition floors
+/// scale with the machine, so the filter is per arrangement).
+fn grid(kernel: &dyn ParallelKernel, cfg: &ParallelSweepConfig) -> Vec<(Topology, usize)> {
+    cfg.topologies
+        .iter()
+        .flat_map(|&t| {
+            let floor = kernel.min_memory_per_pe(cfg.n, t);
+            cfg.per_pe_memories
+                .iter()
+                .copied()
+                .filter(move |&m| m >= floor)
+                .map(move |m| (t, m))
+        })
+        .collect()
+}
+
+fn run_point(
+    kernel: &dyn ParallelKernel,
+    cfg: &ParallelSweepConfig,
+    topology: Topology,
+    m: usize,
+) -> Result<ParallelPoint, KernelError> {
+    kernel
+        .run_on(
+            topology,
+            cfg.n,
+            &HierarchySpec::flat_words(m),
+            cfg.seed,
+            cfg.verify,
+        )
+        .map(|run| ParallelPoint {
+            topology,
+            per_pe_m: m,
+            run,
+        })
+}
+
+/// Runs `kernel` at every (topology, per-PE memory) point of the sweep,
+/// one after another on the calling thread.
+///
+/// # Errors
+///
+/// Propagates the first kernel failure in sweep order (including
+/// verification failures — a sweep with wrong numerics must not produce
+/// data).
+pub fn parallel_sweep(
+    kernel: &dyn ParallelKernel,
+    cfg: &ParallelSweepConfig,
+) -> Result<Vec<ParallelPoint>, KernelError> {
+    grid(kernel, cfg)
+        .into_iter()
+        .map(|(t, m)| run_point(kernel, cfg, t, m))
+        .collect()
+}
+
+/// [`parallel_sweep`] fanned out over scoped worker threads (the
+/// `balance-kernels` [`par_map`] executor) — bit-identical points, first
+/// error in sweep order.
+///
+/// # Errors
+///
+/// As [`parallel_sweep`].
+pub fn parallel_sweep_par(
+    kernel: &dyn ParallelKernel,
+    cfg: &ParallelSweepConfig,
+) -> Result<Vec<ParallelPoint>, KernelError> {
+    let points = grid(kernel, cfg);
+    par_map(&points, |_, &(t, m)| run_point(kernel, cfg, t, m))
+        .into_iter()
+        .collect()
+}
+
+/// Parameters of a measured memory-at-balance search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredBalanceConfig {
+    /// The per-PE cell the machine is built from; the search target is the
+    /// *aggregate* machine balance `α · C/IO` of the arrangement.
+    pub cell: PeSpec,
+    /// Problem size of every probe run.
+    pub n: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Verification policy of every probe run.
+    pub verify: Verify,
+    /// Per-PE memory cap: the search reports `None` (I/O-bounded in
+    /// practice) instead of probing beyond it.
+    pub m_max: usize,
+}
+
+/// The smallest per-PE memory at which the machine's **measured** external
+/// intensity reaches the arrangement's aggregate machine balance, found by
+/// exponential search + bisection over real kernel runs — or `None` when
+/// even `cfg.m_max` falls short (the measured form of the paper's
+/// "impossible" verdict).
+///
+/// Assumes the kernel's measured intensity is non-decreasing in memory,
+/// which every §3 decomposition satisfies (more memory never forces more
+/// traffic).
+///
+/// # Errors
+///
+/// Propagates probe-run failures and aggregate-construction failures.
+pub fn measured_balance_memory(
+    kernel: &dyn ParallelKernel,
+    topology: Topology,
+    cfg: &MeasuredBalanceConfig,
+) -> Result<Option<Words>, KernelError> {
+    let target = topology
+        .aggregate(cfg.cell)
+        .map_err(|e| KernelError::BadParameters {
+            reason: format!("aggregate machine: {e}"),
+        })?
+        .machine_balance();
+    let probe = |m: usize| -> Result<f64, KernelError> {
+        kernel
+            .run_on(
+                topology,
+                cfg.n,
+                &HierarchySpec::flat_words(m),
+                cfg.seed,
+                cfg.verify,
+            )
+            .map(|r| r.external_intensity())
+    };
+    let lo0 = kernel.min_memory_per_pe(cfg.n, topology).min(cfg.m_max);
+    if probe(lo0)? >= target {
+        return Ok(Some(Words::new(lo0 as u64)));
+    }
+    // Exponential search for a balancing upper bound.
+    let (mut lo, mut hi) = (lo0, lo0);
+    loop {
+        hi = (hi.saturating_mul(2)).min(cfg.m_max);
+        if probe(hi)? >= target {
+            break;
+        }
+        if hi == cfg.m_max {
+            return Ok(None);
+        }
+        lo = hi;
+    }
+    // Bisection: probe(lo) < target <= probe(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid)? >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(Words::new(hi as u64)))
+}
+
+/// The measured `(size, per-PE memory-at-balance)` walk of an arrangement
+/// family — the measured counterpart of
+/// [`linear_array_series`](crate::scaling::linear_array_series) /
+/// [`mesh_series`](crate::scaling::mesh_series), produced by running the
+/// kernel instead of evaluating the growth law.
+///
+/// # Errors
+///
+/// Probe failures, plus [`KernelError::BadParameters`] when some size
+/// cannot balance within `cfg.m_max` (use matmul-like kernels here;
+/// I/O-bounded ones are *expected* to fail — that is their finding).
+pub fn measured_series(
+    kernel: &dyn ParallelKernel,
+    kind: TopologyKind,
+    sizes: &[u64],
+    cfg: &MeasuredBalanceConfig,
+) -> Result<Vec<ScalingPoint>, KernelError> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let topology = kind.at(size).map_err(|e| KernelError::BadParameters {
+                reason: e.to_string(),
+            })?;
+            let per_pe = measured_balance_memory(kernel, topology, cfg)?.ok_or_else(|| {
+                KernelError::BadParameters {
+                    reason: format!(
+                        "{} at {topology}: no per-PE memory up to {} reaches balance",
+                        kernel.name(),
+                        cfg.m_max
+                    ),
+                }
+            })?;
+            Ok(ScalingPoint {
+                p: size,
+                per_pe_memory: per_pe.get(),
+                total_memory: per_pe.get() * topology.pe_count(),
+            })
+        })
+        .collect()
+}
+
+/// Fits the paper's law shapes to the measured `(total memory, external
+/// intensity)` points of a sweep — pooled across every swept arrangement,
+/// since the machine's aggregate intensity depends only on its total
+/// memory when the decomposition pools the PEs' memories — and snaps
+/// near-integer polynomial degrees within `snap_tol`.
+///
+/// The result is the §4 growth law with the intensity shape *measured
+/// instead of assumed*: feeding it to the analytic
+/// [`linear_array_series`](crate::scaling::linear_array_series) /
+/// [`mesh_series`](crate::scaling::mesh_series) must reproduce their
+/// predictions (pinned by property test — the measured validation of
+/// Figures 3 and 4).
+///
+/// # Errors
+///
+/// Sweep failures, plus [`KernelError::BadParameters`] when fewer than
+/// two distinct memory sizes survive the sweep.
+pub fn measured_growth_law(
+    kernel: &dyn ParallelKernel,
+    cfg: &ParallelSweepConfig,
+    snap_tol: f64,
+) -> Result<GrowthLaw, KernelError> {
+    let points: Vec<DataPoint> = parallel_sweep_par(kernel, cfg)?
+        .iter()
+        .map(|pt| DataPoint::new(pt.run.total_memory() as f64, pt.run.external_intensity()))
+        .collect();
+    let report = fit_best(&points).map_err(|e| KernelError::BadParameters {
+        reason: format!("fitting measured parallel points: {e}"),
+    })?;
+    Ok(snap_degree(report.best.growth_law(), snap_tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pkernels::{ParMatMul, ParTranspose};
+    use balance_core::{OpsPerSec, WordsPerSec};
+
+    fn topo(p: u64) -> Topology {
+        Topology::linear(p).unwrap()
+    }
+
+    fn cell(balance: f64) -> PeSpec {
+        PeSpec::new(
+            OpsPerSec::new(balance * 1.0e7),
+            WordsPerSec::new(1.0e7),
+            Words::new(65536),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_skips_small_memories() {
+        let cfg = ParallelSweepConfig::new(12, vec![topo(1), topo(2)], vec![1, 27, 48], 3);
+        let points = parallel_sweep(&ParMatMul, &cfg).unwrap();
+        // m = 1 < min_memory(3) skipped: 2 topologies × 2 memories.
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].topology, topo(1));
+        assert_eq!(points[0].per_pe_m, 27);
+        assert_eq!(points[3].topology, topo(2));
+        assert_eq!(points[3].per_pe_m, 48);
+    }
+
+    #[test]
+    fn parallel_executors_are_bit_identical() {
+        let cfg = ParallelSweepConfig::new(16, vec![topo(1), topo(3)], vec![12, 48, 108], 9);
+        let serial = parallel_sweep(&ParMatMul, &cfg).unwrap();
+        let par = parallel_sweep_par(&ParMatMul, &cfg).unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn measured_balance_memory_brackets_the_target() {
+        let cfg = MeasuredBalanceConfig {
+            cell: cell(2.0),
+            n: 24,
+            seed: 5,
+            verify: Verify::Full,
+            m_max: 1 << 14,
+        };
+        let m = measured_balance_memory(&ParMatMul, topo(1), &cfg)
+            .unwrap()
+            .expect("matmul balances");
+        let probe = |mm: usize| {
+            ParMatMul
+                .run_on(topo(1), 24, &HierarchySpec::flat_words(mm), 5, Verify::Full)
+                .unwrap()
+                .external_intensity()
+        };
+        let target = topo(1).aggregate(cfg.cell).unwrap().machine_balance();
+        assert!(probe(m.get() as usize) >= target);
+        if m.get() as usize > 3 {
+            assert!(probe(m.get() as usize - 1) < target);
+        }
+    }
+
+    #[test]
+    fn transpose_never_balances() {
+        let cfg = MeasuredBalanceConfig {
+            cell: cell(2.0),
+            n: 16,
+            seed: 1,
+            verify: Verify::Full,
+            m_max: 4096,
+        };
+        assert_eq!(
+            measured_balance_memory(&ParTranspose, topo(2), &cfg).unwrap(),
+            None,
+            "intensity ½ can never reach an aggregate balance of 4"
+        );
+    }
+
+    #[test]
+    fn measured_series_walks_linearly_for_matmul() {
+        let cfg = MeasuredBalanceConfig {
+            cell: cell(2.0),
+            n: 32,
+            seed: 2,
+            verify: Verify::Full,
+            m_max: 1 << 16,
+        };
+        let series =
+            measured_series(&ParMatMul, TopologyKind::Linear, &[1, 2, 4], &cfg).unwrap();
+        assert_eq!(series.len(), 3);
+        // Per-PE memory must genuinely walk upward with p (Fig. 3).
+        assert!(series[1].per_pe_memory > series[0].per_pe_memory);
+        assert!(series[2].per_pe_memory > series[1].per_pe_memory);
+    }
+
+    #[test]
+    fn measured_law_snaps_to_the_matrix_law() {
+        // Points pooled across 1- and 2-PE machines at n = 64 collapse
+        // onto one √(total) curve; the snapped fit is the α² law.
+        let cfg = ParallelSweepConfig::new(
+            64,
+            vec![topo(1), topo(2)],
+            (5..=11).map(|k| 1usize << k).collect(),
+            4,
+        )
+        .with_verify(Verify::Freivalds { rounds: 2 });
+        let law = measured_growth_law(&ParMatMul, &cfg, 0.35).unwrap();
+        assert_eq!(law, GrowthLaw::Polynomial { degree: 2.0 });
+    }
+
+    #[test]
+    fn measured_law_flags_io_bounded_kernels() {
+        let cfg = ParallelSweepConfig::new(
+            24,
+            vec![topo(1), topo(2)],
+            vec![16, 64, 256, 1024],
+            4,
+        );
+        let law = measured_growth_law(&ParTranspose, &cfg, 0.35).unwrap();
+        assert_eq!(law, GrowthLaw::Impossible);
+    }
+}

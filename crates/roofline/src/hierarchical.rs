@@ -93,16 +93,23 @@ impl HierarchicalRoofline {
     /// The ridge `C / IO_i` of boundary `level`, in ops per word — the
     /// machine balance of that level pair.
     ///
+    /// `IO_i` here is the level's *effective* bandwidth
+    /// ([`LevelSpec::effective_bandwidth`]): the nominal channel rate with
+    /// the per-word access latency charged, so a nonzero-latency level has
+    /// a higher ridge (it needs more reuse to keep the machine busy). With
+    /// zero latencies this is exactly the nominal `C / IO_i`.
+    ///
     /// # Panics
     ///
     /// Panics when `level ≥ depth()`.
     #[must_use]
     pub fn ridge_at(&self, level: usize) -> f64 {
-        self.peak.get() / self.levels[level].bandwidth().get()
+        self.peak.get() / self.levels[level].effective_bandwidth().get()
     }
 
     /// Attainable throughput (ops/s) at per-level intensities `ai`
-    /// (innermost first): `min(C, min_i ai_i · IO_i)`.
+    /// (innermost first): `min(C, min_i ai_i · IO_i)`, with each `IO_i`
+    /// the level's latency-adjusted effective bandwidth.
     ///
     /// Intensities beyond `ai.len()` are treated as unconstrained (their
     /// boundary saw no traffic), and extra entries are ignored; callers
@@ -111,7 +118,7 @@ impl HierarchicalRoofline {
     pub fn attainable(&self, ai: &[f64]) -> f64 {
         let mut best = self.peak.get();
         for (level, intensity) in self.levels.iter().zip(ai) {
-            best = best.min(intensity * level.bandwidth().get());
+            best = best.min(intensity * level.effective_bandwidth().get());
         }
         best
     }
@@ -128,7 +135,9 @@ impl HierarchicalRoofline {
         self.levels
             .iter()
             .zip(ai)
-            .position(|(level, intensity)| intensity * level.bandwidth().get() <= attainable)
+            .position(|(level, intensity)| {
+                intensity * level.effective_bandwidth().get() <= attainable
+            })
     }
 
     /// Attainable throughput for a kernel with intensity model `model`,
@@ -168,11 +177,13 @@ impl HierarchicalRoofline {
         model.balanced_memory(self.ridge_at(level))
     }
 
-    /// The one-level [`Roofline`] this reduces to, when `depth() == 1`.
+    /// The one-level [`Roofline`] this reduces to, when `depth() == 1`
+    /// (built on the level's effective bandwidth, so a latency-laden flat
+    /// machine reduces consistently too).
     #[must_use]
     pub fn flat(&self) -> Option<Roofline> {
         if self.levels.len() == 1 {
-            Roofline::new(self.peak, self.levels[0].bandwidth()).ok()
+            Roofline::new(self.peak, self.levels[0].effective_bandwidth()).ok()
         } else {
             None
         }
@@ -266,6 +277,34 @@ mod tests {
         .unwrap();
         let sqrt = IntensityModel::sqrt_m(1.0);
         assert_eq!(h.attainable_model(&sqrt), 5.0e7);
+    }
+
+    #[test]
+    fn level_latency_raises_ridges_and_lowers_slopes() {
+        use balance_core::Seconds;
+        // Same nominal ladder, outer level latency 0 vs 1e-7 s/word
+        // (which halves its 1e7 word/s effective bandwidth).
+        let zero = HierarchicalRoofline::new(
+            OpsPerSec::new(1.0e8),
+            &spec(&[(64, 1.0e7), (65536, 1.0e7)]),
+        )
+        .unwrap();
+        let lat_spec = HierarchySpec::new(vec![
+            LevelSpec::new(Words::new(64), WordsPerSec::new(1.0e7)).unwrap(),
+            LevelSpec::new(Words::new(65536), WordsPerSec::new(1.0e7))
+                .unwrap()
+                .with_latency(Seconds::new(1.0e-7))
+                .unwrap(),
+        ])
+        .unwrap();
+        let lat = HierarchicalRoofline::new(OpsPerSec::new(1.0e8), &lat_spec).unwrap();
+        assert_eq!(zero.ridge_at(1), 10.0);
+        assert_eq!(lat.ridge_at(1), 20.0, "latency doubles the outer ridge");
+        // At ai = 5 op/word on both boundaries, the latency-laden ladder
+        // attains half the throughput of the latency-free one.
+        assert_eq!(zero.attainable(&[5.0, 5.0]), 5.0e7);
+        assert_eq!(lat.attainable(&[5.0, 5.0]), 2.5e7);
+        assert_eq!(lat.binding_level(&[5.0, 5.0]), Some(1));
     }
 
     #[test]

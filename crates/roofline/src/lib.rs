@@ -12,6 +12,9 @@
 //!   `attainable(AI) = min(C, min_i AI_i · IO_i)`, one ridge and one
 //!   balanced-memory point per level, reducing exactly to [`Roofline`]
 //!   for one-level machines;
+//! * [`parallel::ParallelRoofline`] — the multi-PE machine's three-term
+//!   roofline: `min(C_total, AI_ext·IO_ext, AI_comm·BW_bis)`, adding the
+//!   topology's bisection bandwidth as a bound on internal communication;
 //! * [`series`] — kernels swept across memory sizes, tracing their path up
 //!   the bandwidth slope onto the compute roof;
 //! * [`plot`] — ASCII roofline charts for the `repro` harness.
@@ -35,10 +38,12 @@
 
 pub mod hierarchical;
 pub mod model;
+pub mod parallel;
 pub mod plot;
 pub mod series;
 
 pub use hierarchical::HierarchicalRoofline;
 pub use model::Roofline;
+pub use parallel::{ParallelBound, ParallelRoofline};
 pub use plot::render;
 pub use series::{kernel_series, KernelSeries, SeriesPoint};

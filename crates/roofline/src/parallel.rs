@@ -1,0 +1,279 @@
+//! The parallel roofline: compute roof, external-I/O slope, and a
+//! bisection-bandwidth slope.
+//!
+//! A §4 processor collection has three candidate bottlenecks: its
+//! aggregate compute bandwidth, the bandwidth of its single external
+//! boundary, and — new relative to the one-PE roofline — the internal
+//! links its decomposition communicates over, summarized by the
+//! **bisection bandwidth** (links cut by a worst-case bisection × per-link
+//! word rate). At external intensity `AI_ext` (ops per external word) and
+//! communication intensity `AI_comm` (ops per communicated word):
+//!
+//! ```text
+//! attainable(AI_ext, AI_comm) = min(C_total, AI_ext·IO_ext, AI_comm·BW_bis)
+//! ```
+//!
+//! With an unconstrained bisection (`AI_comm = ∞`, e.g. a communication-
+//! free workload or a 1-PE machine) this reduces exactly to the flat
+//! [`Roofline`] — pinned by property test.
+
+use core::fmt;
+
+use balance_core::{BalanceError, OpsPerSec, WordsPerSec};
+
+use crate::model::Roofline;
+
+/// Which term of the parallel roofline binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelBound {
+    /// The aggregate compute roof.
+    Compute,
+    /// The external I/O slope — the §4 balance condition's subject.
+    ExternalIo,
+    /// The bisection-bandwidth slope: the arrangement's internal links
+    /// cannot feed the PEs fast enough.
+    Bisection,
+}
+
+impl fmt::Display for ParallelBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelBound::Compute => write!(f, "compute roof"),
+            ParallelBound::ExternalIo => write!(f, "external I/O"),
+            ParallelBound::Bisection => write!(f, "bisection"),
+        }
+    }
+}
+
+/// A three-term roofline for a multi-PE machine.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::{OpsPerSec, WordsPerSec};
+/// use balance_roofline::{ParallelBound, ParallelRoofline};
+///
+/// // 8 PEs of 1e7 op/s behind a 1e7 word/s port, ring links of 2e7
+/// // word/s with bisection width 1.
+/// let rl = ParallelRoofline::new(
+///     OpsPerSec::new(8.0e7),
+///     WordsPerSec::new(1.0e7),
+///     WordsPerSec::new(2.0e7),
+/// )?;
+/// assert_eq!(rl.ridge_external(), 8.0);
+/// // Plenty of reuse externally (AI 100) but heavy chatter (AI 1):
+/// // the bisection binds at 2e7 op/s.
+/// assert_eq!(rl.attainable(100.0, 1.0), 2.0e7);
+/// assert_eq!(rl.binding(100.0, 1.0), ParallelBound::Bisection);
+/// # Ok::<(), balance_core::BalanceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelRoofline {
+    peak: OpsPerSec,
+    external_bw: WordsPerSec,
+    bisection_bw: WordsPerSec,
+}
+
+impl ParallelRoofline {
+    /// Builds the roofline from aggregate compute, external I/O
+    /// bandwidth, and bisection bandwidth (links cut × per-link rate).
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidQuantity`] for any non-positive or
+    /// non-finite rate.
+    pub fn new(
+        peak: OpsPerSec,
+        external_bw: WordsPerSec,
+        bisection_bw: WordsPerSec,
+    ) -> Result<Self, BalanceError> {
+        if !peak.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "aggregate compute",
+                value: peak.get(),
+            });
+        }
+        if !external_bw.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "external bandwidth",
+                value: external_bw.get(),
+            });
+        }
+        if !bisection_bw.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "bisection bandwidth",
+                value: bisection_bw.get(),
+            });
+        }
+        Ok(ParallelRoofline {
+            peak,
+            external_bw,
+            bisection_bw,
+        })
+    }
+
+    /// Aggregate compute rate.
+    #[must_use]
+    pub fn peak(&self) -> OpsPerSec {
+        self.peak
+    }
+
+    /// External I/O bandwidth.
+    #[must_use]
+    pub fn external_bw(&self) -> WordsPerSec {
+        self.external_bw
+    }
+
+    /// Bisection bandwidth.
+    #[must_use]
+    pub fn bisection_bw(&self) -> WordsPerSec {
+        self.bisection_bw
+    }
+
+    /// The external ridge `C_total / IO_ext` — the aggregate machine
+    /// balance the §4 memory laws must reach.
+    #[must_use]
+    pub fn ridge_external(&self) -> f64 {
+        self.peak.get() / self.external_bw.get()
+    }
+
+    /// The bisection ridge `C_total / BW_bis`: the ops-per-communicated-
+    /// word a decomposition must exceed to keep the links off the
+    /// critical path.
+    #[must_use]
+    pub fn ridge_bisection(&self) -> f64 {
+        self.peak.get() / self.bisection_bw.get()
+    }
+
+    /// Attainable throughput at external intensity `ai_ext` and
+    /// communication intensity `ai_comm` (both ops/word; `f64::INFINITY`
+    /// marks an unconstrained term).
+    #[must_use]
+    pub fn attainable(&self, ai_ext: f64, ai_comm: f64) -> f64 {
+        let mut best = self.peak.get();
+        if ai_ext.is_finite() {
+            best = best.min(ai_ext * self.external_bw.get());
+        }
+        if ai_comm.is_finite() {
+            best = best.min(ai_comm * self.bisection_bw.get());
+        }
+        best
+    }
+
+    /// The binding term at the given intensities (ties resolve roof, then
+    /// external, then bisection — the reporting order).
+    #[must_use]
+    pub fn binding(&self, ai_ext: f64, ai_comm: f64) -> ParallelBound {
+        let attainable = self.attainable(ai_ext, ai_comm);
+        if attainable >= self.peak.get() {
+            ParallelBound::Compute
+        } else if ai_ext.is_finite() && ai_ext * self.external_bw.get() <= attainable {
+            ParallelBound::ExternalIo
+        } else {
+            ParallelBound::Bisection
+        }
+    }
+
+    /// The flat one-PE [`Roofline`] this reduces to when the bisection is
+    /// never binding (compute roof + external slope only).
+    #[must_use]
+    pub fn external_only(&self) -> Roofline {
+        Roofline::new(self.peak, self.external_bw).expect("rates validated")
+    }
+}
+
+impl fmt::Display for ParallelRoofline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C = {} over IO_ext = {} (ridge {:.3}) and BW_bis = {} (ridge {:.3})",
+            self.peak,
+            self.external_bw,
+            self.ridge_external(),
+            self.bisection_bw,
+            self.ridge_bisection()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rl(c: f64, ext: f64, bis: f64) -> ParallelRoofline {
+        ParallelRoofline::new(
+            OpsPerSec::new(c),
+            WordsPerSec::new(ext),
+            WordsPerSec::new(bis),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn attainable_is_the_three_way_min() {
+        let r = rl(100.0, 10.0, 5.0);
+        assert_eq!(r.attainable(4.0, 100.0), 40.0);
+        assert_eq!(r.binding(4.0, 100.0), ParallelBound::ExternalIo);
+        assert_eq!(r.attainable(100.0, 4.0), 20.0);
+        assert_eq!(r.binding(100.0, 4.0), ParallelBound::Bisection);
+        assert_eq!(r.attainable(100.0, 100.0), 100.0);
+        assert_eq!(r.binding(100.0, 100.0), ParallelBound::Compute);
+    }
+
+    #[test]
+    fn infinite_intensities_are_unconstrained() {
+        let r = rl(100.0, 10.0, 5.0);
+        // A comm-free machine (1 PE, or transpose-style partitioning).
+        assert_eq!(r.attainable(4.0, f64::INFINITY), 40.0);
+        // Fully resident: external unconstrained too.
+        assert_eq!(r.attainable(f64::INFINITY, f64::INFINITY), 100.0);
+        assert_eq!(r.binding(f64::INFINITY, f64::INFINITY), ParallelBound::Compute);
+    }
+
+    #[test]
+    fn reduces_to_flat_roofline_without_comm() {
+        let r = rl(100.0, 10.0, 5.0);
+        let flat = r.external_only();
+        for ai in [0.0, 0.5, 5.0, 10.0, 1000.0] {
+            assert_eq!(r.attainable(ai, f64::INFINITY), flat.attainable(ai), "ai {ai}");
+        }
+        assert_eq!(r.ridge_external(), flat.ridge_point());
+    }
+
+    #[test]
+    fn ridges_and_accessors() {
+        let r = rl(80.0, 10.0, 20.0);
+        assert_eq!(r.ridge_external(), 8.0);
+        assert_eq!(r.ridge_bisection(), 4.0);
+        assert_eq!(r.peak().get(), 80.0);
+        assert_eq!(r.external_bw().get(), 10.0);
+        assert_eq!(r.bisection_bw().get(), 20.0);
+        let s = r.to_string();
+        assert!(s.contains("ridge"), "{s}");
+        assert_eq!(ParallelBound::Compute.to_string(), "compute roof");
+        assert_eq!(ParallelBound::ExternalIo.to_string(), "external I/O");
+        assert_eq!(ParallelBound::Bisection.to_string(), "bisection");
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        assert!(ParallelRoofline::new(
+            OpsPerSec::new(0.0),
+            WordsPerSec::new(1.0),
+            WordsPerSec::new(1.0)
+        )
+        .is_err());
+        assert!(ParallelRoofline::new(
+            OpsPerSec::new(1.0),
+            WordsPerSec::new(-1.0),
+            WordsPerSec::new(1.0)
+        )
+        .is_err());
+        assert!(ParallelRoofline::new(
+            OpsPerSec::new(1.0),
+            WordsPerSec::new(1.0),
+            WordsPerSec::new(f64::NAN)
+        )
+        .is_err());
+    }
+}

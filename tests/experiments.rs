@@ -112,6 +112,13 @@ fn e20_hierarchy() {
 }
 
 #[test]
+fn e21_parallel_measured() {
+    check("E21");
+    // The CI smoke step runs this experiment by its mnemonic alias.
+    check("parallel");
+}
+
+#[test]
 fn registry_is_complete_and_consistent() {
     for id in balance_bench::ALL_IDS {
         let report = run_by_id(id).unwrap();
