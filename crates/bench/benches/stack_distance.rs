@@ -1,0 +1,66 @@
+//! Stack-distance engine benchmarks: the wall-clock case for one-pass
+//! capacity sweeps.
+//!
+//! * `capacity_sweep_matmul_n96/engine_replay` — the reference executor:
+//!   the 3·96³-address canonical matmul trace replayed through an actual
+//!   LRU once per capacity, 16 capacities.
+//! * `capacity_sweep_matmul_n96/engine_stackdist` — the same 16-point
+//!   sweep from **one** replay through the Mattson engine (bit-identical
+//!   points, pinned by property test).
+//! * `stackdist/histogram_direct` vs `stackdist/lru_direct` — the
+//!   per-access price of histogram accounting against a plain
+//!   direct-indexed LRU replay at one capacity (the engine's log-factor
+//!   overhead, which the sweep amortizes across its points).
+//!
+//! The medians land in `BENCH_5.json` via the bench-smoke script; the
+//! tentpole target is `engine_replay / engine_stackdist ≥ 3×` on the
+//! 16-point sweep.
+
+use balance_kernels::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sweep_cfg(engine: Engine) -> SweepConfig {
+    SweepConfig {
+        n: 96,
+        memories: (2..=17u32).map(|k| 1usize << k).collect(), // 16 points
+        seed: 1,
+        verify: Verify::None,
+        engine,
+    }
+}
+
+fn bench_capacity_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capacity_sweep_matmul_n96");
+    g.sample_size(10);
+    g.bench_function("engine_replay", |b| {
+        b.iter(|| capacity_sweep(&MatMul, &sweep_cfg(Engine::Replay)).expect("traced"));
+    });
+    g.bench_function("engine_stackdist", |b| {
+        b.iter(|| capacity_sweep(&MatMul, &sweep_cfg(Engine::StackDist)).expect("traced"));
+    });
+    g.finish();
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stackdist");
+    g.sample_size(10);
+    let n = 96usize;
+    let bound = 3 * (n as u64) * (n as u64);
+    g.bench_function("histogram_direct", |b| {
+        b.iter(|| {
+            let mut engine = balance_machine::StackDistance::with_address_bound(bound);
+            engine.observe_trace(balance_kernels::matmul::NaiveTrace::new(n));
+            engine.into_profile()
+        });
+    });
+    g.bench_function("lru_direct", |b| {
+        b.iter(|| {
+            let mut cache = balance_machine::LruCache::with_address_bound(3072, 1, bound);
+            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_capacity_sweep, bench_engine_overhead);
+criterion_main!(benches);

@@ -25,6 +25,7 @@ fn matmul_cfg(verify: Verify) -> SweepConfig {
             .collect(),
         seed: 1,
         verify,
+        engine: Engine::Replay,
     }
 }
 

@@ -177,9 +177,48 @@ pub fn verify_by_name(name: &str) -> Result<Verify, String> {
     })
 }
 
+/// Parses an `--engine` flag value into an [`Engine`], resolving `auto`
+/// for a sweep of `points` memory sizes.
+///
+/// # Errors
+///
+/// Unknown engine names, with the list of valid ones.
+pub fn engine_by_name(name: &str, points: usize) -> Result<Engine, String> {
+    Ok(match name {
+        "replay" => Engine::Replay,
+        "stackdist" => Engine::StackDist,
+        "auto" => Engine::auto(points),
+        other => Err(format!(
+            "unknown engine '{other}' (try: replay, stackdist, auto)"
+        ))?,
+    })
+}
+
+/// The kernel registry for the sweep commands, keyed by CLI name.
+fn kernel_by_name(name: &str) -> Result<Box<dyn Kernel>, String> {
+    Ok(match name {
+        "matmul" => Box::new(MatMul),
+        "lu" | "triangularization" => Box::new(Triangularization),
+        "grid2" => Box::new(GridRelaxation::new(2)),
+        "grid3" => Box::new(GridRelaxation::new(3)),
+        "fft" => Box::new(Fft),
+        "sort" => Box::new(ExternalSort),
+        "matvec" => Box::new(MatVec),
+        "trisolve" => Box::new(TriSolve),
+        other => return Err(format!("unknown kernel '{other}'")),
+    })
+}
+
 /// `balance sweep --kernel <name> --n <size> [--seed <u64>]
-/// [--verify full|freivalds|none]`: run a real measured sweep (in
-/// parallel across cores) and fit the law.
+/// [--verify full|freivalds|none] [--engine replay|stackdist|auto]`: run
+/// a real measured sweep (in parallel across cores) and fit the law.
+///
+/// Without `--engine` the sweep runs the kernel's *decomposition scheme*
+/// once per memory size (the §3 measurement). With `--engine` it measures
+/// the **cache-model** curve instead — the kernel's canonical trace
+/// through an LRU of each capacity — where `stackdist` answers the whole
+/// sweep from a single replay and `replay` is the per-capacity reference
+/// engine (bit-identical results, different wall-clock).
 ///
 /// # Errors
 ///
@@ -194,23 +233,28 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
         Some(mode) => verify_by_name(mode)?,
         Option::None => Verify::auto(n),
     };
-    let kernel: Box<dyn Kernel> = match name {
-        "matmul" => Box::new(MatMul),
-        "lu" | "triangularization" => Box::new(Triangularization),
-        "grid2" => Box::new(GridRelaxation::new(2)),
-        "grid3" => Box::new(GridRelaxation::new(3)),
-        "fft" => Box::new(Fft),
-        "sort" => Box::new(ExternalSort),
-        "matvec" => Box::new(MatVec),
-        "trisolve" => Box::new(TriSolve),
-        other => return Err(format!("unknown kernel '{other}'")),
-    };
+    let kernel = kernel_by_name(name)?;
     let cfg = SweepConfig::pow2(n, 5, 12, seed).with_verify(verify);
-    let result = intensity_sweep_par(kernel.as_ref(), &cfg).map_err(|e| e.to_string())?;
-    let mut out = format!(
+    let (result, header) = match flags.str_opt("engine") {
+        Some(engine) => {
+            let engine = engine_by_name(engine, cfg.memories.len())?;
+            let result = capacity_sweep_par(kernel.as_ref(), &cfg.clone().with_engine(engine))
+                .map_err(|e| e.to_string())?;
+            (
+                result,
+                format!("cache-model capacity sweep ({engine:?} engine)\n"),
+            )
+        }
+        Option::None => (
+            intensity_sweep_par(kernel.as_ref(), &cfg).map_err(|e| e.to_string())?,
+            String::new(),
+        ),
+    };
+    let mut out = header;
+    out.push_str(&format!(
         "{:>10} {:>14} {:>14} {:>10}\n",
         "M (words)", "C_comp", "C_io", "ratio"
-    );
+    ));
     for run in &result.runs {
         out.push_str(&format!(
             "{:>10} {:>14} {:>14} {:>10.3}\n",
@@ -271,13 +315,21 @@ pub fn parse_levels(s: &str) -> Result<HierarchySpec, String> {
     HierarchySpec::new(levels).map_err(|e| e.to_string())
 }
 
-/// `balance hierarchy --levels CAP:BW[:LAT][,...] [--c <ops/s>]`: the
+/// `balance hierarchy --levels CAP:BW[:LAT][,...] [--c <ops/s>]
+/// [--kernel <name> [--n <size>] [--engine replay|stackdist|auto]]`: the
 /// balance law per level of a memory hierarchy.
 ///
 /// Prints each boundary's ridge point, then — for each law in
 /// [`MODEL_NAMES`] — the attainable throughput
 /// `min(C, min_i r(M_i)·IO_i)`, the binding level, and the balanced
 /// capacity each level would need to reach its own ridge.
+///
+/// With `--kernel` it appends a **measured** section: the kernel's
+/// canonical trace driven through the given ladder (all levels
+/// cache-managed), reporting each boundary's word traffic and measured
+/// per-level intensity. The default `stackdist` engine reads every
+/// boundary off one replay; `replay` runs the actual chained ladder
+/// (bit-identical).
 ///
 /// # Errors
 ///
@@ -339,6 +391,51 @@ pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
             binds,
             m_bal.join(", ")
         ));
+    }
+
+    // Optional measured section: the kernel's canonical trace through
+    // this ladder, every boundary read off one replay.
+    if let Some(kname) = flags.str_opt("kernel") {
+        let kernel = kernel_by_name(kname)?;
+        let n = match flags.str_opt("n") {
+            Some(_) => flags.u64("n")? as usize,
+            Option::None => 32,
+        };
+        // `auto`'s point count here is the number of capacities read off
+        // the histogram — the ladder depth, not the single sweep point
+        // (a depth-d replay costs ~d LRU updates per address, so shallow
+        // ladders favor the plain replay and deep ones the histogram).
+        let engine = match flags.str_opt("engine") {
+            Some(e) => engine_by_name(e, spec.depth())?,
+            Option::None => Engine::StackDist,
+        };
+        let cfg = SweepConfig {
+            n,
+            memories: vec![spec.local_capacity_words()],
+            seed: 42,
+            verify: Verify::None,
+            engine,
+        };
+        let outer: Vec<LevelSpec> = spec.levels()[1..].to_vec();
+        let result = hierarchy_capacity_sweep(kernel.as_ref(), &cfg, &outer)
+            .map_err(|e| e.to_string())?;
+        let run = result
+            .runs
+            .first()
+            .ok_or_else(|| "no measurable capacity point".to_string())?;
+        out.push_str(&format!(
+            "\nmeasured ({kname} canonical trace, n = {n}, {engine:?} engine, one replay):\n\
+             {:<6} {:>14} {:>14}\n",
+            "level", "io_i (words)", "r_i (op/word)"
+        ));
+        for i in 0..run.execution.cost.level_count() {
+            out.push_str(&format!(
+                "L{:<5} {:>14} {:>14.3}\n",
+                i + 1,
+                run.execution.cost.io_at(i).unwrap_or(0),
+                run.execution.cost.intensity_at(i).unwrap_or(0.0)
+            ));
+        }
     }
     Ok(out)
 }
@@ -501,16 +598,21 @@ USAGE:
       Characterize a PE: machine balance + balanced memory per computation.
   balance rebalance --law <matmul|lu|grid1..grid4|fft|sort|matvec> --alpha <f> --m <words>
       The paper's question: how much memory restores balance after C/IO grows α-fold?
-  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>] [--verify full|freivalds|none]
+  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>] [--verify full|freivalds|none] [--engine replay|stackdist|auto]
       Run the instrumented kernel across a memory sweep (parallel across
       cores; default verification: full up to n=64, anchored Freivalds
-      beyond) and fit the law.
-  balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>]
+      beyond) and fit the law. With --engine, measure the cache-model
+      curve (canonical trace through an LRU per capacity) instead:
+      stackdist answers the whole sweep from ONE replay, replay is the
+      per-capacity reference engine (bit-identical results).
+  balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>] [--kernel <name> [--n <size>] [--engine replay|stackdist|auto]]
       The balance law per level of a memory hierarchy (innermost level
       first): per-boundary ridges, binding level, and balanced capacity
       per level for each of the paper's intensity laws. LAT is the level's
       per-word access latency in seconds; it lowers the level's effective
-      bandwidth and therefore raises its ridge.
+      bandwidth and therefore raises its ridge. With --kernel, append the
+      measured per-boundary traffic of the kernel's canonical trace
+      through this ladder, read off one stack-distance replay.
   balance parallel --pes <P> --topology <linear|mesh> [--kernel matmul|transpose|grid2] [--n <size>] [--seed <u64>]
       Run a kernel on a measured P-PE machine (Warp cells) across a per-PE
       memory sweep: external vs communication traffic, the balance verdict
@@ -609,6 +711,69 @@ mod tests {
         let f = Flags::parse(&args(&["--kernel", "matmul", "--n", "8", "--verify", "bogus"]))
             .unwrap();
         assert!(cmd_sweep(&f).is_err());
+    }
+
+    #[test]
+    fn sweep_engine_flag_runs_the_capacity_engines_bit_identically() {
+        let base = &["--kernel", "matmul", "--n", "16"];
+        let onepass = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "stackdist"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        let replay = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "replay"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        // Same numbers from both engines; only the header names the engine.
+        assert!(onepass.contains("StackDist"), "{onepass}");
+        assert!(replay.contains("Replay"), "{replay}");
+        let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(strip(&onepass), strip(&replay));
+        // And the cache-model curve differs from the scheme sweep.
+        let scheme = cmd_sweep(&Flags::parse(&args(base)).unwrap()).unwrap();
+        assert_ne!(strip(&onepass), scheme);
+        // auto resolves; bogus engines are rejected.
+        assert!(cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "auto"][..]].concat())).unwrap()
+        )
+        .is_ok());
+        assert!(cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "bogus"][..]].concat())).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn engine_registry_parses_all_modes() {
+        assert_eq!(engine_by_name("replay", 16).unwrap(), Engine::Replay);
+        assert_eq!(engine_by_name("stackdist", 1).unwrap(), Engine::StackDist);
+        assert_eq!(engine_by_name("auto", 3).unwrap(), Engine::Replay);
+        assert_eq!(engine_by_name("auto", 4).unwrap(), Engine::StackDist);
+        assert!(engine_by_name("onepass", 4).is_err());
+    }
+
+    #[test]
+    fn hierarchy_command_appends_measured_section_per_engine() {
+        let base = &["--levels", "100:1e7,10000:1e6", "--kernel", "matmul", "--n", "16"];
+        let onepass = cmd_hierarchy(&Flags::parse(&args(base)).unwrap()).unwrap();
+        assert!(onepass.contains("measured (matmul canonical trace"), "{onepass}");
+        assert!(onepass.contains("io_i (words)"), "{onepass}");
+        // The replay engine renders the same measured numbers.
+        let replay = cmd_hierarchy(
+            &Flags::parse(&args(&[base, &["--engine", "replay"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            onepass.replace("StackDist", "Replay"),
+            replay,
+            "engines must agree on every measured number"
+        );
+        // Without --kernel there is no measured section.
+        let plain = cmd_hierarchy(
+            &Flags::parse(&args(&["--levels", "100:1e7,10000:1e6"])).unwrap(),
+        )
+        .unwrap();
+        assert!(!plain.contains("measured ("), "{plain}");
     }
 
     #[test]

@@ -11,16 +11,19 @@
 //!
 //! The measurement stack is built for scale: the trace streams from
 //! [`NaiveTrace`] (O(1) memory — the `n = 512` trace is 402M addresses,
-//! ~3 GB materialized), the cache uses the direct-indexed backend over the
-//! dense `[0, 3n²)` address range (~3 MB of slot table at `n = 512`), the
-//! blocked runs verify by Freivalds checks at large `n` (first point fully
-//! verified as the anchor), and the per-`M` measurements fan out across
-//! cores. `Scale::Large` is the `repro --scale large` tier.
+//! ~3 GB materialized) through the **one-pass stack-distance engine**, so
+//! the LRU side of the ablation costs a single replay for *all* cache
+//! sizes at once (misses at capacity `M` are exactly the accesses with
+//! reuse distance > `M` — bit-identical to the per-`M` `LruCache` replay
+//! this experiment used to run, pinned by property test). The blocked
+//! runs verify by Freivalds checks at large `n` (first point fully
+//! verified as the anchor) and fan out across cores. `Scale::Large` is
+//! the `repro --scale large` tier.
 
 use balance_kernels::matmul::{tile_side, MatMul, NaiveTrace};
 use balance_kernels::sweep::par_map;
 use balance_kernels::{Kernel, Verify};
-use balance_machine::LruCache;
+use balance_machine::StackDistance;
 
 use crate::experiments::Scale;
 use crate::report::{Finding, Report};
@@ -45,14 +48,22 @@ pub fn e13_lru_ablation_at(scale: Scale) -> Report {
     let ops = 2 * (n as u64).pow(3);
     let addr_bound = 3 * (n as u64) * (n as u64);
 
-    // One fully independent measurement per memory size: stream the naive
-    // trace through an LRU of capacity M, then run the verified blocked
-    // kernel at the same M. par_map keeps the rows in sweep order; the
-    // first point is the fully-verified anchor (as in intensity_sweep),
-    // the rest use the size-appropriate policy.
+    // The LRU side of every row from ONE replay: stream the naive trace
+    // through the stack-distance engine once, then read each capacity's
+    // miss count off the histogram (bit-identical to replaying an LRU of
+    // that capacity — the Mattson stack property, pinned by proptest).
+    // At Scale::Large this turns five 402M-address cache replays into one.
+    let profile = {
+        let mut engine = StackDistance::with_address_bound(addr_bound);
+        engine.observe_trace(NaiveTrace::new(n));
+        engine.into_profile()
+    };
+
+    // One verified blocked run per memory size. par_map keeps the rows in
+    // sweep order; the first point is the fully-verified anchor (as in
+    // intensity_sweep), the rest use the size-appropriate policy.
     let rows: Vec<(usize, f64, f64)> = par_map(&memories, |i, &m| {
-        let mut cache = LruCache::with_address_bound(m, 1, addr_bound);
-        let misses = cache.run_trace(NaiveTrace::new(n));
+        let misses = profile.misses_at(m as u64);
         let lru_intensity = ops as f64 / misses as f64;
         let verify = if i == 0 { Verify::Full } else { Verify::auto(n) };
         let run = MatMul.run_with(n, m, 99, verify).expect("verified run");
@@ -99,10 +110,10 @@ pub fn e13_lru_ablation_at(scale: Scale) -> Report {
     ));
 
     // Control: when the whole problem fits in cache, LRU is fine — only
-    // compulsory misses remain.
+    // compulsory misses remain. Read off the same histogram: no extra
+    // replay needed.
     let m_fits = 3 * n * n + 8;
-    let mut cache = LruCache::with_address_bound(m_fits, 1, addr_bound);
-    let misses = cache.run_trace(NaiveTrace::new(n));
+    let misses = profile.misses_at(m_fits as u64);
     findings.push(Finding::new(
         "control: fully-resident problem has compulsory misses only",
         format!("{} misses (A, B, C touched once)", 3 * n * n),

@@ -20,7 +20,7 @@
 //!   outermost boundary reduced to the compulsory minimum.
 
 use balance_core::{HierarchySpec, LevelSpec, OpsPerSec, Words, WordsPerSec};
-use balance_kernels::sweep::{hierarchy_sweep_par, SweepConfig};
+use balance_kernels::sweep::{hierarchy_sweep_par, Engine, SweepConfig};
 use balance_kernels::{Kernel, KernelRun, Verify};
 use balance_roofline::HierarchicalRoofline;
 
@@ -75,6 +75,7 @@ fn sweep(
         memories: m1s.to_vec(),
         seed: 20,
         verify: Verify::Full,
+        engine: Engine::Replay,
     };
     let result = hierarchy_sweep_par(kernel, &cfg, &outer_levels(outer)).expect("verified sweep");
     let bindings = result

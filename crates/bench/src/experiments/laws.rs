@@ -132,6 +132,7 @@ fn fft_sweep(t: u32) -> SweepResult {
         memories,
         seed: SEED,
         verify: Verify::Full,
+        engine: Engine::Replay,
     };
     sweep(&Fft, &cfg)
 }
@@ -180,6 +181,7 @@ fn alpha2_factor(kernel: &dyn Kernel, n: usize, memories: &[usize], m_old: f64) 
         seed: SEED,
         // Anchored Freivalds beyond n = 64 — the sweep's cost knob.
         verify: Verify::auto(n),
+        engine: Engine::Replay,
     };
     let result = sweep(kernel, &cfg);
     let curve = result.curve().expect("enough points");
@@ -196,6 +198,7 @@ pub fn e2_matmul() -> Report {
         seed: SEED,
         // n = 96: anchored Freivalds keeps the verify share O(n²).
         verify: Verify::auto(n),
+        engine: Engine::Replay,
     };
     let result = sweep(&MatMul, &cfg);
     let fit = result.fit().expect("enough points");

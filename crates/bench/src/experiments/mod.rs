@@ -7,6 +7,7 @@ pub mod extension;
 pub mod figures;
 pub mod hierarchy_exp;
 pub mod laws;
+pub mod onepass;
 pub mod parallel_exp;
 pub mod parallel_measured;
 pub mod pebble_exp;
@@ -46,9 +47,9 @@ impl Scale {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-    "E12", "E13", "E14", "E15", "E20", "E21",
+    "E12", "E13", "E14", "E15", "E20", "E21", "E22",
 ];
 
 /// Runs one experiment by id (case-insensitive) at the default scale.
@@ -82,10 +83,11 @@ pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
         "E13" => ablation::e13_lru_ablation_at(scale),
         "E14" => extension::e14_extension_kernels(),
         "E15" => amdahl_exp::e15_amdahl(),
-        // "hierarchy"/"parallel" are the mnemonic aliases the CI smoke
-        // steps use.
+        // "hierarchy"/"parallel"/"onepass" are the mnemonic aliases the CI
+        // smoke steps use.
         "E20" | "HIERARCHY" => hierarchy_exp::e20_hierarchy(),
         "E21" | "PARALLEL" => parallel_measured::e21_parallel(),
+        "E22" | "ONEPASS" => onepass::e22_onepass(),
         _ => return None,
     })
 }

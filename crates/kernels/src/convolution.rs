@@ -54,6 +54,10 @@ pub fn convolve_reference(x: &[f64], h: &[f64], n: usize) -> Vec<f64> {
 }
 
 impl Kernel for Convolution {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 0).then(|| crate::trace::convolution(n, self.taps()))
+    }
+
     fn name(&self) -> &'static str {
         "convolution"
     }

@@ -49,6 +49,10 @@ pub fn block_points(m: usize) -> usize {
 }
 
 impl Kernel for Fft {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        crate::trace::fft(n)
+    }
+
     fn name(&self) -> &'static str {
         "fft"
     }

@@ -95,6 +95,10 @@ fn for_each_coord(dims: &[usize], mut f: impl FnMut(&[usize], usize)) {
 }
 
 impl Kernel for GridRelaxation {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 0).then(|| crate::trace::grid(self.dim, n))
+    }
+
     fn name(&self) -> &'static str {
         match self.dim {
             1 => "grid1d",

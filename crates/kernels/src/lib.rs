@@ -51,6 +51,7 @@ pub mod multi_matvec;
 pub mod reference;
 pub mod sorting;
 pub mod sweep;
+pub mod trace;
 pub mod traits;
 pub mod transpose;
 pub mod triangularization;
@@ -73,9 +74,11 @@ pub mod prelude {
     pub use crate::multi_matvec::MultiMatVec;
     pub use crate::sorting::ExternalSort;
     pub use crate::sweep::{
-        hierarchy_sweep, hierarchy_sweep_par, intensity_sweep, intensity_sweep_par, par_map,
-        SweepConfig, SweepResult,
+        capacity_sweep, capacity_sweep_par, hierarchy_capacity_sweep,
+        hierarchy_capacity_sweep_par, hierarchy_sweep, hierarchy_sweep_par, intensity_sweep,
+        intensity_sweep_par, par_map, Engine, SweepConfig, SweepResult,
     };
+    pub use crate::trace::AccessTrace;
     pub use crate::traits::{all_kernels, extension_kernels, Kernel, KernelRun};
     pub use crate::transpose::Transpose;
     pub use crate::triangularization::Triangularization;

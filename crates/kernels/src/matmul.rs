@@ -49,6 +49,10 @@ impl Kernel for MatMul {
         "matmul"
     }
 
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 0).then(|| crate::trace::matmul(n))
+    }
+
     fn description(&self) -> &'static str {
         "N×N matrix multiplication, b×b blocks with 3b² ≤ M (paper §3.1)"
     }

@@ -32,6 +32,10 @@ use crate::workload;
 pub struct MatVec;
 
 impl Kernel for MatVec {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 0).then(|| crate::trace::matvec(n))
+    }
+
     fn name(&self) -> &'static str {
         "matvec"
     }

@@ -63,6 +63,10 @@ impl MultiMatVec {
 }
 
 impl Kernel for MultiMatVec {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 0).then(|| crate::trace::multi_matvec(n, self.vectors()))
+    }
+
     fn name(&self) -> &'static str {
         "multi_matvec"
     }

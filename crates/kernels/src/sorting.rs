@@ -180,6 +180,10 @@ fn merge_level(
 }
 
 impl Kernel for ExternalSort {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 1).then(|| crate::trace::sort(n))
+    }
+
     fn name(&self) -> &'static str {
         "sort"
     }

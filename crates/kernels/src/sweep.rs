@@ -19,16 +19,67 @@
 //! all but the first eligible point (the *anchor*, which stays fully
 //! verified) to `O(n²)` randomized checks, and `Verify::None` is for timing
 //! studies only.
+//!
+//! ## One-pass capacity sweeps
+//!
+//! [`capacity_sweep`] is the third executor family: it measures the
+//! **cache-model** curve — the kernel's canonical trace
+//! ([`Kernel::access_trace`]) replayed through an automatically managed
+//! LRU of capacity `M` — instead of running the explicit decomposition
+//! scheme per point. Because LRU is a stack algorithm, the whole curve is
+//! a pure function of one reuse-distance histogram, so the
+//! [`Engine::StackDist`] engine replays the trace **once** and reads every
+//! `M` off the histogram in O(1), where [`Engine::Replay`] replays once
+//! per memory size. The two engines are bit-identical across the kernel
+//! registry (pinned by property test); [`Engine::auto`] picks stack
+//! distance once a sweep has ≥ 4 points, where the single replay
+//! amortizes. [`hierarchy_capacity_sweep`] is the multi-level read: every
+//! ladder boundary's traffic from the same histogram.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use balance_core::fit::{fit_best, DataPoint, FitReport};
 use balance_core::solver::MeasuredCurve;
-use balance_core::{BalanceError, HierarchySpec, LevelSpec, Words, WordsPerSec};
+use balance_core::{
+    BalanceError, CostProfile, Execution, HierarchySpec, LevelSpec, Words, WordsPerSec,
+};
+use balance_machine::{Hierarchy, LruCache, MemorySystem as _, StackDistance};
 
 use crate::error::KernelError;
+use crate::trace::AccessTrace;
 use crate::traits::{Kernel, KernelRun};
 use crate::verify::Verify;
+
+/// Which measurement engine a capacity sweep runs on.
+///
+/// Both engines produce **bit-identical** [`DataPoint`]s (pinned by
+/// property test across the kernel registry); they differ only in cost:
+/// `Replay` is `O(#points · |trace|)`, `StackDist` is
+/// `O(|trace| · log U + #points)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One full trace replay per memory size, each through an actual
+    /// [`LruCache`] / [`Hierarchy`] model — the reference engine.
+    Replay,
+    /// One trace replay total: Mattson stack-distance accounting
+    /// ([`StackDistance`]), every capacity read off the histogram.
+    #[default]
+    StackDist,
+}
+
+impl Engine {
+    /// The recommended engine for a sweep of `points` memory sizes: the
+    /// one-pass engine as soon as it amortizes (≥ 4 points), the plain
+    /// replay below that.
+    #[must_use]
+    pub fn auto(points: usize) -> Engine {
+        if points >= 4 {
+            Engine::StackDist
+        } else {
+            Engine::Replay
+        }
+    }
+}
 
 /// Parameters of one memory sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,15 +93,23 @@ pub struct SweepConfig {
     /// Verification policy per point (the first eligible point is always
     /// fully verified when this is [`Verify::Freivalds`]).
     pub verify: Verify,
+    /// Measurement engine for the *capacity* executors
+    /// ([`capacity_sweep`] / [`hierarchy_capacity_sweep`]); the
+    /// kernel-running executors ignore it (they execute the decomposition
+    /// scheme, which no single trace can stand in for).
+    pub engine: Engine,
 }
 
 impl SweepConfig {
-    /// A sweep over powers of two `2^lo ..= 2^hi`, fully verified.
+    /// A sweep over powers of two `2^lo ..= 2^hi`, fully verified, with
+    /// the engine [`Engine::auto`] recommends for the point count.
     #[must_use]
     pub fn pow2(n: usize, lo: u32, hi: u32, seed: u64) -> Self {
+        let memories: Vec<usize> = (lo..=hi).map(|k| 1usize << k).collect();
         SweepConfig {
             n,
-            memories: (lo..=hi).map(|k| 1usize << k).collect(),
+            engine: Engine::auto(memories.len()),
+            memories,
             seed,
             verify: Verify::Full,
         }
@@ -60,6 +119,13 @@ impl SweepConfig {
     #[must_use]
     pub fn with_verify(mut self, verify: Verify) -> Self {
         self.verify = verify;
+        self
+    }
+
+    /// The same sweep on an explicit measurement engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -276,6 +342,196 @@ pub fn hierarchy_sweep_par(
     collect_sweep(kernel, results)
 }
 
+/// The kernel's canonical trace, or the documented error for kernels (or
+/// sizes) without one.
+fn trace_for(kernel: &dyn Kernel, n: usize) -> Result<AccessTrace, KernelError> {
+    kernel
+        .access_trace(n)
+        .ok_or_else(|| KernelError::BadParameters {
+            reason: format!(
+                "{} has no canonical access trace at n = {n} (capacity sweeps \
+                 need one; use the kernel-running executors instead)",
+                kernel.name()
+            ),
+        })
+}
+
+/// One cache-model sweep point as a [`KernelRun`]: the traced
+/// computation's op count over the model's miss volume. The peak-memory
+/// field reports the configured capacity (the model cache owns all of
+/// `M`); both engines build points through here, so engine bit-identity
+/// is structural.
+fn capacity_run(n: usize, m: usize, comp_ops: u64, traffic: &[u64]) -> KernelRun {
+    KernelRun {
+        n,
+        m,
+        execution: Execution::new(
+            CostProfile::with_levels(comp_ops, traffic),
+            Words::new(m as u64),
+        ),
+    }
+}
+
+/// Measures the **cache-model** intensity curve `r(M) = C_comp /
+/// misses(M)`: the kernel's canonical trace ([`Kernel::access_trace`])
+/// replayed through a word-granular LRU of each sweep capacity. Emits
+/// [`SweepResult`] / [`DataPoint`]s exactly like [`intensity_sweep`] —
+/// same shapes, fitting and inversion machinery — but measures the
+/// automatically-managed memory instead of the explicit decomposition
+/// scheme (the E13 ablation's other half; the curves differ wherever LRU
+/// falls short of the paper's blocking).
+///
+/// Under [`Engine::StackDist`] the whole sweep costs **one replay**:
+/// Mattson stack-distance accounting answers every capacity from a single
+/// histogram, bit-identically to the per-`M` [`Engine::Replay`] (pinned by
+/// property test across the registry). Capacities of zero are skipped (a
+/// cache needs a word); `cfg.verify` is ignored (a trace replay has no
+/// numerics to verify).
+///
+/// # Errors
+///
+/// [`KernelError::BadParameters`] when the kernel has no canonical trace
+/// at `cfg.n`.
+pub fn capacity_sweep(kernel: &dyn Kernel, cfg: &SweepConfig) -> Result<SweepResult, KernelError> {
+    hierarchy_capacity_sweep(kernel, cfg, &[])
+}
+
+/// [`capacity_sweep`] with the per-`M` replays fanned out over worker
+/// threads ([`par_map`]) — meaningful for [`Engine::Replay`] only; the
+/// one-pass engine is a single replay with nothing to fan out and runs
+/// identically to the serial executor. Bit-identical points either way.
+///
+/// # Errors
+///
+/// As [`capacity_sweep`].
+pub fn capacity_sweep_par(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+) -> Result<SweepResult, KernelError> {
+    hierarchy_capacity_sweep_par(kernel, cfg, &[])
+}
+
+/// Capacities eligible for a capacity sweep: positive, and below the
+/// first outer level so level 0 stays the smallest level of the ladder.
+fn eligible_capacities(cfg: &SweepConfig, outer: &[LevelSpec]) -> Vec<usize> {
+    let ceiling = outer
+        .first()
+        .map_or(u64::MAX, |level| level.capacity().get());
+    cfg.memories
+        .iter()
+        .copied()
+        .filter(|&m| m >= 1 && (m as u64) < ceiling)
+        .collect()
+}
+
+/// The multi-level one-pass sweep: level 0's capacity sweeps over
+/// `cfg.memories` under the fixed `outer` levels, **all levels
+/// cache-managed** (the trace-driven configuration of
+/// [`Hierarchy`]), each run carrying one traffic entry per
+/// boundary. LRU inclusion makes every boundary's traffic exactly the
+/// misses at that level's capacity, so [`Engine::StackDist`] reads the
+/// whole ladder — and the whole sweep — off one histogram;
+/// [`Engine::Replay`] replays the trace through an actual ladder per
+/// point (bit-identical, pinned by property test).
+///
+/// # Errors
+///
+/// As [`capacity_sweep`], plus [`KernelError::BadParameters`] for a
+/// malformed `outer` ladder.
+pub fn hierarchy_capacity_sweep(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+) -> Result<SweepResult, KernelError> {
+    validate_outer(outer)?;
+    let memories = eligible_capacities(cfg, outer);
+    match cfg.engine {
+        Engine::StackDist => capacity_points_stackdist(kernel, cfg, outer, &memories),
+        Engine::Replay => collect_sweep(
+            kernel,
+            memories
+                .iter()
+                .map(|&m| capacity_point_replay(kernel, cfg, outer, m)),
+        ),
+    }
+}
+
+/// [`hierarchy_capacity_sweep`] with per-`M` replays on worker threads
+/// (see [`capacity_sweep_par`]).
+///
+/// # Errors
+///
+/// As [`hierarchy_capacity_sweep`].
+pub fn hierarchy_capacity_sweep_par(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+) -> Result<SweepResult, KernelError> {
+    validate_outer(outer)?;
+    let memories = eligible_capacities(cfg, outer);
+    match cfg.engine {
+        Engine::StackDist => capacity_points_stackdist(kernel, cfg, outer, &memories),
+        Engine::Replay => collect_sweep(
+            kernel,
+            par_map(&memories, |_, &m| {
+                capacity_point_replay(kernel, cfg, outer, m)
+            }),
+        ),
+    }
+}
+
+/// One replay-engine point: the canonical trace through an actual
+/// one-level [`LruCache`] (flat) or [`Hierarchy`] ladder of capacity `m`
+/// under the outer levels.
+fn capacity_point_replay(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+    m: usize,
+) -> Result<KernelRun, KernelError> {
+    let trace = trace_for(kernel, cfg.n)?;
+    let comp = trace.comp_ops();
+    let traffic = if outer.is_empty() {
+        let mut cache = LruCache::with_address_bound(m, 1, trace.addr_bound());
+        vec![cache.run_trace(trace.into_addrs())]
+    } else {
+        let mut caps = vec![Words::new(m as u64)];
+        caps.extend(outer.iter().map(|l| l.capacity()));
+        let mut ladder = Hierarchy::new(&caps);
+        ladder.run_trace(trace.into_addrs()).as_slice().to_vec()
+    };
+    Ok(capacity_run(cfg.n, m, comp, &traffic))
+}
+
+/// All stack-distance-engine points from **one replay**: the histogram is
+/// built once, then every sweep capacity (and every outer boundary) is an
+/// O(1) read.
+fn capacity_points_stackdist(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+    memories: &[usize],
+) -> Result<SweepResult, KernelError> {
+    let trace = trace_for(kernel, cfg.n)?;
+    let comp = trace.comp_ops();
+    let bound = trace.addr_bound();
+    let profile = if bound > 0 && bound < u64::from(u32::MAX / 2) {
+        let mut engine = StackDistance::with_address_bound(bound);
+        engine.observe_trace(trace.into_addrs());
+        engine.into_profile()
+    } else {
+        StackDistance::profile_of(trace.into_addrs())
+    };
+    collect_sweep(
+        kernel,
+        memories.iter().map(|&m| {
+            let mut traffic = vec![profile.misses_at(m as u64)];
+            traffic.extend(outer.iter().map(|l| profile.misses_at(l.capacity().get())));
+            Ok(capacity_run(cfg.n, m, comp, &traffic))
+        }),
+    )
+}
+
 /// Applies `f` to every item of `items` on a scoped thread pool sized by
 /// `std::thread::available_parallelism`, returning outputs **in input
 /// order**. `f` receives `(index, &item)`.
@@ -381,6 +637,7 @@ mod tests {
             memories: vec![1, 2, 64],
             seed: 0,
             verify: Verify::Full,
+            engine: Engine::Replay,
         };
         let result = intensity_sweep(&MatMul, &cfg).unwrap();
         assert_eq!(result.points.len(), 1);
@@ -481,6 +738,7 @@ mod tests {
             memories: vec![1, 64, 16, 256], // 1 skipped (< min_memory)
             seed: 0,
             verify: Verify::Full,
+            engine: Engine::Replay,
         };
         for result in [
             intensity_sweep(&AlwaysFails, &cfg),
@@ -504,6 +762,7 @@ mod tests {
             memories: vec![1, 2], // both below MatMul::min_memory
             seed: 0,
             verify: Verify::Full,
+            engine: Engine::Replay,
         };
         let result = intensity_sweep_par(&MatMul, &cfg).unwrap();
         assert!(result.points.is_empty());
@@ -570,10 +829,118 @@ mod tests {
             memories: vec![16, 64, 128, 256],
             seed: 0,
             verify: Verify::Full,
+            engine: Engine::Replay,
         };
         let result = hierarchy_sweep(&MatMul, &cfg, &outer_levels(&[128])).unwrap();
         let ms: Vec<usize> = result.runs.iter().map(|r| r.m).collect();
         assert_eq!(ms, vec![16, 64]);
+    }
+
+    #[test]
+    fn capacity_sweep_engines_are_bit_identical() {
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![4, 16, 64, 256, 1024, 4096],
+            seed: 0,
+            verify: Verify::Full,
+            engine: Engine::Replay,
+        };
+        let replay = capacity_sweep(&MatMul, &cfg).unwrap();
+        let onepass =
+            capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::StackDist)).unwrap();
+        assert_eq!(replay.runs, onepass.runs);
+        assert_eq!(replay.points.len(), 6);
+        for (r, o) in replay.points.iter().zip(&onepass.points) {
+            assert_eq!(r.memory.to_bits(), o.memory.to_bits());
+            assert_eq!(r.ratio.to_bits(), o.ratio.to_bits());
+        }
+        // The parallel executor matches both.
+        let par = capacity_sweep_par(&MatMul, &cfg).unwrap();
+        assert_eq!(replay.runs, par.runs);
+    }
+
+    #[test]
+    fn capacity_sweep_measures_the_cache_model_not_the_scheme() {
+        // At M = 3n² + slack the whole problem is resident: the cache
+        // model's misses collapse to the compulsory 3n², far fewer than
+        // the blocked scheme's traffic at small tile sides.
+        let n = 12usize;
+        let cfg = SweepConfig {
+            n,
+            memories: vec![3 * n * n + 8],
+            seed: 0,
+            verify: Verify::Full,
+            engine: Engine::StackDist,
+        };
+        let result = capacity_sweep(&MatMul, &cfg).unwrap();
+        assert_eq!(result.runs[0].execution.cost.io_words(), 3 * (n as u64).pow(2));
+        assert_eq!(result.runs[0].execution.cost.comp_ops(), 2 * (n as u64).pow(3));
+    }
+
+    #[test]
+    fn capacity_sweep_skips_zero_capacities_and_respects_outer_ceiling() {
+        let cfg = SweepConfig {
+            n: 8,
+            memories: vec![0, 4, 128, 512],
+            seed: 0,
+            verify: Verify::Full,
+            engine: Engine::StackDist,
+        };
+        let flat = capacity_sweep(&MatMul, &cfg).unwrap();
+        assert_eq!(flat.runs.iter().map(|r| r.m).collect::<Vec<_>>(), vec![4, 128, 512]);
+        let hier = hierarchy_capacity_sweep(&MatMul, &cfg, &outer_levels(&[256])).unwrap();
+        assert_eq!(hier.runs.iter().map(|r| r.m).collect::<Vec<_>>(), vec![4, 128]);
+        for run in &hier.runs {
+            assert_eq!(run.execution.cost.level_count(), 2);
+            assert!(run.execution.cost.traffic().is_monotone_non_increasing());
+        }
+    }
+
+    #[test]
+    fn hierarchy_capacity_sweep_engines_match_ladder_replay() {
+        let cfg = SweepConfig {
+            n: 10,
+            memories: vec![8, 32, 96, 200],
+            seed: 0,
+            verify: Verify::Full,
+            engine: Engine::Replay,
+        };
+        let outer = outer_levels(&[256, 1024]);
+        let replay = hierarchy_capacity_sweep(&MatMul, &cfg, &outer).unwrap();
+        let onepass =
+            hierarchy_capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::StackDist), &outer)
+                .unwrap();
+        assert_eq!(replay.runs, onepass.runs);
+        let par = hierarchy_capacity_sweep_par(&MatMul, &cfg, &outer).unwrap();
+        assert_eq!(replay.runs, par.runs);
+    }
+
+    #[test]
+    fn capacity_sweep_without_a_trace_is_the_documented_error() {
+        let cfg = SweepConfig {
+            n: 8,
+            memories: vec![16],
+            seed: 0,
+            verify: Verify::Full,
+            engine: Engine::StackDist,
+        };
+        let err = capacity_sweep(&AlwaysFails, &cfg).unwrap_err();
+        assert!(
+            matches!(&err, KernelError::BadParameters { reason }
+                if reason.contains("no canonical access trace")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn engine_auto_switches_at_four_points() {
+        assert_eq!(Engine::auto(0), Engine::Replay);
+        assert_eq!(Engine::auto(3), Engine::Replay);
+        assert_eq!(Engine::auto(4), Engine::StackDist);
+        assert_eq!(Engine::auto(16), Engine::StackDist);
+        // pow2 wires it through.
+        assert_eq!(SweepConfig::pow2(8, 5, 6, 0).engine, Engine::Replay);
+        assert_eq!(SweepConfig::pow2(8, 5, 12, 0).engine, Engine::StackDist);
     }
 
     #[test]
@@ -583,6 +950,7 @@ mod tests {
             memories: vec![16],
             seed: 0,
             verify: Verify::Full,
+            engine: Engine::Replay,
         };
         // Outer capacities must grow: 4096 then 1024 is rejected.
         let err = hierarchy_sweep(&MatMul, &cfg, &outer_levels(&[4096, 1024])).unwrap_err();
@@ -594,6 +962,7 @@ mod tests {
             memories: vec![8192], // >= first outer capacity: filtered out
             seed: 0,
             verify: Verify::Full,
+            engine: Engine::Replay,
         };
         for result in [
             hierarchy_sweep(&MatMul, &empty_cfg, &outer_levels(&[4096, 1024])),

@@ -1,0 +1,399 @@
+//! Canonical word-address traces: the natural (unblocked) access sequence
+//! of each computation, as a streamed iterator.
+//!
+//! The one-pass capacity sweeps ([`crate::sweep::capacity_sweep`]) measure
+//! the *cache-model* intensity curve of a computation: its canonical trace
+//! replayed through an automatically managed LRU memory of capacity `M`,
+//! for every `M` at once. That needs each kernel to name its trace — the
+//! access order the textbook (naive) algorithm performs, with a dense
+//! address map, an exact length, and the operation count of the traced
+//! computation. [`AccessTrace`] packages exactly that, and
+//! [`Kernel::access_trace`](crate::Kernel::access_trace) returns it.
+//!
+//! Address maps are dense and documented per builder; lengths are exact
+//! (the stack-distance engine and the replay model both pre-size from
+//! them, so honesty is pinned by test); operation counts follow the same
+//! conventions as each kernel's `analytic_cost` (e.g. `2N³` for matmul,
+//! comparisons for sorting).
+//!
+//! Every trace streams in O(1) memory: builders return counter-decoding
+//! iterators (or reuse the streaming generators like
+//! [`NaiveTrace`](crate::matmul::NaiveTrace)), never materialized vectors.
+
+use core::fmt;
+
+use crate::matmul::NaiveTrace;
+
+/// A kernel's canonical access trace: a streamed address iterator plus the
+/// exact metadata the capacity-sweep engines pre-size and price with.
+pub struct AccessTrace {
+    addrs: Box<dyn Iterator<Item = u64> + Send>,
+    len: u64,
+    addr_bound: u64,
+    comp_ops: u64,
+}
+
+impl fmt::Debug for AccessTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccessTrace")
+            .field("len", &self.len)
+            .field("addr_bound", &self.addr_bound)
+            .field("comp_ops", &self.comp_ops)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AccessTrace {
+    /// Packages a trace. `len` must be the exact number of addresses the
+    /// iterator yields and every address must lie in `[0, addr_bound)` —
+    /// both are contract, both are pinned by the registry tests.
+    #[must_use]
+    pub fn new(
+        addrs: impl Iterator<Item = u64> + Send + 'static,
+        len: u64,
+        addr_bound: u64,
+        comp_ops: u64,
+    ) -> Self {
+        AccessTrace {
+            addrs: Box::new(addrs),
+            len,
+            addr_bound,
+            comp_ops,
+        }
+    }
+
+    /// Exact number of addresses in the trace.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the trace has no accesses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive upper bound on every address (the dense address-space
+    /// size — what the direct-indexed engines size their tables from).
+    #[must_use]
+    pub fn addr_bound(&self) -> u64 {
+        self.addr_bound
+    }
+
+    /// Operations the traced computation performs (independent of any
+    /// memory size — the numerator of every capacity point's intensity).
+    #[must_use]
+    pub fn comp_ops(&self) -> u64 {
+        self.comp_ops
+    }
+
+    /// Consumes the trace, yielding the address stream.
+    #[must_use]
+    pub fn into_addrs(self) -> Box<dyn Iterator<Item = u64> + Send> {
+        self.addrs
+    }
+}
+
+/// Naive triple-loop matmul (`ijk` order): `A` at `[0, n²)`, `B` at
+/// `[n², 2n²)`, `C` at `[2n², 3n²)`; `3n³` addresses, `2n³` ops. Reuses
+/// the streaming [`NaiveTrace`] generator — its `ExactSizeIterator::len`
+/// is the trace length (honesty pinned by regression test).
+#[must_use]
+pub fn matmul(n: usize) -> AccessTrace {
+    let t = NaiveTrace::new(n);
+    let len = t.len() as u64;
+    let n64 = n as u64;
+    AccessTrace::new(t, len, 3 * n64 * n64, 2 * n64.pow(3))
+}
+
+/// Unblocked right-looking Gaussian elimination (no pivoting) on `A` at
+/// `[0, n²)`: for each `k`, each row `i > k` reads `A[i][k]`, `A[k][k]`,
+/// writes the multiplier back, then updates its trailing row (`A[k][j]`
+/// read, `A[i][j]` read+write). Ops: one divide per multiplier, two per
+/// update — the `2n³/3` leading term.
+#[must_use]
+pub fn triangularization(n: usize) -> AccessTrace {
+    let n64 = n as u64;
+    let (mut len, mut ops) = (0u64, 0u64);
+    for k in 0..n64 {
+        let rows = n64 - k - 1;
+        let cols = rows; // trailing columns j in (k, n)
+        len += rows * (3 + 3 * cols);
+        ops += rows * (1 + 2 * cols);
+    }
+    let iter = (0..n as u64).flat_map(move |k| {
+        (k + 1..n64).flat_map(move |i| {
+            [i * n64 + k, k * n64 + k, i * n64 + k]
+                .into_iter()
+                .chain((k + 1..n64).flat_map(move |j| {
+                    [k * n64 + j, i * n64 + j, i * n64 + j]
+                }))
+        })
+    });
+    AccessTrace::new(iter, len, n64 * n64, ops)
+}
+
+/// The canonical grid side per dimension: large enough that the grid
+/// outgrows the interesting cache sizes, small enough that a full Jacobi
+/// sweep stays cheap (`side^d` cells).
+#[must_use]
+pub fn grid_side(dim: usize) -> usize {
+    match dim {
+        1 => 64,
+        2 => 16,
+        3 => 8,
+        _ => 6,
+    }
+}
+
+/// Jacobi relaxation, `iters` ping-pong sweeps over a periodic
+/// `side^dim` grid ([`grid_side`] fixes the side, matching the kernel's
+/// convention that the problem size is the *iteration count*). Source and
+/// destination grids alternate between `[0, cells)` and `[cells, 2·cells)`;
+/// each cell reads its `2·dim + 1`-point star and writes its update
+/// (`2·dim + 1` ops).
+#[must_use]
+pub fn grid(dim: usize, iters: usize) -> AccessTrace {
+    assert!((1..=4).contains(&dim), "dimension must be 1..=4");
+    let side = grid_side(dim) as u64;
+    let cells: u64 = side.pow(dim as u32);
+    let star = 2 * dim as u64 + 1;
+    // Per cell: probe 0 reads self, probes 1..star read the ∓/± neighbor
+    // along each axis (periodic, decoded from the cell index per axis
+    // stride), probe `star` writes the destination cell.
+    let iter = (0..iters as u64).flat_map(move |sweep| {
+        let (src, dst) = if sweep % 2 == 0 { (0, cells) } else { (cells, 0) };
+        (0..cells).flat_map(move |c| {
+            (0..star + 1).map(move |probe| {
+                if probe == 0 {
+                    return src + c;
+                }
+                if probe == star {
+                    return dst + c;
+                }
+                let axis = (probe - 1) / 2;
+                let stride = side.pow(u32::try_from(axis).expect("dim <= 4"));
+                let x = (c / stride) % side;
+                let wrapped = if probe % 2 == 1 {
+                    (x + side - 1) % side
+                } else {
+                    (x + 1) % side
+                };
+                src + c - x * stride + wrapped * stride
+            })
+        })
+    });
+    let len = iters as u64 * cells * (star + 1);
+    AccessTrace::new(iter, len, 2 * cells, iters as u64 * cells * star)
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT over `n` complex
+/// points (`n` a power of two), one complex point = two words at
+/// `[2i, 2i+1]`: each of the `log₂n` stages runs `n/2` butterflies, each
+/// reading then writing both points (8 word accesses, 10 real ops).
+/// Returns `None` when `n` is not a power of two or is below 2 — the same
+/// restriction as the kernel.
+#[must_use]
+pub fn fft(n: usize) -> Option<AccessTrace> {
+    if n < 2 || !n.is_power_of_two() {
+        return None;
+    }
+    let n64 = n as u64;
+    let stages = n64.trailing_zeros() as u64;
+    let half = n64 / 2;
+    let iter = (0..stages).flat_map(move |s| {
+        (0..half).flat_map(move |b| {
+            let span = 1u64 << s;
+            let j = b & (span - 1);
+            let a = ((b >> s) << (s + 1)) + j;
+            let p = a + span;
+            // Read both complex points, then write both back.
+            [2 * a, 2 * a + 1, 2 * p, 2 * p + 1, 2 * a, 2 * a + 1, 2 * p, 2 * p + 1]
+        })
+    });
+    Some(AccessTrace::new(
+        iter,
+        stages * half * 8,
+        2 * n64,
+        10 * half * stages,
+    ))
+}
+
+/// Ping-pong merge sort over `n` keys: `⌈log₂n⌉` passes, each streaming
+/// every key from the source buffer to the destination buffer (buffers
+/// alternate between `[0, n)` and `[n, 2n)`); one comparison per key per
+/// pass — the unit the sorting kernel counts.
+#[must_use]
+pub fn sort(n: usize) -> AccessTrace {
+    let n64 = n as u64;
+    let passes = u64::from(n.next_power_of_two().trailing_zeros());
+    let iter = (0..passes).flat_map(move |p| {
+        let (src, dst) = if p % 2 == 0 { (0, n64) } else { (n64, 0) };
+        (0..n64).flat_map(move |i| [src + i, dst + i])
+    });
+    AccessTrace::new(iter, passes * 2 * n64, 2 * n64, passes * n64)
+}
+
+/// Row-major matrix–vector product `y = A·x`: `A` at `[0, n²)`, `x` at
+/// `[n², n² + n)`, `y` at `[n² + n, n² + 2n)`; each row streams `A[i][·]`
+/// against `x`, then writes `y[i]`. `2n²` ops.
+#[must_use]
+pub fn matvec(n: usize) -> AccessTrace {
+    let n64 = n as u64;
+    let x0 = n64 * n64;
+    let y0 = x0 + n64;
+    let iter = (0..n64).flat_map(move |i| {
+        (0..n64)
+            .flat_map(move |j| [i * n64 + j, x0 + j])
+            .chain([y0 + i])
+    });
+    AccessTrace::new(iter, n64 * (2 * n64 + 1), y0 + n64, 2 * n64 * n64)
+}
+
+/// Forward substitution `L·x = b` on a dense lower triangle: `L` at
+/// `[0, n²)`, `b` at `[n², n² + n)`, `x` at `[n² + n, n² + 2n)`; row `i`
+/// streams its `i` computed prefix entries of `x` against `L[i][·]`, reads
+/// `b[i]` and the diagonal, writes `x[i]`. `n²` ops (the kernel's
+/// convention).
+#[must_use]
+pub fn trisolve(n: usize) -> AccessTrace {
+    let n64 = n as u64;
+    let b0 = n64 * n64;
+    let x0 = b0 + n64;
+    let iter = (0..n64).flat_map(move |i| {
+        (0..i)
+            .flat_map(move |j| [i * n64 + j, x0 + j])
+            .chain([b0 + i, i * n64 + i, x0 + i])
+    });
+    AccessTrace::new(iter, n64 * n64 + 2 * n64, x0 + n64, n64 * n64)
+}
+
+/// Row-major transpose `B = Aᵀ`: `A` at `[0, n²)`, `B` at `[n², 2n²)`;
+/// each element is read once and written once (the column-strided write is
+/// where the cache model hurts). `n²` ops — the kernel's per-element move
+/// convention.
+#[must_use]
+pub fn transpose(n: usize) -> AccessTrace {
+    let n64 = n as u64;
+    let b0 = n64 * n64;
+    let iter = (0..n64)
+        .flat_map(move |i| (0..n64).flat_map(move |j| [i * n64 + j, b0 + j * n64 + i]));
+    AccessTrace::new(iter, 2 * n64 * n64, 2 * n64 * n64, n64 * n64)
+}
+
+/// Direct 1-d convolution of an `n`-point output with `taps` filter taps:
+/// `x` at `[0, n + taps − 1)`, `w` next, `y` last; each output point
+/// streams its window against the filter, then writes. `2·taps·n` ops.
+#[must_use]
+pub fn convolution(n: usize, taps: usize) -> AccessTrace {
+    let (n64, k) = (n as u64, taps as u64);
+    let w0 = n64 + k - 1;
+    let y0 = w0 + k;
+    let iter = (0..n64).flat_map(move |i| {
+        (0..k).flat_map(move |t| [i + t, w0 + t]).chain([y0 + i])
+    });
+    AccessTrace::new(iter, n64 * (2 * k + 1), y0 + n64, 2 * k * n64)
+}
+
+/// `v` successive matrix–vector products against one `n × n` matrix:
+/// the [`matvec`] trace repeated per vector (`A` re-streamed each time —
+/// the reuse a capacity ≥ `n²` converts into hits). `X` columns at
+/// `[n², n² + v·n)`, `Y` at `[n² + v·n, n² + 2v·n)`. `2n²v` ops.
+#[must_use]
+pub fn multi_matvec(n: usize, v: usize) -> AccessTrace {
+    let (n64, v64) = (n as u64, v as u64);
+    let x0 = n64 * n64;
+    let y0 = x0 + v64 * n64;
+    let iter = (0..v64).flat_map(move |vec| {
+        (0..n64).flat_map(move |i| {
+            (0..n64)
+                .flat_map(move |j| [i * n64 + j, x0 + vec * n64 + j])
+                .chain([y0 + vec * n64 + i])
+        })
+    });
+    AccessTrace::new(
+        iter,
+        v64 * n64 * (2 * n64 + 1),
+        y0 + v64 * n64,
+        2 * n64 * n64 * v64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(trace: AccessTrace) {
+        let (len, bound) = (trace.len(), trace.addr_bound());
+        let mut count = 0u64;
+        let mut max = 0u64;
+        for a in trace.into_addrs() {
+            count += 1;
+            max = max.max(a + 1);
+        }
+        assert_eq!(count, len, "declared length must be exact");
+        assert!(max <= bound, "address {max} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn every_builder_reports_exact_length_and_bound() {
+        check(matmul(7));
+        check(triangularization(9));
+        check(grid(2, 3));
+        check(grid(3, 2));
+        check(fft(16).unwrap());
+        check(sort(10));
+        check(matvec(8));
+        check(trisolve(8));
+        check(transpose(6));
+        check(convolution(20, 4));
+        check(multi_matvec(6, 3));
+    }
+
+    #[test]
+    fn fft_rejects_non_powers_of_two() {
+        assert!(fft(12).is_none());
+        assert!(fft(1).is_none());
+        assert!(fft(0).is_none());
+        assert!(fft(8).is_some());
+    }
+
+    #[test]
+    fn matmul_trace_is_the_streaming_naive_trace() {
+        let t = matmul(5);
+        assert_eq!(t.len(), 3 * 125);
+        assert_eq!(t.comp_ops(), 2 * 125);
+        let addrs: Vec<u64> = t.into_addrs().collect();
+        assert_eq!(addrs, crate::matmul::naive_address_trace(5));
+    }
+
+    #[test]
+    fn grid_trace_touches_both_buffers() {
+        let t = grid(2, 2);
+        let cells = 16u64 * 16;
+        assert_eq!(t.addr_bound(), 2 * cells);
+        let addrs: Vec<u64> = t.into_addrs().collect();
+        // Sweep 0 writes the upper buffer, sweep 1 writes it back.
+        assert!(addrs.iter().any(|&a| a >= cells));
+        assert!(addrs.iter().any(|&a| a < cells));
+        // Per cell: 4 star reads + self + write.
+        assert_eq!(addrs.len() as u64, 2 * cells * 6);
+    }
+
+    #[test]
+    fn sort_trace_alternates_buffers() {
+        let t = sort(4); // 2 passes
+        let addrs: Vec<u64> = t.into_addrs().collect();
+        assert_eq!(addrs.len(), 2 * 2 * 4);
+        assert_eq!(&addrs[..4], &[0, 4, 1, 5]); // pass 0: [0,n) -> [n,2n)
+        assert_eq!(&addrs[8..12], &[4, 0, 5, 1]); // pass 1: back
+    }
+
+    #[test]
+    fn empty_traces_are_empty() {
+        assert!(sort(1).is_empty()); // 0 passes
+        assert_eq!(sort(1).len(), 0);
+        assert!(!matvec(1).is_empty());
+    }
+}

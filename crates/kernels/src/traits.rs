@@ -15,6 +15,7 @@
 use balance_core::{CostProfile, Execution, HierarchySpec, IntensityModel};
 
 use crate::error::KernelError;
+use crate::trace::AccessTrace;
 use crate::verify::Verify;
 
 /// The result of one instrumented, verified kernel run.
@@ -133,6 +134,26 @@ pub trait Kernel: Sync {
     /// True for computations whose intensity saturates (paper §3.6).
     fn io_bounded(&self) -> bool {
         self.intensity_model().is_io_bounded()
+    }
+
+    /// The kernel's **canonical access trace** at problem size `n`: the
+    /// natural (unblocked) algorithm's word-address sequence, streamed.
+    ///
+    /// This is what the one-pass capacity sweeps
+    /// ([`crate::sweep::capacity_sweep`]) replay: the cache-model
+    /// intensity curve — the trace through an automatically managed LRU of
+    /// capacity `M` — read off for every `M` from a single replay. It is
+    /// the measurement the E13 ablation contrasts with the explicit
+    /// decomposition schemes; the two curves agree only when LRU happens
+    /// to match the paper's blocking (usually it does not — that contrast
+    /// is the ablation's finding).
+    ///
+    /// `None` when the kernel has no canonical trace at this `n` (e.g. a
+    /// non-power-of-two FFT). Every registry kernel returns `Some` for its
+    /// supported sizes (pinned by test).
+    fn access_trace(&self, n: usize) -> Option<AccessTrace> {
+        let _ = n;
+        None
     }
 }
 

@@ -24,6 +24,10 @@ use crate::workload;
 pub struct Transpose;
 
 impl Kernel for Transpose {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 0).then(|| crate::trace::transpose(n))
+    }
+
     fn name(&self) -> &'static str {
         "transpose"
     }

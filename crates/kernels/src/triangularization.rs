@@ -36,6 +36,10 @@ use crate::workload;
 pub struct Triangularization;
 
 impl Kernel for Triangularization {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 0).then(|| crate::trace::triangularization(n))
+    }
+
     fn name(&self) -> &'static str {
         "triangularization"
     }

@@ -25,6 +25,10 @@ use crate::workload;
 pub struct TriSolve;
 
 impl Kernel for TriSolve {
+    fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
+        (n > 0).then(|| crate::trace::trisolve(n))
+    }
+
     fn name(&self) -> &'static str {
         "trisolve"
     }

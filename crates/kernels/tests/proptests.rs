@@ -149,6 +149,37 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// `size_hint()` honesty for the streaming traces: exact (lower ==
+    /// upper == remaining) at construction and after any partial
+    /// consumption — the one-pass engine pre-allocates from `len()`, so a
+    /// drifting hint would mis-size its tables.
+    #[test]
+    fn trace_size_hints_are_exact_under_partial_consumption(
+        n in 0usize..10,
+        b in 1usize..12,
+        skip in 0usize..64,
+    ) {
+        let total = 3 * n * n * n;
+        let mut naive = balance_kernels::matmul::NaiveTrace::new(n);
+        let mut blocked = balance_kernels::matmul::BlockedTrace::new(n, b);
+        prop_assert_eq!(naive.size_hint(), (total, Some(total)));
+        prop_assert_eq!(blocked.size_hint(), (total, Some(total)));
+        // Consume a prefix (nth also exercises the non-`next` path).
+        let consumed = skip.min(total);
+        if consumed > 0 {
+            let _ = naive.nth(consumed - 1);
+            let _ = blocked.nth(consumed - 1);
+        }
+        let left = total - consumed;
+        prop_assert_eq!(naive.size_hint(), (left, Some(left)));
+        prop_assert_eq!(blocked.size_hint(), (left, Some(left)));
+        prop_assert_eq!(naive.len(), left);
+        prop_assert_eq!(blocked.len(), left);
+        // And the hint stays truthful down to exhaustion.
+        prop_assert_eq!(naive.count(), left);
+        prop_assert_eq!(blocked.count(), left);
+    }
+
     /// Freivalds verification accepts every run the full reference check
     /// accepts, and both modes measure identical cost profiles.
     #[test]
@@ -175,6 +206,103 @@ proptest! {
             prop_assert_eq!(s.memory.to_bits(), p.memory.to_bits());
             prop_assert_eq!(s.ratio.to_bits(), p.ratio.to_bits());
         }
+    }
+
+    /// The one-pass capacity sweep is bit-identical to the per-capacity
+    /// replay — `CapacityProfile::io_at(M)` ≡ per-word `LruCache` replay
+    /// misses — across the whole kernel registry (paper kernels and
+    /// extensions) at 4+ capacities, serial and parallel executors alike.
+    #[test]
+    fn capacity_sweep_engines_bit_identical_across_registry(
+        kernel_idx in 0usize..11,
+        seed in 0u64..8,
+    ) {
+        let mut kernels = all_kernels();
+        kernels.extend(extension_kernels());
+        let kernel = &kernels[kernel_idx];
+        let n = 8; // power of two: every kernel (incl. fft) has a trace
+        let cfg = SweepConfig {
+            n,
+            memories: vec![2, 8, 32, 128, 512],
+            seed,
+            verify: Verify::Full,
+            engine: Engine::Replay,
+        };
+        let replay = capacity_sweep(&**kernel, &cfg).unwrap();
+        let onepass =
+            capacity_sweep(&**kernel, &cfg.clone().with_engine(Engine::StackDist)).unwrap();
+        prop_assert_eq!(&replay.runs, &onepass.runs, "kernel {}", kernel.name());
+        for (r, o) in replay.points.iter().zip(&onepass.points) {
+            prop_assert_eq!(r.memory.to_bits(), o.memory.to_bits());
+            prop_assert_eq!(r.ratio.to_bits(), o.ratio.to_bits());
+        }
+        let par = capacity_sweep_par(&**kernel, &cfg).unwrap();
+        prop_assert_eq!(&replay.runs, &par.runs);
+        // Monotone: a bigger cache never misses more (the stack property,
+        // as it surfaces in the emitted sweep).
+        for w in replay.runs.windows(2) {
+            prop_assert!(
+                w[1].execution.cost.io_words() <= w[0].execution.cost.io_words(),
+                "kernel {}", kernel.name()
+            );
+        }
+    }
+
+    /// The multi-level reader satisfies inclusion and matches a real
+    /// `Hierarchy` ladder replay across the registry.
+    #[test]
+    fn hierarchy_capacity_sweep_matches_ladder_across_registry(
+        kernel_idx in 0usize..11,
+        l2 in 64u64..256,
+        l3_factor in 2u64..6,
+    ) {
+        let mut kernels = all_kernels();
+        kernels.extend(extension_kernels());
+        let kernel = &kernels[kernel_idx];
+        let outer = [
+            LevelSpec::new(Words::new(l2), WordsPerSec::new(1.0)).unwrap(),
+            LevelSpec::new(Words::new(l2 * l3_factor), WordsPerSec::new(1.0)).unwrap(),
+        ];
+        let cfg = SweepConfig {
+            n: 8,
+            memories: vec![3, 12, 48],
+            seed: 0,
+            verify: Verify::Full,
+            engine: Engine::StackDist,
+        };
+        let onepass = hierarchy_capacity_sweep(&**kernel, &cfg, &outer).unwrap();
+        let replay = hierarchy_capacity_sweep(
+            &**kernel,
+            &cfg.clone().with_engine(Engine::Replay),
+            &outer,
+        )
+        .unwrap();
+        prop_assert_eq!(&onepass.runs, &replay.runs, "kernel {}", kernel.name());
+        for run in &onepass.runs {
+            prop_assert_eq!(run.execution.cost.level_count(), 3);
+            prop_assert!(
+                run.execution.cost.traffic().is_monotone_non_increasing(),
+                "kernel {}: {}", kernel.name(), run.execution.cost.traffic()
+            );
+        }
+    }
+
+    /// Every registry kernel exposes a canonical trace whose declared
+    /// length and address bound are exact — the contract the one-pass
+    /// engine pre-sizes from.
+    #[test]
+    fn registry_traces_report_exact_length_and_bound(kernel_idx in 0usize..11) {
+        let mut kernels = all_kernels();
+        kernels.extend(extension_kernels());
+        let kernel = &kernels[kernel_idx];
+        let trace = kernel.access_trace(8).expect("registry kernels have traces at n = 8");
+        let (len, bound) = (trace.len(), trace.addr_bound());
+        let mut count = 0u64;
+        for a in trace.into_addrs() {
+            prop_assert!(a < bound, "kernel {}: address {} >= bound {}", kernel.name(), a, bound);
+            count += 1;
+        }
+        prop_assert_eq!(count, len, "kernel {}", kernel.name());
     }
 
     /// One-level backward compatibility, pinned across the whole registry:

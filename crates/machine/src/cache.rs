@@ -18,10 +18,14 @@
 //!   large-scale ablation (hundreds of millions of accesses) runs on.
 //! * **Open-addressed fallback** ([`LruCache::new`]): a Fibonacci-hashed
 //!   (FxHash-style multiplicative) linear-probing table with backward-shift
-//!   deletion, ≤ 50% load factor. A hit costs a single probe sequence; a
-//!   non-evicting miss reuses the probe's insertion slot (entry-style)
-//!   instead of re-hashing for the insert (an evicting miss must re-probe:
-//!   the eviction's backward-shift can move the insertion slot).
+//!   deletion, ≤ 50% load factor. Key and value are packed side by side in
+//!   one 16-byte slot, so each probe step touches a single cache line
+//!   instead of straddling two parallel arrays. A hit costs a single probe
+//!   sequence, and *every* miss reuses the probe's insertion slot
+//!   (entry-style): on an evicting miss the new line is inserted first and
+//!   the victim removed after, so the backward-shift can never move the
+//!   insertion slot out from under the probe — two probe sequences per
+//!   evicting miss (insert + removal), not three.
 //!
 //! Both backends are O(1) per access, no unsafe code, and bit-identical in
 //! behavior (pinned by property test against a model LRU).
@@ -39,13 +43,23 @@ struct Node {
     next: usize,
 }
 
+/// One packed probe slot: key and node-arena index side by side, so a
+/// probe touches a single 16-byte slot (one cache line) instead of
+/// straddling two parallel arrays. `val == EMPTY` marks a vacant slot (so
+/// `0` keys need no special casing).
+#[derive(Debug, Clone, Copy)]
+struct FxSlot {
+    key: u64,
+    val: u32,
+}
+
+const VACANT: FxSlot = FxSlot { key: 0, val: EMPTY };
+
 /// Open-addressed line index: Fibonacci multiplicative hash, linear
-/// probing, backward-shift deletion. Values are node-arena indices;
-/// `EMPTY` marks a vacant slot (so `0` keys need no special casing).
+/// probing, backward-shift deletion, over packed [`FxSlot`]s.
 #[derive(Debug, Clone)]
 struct FxMap {
-    keys: Vec<u64>,
-    vals: Vec<u32>,
+    slots: Vec<FxSlot>,
     mask: usize,
     shift: u32,
 }
@@ -55,8 +69,7 @@ impl FxMap {
     fn with_capacity(entries: usize) -> Self {
         let size = (entries.max(1) * 2).next_power_of_two().max(8);
         FxMap {
-            keys: vec![0; size],
-            vals: vec![EMPTY; size],
+            slots: vec![VACANT; size],
             mask: size - 1,
             shift: u64::BITS - size.trailing_zeros(),
         }
@@ -75,29 +88,29 @@ impl FxMap {
     fn find(&self, key: u64) -> Result<usize, usize> {
         let mut pos = self.ideal(key);
         loop {
-            if self.vals[pos] == EMPTY {
+            let slot = self.slots[pos];
+            if slot.val == EMPTY {
                 return Err(pos);
             }
-            if self.keys[pos] == key {
+            if slot.key == key {
                 return Ok(pos);
             }
             pos = (pos + 1) & self.mask;
         }
     }
 
+    /// The node index stored at a slot returned by [`FxMap::find`]'s `Ok`
+    /// arm.
+    #[inline]
+    fn val_at(&self, pos: usize) -> u32 {
+        self.slots[pos].val
+    }
+
     /// Fills a slot previously returned by [`FxMap::find`]'s `Err` arm.
     #[inline]
     fn insert_at(&mut self, pos: usize, key: u64, val: u32) {
-        debug_assert_eq!(self.vals[pos], EMPTY, "insert into occupied slot");
-        self.keys[pos] = key;
-        self.vals[pos] = val;
-    }
-
-    fn insert(&mut self, key: u64, val: u32) {
-        match self.find(key) {
-            Ok(pos) => self.vals[pos] = val,
-            Err(pos) => self.insert_at(pos, key, val),
-        }
+        debug_assert_eq!(self.slots[pos].val, EMPTY, "insert into occupied slot");
+        self.slots[pos] = FxSlot { key, val };
     }
 
     /// Removes `key` (if present) with backward-shift deletion: no
@@ -109,10 +122,11 @@ impl FxMap {
         let mut probe = hole;
         loop {
             probe = (probe + 1) & self.mask;
-            if self.vals[probe] == EMPTY {
+            let slot = self.slots[probe];
+            if slot.val == EMPTY {
                 break;
             }
-            let home = self.ideal(self.keys[probe]);
+            let home = self.ideal(slot.key);
             // `probe`'s entry may slide back into the hole only if its home
             // slot is cyclically outside (hole, probe] — otherwise a lookup
             // starting at `home` would never reach the hole.
@@ -122,12 +136,11 @@ impl FxMap {
                 home <= probe || home > hole
             };
             if !home_in_gap {
-                self.keys[hole] = self.keys[probe];
-                self.vals[hole] = self.vals[probe];
+                self.slots[hole] = slot;
                 hole = probe;
             }
         }
-        self.vals[hole] = EMPTY;
+        self.slots[hole].val = EMPTY;
     }
 }
 
@@ -276,7 +289,7 @@ impl LruCache {
                 }
             }
             LineIndex::Fx(map) => match map.find(key) {
-                Ok(pos) => Ok(map.vals[pos] as usize),
+                Ok(pos) => Ok(map.val_at(pos) as usize),
                 Err(ins) => Err(Some(ins)),
             },
         };
@@ -289,21 +302,30 @@ impl LruCache {
             Err(fx_slot) => fx_slot,
         };
         self.misses += 1;
-        let evicted = self.resident == self.capacity_lines;
-        if evicted {
-            self.evict_lru();
-        }
+        // Detach the LRU node first (list + arena only) but defer its
+        // *index* removal until after the insert: the new key then always
+        // lands entry-style in the slot the probe already found — one
+        // probe sequence per evicting miss instead of three. (The table
+        // briefly holds capacity + 1 entries; at ≤ 50% load that still
+        // leaves vacant slots, and the backward-shift removal is correct
+        // in any valid table state.)
+        let evicted_key = (self.resident == self.capacity_lines).then(|| self.detach_lru());
         let idx = self.alloc_node(key);
         self.push_front(idx);
         match &mut self.index {
-            LineIndex::Direct { slots } => slots[key as usize] = idx as u32,
-            LineIndex::Fx(map) => match fx_slot {
-                // Entry-style insert into the slot the probe found. An
-                // eviction's backward-shift may have moved that slot, so
-                // the (rarer) evicting miss re-probes instead.
-                Some(ins) if !evicted => map.insert_at(ins, key, idx as u32),
-                _ => map.insert(key, idx as u32),
-            },
+            LineIndex::Direct { slots } => {
+                slots[key as usize] = idx as u32;
+                if let Some(ek) = evicted_key {
+                    slots[ek as usize] = EMPTY;
+                }
+            }
+            LineIndex::Fx(map) => {
+                let ins = fx_slot.expect("an Fx probe miss always yields an insertion slot");
+                map.insert_at(ins, key, idx as u32);
+                if let Some(ek) = evicted_key {
+                    map.remove(ek);
+                }
+            }
         }
         self.resident += 1;
         false
@@ -410,17 +432,17 @@ impl LruCache {
         self.push_front(idx);
     }
 
-    fn evict_lru(&mut self) {
+    /// Unlinks the LRU node from the list and arena, returning its key.
+    /// The caller is responsible for removing the key from the line index
+    /// (deferred so the evicting-miss path can insert entry-style first).
+    fn detach_lru(&mut self) -> u64 {
         let idx = self.tail;
         debug_assert_ne!(idx, NIL, "evict called on empty cache");
         self.unlink(idx);
         let key = self.nodes[idx].key;
-        match &mut self.index {
-            LineIndex::Direct { slots } => slots[key as usize] = EMPTY,
-            LineIndex::Fx(map) => map.remove(key),
-        }
         self.free.push(idx);
         self.resident -= 1;
+        key
     }
 }
 

@@ -11,12 +11,20 @@
 //!   one word of traffic at the single boundary.
 //! * [`LruCache`] — the automatic one-level scheme: traffic at the boundary
 //!   is the miss volume.
-//! * [`Hierarchy`] — the general case: an ordered chain of LRU levels
-//!   (innermost first). An access walks down until some level hits; every
-//!   level it misses counts one word of traffic at that level's lower
-//!   boundary. Accounting is therefore *inclusive*: a word can only reach
-//!   level `i+1` by missing at level `i`, so traffic never grows with depth
-//!   (pinned by property test).
+//! * [`Hierarchy`] — the general case: an ordered ladder of LRU levels
+//!   (innermost first). **Every level observes every access** — each level
+//!   is an independent, standalone LRU over the full access stream — and a
+//!   level's boundary traffic is its own miss volume. Because LRU is a
+//!   stack algorithm (Mattson et al. 1970), a cache of capacity `M` holds
+//!   exactly the top `M` entries of the LRU stack, so with capacities
+//!   growing outward the levels are *inclusive by construction*: a hit at
+//!   level `i` implies a hit at every deeper level, a word reaches level
+//!   `i+1`'s boundary only by missing every level up to `i`, and traffic
+//!   never grows with depth (pinned by property test). The same property
+//!   is what makes the one-pass [`crate::stackdist`] engine exact: level
+//!   `i`'s traffic is precisely the number of accesses whose reuse (stack)
+//!   distance exceeds `M_i`, so one histogram answers every level — and
+//!   every capacity — at once.
 //!
 //! The per-level balance law reads directly off the result: with compute
 //! rate `C` and per-boundary bandwidths `IO_i`, the machine is balanced iff
@@ -107,8 +115,9 @@ impl MemorySystem for LruCache {
     }
 }
 
-/// An N-level memory hierarchy: a chain of word-granular LRU caches,
-/// innermost (smallest) first, with inclusive traffic accounting.
+/// An N-level memory hierarchy: a ladder of word-granular LRU caches,
+/// innermost (smallest) first, every level observing the full access
+/// stream (Mattson stack semantics), with inclusive traffic accounting.
 ///
 /// # Examples
 ///
@@ -178,6 +187,9 @@ impl Hierarchy {
     }
 
     /// The cache modeling level `level` (for per-level hit/miss stats).
+    /// Every level sees the full access stream, so a deeper level's hit
+    /// count includes accesses that also hit inner levels; its miss count
+    /// is exactly the traffic at its boundary.
     ///
     /// # Panics
     ///
@@ -187,17 +199,24 @@ impl Hierarchy {
         &self.levels[level]
     }
 
-    /// Observes one access, walking the chain until a level hits; returns
-    /// the level that hit, or `depth()` when the word came from the
+    /// Observes one access at **every** level (each level is a standalone
+    /// LRU over the full stream — the Mattson stack model); returns the
+    /// innermost level that hit, or `depth()` when the word came from the
     /// outside world.
+    ///
+    /// With capacities growing outward, LRU inclusion guarantees every
+    /// level below the returned one hit as well, so the return value is
+    /// exactly "where the word lives".
     pub fn access_returning_level(&mut self, addr: u64) -> usize {
         self.accesses += 1;
+        let depth = self.levels.len();
+        let mut hit_level = depth;
         for (i, cache) in self.levels.iter_mut().enumerate() {
-            if cache.access(addr) {
-                return i;
+            if cache.access(addr) && hit_level == depth {
+                hit_level = i;
             }
         }
-        self.levels.len()
+        hit_level
     }
 
     /// Discards all cached state and counters (capacities are kept).

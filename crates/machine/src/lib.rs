@@ -22,10 +22,17 @@
 //! * [`MemorySystem`] / [`Hierarchy`] — the N-level generalization: any
 //!   memory system is, to the balance model, an accountant for the word
 //!   traffic at each of its boundaries. [`LocalMemory`] and [`LruCache`]
-//!   are the trivial one-level implementations; [`Hierarchy`] chains LRU
-//!   levels with inclusive traffic accounting, and [`Pe::for_hierarchy`]
-//!   runs the explicit schemes against a whole ladder, producing one
-//!   traffic entry per level.
+//!   are the trivial one-level implementations; [`Hierarchy`] is a ladder
+//!   of standalone LRU levels over the full access stream (inclusive by
+//!   the Mattson stack property), and [`Pe::for_hierarchy`] runs the
+//!   explicit schemes against a whole ladder, producing one traffic entry
+//!   per level.
+//! * [`StackDistance`] / [`CapacityProfile`] — the one-pass engine: a
+//!   single trace replay records the reuse (stack) distance histogram,
+//!   from which the exact LRU miss count at **every** capacity — and the
+//!   boundary traffic of every ladder — is an O(1) read. This is what
+//!   collapses capacity sweeps from one replay per memory size to one
+//!   replay total (see `balance-kernels`' `capacity_sweep`).
 //! * [`PhaseRecorder`] — phase-labeled cost attribution for multi-phase
 //!   algorithms (e.g. the two phases of external sorting).
 //!
@@ -63,6 +70,7 @@ pub mod error;
 pub mod hierarchy;
 pub mod memory;
 pub mod pe;
+pub mod stackdist;
 pub mod store;
 pub mod timeline;
 pub mod trace;
@@ -70,6 +78,7 @@ pub mod trace;
 pub use cache::LruCache;
 pub use error::MachineError;
 pub use hierarchy::{Hierarchy, MemorySystem};
+pub use stackdist::{CapacityProfile, StackDistance};
 pub use memory::{BufferId, LocalMemory};
 pub use pe::Pe;
 pub use store::{ExternalStore, Region};

@@ -1,0 +1,674 @@
+//! One-pass reuse/stack-distance accounting: exact LRU miss counts for
+//! **every** capacity from a single trace replay.
+//!
+//! LRU is a *stack algorithm* (Mattson, Gecsei, Slutz & Traiger 1970): at
+//! any instant, a fully-associative LRU cache of capacity `M` holds exactly
+//! the `M` most recently used distinct addresses — the top `M` entries of
+//! one global recency stack. An access therefore hits in a capacity-`M`
+//! cache **iff** its *stack distance* — the number of distinct addresses
+//! touched since the previous access to the same address, counting itself —
+//! is at most `M`. One replay that records the histogram of stack distances
+//! (plus the compulsory first-touch count) answers `misses(M)` for every
+//! `M` at once:
+//!
+//! ```text
+//! misses(M) = accesses − Σ_{d ≤ M} hist[d]
+//! ```
+//!
+//! This is the "measure once, read off the whole ladder" trick behind
+//! multi-level emulation (Hanlon's *Emulating a large memory with a
+//! collection of smaller ones*) and the access-path first principle Hua
+//! (2023) gives for big-memory systems — and it collapses this repo's
+//! capacity sweeps from one kernel replay *per memory size* to one replay
+//! total. The [`Hierarchy`](crate::Hierarchy) model's inclusion property
+//! makes the multi-level read exact too: each level is a standalone LRU
+//! over the same stream, so level `i`'s boundary traffic is precisely
+//! `misses(M_i)` ([`CapacityProfile::traffic_at`]).
+//!
+//! The engine ([`StackDistance`]) streams addresses in `O(|trace| · log U)`
+//! time and `O(U)` memory, `U` = distinct addresses: a bitmap-leaf order
+//! statistic (64 time slots per `u64` word, a Fenwick tree over the word
+//! popcounts — 64× smaller than a flat Fenwick, so it lives in L1/L2)
+//! counts the distinct addresses between consecutive touches, and the
+//! slot space is compacted in amortized `O(1)` when the time pointer
+//! outruns it. Both `LruCache` index strategies are mirrored: a
+//! direct-indexed last-access table when the caller can bound the address
+//! space, a hash map otherwise.
+//!
+//! Exactness against the replay model is pinned by property test:
+//! `misses_at(M)` is bit-identical to `LruCache::with_capacity_words(M)`
+//! replaying the same trace, for every `M`, on both backends.
+
+use balance_core::{HierarchySpec, LevelTraffic, Words};
+
+use std::collections::HashMap;
+
+/// Vacant marker in the direct-indexed last-access table.
+const EMPTY: u32 = u32::MAX;
+
+/// The live-marker order statistic: one bit per time slot, 64 slots
+/// packed per `u64` leaf, with a Fenwick (binary indexed) tree over the
+/// leaves' popcounts. `add`/`remove` flip one bit and adjust one Fenwick
+/// path; `count_after` popcounts a partial leaf plus one Fenwick prefix.
+///
+/// The two-level layout is the perf-critical choice: a flat Fenwick over
+/// `S` slots walks `log₂S` scattered cache lines per operation, while
+/// this tree is 64× smaller (a 1.5M-slot space needs a ~96 KB Fenwick
+/// that mostly stays in L1/L2) and pays one `count_ones` instead of the
+/// six deepest tree levels.
+#[derive(Debug, Clone)]
+struct MarkerTree {
+    /// Bit `i & 63` of `bits[i >> 6]` = slot `i` is live.
+    bits: Vec<u64>,
+    /// Fenwick tree over per-leaf popcounts (`tree[0]` unused).
+    tree: Vec<u32>,
+    live: u32,
+}
+
+impl MarkerTree {
+    fn new(slots: usize) -> Self {
+        let leaves = slots.div_ceil(64).max(1);
+        MarkerTree {
+            bits: vec![0; leaves],
+            tree: vec![0; leaves + 1],
+            live: 0,
+        }
+    }
+
+    /// The slot capacity (rounded up to whole leaves).
+    fn slots(&self) -> usize {
+        self.bits.len() * 64
+    }
+
+    /// Marks slot `i` live.
+    fn add(&mut self, i: usize) {
+        debug_assert_eq!(self.bits[i >> 6] >> (i & 63) & 1, 0, "slot already live");
+        self.live += 1;
+        self.bits[i >> 6] |= 1u64 << (i & 63);
+        let mut w = (i >> 6) + 1;
+        while w < self.tree.len() {
+            self.tree[w] += 1;
+            w += w & w.wrapping_neg();
+        }
+    }
+
+    /// Marks slot `i` dead (it must be live).
+    fn remove(&mut self, i: usize) {
+        debug_assert_eq!(self.bits[i >> 6] >> (i & 63) & 1, 1, "slot not live");
+        self.live -= 1;
+        self.bits[i >> 6] &= !(1u64 << (i & 63));
+        let mut w = (i >> 6) + 1;
+        while w < self.tree.len() {
+            self.tree[w] -= 1;
+            w += w & w.wrapping_neg();
+        }
+    }
+
+    /// Live markers in slots `[0, i]`.
+    fn prefix(&self, i: usize) -> u32 {
+        // Partial leaf: bits at positions <= i & 63.
+        let mask = u64::MAX >> (63 - (i & 63));
+        let mut sum = (self.bits[i >> 6] & mask).count_ones();
+        // Whole leaves before it, off the Fenwick tree.
+        let mut w = i >> 6;
+        while w > 0 {
+            sum += self.tree[w];
+            w -= w & w.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Live markers strictly after slot `i`.
+    fn count_after(&self, i: usize) -> u32 {
+        self.live - self.prefix(i)
+    }
+
+    /// Whether slot `i` is live — the single source of truth compaction
+    /// reads (so `slot_addr` needs no dead-slot sentinel and every `u64`
+    /// address value is representable).
+    fn is_live(&self, i: usize) -> bool {
+        self.bits[i >> 6] >> (i & 63) & 1 == 1
+    }
+}
+
+/// The address → last-access-slot index, in one of two representations
+/// (mirroring [`crate::LruCache`]'s backends).
+#[derive(Debug, Clone)]
+enum LastIndex {
+    /// Flat table keyed directly by address (`EMPTY` = never seen).
+    Direct(Vec<u32>),
+    /// Hash fallback for unbounded address spaces.
+    Map(HashMap<u64, u32>),
+}
+
+/// The streaming one-pass engine: feed it a trace with
+/// [`StackDistance::observe`], then read the whole capacity ladder off the
+/// resulting [`CapacityProfile`].
+///
+/// # Examples
+///
+/// ```
+/// use balance_machine::{LruCache, StackDistance};
+///
+/// let trace = [1u64, 2, 3, 1, 2, 4, 1];
+/// let mut engine = StackDistance::new();
+/// for &a in &trace {
+///     engine.observe(a);
+/// }
+/// let profile = engine.into_profile();
+/// // One replay answers every capacity — bit-identical to replaying the
+/// // trace through an actual LRU of that capacity:
+/// for m in 1..=6u64 {
+///     let mut cache = LruCache::with_capacity_words(m as usize);
+///     assert_eq!(profile.misses_at(m), cache.run_trace(trace.iter().copied()));
+/// }
+/// assert_eq!(profile.compulsory_misses(), 4); // first touches of 1,2,3,4
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackDistance {
+    index: LastIndex,
+    markers: MarkerTree,
+    /// `slot_addr[s]` = the address whose latest access lives in slot `s`,
+    /// for compaction. Meaningful only where [`MarkerTree::is_live`] says
+    /// so — liveness lives in the marker bitmap, not in a sentinel value,
+    /// so every `u64` is a valid address.
+    slot_addr: Vec<u64>,
+    /// Next free time slot.
+    next: usize,
+    /// `hist[d]` = number of accesses with stack distance exactly `d`
+    /// (`hist[0]` unused).
+    hist: Vec<u64>,
+    compulsory: u64,
+    accesses: u64,
+}
+
+impl Default for StackDistance {
+    fn default() -> Self {
+        StackDistance::new()
+    }
+}
+
+impl StackDistance {
+    /// An engine over an unbounded address space (hash-indexed last-access
+    /// table). Prefer [`StackDistance::with_address_bound`] when the trace's
+    /// addresses are known to be dense and bounded — it is substantially
+    /// faster, exactly as with [`crate::LruCache`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_slots(LastIndex::Map(HashMap::new()), 1024)
+    }
+
+    /// An engine whose trace addresses are promised to lie in
+    /// `[0, addr_bound)`: the last-access index is a flat table and the
+    /// slot space is sized so compaction triggers at most once per
+    /// `addr_bound` accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr_bound` is zero or exceeds the `u32` slot-index
+    /// space, and on [`StackDistance::observe`] with an address `≥
+    /// addr_bound` (a caller contract violation).
+    #[must_use]
+    pub fn with_address_bound(addr_bound: u64) -> Self {
+        assert!(addr_bound > 0, "address bound must be positive");
+        let bound =
+            usize::try_from(addr_bound).expect("address bound overflows usize");
+        assert!(
+            bound < EMPTY as usize / 2,
+            "address bound exceeds the u32 slot-index space"
+        );
+        // 2× the distinct-address ceiling: at least half the slots are
+        // live-free at every compaction, so compaction cost amortizes to
+        // O(1) per access.
+        Self::with_slots(LastIndex::Direct(vec![EMPTY; bound]), 2 * bound)
+    }
+
+    fn with_slots(index: LastIndex, slots: usize) -> Self {
+        let markers = MarkerTree::new(slots.max(16));
+        let slots = markers.slots();
+        StackDistance {
+            index,
+            markers,
+            slot_addr: vec![0; slots],
+            next: 0,
+            hist: Vec::new(),
+            compulsory: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Distinct addresses seen so far (= live recency markers).
+    #[must_use]
+    pub fn distinct(&self) -> u64 {
+        u64::from(self.markers.live)
+    }
+
+    /// Accesses observed so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Observes one word access, updating the distance histogram.
+    ///
+    /// # Panics
+    ///
+    /// On the direct-indexed backend, panics if `addr` exceeds the bound
+    /// declared at construction.
+    pub fn observe(&mut self, addr: u64) {
+        self.accesses += 1;
+        if self.next == self.markers.slots() {
+            self.compact();
+        }
+        let slot = self.next;
+        let prev = match &mut self.index {
+            LastIndex::Direct(table) => {
+                let a = usize::try_from(addr)
+                    .ok()
+                    .filter(|&a| a < table.len())
+                    .unwrap_or_else(|| {
+                        panic!("address {addr} exceeds the declared address bound")
+                    });
+                let prev = table[a];
+                table[a] = slot as u32;
+                (prev != EMPTY).then_some(prev as usize)
+            }
+            LastIndex::Map(map) => map
+                .insert(addr, slot as u32)
+                .map(|p| p as usize),
+        };
+        match prev {
+            None => self.compulsory += 1,
+            Some(p) => {
+                // Stack distance: distinct addresses touched since the
+                // previous access of `addr`, counting `addr` itself (whose
+                // marker still sits at `p`).
+                let d = self.markers.count_after(p) as usize + 1;
+                if d >= self.hist.len() {
+                    self.hist.resize(d + 1, 0);
+                }
+                self.hist[d] += 1;
+                self.markers.remove(p);
+            }
+        }
+        self.markers.add(slot);
+        self.slot_addr[slot] = addr;
+        self.next = slot + 1;
+    }
+
+    /// Feeds a whole address trace (any iterator — in particular the
+    /// streaming trace generators, in O(1) extra memory).
+    pub fn observe_trace(&mut self, addrs: impl IntoIterator<Item = u64>) {
+        for a in addrs {
+            self.observe(a);
+        }
+    }
+
+    /// Squeezes the dead slots out of the time axis, preserving recency
+    /// order, and re-points the live markers. Doubles the slot space when
+    /// more than half the slots are live (only possible on the hash
+    /// backend, whose distinct-address count is unbounded).
+    fn compact(&mut self) {
+        let slots = self.markers.slots();
+        let live = self.markers.live as usize;
+        let new_slots = if live * 2 > slots { slots * 2 } else { slots };
+        assert!(
+            new_slots < EMPTY as usize,
+            "slot space exceeds the u32 marker-index space"
+        );
+        let mut markers = MarkerTree::new(new_slots);
+        let mut slot_addr = vec![0; markers.slots()];
+        let mut dst = 0usize;
+        for src in 0..slots {
+            if !self.markers.is_live(src) {
+                continue;
+            }
+            let addr = self.slot_addr[src];
+            slot_addr[dst] = addr;
+            markers.add(dst);
+            match &mut self.index {
+                LastIndex::Direct(table) => table[addr as usize] = dst as u32,
+                LastIndex::Map(map) => {
+                    map.insert(addr, dst as u32);
+                }
+            }
+            dst += 1;
+        }
+        debug_assert_eq!(dst, live, "compaction must keep every live marker");
+        self.markers = markers;
+        self.slot_addr = slot_addr;
+        self.next = dst;
+    }
+
+    /// Finalizes the replay into a queryable [`CapacityProfile`].
+    #[must_use]
+    pub fn into_profile(self) -> CapacityProfile {
+        // cum_hits[d] = accesses with stack distance ≤ d  (d ≥ 0).
+        let mut cum_hits = Vec::with_capacity(self.hist.len().max(1));
+        cum_hits.push(0);
+        let mut acc = 0u64;
+        for &h in self.hist.iter().skip(1) {
+            acc += h;
+            cum_hits.push(acc);
+        }
+        CapacityProfile {
+            accesses: self.accesses,
+            compulsory: self.compulsory,
+            cum_hits,
+        }
+    }
+
+    /// Replays a whole trace through a fresh unbounded-address engine; the
+    /// iterator's `size_hint` (exact for the workspace's streaming trace
+    /// generators — pinned by regression test) pre-sizes the slot space.
+    #[must_use]
+    pub fn profile_of(addrs: impl IntoIterator<Item = u64>) -> CapacityProfile {
+        let iter = addrs.into_iter();
+        // A trace of `n` accesses touches at most `n` distinct addresses:
+        // seed the slot space from the (exact) length hint, clamped so a
+        // huge streamed trace does not pre-reserve gigabytes — compaction
+        // grows the space on demand anyway.
+        let hint = iter.size_hint().0.clamp(16, 1 << 20);
+        let mut engine = Self::with_slots(LastIndex::Map(HashMap::new()), hint);
+        engine.observe_trace(iter);
+        engine.into_profile()
+    }
+
+    /// As [`StackDistance::profile_of`], with the direct-indexed backend
+    /// for traces whose addresses lie in `[0, addr_bound)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`StackDistance::with_address_bound`].
+    #[must_use]
+    pub fn profile_of_bounded(
+        addrs: impl IntoIterator<Item = u64>,
+        addr_bound: u64,
+    ) -> CapacityProfile {
+        let mut engine = Self::with_address_bound(addr_bound);
+        engine.observe_trace(addrs);
+        engine.into_profile()
+    }
+}
+
+/// The one-replay answer sheet: exact LRU miss/IO counts for **every**
+/// capacity, from a single pass over the trace.
+///
+/// Obtained from [`StackDistance::into_profile`]. All queries are O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityProfile {
+    accesses: u64,
+    compulsory: u64,
+    /// `cum_hits[d]` = accesses with stack distance ≤ `d`; the last entry
+    /// equals `accesses − compulsory`.
+    cum_hits: Vec<u64>,
+}
+
+impl CapacityProfile {
+    /// The profile of a trace touching `accesses` distinct addresses once
+    /// each: every miss compulsory, no reuse at any capacity. The closed
+    /// form for one-touch computations (streaming transforms, transpose)
+    /// — equal to replaying `0..accesses` through the engine (pinned by
+    /// test) without the `O(accesses)` replay or its tables.
+    #[must_use]
+    pub fn one_touch(accesses: u64) -> CapacityProfile {
+        CapacityProfile {
+            accesses,
+            compulsory: accesses,
+            cum_hits: vec![0],
+        }
+    }
+
+    /// Total accesses in the replayed trace.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// First-touch (compulsory) misses — the floor no capacity removes,
+    /// equal to the number of distinct addresses in the trace.
+    #[must_use]
+    pub fn compulsory_misses(&self) -> u64 {
+        self.compulsory
+    }
+
+    /// Distinct addresses in the trace (alias of the compulsory count).
+    #[must_use]
+    pub fn distinct_addresses(&self) -> u64 {
+        self.compulsory
+    }
+
+    /// The smallest capacity at which only compulsory misses remain (the
+    /// largest observed stack distance; 0 for an empty or touch-once
+    /// trace).
+    #[must_use]
+    pub fn saturating_capacity(&self) -> u64 {
+        (self.cum_hits.len() - 1) as u64
+    }
+
+    /// Hits of a word-granular LRU of `m` words replaying the trace.
+    #[must_use]
+    pub fn hits_at(&self, m: u64) -> u64 {
+        let d = usize::try_from(m)
+            .unwrap_or(usize::MAX)
+            .min(self.cum_hits.len() - 1);
+        self.cum_hits[d]
+    }
+
+    /// Misses of a word-granular LRU of `m` words replaying the trace —
+    /// bit-identical to `LruCache::with_capacity_words(m)` fed the same
+    /// trace (pinned by property test). `m = 0` counts every access as a
+    /// miss.
+    #[must_use]
+    pub fn misses_at(&self, m: u64) -> u64 {
+        self.accesses - self.hits_at(m)
+    }
+
+    /// I/O words crossing the boundary below a memory of `m` words — for
+    /// the word-granular caches this crate models, exactly
+    /// [`CapacityProfile::misses_at`].
+    #[must_use]
+    pub fn io_at(&self, m: u64) -> u64 {
+        self.misses_at(m)
+    }
+
+    /// The multi-level read: boundary traffic for a ladder with the given
+    /// level capacities (innermost first) — entry `i` is `misses_at(M_i)`,
+    /// which LRU inclusion makes exactly the words that miss every level up
+    /// to `i` and cross toward level `i+1`. Bit-identical to replaying the
+    /// trace through a [`crate::Hierarchy`] of the same capacities (pinned
+    /// by property test).
+    ///
+    /// # Panics
+    ///
+    /// As [`LevelTraffic::from_slice`]: more than
+    /// [`balance_core::MAX_MEMORY_LEVELS`] capacities panic.
+    #[must_use]
+    pub fn traffic_at(&self, capacities: &[Words]) -> LevelTraffic {
+        let io: Vec<u64> = capacities.iter().map(|m| self.misses_at(m.get())).collect();
+        LevelTraffic::from_slice(&io)
+    }
+
+    /// [`CapacityProfile::traffic_at`] for a validated [`HierarchySpec`]
+    /// (all levels cache-managed — the trace-driven configuration).
+    #[must_use]
+    pub fn traffic_for(&self, spec: &HierarchySpec) -> LevelTraffic {
+        let caps: Vec<Words> = spec.levels().iter().map(|l| l.capacity()).collect();
+        self.traffic_at(&caps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::LruCache;
+    use crate::hierarchy::Hierarchy;
+    use crate::hierarchy::MemorySystem as _;
+
+    fn replay_misses(trace: &[u64], m: u64) -> u64 {
+        let mut cache = LruCache::with_capacity_words(m as usize);
+        cache.run_trace(trace.iter().copied())
+    }
+
+    fn check_all_capacities(trace: &[u64]) {
+        let profile = StackDistance::profile_of(trace.iter().copied());
+        let hi = trace.len() as u64 + 2;
+        for m in 1..=hi {
+            assert_eq!(
+                profile.misses_at(m),
+                replay_misses(trace, m),
+                "capacity {m} on trace {trace:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_replay_on_small_traces() {
+        check_all_capacities(&[]);
+        check_all_capacities(&[7]);
+        check_all_capacities(&[1, 1, 1, 1]);
+        check_all_capacities(&[1, 2, 3, 4, 5]);
+        check_all_capacities(&[1, 2, 3, 1, 2, 3]);
+        check_all_capacities(&[1, 2, 1, 3, 1, 2, 5, 1, 2, 2, 4, 1]);
+        // The Mattson counter-trace that distinguishes standalone levels
+        // from a filtered chain: one replay must match the standalone read.
+        check_all_capacities(&[0, 1, 2, 1, 3, 4, 1]);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let trace: Vec<u64> = (0..500u64).map(|i| (i * i * 7 + i) % 97).collect();
+        let hashed = StackDistance::profile_of(trace.iter().copied());
+        let direct = StackDistance::profile_of_bounded(trace.iter().copied(), 97);
+        assert_eq!(hashed, direct);
+    }
+
+    #[test]
+    fn compulsory_and_distinct_counts() {
+        let mut engine = StackDistance::new();
+        engine.observe_trace([5, 6, 5, 7, 6, 5]);
+        assert_eq!(engine.distinct(), 3);
+        assert_eq!(engine.accesses(), 6);
+        let p = engine.into_profile();
+        assert_eq!(p.compulsory_misses(), 3);
+        assert_eq!(p.distinct_addresses(), 3);
+        // Beyond the largest reuse distance, only compulsory misses remain.
+        assert_eq!(p.misses_at(1 << 40), 3);
+        assert_eq!(p.io_at(2), replay_misses(&[5, 6, 5, 7, 6, 5], 2));
+    }
+
+    #[test]
+    fn one_touch_is_the_replayed_single_pass() {
+        for n in [0u64, 1, 7, 300] {
+            let closed = CapacityProfile::one_touch(n);
+            let replayed = StackDistance::profile_of(0..n);
+            assert_eq!(closed, replayed, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_misses_every_access() {
+        let p = StackDistance::profile_of([1, 2, 1, 2]);
+        assert_eq!(p.misses_at(0), 4);
+        assert_eq!(p.hits_at(0), 0);
+    }
+
+    #[test]
+    fn saturating_capacity_is_the_largest_reuse_distance() {
+        // 1,2,3,1: the re-touch of 1 has distance 3.
+        let p = StackDistance::profile_of([1, 2, 3, 1]);
+        assert_eq!(p.saturating_capacity(), 3);
+        assert_eq!(p.misses_at(3), p.compulsory_misses());
+        assert_eq!(p.misses_at(2), p.compulsory_misses() + 1);
+        // No reuse at all: saturation at 0.
+        assert_eq!(StackDistance::profile_of([1, 2, 3]).saturating_capacity(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_exactness() {
+        // A tiny slot space forces many compactions: 16 distinct addresses
+        // cycled 100 times through the minimum 16-slot engine.
+        let trace: Vec<u64> = (0..1600u64).map(|i| (i * 5) % 16).collect();
+        let mut engine = StackDistance::with_slots(LastIndex::Map(HashMap::new()), 16);
+        engine.observe_trace(trace.iter().copied());
+        let p = engine.into_profile();
+        for m in 1..=17u64 {
+            assert_eq!(p.misses_at(m), replay_misses(&trace, m), "capacity {m}");
+        }
+    }
+
+    #[test]
+    fn extreme_address_values_survive_compaction() {
+        // u64::MAX is an ordinary address (no sentinel value exists):
+        // interleave it with enough distinct addresses to force several
+        // compactions on the minimum slot space and check exactness.
+        let mut trace = Vec::new();
+        for round in 0..40u64 {
+            trace.push(u64::MAX);
+            trace.push(u64::MAX - 1);
+            for k in 0..10u64 {
+                trace.push(round * 10 + k);
+            }
+        }
+        let mut engine = StackDistance::with_slots(LastIndex::Map(HashMap::new()), 16);
+        engine.observe_trace(trace.iter().copied());
+        let p = engine.into_profile();
+        assert_eq!(p.compulsory_misses(), 402); // 400 round keys + the two MAXes
+        for m in [1u64, 2, 3, 12, 13, 200, 500] {
+            assert_eq!(p.misses_at(m), replay_misses(&trace, m), "capacity {m}");
+        }
+    }
+
+    #[test]
+    fn hash_backend_grows_its_slot_space() {
+        // More distinct addresses than the initial slot space: compaction
+        // must double rather than squeeze.
+        let trace: Vec<u64> = (0..200u64).chain(0..200).collect();
+        let mut engine = StackDistance::with_slots(LastIndex::Map(HashMap::new()), 16);
+        engine.observe_trace(trace.iter().copied());
+        let p = engine.into_profile();
+        assert_eq!(p.compulsory_misses(), 200);
+        for m in [1u64, 50, 199, 200, 201] {
+            assert_eq!(p.misses_at(m), replay_misses(&trace, m), "capacity {m}");
+        }
+    }
+
+    #[test]
+    fn multi_level_read_matches_hierarchy_replay() {
+        let trace: Vec<u64> = (0..600u64).map(|i| (i * 11 + i * i) % 64).collect();
+        let caps = [Words::new(4), Words::new(16), Words::new(48)];
+        let profile = StackDistance::profile_of_bounded(trace.iter().copied(), 64);
+        let mut ladder = Hierarchy::new(&caps);
+        for &a in &trace {
+            ladder.access(a);
+        }
+        assert_eq!(profile.traffic_at(&caps), ladder.traffic());
+        assert!(profile.traffic_at(&caps).is_monotone_non_increasing());
+    }
+
+    #[test]
+    fn traffic_for_reads_spec_capacities() {
+        use balance_core::{LevelSpec, WordsPerSec};
+        let spec = HierarchySpec::new(vec![
+            LevelSpec::new(Words::new(2), WordsPerSec::new(1.0)).unwrap(),
+            LevelSpec::new(Words::new(8), WordsPerSec::new(1.0)).unwrap(),
+        ])
+        .unwrap();
+        let p = StackDistance::profile_of([0u64, 1, 2, 0, 1, 2]);
+        let t = p.traffic_for(&spec);
+        assert_eq!(t.as_slice(), &[6, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "address bound")]
+    fn direct_backend_rejects_out_of_bound_addresses() {
+        let mut engine = StackDistance::with_address_bound(8);
+        engine.observe(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_address_bound_panics() {
+        let _ = StackDistance::with_address_bound(0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests for the PE simulator.
 
 use balance_core::Words;
-use balance_machine::{ExternalStore, Hierarchy, LruCache, MemorySystem, Pe};
+use balance_machine::{ExternalStore, Hierarchy, LruCache, MemorySystem, Pe, StackDistance};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
@@ -231,10 +231,13 @@ proptest! {
         prop_assert_eq!(h.level(0).resident_lines(), c.resident_lines());
     }
 
-    /// Every level of a chained hierarchy behaves exactly like a bare LRU
-    /// fed the miss stream of the levels above it.
+    /// Every level of a hierarchy behaves exactly like a standalone LRU of
+    /// the same capacity fed the *full* access stream — the Mattson stack
+    /// model that makes per-level traffic a pure function of the reuse
+    /// (stack) distance histogram, which is what lets the one-pass
+    /// `stackdist` engine answer every level from one replay.
     #[test]
-    fn chained_levels_match_independently_fed_caches(
+    fn hierarchy_levels_match_standalone_caches(
         l1 in 1u64..16,
         l2 in 16u64..48,
         trace in proptest::collection::vec(0u64..128, 0..500),
@@ -244,9 +247,8 @@ proptest! {
         let mut bottom = LruCache::new(l2 as usize, 1);
         for &a in &trace {
             h.access(a);
-            if !top.access(a) {
-                bottom.access(a);
-            }
+            top.access(a);
+            bottom.access(a);
         }
         prop_assert_eq!(h.level(0).misses(), top.misses());
         prop_assert_eq!(h.level(1).misses(), bottom.misses());
@@ -255,6 +257,51 @@ proptest! {
             traffic.as_slice(),
             &[top.miss_words(), bottom.miss_words()][..]
         );
+    }
+
+    /// The one-pass stack-distance engine answers *every* capacity
+    /// bit-identically to replaying the trace through an actual LRU of
+    /// that capacity — the Mattson stack property, made executable. Both
+    /// engine backends are checked against both cache backends.
+    #[test]
+    fn stack_distance_matches_lru_replay_at_every_capacity(
+        trace in proptest::collection::vec(0u64..96, 0..400),
+    ) {
+        let hashed = StackDistance::profile_of(trace.iter().copied());
+        let direct = StackDistance::profile_of_bounded(trace.iter().copied(), 96);
+        prop_assert_eq!(&hashed, &direct);
+        for m in 1..=100u64 {
+            let mut fx = LruCache::with_capacity_words(m as usize);
+            let mut dx = LruCache::with_address_bound(m as usize, 1, 96);
+            let fx_misses = fx.run_trace(trace.iter().copied());
+            prop_assert_eq!(dx.run_trace(trace.iter().copied()), fx_misses);
+            prop_assert_eq!(hashed.misses_at(m), fx_misses, "capacity {}", m);
+        }
+        prop_assert_eq!(hashed.misses_at(u64::MAX), hashed.compulsory_misses());
+    }
+
+    /// The multi-level read off one histogram equals replaying the trace
+    /// through a whole `Hierarchy` ladder, and inclusion holds exactly.
+    #[test]
+    fn stack_distance_multi_level_read_matches_hierarchy(
+        l1 in 1u64..16,
+        growth2 in 1u64..16,
+        growth3 in 1u64..16,
+        trace in proptest::collection::vec(0u64..128, 0..500),
+    ) {
+        let caps = [
+            Words::new(l1),
+            Words::new(l1 + growth2),
+            Words::new(l1 + growth2 + growth3),
+        ];
+        let mut ladder = Hierarchy::new(&caps);
+        for &a in &trace {
+            ladder.access(a);
+        }
+        let profile = StackDistance::profile_of(trace.iter().copied());
+        let read = profile.traffic_at(&caps);
+        prop_assert_eq!(read, ladder.traffic());
+        prop_assert!(read.is_monotone_non_increasing(), "traffic {}", read);
     }
 
     /// Strided gather matches a manual gather.

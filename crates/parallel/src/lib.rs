@@ -49,7 +49,8 @@ pub use measure::{
 };
 pub use mesh::SquareMesh;
 pub use pkernels::{
-    parallel_kernels, ParGrid2d, ParMatMul, ParTranspose, ParallelKernel, ParallelRun,
+    parallel_kernels, ExternalIoProfile, ParGrid2d, ParMatMul, ParTranspose, ParallelKernel,
+    ParallelRun,
 };
 pub use pmachine::{ParallelExecution, ParallelMachine, PeReport, Topology, TopologyKind};
 pub use scaling::{growth_exponent, linear_array_series, mesh_series, ScalingPoint};

@@ -169,10 +169,23 @@ pub struct MeasuredBalanceConfig {
 }
 
 /// The smallest per-PE memory at which the machine's **measured** external
-/// intensity reaches the arrangement's aggregate machine balance, found by
-/// exponential search + bisection over real kernel runs — or `None` when
-/// even `cfg.m_max` falls short (the measured form of the paper's
-/// "impossible" verdict).
+/// intensity reaches the arrangement's aggregate machine balance — or
+/// `None` when even `cfg.m_max` falls short (the measured form of the
+/// paper's "impossible" verdict).
+///
+/// Two probe engines, dispatched on the kernel:
+///
+/// * kernels exposing a one-replay
+///   [`ExternalIoProfile`](crate::pkernels::ExternalIoProfile) (external
+///   I/O a pure LRU function of pooled memory — e.g. the one-touch
+///   transpose) are searched over **histogram reads**: one trace replay
+///   total, then O(1) per probe;
+/// * comm-priced kernels (matmul, grid), whose external traffic re-blocks
+///   per memory size, fall back to exponential search + bisection over
+///   real kernel runs — one verified run per probe, exactly as before.
+///
+/// Both engines walk the identical search lattice, so wherever a kernel
+/// could use either, the results agree (pinned by test).
 ///
 /// Assumes the kernel's measured intensity is non-decreasing in memory,
 /// which every §3 decomposition satisfies (more memory never forces more
@@ -192,29 +205,48 @@ pub fn measured_balance_memory(
             reason: format!("aggregate machine: {e}"),
         })?
         .machine_balance();
-    let probe = |m: usize| -> Result<f64, KernelError> {
-        kernel
-            .run_on(
-                topology,
-                cfg.n,
-                &HierarchySpec::flat_words(m),
-                cfg.seed,
-                cfg.verify,
-            )
-            .map(|r| r.external_intensity())
-    };
     let lo0 = kernel.min_memory_per_pe(cfg.n, topology).min(cfg.m_max);
+    match kernel.io_profile(cfg.n, topology) {
+        Some(profile) => {
+            let p = topology.pe_count();
+            search_balance(lo0, cfg.m_max, target, |m| {
+                Ok(profile.external_intensity(m as u64 * p))
+            })
+        }
+        None => search_balance(lo0, cfg.m_max, target, |m| {
+            kernel
+                .run_on(
+                    topology,
+                    cfg.n,
+                    &HierarchySpec::flat_words(m),
+                    cfg.seed,
+                    cfg.verify,
+                )
+                .map(|r| r.external_intensity())
+        }),
+    }
+}
+
+/// Exponential search + bisection for the smallest per-PE memory in
+/// `[lo0, m_max]` whose probed intensity reaches `target` — the one
+/// search lattice both probe engines walk.
+fn search_balance(
+    lo0: usize,
+    m_max: usize,
+    target: f64,
+    mut probe: impl FnMut(usize) -> Result<f64, KernelError>,
+) -> Result<Option<Words>, KernelError> {
     if probe(lo0)? >= target {
         return Ok(Some(Words::new(lo0 as u64)));
     }
     // Exponential search for a balancing upper bound.
     let (mut lo, mut hi) = (lo0, lo0);
     loop {
-        hi = (hi.saturating_mul(2)).min(cfg.m_max);
+        hi = (hi.saturating_mul(2)).min(m_max);
         if probe(hi)? >= target {
             break;
         }
-        if hi == cfg.m_max {
+        if hi == m_max {
             return Ok(None);
         }
         lo = hi;
@@ -366,6 +398,68 @@ mod tests {
         if m.get() as usize > 3 {
             assert!(probe(m.get() as usize - 1) < target);
         }
+    }
+
+    /// `ParTranspose` with its one-replay profile suppressed: forces the
+    /// kernel-replay fallback so the two probe engines can be compared.
+    #[derive(Debug)]
+    struct ReplayOnlyTranspose;
+
+    impl ParallelKernel for ReplayOnlyTranspose {
+        fn name(&self) -> &'static str {
+            ParTranspose.name()
+        }
+        fn description(&self) -> &'static str {
+            ParTranspose.description()
+        }
+        fn serial(&self) -> Box<dyn balance_kernels::Kernel> {
+            ParTranspose.serial()
+        }
+        fn min_memory_per_pe(&self, n: usize, topology: Topology) -> usize {
+            ParTranspose.min_memory_per_pe(n, topology)
+        }
+        fn run_on(
+            &self,
+            topology: Topology,
+            n: usize,
+            per_pe: &HierarchySpec,
+            seed: u64,
+            verify: Verify,
+        ) -> Result<crate::pkernels::ParallelRun, KernelError> {
+            ParTranspose.run_on(topology, n, per_pe, seed, verify)
+        }
+        // io_profile deliberately left at the default `None`.
+    }
+
+    #[test]
+    fn profile_probe_matches_kernel_replay_probe() {
+        // The histogram fast path and the run-per-probe fallback walk the
+        // same search lattice: identical answers at every target, both the
+        // reachable (Some) and unreachable (None) regimes.
+        for balance in [0.2, 0.4, 0.5, 0.6, 2.0] {
+            for topo in [topo(1), topo(2), Topology::mesh(2).unwrap()] {
+                let cfg = MeasuredBalanceConfig {
+                    cell: cell(balance),
+                    n: 16,
+                    seed: 3,
+                    verify: Verify::Full,
+                    m_max: 4096,
+                };
+                let fast = measured_balance_memory(&ParTranspose, topo, &cfg).unwrap();
+                let slow = measured_balance_memory(&ReplayOnlyTranspose, topo, &cfg).unwrap();
+                assert_eq!(fast, slow, "balance {balance} on {topo}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_profile_reports_one_touch_traffic() {
+        let p = ParTranspose.io_profile(16, topo(2)).unwrap();
+        // Every word of A and T crosses once at any pooled memory.
+        assert_eq!(p.external_words(1), 2 * 16 * 16);
+        assert_eq!(p.external_words(1 << 20), 2 * 16 * 16);
+        assert_eq!(p.external_intensity(64), 0.5);
+        assert_eq!(p.profile().compulsory_misses(), 2 * 16 * 16);
     }
 
     #[test]

@@ -31,13 +31,56 @@
 //! same addresses), so its [`Execution`](balance_core::Execution) is
 //! bit-identical — pinned by property test across the registry.
 
-use balance_core::HierarchySpec;
+use balance_core::{CostProfile, HierarchySpec};
 use balance_kernels::error::KernelError;
 use balance_kernels::matrix::MatrixHandle;
 use balance_kernels::{reference, verify, workload, Kernel, Verify};
-use balance_machine::{BufferId, ExternalStore, MachineError};
+use balance_machine::{BufferId, CapacityProfile, ExternalStore, MachineError};
 
 use crate::pmachine::{ParallelExecution, ParallelMachine, Topology};
+
+/// A one-replay description of a machine's external I/O as a pure LRU
+/// function of its pooled memory: the aggregate trace's
+/// [`CapacityProfile`] plus the traced computation's operation count.
+///
+/// Kernels whose external traffic *is* such a function (no communication
+/// pricing, no partition-dependent blocking — e.g. the one-touch
+/// [`ParTranspose`]) expose it through
+/// [`ParallelKernel::io_profile`]; the memory-at-balance search
+/// ([`crate::measure::measured_balance_memory`]) then probes the profile
+/// in O(1) reads instead of re-running the kernel per bisection step.
+#[derive(Debug, Clone)]
+pub struct ExternalIoProfile {
+    comp_ops: u64,
+    profile: CapacityProfile,
+}
+
+impl ExternalIoProfile {
+    /// Packages a replayed profile with its computation's op count.
+    #[must_use]
+    pub fn new(comp_ops: u64, profile: CapacityProfile) -> Self {
+        ExternalIoProfile { comp_ops, profile }
+    }
+
+    /// External words at a pooled machine memory of `total_memory` words.
+    #[must_use]
+    pub fn external_words(&self, total_memory: u64) -> u64 {
+        self.profile.misses_at(total_memory)
+    }
+
+    /// External intensity at a pooled machine memory of `total_memory`
+    /// words — the quantity the §4 balance condition reads.
+    #[must_use]
+    pub fn external_intensity(&self, total_memory: u64) -> f64 {
+        CostProfile::new(self.comp_ops, self.external_words(total_memory)).intensity()
+    }
+
+    /// The underlying capacity profile.
+    #[must_use]
+    pub fn profile(&self) -> &CapacityProfile {
+        &self.profile
+    }
+}
 
 /// The measured result of one verified parallel kernel run.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +146,18 @@ pub trait ParallelKernel: Sync {
         seed: u64,
         verify: Verify,
     ) -> Result<ParallelRun, KernelError>;
+
+    /// A one-replay [`ExternalIoProfile`], when this kernel's external
+    /// I/O is a pure LRU function of the machine's pooled memory.
+    ///
+    /// The default is `None`: comm-priced kernels (matmul's ring-rotated
+    /// slabs, grid's halo exchange) re-block per memory size, so no single
+    /// trace stands in for their external traffic — the memory-at-balance
+    /// search falls back to replaying the kernel for them.
+    fn io_profile(&self, n: usize, topology: Topology) -> Option<ExternalIoProfile> {
+        let _ = (n, topology);
+        None
+    }
 }
 
 /// All parallel kernels, serial-registry order.
@@ -351,6 +406,24 @@ pub struct ParTranspose;
 impl ParallelKernel for ParTranspose {
     fn name(&self) -> &'static str {
         "transpose"
+    }
+
+    fn io_profile(&self, n: usize, _topology: Topology) -> Option<ExternalIoProfile> {
+        if n == 0 {
+            return None;
+        }
+        // Transpose touches every word of A and T exactly once at any
+        // blocking and any PE count: the aggregate trace is one pass over
+        // the dense `[0, 2n²)` range, so external traffic is all
+        // compulsory — 2n² at every pooled memory. `one_touch` is that
+        // trace's profile in closed form (pinned equal to the replayed
+        // engine by test), so no replay, no O(n²) tables, and no address
+        // bound to outgrow. Ops: one move per element.
+        let n64 = n as u64;
+        Some(ExternalIoProfile::new(
+            n64 * n64,
+            CapacityProfile::one_touch(2 * n64 * n64),
+        ))
     }
 
     fn description(&self) -> &'static str {

@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // n = 96: anchored Freivalds verification (O(n²) per point, first
         // point fully verified) keeps the sweep fast without losing coverage.
         verify: Verify::auto(n),
+        engine: Engine::Replay,
     };
     // The parallel executor produces bit-identical points to the serial one.
     let result = intensity_sweep_par(&MatMul, &cfg)?;

@@ -4,11 +4,11 @@
 # median-ns-per-bench results into BENCH_<n>.json at the repo root, seeding
 # the perf trajectory tracked across PRs.
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_4.json)
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_5.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 # Absolute path: cargo bench runs each target with cwd = its package dir.
 jsonl="$(pwd)/target/bench_smoke.jsonl"
 rm -f "$jsonl"

@@ -42,6 +42,7 @@ fn pipeline_closes_the_loop_on_matmul() {
         memories,
         seed: 3,
         verify: Verify::Full,
+        engine: Engine::Replay,
     };
     let result = intensity_sweep(&MatMul, &cfg).unwrap();
     let fit = result.fit().unwrap();
@@ -149,6 +150,7 @@ fn law_is_sweep_invariant() {
         memories: [4usize, 8, 16, 32].iter().map(|b| 3 * b * b).collect(),
         seed: 9,
         verify: Verify::Full,
+        engine: Engine::Replay,
     };
     let fine = SweepConfig {
         n,
@@ -158,6 +160,7 @@ fn law_is_sweep_invariant() {
             .collect(),
         seed: 9,
         verify: Verify::Full,
+        engine: Engine::Replay,
     };
     let f_coarse = intensity_sweep(&MatMul, &coarse)
         .unwrap()
