@@ -7,14 +7,22 @@
 //! * `capacity_sweep_matmul_n96/engine_stackdist` — the same 16-point
 //!   sweep from **one** replay through the Mattson engine (bit-identical
 //!   points, pinned by property test).
+//! * `capacity_sweep_matmul_n96/engine_stackdist_par` — the segmented
+//!   parallel Mattson tier (`stackdist-par`, one time range per core),
+//!   same bit-identical 16 points; on a multi-core runner the per-range
+//!   passes overlap, and the boundary merge is the serial residue.
+//! * `capacity_sweep_matmul_n96/engine_sampled` — the SHARDS-style
+//!   hash-sampled tier at rate 1/16, the approximate engine E23 drives
+//!   across a 10⁹-address trace.
 //! * `stackdist/histogram_direct` vs `stackdist/lru_direct` — the
 //!   per-access price of histogram accounting against a plain
 //!   direct-indexed LRU replay at one capacity (the engine's log-factor
 //!   overhead, which the sweep amortizes across its points).
 //!
-//! The medians land in `BENCH_5.json` via the bench-smoke script; the
-//! tentpole target is `engine_replay / engine_stackdist ≥ 3×` on the
-//! 16-point sweep.
+//! The medians land in `BENCH_6.json` via the bench-smoke script
+//! (alongside the `bigtrace/*` wall-clocks E23 appends); the tentpole
+//! target is `engine_replay / engine_stackdist ≥ 3×` on the 16-point
+//! sweep.
 
 use balance_kernels::prelude::*;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -37,6 +45,17 @@ fn bench_capacity_sweep(c: &mut Criterion) {
     });
     g.bench_function("engine_stackdist", |b| {
         b.iter(|| capacity_sweep(&MatMul, &sweep_cfg(Engine::StackDist)).expect("traced"));
+    });
+    g.bench_function("engine_stackdist_par", |b| {
+        b.iter(|| {
+            capacity_sweep(&MatMul, &sweep_cfg(Engine::StackDistPar { threads: 0 }))
+                .expect("traced")
+        });
+    });
+    g.bench_function("engine_sampled", |b| {
+        b.iter(|| {
+            capacity_sweep(&MatMul, &sweep_cfg(Engine::Sampled { shift: 4 })).expect("traced")
+        });
     });
     g.finish();
 }

@@ -178,18 +178,51 @@ pub fn verify_by_name(name: &str) -> Result<Verify, String> {
 }
 
 /// Parses an `--engine` flag value into an [`Engine`], resolving `auto`
-/// for a sweep of `points` memory sizes.
+/// for a sweep of `points` memory sizes. The scaled tiers take an
+/// optional `:`-suffixed parameter: `stackdist-par[:K]` runs the exact
+/// segmented parallel engine on `K` threads (default: all cores), and
+/// `sampled[:S]` the SHARDS-style sampled engine at rate `2^-S`
+/// (default `S = 4`, rate 1/16).
 ///
 /// # Errors
 ///
-/// Unknown engine names, with the list of valid ones.
+/// Unknown engine names or malformed parameters, with the list of valid
+/// ones.
 pub fn engine_by_name(name: &str, points: usize) -> Result<Engine, String> {
+    let parse_param = |spec: &str, what: &str| -> Result<Option<u64>, String> {
+        match spec.split_once(':') {
+            None => Ok(None),
+            Some((_, raw)) => raw
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("bad {what} '{raw}' in engine '{spec}'")),
+        }
+    };
     Ok(match name {
         "replay" => Engine::Replay,
         "stackdist" => Engine::StackDist,
         "auto" => Engine::auto(points),
+        spec if spec == "stackdist-par" || spec.starts_with("stackdist-par:") => {
+            let threads = parse_param(spec, "thread count")?.unwrap_or(0);
+            let threads = usize::try_from(threads)
+                .map_err(|_| format!("thread count overflows usize in '{spec}'"))?;
+            Engine::StackDistPar { threads }
+        }
+        spec if spec == "sampled" || spec.starts_with("sampled:") => {
+            let shift = parse_param(spec, "sampling shift")?.unwrap_or(4);
+            let shift = u32::try_from(shift)
+                .ok()
+                .filter(|&s| s <= balance_machine::MAX_SAMPLE_SHIFT)
+                .ok_or_else(|| {
+                    format!(
+                        "sampling shift in '{spec}' exceeds {}",
+                        balance_machine::MAX_SAMPLE_SHIFT
+                    )
+                })?;
+            Engine::Sampled { shift }
+        }
         other => Err(format!(
-            "unknown engine '{other}' (try: replay, stackdist, auto)"
+            "unknown engine '{other}' (try: replay, stackdist, stackdist-par[:K], sampled[:S], auto)"
         ))?,
     })
 }
@@ -598,14 +631,17 @@ USAGE:
       Characterize a PE: machine balance + balanced memory per computation.
   balance rebalance --law <matmul|lu|grid1..grid4|fft|sort|matvec> --alpha <f> --m <words>
       The paper's question: how much memory restores balance after C/IO grows α-fold?
-  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>] [--verify full|freivalds|none] [--engine replay|stackdist|auto]
+  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>] [--verify full|freivalds|none] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|auto]
       Run the instrumented kernel across a memory sweep (parallel across
       cores; default verification: full up to n=64, anchored Freivalds
       beyond) and fit the law. With --engine, measure the cache-model
       curve (canonical trace through an LRU per capacity) instead:
-      stackdist answers the whole sweep from ONE replay, replay is the
-      per-capacity reference engine (bit-identical results).
-  balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>] [--kernel <name> [--n <size>] [--engine replay|stackdist|auto]]
+      stackdist answers the whole sweep from ONE replay, stackdist-par:K
+      splits that replay across K threads (exact, bit-identical; K
+      defaults to all cores), sampled:S hash-samples addresses at rate
+      2^-S (approximate, default S=4), and replay is the per-capacity
+      reference engine.
+  balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>] [--kernel <name> [--n <size>] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|auto]]
       The balance law per level of a memory hierarchy (innermost level
       first): per-boundary ridges, binding level, and balanced capacity
       per level for each of the paper's intensity laws. LAT is the level's
@@ -750,6 +786,50 @@ mod tests {
         assert_eq!(engine_by_name("auto", 3).unwrap(), Engine::Replay);
         assert_eq!(engine_by_name("auto", 4).unwrap(), Engine::StackDist);
         assert!(engine_by_name("onepass", 4).is_err());
+        // The scaled tiers, with and without their parameters.
+        assert_eq!(
+            engine_by_name("stackdist-par", 4).unwrap(),
+            Engine::StackDistPar { threads: 0 }
+        );
+        assert_eq!(
+            engine_by_name("stackdist-par:6", 4).unwrap(),
+            Engine::StackDistPar { threads: 6 }
+        );
+        assert_eq!(engine_by_name("sampled", 4).unwrap(), Engine::Sampled { shift: 4 });
+        assert_eq!(engine_by_name("sampled:7", 4).unwrap(), Engine::Sampled { shift: 7 });
+        assert_eq!(engine_by_name("sampled:0", 4).unwrap(), Engine::Sampled { shift: 0 });
+        assert!(engine_by_name("stackdist-par:x", 4).is_err());
+        assert!(engine_by_name("sampled:99", 4).is_err(), "shift beyond MAX rejected");
+        assert!(engine_by_name("sampled:-3", 4).is_err());
+    }
+
+    #[test]
+    fn sweep_scaled_engines_run_through_the_cli() {
+        let base = &["--kernel", "matmul", "--n", "16"];
+        let onepass = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "stackdist"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        // Segmented parallel: same numbers as the serial one-pass engine.
+        let seg = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "stackdist-par:3"][..]].concat()))
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(seg.contains("StackDistPar"), "{seg}");
+        assert_eq!(strip(&onepass), strip(&seg));
+        // Sampled at shift 0 degenerates to exact; nonzero shift runs.
+        let exact0 = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "sampled:0"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(strip(&onepass), strip(&exact0));
+        let sampled = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "sampled:3"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        assert!(sampled.contains("Sampled"), "{sampled}");
     }
 
     #[test]

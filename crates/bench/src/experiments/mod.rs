@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod amdahl_exp;
+pub mod bigtrace;
 pub mod extension;
 pub mod figures;
 pub mod hierarchy_exp;
@@ -19,9 +20,11 @@ use crate::report::Report;
 ///
 /// `Small` is the CI/default regime (seconds per experiment). `Large`
 /// (`repro --scale large`) pushes the scale-sensitive experiments to the
-/// sizes the measurement engine was rebuilt for — currently E13 at
-/// `n = 512`, whose naive trace is 402M addresses, streamed in O(1) memory
-/// through the direct-indexed LRU.
+/// sizes the measurement engine was rebuilt for — E13 at `n = 512`, whose
+/// naive trace is 402M addresses, streamed in O(1) memory through the
+/// direct-indexed LRU, and E23 at `n = 700`, whose 1.03G-address trace
+/// runs through the segmented parallel and hash-sampled stack-distance
+/// engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Toy sizes: every experiment finishes in seconds.
@@ -47,9 +50,9 @@ impl Scale {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-    "E12", "E13", "E14", "E15", "E20", "E21", "E22",
+    "E12", "E13", "E14", "E15", "E20", "E21", "E22", "E23",
 ];
 
 /// Runs one experiment by id (case-insensitive) at the default scale.
@@ -88,6 +91,7 @@ pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
         "E20" | "HIERARCHY" => hierarchy_exp::e20_hierarchy(),
         "E21" | "PARALLEL" => parallel_measured::e21_parallel(),
         "E22" | "ONEPASS" => onepass::e22_onepass(),
+        "E23" | "BIGTRACE" => bigtrace::e23_bigtrace_at(scale),
         _ => return None,
     })
 }

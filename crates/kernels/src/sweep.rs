@@ -43,7 +43,10 @@ use balance_core::solver::MeasuredCurve;
 use balance_core::{
     BalanceError, CostProfile, Execution, HierarchySpec, LevelSpec, Words, WordsPerSec,
 };
-use balance_machine::{Hierarchy, LruCache, MemorySystem as _, StackDistance};
+use balance_machine::{
+    sampled_profile_of, sampled_profile_of_bounded, segmented_profile_of, CapacityProfile,
+    Hierarchy, LruCache, MemorySystem as _, StackDistance,
+};
 
 use crate::error::KernelError;
 use crate::trace::AccessTrace;
@@ -52,10 +55,15 @@ use crate::verify::Verify;
 
 /// Which measurement engine a capacity sweep runs on.
 ///
-/// Both engines produce **bit-identical** [`DataPoint`]s (pinned by
-/// property test across the kernel registry); they differ only in cost:
-/// `Replay` is `O(#points · |trace|)`, `StackDist` is
-/// `O(|trace| · log U + #points)`.
+/// The first three engines produce **bit-identical** [`DataPoint`]s
+/// (pinned by property test across the kernel registry); they differ
+/// only in cost: `Replay` is `O(#points · |trace|)`, `StackDist` is
+/// `O(|trace| · log U + #points)`, and `StackDistPar` divides the
+/// `|trace|` term across K scoped threads (plus an `O(K·U·log U)` merge
+/// — exact, per [`balance_machine::segmented`]). `Sampled` is the
+/// approximate tier: SHARDS-style hash sampling at rate `2^-shift`
+/// ([`balance_machine::sampling`]) cuts the replay cost by ~the rate and
+/// marks its points' profiles non-exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// One full trace replay per memory size, each through an actual
@@ -65,7 +73,26 @@ pub enum Engine {
     /// ([`StackDistance`]), every capacity read off the histogram.
     #[default]
     StackDist,
+    /// Segmented parallel Mattson: the trace split into time ranges, one
+    /// scoped thread each, merged exactly — bit-identical to
+    /// [`Engine::StackDist`]. `threads = 0` means
+    /// `std::thread::available_parallelism()`.
+    StackDistPar {
+        /// Segment/worker count (0 = available parallelism).
+        threads: usize,
+    },
+    /// SHARDS-style hash-sampled approximate profile at rate `2^-shift`
+    /// (`shift = 0` degenerates to the exact one-pass engine).
+    Sampled {
+        /// Sampling-rate exponent (rate = `2^-shift`).
+        shift: u32,
+    },
 }
+
+/// Trace length beyond which [`Engine::auto_for`] escalates from the
+/// serial one-pass engine to the segmented parallel one (2²⁷ ≈ 134M
+/// addresses — roughly a second of serial histogram work).
+pub const AUTO_SEGMENT_LEN: u64 = 1 << 27;
 
 impl Engine {
     /// The recommended engine for a sweep of `points` memory sizes: the
@@ -77,6 +104,19 @@ impl Engine {
             Engine::StackDist
         } else {
             Engine::Replay
+        }
+    }
+
+    /// [`Engine::auto`] with the trace length in hand: escalates to the
+    /// segmented parallel engine ([`Engine::StackDistPar`], auto thread
+    /// count) past [`AUTO_SEGMENT_LEN`] addresses. Sampling is never
+    /// chosen automatically — trading exactness is the caller's call.
+    #[must_use]
+    pub fn auto_for(points: usize, trace_len: u64) -> Engine {
+        if points >= 4 && trace_len >= AUTO_SEGMENT_LEN {
+            Engine::StackDistPar { threads: 0 }
+        } else {
+            Engine::auto(points)
         }
     }
 }
@@ -446,13 +486,13 @@ pub fn hierarchy_capacity_sweep(
     validate_outer(outer)?;
     let memories = eligible_capacities(cfg, outer);
     match cfg.engine {
-        Engine::StackDist => capacity_points_stackdist(kernel, cfg, outer, &memories),
         Engine::Replay => collect_sweep(
             kernel,
             memories
                 .iter()
                 .map(|&m| capacity_point_replay(kernel, cfg, outer, m)),
         ),
+        engine => capacity_points_profile(kernel, cfg, outer, &memories, engine),
     }
 }
 
@@ -470,13 +510,13 @@ pub fn hierarchy_capacity_sweep_par(
     validate_outer(outer)?;
     let memories = eligible_capacities(cfg, outer);
     match cfg.engine {
-        Engine::StackDist => capacity_points_stackdist(kernel, cfg, outer, &memories),
         Engine::Replay => collect_sweep(
             kernel,
             par_map(&memories, |_, &m| {
                 capacity_point_replay(kernel, cfg, outer, m)
             }),
         ),
+        engine => capacity_points_profile(kernel, cfg, outer, &memories, engine),
     }
 }
 
@@ -503,25 +543,18 @@ fn capacity_point_replay(
     Ok(capacity_run(cfg.n, m, comp, &traffic))
 }
 
-/// All stack-distance-engine points from **one replay**: the histogram is
-/// built once, then every sweep capacity (and every outer boundary) is an
-/// O(1) read.
-fn capacity_points_stackdist(
+/// All profile-engine points from **one pass**: the reuse profile is
+/// built once (serially, segmented-parallel, or sampled, per `engine`),
+/// then every sweep capacity (and every outer boundary) is an O(1) read.
+fn capacity_points_profile(
     kernel: &dyn Kernel,
     cfg: &SweepConfig,
     outer: &[LevelSpec],
     memories: &[usize],
+    engine: Engine,
 ) -> Result<SweepResult, KernelError> {
-    let trace = trace_for(kernel, cfg.n)?;
-    let comp = trace.comp_ops();
-    let bound = trace.addr_bound();
-    let profile = if bound > 0 && bound < u64::from(u32::MAX / 2) {
-        let mut engine = StackDistance::with_address_bound(bound);
-        engine.observe_trace(trace.into_addrs());
-        engine.into_profile()
-    } else {
-        StackDistance::profile_of(trace.into_addrs())
-    };
+    let profile = capacity_profile(kernel, cfg.n, engine)?;
+    let comp = trace_for(kernel, cfg.n)?.comp_ops();
     collect_sweep(
         kernel,
         memories.iter().map(|&m| {
@@ -530,6 +563,62 @@ fn capacity_points_stackdist(
             Ok(capacity_run(cfg.n, m, comp, &traffic))
         }),
     )
+}
+
+/// Whether the address bound is worth a direct-indexed last-access table
+/// (a flat `8 × bound`-byte allocation per engine/worker).
+fn direct_bound(bound: u64) -> Option<u64> {
+    (bound > 0 && bound < u64::from(u32::MAX / 2)).then_some(bound)
+}
+
+/// Builds the kernel's [`CapacityProfile`] on the requested profile
+/// engine ([`Engine::Replay`] has no profile and is rejected by the
+/// callers' dispatch).
+///
+/// # Errors
+///
+/// [`KernelError::BadParameters`] when the kernel has no canonical trace
+/// at `n`.
+fn capacity_profile(
+    kernel: &dyn Kernel,
+    n: usize,
+    engine: Engine,
+) -> Result<CapacityProfile, KernelError> {
+    let trace = trace_for(kernel, n)?;
+    let bound = trace.addr_bound();
+    Ok(match engine {
+        Engine::Replay | Engine::StackDist => match direct_bound(bound) {
+            Some(b) => StackDistance::profile_of_bounded(trace.into_addrs(), b),
+            None => StackDistance::profile_of(trace.into_addrs()),
+        },
+        Engine::Sampled { shift } => match direct_bound(bound) {
+            Some(b) => sampled_profile_of_bounded(trace.into_addrs(), b, shift),
+            None => sampled_profile_of(trace.into_addrs(), shift),
+        },
+        Engine::StackDistPar { threads } => {
+            let len = trace.len();
+            drop(trace);
+            let threads = if threads == 0 {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            } else {
+                threads
+            };
+            // Each worker regenerates its time range from the kernel's
+            // streaming generator: `skip` is O(1) for generators with a
+            // positional `nth` (e.g. the matmul trace) and one cheap
+            // linear scan otherwise.
+            segmented_profile_of(len, direct_bound(bound), threads, |start, end| {
+                let range = trace_for(kernel, n)
+                    .expect("trace_for succeeded above")
+                    .into_addrs();
+                let start = usize::try_from(start).expect("trace position fits usize");
+                let end = usize::try_from(end).expect("trace position fits usize");
+                range.skip(start).take(end - start)
+            })
+        }
+    })
 }
 
 /// Applies `f` to every item of `items` on a scoped thread pool sized by
@@ -857,6 +946,61 @@ mod tests {
         // The parallel executor matches both.
         let par = capacity_sweep_par(&MatMul, &cfg).unwrap();
         assert_eq!(replay.runs, par.runs);
+        // The segmented parallel engine is bit-identical too, at any
+        // thread count (including auto and absurd oversubscription).
+        for threads in [0usize, 1, 3, 7, 64] {
+            let seg = capacity_sweep(
+                &MatMul,
+                &cfg.clone().with_engine(Engine::StackDistPar { threads }),
+            )
+            .unwrap();
+            assert_eq!(replay.runs, seg.runs, "threads = {threads}");
+        }
+        // Sampling at shift 0 keeps every address: exact degenerate.
+        let sampled =
+            capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::Sampled { shift: 0 }))
+                .unwrap();
+        assert_eq!(replay.runs, sampled.runs);
+    }
+
+    #[test]
+    fn sampled_engine_tracks_the_exact_curve() {
+        let cfg = SweepConfig {
+            n: 16,
+            memories: vec![16, 64, 256, 1024],
+            seed: 0,
+            verify: Verify::Full,
+            engine: Engine::StackDist,
+        };
+        let exact = capacity_sweep(&MatMul, &cfg).unwrap();
+        let sampled =
+            capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::Sampled { shift: 2 }))
+                .unwrap();
+        assert_eq!(exact.runs.len(), sampled.runs.len());
+        let total = 3u64 * 16 * 16 * 16;
+        for (e, s) in exact.runs.iter().zip(&sampled.runs) {
+            // Miss-ratio error at rate 1/4 on the dense matmul trace
+            // stays small (empirical bound with wide slack).
+            let diff = e.execution.cost.io_words().abs_diff(s.execution.cost.io_words());
+            assert!(
+                (diff as f64) / (total as f64) < 0.2,
+                "m = {}: exact {} vs sampled {}",
+                e.m,
+                e.execution.cost.io_words(),
+                s.execution.cost.io_words()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_auto_for_escalates_on_trace_length() {
+        assert_eq!(Engine::auto_for(8, 1 << 20), Engine::StackDist);
+        assert_eq!(
+            Engine::auto_for(8, AUTO_SEGMENT_LEN),
+            Engine::StackDistPar { threads: 0 }
+        );
+        // Few points: replay stays cheapest regardless of length.
+        assert_eq!(Engine::auto_for(2, 1 << 40), Engine::Replay);
     }
 
     #[test]

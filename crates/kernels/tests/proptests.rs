@@ -238,6 +238,24 @@ proptest! {
         }
         let par = capacity_sweep_par(&**kernel, &cfg).unwrap();
         prop_assert_eq!(&replay.runs, &par.runs);
+        // The scaled tiers hold the same contract: segmented parallel
+        // Mattson is bit-identical at any thread count, and sampling at
+        // rate 1 (shift 0) degenerates to the exact serial engine.
+        for threads in [1usize, 3] {
+            let seg = capacity_sweep(
+                &**kernel,
+                &cfg.clone().with_engine(Engine::StackDistPar { threads }),
+            )
+            .unwrap();
+            prop_assert_eq!(
+                &replay.runs, &seg.runs,
+                "kernel {}, {} segments", kernel.name(), threads
+            );
+        }
+        let full_rate =
+            capacity_sweep(&**kernel, &cfg.clone().with_engine(Engine::Sampled { shift: 0 }))
+                .unwrap();
+        prop_assert_eq!(&replay.runs, &full_rate.runs, "kernel {}", kernel.name());
         // Monotone: a bigger cache never misses more (the stack property,
         // as it surfaces in the emitted sweep).
         for w in replay.runs.windows(2) {

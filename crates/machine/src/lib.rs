@@ -33,6 +33,12 @@
 //!   boundary traffic of every ladder — is an O(1) read. This is what
 //!   collapses capacity sweeps from one replay per memory size to one
 //!   replay total (see `balance-kernels`' `capacity_sweep`).
+//! * [`segmented_profile_of`] / [`SampledStackDistance`] — the scaled
+//!   tiers of the same engine for billion-address traces: exact
+//!   segmented parallel Mattson (K time ranges on scoped threads, merged
+//!   bit-identical to serial) and SHARDS-style hash-sampled approximate
+//!   profiles (Waldspurger et al., FAST '15) whose queries re-scale by
+//!   the sampling rate.
 //! * [`PhaseRecorder`] — phase-labeled cost attribution for multi-phase
 //!   algorithms (e.g. the two phases of external sorting).
 //!
@@ -70,6 +76,8 @@ pub mod error;
 pub mod hierarchy;
 pub mod memory;
 pub mod pe;
+pub mod sampling;
+pub mod segmented;
 pub mod stackdist;
 pub mod store;
 pub mod timeline;
@@ -78,6 +86,11 @@ pub mod trace;
 pub use cache::LruCache;
 pub use error::MachineError;
 pub use hierarchy::{Hierarchy, MemorySystem};
+pub use sampling::{
+    sampled_profile_of, sampled_profile_of_bounded, splitmix64, SampledStackDistance,
+    MAX_SAMPLE_SHIFT,
+};
+pub use segmented::segmented_profile_of;
 pub use stackdist::{CapacityProfile, StackDistance};
 pub use memory::{BufferId, LocalMemory};
 pub use pe::Pe;

@@ -35,6 +35,17 @@
 //! direct-indexed last-access table when the caller can bound the address
 //! space, a hash map otherwise.
 //!
+//! Time is kept on a **logical `u64` clock**: the last-access index stores
+//! monotonically increasing logical timestamps, and a physical window
+//! `[origin, clock)` maps them onto the compacted slot space. The clock
+//! never wraps and never resets at compaction — a 10⁹-address (or 10¹⁸-
+//! address) trace cannot overflow the bookkeeping, where the previous
+//! `u32` slot representation silently truncated past `u32::MAX`.
+//!
+//! Two scaled companions build on this engine for billion-address traces:
+//! [`crate::segmented`] (exact parallel Mattson over time ranges) and
+//! [`crate::sampling`] (SHARDS-style hash-sampled approximate profiles).
+//!
 //! Exactness against the replay model is pinned by property test:
 //! `misses_at(M)` is bit-identical to `LruCache::with_capacity_words(M)`
 //! replaying the same trace, for every `M`, on both backends.
@@ -43,8 +54,10 @@ use balance_core::{HierarchySpec, LevelTraffic, Words};
 
 use std::collections::HashMap;
 
-/// Vacant marker in the direct-indexed last-access table.
-const EMPTY: u32 = u32::MAX;
+/// Vacant marker in the direct-indexed last-access table. A logical
+/// timestamp never reaches `u64::MAX`: the clock counts observed touches,
+/// and a trace that long is physically unrepresentable.
+const EMPTY: u64 = u64::MAX;
 
 /// The live-marker order statistic: one bit per time slot, 64 slots
 /// packed per `u64` leaf, with a Fenwick (binary indexed) tree over the
@@ -53,16 +66,17 @@ const EMPTY: u32 = u32::MAX;
 ///
 /// The two-level layout is the perf-critical choice: a flat Fenwick over
 /// `S` slots walks `log₂S` scattered cache lines per operation, while
-/// this tree is 64× smaller (a 1.5M-slot space needs a ~96 KB Fenwick
+/// this tree is 64× smaller (a 1.5M-slot space needs a ~192 KB Fenwick
 /// that mostly stays in L1/L2) and pays one `count_ones` instead of the
-/// six deepest tree levels.
+/// six deepest tree levels. Counters are `u64` so the distinct-address
+/// count shares the logical clock's no-overflow guarantee.
 #[derive(Debug, Clone)]
 struct MarkerTree {
     /// Bit `i & 63` of `bits[i >> 6]` = slot `i` is live.
     bits: Vec<u64>,
     /// Fenwick tree over per-leaf popcounts (`tree[0]` unused).
-    tree: Vec<u32>,
-    live: u32,
+    tree: Vec<u64>,
+    live: u64,
 }
 
 impl MarkerTree {
@@ -105,10 +119,10 @@ impl MarkerTree {
     }
 
     /// Live markers in slots `[0, i]`.
-    fn prefix(&self, i: usize) -> u32 {
+    fn prefix(&self, i: usize) -> u64 {
         // Partial leaf: bits at positions <= i & 63.
         let mask = u64::MAX >> (63 - (i & 63));
-        let mut sum = (self.bits[i >> 6] & mask).count_ones();
+        let mut sum = u64::from((self.bits[i >> 6] & mask).count_ones());
         // Whole leaves before it, off the Fenwick tree.
         let mut w = i >> 6;
         while w > 0 {
@@ -119,7 +133,7 @@ impl MarkerTree {
     }
 
     /// Live markers strictly after slot `i`.
-    fn count_after(&self, i: usize) -> u32 {
+    fn count_after(&self, i: usize) -> u64 {
         self.live - self.prefix(i)
     }
 
@@ -131,14 +145,15 @@ impl MarkerTree {
     }
 }
 
-/// The address → last-access-slot index, in one of two representations
-/// (mirroring [`crate::LruCache`]'s backends).
+/// The address → last-access logical timestamp index, in one of two
+/// representations (mirroring [`crate::LruCache`]'s backends). Timestamps
+/// are the full `u64` logical clock, never a truncated physical slot.
 #[derive(Debug, Clone)]
 enum LastIndex {
     /// Flat table keyed directly by address (`EMPTY` = never seen).
-    Direct(Vec<u32>),
+    Direct(Vec<u64>),
     /// Hash fallback for unbounded address spaces.
-    Map(HashMap<u64, u32>),
+    Map(HashMap<u64, u64>),
 }
 
 /// The streaming one-pass engine: feed it a trace with
@@ -168,18 +183,26 @@ enum LastIndex {
 pub struct StackDistance {
     index: LastIndex,
     markers: MarkerTree,
-    /// `slot_addr[s]` = the address whose latest access lives in slot `s`,
-    /// for compaction. Meaningful only where [`MarkerTree::is_live`] says
-    /// so — liveness lives in the marker bitmap, not in a sentinel value,
-    /// so every `u64` is a valid address.
+    /// `slot_addr[s]` = the address whose latest access lives in physical
+    /// slot `s`, for compaction. Meaningful only where
+    /// [`MarkerTree::is_live`] says so — liveness lives in the marker
+    /// bitmap, not in a sentinel value, so every `u64` is a valid address.
     slot_addr: Vec<u64>,
-    /// Next free time slot.
-    next: usize,
+    /// Monotonic logical clock: the timestamp the next touch will take.
+    /// Never wraps, never resets at compaction.
+    clock: u64,
+    /// Logical time of physical slot 0: timestamp `t` lives in physical
+    /// slot `t − origin`, and the window `clock − origin` never exceeds
+    /// the slot space.
+    origin: u64,
     /// `hist[d]` = number of accesses with stack distance exactly `d`
     /// (`hist[0]` unused).
     hist: Vec<u64>,
     compulsory: u64,
     accesses: u64,
+    /// When recording (segmented passes), every first-touch address in
+    /// touch order — the boundary state [`crate::segmented`] merges.
+    first_touches: Option<Vec<u64>>,
 }
 
 impl Default for StackDistance {
@@ -205,22 +228,22 @@ impl StackDistance {
     ///
     /// # Panics
     ///
-    /// Panics if `addr_bound` is zero or exceeds the `u32` slot-index
-    /// space, and on [`StackDistance::observe`] with an address `≥
-    /// addr_bound` (a caller contract violation).
+    /// Panics if `addr_bound` is zero or its doubled slot space overflows
+    /// `usize` (the table allocation would be unrepresentable), and on
+    /// [`StackDistance::observe`] with an address `≥ addr_bound` (a caller
+    /// contract violation).
     #[must_use]
     pub fn with_address_bound(addr_bound: u64) -> Self {
         assert!(addr_bound > 0, "address bound must be positive");
         let bound =
             usize::try_from(addr_bound).expect("address bound overflows usize");
-        assert!(
-            bound < EMPTY as usize / 2,
-            "address bound exceeds the u32 slot-index space"
-        );
         // 2× the distinct-address ceiling: at least half the slots are
         // live-free at every compaction, so compaction cost amortizes to
         // O(1) per access.
-        Self::with_slots(LastIndex::Direct(vec![EMPTY; bound]), 2 * bound)
+        let slots = bound
+            .checked_mul(2)
+            .expect("address bound overflows the slot space");
+        Self::with_slots(LastIndex::Direct(vec![EMPTY; bound]), slots)
     }
 
     fn with_slots(index: LastIndex, slots: usize) -> Self {
@@ -230,23 +253,91 @@ impl StackDistance {
             index,
             markers,
             slot_addr: vec![0; slots],
-            next: 0,
+            clock: 0,
+            origin: 0,
             hist: Vec::new(),
             compulsory: 0,
             accesses: 0,
+            first_touches: None,
         }
+    }
+
+    /// An engine whose logical clock starts at `start` instead of 0 —
+    /// equivalent to an engine that has already digested `start` touches
+    /// of some prefix and been fully compacted. Exercised by the
+    /// regression test that drives the clock across `u32::MAX`, which the
+    /// pre-logical-clock representation (`u32` slot indices in the
+    /// last-access tables) silently truncated.
+    #[cfg(test)]
+    fn with_clock_start(start: u64) -> Self {
+        let mut engine = Self::new();
+        engine.clock = start;
+        engine.origin = start;
+        engine
     }
 
     /// Distinct addresses seen so far (= live recency markers).
     #[must_use]
     pub fn distinct(&self) -> u64 {
-        u64::from(self.markers.live)
+        self.markers.live
     }
 
     /// Accesses observed so far.
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Re-points `addr`'s index entry at the current clock and returns the
+    /// *physical* slot of its previous access, if any — compacting first
+    /// when the physical window is full, so the returned slot and the
+    /// current clock share one `origin`.
+    #[inline]
+    fn index_touch(&mut self, addr: u64) -> Option<usize> {
+        if self.clock - self.origin == self.markers.slots() as u64 {
+            self.compact();
+        }
+        let t = self.clock;
+        let prev = match &mut self.index {
+            LastIndex::Direct(table) => {
+                let a = usize::try_from(addr)
+                    .ok()
+                    .filter(|&a| a < table.len())
+                    .unwrap_or_else(|| {
+                        panic!("address {addr} exceeds the declared address bound")
+                    });
+                let prev = table[a];
+                table[a] = t;
+                (prev != EMPTY).then_some(prev)
+            }
+            LastIndex::Map(map) => map.insert(addr, t),
+        };
+        prev.map(|pt| {
+            debug_assert!(pt >= self.origin, "stale timestamp survived compaction");
+            // In-window by construction: pt − origin < clock − origin ≤ slots.
+            (pt - self.origin) as usize
+        })
+    }
+
+    /// Places `addr`'s fresh marker in the physical slot of the current
+    /// clock and advances the clock.
+    #[inline]
+    fn push_top(&mut self, addr: u64) {
+        let slot = (self.clock - self.origin) as usize;
+        self.markers.add(slot);
+        self.slot_addr[slot] = addr;
+        self.clock += 1;
+    }
+
+    /// Counts one access at stack distance `d` into the histogram.
+    #[inline]
+    fn bump_hist(&mut self, d: u64) {
+        // d ≤ distinct + 1 ≤ slot space + 1, which fits usize.
+        let d = usize::try_from(d).expect("stack distance overflows usize");
+        if d >= self.hist.len() {
+            self.hist.resize(d + 1, 0);
+        }
+        self.hist[d] += 1;
     }
 
     /// Observes one word access, updating the distance histogram.
@@ -257,43 +348,23 @@ impl StackDistance {
     /// declared at construction.
     pub fn observe(&mut self, addr: u64) {
         self.accesses += 1;
-        if self.next == self.markers.slots() {
-            self.compact();
-        }
-        let slot = self.next;
-        let prev = match &mut self.index {
-            LastIndex::Direct(table) => {
-                let a = usize::try_from(addr)
-                    .ok()
-                    .filter(|&a| a < table.len())
-                    .unwrap_or_else(|| {
-                        panic!("address {addr} exceeds the declared address bound")
-                    });
-                let prev = table[a];
-                table[a] = slot as u32;
-                (prev != EMPTY).then_some(prev as usize)
+        match self.index_touch(addr) {
+            None => {
+                self.compulsory += 1;
+                if let Some(rec) = &mut self.first_touches {
+                    rec.push(addr);
+                }
             }
-            LastIndex::Map(map) => map
-                .insert(addr, slot as u32)
-                .map(|p| p as usize),
-        };
-        match prev {
-            None => self.compulsory += 1,
             Some(p) => {
                 // Stack distance: distinct addresses touched since the
                 // previous access of `addr`, counting `addr` itself (whose
                 // marker still sits at `p`).
-                let d = self.markers.count_after(p) as usize + 1;
-                if d >= self.hist.len() {
-                    self.hist.resize(d + 1, 0);
-                }
-                self.hist[d] += 1;
+                let d = self.markers.count_after(p) + 1;
+                self.bump_hist(d);
                 self.markers.remove(p);
             }
         }
-        self.markers.add(slot);
-        self.slot_addr[slot] = addr;
-        self.next = slot + 1;
+        self.push_top(addr);
     }
 
     /// Feeds a whole address trace (any iterator — in particular the
@@ -304,40 +375,104 @@ impl StackDistance {
         }
     }
 
-    /// Squeezes the dead slots out of the time axis, preserving recency
-    /// order, and re-points the live markers. Doubles the slot space when
-    /// more than half the slots are live (only possible on the hash
-    /// backend, whose distinct-address count is unbounded).
-    fn compact(&mut self) {
-        let slots = self.markers.slots();
-        let live = self.markers.live as usize;
-        let new_slots = if live * 2 > slots { slots * 2 } else { slots };
-        assert!(
-            new_slots < EMPTY as usize,
-            "slot space exceeds the u32 marker-index space"
-        );
-        let mut markers = MarkerTree::new(new_slots);
-        let mut slot_addr = vec![0; markers.slots()];
-        let mut dst = 0usize;
-        for src in 0..slots {
-            if !self.markers.is_live(src) {
-                continue;
+    /// Starts recording first-touch addresses (segment boundary state).
+    pub(crate) fn record_first_touches(&mut self) {
+        self.first_touches = Some(Vec::new());
+    }
+
+    /// Takes the recorded first-touch addresses, in touch order.
+    pub(crate) fn take_first_touches(&mut self) -> Vec<u64> {
+        self.first_touches.take().unwrap_or_default()
+    }
+
+    /// The live addresses in recency order, oldest first — the engine's
+    /// final LRU stack, bottom to top.
+    pub(crate) fn final_stack(&self) -> Vec<u64> {
+        let window = (self.clock - self.origin) as usize;
+        (0..window)
+            .filter(|&s| self.markers.is_live(s))
+            .map(|s| self.slot_addr[s])
+            .collect()
+    }
+
+    /// A boundary touch during a segmented merge: counts a histogram entry
+    /// (cross-segment reuse) or a compulsory miss (globally new address),
+    /// moves the marker to the top, but does **not** count an access —
+    /// the per-segment passes already counted it.
+    pub(crate) fn merge_observe(&mut self, addr: u64) {
+        match self.index_touch(addr) {
+            None => self.compulsory += 1,
+            Some(p) => {
+                let d = self.markers.count_after(p) + 1;
+                self.bump_hist(d);
+                self.markers.remove(p);
             }
-            let addr = self.slot_addr[src];
-            slot_addr[dst] = addr;
-            markers.add(dst);
-            match &mut self.index {
-                LastIndex::Direct(table) => table[addr as usize] = dst as u32,
-                LastIndex::Map(map) => {
-                    map.insert(addr, dst as u32);
-                }
-            }
-            dst += 1;
         }
-        debug_assert_eq!(dst, live, "compaction must keep every live marker");
-        self.markers = markers;
-        self.slot_addr = slot_addr;
-        self.next = dst;
+        self.push_top(addr);
+    }
+
+    /// Moves `addr` to the top of the recency stack (inserting it if
+    /// absent) with no statistics at all — the segmented merge's reorder
+    /// step, restoring true last-access order after a segment's boundary
+    /// touches land in first-touch order.
+    pub(crate) fn touch_silent(&mut self, addr: u64) {
+        if let Some(p) = self.index_touch(addr) {
+            self.markers.remove(p);
+        }
+        self.push_top(addr);
+    }
+
+    /// Adds another engine's distance histogram into this one.
+    pub(crate) fn absorb_hist(&mut self, other: &[u64]) {
+        if other.len() > self.hist.len() {
+            self.hist.resize(other.len(), 0);
+        }
+        for (slot, &h) in self.hist.iter_mut().zip(other) {
+            *slot += h;
+        }
+    }
+
+    /// Credits accesses counted by another engine (segmented passes).
+    pub(crate) fn add_accesses(&mut self, n: u64) {
+        self.accesses += n;
+    }
+
+    /// Dismantles the engine into `(hist, accesses)` for segment merging.
+    pub(crate) fn into_parts(self) -> (Vec<u64>, u64) {
+        (self.hist, self.accesses)
+    }
+
+    /// Finalizes a pass over a hash-sampled sub-trace into an approximate
+    /// [`CapacityProfile`]: raw sampled counts are kept as stored, the
+    /// access count is replaced with the **true** full-trace count, and
+    /// the profile carries the sampling-rate exponent so queries re-scale
+    /// (see [`crate::sampling`]).
+    pub(crate) fn into_sampled_profile(
+        mut self,
+        true_accesses: u64,
+        shift: u32,
+    ) -> CapacityProfile {
+        // SHARDS-adj (Waldspurger et al., FAST '15): spatial sampling hits
+        // each address's *whole* access string or none of it, so the raw
+        // sampled access count `S` wanders from the expected `N·R` by the
+        // popularity skew of the sampled set. Queries scale hits by `1/R`
+        // but subtract them from the exact `N`, so that wander lands
+        // verbatim in every miss count — and near saturation, where true
+        // misses shrink to the compulsory floor, it dominates them.
+        // Restore `S == N·R` by crediting the difference to the smallest
+        // observed reuse distance (clamped at an empty bucket).
+        let expected = true_accesses >> shift;
+        if let Some(d) = (1..self.hist.len()).find(|&d| self.hist[d] > 0) {
+            if expected >= self.accesses {
+                self.hist[d] += expected - self.accesses;
+            } else {
+                self.hist[d] = self.hist[d].saturating_sub(self.accesses - expected);
+            }
+        }
+        let mut profile = self.into_profile();
+        profile.accesses = true_accesses;
+        profile.shift = shift;
+        profile
     }
 
     /// Finalizes the replay into a queryable [`CapacityProfile`].
@@ -355,6 +490,7 @@ impl StackDistance {
             accesses: self.accesses,
             compulsory: self.compulsory,
             cum_hits,
+            shift: 0,
         }
     }
 
@@ -389,19 +525,72 @@ impl StackDistance {
         engine.observe_trace(addrs);
         engine.into_profile()
     }
+
+    /// Squeezes the dead slots out of the time axis, preserving recency
+    /// order, re-points the live markers, and re-bases the logical origin
+    /// so the clock itself never resets. Doubles the slot space when more
+    /// than half the slots are live (only possible on the hash backend,
+    /// whose distinct-address count is unbounded).
+    fn compact(&mut self) {
+        let slots = self.markers.slots();
+        let live = usize::try_from(self.markers.live)
+            .expect("live marker count overflows usize");
+        let new_slots = if live * 2 > slots {
+            slots.checked_mul(2).expect("slot space overflows usize")
+        } else {
+            slots
+        };
+        let mut markers = MarkerTree::new(new_slots);
+        let mut slot_addr = vec![0; markers.slots()];
+        // The clock is untouched; live entries take the `live` timestamps
+        // just below it, so physical slot = timestamp − origin holds again.
+        let origin = self.clock - live as u64;
+        let mut dst = 0usize;
+        for src in 0..slots {
+            if !self.markers.is_live(src) {
+                continue;
+            }
+            let addr = self.slot_addr[src];
+            slot_addr[dst] = addr;
+            markers.add(dst);
+            let t = origin + dst as u64;
+            match &mut self.index {
+                LastIndex::Direct(table) => table[addr as usize] = t,
+                LastIndex::Map(map) => {
+                    map.insert(addr, t);
+                }
+            }
+            dst += 1;
+        }
+        debug_assert_eq!(dst, live, "compaction must keep every live marker");
+        self.markers = markers;
+        self.slot_addr = slot_addr;
+        self.origin = origin;
+    }
 }
 
-/// The one-replay answer sheet: exact LRU miss/IO counts for **every**
-/// capacity, from a single pass over the trace.
+/// The one-replay answer sheet: LRU miss/IO counts for **every** capacity,
+/// from a single pass over the trace.
 ///
-/// Obtained from [`StackDistance::into_profile`]. All queries are O(1).
+/// Obtained from [`StackDistance::into_profile`] (exact), the segmented
+/// parallel engine in [`crate::segmented`] (exact, bit-identical), or the
+/// SHARDS-style sampled engine in [`crate::sampling`] (approximate). A
+/// sampled profile carries its sampling rate as `shift`
+/// (rate = 2^−shift): raw sampled counts are stored and every query
+/// re-scales by 2^shift, following Waldspurger et al., *Efficient MRC
+/// Construction with SHARDS* (FAST '15). [`CapacityProfile::is_exact`]
+/// distinguishes the two — exact consumers (measured balance points) must
+/// check it. All queries are O(1).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CapacityProfile {
     accesses: u64,
     compulsory: u64,
-    /// `cum_hits[d]` = accesses with stack distance ≤ `d`; the last entry
-    /// equals `accesses − compulsory`.
+    /// `cum_hits[d]` = accesses with (sampled) stack distance ≤ `d`; for
+    /// an exact profile the last entry equals `accesses − compulsory`.
     cum_hits: Vec<u64>,
+    /// Sampling-rate exponent: counts and distances are stored ×2^−shift
+    /// and re-scaled on query. 0 = exact.
+    shift: u32,
 }
 
 impl CapacityProfile {
@@ -416,52 +605,85 @@ impl CapacityProfile {
             accesses,
             compulsory: accesses,
             cum_hits: vec![0],
+            shift: 0,
         }
     }
 
-    /// Total accesses in the replayed trace.
+    /// Re-scales a raw stored count by the sampling rate, saturating at
+    /// `u64::MAX` (identity for exact profiles).
+    #[inline]
+    fn scale(&self, raw: u64) -> u64 {
+        u64::try_from(u128::from(raw) << self.shift).unwrap_or(u64::MAX)
+    }
+
+    /// Whether this profile is exact (unsampled): `true` for the serial
+    /// and segmented engines and for closed forms, `false` for
+    /// SHARDS-sampled profiles. Consumers that promise exactness (e.g.
+    /// the measured-balance fast path) must gate on this.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.shift == 0
+    }
+
+    /// The sampling-rate exponent: addresses were sampled at rate
+    /// 2^−shift (0 = exact).
+    #[must_use]
+    pub fn sample_shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The sampling rate as a fraction in (0, 1] (1.0 = exact).
+    #[must_use]
+    pub fn sampling_rate(&self) -> f64 {
+        1.0 / (1u64 << self.shift.min(63)) as f64
+    }
+
+    /// Total accesses in the replayed trace (exact even for sampled
+    /// profiles — the sampled engine counts every access it skips).
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.accesses
     }
 
     /// First-touch (compulsory) misses — the floor no capacity removes,
-    /// equal to the number of distinct addresses in the trace.
+    /// equal to the number of distinct addresses in the trace (scaled
+    /// estimate for sampled profiles).
     #[must_use]
     pub fn compulsory_misses(&self) -> u64 {
-        self.compulsory
+        self.scale(self.compulsory).min(self.accesses)
     }
 
     /// Distinct addresses in the trace (alias of the compulsory count).
     #[must_use]
     pub fn distinct_addresses(&self) -> u64 {
-        self.compulsory
+        self.compulsory_misses()
     }
 
     /// The smallest capacity at which only compulsory misses remain (the
     /// largest observed stack distance; 0 for an empty or touch-once
-    /// trace).
+    /// trace). For sampled profiles, the scaled estimate.
     #[must_use]
     pub fn saturating_capacity(&self) -> u64 {
-        (self.cum_hits.len() - 1) as u64
+        self.scale((self.cum_hits.len() - 1) as u64)
     }
 
-    /// Hits of a word-granular LRU of `m` words replaying the trace.
+    /// Hits of a word-granular LRU of `m` words replaying the trace
+    /// (scaled estimate for sampled profiles, clamped to `accesses`).
     #[must_use]
     pub fn hits_at(&self, m: u64) -> u64 {
-        let d = usize::try_from(m)
+        let d = usize::try_from(m >> self.shift)
             .unwrap_or(usize::MAX)
             .min(self.cum_hits.len() - 1);
-        self.cum_hits[d]
+        self.scale(self.cum_hits[d]).min(self.accesses)
     }
 
     /// Misses of a word-granular LRU of `m` words replaying the trace —
-    /// bit-identical to `LruCache::with_capacity_words(m)` fed the same
-    /// trace (pinned by property test). `m = 0` counts every access as a
-    /// miss.
+    /// for an exact profile, bit-identical to
+    /// `LruCache::with_capacity_words(m)` fed the same trace (pinned by
+    /// property test). `m = 0` counts every access as a miss.
     #[must_use]
     pub fn misses_at(&self, m: u64) -> u64 {
-        self.accesses - self.hits_at(m)
+        self.accesses.saturating_sub(self.hits_at(m))
     }
 
     /// I/O words crossing the boundary below a memory of `m` words — for
@@ -512,7 +734,7 @@ mod tests {
 
     fn check_all_capacities(trace: &[u64]) {
         let profile = StackDistance::profile_of(trace.iter().copied());
-        let hi = trace.len() as u64 + 2;
+        let hi = u64::try_from(trace.len()).expect("trace length fits u64") + 2;
         for m in 1..=hi {
             assert_eq!(
                 profile.misses_at(m),
@@ -574,6 +796,32 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_profile_is_all_zero() {
+        let p = StackDistance::profile_of(std::iter::empty());
+        assert_eq!(p.accesses(), 0);
+        assert_eq!(p.compulsory_misses(), 0);
+        assert_eq!(p.saturating_capacity(), 0);
+        for m in [0u64, 1, 7, u64::MAX] {
+            assert_eq!(p.hits_at(m), 0, "hits at {m}");
+            assert_eq!(p.misses_at(m), 0, "misses at {m}");
+        }
+    }
+
+    #[test]
+    fn queries_past_saturation_and_at_u64_max_are_stable() {
+        let trace = [1u64, 2, 3, 1, 2, 3, 1];
+        let p = StackDistance::profile_of(trace.iter().copied());
+        let sat = p.saturating_capacity();
+        assert_eq!(sat, 3);
+        // Every capacity ≥ saturation leaves exactly the compulsory floor,
+        // including capacities that overflow usize-sized indexing.
+        for m in [sat, sat + 1, 1 << 40, u64::MAX] {
+            assert_eq!(p.misses_at(m), p.compulsory_misses(), "capacity {m}");
+            assert_eq!(p.hits_at(m), p.accesses() - p.compulsory_misses());
+        }
+    }
+
+    #[test]
     fn saturating_capacity_is_the_largest_reuse_distance() {
         // 1,2,3,1: the re-touch of 1 has distance 3.
         let p = StackDistance::profile_of([1, 2, 3, 1]);
@@ -593,6 +841,30 @@ mod tests {
         engine.observe_trace(trace.iter().copied());
         let p = engine.into_profile();
         for m in 1..=17u64 {
+            assert_eq!(p.misses_at(m), replay_misses(&trace, m), "capacity {m}");
+        }
+    }
+
+    #[test]
+    fn clock_crossing_u32_boundary_keeps_distances_exact() {
+        // Regression test for the u32 slot-index overflow: the last-access
+        // tables used to store `slot as u32`, so once the time counter
+        // passed `u32::MAX` (reachable on a 10⁹-address trace with
+        // compaction-driven slot churn) timestamps silently truncated and
+        // distances corrupted. The logical clock stores full u64
+        // timestamps; starting the clock just below the boundary makes the
+        // truncation observable with a tiny trace: a truncated timestamp
+        // (e.g. 2³² + k stored as k) would be below `origin` and
+        // misresolve its physical slot.
+        let start = u64::from(u32::MAX) - 8;
+        let mut engine = StackDistance::with_clock_start(start);
+        let trace: Vec<u64> = (0..400u64).map(|i| (i * 7) % 40).collect();
+        engine.observe_trace(trace.iter().copied());
+        assert!(engine.clock > u64::from(u32::MAX), "clock must cross 2^32");
+        // Every stored timestamp now exceeds u32::MAX; distances must
+        // still match a plain LRU replay at every capacity.
+        let p = engine.into_profile();
+        for m in 1..=42u64 {
             assert_eq!(p.misses_at(m), replay_misses(&trace, m), "capacity {m}");
         }
     }

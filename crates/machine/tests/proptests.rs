@@ -1,10 +1,24 @@
 //! Property-based tests for the PE simulator.
 
 use balance_core::Words;
-use balance_machine::{ExternalStore, Hierarchy, LruCache, MemorySystem, Pe, StackDistance};
+use balance_machine::{
+    sampled_profile_of, segmented_profile_of, CapacityProfile, ExternalStore, Hierarchy,
+    LruCache, MemorySystem, Pe, StackDistance,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
+
+/// Worst sampled-vs-exact miss-*ratio* error over a capacity range — the
+/// SHARDS error metric: absolute miss-count gap normalized by total
+/// accesses, which stays meaningful at capacities where exact misses
+/// shrink to the compulsory floor.
+fn max_miss_ratio_err(sampled: &CapacityProfile, exact: &CapacityProfile, max_m: u64) -> f64 {
+    let accesses = exact.accesses().max(1) as f64;
+    (1..=max_m)
+        .map(|m| sampled.misses_at(m).abs_diff(exact.misses_at(m)) as f64 / accesses)
+        .fold(0.0, f64::max)
+}
 
 /// Brute-force reference LRU: a plain recency-ordered vector of resident
 /// line ids (MRU first). Deliberately the most obvious possible
@@ -302,6 +316,75 @@ proptest! {
         let read = profile.traffic_at(&caps);
         prop_assert_eq!(read, ladder.traffic());
         prop_assert!(read.is_monotone_non_increasing(), "traffic {}", read);
+    }
+
+    /// The segmented parallel engine is bit-identical to the serial
+    /// engine — same histogram, same compulsory count, same profile —
+    /// for *any* trace and *any* segment count, on both index backends.
+    /// The segment count sweep covers the adversarial splits: a single
+    /// segment (merge of one), more segments than accesses (every range
+    /// is length 0 or 1, so every non-cold access straddles a boundary),
+    /// and everything between.
+    #[test]
+    fn segmented_engine_is_bit_identical_under_any_boundaries(
+        trace in proptest::collection::vec(0u64..96, 0..400),
+        segments in 1usize..12,
+    ) {
+        let serial = StackDistance::profile_of(trace.iter().copied());
+        let len = trace.len() as u64;
+        let slice = |start: u64, end: u64| {
+            trace[usize::try_from(start).unwrap()..usize::try_from(end).unwrap()]
+                .iter()
+                .copied()
+        };
+        for bound in [None, Some(96)] {
+            let seg = segmented_profile_of(len, bound, segments, slice);
+            prop_assert_eq!(&seg, &serial, "bound {:?}, {} segments", bound, segments);
+            let shredded = segmented_profile_of(len, bound, trace.len() + 7, slice);
+            prop_assert_eq!(&shredded, &serial, "bound {:?}, one access per segment", bound);
+        }
+    }
+
+    /// The hash-sampled profile converges on the exact profile as the
+    /// sampling rate rises: rate 1 (shift 0) is bit-exact, and on traces
+    /// with enough reuse for the law of large numbers to bite, the
+    /// SHARDS miss-ratio error at rate 1/2 stays within statistical
+    /// slack of the rate-1/8 error (and is itself small).
+    #[test]
+    fn sampled_profile_error_shrinks_as_rate_rises(
+        seed in 0u64..500,
+        rounds in 8usize..24,
+    ) {
+        // Structured trace: 192 addresses each touched once per round in
+        // a per-round shuffled order — every non-cold access has a
+        // distance in [1, 384), so each capacity sees real reuse.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut addrs: Vec<u64> = (0..192).collect();
+        let mut trace = Vec::with_capacity(192 * rounds);
+        for _ in 0..rounds {
+            for i in (1..addrs.len()).rev() {
+                addrs.swap(i, rng.gen_range(0..i + 1));
+            }
+            trace.extend_from_slice(&addrs);
+        }
+
+        let exact = StackDistance::profile_of(trace.iter().copied());
+        let bit_exact = sampled_profile_of(trace.iter().copied(), 0);
+        prop_assert!(bit_exact.is_exact());
+        prop_assert_eq!(&bit_exact, &exact);
+
+        let max_m = exact.saturating_capacity() + 2;
+        let fine = sampled_profile_of(trace.iter().copied(), 1);
+        let coarse = sampled_profile_of(trace.iter().copied(), 3);
+        let err_fine = max_miss_ratio_err(&fine, &exact, max_m);
+        let err_coarse = max_miss_ratio_err(&coarse, &exact, max_m);
+        prop_assert!(
+            err_fine <= err_coarse + 0.05,
+            "rate 1/2 err {} vs rate 1/8 err {}",
+            err_fine,
+            err_coarse
+        );
+        prop_assert!(err_fine < 0.12, "rate 1/2 err {}", err_fine);
     }
 
     /// Strided gather matches a manual gather.

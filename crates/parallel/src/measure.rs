@@ -179,7 +179,11 @@ pub struct MeasuredBalanceConfig {
 ///   [`ExternalIoProfile`](crate::pkernels::ExternalIoProfile) (external
 ///   I/O a pure LRU function of pooled memory — e.g. the one-touch
 ///   transpose) are searched over **histogram reads**: one trace replay
-///   total, then O(1) per probe;
+///   total, then O(1) per probe. Only **exact** profiles qualify
+///   ([`CapacityProfile::is_exact`](balance_machine::CapacityProfile::is_exact));
+///   a SHARDS-sampled profile is rejected here and the kernel probed by
+///   real runs instead, so sampling error can never shift a measured
+///   balance point (pinned by test);
 /// * comm-priced kernels (matmul, grid), whose external traffic re-blocks
 ///   per memory size, fall back to exponential search + bisection over
 ///   real kernel runs — one verified run per probe, exactly as before.
@@ -206,7 +210,13 @@ pub fn measured_balance_memory(
         })?
         .machine_balance();
     let lo0 = kernel.min_memory_per_pe(cfg.n, topology).min(cfg.m_max);
-    match kernel.io_profile(cfg.n, topology) {
+    // The histogram fast path promises the *exact* external-I/O curve: a
+    // SHARDS-sampled (approximate) profile must not silently shift a
+    // measured balance point, so it falls through to real kernel runs.
+    match kernel
+        .io_profile(cfg.n, topology)
+        .filter(|profile| profile.profile().is_exact())
+    {
         Some(profile) => {
             let p = topology.pe_count();
             search_balance(lo0, cfg.m_max, target, |m| {
@@ -448,6 +458,79 @@ mod tests {
                 let fast = measured_balance_memory(&ParTranspose, topo, &cfg).unwrap();
                 let slow = measured_balance_memory(&ReplayOnlyTranspose, topo, &cfg).unwrap();
                 assert_eq!(fast, slow, "balance {balance} on {topo}");
+            }
+        }
+    }
+
+    /// `ParTranspose` advertising a SHARDS-sampled (approximate) profile:
+    /// the fast path must refuse it and probe by real kernel runs.
+    #[derive(Debug)]
+    struct SampledProfileTranspose;
+
+    impl ParallelKernel for SampledProfileTranspose {
+        fn name(&self) -> &'static str {
+            ParTranspose.name()
+        }
+        fn description(&self) -> &'static str {
+            ParTranspose.description()
+        }
+        fn serial(&self) -> Box<dyn balance_kernels::Kernel> {
+            ParTranspose.serial()
+        }
+        fn min_memory_per_pe(&self, n: usize, topology: Topology) -> usize {
+            ParTranspose.min_memory_per_pe(n, topology)
+        }
+        fn run_on(
+            &self,
+            topology: Topology,
+            n: usize,
+            per_pe: &HierarchySpec,
+            seed: u64,
+            verify: Verify,
+        ) -> Result<crate::pkernels::ParallelRun, KernelError> {
+            ParTranspose.run_on(topology, n, per_pe, seed, verify)
+        }
+        fn io_profile(
+            &self,
+            n: usize,
+            _topology: Topology,
+        ) -> Option<crate::pkernels::ExternalIoProfile> {
+            // The transpose stream sampled at rate 1/8 — a plausible
+            // approximation of the exact one-touch profile, but not it.
+            let n64 = n as u64;
+            let profile =
+                balance_machine::sampled_profile_of(0..2 * n64 * n64, 3);
+            Some(crate::pkernels::ExternalIoProfile::new(n64 * n64, profile))
+        }
+    }
+
+    #[test]
+    fn sampled_profile_is_gated_out_of_the_exact_fast_path() {
+        // An approximate profile must not move the measured balance point:
+        // the search has to fall through to real kernel runs and land
+        // exactly where the no-profile kernel lands.
+        let sampled_kernel = SampledProfileTranspose;
+        assert!(
+            !sampled_kernel
+                .io_profile(16, topo(2))
+                .unwrap()
+                .profile()
+                .is_exact(),
+            "test premise: the advertised profile is sampled"
+        );
+        for balance in [0.2, 0.45, 0.6] {
+            for topo in [topo(1), topo(2)] {
+                let cfg = MeasuredBalanceConfig {
+                    cell: cell(balance),
+                    n: 16,
+                    seed: 3,
+                    verify: Verify::Full,
+                    m_max: 4096,
+                };
+                let gated = measured_balance_memory(&sampled_kernel, topo, &cfg).unwrap();
+                let replayed =
+                    measured_balance_memory(&ReplayOnlyTranspose, topo, &cfg).unwrap();
+                assert_eq!(gated, replayed, "balance {balance} on {topo}");
             }
         }
     }

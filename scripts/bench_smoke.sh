@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
 # Bench-smoke: run every criterion-shim bench target at reduced iterations
-# (BENCH_SMOKE=1 → ≤ 3 samples × ≤ 3 iters per bench) and assemble the
-# median-ns-per-bench results into BENCH_<n>.json at the repo root, seeding
-# the perf trajectory tracked across PRs.
+# (BENCH_SMOKE=1 → ≤ 3 samples × ≤ 3 iters per bench) plus the E23
+# billion-address experiment (whose wall-clocks and sampled-error use the
+# same "name": ns line protocol), and assemble the results into
+# BENCH_<n>.json at the repo root, seeding the perf trajectory tracked
+# across PRs.
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_5.json)
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_6.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 # Absolute path: cargo bench runs each target with cwd = its package dir.
 jsonl="$(pwd)/target/bench_smoke.jsonl"
 rm -f "$jsonl"
 
 BENCH_SMOKE=1 BENCH_JSON="$jsonl" cargo bench -p balance-bench
+
+# E23 at the large tier streams a 1.03e9-address trace through the
+# segmented and sampled engines and appends
+# bigtrace/{segmented,sampled}_wall_ns and the sampled
+# max-relative-error (ppm) to the same jsonl file.
+cargo build --release -p balance-bench
+BENCH_JSON="$jsonl" ./target/release/repro --scale large bigtrace
 
 # Each shim line is one JSON object member ("name": ns); wrap into an object.
 {
