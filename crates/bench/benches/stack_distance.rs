@@ -19,10 +19,18 @@
 //!   direct-indexed LRU replay at one capacity (the engine's log-factor
 //!   overhead, which the sweep amortizes across its points).
 //!
-//! The medians land in `BENCH_6.json` via the bench-smoke script
+//! * `checkpoint_overhead/off` vs `checkpoint_overhead/every_2e24` vs
+//!   `checkpoint_overhead/every_2e20` — the per-address price of the
+//!   resumable replay's checkpoint countdown (PR 7): at the production
+//!   default interval (2²⁴ addresses) the policy machinery must stay
+//!   within ~5% of the plain replay; the 2²⁰ tier adds real image
+//!   writes to show the amortized persistence cost.
+//!
+//! The medians land in `BENCH_7.json` via the bench-smoke script
 //! (alongside the `bigtrace/*` wall-clocks E23 appends); the tentpole
 //! target is `engine_replay / engine_stackdist ≥ 3×` on the 16-point
-//! sweep.
+//! sweep, and checkpointing at the default interval within ~5% of
+//! `checkpoint_overhead/off`.
 
 use balance_kernels::prelude::*;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -34,6 +42,7 @@ fn sweep_cfg(engine: Engine) -> SweepConfig {
         seed: 1,
         verify: Verify::None,
         engine,
+        ..SweepConfig::default()
     }
 }
 
@@ -81,5 +90,47 @@ fn bench_engine_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_capacity_sweep, bench_engine_overhead);
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_overhead");
+    g.sample_size(10);
+    let n = 96usize;
+    let bound = 3 * (n as u64) * (n as u64);
+    let len = 3 * (n as u64).pow(3);
+    let fresh = move || balance_machine::StackDistance::with_address_bound(bound);
+    // Baseline: the plain uncheckpointed replay of the same trace.
+    g.bench_function("off", |b| {
+        b.iter(|| {
+            let mut engine = fresh();
+            engine.observe_trace(balance_kernels::matmul::NaiveTrace::new(n));
+            engine.into_profile()
+        });
+    });
+    let dir = std::env::temp_dir().join(format!("balance-bench-ckpt-{}", std::process::id()));
+    for every in [1u64 << 24, 1 << 20] {
+        let policy = balance_machine::CheckpointPolicy::every(dir.clone(), every);
+        g.bench_function(format!("every_2e{}", every.trailing_zeros()), |b| {
+            b.iter(|| {
+                let mut ctl = balance_machine::ReplayControl::new("bench");
+                ctl.policy = Some(&policy);
+                let (engine, _) = balance_machine::resumable_replay(
+                    len,
+                    balance_kernels::matmul::NaiveTrace::new(n),
+                    fresh,
+                    &ctl,
+                )
+                .expect("no faults armed");
+                engine.into_profile()
+            });
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_capacity_sweep,
+    bench_engine_overhead,
+    bench_checkpoint_overhead
+);
 criterion_main!(benches);

@@ -26,6 +26,7 @@ fn matmul_cfg(verify: Verify) -> SweepConfig {
         seed: 1,
         verify,
         engine: Engine::Replay,
+        ..SweepConfig::default()
     }
 }
 

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 
 use balance_core::prelude::*;
 use balance_kernels::prelude::*;
+use balance_machine::{CheckpointPolicy, DEFAULT_CHECKPOINT_EVERY};
 use balance_parallel::{
     parallel_sweep_par, ParGrid2d, ParMatMul, ParTranspose, ParallelKernel, ParallelSweepConfig,
     Topology, TopologyKind,
@@ -203,8 +204,14 @@ pub fn engine_by_name(name: &str, points: usize) -> Result<Engine, String> {
         "stackdist" => Engine::StackDist,
         "auto" => Engine::auto(points),
         spec if spec == "stackdist-par" || spec.starts_with("stackdist-par:") => {
-            let threads = parse_param(spec, "thread count")?.unwrap_or(0);
-            let threads = usize::try_from(threads)
+            let threads = parse_param(spec, "thread count")?;
+            if threads == Some(0) {
+                return Err(format!(
+                    "engine '{spec}': a segmented sweep needs at least one thread \
+                     (omit the suffix to use all cores)"
+                ));
+            }
+            let threads = usize::try_from(threads.unwrap_or(0))
                 .map_err(|_| format!("thread count overflows usize in '{spec}'"))?;
             Engine::StackDistPar { threads }
         }
@@ -242,9 +249,73 @@ fn kernel_by_name(name: &str) -> Result<Box<dyn Kernel>, String> {
     })
 }
 
+/// Parses the optional resource-budget flags (`--max-wall-secs`,
+/// `--max-resident-bytes`, `--max-addresses`) into a [`Budget`], or
+/// `None` when no budget flag is present.
+///
+/// # Errors
+///
+/// One-line diagnostics for unparsable or out-of-domain values.
+pub fn parse_budget(flags: &Flags) -> Result<Option<Budget>, String> {
+    let mut budget = Budget::unlimited();
+    let mut any = false;
+    if flags.str_opt("max-wall-secs").is_some() {
+        let secs = flags.f64("max-wall-secs")?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!(
+                "--max-wall-secs {secs}: the wall-clock budget must be a \
+                 finite non-negative number of seconds"
+            ));
+        }
+        budget = budget.with_max_wall(std::time::Duration::from_secs_f64(secs));
+        any = true;
+    }
+    if flags.str_opt("max-resident-bytes").is_some() {
+        budget = budget.with_max_resident_bytes(flags.u64("max-resident-bytes")?);
+        any = true;
+    }
+    if flags.str_opt("max-addresses").is_some() {
+        budget = budget.with_max_addresses(flags.u64("max-addresses")?);
+        any = true;
+    }
+    Ok(any.then_some(budget))
+}
+
+/// Parses the optional checkpoint flags (`--ckpt-dir`, `--ckpt-every`)
+/// into a [`CheckpointPolicy`], or `None` when `--ckpt-dir` is absent.
+///
+/// # Errors
+///
+/// One-line diagnostics: `--ckpt-every` without a directory, a zero
+/// interval, or an unparsable interval.
+pub fn parse_checkpoint(flags: &Flags) -> Result<Option<CheckpointPolicy>, String> {
+    let Some(dir) = flags.str_opt("ckpt-dir") else {
+        if flags.str_opt("ckpt-every").is_some() {
+            return Err("--ckpt-every needs --ckpt-dir to say where images go".to_string());
+        }
+        return Ok(None);
+    };
+    let every = match flags.str_opt("ckpt-every") {
+        Some(_) => {
+            let every = flags.u64("ckpt-every")?;
+            if every == 0 {
+                return Err(
+                    "--ckpt-every 0: the checkpoint interval must be at least 1 address"
+                        .to_string(),
+                );
+            }
+            every
+        }
+        None => DEFAULT_CHECKPOINT_EVERY,
+    };
+    Ok(Some(CheckpointPolicy::every(dir, every)))
+}
+
 /// `balance sweep --kernel <name> --n <size> [--seed <u64>]
-/// [--verify full|freivalds|none] [--engine replay|stackdist|auto]`: run
-/// a real measured sweep (in parallel across cores) and fit the law.
+/// [--verify full|freivalds|none] [--engine replay|stackdist|auto]
+/// [--max-wall-secs <s>] [--max-resident-bytes <b>] [--max-addresses <a>]
+/// [--ckpt-dir <path> [--ckpt-every <addrs>]]`: run a real measured sweep
+/// (in parallel across cores) and fit the law.
 ///
 /// Without `--engine` the sweep runs the kernel's *decomposition scheme*
 /// once per memory size (the §3 measurement). With `--engine` it measures
@@ -252,6 +323,11 @@ fn kernel_by_name(name: &str) -> Result<Box<dyn Kernel>, String> {
 /// through an LRU of each capacity — where `stackdist` answers the whole
 /// sweep from a single replay and `replay` is the per-capacity reference
 /// engine (bit-identical results, different wall-clock).
+///
+/// The budget and checkpoint flags apply to the cache-model engines: a
+/// tripped budget degrades the engine down the sampling ladder (reported
+/// on a `provenance:` line), and a checkpoint directory makes the replay
+/// resumable after a kill.
 ///
 /// # Errors
 ///
@@ -266,17 +342,33 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
         Some(mode) => verify_by_name(mode)?,
         Option::None => Verify::auto(n),
     };
+    let budget = parse_budget(flags)?;
+    let checkpoint = parse_checkpoint(flags)?;
+    if (budget.is_some() || checkpoint.is_some()) && flags.str_opt("engine").is_none() {
+        return Err(
+            "budget/checkpoint flags apply to the cache-model engines: \
+             add --engine (e.g. --engine stackdist)"
+                .to_string(),
+        );
+    }
     let kernel = kernel_by_name(name)?;
-    let cfg = SweepConfig::pow2(n, 5, 12, seed).with_verify(verify);
+    let mut cfg = SweepConfig::pow2(n, 5, 12, seed).with_verify(verify);
+    if let Some(budget) = budget {
+        cfg = cfg.with_budget(budget);
+    }
+    if let Some(policy) = checkpoint {
+        cfg = cfg.with_checkpoint(policy);
+    }
     let (result, header) = match flags.str_opt("engine") {
         Some(engine) => {
             let engine = engine_by_name(engine, cfg.memories.len())?;
             let result = capacity_sweep_par(kernel.as_ref(), &cfg.clone().with_engine(engine))
                 .map_err(|e| e.to_string())?;
-            (
-                result,
-                format!("cache-model capacity sweep ({engine:?} engine)\n"),
-            )
+            let mut header = format!("cache-model capacity sweep ({engine:?} engine)\n");
+            if let Some(prov) = &result.provenance {
+                header.push_str(&format!("provenance: {}\n", prov.describe()));
+            }
+            (result, header)
         }
         Option::None => (
             intensity_sweep_par(kernel.as_ref(), &cfg).map_err(|e| e.to_string())?,
@@ -448,6 +540,7 @@ pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
             seed: 42,
             verify: Verify::None,
             engine,
+            ..SweepConfig::default()
         };
         let outer: Vec<LevelSpec> = spec.levels()[1..].to_vec();
         let result = hierarchy_capacity_sweep(kernel.as_ref(), &cfg, &outer)
@@ -595,7 +688,7 @@ pub fn cmd_parallel(flags: &Flags) -> Result<String, String> {
 #[must_use]
 pub fn cmd_warp() -> String {
     balance_parallel::case_study(&balance_parallel::warp::default_computations())
-        .expect("constants valid")
+        .unwrap_or_else(|e| panic!("constants valid: {e}"))
         .to_string()
 }
 
@@ -640,7 +733,12 @@ USAGE:
       splits that replay across K threads (exact, bit-identical; K
       defaults to all cores), sampled:S hash-samples addresses at rate
       2^-S (approximate, default S=4), and replay is the per-capacity
-      reference engine.
+      reference engine. Robust-run flags (cache-model engines only):
+      --max-wall-secs <s>, --max-resident-bytes <b>, --max-addresses <a>
+      set a resource budget — a tripped budget degrades the engine down
+      the sampling ladder and reports the substitution on a provenance
+      line; --ckpt-dir <path> [--ckpt-every <addrs>] checkpoints the
+      replay so a killed run resumes from the last image.
   balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>] [--kernel <name> [--n <size>] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|auto]]
       The balance law per level of a memory hierarchy (innermost level
       first): per-boundary ridges, binding level, and balanced capacity
@@ -801,6 +899,92 @@ mod tests {
         assert!(engine_by_name("stackdist-par:x", 4).is_err());
         assert!(engine_by_name("sampled:99", 4).is_err(), "shift beyond MAX rejected");
         assert!(engine_by_name("sampled:-3", 4).is_err());
+    }
+
+    #[test]
+    fn engine_registry_rejects_malformed_specs_with_one_line_diagnostics() {
+        let err = engine_by_name("sampled:banana", 4).unwrap_err();
+        assert!(err.contains("banana"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+        // An explicit zero thread count is malformed; bare stackdist-par
+        // still means "all cores".
+        let err = engine_by_name("stackdist-par:0", 4).unwrap_err();
+        assert!(err.contains("at least one thread"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+        assert_eq!(
+            engine_by_name("stackdist-par", 4).unwrap(),
+            Engine::StackDistPar { threads: 0 }
+        );
+    }
+
+    #[test]
+    fn sweep_budget_and_checkpoint_flags_reject_malformed_values() {
+        let base = &["--kernel", "matmul", "--n", "8", "--engine", "stackdist"];
+        let run = |extra: &[&str]| cmd_sweep(&Flags::parse(&args(&[base, extra].concat())).unwrap());
+        assert!(run(&["--max-wall-secs", "banana"]).is_err());
+        let err = run(&["--max-wall-secs", "-3"]).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        assert!(run(&["--max-resident-bytes", "lots"]).is_err());
+        assert!(run(&["--max-addresses", "-1"]).is_err());
+        let err = run(&["--ckpt-every", "1024"]).unwrap_err();
+        assert!(err.contains("--ckpt-dir"), "{err}");
+        let err = run(&["--ckpt-dir", "/tmp", "--ckpt-every", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = run(&["--ckpt-dir", "/tmp", "--ckpt-every", "soon"]).unwrap_err();
+        assert!(err.contains("--ckpt-every"), "{err}");
+        // Budget/checkpoint flags without an engine are a usage error, not
+        // a silent no-op.
+        let err = cmd_sweep(
+            &Flags::parse(&args(&["--kernel", "matmul", "--n", "8", "--max-addresses", "10"]))
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--engine"), "{err}");
+    }
+
+    #[test]
+    fn sweep_budget_flags_degrade_and_report_provenance() {
+        let out = cmd_sweep(
+            &Flags::parse(&args(&[
+                "--kernel",
+                "matmul",
+                "--n",
+                "16",
+                "--engine",
+                "stackdist",
+                "--max-resident-bytes",
+                "1024",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("provenance: degraded"), "{out}");
+        assert!(out.contains("sampled"), "{out}");
+        assert!(out.contains("fitted:"), "degraded sweep still fits a law: {out}");
+    }
+
+    #[test]
+    fn sweep_checkpoint_flags_checkpoint_and_report_provenance() {
+        let dir = std::env::temp_dir().join(format!("balance-cli-ckpt-{}", std::process::id()));
+        let out = cmd_sweep(
+            &Flags::parse(&args(&[
+                "--kernel",
+                "matmul",
+                "--n",
+                "16",
+                "--engine",
+                "stackdist",
+                "--ckpt-dir",
+                dir.to_str().unwrap(),
+                "--ckpt-every",
+                "500",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("provenance: as requested (stackdist)"), "{out}");
+        assert!(out.contains("checkpoint(s)"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

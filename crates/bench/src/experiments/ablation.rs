@@ -66,7 +66,7 @@ pub fn e13_lru_ablation_at(scale: Scale) -> Report {
         let misses = profile.misses_at(m as u64);
         let lru_intensity = ops as f64 / misses as f64;
         let verify = if i == 0 { Verify::Full } else { Verify::auto(n) };
-        let run = MatMul.run_with(n, m, 99, verify).expect("verified run");
+        let run = MatMul.run_with(n, m, 99, verify).unwrap_or_else(|e| panic!("verified run: {e}"));
         (m, lru_intensity, run.intensity())
     });
 
@@ -91,8 +91,8 @@ pub fn e13_lru_ablation_at(scale: Scale) -> Report {
     }
 
     // The blocked scheme must beat naive+LRU, increasingly so with M.
-    let first = advantages.first().expect("nonempty").1;
-    let last = advantages.last().expect("nonempty").1;
+    let first = advantages.first().unwrap_or_else(|| panic!("nonempty")).1;
+    let last = advantages.last().unwrap_or_else(|| panic!("nonempty")).1;
     findings.push(Finding::new(
         "blocked beats naive+LRU at every M",
         "advantage > 1×",

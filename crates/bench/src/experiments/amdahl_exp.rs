@@ -51,7 +51,7 @@ pub fn e15_amdahl() -> Report {
     // Checks: Amdahl (linear) matches only the 1-d grid; everything else
     // outruns it by exactly the documented factor.
     let ex_linear =
-        excess_over_amdahl(GrowthLaw::Polynomial { degree: 1.0 }, 4.0, m_old).expect("possible");
+        excess_over_amdahl(GrowthLaw::Polynomial { degree: 1.0 }, 4.0, m_old).unwrap_or_else(|e| panic!("possible: {e}"));
     findings.push(Finding::new(
         "1-d grid matches Amdahl's linear rule",
         "excess ×1",
@@ -59,14 +59,14 @@ pub fn e15_amdahl() -> Report {
         (ex_linear - 1.0).abs() < 1e-12,
     ));
     let ex_matrix =
-        excess_over_amdahl(GrowthLaw::Polynomial { degree: 2.0 }, 4.0, m_old).expect("possible");
+        excess_over_amdahl(GrowthLaw::Polynomial { degree: 2.0 }, 4.0, m_old).unwrap_or_else(|e| panic!("possible: {e}"));
     findings.push(Finding::new(
         "matrix law exceeds Amdahl by α",
         "excess ×4 at α=4",
         format!("×{ex_matrix:.2}"),
         (ex_matrix - 4.0).abs() < 1e-12,
     ));
-    let ex_fft = excess_over_amdahl(GrowthLaw::Exponential, 2.0, m_old).expect("possible");
+    let ex_fft = excess_over_amdahl(GrowthLaw::Exponential, 2.0, m_old).unwrap_or_else(|e| panic!("possible: {e}"));
     findings.push(Finding::new(
         "FFT law dwarfs Amdahl even at α=2",
         "excess = M_old/α = 2048",

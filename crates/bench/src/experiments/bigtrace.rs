@@ -28,6 +28,7 @@ use std::time::Instant;
 use balance_kernels::matmul::MatMul;
 use balance_kernels::sweep::{capacity_sweep, Engine, SweepConfig, SweepResult};
 use balance_kernels::Verify;
+use balance_machine::{CheckpointPolicy, DEFAULT_CHECKPOINT_EVERY};
 
 use crate::experiments::Scale;
 use crate::report::{Finding, Report};
@@ -51,15 +52,34 @@ fn tier(scale: Scale) -> (usize, u64, f64) {
     }
 }
 
+/// The checkpoint policy requested through the environment, if any:
+/// `BALANCE_CKPT_DIR` names the image directory (the kill/resume CI
+/// smoke job sets it before SIGKILLing the run) and `BALANCE_CKPT_EVERY`
+/// overrides the interval in addresses (default `2^24`).
+fn env_checkpoint() -> Option<CheckpointPolicy> {
+    let dir = std::env::var_os("BALANCE_CKPT_DIR")?;
+    let every = std::env::var("BALANCE_CKPT_EVERY")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_CHECKPOINT_EVERY);
+    Some(CheckpointPolicy::every(dir, every))
+}
+
 fn sweep(n: usize, engine: Engine) -> SweepResult {
-    let cfg = SweepConfig {
+    let mut cfg = SweepConfig {
         n,
         memories: (6..=21u32).map(|k| 1usize << k).collect(),
         seed: 0,
         verify: Verify::Full,
         engine,
+        ..SweepConfig::default()
     };
-    capacity_sweep(&MatMul, &cfg).expect("matmul has a canonical trace")
+    // Only the exact passes checkpoint: the sampled pass is cheap to
+    // redo, and skipping it keeps the env-driven smoke run simple.
+    if !matches!(engine, Engine::Sampled { .. }) {
+        cfg.checkpoint = env_checkpoint();
+    }
+    capacity_sweep(&MatMul, &cfg).unwrap_or_else(|e| panic!("matmul has a canonical trace: {e}"))
 }
 
 /// Appends one `"name": value` member line to the `BENCH_JSON` file when
@@ -88,6 +108,13 @@ fn bench_json_line(name: &str, value: u128) {
 #[must_use]
 pub fn e23_bigtrace_at(scale: Scale) -> Report {
     let (n, min_addresses, max_rel_err_budget) = tier(scale);
+    // The kill/resume CI smoke overrides the problem size: big enough
+    // that a SIGKILL lands mid-replay, small enough that the resumed run
+    // stays a smoke test. Every finding still runs at the tier's budget.
+    let n = std::env::var("BALANCE_BIGTRACE_N")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(n);
     let n64 = n as u64;
     let addresses = 3 * n64.pow(3);
     let floor = 3 * n64.pow(2);
@@ -117,6 +144,11 @@ pub fn e23_bigtrace_at(scale: Scale) -> Report {
         "IO sampled",
         "rel err"
     );
+    if let Some(prov) = &exact.provenance {
+        // Present only when BALANCE_CKPT_DIR asked for a checkpointed
+        // run; names the resume point after a kill.
+        body = format!("checkpointed run: {}\n{body}", prov.describe());
+    }
 
     let mut max_rel_err = 0.0f64;
     for (e, s) in exact.runs.iter().zip(&sampled.runs) {
@@ -157,14 +189,14 @@ pub fn e23_bigtrace_at(scale: Scale) -> Report {
         Finding::new(
             "segmented IO(M) monotone non-increasing",
             "inclusion property at scale",
-            format!("{} -> {}", ios.first().unwrap(), ios.last().unwrap()),
+            format!("{} -> {}", ios.first().unwrap_or_else(|| panic!("harness invariant violated: value missing")), ios.last().unwrap_or_else(|| panic!("harness invariant violated: value missing"))),
             ios.windows(2).all(|w| w[1] <= w[0]),
         ),
         Finding::new(
             "segmented large-M floor is exactly compulsory",
             format!("{floor} distinct addresses"),
-            format!("{}", ios.last().unwrap()),
-            *ios.last().unwrap() == floor,
+            format!("{}", ios.last().unwrap_or_else(|| panic!("harness invariant violated: value missing"))),
+            *ios.last().unwrap_or_else(|| panic!("harness invariant violated: value missing")) == floor,
         ),
         Finding::new(
             "sampled curve tracks exact",

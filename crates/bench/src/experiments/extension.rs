@@ -44,7 +44,7 @@ pub fn e14_extension_kernels() -> Report {
         };
         let result = intensity_sweep(kernel.as_ref(), &cfg)
             .unwrap_or_else(|e| panic!("{} failed: {e}", kernel.name()));
-        let fit = result.fit().expect("enough points");
+        let fit = result.fit().unwrap_or_else(|e| panic!("enough points: {e}"));
         body.push_str(&format!(
             "{:<16} {:>14.1} {:>30}\n",
             kernel.name(),
@@ -65,7 +65,7 @@ pub fn e14_extension_kernels() -> Report {
         let kernel = Convolution::new(k);
         let r = kernel
             .run(4000, 1 << 14, SEED)
-            .expect("verified")
+            .unwrap_or_else(|e| panic!("verified: {e}"))
             .intensity();
         body.push_str(&format!("  k = {k:>3}: saturated intensity {r:.2}\n"));
         findings.push(Finding::new(
@@ -81,7 +81,7 @@ pub fn e14_extension_kernels() -> Report {
     for v in [1usize, 4, 16] {
         let kernel = MultiMatVec::new(v);
         let n = 48 * v;
-        let r = kernel.run(n, 1 << 16, SEED).expect("verified").intensity();
+        let r = kernel.run(n, 1 << 16, SEED).unwrap_or_else(|e| panic!("verified: {e}")).intensity();
         body.push_str(&format!("  v = {v:>3}: saturated intensity {r:.2}\n"));
         findings.push(Finding::new(
             format!("multi_matvec v={v} ceiling"),
@@ -92,7 +92,7 @@ pub fn e14_extension_kernels() -> Report {
     }
 
     // --- Transpose is pinned at exactly one move per two words. ---
-    let r_t = Transpose.run(64, 4096, SEED).expect("verified").intensity();
+    let r_t = Transpose.run(64, 4096, SEED).unwrap_or_else(|e| panic!("verified: {e}")).intensity();
     findings.push(Finding::new(
         "transpose intensity",
         "exactly 0.5",

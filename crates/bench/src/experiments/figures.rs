@@ -27,7 +27,7 @@ pub fn fig1_pe() -> Report {
 /// F2 — Fig. 2: the 16-point FFT decomposed into 4-point blocks.
 #[must_use]
 pub fn fig2_fft_decomposition() -> Report {
-    let d = decomposition(16, 4).expect("valid Fig. 2 parameters");
+    let d = decomposition(16, 4).unwrap_or_else(|e| panic!("valid Fig. 2 parameters: {e}"));
     let art = d.to_string();
     let findings = vec![
         Finding::new(

@@ -34,7 +34,7 @@ const PEAK: f64 = 1.0e10;
 const BW: [f64; 3] = [1.0e8, 3.0e7, 1.0e7];
 
 fn level(cap: usize, bw: f64) -> LevelSpec {
-    LevelSpec::new(Words::new(cap as u64), WordsPerSec::new(bw)).unwrap()
+    LevelSpec::new(Words::new(cap as u64), WordsPerSec::new(bw)).unwrap_or_else(|e| panic!("harness invariant violated: {e}"))
 }
 
 /// The outer levels for the given capacities, with their `BW` bandwidths —
@@ -51,13 +51,13 @@ fn outer_levels(outer: &[usize]) -> Vec<LevelSpec> {
 fn ladder(m1: usize, outer: &[usize]) -> HierarchySpec {
     let mut levels = vec![level(m1, BW[0])];
     levels.extend(outer_levels(outer));
-    HierarchySpec::new(levels).expect("experiment ladders are well-formed")
+    HierarchySpec::new(levels).unwrap_or_else(|e| panic!("experiment ladders are well-formed: {e}"))
 }
 
 /// Measured per-level intensities of one run, innermost first.
 fn intensities(run: &KernelRun) -> Vec<f64> {
     (0..run.execution.cost.level_count())
-        .map(|i| run.execution.intensity_at(i).expect("level in range"))
+        .map(|i| run.execution.intensity_at(i).unwrap_or_else(|| panic!("level in range")))
         .collect()
 }
 
@@ -76,15 +76,16 @@ fn sweep(
         seed: 20,
         verify: Verify::Full,
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
-    let result = hierarchy_sweep_par(kernel, &cfg, &outer_levels(outer)).expect("verified sweep");
+    let result = hierarchy_sweep_par(kernel, &cfg, &outer_levels(outer)).unwrap_or_else(|e| panic!("verified sweep: {e}"));
     let bindings = result
         .runs
         .iter()
         .map(|run| {
             let roofline =
                 HierarchicalRoofline::new(OpsPerSec::new(PEAK), &ladder(run.m, outer))
-                    .expect("valid roofline");
+                    .unwrap_or_else(|e| panic!("valid roofline: {e}"));
             roofline.binding_level(&intensities(run))
         })
         .collect();
@@ -102,10 +103,10 @@ fn render_sweep(body: &mut String, kernel_name: &str, runs: &[KernelRun], bindin
         let cost = &run.execution.cost;
         let depth = cost.level_count();
         let io: Vec<String> = (0..depth)
-            .map(|i| format!("{:>9}", cost.io_at(i).unwrap()))
+            .map(|i| format!("{:>9}", cost.io_at(i).unwrap_or_else(|| panic!("harness invariant violated: value missing"))))
             .collect();
         let r: Vec<String> = (0..depth)
-            .map(|i| format!("{:>8.2}", cost.intensity_at(i).unwrap()))
+            .map(|i| format!("{:>8.2}", cost.intensity_at(i).unwrap_or_else(|| panic!("harness invariant violated: value missing"))))
             .collect();
         body.push_str(&format!(
             "{:<10} {:>6} {:>6} {} {} {:>7}\n",
@@ -170,7 +171,7 @@ pub fn e20_hierarchy() -> Report {
     let compulsory = 3 * 32u64 * 32;
     let outer_io: Vec<u64> = mm_runs
         .iter()
-        .map(|r| r.execution.io_at(1).unwrap())
+        .map(|r| r.execution.io_at(1).unwrap_or_else(|| panic!("harness invariant violated: value missing")))
         .collect();
     findings.push(Finding::new(
         "matmul L2 traffic is compulsory once resident",
@@ -201,7 +202,7 @@ pub fn e20_hierarchy() -> Report {
         .iter()
         .map(|run| {
             HierarchicalRoofline::new(OpsPerSec::new(PEAK), &ladder(run.m, &l2))
-                .expect("valid roofline")
+                .unwrap_or_else(|e| panic!("valid roofline: {e}"))
                 .attainable(&intensities(run))
         })
         .collect();
@@ -236,8 +237,8 @@ pub fn e20_hierarchy() -> Report {
         .iter()
         .map(|r| {
             (
-                r.execution.io_at(1).unwrap(),
-                r.execution.io_at(2).unwrap(),
+                r.execution.io_at(1).unwrap_or_else(|| panic!("harness invariant violated: value missing")),
+                r.execution.io_at(2).unwrap_or_else(|| panic!("harness invariant violated: value missing")),
             )
         })
         .collect();

@@ -84,6 +84,7 @@ fn grid_sweep(d: usize, sides: &[usize]) -> SweepResult {
         kernel: kernel.name(),
         points,
         runs,
+        provenance: None,
     }
 }
 
@@ -104,6 +105,7 @@ fn sort_sweep(ms: &[usize]) -> SweepResult {
         kernel: "sort",
         points,
         runs,
+        provenance: None,
     }
 }
 
@@ -133,6 +135,7 @@ fn fft_sweep(t: u32) -> SweepResult {
         seed: SEED,
         verify: Verify::Full,
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
     sweep(&Fft, &cfg)
 }
@@ -182,10 +185,11 @@ fn alpha2_factor(kernel: &dyn Kernel, n: usize, memories: &[usize], m_old: f64) 
         // Anchored Freivalds beyond n = 64 — the sweep's cost knob.
         verify: Verify::auto(n),
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
     let result = sweep(kernel, &cfg);
-    let curve = result.curve().expect("enough points");
-    curve.empirical_rebalance(2.0, m_old).expect("curve grows") / m_old
+    let curve = result.curve().unwrap_or_else(|e| panic!("enough points: {e}"));
+    curve.empirical_rebalance(2.0, m_old).unwrap_or_else(|e| panic!("curve grows: {e}")) / m_old
 }
 
 /// E2 — §3.1 matrix multiplication: `r(M) = Θ(√M)`, `M_new = α²·M_old`.
@@ -199,10 +203,11 @@ pub fn e2_matmul() -> Report {
         // n = 96: anchored Freivalds keeps the verify share O(n²).
         verify: Verify::auto(n),
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
     let result = sweep(&MatMul, &cfg);
-    let fit = result.fit().expect("enough points");
-    let curve = result.curve().expect("enough points");
+    let fit = result.fit().unwrap_or_else(|e| panic!("enough points: {e}"));
+    let curve = result.curve().unwrap_or_else(|e| panic!("enough points: {e}"));
 
     let mut findings = Vec::new();
     let exponent = match fit.best {
@@ -245,8 +250,8 @@ pub fn e2_matmul() -> Report {
 pub fn e3_triangularization() -> Report {
     let cfg = SweepConfig::pow2(128, 5, 13, SEED).with_verify(Verify::auto(128));
     let result = sweep(&Triangularization, &cfg);
-    let fit = result.fit().expect("enough points");
-    let curve = result.curve().expect("enough points");
+    let fit = result.fit().unwrap_or_else(|e| panic!("enough points: {e}"));
+    let curve = result.curve().unwrap_or_else(|e| panic!("enough points: {e}"));
 
     let mut findings = Vec::new();
     let exponent = match fit.best {
@@ -304,7 +309,7 @@ pub fn e4_grid() -> Report {
             points_table(&result)
         ));
 
-        let fit = result.fit().expect("enough points");
+        let fit = result.fit().unwrap_or_else(|e| panic!("enough points: {e}"));
         let exponent = match fit.best {
             FittedLaw::Power { exponent, .. } => exponent,
             _ => f64::NAN,
@@ -319,12 +324,12 @@ pub fn e4_grid() -> Report {
 
         // The rebalancing rule: α = 2 must multiply the tile memory by
         // exactly α^d (equivalently: double the tile side).
-        let curve = result.curve().expect("enough points");
+        let curve = result.curve().unwrap_or_else(|e| panic!("enough points: {e}"));
         let s_old = sides[1];
         let m_old = (s_old as f64).powi(d as i32);
         let m_new = curve
             .empirical_rebalance(2.0, m_old)
-            .expect("growing curve");
+            .unwrap_or_else(|e| panic!("growing curve: {e}"));
         let factor = m_new / m_old;
         let ideal = 2.0f64.powi(d as i32);
         findings.push(Finding::new(
@@ -335,8 +340,8 @@ pub fn e4_grid() -> Report {
         ));
         // Honesty check on the implementation overhead: the halo shell
         // scratch stays a bounded constant factor above the paper's M.
-        let last = result.runs.last().expect("nonempty");
-        let s_last = *sides.last().expect("nonempty");
+        let last = result.runs.last().unwrap_or_else(|| panic!("nonempty"));
+        let s_last = *sides.last().unwrap_or_else(|| panic!("nonempty"));
         let overhead = last.execution.peak_memory.get() as f64 / (s_last as f64).powi(d as i32);
         findings.push(Finding::new(
             format!("grid{d}d: halo-buffer overhead at s={s_last}"),
@@ -359,7 +364,7 @@ pub fn e5_fft() -> Report {
     let t = 12u32;
     let n = 1u64 << t;
     let result = fft_sweep(t);
-    let fit = result.fit().expect("enough points");
+    let fit = result.fit().unwrap_or_else(|e| panic!("enough points: {e}"));
 
     let mut findings = Vec::new();
     findings.push(Finding::new(
@@ -405,7 +410,7 @@ pub fn e5_fft() -> Report {
 
     // The headline law, within the block-size constant: M_new = M_old^α up
     // to the ×2 complex-word factor (our B = M/2 words per block).
-    let curve = result.curve().expect("enough points");
+    let curve = result.curve().unwrap_or_else(|e| panic!("enough points: {e}"));
     for (m_old, alpha) in [(16.0f64, 2.0f64), (32.0, 2.0)] {
         let ideal = m_old.powf(alpha);
         match curve.empirical_rebalance(alpha, m_old) {
@@ -446,7 +451,7 @@ pub fn e5_fft() -> Report {
 #[must_use]
 pub fn e6_sorting() -> Report {
     let result = sort_sweep(&[32, 48, 64, 96, 128, 192, 256, 384, 512]);
-    let fit = result.fit().expect("enough points");
+    let fit = result.fit().unwrap_or_else(|e| panic!("enough points: {e}"));
 
     let mut findings = Vec::new();
     findings.push(Finding::new(
@@ -495,14 +500,14 @@ pub fn e7_io_bounded() -> Report {
             kernel.name(),
             points_table(&result)
         ));
-        let fit = result.fit().expect("enough points");
+        let fit = result.fit().unwrap_or_else(|e| panic!("enough points: {e}"));
         findings.push(Finding::new(
             format!("{} classification", kernel.name()),
             "impossible (I/O-bounded)",
             law_name(fit.best.growth_law()),
             fit.best.growth_law() == GrowthLaw::Impossible,
         ));
-        let curve = result.curve().expect("enough points");
+        let curve = result.curve().unwrap_or_else(|e| panic!("enough points: {e}"));
         let slope = curve.tail_slope();
         findings.push(Finding::new(
             format!("{} intensity tail slope", kernel.name()),
@@ -535,7 +540,7 @@ pub fn e7_io_bounded() -> Report {
 pub fn e1_summary_table() -> Report {
     let mut rows: Vec<(&'static str, GrowthLaw, FittedLaw)> = Vec::new();
 
-    let fit_of = |result: &SweepResult| result.fit().expect("enough points").best;
+    let fit_of = |result: &SweepResult| result.fit().unwrap_or_else(|e| panic!("enough points: {e}")).best;
 
     // Matrix computations: keep b ≪ N by capping the sweep.
     let mm = sweep(&MatMul, &SweepConfig::pow2(64, 5, 10, SEED));

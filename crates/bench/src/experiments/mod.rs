@@ -12,6 +12,7 @@ pub mod onepass;
 pub mod parallel_exp;
 pub mod parallel_measured;
 pub mod pebble_exp;
+pub mod resume;
 pub mod roofline_exp;
 
 use crate::report::Report;
@@ -50,9 +51,9 @@ impl Scale {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-    "E12", "E13", "E14", "E15", "E20", "E21", "E22", "E23",
+    "E12", "E13", "E14", "E15", "E20", "E21", "E22", "E23", "E24",
 ];
 
 /// Runs one experiment by id (case-insensitive) at the default scale.
@@ -92,6 +93,7 @@ pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
         "E21" | "PARALLEL" => parallel_measured::e21_parallel(),
         "E22" | "ONEPASS" => onepass::e22_onepass(),
         "E23" | "BIGTRACE" => bigtrace::e23_bigtrace_at(scale),
+        "E24" | "RESUME" => resume::e24_resume(),
         _ => return None,
     })
 }
@@ -101,7 +103,7 @@ pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
 pub fn run_all() -> Vec<Report> {
     ALL_IDS
         .iter()
-        .map(|id| run_by_id(id).expect("registry covers ALL_IDS"))
+        .map(|id| run_by_id(id).unwrap_or_else(|| panic!("registry covers ALL_IDS")))
         .collect()
 }
 

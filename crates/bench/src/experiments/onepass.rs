@@ -50,8 +50,9 @@ fn sweep_16pt(kernel: &dyn Kernel, n: usize, floor: u64) -> Curve {
         seed: 0,
         verify: Verify::Full,
         engine: Engine::StackDist,
+        ..SweepConfig::default()
     };
-    let onepass = capacity_sweep(kernel, &cfg).expect("traced kernel");
+    let onepass = capacity_sweep(kernel, &cfg).unwrap_or_else(|e| panic!("traced kernel: {e}"));
     // Three anchors re-measured on the per-capacity replay engine.
     let anchor_cfg = SweepConfig {
         n,
@@ -59,8 +60,9 @@ fn sweep_16pt(kernel: &dyn Kernel, n: usize, floor: u64) -> Curve {
         seed: 0,
         verify: Verify::Full,
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
-    let anchors = capacity_sweep(kernel, &anchor_cfg).expect("traced kernel");
+    let anchors = capacity_sweep(kernel, &anchor_cfg).unwrap_or_else(|e| panic!("traced kernel: {e}"));
     Curve {
         name: kernel.name(),
         onepass,
@@ -123,7 +125,7 @@ pub fn e22_onepass() -> Report {
         findings.push(Finding::new(
             format!("{}: IO(M) monotone non-increasing", curve.name),
             "inclusion property",
-            format!("{} -> {}", ios.first().unwrap(), ios.last().unwrap()),
+            format!("{} -> {}", ios.first().unwrap_or_else(|| panic!("harness invariant violated: value missing")), ios.last().unwrap_or_else(|| panic!("harness invariant violated: value missing"))),
             ios.windows(2).all(|w| w[1] <= w[0]),
         ));
 
@@ -132,8 +134,8 @@ pub fn e22_onepass() -> Report {
         findings.push(Finding::new(
             format!("{}: large-M floor is compulsory", curve.name),
             format!("{} distinct addresses", curve.floor),
-            format!("{}", ios.last().unwrap()),
-            *ios.last().unwrap() == curve.floor,
+            format!("{}", ios.last().unwrap_or_else(|| panic!("harness invariant violated: value missing"))),
+            *ios.last().unwrap_or_else(|| panic!("harness invariant violated: value missing")) == curve.floor,
         ));
     }
 
@@ -141,8 +143,8 @@ pub fn e22_onepass() -> Report {
     // cross-checked against the replay engine (which runs an actual
     // chained-LRU ladder per point).
     let outer = [
-        LevelSpec::new(Words::new(1024), WordsPerSec::new(1.0)).expect("valid"),
-        LevelSpec::new(Words::new(4096), WordsPerSec::new(1.0)).expect("valid"),
+        LevelSpec::new(Words::new(1024), WordsPerSec::new(1.0)).unwrap_or_else(|e| panic!("valid: {e}")),
+        LevelSpec::new(Words::new(4096), WordsPerSec::new(1.0)).unwrap_or_else(|e| panic!("valid: {e}")),
     ];
     let ladder_cfg = SweepConfig {
         n: mm_n,
@@ -150,14 +152,15 @@ pub fn e22_onepass() -> Report {
         seed: 0,
         verify: Verify::Full,
         engine: Engine::StackDist,
+        ..SweepConfig::default()
     };
-    let ladder = hierarchy_capacity_sweep(&MatMul, &ladder_cfg, &outer).expect("traced");
+    let ladder = hierarchy_capacity_sweep(&MatMul, &ladder_cfg, &outer).unwrap_or_else(|e| panic!("traced: {e}"));
     let ladder_replay = hierarchy_capacity_sweep(
         &MatMul,
         &ladder_cfg.clone().with_engine(Engine::Replay),
         &outer,
     )
-    .expect("traced");
+    .unwrap_or_else(|e| panic!("traced: {e}"));
     body.push_str("\nmatmul 3-level ladder (M1 swept under 1024- and 4096-word levels):\n");
     for run in &ladder.runs {
         body.push_str(&format!(

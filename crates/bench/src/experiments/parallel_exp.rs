@@ -32,7 +32,7 @@ pub fn e8_linear_array() -> Report {
     let cell = warp_cell();
     let m_old = Words::new(4096);
     let law = GrowthLaw::Polynomial { degree: 2.0 };
-    let series = linear_array_series(cell, law, m_old, &PS[1..]).expect("law is possible");
+    let series = linear_array_series(cell, law, m_old, &PS[1..]).unwrap_or_else(|e| panic!("law is possible: {e}"));
     let slope = growth_exponent(&series);
 
     let mut findings = vec![Finding::new(
@@ -42,7 +42,7 @@ pub fn e8_linear_array() -> Report {
         (slope - 1.0).abs() < 0.01,
     )];
     // Spot value: p = 16 needs 16x the memory per PE.
-    let p16 = series.iter().find(|s| s.p == 16).expect("p=16 in series");
+    let p16 = series.iter().find(|s| s.p == 16).unwrap_or_else(|| panic!("p=16 in series"));
     findings.push(Finding::new(
         "per-PE memory at p=16",
         "16 × 4096 = 65536",
@@ -65,9 +65,9 @@ pub fn e9_mesh() -> Report {
     let m_old = Words::new(4096);
 
     let matmul_series = mesh_series(cell, GrowthLaw::Polynomial { degree: 2.0 }, m_old, &PS[1..])
-        .expect("law is possible");
+        .unwrap_or_else(|e| panic!("law is possible: {e}"));
     let grid3_series = mesh_series(cell, GrowthLaw::Polynomial { degree: 3.0 }, m_old, &PS[1..])
-        .expect("law is possible");
+        .unwrap_or_else(|e| panic!("law is possible: {e}"));
 
     let slope2 = growth_exponent(&matmul_series);
     let slope3 = growth_exponent(&grid3_series);
@@ -139,7 +139,7 @@ pub fn e9_mesh() -> Report {
 /// E10 — §5: the Warp machine case study.
 #[must_use]
 pub fn e10_warp() -> Report {
-    let report = case_study(&default_computations()).expect("constants valid");
+    let report = case_study(&default_computations()).unwrap_or_else(|e| panic!("constants valid: {e}"));
     let mut findings = vec![
         Finding::new(
             "Warp cell machine balance C/IO",
@@ -166,7 +166,7 @@ pub fn e10_warp() -> Report {
         .rows
         .iter()
         .find(|r| r.computation == "fft")
-        .expect("fft row");
+        .unwrap_or_else(|| panic!("fft row"));
     findings.push(Finding::new(
         "FFT headroom is much smaller than matmul's",
         "ratio > 2×",

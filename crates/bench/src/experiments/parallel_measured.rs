@@ -40,7 +40,7 @@ fn cell() -> PeSpec {
         WordsPerSec::new(1.0e7),
         Words::new(65_536),
     )
-    .unwrap()
+    .unwrap_or_else(|e| panic!("harness invariant violated: {e}"))
 }
 
 fn balance_cfg(n: usize) -> MeasuredBalanceConfig {
@@ -84,7 +84,7 @@ pub fn e21_parallel() -> Report {
 
     // --- Linear array matmul: the alpha = p memory-per-PE walk. ---
     let lin = measured_series(&ParMatMul, TopologyKind::Linear, &[1, 2, 4, 8], &balance_cfg(32))
-        .expect("matmul balances on small linear arrays");
+        .unwrap_or_else(|e| panic!("matmul balances on small linear arrays: {e}"));
     let m1 = lin[0].per_pe_memory;
     series_table(&mut body, "linear array, matmul (n = 32)", &lin, |p| p * m1);
     let slope = growth_exponent(&lin);
@@ -104,7 +104,7 @@ pub fn e21_parallel() -> Report {
 
     // --- Mesh matmul: self-balancing (constant per-PE memory). ---
     let mesh = measured_series(&ParMatMul, TopologyKind::Mesh, &[1, 2, 3], &balance_cfg(32))
-        .expect("matmul balances on small meshes");
+        .unwrap_or_else(|e| panic!("matmul balances on small meshes: {e}"));
     body.push('\n');
     series_table(&mut body, "square mesh, matmul (n = 32)", &mesh, |_| m1);
     let mesh_slope = growth_exponent(&mesh);
@@ -119,15 +119,15 @@ pub fn e21_parallel() -> Report {
     let sweep = ParallelSweepConfig::new(
         64,
         vec![
-            Topology::linear(1).unwrap(),
-            Topology::linear(2).unwrap(),
-            Topology::linear(4).unwrap(),
+            Topology::linear(1).unwrap_or_else(|e| panic!("harness invariant violated: {e}")),
+            Topology::linear(2).unwrap_or_else(|e| panic!("harness invariant violated: {e}")),
+            Topology::linear(4).unwrap_or_else(|e| panic!("harness invariant violated: {e}")),
         ],
         (5..=11).map(|k| 1usize << k).collect(),
         21,
     )
     .with_verify(Verify::Freivalds { rounds: 2 });
-    let law = measured_growth_law(&ParMatMul, &sweep, 0.35).expect("fit succeeds");
+    let law = measured_growth_law(&ParMatMul, &sweep, 0.35).unwrap_or_else(|e| panic!("fit succeeds: {e}"));
     findings.push(Finding::new(
         "fitted measured law (pooled across 1/2/4-PE machines)",
         "M_new = alpha^2 . M_old",
@@ -140,9 +140,9 @@ pub fn e21_parallel() -> Report {
         Words::new(m1),
         &[2, 4, 8, 16, 32],
     )
-    .expect("law is possible");
+    .unwrap_or_else(|e| panic!("law is possible: {e}"));
     let from_measured_law =
-        linear_array_series(cell(), law, Words::new(m1), &[2, 4, 8, 16, 32]).expect("fit law");
+        linear_array_series(cell(), law, Words::new(m1), &[2, 4, 8, 16, 32]).unwrap_or_else(|e| panic!("fit law: {e}"));
     findings.push(Finding::new(
         "measured-law series == analytic series (div_ceil exact)",
         "identical at every p",
@@ -159,13 +159,13 @@ pub fn e21_parallel() -> Report {
     // --- Transpose: I/O-bounded stays impossible on any arrangement. ---
     let impossible = measured_balance_memory(
         &ParTranspose,
-        Topology::linear(2).unwrap(),
+        Topology::linear(2).unwrap_or_else(|e| panic!("harness invariant violated: {e}")),
         &MeasuredBalanceConfig {
             m_max: 4096,
             ..balance_cfg(24)
         },
     )
-    .expect("runs succeed");
+    .unwrap_or_else(|e| panic!("runs succeed: {e}"));
     findings.push(Finding::new(
         "transpose on 2 PEs: measured memory-at-balance",
         "none (I/O-bounded, paper section 3.6)",
@@ -176,11 +176,11 @@ pub fn e21_parallel() -> Report {
     // --- Grid relaxation: comm is a distinct, memory-pooling class. ---
     let flat = balance_core::HierarchySpec::flat_words(600);
     let g1 = ParGrid2d
-        .run_on(Topology::linear(1).unwrap(), 30, &flat, 21, Verify::Full)
-        .expect("grid runs");
+        .run_on(Topology::linear(1).unwrap_or_else(|e| panic!("harness invariant violated: {e}")), 30, &flat, 21, Verify::Full)
+        .unwrap_or_else(|e| panic!("grid runs: {e}"));
     let g4 = ParGrid2d
-        .run_on(Topology::linear(4).unwrap(), 30, &flat, 21, Verify::Full)
-        .expect("grid runs");
+        .run_on(Topology::linear(4).unwrap_or_else(|e| panic!("harness invariant violated: {e}")), 30, &flat, 21, Verify::Full)
+        .unwrap_or_else(|e| panic!("grid runs: {e}"));
     body.push_str(&format!(
         "\n-- grid2d (30 sweeps, 600 words per PE) --\n\
          {:>4} {:>10} {:>12} {:>12} {:>10} {:>10}\n",
@@ -215,17 +215,17 @@ pub fn e21_parallel() -> Report {
 
     // --- Parallel roofline: the three-term verdict for a chattering
     //     matmul on the line's single-link bisection. ---
-    let topo = Topology::linear(4).unwrap();
+    let topo = Topology::linear(4).unwrap_or_else(|e| panic!("harness invariant violated: {e}"));
     let mm4 = ParMatMul
         .run_on(topo, 32, &balance_core::HierarchySpec::flat_words(12), 21, Verify::Full)
-        .expect("matmul runs");
-    let agg = topo.aggregate(cell()).expect("aggregate");
+        .unwrap_or_else(|e| panic!("matmul runs: {e}"));
+    let agg = topo.aggregate(cell()).unwrap_or_else(|e| panic!("aggregate: {e}"));
     let roofline = ParallelRoofline::new(
         agg.comp_bw(),
         agg.io_bw(),
         WordsPerSec::new(cell().io_bw().get() * topo.bisection_links() as f64),
     )
-    .expect("rates valid");
+    .unwrap_or_else(|e| panic!("rates valid: {e}"));
     let attain = roofline.attainable(mm4.external_intensity(), mm4.execution.comm_intensity());
     let binding = roofline.binding(mm4.external_intensity(), mm4.execution.comm_intensity());
     body.push_str(&format!(

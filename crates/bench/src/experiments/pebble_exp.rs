@@ -30,10 +30,10 @@ pub fn e11_pebble() -> Report {
     for (n, b, s) in [(6usize, 2usize, 16usize), (8, 2, 16), (8, 4, 52)] {
         let dag = matmul_dag(n);
         let out = schedule_with_order(&dag, &blocked_matmul_order(n, b), s, EvictionPolicy::Belady)
-            .expect("valid order");
+            .unwrap_or_else(|e| panic!("valid order: {e}"));
         // Replay for legality.
         let mut game = Game::new(&dag, s);
-        game.play(&out.schedule).expect("legal schedule");
+        game.play(&out.schedule).unwrap_or_else(|e| panic!("legal schedule: {e}"));
         assert!(game.is_complete());
         let bound = matmul_lower_bound(n, s);
         let ratio = out.io as f64 / bound as f64;
@@ -63,9 +63,9 @@ pub fn e11_pebble() -> Report {
             s,
             EvictionPolicy::Belady,
         )
-        .expect("valid order");
+        .unwrap_or_else(|e| panic!("valid order: {e}"));
         let staged = schedule_with_order(&dag, &staged_fft_order(n), s, EvictionPolicy::Belady)
-            .expect("valid order");
+            .unwrap_or_else(|e| panic!("valid order: {e}"));
         let bound = fft_lower_bound(n, s);
         let ratio = blocked.io as f64 / bound as f64;
         body.push_str(&format!(
@@ -96,9 +96,9 @@ pub fn e11_pebble() -> Report {
         ("tree(8)", tree_dag(8), 4usize),
         ("diamond(3)", diamond_dag(3), 5),
     ] {
-        let opt = minimum_io(&dag, s).expect("solvable");
+        let opt = minimum_io(&dag, s).unwrap_or_else(|| panic!("solvable"));
         let greedy = schedule_with_order(&dag, &natural_order(&dag), s, EvictionPolicy::Belady)
-            .expect("schedulable");
+            .unwrap_or_else(|e| panic!("schedulable: {e}"));
         findings.push(Finding::new(
             format!("{name}: greedy vs exact optimum"),
             format!("≥ {opt} (optimal)"),

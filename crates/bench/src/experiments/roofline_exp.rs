@@ -14,16 +14,16 @@ pub fn e12_roofline() -> Report {
         balance_core::OpsPerSec::new(1.6e9),
         balance_core::WordsPerSec::new(1.0e8),
     )
-    .expect("valid rates");
+    .unwrap_or_else(|e| panic!("valid rates: {e}"));
     let mems: Vec<u64> = (2..=22).map(|k| 1u64 << k).collect();
 
     let matmul_model = IntensityModel::sqrt_m(1.0 / 3.0f64.sqrt());
     let fft_model = IntensityModel::log2_m(1.5);
     let matvec_model = IntensityModel::constant(2.0);
 
-    let matmul = kernel_series("matmul", &rl, &matmul_model, &mems).expect("series");
-    let fft = kernel_series("fft", &rl, &fft_model, &mems).expect("series");
-    let matvec = kernel_series("vec (matvec)", &rl, &matvec_model, &mems).expect("series");
+    let matmul = kernel_series("matmul", &rl, &matmul_model, &mems).unwrap_or_else(|e| panic!("series: {e}"));
+    let fft = kernel_series("fft", &rl, &fft_model, &mems).unwrap_or_else(|e| panic!("series: {e}"));
+    let matvec = kernel_series("vec (matvec)", &rl, &matvec_model, &mems).unwrap_or_else(|e| panic!("series: {e}"));
 
     let body = render(&rl, &[matmul.clone(), fft.clone(), matvec.clone()], 64, 18);
 

@@ -1,0 +1,176 @@
+//! Resource budgets for long-running measurements.
+//!
+//! A billion-address replay (see `balance-machine`'s stack-distance
+//! engines) runs for minutes and allocates tables proportional to the
+//! address space — long enough to collide with a CI timeout, a container
+//! memory cap, or an interactive user's patience. A [`Budget`] names the
+//! resources a caller is willing to spend on one measurement: wall-clock
+//! time, resident bytes for engine state, and engine-processed addresses.
+//!
+//! Budgets are *degradation* triggers, not abort triggers. Bell, Gray &
+//! Szalay (*Petascale Computational Systems*, IEEE Computer 2006) argue
+//! that balanced systems at scale are defined by how they behave when a
+//! component limit is hit; in that spirit, the measurement executors in
+//! `balance-kernels` respond to a tripped budget by stepping down an
+//! engine ladder (exact parallel → exact serial → hash-sampled at an
+//! escalating rate) and **tagging** the result with the substitution
+//! ([`BudgetTrip`]), instead of hanging until killed or returning
+//! nothing. Consumers that require exactness (the measured-balance fast
+//! path in `balance-parallel`) check the profile's exactness bit and
+//! refuse degraded artifacts.
+//!
+//! All three limits are optional; [`Budget::unlimited`] is the identity.
+
+use core::fmt;
+use core::time::Duration;
+
+/// Resource limits for one measurement run. Every field is optional;
+/// `None` means unlimited.
+///
+/// # Examples
+///
+/// ```
+/// use balance_core::Budget;
+/// use core::time::Duration;
+///
+/// let b = Budget::unlimited()
+///     .with_max_wall(Duration::from_secs(60))
+///     .with_max_resident_bytes(512 << 20);
+/// assert_eq!(b.max_wall, Some(Duration::from_secs(60)));
+/// assert_eq!(b.max_addresses, None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock ceiling for the measurement, checked at streaming
+    /// granularity (not only between points).
+    pub max_wall: Option<Duration>,
+    /// Ceiling on the *estimated* resident bytes of engine state (index
+    /// tables, recency structures) — checked before an engine is built,
+    /// so the process never allocates past the cap only to be OOM-killed.
+    pub max_resident_bytes: Option<u64>,
+    /// Ceiling on the number of addresses the engine may process through
+    /// its histogram accounting. Sampling at rate `2^-s` divides a
+    /// trace's processed-address cost by `2^s`.
+    pub max_addresses: Option<u64>,
+}
+
+impl Budget {
+    /// No limits at all (the default).
+    #[must_use]
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// The same budget with a wall-clock ceiling.
+    #[must_use]
+    pub fn with_max_wall(mut self, wall: Duration) -> Budget {
+        self.max_wall = Some(wall);
+        self
+    }
+
+    /// The same budget with a resident-bytes ceiling.
+    #[must_use]
+    pub fn with_max_resident_bytes(mut self, bytes: u64) -> Budget {
+        self.max_resident_bytes = Some(bytes);
+        self
+    }
+
+    /// The same budget with an engine-processed-address ceiling.
+    #[must_use]
+    pub fn with_max_addresses(mut self, addresses: u64) -> Budget {
+        self.max_addresses = Some(addresses);
+        self
+    }
+
+    /// Whether every field is `None` (nothing can ever trip).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_wall.is_none() && self.max_resident_bytes.is_none() && self.max_addresses.is_none()
+    }
+}
+
+/// Which budget limit tripped, with the numbers that tripped it — the tag
+/// a degraded measurement carries so the substitution is explicit, never
+/// silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BudgetTrip {
+    /// The wall-clock ceiling was exceeded mid-measurement.
+    Wall {
+        /// The configured ceiling.
+        limit: Duration,
+    },
+    /// The estimated resident bytes of an engine exceeded the ceiling.
+    Resident {
+        /// Estimated bytes the engine would hold.
+        estimated: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// The engine-processed address count would exceed the ceiling.
+    Addresses {
+        /// Addresses the engine would process.
+        needed: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for BudgetTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetTrip::Wall { limit } => {
+                write!(f, "wall-clock budget of {:.1}s exceeded", limit.as_secs_f64())
+            }
+            BudgetTrip::Resident { estimated, limit } => write!(
+                f,
+                "resident budget exceeded: engine needs ~{estimated} bytes, limit {limit}"
+            ),
+            BudgetTrip::Addresses { needed, limit } => write!(
+                f,
+                "address budget exceeded: engine would process {needed} addresses, limit {limit}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_each_field_independently() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        let b = b.with_max_addresses(10);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_addresses, Some(10));
+        assert_eq!(b.max_wall, None);
+        let b = b
+            .with_max_wall(Duration::from_millis(5))
+            .with_max_resident_bytes(1 << 20);
+        assert_eq!(b.max_resident_bytes, Some(1 << 20));
+        assert_eq!(b.max_wall, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn trips_display_their_numbers() {
+        let s = BudgetTrip::Resident {
+            estimated: 4096,
+            limit: 1024,
+        }
+        .to_string();
+        assert!(s.contains("4096") && s.contains("1024"), "{s}");
+        let s = BudgetTrip::Addresses {
+            needed: 77,
+            limit: 10,
+        }
+        .to_string();
+        assert!(s.contains("77") && s.contains("10"), "{s}");
+        let s = BudgetTrip::Wall {
+            limit: Duration::from_secs(2),
+        }
+        .to_string();
+        assert!(s.contains("2.0"), "{s}");
+    }
+}

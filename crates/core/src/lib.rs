@@ -71,6 +71,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod amdahl;
+pub mod budget;
 pub mod cost;
 pub mod error;
 pub mod fit;
@@ -82,6 +83,7 @@ pub mod rebalance;
 pub mod solver;
 pub mod units;
 
+pub use budget::{Budget, BudgetTrip};
 pub use cost::{BalanceState, CostProfile, Execution, LevelTraffic};
 pub use error::BalanceError;
 pub use hierarchy::{HierarchySpec, LevelSpec, MAX_MEMORY_LEVELS};
@@ -95,6 +97,7 @@ pub use units::{OpsPerSec, Seconds, Words, WordsPerSec};
 /// Convenient glob import: `use balance_core::prelude::*;`.
 pub mod prelude {
     pub use crate::amdahl;
+    pub use crate::budget::{Budget, BudgetTrip};
     pub use crate::cost::{BalanceState, CostProfile, Execution, LevelTraffic};
     pub use crate::error::BalanceError;
     pub use crate::hierarchy::{HierarchySpec, LevelSpec, MAX_MEMORY_LEVELS};

@@ -24,6 +24,18 @@ pub enum KernelError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A resource budget cannot be met even by the most degraded
+    /// measurement engine (see `sweep::robust_capacity_profile`).
+    BudgetExhausted {
+        /// The limit that still trips on the floor engine.
+        reason: String,
+    },
+    /// A replay was stopped by an injected fault or a checkpoint
+    /// persistence failure before producing a profile.
+    Interrupted {
+        /// What interrupted the replay.
+        reason: String,
+    },
     /// The computed output did not match the reference implementation.
     VerificationFailed {
         /// What was being verified.
@@ -43,6 +55,10 @@ impl fmt::Display for KernelError {
                 write!(f, "memory too small: have {have} words, need {need}")
             }
             KernelError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+            KernelError::BudgetExhausted { reason } => {
+                write!(f, "budget exhausted: {reason}")
+            }
+            KernelError::Interrupted { reason } => write!(f, "replay interrupted: {reason}"),
             KernelError::VerificationFailed {
                 what,
                 max_error,

@@ -187,8 +187,8 @@ impl Kernel for GridRelaxation {
                 let t_off: usize = coord.iter().zip(&t_str).map(|(c, st)| c * st).sum();
                 // Errors inside the closure are deferred via expect: the
                 // region arithmetic is exact by construction.
-                let region = grid_region.at(g_off, s).expect("tile row in range");
-                pe.load(&store, region, tile, t_off).expect("tile row fits");
+                let region = grid_region.at(g_off, s).unwrap_or_else(|e| panic!("tile row in range: {e}"));
+                pe.load(&store, region, tile, t_off).unwrap_or_else(|e| panic!("tile row fits: {e}"));
             });
         }
 
@@ -226,8 +226,8 @@ impl Kernel for GridRelaxation {
                             g_idx += coord[ci] * g_str[dd];
                             ci += 1;
                         }
-                        let region = grid_region.at(g_idx, 1).expect("halo in range");
-                        pe.load(&store, region, ext, e_idx).expect("halo word fits");
+                        let region = grid_region.at(g_idx, 1).unwrap_or_else(|e| panic!("halo in range: {e}"));
+                        pe.load(&store, region, ext, e_idx).unwrap_or_else(|e| panic!("halo word fits: {e}"));
                     });
                 }
             }
@@ -256,9 +256,9 @@ impl Kernel for GridRelaxation {
             let row_dims = &tile_dims[..d - 1];
             for_each_coord(row_dims, |coord, _| {
                 let t_off: usize = coord.iter().zip(&t_str).map(|(c, st)| c * st).sum();
-                let region = out_region.at(t_off, s).expect("out row in range");
+                let region = out_region.at(t_off, s).unwrap_or_else(|e| panic!("out row in range: {e}"));
                 pe.store(&mut store, tile, t_off, region)
-                    .expect("out row fits");
+                    .unwrap_or_else(|e| panic!("out row fits: {e}"));
             });
         }
 

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod convolution;
 pub mod error;
@@ -74,9 +75,10 @@ pub mod prelude {
     pub use crate::multi_matvec::MultiMatVec;
     pub use crate::sorting::ExternalSort;
     pub use crate::sweep::{
-        capacity_sweep, capacity_sweep_par, hierarchy_capacity_sweep,
+        capacity_sweep, capacity_sweep_par, engine_spec, hierarchy_capacity_sweep,
         hierarchy_capacity_sweep_par, hierarchy_sweep, hierarchy_sweep_par, intensity_sweep,
-        intensity_sweep_par, par_map, Engine, SweepConfig, SweepResult,
+        intensity_sweep_par, par_map, robust_capacity_profile, DegradationStep, Engine,
+        Provenance, SweepConfig, SweepResult,
     };
     pub use crate::trace::AccessTrace;
     pub use crate::traits::{all_kernels, extension_kernels, Kernel, KernelRun};

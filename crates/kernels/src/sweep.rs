@@ -37,15 +37,19 @@
 //! ladder boundary's traffic from the same histogram.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use balance_core::fit::{fit_best, DataPoint, FitReport};
 use balance_core::solver::MeasuredCurve;
 use balance_core::{
-    BalanceError, CostProfile, Execution, HierarchySpec, LevelSpec, Words, WordsPerSec,
+    BalanceError, Budget, BudgetTrip, CostProfile, Execution, HierarchySpec, LevelSpec, Words,
+    WordsPerSec,
 };
 use balance_machine::{
-    sampled_profile_of, sampled_profile_of_bounded, segmented_profile_of, CapacityProfile,
-    Hierarchy, LruCache, MemorySystem as _, StackDistance,
+    resumable_replay, sampled_profile_of, sampled_profile_of_bounded, segmented_profile_of,
+    segmented_profile_resumable, CapacityProfile, CheckpointPolicy, FaultPlan, Hierarchy,
+    LruCache, MemorySystem as _, ReplayControl, ReplayInterrupt, SampledStackDistance,
+    StackDistance, MAX_SAMPLE_SHIFT,
 };
 
 use crate::error::KernelError;
@@ -138,6 +142,37 @@ pub struct SweepConfig {
     /// kernel-running executors ignore it (they execute the decomposition
     /// scheme, which no single trace can stand in for).
     pub engine: Engine,
+    /// Optional resource budget for the capacity executors. When any
+    /// limit trips, the measurement **degrades** along the engine ladder
+    /// (see [`robust_capacity_profile`]) instead of aborting, and the
+    /// substitution is reported in [`SweepResult::provenance`]. `None`
+    /// runs unbounded. The kernel-running executors ignore it.
+    pub budget: Option<Budget>,
+    /// Optional checkpoint policy for the capacity executors: the replay
+    /// persists resumable engine snapshots every
+    /// [`CheckpointPolicy::every`] addresses, so a killed sweep re-run
+    /// with the same config resumes instead of restarting (see
+    /// [`balance_machine::checkpoint`]). The kernel-running executors
+    /// ignore it.
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+impl Default for SweepConfig {
+    /// An empty sweep skeleton for struct-update syntax
+    /// (`SweepConfig { n, memories, ..Default::default() }`): no points,
+    /// seed 0, full verification, default engine, no budget, no
+    /// checkpoints.
+    fn default() -> Self {
+        SweepConfig {
+            n: 0,
+            memories: Vec::new(),
+            seed: 0,
+            verify: Verify::Full,
+            engine: Engine::default(),
+            budget: None,
+            checkpoint: None,
+        }
+    }
 }
 
 impl SweepConfig {
@@ -151,7 +186,7 @@ impl SweepConfig {
             engine: Engine::auto(memories.len()),
             memories,
             seed,
-            verify: Verify::Full,
+            ..SweepConfig::default()
         }
     }
 
@@ -168,6 +203,20 @@ impl SweepConfig {
         self.engine = engine;
         self
     }
+
+    /// The same sweep under a resource budget (graceful degradation).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The same sweep with resumable checkpoints persisted per `policy`.
+    #[must_use]
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
 }
 
 /// The measured result of a sweep.
@@ -179,6 +228,13 @@ pub struct SweepResult {
     pub points: Vec<DataPoint>,
     /// The underlying verified runs.
     pub runs: Vec<KernelRun>,
+    /// How the measurement was actually obtained, when the sweep ran
+    /// under a budget or checkpoint policy ([`SweepConfig::budget`] /
+    /// [`SweepConfig::checkpoint`]): requested vs. used engine, every
+    /// degradation step taken, and resume/checkpoint counters. `None`
+    /// for unbudgeted sweeps (the engine is exactly
+    /// [`SweepConfig::engine`]).
+    pub provenance: Option<Provenance>,
 }
 
 impl SweepResult {
@@ -294,6 +350,7 @@ fn collect_sweep(
         kernel: kernel.name(),
         points,
         runs,
+        provenance: None,
     })
 }
 
@@ -486,7 +543,11 @@ pub fn hierarchy_capacity_sweep(
     validate_outer(outer)?;
     let memories = eligible_capacities(cfg, outer);
     match cfg.engine {
-        Engine::Replay => collect_sweep(
+        // A budgeted/checkpointed Replay routes through the profile path:
+        // per-point cache replays have no resumable snapshot, and the
+        // one-pass engine is bit-identical (the substitution is recorded
+        // in the result's provenance).
+        Engine::Replay if cfg.budget.is_none() && cfg.checkpoint.is_none() => collect_sweep(
             kernel,
             memories
                 .iter()
@@ -510,7 +571,7 @@ pub fn hierarchy_capacity_sweep_par(
     validate_outer(outer)?;
     let memories = eligible_capacities(cfg, outer);
     match cfg.engine {
-        Engine::Replay => collect_sweep(
+        Engine::Replay if cfg.budget.is_none() && cfg.checkpoint.is_none() => collect_sweep(
             kernel,
             par_map(&memories, |_, &m| {
                 capacity_point_replay(kernel, cfg, outer, m)
@@ -553,16 +614,25 @@ fn capacity_points_profile(
     memories: &[usize],
     engine: Engine,
 ) -> Result<SweepResult, KernelError> {
-    let profile = capacity_profile(kernel, cfg.n, engine)?;
+    let (profile, provenance) = if cfg.budget.is_some() || cfg.checkpoint.is_some() {
+        let no_faults = FaultPlan::none();
+        let robust_cfg = cfg.clone().with_engine(engine);
+        let (profile, prov) = robust_capacity_profile(kernel, &robust_cfg, &no_faults)?;
+        (profile, Some(prov))
+    } else {
+        (capacity_profile(kernel, cfg.n, engine)?, None)
+    };
     let comp = trace_for(kernel, cfg.n)?.comp_ops();
-    collect_sweep(
+    let mut result = collect_sweep(
         kernel,
         memories.iter().map(|&m| {
             let mut traffic = vec![profile.misses_at(m as u64)];
             traffic.extend(outer.iter().map(|l| profile.misses_at(l.capacity().get())));
             Ok(capacity_run(cfg.n, m, comp, &traffic))
         }),
-    )
+    )?;
+    result.provenance = provenance;
+    Ok(result)
 }
 
 /// Whether the address bound is worth a direct-indexed last-access table
@@ -598,27 +668,455 @@ fn capacity_profile(
         Engine::StackDistPar { threads } => {
             let len = trace.len();
             drop(trace);
-            let threads = if threads == 0 {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            } else {
-                threads
-            };
             // Each worker regenerates its time range from the kernel's
             // streaming generator: `skip` is O(1) for generators with a
             // positional `nth` (e.g. the matmul trace) and one cheap
             // linear scan otherwise.
-            segmented_profile_of(len, direct_bound(bound), threads, |start, end| {
-                let range = trace_for(kernel, n)
-                    .expect("trace_for succeeded above")
-                    .into_addrs();
-                let start = usize::try_from(start).expect("trace position fits usize");
-                let end = usize::try_from(end).expect("trace position fits usize");
-                range.skip(start).take(end - start)
+            segmented_profile_of(len, direct_bound(bound), resolve_threads(threads), |start, end| {
+                segment_range(kernel, n, start, end)
             })
         }
     })
+}
+
+/// Resolves a [`Engine::StackDistPar`] thread count (`0` = the host's
+/// available parallelism).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// The kernel's canonical address stream, for callers that have already
+/// proven the trace exists at this size (via [`trace_for`]).
+///
+/// # Panics
+///
+/// Panics if the kernel refuses to produce the trace it just produced —
+/// a broken [`Kernel::access_trace`] contract, not an input condition.
+fn kernel_addrs(kernel: &dyn Kernel, n: usize) -> Box<dyn Iterator<Item = u64> + Send> {
+    trace_for(kernel, n)
+        .unwrap_or_else(|e| panic!("trace_for succeeded above: {e}"))
+        .into_addrs()
+}
+
+/// One segment worker's slice of the kernel's canonical trace,
+/// regenerated from the streaming generator.
+///
+/// # Panics
+///
+/// As [`kernel_addrs`], or when a trace position overflows `usize`.
+fn segment_range(kernel: &dyn Kernel, n: usize, start: u64, end: u64) -> impl Iterator<Item = u64> {
+    let start =
+        usize::try_from(start).unwrap_or_else(|_| panic!("trace position {start} overflows usize"));
+    let end =
+        usize::try_from(end).unwrap_or_else(|_| panic!("trace position {end} overflows usize"));
+    kernel_addrs(kernel, n).skip(start).take(end - start)
+}
+
+/// Sampling-rate exponent step between successive rungs of the
+/// degradation ladder (the first sampled rung runs at rate `2^-4`).
+const LADDER_SHIFT_STEP: u32 = 4;
+
+/// How often the sampled rung polls its wall-clock deadline (the exact
+/// rungs poll inside [`resumable_replay`] at the same cadence).
+const SAMPLED_DEADLINE_POLL: u64 = 1 << 20;
+
+/// Planning estimate of one-pass engine state per tracked address:
+/// last-access slot + recency-stack entry + marker/Fenwick bits, rounded
+/// up. Used only to *pre-trip* [`Budget::max_resident_bytes`] before
+/// allocating — a sizing model, not an rlimit.
+const TRACKED_ADDRESS_BYTES: u64 = 32;
+
+/// The next (cheaper, eventually approximate) rung below `engine` on the
+/// degradation ladder, or `None` at the floor:
+///
+/// ```text
+/// stackdist-par:K → stackdist → sampled:4 → sampled:8 → … → sampled:32
+/// ```
+///
+/// `Replay` enters at `stackdist`, its bit-identical one-pass
+/// equivalent. Every estimate ([`Budget::max_resident_bytes`],
+/// [`Budget::max_addresses`]) is monotone non-increasing down the
+/// ladder, so one downward pass settles all pre-checks.
+fn next_rung(engine: Engine) -> Option<Engine> {
+    match engine {
+        Engine::Replay | Engine::StackDistPar { .. } => Some(Engine::StackDist),
+        Engine::StackDist => Some(Engine::Sampled {
+            shift: LADDER_SHIFT_STEP,
+        }),
+        Engine::Sampled { shift } if shift < MAX_SAMPLE_SHIFT => Some(Engine::Sampled {
+            shift: (shift + LADDER_SHIFT_STEP).min(MAX_SAMPLE_SHIFT),
+        }),
+        Engine::Sampled { .. } => None,
+    }
+}
+
+/// Order-of-magnitude estimate of `engine`'s resident state for a trace
+/// of `len` addresses drawn from `bound` distinct ones (`len` stands in
+/// when the bound is unknown): [`TRACKED_ADDRESS_BYTES`] per address the
+/// inner exact engine must track, per concurrent worker. The sampled
+/// rungs use the hash-indexed backend, which tracks only the expected
+/// `bound · 2^-shift` sampled addresses — that is what makes them
+/// genuinely cheaper, not just faster.
+fn estimated_resident_bytes(engine: Engine, bound: u64, len: u64) -> u64 {
+    let tracked = if bound > 0 { bound } else { len };
+    let (per_worker, workers) = match engine {
+        Engine::Replay | Engine::StackDist => (tracked, 1),
+        Engine::StackDistPar { threads } => (tracked, resolve_threads(threads)),
+        Engine::Sampled { shift } => ((tracked >> shift).max(1), 1),
+    };
+    per_worker
+        .saturating_mul(TRACKED_ADDRESS_BYTES)
+        .saturating_mul(workers as u64)
+}
+
+/// Addresses the inner exact engine processes — the quantity
+/// [`Budget::max_addresses`] bounds: the full trace for exact rungs, the
+/// expected hash-sampled subset (`len · 2^-shift`) for sampled rungs.
+fn engine_address_cost(engine: Engine, len: u64) -> u64 {
+    match engine {
+        Engine::Sampled { shift } => len >> shift,
+        _ => len,
+    }
+}
+
+/// The budget limit `engine` would violate before running, if any.
+/// Resident and address limits are estimate-checked up front; the wall
+/// limit can only trip *during* a replay.
+fn pre_trip(engine: Engine, budget: &Budget, bound: u64, len: u64) -> Option<BudgetTrip> {
+    if let Some(limit) = budget.max_resident_bytes {
+        let estimated = estimated_resident_bytes(engine, bound, len);
+        if estimated > limit {
+            return Some(BudgetTrip::Resident { estimated, limit });
+        }
+    }
+    if let Some(limit) = budget.max_addresses {
+        let needed = engine_address_cost(engine, len);
+        if needed > limit {
+            return Some(BudgetTrip::Addresses { needed, limit });
+        }
+    }
+    None
+}
+
+/// The CLI spelling of an engine (`replay`, `stackdist`,
+/// `stackdist-par:K`, `sampled:S`) — used by provenance lines and
+/// diagnostics.
+#[must_use]
+pub fn engine_spec(engine: Engine) -> String {
+    match engine {
+        Engine::Replay => "replay".into(),
+        Engine::StackDist => "stackdist".into(),
+        Engine::StackDistPar { threads } => format!("stackdist-par:{threads}"),
+        Engine::Sampled { shift } => format!("sampled:{shift}"),
+    }
+}
+
+/// One rung-to-rung substitution a budgeted measurement made, and the
+/// tripped limit that forced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationStep {
+    /// The engine that was abandoned.
+    pub from: Engine,
+    /// The cheaper engine substituted for it.
+    pub to: Engine,
+    /// The budget limit that tripped.
+    pub trip: BudgetTrip,
+}
+
+impl core::fmt::Display for DegradationStep {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} -> {}: {}",
+            engine_spec(self.from),
+            engine_spec(self.to),
+            self.trip
+        )
+    }
+}
+
+/// How a robust capacity measurement was actually obtained — the honest
+/// companion to a profile that may not come from the engine the caller
+/// asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// The engine the caller requested.
+    pub requested: Engine,
+    /// The engine that produced the returned profile.
+    pub used: Engine,
+    /// Every budget-forced substitution, in the order taken (empty when
+    /// the requested engine ran within budget).
+    pub steps: Vec<DegradationStep>,
+    /// `Some(pos)` when the serial replay resumed from a checkpoint at
+    /// trace position `pos` instead of starting fresh.
+    pub resumed_at: Option<u64>,
+    /// Segment workers that resumed from persisted images (segmented
+    /// engine only).
+    pub resumed_segments: usize,
+    /// Dead segment workers that were re-run within the bounded retry.
+    pub segment_retries: u64,
+    /// Checkpoints persisted while building the profile.
+    pub checkpoints_written: u64,
+}
+
+impl Provenance {
+    /// Whether a budget trip forced a cheaper engine than requested.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !self.steps.is_empty()
+    }
+
+    /// One-line human summary for CLI/report output, e.g. `degraded
+    /// stackdist -> sampled:4 (estimated resident 96000000 B exceeds the
+    /// 64000000 B budget); wrote 3 checkpoint(s)`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut line = if let Some(last) = self.steps.last() {
+            let path: Vec<String> = std::iter::once(engine_spec(self.steps[0].from))
+                .chain(self.steps.iter().map(|s| engine_spec(s.to)))
+                .collect();
+            format!("degraded {} ({})", path.join(" -> "), last.trip)
+        } else if self.used == self.requested {
+            format!("as requested ({})", engine_spec(self.used))
+        } else {
+            format!(
+                "substituted bit-identical {} for {}",
+                engine_spec(self.used),
+                engine_spec(self.requested)
+            )
+        };
+        if let Some(pos) = self.resumed_at {
+            line.push_str(&format!("; resumed at address {pos}"));
+        }
+        if self.resumed_segments > 0 {
+            line.push_str(&format!("; resumed {} segment(s)", self.resumed_segments));
+        }
+        if self.segment_retries > 0 {
+            line.push_str(&format!(
+                "; retried {} dead segment worker(s)",
+                self.segment_retries
+            ));
+        }
+        if self.checkpoints_written > 0 {
+            line.push_str(&format!(
+                "; wrote {} checkpoint(s)",
+                self.checkpoints_written
+            ));
+        }
+        line
+    }
+}
+
+/// Durability counters from one ladder-rung attempt.
+#[derive(Debug, Default, Clone, Copy)]
+struct AttemptStats {
+    resumed_at: Option<u64>,
+    resumed_segments: usize,
+    segment_retries: u64,
+    checkpoints_written: u64,
+}
+
+/// The serial replay's checkpoint-image name: one image per
+/// (kernel, size), so interleaved sweeps in one directory cannot resume
+/// from each other's state.
+fn checkpoint_name(kernel: &dyn Kernel, n: usize) -> String {
+    format!("{}_n{n}", kernel.name())
+}
+
+/// One ladder rung's attempt at the profile. Exact rungs run through the
+/// resumable (checkpointed, deadline-polled, fault-checked) replay
+/// drivers; sampled rungs stream through [`SampledStackDistance`] on the
+/// hash-indexed backend with the same deadline/fault cadence (sampled
+/// state is small enough that checkpointing it is not worth the I/O).
+fn run_profile_attempt(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    engine: Engine,
+    bound: u64,
+    len: u64,
+    deadline: Option<Instant>,
+    faults: &FaultPlan,
+) -> Result<(CapacityProfile, AttemptStats), ReplayInterrupt> {
+    match engine {
+        Engine::Replay => unreachable!("replay is mapped to stackdist before the ladder"),
+        Engine::StackDist => {
+            let name = checkpoint_name(kernel, cfg.n);
+            let mut ctl = ReplayControl::new(&name);
+            ctl.policy = cfg.checkpoint.as_ref();
+            ctl.faults = faults;
+            ctl.deadline = deadline;
+            let fresh = || match direct_bound(bound) {
+                Some(b) => StackDistance::with_address_bound(b),
+                None => StackDistance::new(),
+            };
+            let (eng, stats) = resumable_replay(len, kernel_addrs(kernel, cfg.n), fresh, &ctl)?;
+            Ok((
+                eng.into_profile(),
+                AttemptStats {
+                    resumed_at: stats.resumed_at,
+                    checkpoints_written: stats.checkpoints_written,
+                    ..AttemptStats::default()
+                },
+            ))
+        }
+        Engine::StackDistPar { threads } => {
+            let (profile, stats) = segmented_profile_resumable(
+                len,
+                direct_bound(bound),
+                resolve_threads(threads),
+                |start, end| segment_range(kernel, cfg.n, start, end),
+                cfg.checkpoint.as_ref(),
+                faults,
+                deadline,
+            )?;
+            Ok((
+                profile,
+                AttemptStats {
+                    resumed_segments: stats.resumed_segments,
+                    segment_retries: stats.segment_retries,
+                    checkpoints_written: stats.checkpoints_written,
+                    ..AttemptStats::default()
+                },
+            ))
+        }
+        Engine::Sampled { shift } => {
+            let mut eng = SampledStackDistance::new(shift);
+            let armed = faults.is_armed();
+            let mut until_poll = SAMPLED_DEADLINE_POLL;
+            for (pos, addr) in kernel_addrs(kernel, cfg.n).enumerate() {
+                if armed {
+                    faults.check_observe(pos as u64)?;
+                }
+                eng.observe(addr);
+                until_poll -= 1;
+                if until_poll == 0 {
+                    until_poll = SAMPLED_DEADLINE_POLL;
+                    if let Some(dl) = deadline {
+                        if Instant::now() >= dl {
+                            return Err(ReplayInterrupt::DeadlineExceeded);
+                        }
+                    }
+                }
+            }
+            Ok((eng.into_profile(), AttemptStats::default()))
+        }
+    }
+}
+
+/// Builds the kernel's [`CapacityProfile`] under [`SweepConfig::budget`]
+/// and [`SweepConfig::checkpoint`], degrading along the engine ladder
+/// instead of aborting, and reporting exactly how the profile was
+/// obtained.
+///
+/// The ladder (see [`next_rung`] in this module): segmented-parallel →
+/// serial one-pass → SHARDS sampling at rate `2^-4`, then coarser powers
+/// down to `2^-32`. Resident-memory and address limits are pre-checked
+/// from sizing estimates before an attempt is paid for; the wall limit
+/// arms a deadline polled during the replay, and a rung that runs out of
+/// time checkpoints its progress first (when a policy is armed). The
+/// floor rung runs without a deadline — a late answer beats none.
+///
+/// Exactness is never traded silently: every sampled rung's profile
+/// reports [`CapacityProfile::is_exact`]` == false` (so exact-only
+/// consumers keep refusing it), and the returned [`Provenance`] lists
+/// each substitution with the limit that forced it.
+///
+/// `faults` is the deterministic fault-injection schedule; pass
+/// [`FaultPlan::none`] outside harness runs.
+///
+/// # Errors
+///
+/// [`KernelError::BadParameters`] when the kernel has no canonical trace
+/// at `cfg.n`; [`KernelError::BudgetExhausted`] when even the floor
+/// rung's estimate exceeds a limit; [`KernelError::Interrupted`] when an
+/// injected fault or a checkpoint-persistence failure stops the replay.
+pub fn robust_capacity_profile(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    faults: &FaultPlan,
+) -> Result<(CapacityProfile, Provenance), KernelError> {
+    let probe = trace_for(kernel, cfg.n)?;
+    let len = probe.len();
+    let bound = probe.addr_bound();
+    drop(probe);
+    let budget = cfg.budget.unwrap_or_default();
+    let deadline = budget.max_wall.map(|w| Instant::now() + w);
+
+    let requested = cfg.engine;
+    // Replay has no one-pass state to checkpoint; its bit-identical
+    // one-pass equivalent enters the ladder in its place (recorded as
+    // `used`, with no degradation step — the numbers are identical).
+    let mut engine = match requested {
+        Engine::Replay => Engine::StackDist,
+        other => other,
+    };
+    let mut steps: Vec<DegradationStep> = Vec::new();
+
+    // Settle the estimate-checkable limits before paying for a doomed
+    // attempt. Estimates are monotone down the ladder, so this loop and
+    // the wall-trip degradations below never need to re-check.
+    while let Some(trip) = pre_trip(engine, &budget, bound, len) {
+        let Some(next) = next_rung(engine) else {
+            return Err(KernelError::BudgetExhausted {
+                reason: format!("{trip} even on the floor engine {}", engine_spec(engine)),
+            });
+        };
+        steps.push(DegradationStep {
+            from: engine,
+            to: next,
+            trip,
+        });
+        engine = next;
+    }
+
+    let mut total = AttemptStats::default();
+    loop {
+        let floor = next_rung(engine).is_none();
+        let attempt_deadline = if floor { None } else { deadline };
+        match run_profile_attempt(kernel, cfg, engine, bound, len, attempt_deadline, faults) {
+            Ok((profile, stats)) => {
+                total.resumed_at = total.resumed_at.or(stats.resumed_at);
+                total.resumed_segments += stats.resumed_segments;
+                total.segment_retries += stats.segment_retries;
+                total.checkpoints_written += stats.checkpoints_written;
+                return Ok((
+                    profile,
+                    Provenance {
+                        requested,
+                        used: engine,
+                        steps,
+                        resumed_at: total.resumed_at,
+                        resumed_segments: total.resumed_segments,
+                        segment_retries: total.segment_retries,
+                        checkpoints_written: total.checkpoints_written,
+                    },
+                ));
+            }
+            Err(ReplayInterrupt::DeadlineExceeded) => {
+                let limit = budget.max_wall.unwrap_or_default();
+                let Some(next) = next_rung(engine) else {
+                    unreachable!("the floor rung runs without a deadline")
+                };
+                steps.push(DegradationStep {
+                    from: engine,
+                    to: next,
+                    trip: BudgetTrip::Wall { limit },
+                });
+                engine = next;
+            }
+            Err(other) => {
+                return Err(KernelError::Interrupted {
+                    reason: other.to_string(),
+                })
+            }
+        }
+    }
 }
 
 /// Applies `f` to every item of `items` on a scoped thread pool sized by
@@ -727,6 +1225,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         let result = intensity_sweep(&MatMul, &cfg).unwrap();
         assert_eq!(result.points.len(), 1);
@@ -828,6 +1327,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         for result in [
             intensity_sweep(&AlwaysFails, &cfg),
@@ -852,6 +1352,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         let result = intensity_sweep_par(&MatMul, &cfg).unwrap();
         assert!(result.points.is_empty());
@@ -919,6 +1420,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         let result = hierarchy_sweep(&MatMul, &cfg, &outer_levels(&[128])).unwrap();
         let ms: Vec<usize> = result.runs.iter().map(|r| r.m).collect();
@@ -933,6 +1435,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         let replay = capacity_sweep(&MatMul, &cfg).unwrap();
         let onepass =
@@ -971,6 +1474,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::StackDist,
+            ..SweepConfig::default()
         };
         let exact = capacity_sweep(&MatMul, &cfg).unwrap();
         let sampled =
@@ -1015,6 +1519,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::StackDist,
+            ..SweepConfig::default()
         };
         let result = capacity_sweep(&MatMul, &cfg).unwrap();
         assert_eq!(result.runs[0].execution.cost.io_words(), 3 * (n as u64).pow(2));
@@ -1029,6 +1534,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::StackDist,
+            ..SweepConfig::default()
         };
         let flat = capacity_sweep(&MatMul, &cfg).unwrap();
         assert_eq!(flat.runs.iter().map(|r| r.m).collect::<Vec<_>>(), vec![4, 128, 512]);
@@ -1048,6 +1554,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         let outer = outer_levels(&[256, 1024]);
         let replay = hierarchy_capacity_sweep(&MatMul, &cfg, &outer).unwrap();
@@ -1067,6 +1574,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::StackDist,
+            ..SweepConfig::default()
         };
         let err = capacity_sweep(&AlwaysFails, &cfg).unwrap_err();
         assert!(
@@ -1087,6 +1595,235 @@ mod tests {
         assert_eq!(SweepConfig::pow2(8, 5, 12, 0).engine, Engine::StackDist);
     }
 
+    fn tmp_policy(tag: &str, every: u64) -> CheckpointPolicy {
+        let dir = std::env::temp_dir().join(format!(
+            "balance-sweep-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointPolicy::every(dir, every)
+    }
+
+    fn exact_matmul_profile(n: usize) -> CapacityProfile {
+        let trace = MatMul.access_trace(n).unwrap();
+        let bound = trace.addr_bound();
+        StackDistance::profile_of_bounded(trace.into_addrs(), bound)
+    }
+
+    #[test]
+    fn budgeted_sweep_within_budget_is_bit_identical_and_tagged() {
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![16, 64, 256, 1024],
+            engine: Engine::StackDist,
+            ..SweepConfig::default()
+        };
+        let plain = capacity_sweep(&MatMul, &cfg).unwrap();
+        assert!(plain.provenance.is_none());
+        let roomy = Budget::unlimited().with_max_resident_bytes(1 << 30);
+        let budgeted = capacity_sweep(&MatMul, &cfg.clone().with_budget(roomy)).unwrap();
+        assert_eq!(plain.runs, budgeted.runs);
+        let prov = budgeted.provenance.unwrap();
+        assert!(!prov.degraded());
+        assert_eq!(prov.used, Engine::StackDist);
+        assert!(prov.describe().contains("as requested"));
+    }
+
+    #[test]
+    fn tripped_resident_budget_degrades_to_sampling_and_reports_it() {
+        // matmul n = 12 tracks 3·12² = 432 addresses ≈ 13.8 kB of exact
+        // engine state: a 1 kB budget forces the sampled rung, whose
+        // hash-backend estimate (432/16 addresses) fits.
+        let budget = Budget::unlimited().with_max_resident_bytes(1024);
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![16, 256],
+            engine: Engine::StackDistPar { threads: 4 },
+            ..SweepConfig::default()
+        }
+        .with_budget(budget);
+        let result = capacity_sweep(&MatMul, &cfg).unwrap();
+        let prov = result.provenance.clone().unwrap();
+        assert!(prov.degraded());
+        assert!(matches!(prov.used, Engine::Sampled { .. }), "{prov:?}");
+        // The whole ladder walk is on record: par → serial → sampled.
+        assert!(prov.steps.len() >= 2, "{prov:?}");
+        assert!(matches!(prov.steps[0].trip, BudgetTrip::Resident { .. }));
+        assert!(prov.describe().starts_with("degraded"));
+    }
+
+    #[test]
+    fn tripped_address_budget_escalates_the_sampling_rate() {
+        let len = MatMul.access_trace(12).unwrap().len();
+        // Allow only len/64 engine addresses: sampled:4 (len/16) still
+        // trips, sampled:8 (len/256) clears it.
+        let budget = Budget::unlimited().with_max_addresses(len >> 6);
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![64],
+            engine: Engine::StackDist,
+            ..SweepConfig::default()
+        }
+        .with_budget(budget);
+        let result = capacity_sweep(&MatMul, &cfg).unwrap();
+        let prov = result.provenance.unwrap();
+        assert_eq!(prov.used, Engine::Sampled { shift: 8 }, "{prov:?}");
+        assert!(prov
+            .steps
+            .iter()
+            .all(|s| matches!(s.trip, BudgetTrip::Addresses { .. })));
+    }
+
+    #[test]
+    fn impossible_resident_budget_is_the_typed_error() {
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![64],
+            engine: Engine::StackDist,
+            ..SweepConfig::default()
+        }
+        .with_budget(Budget::unlimited().with_max_resident_bytes(8));
+        let err = capacity_sweep(&MatMul, &cfg).unwrap_err();
+        assert!(matches!(err, KernelError::BudgetExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_wall_budget_degrades_to_the_sampling_floor_but_still_answers() {
+        // A deadline that has already passed trips at the first poll of
+        // every deadline-armed rung; only the floor rung (which runs
+        // without one) can finish. The trace must exceed the poll
+        // interval (2²⁰) for the deadline to be observed at all.
+        let n = 90;
+        assert!(MatMul.access_trace(n).unwrap().len() > SAMPLED_DEADLINE_POLL);
+        let cfg = SweepConfig {
+            n,
+            memories: vec![1024],
+            engine: Engine::StackDist,
+            ..SweepConfig::default()
+        }
+        .with_budget(Budget::unlimited().with_max_wall(std::time::Duration::ZERO));
+        let result = capacity_sweep(&MatMul, &cfg).unwrap();
+        let prov = result.provenance.unwrap();
+        assert_eq!(
+            prov.used,
+            Engine::Sampled {
+                shift: MAX_SAMPLE_SHIFT
+            },
+            "{prov:?}"
+        );
+        assert!(prov
+            .steps
+            .iter()
+            .all(|s| matches!(s.trip, BudgetTrip::Wall { .. })));
+    }
+
+    #[test]
+    fn checkpointed_sweep_killed_mid_replay_resumes_bit_identically() {
+        let n = 12;
+        let len = MatMul.access_trace(n).unwrap().len();
+        let policy = tmp_policy("resume", 1000);
+        let cfg = SweepConfig {
+            n,
+            memories: vec![16, 256, 1024],
+            engine: Engine::StackDist,
+            checkpoint: Some(policy.clone()),
+            ..SweepConfig::default()
+        };
+        // First attempt dies mid-replay, past a few checkpoints.
+        let faults = FaultPlan::none().with_die_at(len / 2);
+        let err = robust_capacity_profile(&MatMul, &cfg, &faults).unwrap_err();
+        assert!(matches!(err, KernelError::Interrupted { .. }), "{err}");
+        // The re-run resumes from the persisted image and finishes with
+        // the exact uninterrupted profile.
+        let none = FaultPlan::none();
+        let (profile, prov) = robust_capacity_profile(&MatMul, &cfg, &none).unwrap();
+        assert_eq!(profile, exact_matmul_profile(n));
+        let resumed = prov.resumed_at.unwrap();
+        assert!(resumed >= 1000 && resumed < len, "resumed at {resumed}");
+        // The image was consumed: a fresh run starts from scratch.
+        let (_, prov2) = robust_capacity_profile(&MatMul, &cfg, &none).unwrap();
+        assert_eq!(prov2.resumed_at, None);
+        let _ = std::fs::remove_dir_all(&policy.dir);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_in_a_sweep_falls_back_to_a_fresh_replay() {
+        let n = 12;
+        let len = MatMul.access_trace(n).unwrap().len();
+        let policy = tmp_policy("corrupt", 1000);
+        let cfg = SweepConfig {
+            n,
+            memories: vec![64],
+            engine: Engine::StackDist,
+            checkpoint: Some(policy.clone()),
+            ..SweepConfig::default()
+        };
+        // Die mid-replay with every persisted snapshot corrupted.
+        let faults = FaultPlan::none()
+            .with_die_at(len / 2)
+            .with_corrupt_checkpoints(u32::MAX);
+        let _ = robust_capacity_profile(&MatMul, &cfg, &faults).unwrap_err();
+        // The checksum rejects the image; the re-run starts fresh and is
+        // still exact.
+        let none = FaultPlan::none();
+        let (profile, prov) = robust_capacity_profile(&MatMul, &cfg, &none).unwrap();
+        assert_eq!(profile, exact_matmul_profile(n));
+        assert_eq!(prov.resumed_at, None);
+        let _ = std::fs::remove_dir_all(&policy.dir);
+    }
+
+    #[test]
+    fn killed_segment_worker_inside_a_robust_sweep_is_retried() {
+        let policy = tmp_policy("segkill", 500);
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![64],
+            engine: Engine::StackDistPar { threads: 3 },
+            checkpoint: Some(policy.clone()),
+            ..SweepConfig::default()
+        };
+        let faults = FaultPlan::none().with_kill_segment(1, 1);
+        let (profile, prov) = robust_capacity_profile(&MatMul, &cfg, &faults).unwrap();
+        assert_eq!(profile, exact_matmul_profile(12));
+        assert!(prov.segment_retries >= 1, "{prov:?}");
+        assert!(prov.describe().contains("dead segment worker"));
+        let _ = std::fs::remove_dir_all(&policy.dir);
+    }
+
+    #[test]
+    fn degradation_ladder_walks_par_serial_sampled_to_the_floor() {
+        let mut engine = Engine::StackDistPar { threads: 0 };
+        let mut rungs = vec![engine];
+        while let Some(next) = next_rung(engine) {
+            engine = next;
+            rungs.push(engine);
+        }
+        assert_eq!(rungs[1], Engine::StackDist);
+        assert_eq!(rungs[2], Engine::Sampled { shift: 4 });
+        assert_eq!(
+            *rungs.last().unwrap(),
+            Engine::Sampled {
+                shift: MAX_SAMPLE_SHIFT
+            }
+        );
+        // Estimates shrink (weakly) down the ladder — the invariant the
+        // single-pass pre-check relies on.
+        let (bound, len) = (1 << 20, 1 << 28);
+        for pair in rungs.windows(2) {
+            assert!(
+                estimated_resident_bytes(pair[1], bound, len)
+                    <= estimated_resident_bytes(pair[0], bound, len),
+                "{pair:?}"
+            );
+            assert!(
+                engine_address_cost(pair[1], len) <= engine_address_cost(pair[0], len),
+                "{pair:?}"
+            );
+        }
+        // Replay enters at the serial one-pass rung.
+        assert_eq!(next_rung(Engine::Replay), Some(Engine::StackDist));
+    }
+
     #[test]
     fn hierarchy_sweep_rejects_malformed_outer_ladders() {
         let cfg = SweepConfig {
@@ -1095,6 +1832,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         // Outer capacities must grow: 4096 then 1024 is rejected.
         let err = hierarchy_sweep(&MatMul, &cfg, &outer_levels(&[4096, 1024])).unwrap_err();
@@ -1107,6 +1845,7 @@ mod tests {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         for result in [
             hierarchy_sweep(&MatMul, &empty_cfg, &outer_levels(&[4096, 1024])),

@@ -173,7 +173,7 @@ pub fn grid(dim: usize, iters: usize) -> AccessTrace {
                     return dst + c;
                 }
                 let axis = (probe - 1) / 2;
-                let stride = side.pow(u32::try_from(axis).expect("dim <= 4"));
+                let stride = side.pow(u32::try_from(axis).unwrap_or_else(|_| panic!("dim <= 4")));
                 let x = (c / stride) % side;
                 let wrapped = if probe % 2 == 1 {
                     (x + side - 1) % side

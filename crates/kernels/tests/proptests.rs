@@ -227,6 +227,7 @@ proptest! {
             seed,
             verify: Verify::Full,
             engine: Engine::Replay,
+            ..SweepConfig::default()
         };
         let replay = capacity_sweep(&**kernel, &cfg).unwrap();
         let onepass =
@@ -287,6 +288,7 @@ proptest! {
             seed: 0,
             verify: Verify::Full,
             engine: Engine::StackDist,
+            ..SweepConfig::default()
         };
         let onepass = hierarchy_capacity_sweep(&**kernel, &cfg, &outer).unwrap();
         let replay = hierarchy_capacity_sweep(

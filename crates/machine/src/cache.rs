@@ -234,7 +234,7 @@ impl LruCache {
         Self::check_shape(capacity_lines, line_words);
         assert!(addr_bound > 0, "address bound must be positive");
         let lines = usize::try_from(addr_bound.div_ceil(line_words))
-            .expect("address bound overflows usize");
+            .unwrap_or_else(|_| panic!("address bound overflows usize"));
         let index = LineIndex::Direct {
             slots: vec![EMPTY; lines],
         };
@@ -320,7 +320,9 @@ impl LruCache {
                 }
             }
             LineIndex::Fx(map) => {
-                let ins = fx_slot.expect("an Fx probe miss always yields an insertion slot");
+                let Some(ins) = fx_slot else {
+                    unreachable!("an Fx probe miss always yields an insertion slot")
+                };
                 map.insert_at(ins, key, idx as u32);
                 if let Some(ek) = evicted_key {
                     map.remove(ek);

@@ -1,0 +1,262 @@
+//! Deterministic fault injection for the replay engines.
+//!
+//! A billion-address replay meets real failures — OOM kills mid-stream,
+//! preempted segment workers, torn checkpoint files — but none of them
+//! reproduce on demand, so the recovery paths they exercise rot unless a
+//! harness can trigger them *deterministically*. A [`FaultPlan`] is that
+//! harness: a small set of one-shot triggers (die at address `k`,
+//! allocation failure at address `k`, corrupt the next checkpoint write,
+//! kill segment worker `i`) armed up front — by a test, a proptest
+//! strategy, or a seed — and consumed exactly once as the replay crosses
+//! them. The checkpoint/resume machinery ([`crate::checkpoint`]) and the
+//! segmented engine's bounded retry are tested *through* these faults:
+//! the proptests assert that a replay killed at an arbitrary address and
+//! resumed from its checkpoint is bit-identical to an uninterrupted run.
+//!
+//! Triggers use atomic one-shot consumption (`compare_exchange`), so a
+//! plan is `Sync` and can be shared across segment workers; a consumed
+//! trigger never fires twice, which is what makes bounded retry converge.
+
+use core::fmt;
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::sampling::splitmix64;
+
+/// Sentinel position/index for "never fires".
+const NEVER: u64 = u64::MAX;
+
+/// A seeded, one-shot fault schedule threaded through the replay drivers.
+/// All triggers default to "never"; each fires at most once.
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// Replay position at which the run "dies" (the driver returns an
+    /// interrupt, leaving on-disk checkpoints exactly as a SIGKILL would).
+    die_at: AtomicU64,
+    /// Replay position at which an engine allocation "fails".
+    alloc_fail_at: AtomicU64,
+    /// Number of upcoming checkpoint writes to corrupt (byte flip in the
+    /// payload — must be caught by the checksum on restore).
+    corrupt_checkpoints: AtomicU32,
+    /// Segment-worker index that dies mid-range (see
+    /// [`FaultPlan::segment_dies`]).
+    kill_segment: AtomicU64,
+    /// How many times that segment worker dies before succeeding.
+    kill_segment_times: AtomicU32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults armed (every trigger at "never").
+    #[must_use]
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            die_at: AtomicU64::new(NEVER),
+            alloc_fail_at: AtomicU64::new(NEVER),
+            corrupt_checkpoints: AtomicU32::new(0),
+            kill_segment: AtomicU64::new(NEVER),
+            kill_segment_times: AtomicU32::new(0),
+        }
+    }
+
+    /// Arms a one-shot death at replay position `pos` (0-based: the fault
+    /// fires *before* the `pos`-th address is observed).
+    #[must_use]
+    pub fn with_die_at(self, pos: u64) -> FaultPlan {
+        self.die_at.store(pos, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms a one-shot allocation failure at replay position `pos`.
+    #[must_use]
+    pub fn with_alloc_fail_at(self, pos: u64) -> FaultPlan {
+        self.alloc_fail_at.store(pos, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms corruption of the next `times` checkpoint writes (a byte flip
+    /// the checksum must catch on restore).
+    #[must_use]
+    pub fn with_corrupt_checkpoints(self, times: u32) -> FaultPlan {
+        self.corrupt_checkpoints.store(times, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms `times` deaths of segment worker `segment` (each mid-range;
+    /// the segmented driver's bounded retry must absorb them).
+    #[must_use]
+    pub fn with_kill_segment(self, segment: usize, times: u32) -> FaultPlan {
+        self.kill_segment
+            .store(segment as u64, Ordering::Relaxed);
+        self.kill_segment_times.store(times, Ordering::Relaxed);
+        self
+    }
+
+    /// A pseudo-random plan derived entirely from `seed` over a replay of
+    /// `len` addresses: a death somewhere in the trace, sometimes a
+    /// corrupted checkpoint, sometimes a segment-worker death. Same seed,
+    /// same plan — the deterministic entry point for soak tests.
+    #[must_use]
+    pub fn seeded(seed: u64, len: u64) -> FaultPlan {
+        let plan = FaultPlan::none();
+        if len > 0 {
+            plan.die_at
+                .store(splitmix64(seed) % len, Ordering::Relaxed);
+        }
+        if splitmix64(seed ^ 1) & 3 == 0 {
+            plan.corrupt_checkpoints.store(1, Ordering::Relaxed);
+        }
+        if splitmix64(seed ^ 2) & 1 == 0 {
+            plan.kill_segment
+                .store(splitmix64(seed ^ 3) % 16, Ordering::Relaxed);
+            plan.kill_segment_times.store(1, Ordering::Relaxed);
+        }
+        plan
+    }
+
+    /// Whether any per-address trigger is still armed — the replay
+    /// driver's fast-path gate, so an unarmed plan costs nothing per
+    /// address.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.die_at.load(Ordering::Relaxed) != NEVER
+            || self.alloc_fail_at.load(Ordering::Relaxed) != NEVER
+    }
+
+    /// Consumes any per-address trigger armed at replay position `pos`.
+    ///
+    /// # Errors
+    ///
+    /// The injected fault, exactly once per armed trigger.
+    pub fn check_observe(&self, pos: u64) -> Result<(), InjectedFault> {
+        if self
+            .die_at
+            .compare_exchange(pos, NEVER, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return Err(InjectedFault::Die { at: pos });
+        }
+        if self
+            .alloc_fail_at
+            .compare_exchange(pos, NEVER, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return Err(InjectedFault::AllocFail { at: pos });
+        }
+        Ok(())
+    }
+
+    /// Consumes one checkpoint-corruption trigger, if armed: `true` means
+    /// the writer must corrupt the bytes it is about to persist.
+    #[must_use]
+    pub fn take_checkpoint_corruption(&self) -> bool {
+        self.corrupt_checkpoints
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Consumes one death of segment worker `segment`, if armed for it.
+    #[must_use]
+    pub fn segment_dies(&self, segment: usize) -> bool {
+        self.kill_segment.load(Ordering::Relaxed) == segment as u64
+            && self
+                .kill_segment_times
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+    }
+}
+
+/// A fault fired by a [`FaultPlan`] — the "what killed this attempt" tag
+/// carried by [`crate::checkpoint::ReplayInterrupt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InjectedFault {
+    /// The run died (as by SIGKILL) before observing position `at`.
+    Die {
+        /// 0-based replay position of the death.
+        at: u64,
+    },
+    /// An engine allocation failed at position `at`.
+    AllocFail {
+        /// 0-based replay position of the failure.
+        at: u64,
+    },
+    /// Segment worker `segment` died mid-range more times than the
+    /// bounded retry allows.
+    SegmentDeath {
+        /// Index of the killed segment worker.
+        segment: usize,
+    },
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectedFault::Die { at } => write!(f, "injected death at replay position {at}"),
+            InjectedFault::AllocFail { at } => {
+                write!(f, "injected allocation failure at replay position {at}")
+            }
+            InjectedFault::SegmentDeath { segment } => {
+                write!(f, "injected death of segment worker {segment}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_fire_exactly_once() {
+        let plan = FaultPlan::none().with_die_at(5);
+        assert!(plan.is_armed());
+        assert_eq!(plan.check_observe(4), Ok(()));
+        assert_eq!(plan.check_observe(5), Err(InjectedFault::Die { at: 5 }));
+        assert_eq!(plan.check_observe(5), Ok(()), "one-shot: must not refire");
+        assert!(!plan.is_armed());
+    }
+
+    #[test]
+    fn alloc_fail_is_distinct_from_death() {
+        let plan = FaultPlan::none().with_alloc_fail_at(2);
+        assert_eq!(plan.check_observe(2), Err(InjectedFault::AllocFail { at: 2 }));
+        assert_eq!(plan.check_observe(2), Ok(()));
+    }
+
+    #[test]
+    fn checkpoint_corruption_counts_down() {
+        let plan = FaultPlan::none().with_corrupt_checkpoints(2);
+        assert!(plan.take_checkpoint_corruption());
+        assert!(plan.take_checkpoint_corruption());
+        assert!(!plan.take_checkpoint_corruption());
+    }
+
+    #[test]
+    fn segment_death_targets_one_worker() {
+        let plan = FaultPlan::none().with_kill_segment(3, 2);
+        assert!(!plan.segment_dies(0));
+        assert!(plan.segment_dies(3));
+        assert!(plan.segment_dies(3));
+        assert!(!plan.segment_dies(3), "times exhausted");
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::seeded(seed, 1000);
+            let b = FaultPlan::seeded(seed, 1000);
+            assert_eq!(
+                a.die_at.load(Ordering::Relaxed),
+                b.die_at.load(Ordering::Relaxed)
+            );
+            assert!(a.die_at.load(Ordering::Relaxed) < 1000);
+        }
+    }
+}

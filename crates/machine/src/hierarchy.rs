@@ -165,7 +165,8 @@ impl Hierarchy {
         let levels = capacities
             .iter()
             .map(|c| {
-                let lines = usize::try_from(c.get()).expect("level capacity overflows usize");
+                let lines = usize::try_from(c.get())
+                    .unwrap_or_else(|_| panic!("level capacity overflows usize"));
                 LruCache::new(lines, 1)
             })
             .collect();

@@ -39,6 +39,12 @@
 //!   bit-identical to serial) and SHARDS-style hash-sampled approximate
 //!   profiles (Waldspurger et al., FAST '15) whose queries re-scale by
 //!   the sampling rate.
+//! * [`checkpoint`] / [`faults`] — fault-tolerant long runs: versioned,
+//!   checksummed engine snapshots ([`StackDistance::snapshot`]) behind a
+//!   resumable replay driver ([`resumable_replay`]), plus a deterministic
+//!   fault-injection harness (seeded deaths, allocation failures,
+//!   checkpoint corruption, segment-worker kills) that the recovery paths
+//!   are continuously tested through.
 //! * [`PhaseRecorder`] — phase-labeled cost attribution for multi-phase
 //!   algorithms (e.g. the two phases of external sorting).
 //!
@@ -70,9 +76,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod error;
+pub mod faults;
 pub mod hierarchy;
 pub mod memory;
 pub mod pe;
@@ -84,13 +93,20 @@ pub mod timeline;
 pub mod trace;
 
 pub use cache::LruCache;
+pub use checkpoint::{
+    resumable_replay, CheckpointError, CheckpointPolicy, ReplayControl, ReplayInterrupt,
+    ReplayStats, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use error::MachineError;
+pub use faults::{FaultPlan, InjectedFault};
 pub use hierarchy::{Hierarchy, MemorySystem};
 pub use sampling::{
     sampled_profile_of, sampled_profile_of_bounded, splitmix64, SampledStackDistance,
     MAX_SAMPLE_SHIFT,
 };
-pub use segmented::segmented_profile_of;
+pub use segmented::{
+    segmented_profile_of, segmented_profile_resumable, SegmentedStats, MAX_SEGMENT_RETRIES,
+};
 pub use stackdist::{CapacityProfile, StackDistance};
 pub use memory::{BufferId, LocalMemory};
 pub use pe::Pe;

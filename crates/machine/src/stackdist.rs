@@ -235,14 +235,14 @@ impl StackDistance {
     #[must_use]
     pub fn with_address_bound(addr_bound: u64) -> Self {
         assert!(addr_bound > 0, "address bound must be positive");
-        let bound =
-            usize::try_from(addr_bound).expect("address bound overflows usize");
+        let bound = usize::try_from(addr_bound)
+            .unwrap_or_else(|_| panic!("address bound overflows usize"));
         // 2× the distinct-address ceiling: at least half the slots are
         // live-free at every compaction, so compaction cost amortizes to
         // O(1) per access.
         let slots = bound
             .checked_mul(2)
-            .expect("address bound overflows the slot space");
+            .unwrap_or_else(|| panic!("address bound overflows the slot space"));
         Self::with_slots(LastIndex::Direct(vec![EMPTY; bound]), slots)
     }
 
@@ -286,6 +286,156 @@ impl StackDistance {
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Serializes the engine's complete observable state into a
+    /// versioned, checksummed little-endian image (see
+    /// [`crate::checkpoint`] for the format). The recency structure is
+    /// stored *logically* — the live addresses in recency order, bottom
+    /// to top — so the image is independent of the physical slot layout;
+    /// [`StackDistance::restore`] rebuilds the marker tree and last-access
+    /// index from it, equivalent to a fresh compaction. The access count
+    /// in the image doubles as the trace cursor: it is exactly the number
+    /// of trace positions this engine has consumed.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        use crate::checkpoint::{ByteWriter, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+        let stack = self.final_stack();
+        let ft_len = self.first_touches.as_ref().map_or(0, Vec::len);
+        let mut w =
+            ByteWriter::with_capacity(64 + 8 * (stack.len() + self.hist.len() + ft_len));
+        w.bytes(&CHECKPOINT_MAGIC);
+        w.u16(CHECKPOINT_VERSION);
+        let (tag, bound) = match &self.index {
+            LastIndex::Map(_) => (0u8, 0u64),
+            LastIndex::Direct(table) => (1u8, table.len() as u64),
+        };
+        w.u8(tag);
+        w.u8(u8::from(self.first_touches.is_some()));
+        w.u64(bound);
+        w.u64(self.clock);
+        w.u64(self.accesses);
+        w.u64(self.compulsory);
+        w.u64(stack.len() as u64);
+        w.u64(self.hist.len() as u64);
+        w.u64(ft_len as u64);
+        w.u64_slice(&stack);
+        w.u64_slice(&self.hist);
+        if let Some(ft) = &self.first_touches {
+            w.u64_slice(ft);
+        }
+        w.finish()
+    }
+
+    /// Rebuilds an engine from a [`StackDistance::snapshot`] image,
+    /// bit-identical in every observable to the engine that produced it
+    /// (pinned by proptest at adversarial cut points, including mid-trace
+    /// and just past compaction).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`CheckpointError`](crate::checkpoint::CheckpointError)
+    /// for truncated images, wrong magic or version, checksum mismatches
+    /// (any flipped byte), and structurally inconsistent payloads
+    /// (duplicate recency-stack entries, addresses beyond the declared
+    /// bound) — never a panic or undefined behavior.
+    pub fn restore(bytes: &[u8]) -> Result<StackDistance, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{
+            ByteReader, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+        };
+        let corrupt = |reason: &'static str| CheckpointError::Corrupt { reason };
+        let mut r = ByteReader::verified(bytes)?;
+        let magic = r.array::<4>()?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic { found: magic });
+        }
+        let version = r.u16()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let tag = r.u8()?;
+        let flags = r.u8()?;
+        if flags > 1 {
+            return Err(corrupt("unknown flag bits"));
+        }
+        let bound = r.u64()?;
+        let clock = r.u64()?;
+        let accesses = r.u64()?;
+        let compulsory = r.u64()?;
+        let live = r.u64()?;
+        let hist_len = r.u64()?;
+        let ft_len = r.u64()?;
+        let stack = r.u64_vec(live)?;
+        let hist = r.u64_vec(hist_len)?;
+        let first_touches = if flags & 1 == 1 {
+            Some(r.u64_vec(ft_len)?)
+        } else if ft_len == 0 {
+            None
+        } else {
+            return Err(corrupt("first-touch payload without its flag"));
+        };
+        r.expect_end()?;
+        if clock < live {
+            return Err(corrupt("clock below live-address count"));
+        }
+
+        let (index, slots) = match tag {
+            0 => {
+                let cap = usize::try_from(live).map_err(|_| corrupt("live count overflows"))?;
+                (
+                    LastIndex::Map(HashMap::with_capacity(cap)),
+                    cap.checked_mul(2)
+                        .ok_or_else(|| corrupt("live count overflows"))?,
+                )
+            }
+            1 => {
+                if bound == 0 {
+                    return Err(corrupt("zero address bound on the direct backend"));
+                }
+                let b = usize::try_from(bound)
+                    .map_err(|_| corrupt("address bound overflows"))?;
+                (
+                    LastIndex::Direct(vec![EMPTY; b]),
+                    b.checked_mul(2)
+                        .ok_or_else(|| corrupt("address bound overflows"))?,
+                )
+            }
+            _ => return Err(corrupt("unknown backend tag")),
+        };
+        let mut engine = Self::with_slots(index, slots);
+        // Rebuild the physical window exactly as compaction lays it out:
+        // the live addresses take slots 0..live, timestamps just below
+        // the (restored) clock.
+        let origin = clock - live;
+        for (i, &addr) in stack.iter().enumerate() {
+            let t = origin + i as u64;
+            match &mut engine.index {
+                LastIndex::Direct(table) => {
+                    let a = usize::try_from(addr)
+                        .ok()
+                        .filter(|&a| a < table.len())
+                        .ok_or_else(|| corrupt("address beyond the declared bound"))?;
+                    if table[a] != EMPTY {
+                        return Err(corrupt("duplicate address in the recency stack"));
+                    }
+                    table[a] = t;
+                }
+                LastIndex::Map(map) => {
+                    if map.insert(addr, t).is_some() {
+                        return Err(corrupt("duplicate address in the recency stack"));
+                    }
+                }
+            }
+            engine.markers.add(i);
+            engine.slot_addr[i] = addr;
+        }
+        engine.clock = clock;
+        engine.origin = origin;
+        engine.hist = hist;
+        engine.compulsory = compulsory;
+        engine.accesses = accesses;
+        engine.first_touches = first_touches;
+        Ok(engine)
     }
 
     /// Re-points `addr`'s index entry at the current clock and returns the
@@ -333,7 +483,8 @@ impl StackDistance {
     #[inline]
     fn bump_hist(&mut self, d: u64) {
         // d ≤ distinct + 1 ≤ slot space + 1, which fits usize.
-        let d = usize::try_from(d).expect("stack distance overflows usize");
+        let d =
+            usize::try_from(d).unwrap_or_else(|_| panic!("stack distance overflows usize"));
         if d >= self.hist.len() {
             self.hist.resize(d + 1, 0);
         }
@@ -534,9 +685,11 @@ impl StackDistance {
     fn compact(&mut self) {
         let slots = self.markers.slots();
         let live = usize::try_from(self.markers.live)
-            .expect("live marker count overflows usize");
+            .unwrap_or_else(|_| panic!("live marker count overflows usize"));
         let new_slots = if live * 2 > slots {
-            slots.checked_mul(2).expect("slot space overflows usize")
+            slots
+                .checked_mul(2)
+                .unwrap_or_else(|| panic!("slot space overflows usize"))
         } else {
             slots
         };
@@ -929,6 +1082,138 @@ mod tests {
         let p = StackDistance::profile_of([0u64, 1, 2, 0, 1, 2]);
         let t = p.traffic_for(&spec);
         assert_eq!(t.as_slice(), &[6, 3]);
+    }
+
+    /// Cuts the trace at `cut`, snapshots/restores, replays the rest on
+    /// the restored engine, and demands the profile be bit-identical to
+    /// the uninterrupted run.
+    fn check_snapshot_cut(trace: &[u64], cut: usize, addr_bound: Option<u64>) {
+        let mut engine = match addr_bound {
+            Some(b) => StackDistance::with_address_bound(b),
+            None => StackDistance::new(),
+        };
+        engine.observe_trace(trace[..cut].iter().copied());
+        let image = engine.snapshot();
+        let mut restored = StackDistance::restore(&image)
+            .unwrap_or_else(|e| panic!("restore at cut {cut}: {e}"));
+        assert_eq!(restored.accesses(), cut as u64);
+        restored.observe_trace(trace[cut..].iter().copied());
+        let uninterrupted = match addr_bound {
+            Some(b) => StackDistance::profile_of_bounded(trace.iter().copied(), b),
+            None => StackDistance::profile_of(trace.iter().copied()),
+        };
+        assert_eq!(
+            restored.into_profile(),
+            uninterrupted,
+            "cut {cut} bound {addr_bound:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_at_every_cut() {
+        let trace: Vec<u64> = (0..200u64).map(|i| (i * 13 + i * i) % 37).collect();
+        for cut in [0, 1, 2, 50, 100, 199, 200] {
+            check_snapshot_cut(&trace, cut, None);
+            check_snapshot_cut(&trace, cut, Some(37));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_survives_compaction_pressure() {
+        // The minimum 16-slot engine compacts every few accesses; cut at
+        // every position so some cuts land exactly on a compaction edge.
+        let trace: Vec<u64> = (0..400u64).map(|i| (i * 5) % 16).collect();
+        for cut in 0..=trace.len() {
+            let mut engine = StackDistance::with_slots(LastIndex::Map(HashMap::new()), 16);
+            engine.observe_trace(trace[..cut].iter().copied());
+            let mut restored = StackDistance::restore(&engine.snapshot()).unwrap();
+            restored.observe_trace(trace[cut..].iter().copied());
+            let p = restored.into_profile();
+            for m in [1u64, 4, 15, 16, 17] {
+                assert_eq!(p.misses_at(m), replay_misses(&trace, m), "cut {cut} m {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_first_touch_recording() {
+        let trace = [4u64, 2, 4, 9, 2, 7];
+        let mut engine = StackDistance::new();
+        engine.record_first_touches();
+        engine.observe_trace(trace[..3].iter().copied());
+        let mut restored = StackDistance::restore(&engine.snapshot()).unwrap();
+        restored.observe_trace(trace[3..].iter().copied());
+        assert_eq!(restored.take_first_touches(), vec![4, 2, 9, 7]);
+    }
+
+    #[test]
+    fn restore_rejects_any_single_byte_flip() {
+        let mut engine = StackDistance::with_address_bound(16);
+        engine.observe_trace([3u64, 1, 4, 1, 5, 9, 2, 6]);
+        let image = engine.snapshot();
+        assert!(StackDistance::restore(&image).is_ok());
+        for i in 0..image.len() {
+            let mut bad = image.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                StackDistance::restore(&bad).is_err(),
+                "flip at byte {i} must be rejected"
+            );
+        }
+        for cut in 0..image.len() {
+            assert!(
+                StackDistance::restore(&image[..cut]).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_structural_corruption_with_valid_checksum() {
+        use crate::checkpoint::{fnv1a, CheckpointError};
+        // A recency stack with a duplicated address: recompute the
+        // checksum so only the structural validation can catch it.
+        let mut engine = StackDistance::new();
+        engine.observe_trace([1u64, 2, 3]);
+        let image = engine.snapshot();
+        let payload_len = image.len() - 8;
+        let mut bad = image[..payload_len].to_vec();
+        // The three stack addresses are the last 3 u64s before hist
+        // (hist is empty: no reuse): duplicate the first onto the second.
+        let stack_start = bad.len() - 3 * 8;
+        let (first, rest) = bad[stack_start..].split_at_mut(8);
+        rest[..8].copy_from_slice(first);
+        let sum = fnv1a(&bad).to_le_bytes();
+        bad.extend_from_slice(&sum);
+        assert!(matches!(
+            StackDistance::restore(&bad),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_magic_and_version() {
+        use crate::checkpoint::{fnv1a, CheckpointError};
+        let image = StackDistance::new().snapshot();
+        let payload_len = image.len() - 8;
+
+        let mut wrong_magic = image[..payload_len].to_vec();
+        wrong_magic[0] = b'X';
+        let sum = fnv1a(&wrong_magic).to_le_bytes();
+        wrong_magic.extend_from_slice(&sum);
+        assert!(matches!(
+            StackDistance::restore(&wrong_magic),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+
+        let mut wrong_version = image[..payload_len].to_vec();
+        wrong_version[4] = 0xEE;
+        let sum = fnv1a(&wrong_version).to_le_bytes();
+        wrong_version.extend_from_slice(&sum);
+        assert!(matches!(
+            StackDistance::restore(&wrong_version),
+            Err(CheckpointError::UnsupportedVersion { .. })
+        ));
     }
 
     #[test]

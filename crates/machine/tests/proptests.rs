@@ -2,8 +2,9 @@
 
 use balance_core::Words;
 use balance_machine::{
-    sampled_profile_of, segmented_profile_of, CapacityProfile, ExternalStore, Hierarchy,
-    LruCache, MemorySystem, Pe, StackDistance,
+    resumable_replay, sampled_profile_of, segmented_profile_of, segmented_profile_resumable,
+    CapacityProfile, CheckpointPolicy, ExternalStore, FaultPlan, Hierarchy, LruCache,
+    MemorySystem, Pe, ReplayControl, StackDistance,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -404,5 +405,131 @@ proptest! {
         let got = &pe.buf(buf).unwrap()[..count];
         let want: Vec<f64> = (0..count).map(|i| data[start + i * stride]).collect();
         prop_assert_eq!(got, &want[..]);
+    }
+}
+
+proptest! {
+    /// Tentpole pin (PR 7): a replay killed at an *arbitrary* address,
+    /// checkpointing at an *arbitrary* interval, resumes from its last
+    /// persisted image to a curve bit-identical to the uninterrupted
+    /// replay — on both index backends (hash and direct-indexed).
+    #[test]
+    fn killed_replay_resumes_bit_identically_on_both_backends(
+        trace in proptest::collection::vec(0u64..64, 2..250),
+        every in 1u64..64,
+        die_frac in 0.05f64..0.95,
+        bounded in proptest::bool::ANY,
+    ) {
+        let len = trace.len() as u64;
+        let die_at = (((len as f64) * die_frac) as u64).clamp(1, len - 1);
+        let fresh = || if bounded {
+            StackDistance::with_address_bound(64)
+        } else {
+            StackDistance::new()
+        };
+        let uninterrupted = {
+            let mut e = fresh();
+            e.observe_trace(trace.iter().copied());
+            e.into_profile()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "balance-prop-resume-{len}-{every}-{die_at}-{}-{}",
+            u8::from(bounded),
+            std::process::id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy::every(dir.clone(), every);
+        let faults = FaultPlan::none().with_die_at(die_at);
+        let mut ctl = ReplayControl::new("prop");
+        ctl.policy = Some(&policy);
+        ctl.faults = &faults;
+        let killed = resumable_replay(len, trace.iter().copied(), fresh, &ctl);
+        prop_assert!(killed.is_err(), "kill at {} of {} must interrupt", die_at, len);
+        let none = FaultPlan::none();
+        let mut ctl = ReplayControl::new("prop");
+        ctl.policy = Some(&policy);
+        ctl.faults = &none;
+        let (engine, stats) = resumable_replay(len, trace.iter().copied(), fresh, &ctl)
+            .unwrap();
+        // Any resume position must be a checkpoint boundary at or before
+        // the kill; no image at all (kill before the first checkpoint)
+        // restarts from scratch. Either way the curve is bit-identical.
+        if let Some(p) = stats.resumed_at {
+            prop_assert!(p <= die_at && p % every == 0, "resumed at {}", p);
+        }
+        prop_assert_eq!(engine.into_profile(), uninterrupted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The same guarantee through the segmented parallel engine: a
+    /// segment worker killed by the harness is retried (bounded) and the
+    /// merged curve stays bit-identical to the serial replay.
+    #[test]
+    fn killed_segment_worker_retries_to_the_serial_curve(
+        trace in proptest::collection::vec(0u64..96, 8..300),
+        segments in 2usize..8,
+        victim in 0usize..8,
+        every in 1u64..64,
+    ) {
+        let serial = StackDistance::profile_of(trace.iter().copied());
+        let len = trace.len() as u64;
+        let victim = victim % segments;
+        let slice = |start: u64, end: u64| {
+            trace[usize::try_from(start).unwrap()..usize::try_from(end).unwrap()]
+                .iter()
+                .copied()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "balance-prop-segkill-{len}-{segments}-{victim}-{every}-{}",
+            std::process::id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy::every(dir.clone(), every);
+        let faults = FaultPlan::none().with_kill_segment(victim, 1);
+        let (profile, stats) = segmented_profile_resumable(
+            len,
+            Some(96),
+            segments,
+            slice,
+            Some(&policy),
+            &faults,
+            None,
+        )
+        .unwrap();
+        prop_assert!(stats.segment_retries >= 1, "worker {} was armed to die once", victim);
+        prop_assert_eq!(profile, serial);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Durability honesty: flipping any single byte of a snapshot image
+    /// is caught by the trailing checksum (or the structural validation
+    /// behind it), and truncation is never accepted — for arbitrary
+    /// traces, cut points, and backends.
+    #[test]
+    fn corrupted_or_truncated_snapshots_are_rejected(
+        trace in proptest::collection::vec(0u64..64, 1..200),
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        bounded in proptest::bool::ANY,
+    ) {
+        let cut = ((trace.len() as f64) * cut_frac) as usize;
+        let mut e = if bounded {
+            StackDistance::with_address_bound(64)
+        } else {
+            StackDistance::new()
+        };
+        e.observe_trace(trace[..cut].iter().copied());
+        let image = e.snapshot();
+        // Round trip is bit-identical...
+        let restored = StackDistance::restore(&image).unwrap();
+        prop_assert_eq!(restored.accesses(), cut as u64);
+        // ...a single byte flip anywhere is rejected...
+        let pos = ((image.len() as f64) * flip_frac) as usize % image.len();
+        let mut bad = image.clone();
+        bad[pos] ^= 0x40;
+        prop_assert!(StackDistance::restore(&bad).is_err(), "flip at {} accepted", pos);
+        // ...and so is any proper truncation.
+        let trunc = &image[..image.len() - 1];
+        prop_assert!(StackDistance::restore(trunc).is_err());
     }
 }

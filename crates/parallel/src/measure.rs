@@ -535,6 +535,90 @@ mod tests {
         }
     }
 
+    /// `ParTranspose` advertising a profile obtained through a *tripped
+    /// resource budget* (PR 7's degradation ladder): the ladder lands on
+    /// the sampled engine, the profile self-identifies as approximate,
+    /// and the exact-only fast path must refuse it just like a
+    /// hand-built sampled profile.
+    #[derive(Debug)]
+    struct BudgetDegradedTranspose;
+
+    impl ParallelKernel for BudgetDegradedTranspose {
+        fn name(&self) -> &'static str {
+            ParTranspose.name()
+        }
+        fn description(&self) -> &'static str {
+            ParTranspose.description()
+        }
+        fn serial(&self) -> Box<dyn balance_kernels::Kernel> {
+            ParTranspose.serial()
+        }
+        fn min_memory_per_pe(&self, n: usize, topology: Topology) -> usize {
+            ParTranspose.min_memory_per_pe(n, topology)
+        }
+        fn run_on(
+            &self,
+            topology: Topology,
+            n: usize,
+            per_pe: &HierarchySpec,
+            seed: u64,
+            verify: Verify,
+        ) -> Result<crate::pkernels::ParallelRun, KernelError> {
+            ParTranspose.run_on(topology, n, per_pe, seed, verify)
+        }
+        fn io_profile(
+            &self,
+            n: usize,
+            _topology: Topology,
+        ) -> Option<crate::pkernels::ExternalIoProfile> {
+            use balance_kernels::sweep::{robust_capacity_profile, Engine, SweepConfig};
+            use balance_kernels::transpose::Transpose;
+            // A 256-byte resident budget no exact engine can meet: the
+            // ladder degrades to a sampled rung.
+            let cfg = SweepConfig {
+                n,
+                memories: vec![64],
+                engine: Engine::StackDist,
+                ..SweepConfig::default()
+            }
+            .with_budget(balance_core::Budget::unlimited().with_max_resident_bytes(256));
+            let (profile, prov) =
+                robust_capacity_profile(&Transpose, &cfg, &balance_machine::FaultPlan::none())
+                    .ok()?;
+            assert!(prov.degraded(), "test premise: the budget trips");
+            let n64 = n as u64;
+            Some(crate::pkernels::ExternalIoProfile::new(n64 * n64, profile))
+        }
+    }
+
+    #[test]
+    fn budget_degraded_profile_is_gated_out_of_the_exact_fast_path() {
+        let degraded_kernel = BudgetDegradedTranspose;
+        assert!(
+            !degraded_kernel
+                .io_profile(16, topo(2))
+                .unwrap()
+                .profile()
+                .is_exact(),
+            "test premise: the degraded profile is sampled, not exact"
+        );
+        for balance in [0.2, 0.45, 0.6] {
+            for topo in [topo(1), topo(2)] {
+                let cfg = MeasuredBalanceConfig {
+                    cell: cell(balance),
+                    n: 16,
+                    seed: 3,
+                    verify: Verify::Full,
+                    m_max: 4096,
+                };
+                let gated = measured_balance_memory(&degraded_kernel, topo, &cfg).unwrap();
+                let replayed =
+                    measured_balance_memory(&ReplayOnlyTranspose, topo, &cfg).unwrap();
+                assert_eq!(gated, replayed, "balance {balance} on {topo}");
+            }
+        }
+    }
+
     #[test]
     fn transpose_profile_reports_one_touch_traffic() {
         let p = ParTranspose.io_profile(16, topo(2)).unwrap();

@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // point fully verified) keeps the sweep fast without losing coverage.
         verify: Verify::auto(n),
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
     // The parallel executor produces bit-identical points to the serial one.
     let result = intensity_sweep_par(&MatMul, &cfg)?;

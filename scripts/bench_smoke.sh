@@ -6,11 +6,16 @@
 # BENCH_<n>.json at the repo root, seeding the perf trajectory tracked
 # across PRs.
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_6.json)
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_7.json)
+#
+# PR 7 adds the checkpoint_overhead/* tier: the resumable replay with
+# checkpoints every 2^24 addresses (the production default) must stay
+# within ~5% of the uncheckpointed replay, with the every-2^20 tier
+# showing the amortized cost of real image writes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 # Absolute path: cargo bench runs each target with cwd = its package dir.
 jsonl="$(pwd)/target/bench_smoke.jsonl"
 rm -f "$jsonl"

@@ -43,6 +43,7 @@ fn pipeline_closes_the_loop_on_matmul() {
         seed: 3,
         verify: Verify::Full,
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
     let result = intensity_sweep(&MatMul, &cfg).unwrap();
     let fit = result.fit().unwrap();
@@ -151,6 +152,7 @@ fn law_is_sweep_invariant() {
         seed: 9,
         verify: Verify::Full,
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
     let fine = SweepConfig {
         n,
@@ -161,6 +163,7 @@ fn law_is_sweep_invariant() {
         seed: 9,
         verify: Verify::Full,
         engine: Engine::Replay,
+        ..SweepConfig::default()
     };
     let f_coarse = intensity_sweep(&MatMul, &coarse)
         .unwrap()
