@@ -202,6 +202,7 @@ pub fn engine_by_name(name: &str, points: usize) -> Result<Engine, String> {
     Ok(match name {
         "replay" => Engine::Replay,
         "stackdist" => Engine::StackDist,
+        "analytic" => Engine::Analytic,
         "auto" => Engine::auto(points),
         spec if spec == "stackdist-par" || spec.starts_with("stackdist-par:") => {
             let threads = parse_param(spec, "thread count")?;
@@ -229,9 +230,31 @@ pub fn engine_by_name(name: &str, points: usize) -> Result<Engine, String> {
             Engine::Sampled { shift }
         }
         other => Err(format!(
-            "unknown engine '{other}' (try: replay, stackdist, stackdist-par[:K], sampled[:S], auto)"
+            "unknown engine '{other}' \
+             (try: replay, stackdist, stackdist-par[:K], sampled[:S], analytic, auto)"
         ))?,
     })
+}
+
+/// [`engine_by_name`] with the kernel in hand: `auto` resolves through
+/// [`Engine::auto_for_kernel`], so kernels with a derived closed-form
+/// histogram get the zero-replay analytic tier and the rest the
+/// trace-length escalation. Explicit engine names parse unchanged.
+///
+/// # Errors
+///
+/// As [`engine_by_name`].
+pub fn engine_by_name_for(
+    name: &str,
+    points: usize,
+    kernel: &dyn Kernel,
+    n: usize,
+) -> Result<Engine, String> {
+    if name == "auto" {
+        Ok(Engine::auto_for_kernel(points, kernel, n))
+    } else {
+        engine_by_name(name, points)
+    }
 }
 
 /// The kernel registry for the sweep commands, keyed by CLI name.
@@ -361,7 +384,7 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
     }
     let (result, header) = match flags.str_opt("engine") {
         Some(engine) => {
-            let engine = engine_by_name(engine, cfg.memories.len())?;
+            let engine = engine_by_name_for(engine, cfg.memories.len(), kernel.as_ref(), n)?;
             let result = capacity_sweep_par(kernel.as_ref(), &cfg.clone().with_engine(engine))
                 .map_err(|e| e.to_string())?;
             let mut header = format!("cache-model capacity sweep ({engine:?} engine)\n");
@@ -531,7 +554,7 @@ pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
         // (a depth-d replay costs ~d LRU updates per address, so shallow
         // ladders favor the plain replay and deep ones the histogram).
         let engine = match flags.str_opt("engine") {
-            Some(e) => engine_by_name(e, spec.depth())?,
+            Some(e) => engine_by_name_for(e, spec.depth(), kernel.as_ref(), n)?,
             Option::None => Engine::StackDist,
         };
         let cfg = SweepConfig {
@@ -724,7 +747,7 @@ USAGE:
       Characterize a PE: machine balance + balanced memory per computation.
   balance rebalance --law <matmul|lu|grid1..grid4|fft|sort|matvec> --alpha <f> --m <words>
       The paper's question: how much memory restores balance after C/IO grows α-fold?
-  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>] [--verify full|freivalds|none] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|auto]
+  balance sweep --kernel <matmul|lu|grid2|grid3|fft|sort|matvec|trisolve> --n <size> [--seed <u64>] [--verify full|freivalds|none] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|analytic|auto]
       Run the instrumented kernel across a memory sweep (parallel across
       cores; default verification: full up to n=64, anchored Freivalds
       beyond) and fit the law. With --engine, measure the cache-model
@@ -732,14 +755,16 @@ USAGE:
       stackdist answers the whole sweep from ONE replay, stackdist-par:K
       splits that replay across K threads (exact, bit-identical; K
       defaults to all cores), sampled:S hash-samples addresses at rate
-      2^-S (approximate, default S=4), and replay is the per-capacity
-      reference engine. Robust-run flags (cache-model engines only):
+      2^-S (approximate, default S=4), analytic builds the kernel's
+      closed-form histogram with ZERO replay (exact; affine kernels only
+      — auto picks it up wherever it exists), and replay is the
+      per-capacity reference engine. Robust-run flags (cache-model engines only):
       --max-wall-secs <s>, --max-resident-bytes <b>, --max-addresses <a>
       set a resource budget — a tripped budget degrades the engine down
       the sampling ladder and reports the substitution on a provenance
       line; --ckpt-dir <path> [--ckpt-every <addrs>] checkpoints the
       replay so a killed run resumes from the last image.
-  balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>] [--kernel <name> [--n <size>] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|auto]]
+  balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>] [--kernel <name> [--n <size>] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|analytic|auto]]
       The balance law per level of a memory hierarchy (innermost level
       first): per-boundary ridges, binding level, and balanced capacity
       per level for each of the paper's intensity laws. LAT is the level's
@@ -899,6 +924,75 @@ mod tests {
         assert!(engine_by_name("stackdist-par:x", 4).is_err());
         assert!(engine_by_name("sampled:99", 4).is_err(), "shift beyond MAX rejected");
         assert!(engine_by_name("sampled:-3", 4).is_err());
+        // The zero-replay tier parses, takes no parameter, and is listed
+        // in the unknown-engine diagnostic.
+        assert_eq!(engine_by_name("analytic", 4).unwrap(), Engine::Analytic);
+        assert!(engine_by_name("analytic:2", 4).is_err());
+        let err = engine_by_name("nope", 4).unwrap_err();
+        assert!(err.contains("analytic"), "{err}");
+    }
+
+    #[test]
+    fn engine_auto_resolution_is_kernel_aware() {
+        // With the kernel in hand, auto grows the analytic tier for
+        // kernels that derive a histogram, and falls back for the rest.
+        assert_eq!(
+            engine_by_name_for("auto", 16, &MatMul, 8).unwrap(),
+            Engine::Analytic
+        );
+        assert_eq!(
+            engine_by_name_for("auto", 16, &balance_kernels::fft::Fft, 8).unwrap(),
+            Engine::StackDist
+        );
+        // Explicit names bypass the kernel entirely.
+        assert_eq!(
+            engine_by_name_for("replay", 16, &MatMul, 8).unwrap(),
+            Engine::Replay
+        );
+        assert!(engine_by_name_for("bogus", 16, &MatMul, 8).is_err());
+    }
+
+    #[test]
+    fn analytic_engine_cli_end_to_end() {
+        let base = &["--kernel", "matmul", "--n", "12"];
+        let analytic = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "analytic"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        assert!(analytic.contains("Analytic"), "{analytic}");
+        // Same numbers as the one-replay engine, zero replays.
+        let onepass = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "stackdist"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(strip(&analytic), strip(&onepass));
+        // auto now lands on the analytic tier for covered kernels...
+        let auto = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "auto"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        assert!(auto.contains("Analytic"), "{auto}");
+        // ...but an explicit request against an uncovered kernel is a
+        // clear one-line error naming the kernel, not a silent fallback.
+        let err = cmd_sweep(
+            &Flags::parse(&args(&[
+                &["--kernel", "fft", "--n", "8"][..],
+                &["--engine", "analytic"][..],
+            ]
+            .concat()))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("fft"), "{err}");
+        assert!(err.contains("no analytic profile"), "{err}");
+        // Unknown kernels keep their own diagnostic.
+        let err = cmd_sweep(
+            &Flags::parse(&args(&["--kernel", "quicksort", "--n", "8", "--engine", "analytic"]))
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! resident and streams the signal through once.
 
 use balance_core::{CostProfile, HierarchySpec, IntensityModel};
-use balance_machine::{ExternalStore, Pe};
+use balance_machine::{AnalyticProfile, ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::traits::{Kernel, KernelRun};
@@ -56,6 +56,24 @@ pub fn convolve_reference(x: &[f64], h: &[f64], n: usize) -> Vec<f64> {
 impl Kernel for Convolution {
     fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
         (n > 0).then(|| crate::trace::convolution(n, self.taps()))
+    }
+
+    /// Output `i` interleaves `[x[i+t], w[t]]` for `t = 0..k`, then writes
+    /// `y[i]`. Each window slide re-touches `x` values at distance `2k-1`
+    /// and `w` taps at `2k` — except the last tap `w[k-1]`, whose reuse
+    /// window additionally spans the fresh `x[i+k]`: distance `2k+1`.
+    fn analytic_profile(&self, n: usize) -> Option<AnalyticProfile> {
+        if n == 0 {
+            return None;
+        }
+        let n64 = n as u64;
+        let k = self.taps() as u64;
+        let mut p = AnalyticProfile::new();
+        p.record_compulsory(2 * n64 + 2 * k - 1);
+        p.record_class(2 * k - 1, (n64 - 1) * (k - 1));
+        p.record_class(2 * k, (n64 - 1) * (k - 1));
+        p.record_class(2 * k + 1, n64 - 1);
+        Some(p)
     }
 
     fn name(&self) -> &'static str {

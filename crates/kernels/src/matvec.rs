@@ -18,7 +18,7 @@
 //! [`GrowthLaw::Impossible`]: balance_core::GrowthLaw
 
 use balance_core::{CostProfile, HierarchySpec, IntensityModel};
-use balance_machine::{ExternalStore, Pe};
+use balance_machine::{AnalyticProfile, ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::matrix::MatrixHandle;
@@ -34,6 +34,23 @@ pub struct MatVec;
 impl Kernel for MatVec {
     fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
         (n > 0).then(|| crate::trace::matvec(n))
+    }
+
+    fn analytic_profile(&self, n: usize) -> Option<AnalyticProfile> {
+        // Row `i` interleaves `[A[i][j], x[j]]` for `j = 0..n`, then writes
+        // `y[i]`. Only `x` repeats: between touches of `x[j]` in consecutive
+        // rows sit the rest of row `i` (`2(n-1-j)` words plus `y[i]`) and the
+        // head of row `i+1` (`2j` words), all distinct — a single reuse class
+        // at distance `2n+1`, `n-1` reuses for each of the `n` entries of `x`.
+        // Everything else (`A`, `y`) is touched exactly once.
+        if n == 0 {
+            return None;
+        }
+        let n64 = n as u64;
+        let mut p = AnalyticProfile::new();
+        p.record_compulsory(n64 * n64 + 2 * n64);
+        p.record_class(2 * n64 + 1, n64 * (n64 - 1));
+        Some(p)
     }
 
     fn name(&self) -> &'static str {

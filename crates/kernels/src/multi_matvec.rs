@@ -16,7 +16,7 @@
 //! decides whether memory can buy balance.
 
 use balance_core::{CostProfile, HierarchySpec, IntensityModel};
-use balance_machine::{ExternalStore, Pe};
+use balance_machine::{AnalyticProfile, ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::matrix::{load_block, store_block, MatrixHandle};
@@ -65,6 +65,44 @@ impl MultiMatVec {
 impl Kernel for MultiMatVec {
     fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
         (n > 0).then(|| crate::trace::multi_matvec(n, self.vectors()))
+    }
+
+    /// Per vector the trace is a matvec over `X[·][vec]`/`Y[·][vec]`, so the
+    /// intra-vector `x` reuse class is matvec's (distance `2n+1`, `n(n-1)`
+    /// reuses per vector). `A` additionally recurs across each of the `v-1`
+    /// vector transitions: the window holds all `n²` of `A`, the old and new
+    /// `x`/`y` columns, and loop-edge clippings at the first and last rows —
+    /// interior rows collapse to one class at `n²+3n`, rows `0` and `n-1`
+    /// contribute `2n` thin classes.
+    fn analytic_profile(&self, n: usize) -> Option<AnalyticProfile> {
+        if n == 0 {
+            return None;
+        }
+        let n64 = n as u64;
+        let v = self.vectors() as u64;
+        let nn = n64 * n64;
+        let mut p = AnalyticProfile::new();
+        p.record_compulsory(nn + 2 * v * n64);
+        p.record_class(2 * n64 + 1, v * n64 * (n64 - 1));
+        if v >= 2 {
+            let t = v - 1; // vector transitions
+            for j in 0..n64 {
+                // Row 0 reopens the new vector: only j+1 entries of the new
+                // x column precede A[0][j]'s reuse.
+                p.record_class(nn + 2 * n64 + j, t);
+            }
+            if n64 >= 2 {
+                for j in 0..n64 {
+                    // Row n-1 closes the old vector: the old x column is
+                    // clipped past position j.
+                    p.record_class(nn + 3 * n64 - j, t);
+                }
+            }
+            if n64 >= 3 {
+                p.record_class(nn + 3 * n64, t * (n64 - 2) * n64);
+            }
+        }
+        Some(p)
     }
 
     fn name(&self) -> &'static str {

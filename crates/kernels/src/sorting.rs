@@ -17,7 +17,7 @@
 //! the simulated local memory, so the capacity `M` is honestly charged.
 
 use balance_core::{CostProfile, HierarchySpec, IntensityModel};
-use balance_machine::{BufferId, ExternalStore, Pe, Phase, PhaseRecorder, Region};
+use balance_machine::{AnalyticProfile, BufferId, ExternalStore, Pe, Phase, PhaseRecorder, Region};
 
 use crate::error::KernelError;
 use crate::traits::{Kernel, KernelRun};
@@ -182,6 +182,24 @@ fn merge_level(
 impl Kernel for ExternalSort {
     fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
         (n > 1).then(|| crate::trace::sort(n))
+    }
+
+    /// The canonical trace ping-pongs `[src+i, dst+i]` pairs across
+    /// `P = ⌈log₂ n⌉` passes. Pass 1 touches both buffers for the first
+    /// time; in every later pass, each read recurs at distance `2n-1` (the
+    /// tail of the previous pass plus the head of this one) and each write
+    /// at `2n` (one more: its own pair partner).
+    fn analytic_profile(&self, n: usize) -> Option<AnalyticProfile> {
+        if n <= 1 {
+            return None;
+        }
+        let n64 = n as u64;
+        let passes = u64::from(n.next_power_of_two().trailing_zeros());
+        let mut p = AnalyticProfile::new();
+        p.record_compulsory(2 * n64);
+        p.record_class(2 * n64 - 1, (passes - 1) * n64);
+        p.record_class(2 * n64, (passes - 1) * n64);
+        Some(p)
     }
 
     fn name(&self) -> &'static str {

@@ -91,6 +91,14 @@ pub enum Engine {
         /// Sampling-rate exponent (rate = `2^-shift`).
         shift: u32,
     },
+    /// Zero-replay tier: the kernel's closed-form reuse-distance
+    /// histogram ([`Kernel::analytic_profile`]), exact bit-for-bit
+    /// against the one-pass engines at every capacity (registry-pinned by
+    /// proptest) and `O(poly(log n))` in the trace length — curves at
+    /// sizes no replay could touch. Only kernels that derive a histogram
+    /// support it; the rest fail with `BadParameters` (and are never
+    /// auto-selected into this tier — see [`Engine::auto_for_kernel`]).
+    Analytic,
 }
 
 /// Trace length beyond which [`Engine::auto_for`] escalates from the
@@ -121,6 +129,23 @@ impl Engine {
             Engine::StackDistPar { threads: 0 }
         } else {
             Engine::auto(points)
+        }
+    }
+
+    /// [`Engine::auto_for`] with the kernel in hand: the zero-replay
+    /// [`Engine::Analytic`] tier whenever the kernel derives a histogram
+    /// at this `n` (exactness is contractual, so there is nothing to
+    /// trade), otherwise the trace-length escalation of
+    /// [`Engine::auto_for`].
+    #[must_use]
+    pub fn auto_for_kernel(points: usize, kernel: &dyn Kernel, n: usize) -> Engine {
+        if kernel.analytic_profile(n).is_some() {
+            Engine::Analytic
+        } else {
+            match kernel.access_trace(n) {
+                Some(trace) => Engine::auto_for(points, trace.len()),
+                None => Engine::auto(points),
+            }
         }
     }
 }
@@ -654,9 +679,22 @@ fn capacity_profile(
     n: usize,
     engine: Engine,
 ) -> Result<CapacityProfile, KernelError> {
+    if engine == Engine::Analytic {
+        return kernel
+            .analytic_profile(n)
+            .map(balance_machine::AnalyticProfile::into_profile)
+            .ok_or_else(|| KernelError::BadParameters {
+                reason: format!(
+                    "kernel {} derives no analytic profile at n = {n}; \
+                     use a replay engine (stackdist, stackdist-par, sampled)",
+                    kernel.name()
+                ),
+            });
+    }
     let trace = trace_for(kernel, n)?;
     let bound = trace.addr_bound();
     Ok(match engine {
+        Engine::Analytic => unreachable!("handled by the early return above"),
         Engine::Replay | Engine::StackDist => match direct_bound(bound) {
             Some(b) => StackDistance::profile_of_bounded(trace.into_addrs(), b),
             None => StackDistance::profile_of(trace.into_addrs()),
@@ -745,7 +783,10 @@ const TRACKED_ADDRESS_BYTES: u64 = 32;
 /// ladder, so one downward pass settles all pre-checks.
 fn next_rung(engine: Engine) -> Option<Engine> {
     match engine {
-        Engine::Replay | Engine::StackDistPar { .. } => Some(Engine::StackDist),
+        // Analytic never enters the ladder (it is free and cannot trip a
+        // budget — see `robust_capacity_profile`); its nominal next exact
+        // tier keeps the ladder total.
+        Engine::Analytic | Engine::Replay | Engine::StackDistPar { .. } => Some(Engine::StackDist),
         Engine::StackDist => Some(Engine::Sampled {
             shift: LADDER_SHIFT_STEP,
         }),
@@ -766,6 +807,9 @@ fn next_rung(engine: Engine) -> Option<Engine> {
 fn estimated_resident_bytes(engine: Engine, bound: u64, len: u64) -> u64 {
     let tracked = if bound > 0 { bound } else { len };
     let (per_worker, workers) = match engine {
+        // A finalized analytic histogram is O(#classes) — noise next to
+        // any per-address table.
+        Engine::Analytic => (0, 1),
         Engine::Replay | Engine::StackDist => (tracked, 1),
         Engine::StackDistPar { threads } => (tracked, resolve_threads(threads)),
         Engine::Sampled { shift } => ((tracked >> shift).max(1), 1),
@@ -780,6 +824,7 @@ fn estimated_resident_bytes(engine: Engine, bound: u64, len: u64) -> u64 {
 /// expected hash-sampled subset (`len · 2^-shift`) for sampled rungs.
 fn engine_address_cost(engine: Engine, len: u64) -> u64 {
     match engine {
+        Engine::Analytic => 0,
         Engine::Sampled { shift } => len >> shift,
         _ => len,
     }
@@ -814,6 +859,7 @@ pub fn engine_spec(engine: Engine) -> String {
         Engine::StackDist => "stackdist".into(),
         Engine::StackDistPar { threads } => format!("stackdist-par:{threads}"),
         Engine::Sampled { shift } => format!("sampled:{shift}"),
+        Engine::Analytic => "analytic".into(),
     }
 }
 
@@ -945,6 +991,7 @@ fn run_profile_attempt(
 ) -> Result<(CapacityProfile, AttemptStats), ReplayInterrupt> {
     match engine {
         Engine::Replay => unreachable!("replay is mapped to stackdist before the ladder"),
+        Engine::Analytic => unreachable!("analytic profiles are built before the ladder"),
         Engine::StackDist => {
             let name = checkpoint_name(kernel, cfg.n);
             let mut ctl = ReplayControl::new(&name);
@@ -1041,6 +1088,26 @@ pub fn robust_capacity_profile(
     cfg: &SweepConfig,
     faults: &FaultPlan,
 ) -> Result<(CapacityProfile, Provenance), KernelError> {
+    // The analytic tier replays nothing, holds no per-address state, and
+    // finishes in microseconds: no budget can trip and there is nothing
+    // to checkpoint, so it bypasses the ladder entirely. A kernel without
+    // a derivation errors here rather than degrading — the caller asked
+    // for exact-and-free specifically.
+    if cfg.engine == Engine::Analytic {
+        let profile = capacity_profile(kernel, cfg.n, Engine::Analytic)?;
+        return Ok((
+            profile,
+            Provenance {
+                requested: Engine::Analytic,
+                used: Engine::Analytic,
+                steps: Vec::new(),
+                resumed_at: None,
+                resumed_segments: 0,
+                segment_retries: 0,
+                checkpoints_written: 0,
+            },
+        ));
+    }
     let probe = trace_for(kernel, cfg.n)?;
     let len = probe.len();
     let bound = probe.addr_bound();
@@ -1505,6 +1572,89 @@ mod tests {
         );
         // Few points: replay stays cheapest regardless of length.
         assert_eq!(Engine::auto_for(2, 1 << 40), Engine::Replay);
+    }
+
+    #[test]
+    fn engine_auto_for_kernel_grows_the_analytic_tier() {
+        // Kernels with a derived histogram get it at any point count —
+        // exact and free beats everything.
+        assert_eq!(Engine::auto_for_kernel(16, &MatMul, 8), Engine::Analytic);
+        assert_eq!(Engine::auto_for_kernel(2, &MatMul, 8), Engine::Analytic);
+        // Without one (fft), selection falls back to the trace-length
+        // escalation...
+        assert_eq!(
+            Engine::auto_for_kernel(16, &crate::fft::Fft, 8),
+            Engine::StackDist
+        );
+        // ...and to the point-count rule when there is no trace either.
+        assert_eq!(
+            Engine::auto_for_kernel(16, &crate::fft::Fft, 9),
+            Engine::StackDist
+        );
+        assert_eq!(
+            Engine::auto_for_kernel(2, &crate::fft::Fft, 9),
+            Engine::Replay
+        );
+    }
+
+    #[test]
+    fn analytic_engine_sweep_is_bit_identical_and_errors_without_derivation() {
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![2, 8, 32, 128, 512],
+            seed: 0,
+            verify: Verify::None,
+            engine: Engine::Analytic,
+            ..SweepConfig::default()
+        };
+        let analytic = capacity_sweep(&MatMul, &cfg).unwrap();
+        let onepass =
+            capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::StackDist)).unwrap();
+        assert_eq!(analytic.runs, onepass.runs);
+        // A kernel without a derivation is the documented parameter error,
+        // naming the kernel — never a silent fallback.
+        let err = capacity_sweep(&crate::fft::Fft, &cfg).unwrap_err();
+        match err {
+            KernelError::BadParameters { reason } => {
+                assert!(reason.contains("fft"), "got: {reason}");
+                assert!(reason.contains("no analytic profile"), "got: {reason}");
+            }
+            other => panic!("expected BadParameters, got {other}"),
+        }
+    }
+
+    #[test]
+    fn analytic_engine_bypasses_the_degradation_ladder() {
+        // Even a budget no replay engine could meet leaves the analytic
+        // tier untouched: nothing to replay, nothing to degrade.
+        let cfg = SweepConfig {
+            n: 16,
+            memories: vec![4, 16, 64, 256],
+            seed: 0,
+            verify: Verify::None,
+            engine: Engine::Analytic,
+            ..SweepConfig::default()
+        }
+        .with_budget(Budget {
+            max_addresses: Some(1),
+            max_resident_bytes: Some(1),
+            max_wall: None,
+        });
+        let (profile, prov) =
+            robust_capacity_profile(&MatMul, &cfg, &FaultPlan::none()).unwrap();
+        assert_eq!(prov.requested, Engine::Analytic);
+        assert_eq!(prov.used, Engine::Analytic);
+        assert!(prov.steps.is_empty());
+        assert!(profile.is_exact());
+        assert_eq!(profile, exact_matmul_profile(16));
+        // And the budgeted sweep path reports the same provenance.
+        let swept = capacity_sweep(&MatMul, &cfg).unwrap();
+        assert_eq!(swept.provenance.unwrap().used, Engine::Analytic);
+    }
+
+    #[test]
+    fn analytic_engine_spec_round_trips() {
+        assert_eq!(engine_spec(Engine::Analytic), "analytic");
     }
 
     #[test]

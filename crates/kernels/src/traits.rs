@@ -13,6 +13,7 @@
 //! measured shape ≈ the paper's law.
 
 use balance_core::{CostProfile, Execution, HierarchySpec, IntensityModel};
+use balance_machine::AnalyticProfile;
 
 use crate::error::KernelError;
 use crate::trace::AccessTrace;
@@ -152,6 +153,26 @@ pub trait Kernel: Sync {
     /// non-power-of-two FFT). Every registry kernel returns `Some` for its
     /// supported sizes (pinned by test).
     fn access_trace(&self, n: usize) -> Option<AccessTrace> {
+        let _ = n;
+        None
+    }
+
+    /// The **closed-form reuse-distance histogram** of this kernel's
+    /// canonical trace at problem size `n`, when one is derived — the
+    /// zero-replay engine tier ([`crate::sweep::Engine::Analytic`]).
+    ///
+    /// The contract is exactness: the returned histogram, finalized via
+    /// [`AnalyticProfile::into_profile`], must equal the
+    /// [`balance_machine::StackDistance`] replay of
+    /// [`Kernel::access_trace`] at the same `n` **bit for bit, at every
+    /// capacity** — pinned across the registry by property test. Kernels
+    /// whose access structure resists a derivation (the FFT butterfly,
+    /// data-dependent computations) return `None` and fall through to the
+    /// measured engines.
+    ///
+    /// Must return `None` wherever [`Kernel::access_trace`] does — a
+    /// histogram without a trace would be unfalsifiable.
+    fn analytic_profile(&self, n: usize) -> Option<AnalyticProfile> {
         let _ = n;
         None
     }

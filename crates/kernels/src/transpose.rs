@@ -11,7 +11,7 @@
 //! writes — memory buys transfer regularity, just never balance.
 
 use balance_core::{CostProfile, HierarchySpec, IntensityModel};
-use balance_machine::{ExternalStore, Pe};
+use balance_machine::{AnalyticProfile, ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::matrix::{load_block, MatrixHandle};
@@ -26,6 +26,15 @@ pub struct Transpose;
 impl Kernel for Transpose {
     fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
         (n > 0).then(|| crate::trace::transpose(n))
+    }
+
+    fn analytic_profile(&self, n: usize) -> Option<AnalyticProfile> {
+        // Every element of A is read once and every element of B written
+        // once — no address repeats, so the histogram is pure compulsory
+        // traffic. This generalizes the closed-form one-touch profile
+        // `ParTranspose` has carried since PR 5.
+        let n64 = n as u64;
+        (n > 0).then(|| AnalyticProfile::one_touch(2 * n64 * n64))
     }
 
     fn name(&self) -> &'static str {

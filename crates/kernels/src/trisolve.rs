@@ -11,7 +11,7 @@
 //! panel streams through, and the diagonal block is solved in memory.
 
 use balance_core::{CostProfile, HierarchySpec, IntensityModel};
-use balance_machine::{ExternalStore, Pe};
+use balance_machine::{AnalyticProfile, ExternalStore, Pe};
 
 use crate::error::KernelError;
 use crate::matrix::MatrixHandle;
@@ -27,6 +27,25 @@ pub struct TriSolve;
 impl Kernel for TriSolve {
     fn access_trace(&self, n: usize) -> Option<crate::trace::AccessTrace> {
         (n > 0).then(|| crate::trace::trisolve(n))
+    }
+
+    /// Only `x` repeats: row `i` re-reads `x[0..i-1]` before writing `x[i]`.
+    /// In row `i ≥ 1` the freshly solved `x[i-1]` recurs at distance `2i`
+    /// (the `i-1` earlier `[L, x]` pairs plus `L[i][i-1]`, plus itself) and
+    /// each older entry at `2i+1` (one extra: the row `i-1` tail it also
+    /// spans) — a triangle of thin classes, one pair per row.
+    fn analytic_profile(&self, n: usize) -> Option<AnalyticProfile> {
+        if n == 0 {
+            return None;
+        }
+        let n64 = n as u64;
+        let mut p = AnalyticProfile::new();
+        p.record_compulsory(n64 * (n64 + 1) / 2 + 2 * n64);
+        for i in 1..n64 {
+            p.record_class(2 * i, 1);
+            p.record_class(2 * i + 1, i - 1);
+        }
+        Some(p)
     }
 
     fn name(&self) -> &'static str {

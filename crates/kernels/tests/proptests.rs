@@ -257,6 +257,13 @@ proptest! {
             capacity_sweep(&**kernel, &cfg.clone().with_engine(Engine::Sampled { shift: 0 }))
                 .unwrap();
         prop_assert_eq!(&replay.runs, &full_rate.runs, "kernel {}", kernel.name());
+        // The zero-replay analytic tier joins the bit-identity contract
+        // wherever a kernel derives a histogram (9 of the 11 at n = 8).
+        if kernel.analytic_profile(n).is_some() {
+            let analytic =
+                capacity_sweep(&**kernel, &cfg.clone().with_engine(Engine::Analytic)).unwrap();
+            prop_assert_eq!(&replay.runs, &analytic.runs, "kernel {}", kernel.name());
+        }
         // Monotone: a bigger cache never misses more (the stack property,
         // as it surfaces in the emitted sweep).
         for w in replay.runs.windows(2) {
@@ -304,6 +311,45 @@ proptest! {
                 run.execution.cost.traffic().is_monotone_non_increasing(),
                 "kernel {}: {}", kernel.name(), run.execution.cost.traffic()
             );
+        }
+    }
+
+    /// The analytic tier's core contract, across the whole registry and
+    /// the full testable size range: wherever a kernel derives a
+    /// closed-form histogram, finalizing it yields a `CapacityProfile`
+    /// structurally equal to the stack-distance replay of the canonical
+    /// trace — hence bit-identical `misses_at(M)` at *every* capacity
+    /// (additionally spot-pinned below at M = 0 and past saturation). And
+    /// no kernel may claim a histogram for a size where it has no trace.
+    #[test]
+    fn analytic_profiles_bit_exact_across_registry(
+        kernel_idx in 0usize..11,
+        n in 0usize..20,
+    ) {
+        let mut kernels = all_kernels();
+        kernels.extend(extension_kernels());
+        let kernel = &kernels[kernel_idx];
+        match (kernel.analytic_profile(n), kernel.access_trace(n)) {
+            (None, _) => {} // no derivation at this size: falls through
+            (Some(_), None) => prop_assert!(
+                false,
+                "kernel {} claims an analytic profile at n = {} without a trace",
+                kernel.name(), n
+            ),
+            (Some(analytic), Some(trace)) => {
+                let engine = balance_machine::StackDistance::profile_of(trace.into_addrs());
+                let built = analytic.into_profile();
+                prop_assert_eq!(&built, &engine, "kernel {} at n = {}", kernel.name(), n);
+                prop_assert!(built.is_exact(), "kernel {}", kernel.name());
+                prop_assert_eq!(built.misses_at(0), built.accesses());
+                prop_assert_eq!(built.misses_at(u64::MAX), built.compulsory_misses());
+                for m in 0..=built.saturating_capacity() + 2 {
+                    prop_assert_eq!(
+                        built.misses_at(m), engine.misses_at(m),
+                        "kernel {} at n = {}, M = {}", kernel.name(), n, m
+                    );
+                }
+            }
         }
     }
 

@@ -107,7 +107,7 @@ pub use sampling::{
 pub use segmented::{
     segmented_profile_of, segmented_profile_resumable, SegmentedStats, MAX_SEGMENT_RETRIES,
 };
-pub use stackdist::{CapacityProfile, StackDistance};
+pub use stackdist::{AnalyticProfile, CapacityProfile, StackDistance};
 pub use memory::{BufferId, LocalMemory};
 pub use pe::Pe;
 pub use store::{ExternalStore, Region};

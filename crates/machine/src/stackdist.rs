@@ -629,18 +629,21 @@ impl StackDistance {
     /// Finalizes the replay into a queryable [`CapacityProfile`].
     #[must_use]
     pub fn into_profile(self) -> CapacityProfile {
-        // cum_hits[d] = accesses with stack distance ≤ d  (d ≥ 0).
-        let mut cum_hits = Vec::with_capacity(self.hist.len().max(1));
-        cum_hits.push(0);
+        // One breakpoint per distance with a nonzero histogram count:
+        // (d, accesses with stack distance ≤ d), strictly increasing in
+        // both coordinates.
+        let mut steps = Vec::new();
         let mut acc = 0u64;
-        for &h in self.hist.iter().skip(1) {
-            acc += h;
-            cum_hits.push(acc);
+        for (d, &h) in self.hist.iter().enumerate().skip(1) {
+            if h > 0 {
+                acc += h;
+                steps.push((d as u64, acc));
+            }
         }
         CapacityProfile {
             accesses: self.accesses,
             compulsory: self.compulsory,
-            cum_hits,
+            steps,
             shift: 0,
         }
     }
@@ -726,21 +729,31 @@ impl StackDistance {
 /// from a single pass over the trace.
 ///
 /// Obtained from [`StackDistance::into_profile`] (exact), the segmented
-/// parallel engine in [`crate::segmented`] (exact, bit-identical), or the
-/// SHARDS-style sampled engine in [`crate::sampling`] (approximate). A
+/// parallel engine in [`crate::segmented`] (exact, bit-identical), the
+/// SHARDS-style sampled engine in [`crate::sampling`] (approximate), or a
+/// closed-form derivation via [`AnalyticProfile`] (exact, zero replay). A
 /// sampled profile carries its sampling rate as `shift`
 /// (rate = 2^−shift): raw sampled counts are stored and every query
 /// re-scales by 2^shift, following Waldspurger et al., *Efficient MRC
 /// Construction with SHARDS* (FAST '15). [`CapacityProfile::is_exact`]
 /// distinguishes the two — exact consumers (measured balance points) must
-/// check it. All queries are O(1).
+/// check it.
+///
+/// Storage is **piecewise**: one cumulative-hit breakpoint per distance
+/// that actually occurs in the reuse histogram (a run-length encoding of
+/// the hit curve), so a derived profile for `n = 10⁵` matmul is a few
+/// hundred entries, not a `3n²`-long dense vector. Queries binary-search
+/// the O(#pieces) breakpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CapacityProfile {
     accesses: u64,
     compulsory: u64,
-    /// `cum_hits[d]` = accesses with (sampled) stack distance ≤ `d`; for
-    /// an exact profile the last entry equals `accesses − compulsory`.
-    cum_hits: Vec<u64>,
+    /// Breakpoints `(d, h)`: `h` = accesses with (sampled) stack distance
+    /// ≤ `d`, one entry per distance with a nonzero histogram count,
+    /// strictly increasing in both coordinates (empty = no reuse at any
+    /// capacity). For an exact profile the last `h` equals
+    /// `accesses − compulsory`.
+    steps: Vec<(u64, u64)>,
     /// Sampling-rate exponent: counts and distances are stored ×2^−shift
     /// and re-scaled on query. 0 = exact.
     shift: u32,
@@ -757,7 +770,7 @@ impl CapacityProfile {
         CapacityProfile {
             accesses,
             compulsory: accesses,
-            cum_hits: vec![0],
+            steps: Vec::new(),
             shift: 0,
         }
     }
@@ -817,17 +830,30 @@ impl CapacityProfile {
     /// trace). For sampled profiles, the scaled estimate.
     #[must_use]
     pub fn saturating_capacity(&self) -> u64 {
-        self.scale((self.cum_hits.len() - 1) as u64)
+        self.scale(self.steps.last().map_or(0, |&(d, _)| d))
     }
 
     /// Hits of a word-granular LRU of `m` words replaying the trace
-    /// (scaled estimate for sampled profiles, clamped to `accesses`).
+    /// (scaled estimate for sampled profiles, clamped to `accesses`) — a
+    /// binary search over the cumulative-hit breakpoints.
     #[must_use]
     pub fn hits_at(&self, m: u64) -> u64 {
-        let d = usize::try_from(m >> self.shift)
-            .unwrap_or(usize::MAX)
-            .min(self.cum_hits.len() - 1);
-        self.scale(self.cum_hits[d]).min(self.accesses)
+        let d = m >> self.shift;
+        let idx = self.steps.partition_point(|&(dist, _)| dist <= d);
+        let raw = if idx == 0 { 0 } else { self.steps[idx - 1].1 };
+        self.scale(raw).min(self.accesses)
+    }
+
+    /// The profile's `(stack distance, access count)` reuse classes,
+    /// smallest distance first — the per-distance histogram the
+    /// cumulative breakpoints encode (raw stored counts for sampled
+    /// profiles). Empty for a one-touch or empty trace.
+    pub fn reuse_classes(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.steps.iter().scan(0u64, |prev, &(d, cum)| {
+            let count = cum - *prev;
+            *prev = cum;
+            Some((d, count))
+        })
     }
 
     /// Misses of a word-granular LRU of `m` words replaying the trace —
@@ -870,6 +896,113 @@ impl CapacityProfile {
     pub fn traffic_for(&self, spec: &HierarchySpec) -> LevelTraffic {
         let caps: Vec<Words> = spec.levels().iter().map(|l| l.capacity()).collect();
         self.traffic_at(&caps)
+    }
+}
+
+/// A closed-form reuse-distance histogram under construction: the
+/// zero-replay way to build an exact [`CapacityProfile`].
+///
+/// For the affine kernels the reuse-distance histogram is an analyzable
+/// function of the problem size: every access is either a first touch
+/// ([`AnalyticProfile::record_compulsory`]) or a reuse at a derived stack
+/// distance, and the reuses collapse into a handful of *classes* — runs of
+/// accesses sharing one distance, with a count in closed form
+/// ([`AnalyticProfile::record_class`]). Recording the classes takes
+/// O(#classes) work however long the trace they describe would be; a
+/// `3×10¹²`-address matmul trace at `n = 10⁴` becomes ~2·10⁴ classes built
+/// in microseconds.
+///
+/// [`AnalyticProfile::into_profile`] finalizes into a [`CapacityProfile`]
+/// that is **bit-identical** (including structurally, `==`) to replaying
+/// the described trace through [`StackDistance`] — the kernel registry
+/// pins this per kernel by property test. The profile reports
+/// [`CapacityProfile::is_exact`]` == true`; a wrong derivation is a bug,
+/// not an approximation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalyticProfile {
+    accesses: u64,
+    compulsory: u64,
+    /// Recorded `(distance, count)` classes, any order, duplicates allowed
+    /// (merged at finalization).
+    classes: Vec<(u64, u64)>,
+}
+
+impl AnalyticProfile {
+    /// An empty histogram: record classes into it.
+    #[must_use]
+    pub fn new() -> AnalyticProfile {
+        AnalyticProfile::default()
+    }
+
+    /// The histogram of a trace touching `accesses` distinct addresses
+    /// once each — the degenerate closed form
+    /// ([`CapacityProfile::one_touch`]'s builder-side spelling).
+    #[must_use]
+    pub fn one_touch(accesses: u64) -> AnalyticProfile {
+        AnalyticProfile {
+            accesses,
+            compulsory: accesses,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Records `count` first-touch (compulsory-miss) accesses.
+    pub fn record_compulsory(&mut self, count: u64) {
+        self.accesses += count;
+        self.compulsory += count;
+    }
+
+    /// Records a reuse class: `count` accesses with stack distance
+    /// exactly `distance` (hits at every capacity ≥ `distance`). Classes
+    /// may be recorded in any order and may repeat; zero counts are
+    /// accepted and dropped (edge sizes degenerate classes to nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `distance == 0` — a reuse is at depth ≥ 1 by definition.
+    pub fn record_class(&mut self, distance: u64, count: u64) {
+        assert!(distance >= 1, "a reuse has stack distance >= 1");
+        self.accesses += count;
+        if count > 0 {
+            self.classes.push((distance, count));
+        }
+    }
+
+    /// Accesses recorded so far (compulsory + every class count).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// First-touch accesses recorded so far.
+    #[must_use]
+    pub fn compulsory(&self) -> u64 {
+        self.compulsory
+    }
+
+    /// Finalizes into an exact [`CapacityProfile`]: classes are sorted,
+    /// duplicate distances merged, and cumulated into the piecewise
+    /// breakpoint form — O(#classes · log #classes), independent of the
+    /// described trace's length.
+    #[must_use]
+    pub fn into_profile(self) -> CapacityProfile {
+        let mut classes = self.classes;
+        classes.sort_unstable_by_key(|&(d, _)| d);
+        let mut steps: Vec<(u64, u64)> = Vec::with_capacity(classes.len());
+        let mut acc = 0u64;
+        for (d, c) in classes {
+            acc += c;
+            match steps.last_mut() {
+                Some(last) if last.0 == d => last.1 = acc,
+                _ => steps.push((d, acc)),
+            }
+        }
+        CapacityProfile {
+            accesses: self.accesses,
+            compulsory: self.compulsory,
+            steps,
+            shift: 0,
+        }
     }
 }
 
@@ -1227,5 +1360,76 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_address_bound_panics() {
         let _ = StackDistance::with_address_bound(0);
+    }
+
+    #[test]
+    fn analytic_builder_matches_engine_structurally() {
+        // Trace: 1 2 3 1 1 2 — distances: 3 (first 1-reuse), 1, 3.
+        let trace = [1u64, 2, 3, 1, 1, 2];
+        let engine = StackDistance::profile_of(trace.iter().copied());
+        let mut a = AnalyticProfile::new();
+        a.record_compulsory(3);
+        a.record_class(3, 1); // classes out of order and split on purpose
+        a.record_class(1, 1);
+        a.record_class(3, 1); // duplicate distance: merged at finalization
+        a.record_class(5, 0); // zero count: dropped
+        assert_eq!(a.accesses(), 6);
+        assert_eq!(a.compulsory(), 3);
+        let built = a.into_profile();
+        assert_eq!(built, engine);
+        assert!(built.is_exact());
+    }
+
+    #[test]
+    fn analytic_one_touch_matches_streamed_one_touch() {
+        let built = AnalyticProfile::one_touch(5).into_profile();
+        assert_eq!(built, CapacityProfile::one_touch(5));
+        assert_eq!(built, StackDistance::profile_of([10u64, 11, 12, 13, 14]));
+    }
+
+    #[test]
+    fn analytic_empty_profile_is_the_empty_trace() {
+        let built = AnalyticProfile::new().into_profile();
+        assert_eq!(built, StackDistance::profile_of([]));
+        assert_eq!(built.misses_at(0), 0);
+        assert_eq!(built.misses_at(u64::MAX), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stack distance")]
+    fn analytic_zero_distance_class_panics() {
+        AnalyticProfile::new().record_class(0, 3);
+    }
+
+    #[test]
+    fn profile_queries_pin_zero_and_past_saturation_capacities() {
+        // misses_at(0) is every access; past saturation only compulsory
+        // misses remain. Holds for streamed and analytic construction.
+        let trace = [1u64, 2, 1, 3, 2, 1];
+        for profile in [StackDistance::profile_of(trace.iter().copied()), {
+            let mut a = AnalyticProfile::new();
+            a.record_compulsory(3);
+            a.record_class(2, 1);
+            a.record_class(3, 2);
+            a.into_profile()
+        }] {
+            assert_eq!(profile.misses_at(0), 6);
+            assert_eq!(profile.hits_at(0), 0);
+            assert_eq!(profile.saturating_capacity(), 3);
+            assert_eq!(profile.misses_at(3), 3);
+            assert_eq!(profile.misses_at(u64::MAX), 3);
+        }
+    }
+
+    #[test]
+    fn reuse_classes_round_trip_the_profile() {
+        let trace = [1u64, 2, 1, 3, 2, 1, 2, 2, 3];
+        let profile = StackDistance::profile_of(trace.iter().copied());
+        let mut rebuilt = AnalyticProfile::new();
+        rebuilt.record_compulsory(profile.compulsory_misses());
+        for (d, c) in profile.reuse_classes() {
+            rebuilt.record_class(d, c);
+        }
+        assert_eq!(rebuilt.into_profile(), profile);
     }
 }

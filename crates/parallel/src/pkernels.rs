@@ -409,21 +409,17 @@ impl ParallelKernel for ParTranspose {
     }
 
     fn io_profile(&self, n: usize, _topology: Topology) -> Option<ExternalIoProfile> {
-        if n == 0 {
-            return None;
-        }
         // Transpose touches every word of A and T exactly once at any
         // blocking and any PE count: the aggregate trace is one pass over
         // the dense `[0, 2n²)` range, so external traffic is all
-        // compulsory — 2n² at every pooled memory. `one_touch` is that
-        // trace's profile in closed form (pinned equal to the replayed
-        // engine by test), so no replay, no O(n²) tables, and no address
-        // bound to outgrow. Ops: one move per element.
+        // compulsory — 2n² at every pooled memory. The serial kernel's
+        // analytic tier carries exactly that one-touch histogram in
+        // closed form (registry-pinned equal to the replayed engine), so
+        // no replay, no O(n²) tables, and no address bound to outgrow.
+        // Ops: one move per element.
         let n64 = n as u64;
-        Some(ExternalIoProfile::new(
-            n64 * n64,
-            CapacityProfile::one_touch(2 * n64 * n64),
-        ))
+        let profile = balance_kernels::transpose::Transpose.analytic_profile(n)?;
+        Some(ExternalIoProfile::new(n64 * n64, profile.into_profile()))
     }
 
     fn description(&self) -> &'static str {

@@ -6,16 +6,21 @@
 # BENCH_<n>.json at the repo root, seeding the perf trajectory tracked
 # across PRs.
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_7.json)
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_8.json)
 #
-# PR 7 adds the checkpoint_overhead/* tier: the resumable replay with
+# PR 7 added the checkpoint_overhead/* tier: the resumable replay with
 # checkpoints every 2^24 addresses (the production default) must stay
 # within ~5% of the uncheckpointed replay, with the every-2^20 tier
-# showing the amortized cost of real image writes.
+# showing the amortized cost of real image writes (the tiers now share
+# one warm-up pass, so run order no longer skews the comparison).
+#
+# PR 8 adds the analytic tier: capacity_sweep_matmul_n96/engine_analytic
+# (the closed-form histogram, zero replay) and the headline
+# analytic_vs_stackdist_speedup ratio, which must stay >= 100x.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 # Absolute path: cargo bench runs each target with cwd = its package dir.
 jsonl="$(pwd)/target/bench_smoke.jsonl"
 rm -f "$jsonl"
