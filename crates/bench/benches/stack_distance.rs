@@ -80,14 +80,14 @@ fn bench_engine_overhead(c: &mut Criterion) {
     g.bench_function("histogram_direct", |b| {
         b.iter(|| {
             let mut engine = balance_machine::StackDistance::with_address_bound(bound);
-            engine.observe_trace(balance_kernels::matmul::NaiveTrace::new(n));
+            engine.observe_trace(balance_kernels::matmul::NaiveTrace::new(n).map(|a| a.addr));
             engine.into_profile()
         });
     });
     g.bench_function("lru_direct", |b| {
         b.iter(|| {
             let mut cache = balance_machine::LruCache::with_address_bound(3072, 1, bound);
-            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n))
+            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n).map(|a| a.addr))
         });
     });
     g.finish();
@@ -102,7 +102,7 @@ fn bench_checkpoint_overhead(c: &mut Criterion) {
     let fresh = move || balance_machine::StackDistance::with_address_bound(bound);
     let run_off = move || {
         let mut engine = fresh();
-        engine.observe_trace(balance_kernels::matmul::NaiveTrace::new(n));
+        engine.observe_trace(balance_kernels::matmul::NaiveTrace::new(n).map(|a| a.addr));
         engine.into_profile()
     };
     let dir = std::env::temp_dir().join(format!("balance-bench-ckpt-{}", std::process::id()));
@@ -115,7 +115,7 @@ fn bench_checkpoint_overhead(c: &mut Criterion) {
         ctl.policy = Some(policy);
         let (engine, _) = balance_machine::resumable_replay(
             len,
-            balance_kernels::matmul::NaiveTrace::new(n),
+            balance_kernels::trace::AddrIter::new(balance_kernels::matmul::NaiveTrace::new(n)),
             fresh,
             &ctl,
         )

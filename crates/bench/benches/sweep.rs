@@ -74,13 +74,13 @@ fn bench_trace_streaming(c: &mut Criterion) {
     g.bench_function("direct_indexed", |b| {
         b.iter(|| {
             let mut cache = balance_machine::LruCache::with_address_bound(3072, 1, bound);
-            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n))
+            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n).map(|a| a.addr))
         });
     });
     g.bench_function("hashed_fallback", |b| {
         b.iter(|| {
             let mut cache = balance_machine::LruCache::new(3072, 1);
-            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n))
+            cache.run_trace(balance_kernels::matmul::NaiveTrace::new(n).map(|a| a.addr))
         });
     });
     g.finish();

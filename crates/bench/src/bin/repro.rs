@@ -1,8 +1,9 @@
 //! Regenerates every table and figure of Kung (1985).
 //!
 //! Usage: `repro [--scale small|large] [all | <id>...]` where ids are
-//! F1–F4, E1–E15, and E20–E24 (aliases: `hierarchy`, `parallel`,
-//! `onepass`, `bigtrace`, `resume`). `--scale large` runs the scale-sensitive
+//! F1–F4, E1–E15, and E20–E26 (aliases: `hierarchy`, `parallel`,
+//! `onepass`, `bigtrace`, `resume`, `analytic`, `devices`). `--scale
+//! large` runs the scale-sensitive
 //! experiments at the sizes the measurement engine was rebuilt for:
 //! E13's 402M-address ablation and E23's 1.03G-address segmented +
 //! sampled capacity curve. Exits nonzero if any requested experiment's

@@ -257,6 +257,29 @@ pub fn engine_by_name_for(
     }
 }
 
+/// [`engine_by_name_for`] with the sweep's [`TrafficModel`] in hand:
+/// `auto` resolves through [`Engine::auto_for_model`], so device-real
+/// models land on the tagged engines (never the word-granular analytic /
+/// segmented / sampled tiers). Explicit names parse unchanged — the sweep
+/// itself rejects engine/model combinations it cannot price.
+///
+/// # Errors
+///
+/// As [`engine_by_name`].
+pub fn engine_by_name_for_model(
+    name: &str,
+    points: usize,
+    kernel: &dyn Kernel,
+    n: usize,
+    model: TrafficModel,
+) -> Result<Engine, String> {
+    if name == "auto" {
+        Ok(Engine::auto_for_model(points, kernel, n, model))
+    } else {
+        engine_by_name(name, points)
+    }
+}
+
 /// The kernel registry for the sweep commands, keyed by CLI name.
 fn kernel_by_name(name: &str) -> Result<Box<dyn Kernel>, String> {
     Ok(match name {
@@ -336,9 +359,9 @@ pub fn parse_checkpoint(flags: &Flags) -> Result<Option<CheckpointPolicy>, Strin
 
 /// `balance sweep --kernel <name> --n <size> [--seed <u64>]
 /// [--verify full|freivalds|none] [--engine replay|stackdist|auto]
-/// [--max-wall-secs <s>] [--max-resident-bytes <b>] [--max-addresses <a>]
-/// [--ckpt-dir <path> [--ckpt-every <addrs>]]`: run a real measured sweep
-/// (in parallel across cores) and fit the law.
+/// [--line-words <L>] [--max-wall-secs <s>] [--max-resident-bytes <b>]
+/// [--max-addresses <a>] [--ckpt-dir <path> [--ckpt-every <addrs>]]`: run
+/// a real measured sweep (in parallel across cores) and fit the law.
 ///
 /// Without `--engine` the sweep runs the kernel's *decomposition scheme*
 /// once per memory size (the §3 measurement). With `--engine` it measures
@@ -351,6 +374,13 @@ pub fn parse_checkpoint(flags: &Flags) -> Result<Option<CheckpointPolicy>, Strin
 /// tripped budget degrades the engine down the sampling ladder (reported
 /// on a `provenance:` line), and a checkpoint directory makes the replay
 /// resumable after a kill.
+///
+/// `--line-words L` (cache-model engines only) makes the measurement
+/// device-real: the cache moves whole `L`-word lines, and dirty lines
+/// are ledgered as separate write-back traffic alongside the read
+/// stream. `L` must be a positive power of two; the tagged engines
+/// (`replay`, `stackdist`) price this model, and `auto` resolves within
+/// them.
 ///
 /// # Errors
 ///
@@ -374,8 +404,19 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
                 .to_string(),
         );
     }
+    let line_words = parse_line_words(flags)?;
+    if line_words.is_some() && flags.str_opt("engine").is_none() {
+        return Err(
+            "--line-words prices the cache-model engines: \
+             add --engine (e.g. --engine stackdist)"
+                .to_string(),
+        );
+    }
+    let model = line_words.map_or(TrafficModel::WORD, TrafficModel::device);
     let kernel = kernel_by_name(name)?;
-    let mut cfg = SweepConfig::pow2(n, 5, 12, seed).with_verify(verify);
+    let mut cfg = SweepConfig::pow2(n, 5, 12, seed)
+        .with_verify(verify)
+        .with_traffic(model);
     if let Some(budget) = budget {
         cfg = cfg.with_budget(budget);
     }
@@ -384,10 +425,16 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
     }
     let (result, header) = match flags.str_opt("engine") {
         Some(engine) => {
-            let engine = engine_by_name_for(engine, cfg.memories.len(), kernel.as_ref(), n)?;
+            let engine =
+                engine_by_name_for_model(engine, cfg.memories.len(), kernel.as_ref(), n, model)?;
             let result = capacity_sweep_par(kernel.as_ref(), &cfg.clone().with_engine(engine))
                 .map_err(|e| e.to_string())?;
             let mut header = format!("cache-model capacity sweep ({engine:?} engine)\n");
+            if let Some(lw) = line_words {
+                header.push_str(&format!(
+                    "traffic model: {lw}-word lines, dirty write-backs ledgered\n"
+                ));
+            }
             if let Some(prov) = &result.provenance {
                 header.push_str(&format!("provenance: {}\n", prov.describe()));
             }
@@ -399,18 +446,36 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
         ),
     };
     let mut out = header;
-    out.push_str(&format!(
-        "{:>10} {:>14} {:>14} {:>10}\n",
-        "M (words)", "C_comp", "C_io", "ratio"
-    ));
-    for run in &result.runs {
+    if line_words.is_some() {
         out.push_str(&format!(
-            "{:>10} {:>14} {:>14} {:>10.3}\n",
-            run.m,
-            run.execution.cost.comp_ops(),
-            run.execution.cost.io_words(),
-            run.intensity()
+            "{:>10} {:>14} {:>14} {:>12} {:>10}\n",
+            "M (words)", "C_comp", "C_read", "C_wb", "ratio"
         ));
+    } else {
+        out.push_str(&format!(
+            "{:>10} {:>14} {:>14} {:>10}\n",
+            "M (words)", "C_comp", "C_io", "ratio"
+        ));
+    }
+    for run in &result.runs {
+        if line_words.is_some() {
+            out.push_str(&format!(
+                "{:>10} {:>14} {:>14} {:>12} {:>10.3}\n",
+                run.m,
+                run.execution.cost.comp_ops(),
+                run.execution.cost.read_at(0).unwrap_or(0),
+                run.execution.cost.writeback_at(0).unwrap_or(0),
+                run.intensity()
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:>10} {:>14} {:>14} {:>10.3}\n",
+                run.m,
+                run.execution.cost.comp_ops(),
+                run.execution.cost.io_words(),
+                run.intensity()
+            ));
+        }
     }
     let fit = result.fit().map_err(|e| e.to_string())?;
     out.push_str(&format!(
@@ -421,24 +486,27 @@ pub fn cmd_sweep(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
-/// Parses a `--levels CAP:BW[:LAT][,CAP:BW[:LAT]...]` hierarchy
+/// Parses a `--levels CAP:BW[:LAT[:LINE[:WBW]]][,...]` hierarchy
 /// description (innermost level first; capacities in words, bandwidths in
-/// words/s, optional per-word access latencies in seconds).
+/// words/s, optional per-word access latencies in seconds, optional
+/// device-real fields: LINE is the level's transfer line in words — a
+/// power of two, 1 = word-granular — and WBW a separate write-back
+/// bandwidth in words/s for asymmetric devices like flash).
 ///
 /// # Errors
 ///
 /// User-facing messages for malformed items, zero capacities, non-positive
-/// bandwidths, negative or non-finite latencies, and capacities that do
-/// not grow outward.
+/// bandwidths, negative or non-finite latencies, non-power-of-two line
+/// sizes, bad write bandwidths, and capacities that do not grow outward.
 pub fn parse_levels(s: &str) -> Result<HierarchySpec, String> {
     let mut levels = Vec::new();
     for (i, item) in s.split(',').enumerate() {
         let item = item.trim();
         let fields: Vec<&str> = item.split(':').map(str::trim).collect();
-        if !(2..=3).contains(&fields.len()) {
+        if !(2..=5).contains(&fields.len()) {
             return Err(format!(
-                "level {}: expected CAP:BW[:LAT], got '{item}' \
-                 (e.g. --levels 1024:1e8,65536:1e7:2e-7)",
+                "level {}: expected CAP:BW[:LAT[:LINE[:WBW]]], got '{item}' \
+                 (e.g. --levels 1024:1e8,65536:1e7:2e-7:8:5e6)",
                 i + 1
             ));
         }
@@ -458,14 +526,54 @@ pub fn parse_levels(s: &str) -> Result<HierarchySpec, String> {
                 .with_latency(Seconds::new(lat))
                 .map_err(|e| format!("level {}: {e}", i + 1))?;
         }
+        if let Some(line) = fields.get(3) {
+            let line: u64 = line
+                .parse()
+                .map_err(|e| format!("level {}: line size '{line}': {e}", i + 1))?;
+            level = level
+                .with_line_words(line)
+                .map_err(|e| format!("level {}: {e}", i + 1))?;
+        }
+        if let Some(wbw) = fields.get(4) {
+            let wbw: f64 = wbw
+                .parse()
+                .map_err(|e| format!("level {}: write bandwidth '{wbw}': {e}", i + 1))?;
+            level = level
+                .with_write_bandwidth(WordsPerSec::new(wbw))
+                .map_err(|e| format!("level {}: {e}", i + 1))?;
+        }
         levels.push(level);
     }
     HierarchySpec::new(levels).map_err(|e| e.to_string())
 }
 
-/// `balance hierarchy --levels CAP:BW[:LAT][,...] [--c <ops/s>]
-/// [--kernel <name> [--n <size>] [--engine replay|stackdist|auto]]`: the
-/// balance law per level of a memory hierarchy.
+/// Parses the optional `--line-words` flag: the sweep-wide transfer line
+/// in words, turning the measurement device-real (line-granular reads
+/// plus a dirty-write-back ledger). `None` when absent; `1` is valid and
+/// means "word-granular lines, write-backs still ledgered".
+///
+/// # Errors
+///
+/// A one-line diagnostic for zero, non-power-of-two, or unparsable
+/// values.
+pub fn parse_line_words(flags: &Flags) -> Result<Option<u64>, String> {
+    if flags.str_opt("line-words").is_none() {
+        return Ok(None);
+    }
+    let lw = flags.u64("line-words")?;
+    if lw == 0 || !lw.is_power_of_two() {
+        return Err(format!(
+            "--line-words {lw}: the transfer line must be a positive power of \
+             two words (1 keeps word-granular lines with the write-back ledger)"
+        ));
+    }
+    Ok(Some(lw))
+}
+
+/// `balance hierarchy --levels CAP:BW[:LAT[:LINE[:WBW]]][,...]
+/// [--c <ops/s>] [--kernel <name> [--n <size>] [--line-words <L>]
+/// [--engine replay|stackdist|auto]]`: the balance law per level of a
+/// memory hierarchy.
 ///
 /// Prints each boundary's ridge point, then — for each law in
 /// [`MODEL_NAMES`] — the attainable throughput
@@ -477,7 +585,11 @@ pub fn parse_levels(s: &str) -> Result<HierarchySpec, String> {
 /// cache-managed), reporting each boundary's word traffic and measured
 /// per-level intensity. The default `stackdist` engine reads every
 /// boundary off one replay; `replay` runs the actual chained ladder
-/// (bit-identical).
+/// (bit-identical). A LINE/WBW annotation on any level — or an explicit
+/// `--line-words` — switches the measurement to the device-real model:
+/// line-granular transfers with a dirty-write-back ledger per boundary
+/// (ladders mixing line sizes need the `replay` engine, picked
+/// automatically when no `--engine` is given).
 ///
 /// # Errors
 ///
@@ -549,12 +661,29 @@ pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
             Some(_) => flags.u64("n")? as usize,
             Option::None => 32,
         };
+        // Device-real measurement when any level is annotated (LINE/WBW
+        // fields) or --line-words asks for it; the flag sets the sweep's
+        // line, otherwise the innermost level's annotation does.
+        let line_words = parse_line_words(flags)?;
+        let model_line = line_words.unwrap_or_else(|| spec.level(0).line_words());
+        let device = line_words.is_some() || spec.is_device_real();
+        let model = if device {
+            TrafficModel::device(model_line)
+        } else {
+            TrafficModel::WORD
+        };
+        // Outer levels without their own LINE annotation inherit the
+        // sweep's line; the one-pass engine needs them all equal.
+        let uniform = spec.levels()[1..]
+            .iter()
+            .all(|l| l.line_words() <= 1 || l.line_words() == model_line);
         // `auto`'s point count here is the number of capacities read off
         // the histogram — the ladder depth, not the single sweep point
         // (a depth-d replay costs ~d LRU updates per address, so shallow
         // ladders favor the plain replay and deep ones the histogram).
         let engine = match flags.str_opt("engine") {
-            Some(e) => engine_by_name_for(e, spec.depth(), kernel.as_ref(), n)?,
+            Some(e) => engine_by_name_for_model(e, spec.depth(), kernel.as_ref(), n, model)?,
+            Option::None if device && !uniform => Engine::Replay,
             Option::None => Engine::StackDist,
         };
         let cfg = SweepConfig {
@@ -564,7 +693,8 @@ pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
             verify: Verify::None,
             engine,
             ..SweepConfig::default()
-        };
+        }
+        .with_traffic(model);
         let outer: Vec<LevelSpec> = spec.levels()[1..].to_vec();
         let result = hierarchy_capacity_sweep(kernel.as_ref(), &cfg, &outer)
             .map_err(|e| e.to_string())?;
@@ -572,18 +702,36 @@ pub fn cmd_hierarchy(flags: &Flags) -> Result<String, String> {
             .runs
             .first()
             .ok_or_else(|| "no measurable capacity point".to_string())?;
-        out.push_str(&format!(
-            "\nmeasured ({kname} canonical trace, n = {n}, {engine:?} engine, one replay):\n\
-             {:<6} {:>14} {:>14}\n",
-            "level", "io_i (words)", "r_i (op/word)"
-        ));
-        for i in 0..run.execution.cost.level_count() {
+        if device {
             out.push_str(&format!(
-                "L{:<5} {:>14} {:>14.3}\n",
-                i + 1,
-                run.execution.cost.io_at(i).unwrap_or(0),
-                run.execution.cost.intensity_at(i).unwrap_or(0.0)
+                "\nmeasured ({kname} canonical trace, n = {n}, {engine:?} engine, \
+                 {model_line}-word lines, write-backs ledgered):\n\
+                 {:<6} {:>14} {:>14} {:>14}\n",
+                "level", "read_i (words)", "wb_i (words)", "r_i (op/word)"
             ));
+            for i in 0..run.execution.cost.level_count() {
+                out.push_str(&format!(
+                    "L{:<5} {:>14} {:>14} {:>14.3}\n",
+                    i + 1,
+                    run.execution.cost.read_at(i).unwrap_or(0),
+                    run.execution.cost.writeback_at(i).unwrap_or(0),
+                    run.execution.cost.intensity_at(i).unwrap_or(0.0)
+                ));
+            }
+        } else {
+            out.push_str(&format!(
+                "\nmeasured ({kname} canonical trace, n = {n}, {engine:?} engine, one replay):\n\
+                 {:<6} {:>14} {:>14}\n",
+                "level", "io_i (words)", "r_i (op/word)"
+            ));
+            for i in 0..run.execution.cost.level_count() {
+                out.push_str(&format!(
+                    "L{:<5} {:>14} {:>14.3}\n",
+                    i + 1,
+                    run.execution.cost.io_at(i).unwrap_or(0),
+                    run.execution.cost.intensity_at(i).unwrap_or(0.0)
+                ));
+            }
         }
     }
     Ok(out)
@@ -763,15 +911,24 @@ USAGE:
       set a resource budget — a tripped budget degrades the engine down
       the sampling ladder and reports the substitution on a provenance
       line; --ckpt-dir <path> [--ckpt-every <addrs>] checkpoints the
-      replay so a killed run resumes from the last image.
-  balance hierarchy --levels CAP:BW[:LAT][,CAP:BW[:LAT]...] [--c <ops/s>] [--kernel <name> [--n <size>] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|analytic|auto]]
+      replay so a killed run resumes from the last image. --line-words L
+      (cache-model engines only) makes the measurement device-real: the
+      cache moves whole L-word lines (L a power of two) and dirty lines
+      are ledgered as separate write-back traffic next to the reads.
+  balance hierarchy --levels CAP:BW[:LAT[:LINE[:WBW]]][,...] [--c <ops/s>] [--kernel <name> [--n <size>] [--line-words <L>] [--engine replay|stackdist|stackdist-par[:K]|sampled[:S]|analytic|auto]]
       The balance law per level of a memory hierarchy (innermost level
       first): per-boundary ridges, binding level, and balanced capacity
       per level for each of the paper's intensity laws. LAT is the level's
       per-word access latency in seconds; it lowers the level's effective
-      bandwidth and therefore raises its ridge. With --kernel, append the
-      measured per-boundary traffic of the kernel's canonical trace
-      through this ladder, read off one stack-distance replay.
+      bandwidth and therefore raises its ridge. LINE gives the level its
+      own transfer line in words (a power of two; 1 = word-granular) and
+      WBW a separate write-back bandwidth in words/s for asymmetric
+      devices — either annotation (or --line-words) switches the measured
+      section to the device-real model, with a dirty-write-back ledger
+      per boundary. With --kernel, append the measured per-boundary
+      traffic of the kernel's canonical trace through this ladder, read
+      off one stack-distance replay (mixed-line ladders replay the actual
+      chained ladder instead).
   balance parallel --pes <P> --topology <linear|mesh> [--kernel matmul|transpose|grid2] [--n <size>] [--seed <u64>]
       Run a kernel on a measured P-PE machine (Warp cells) across a per-PE
       memory sweep: external vs communication traffic, the balance verdict
@@ -1260,8 +1417,176 @@ mod tests {
         // Unparsable latency.
         assert!(parse_levels("1024:1e8:soon").unwrap_err().contains("latency"));
         // Too many fields.
-        let err = parse_levels("1024:1e8:0.5:7").unwrap_err();
-        assert!(err.contains("expected CAP:BW[:LAT]"), "{err}");
+        let err = parse_levels("1024:1e8:0.5:8:5e6:9").unwrap_err();
+        assert!(err.contains("expected CAP:BW[:LAT[:LINE[:WBW]]]"), "{err}");
+    }
+
+    #[test]
+    fn levels_parse_device_fields() {
+        // LINE: the level's own transfer granularity.
+        let spec = parse_levels("1024:1e8,65536:1e7:2e-7:8").unwrap();
+        assert_eq!(spec.level(0).line_words(), 1);
+        assert_eq!(spec.level(1).line_words(), 8);
+        assert!(spec.level(1).write_bandwidth().is_none());
+        assert!(spec.is_device_real());
+        // WBW: a split write channel (flash-style asymmetric pricing).
+        let spec = parse_levels("1024:1e8,65536:1e7:0:64:2.5e6").unwrap();
+        assert_eq!(spec.level(1).line_words(), 64);
+        assert_eq!(spec.level(1).write_bandwidth().map(|b| b.get()), Some(2.5e6));
+        // Whitespace tolerated; LINE = 1 is the explicit word-granular spelling.
+        let spec = parse_levels(" 64 : 2.5 : 0 : 1 ").unwrap();
+        assert_eq!(spec.level(0).line_words(), 1);
+        assert!(!spec.is_device_real());
+    }
+
+    #[test]
+    fn levels_reject_bad_device_fields() {
+        // LINE must be a positive power of two.
+        let err = parse_levels("1024:1e8:0:0").unwrap_err();
+        assert!(err.contains("level 1"), "{err}");
+        assert!(err.contains("power of two"), "{err}");
+        assert!(parse_levels("1024:1e8:0:7").unwrap_err().contains("power of two"));
+        assert!(parse_levels("1024:1e8:0:wide").unwrap_err().contains("line size"));
+        // WBW must be a positive finite bandwidth.
+        let err = parse_levels("1024:1e8:0:8:0").unwrap_err();
+        assert!(err.contains("write bandwidth"), "{err}");
+        assert!(parse_levels("1024:1e8:0:8:-1").is_err());
+        assert!(parse_levels("1024:1e8:0:8:slow").unwrap_err().contains("write bandwidth"));
+        // Every diagnostic stays on one line.
+        for bad in ["1024:1e8:0:0", "1024:1e8:0:7", "1024:1e8:0:8:0"] {
+            let err = parse_levels(bad).unwrap_err();
+            assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+        }
+    }
+
+    #[test]
+    fn line_words_flag_parses_and_rejects() {
+        let none = Flags::parse(&args(&[])).unwrap();
+        assert_eq!(parse_line_words(&none), Ok(None));
+        let f = Flags::parse(&args(&["--line-words", "8"])).unwrap();
+        assert_eq!(parse_line_words(&f), Ok(Some(8)));
+        let f = Flags::parse(&args(&["--line-words", "1"])).unwrap();
+        assert_eq!(parse_line_words(&f), Ok(Some(1)));
+        for bad in ["0", "3", "12", "banana", "-8"] {
+            let f = Flags::parse(&args(&["--line-words", bad])).unwrap();
+            let err = parse_line_words(&f).unwrap_err();
+            assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+        }
+        // The domain errors name the rule.
+        let f = Flags::parse(&args(&["--line-words", "3"])).unwrap();
+        assert!(parse_line_words(&f).unwrap_err().contains("power of two"));
+    }
+
+    #[test]
+    fn sweep_line_words_runs_the_device_engines_bit_identically() {
+        let base = &["--kernel", "matmul", "--n", "16", "--line-words", "2"];
+        let onepass = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "stackdist"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        let replay = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "replay"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        // The model line renders, the table carries the dual ledger, and
+        // both engines agree on every number below the engine header.
+        assert!(onepass.contains("2-word lines"), "{onepass}");
+        assert!(onepass.contains("C_wb"), "{onepass}");
+        let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(strip(&onepass), strip(&replay));
+        // Device sweeps differ from the word-granular cache-model curve.
+        let word = cmd_sweep(
+            &Flags::parse(&args(&[
+                "--kernel", "matmul", "--n", "16", "--engine", "stackdist",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_ne!(strip(&onepass), strip(&word));
+        // auto resolves inside the tagged engines — never the analytic or
+        // sampled word-granular tiers.
+        let auto = cmd_sweep(
+            &Flags::parse(&args(&[base, &["--engine", "auto"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        assert!(!auto.contains("Analytic"), "{auto}");
+        assert!(!auto.contains("Sampled"), "{auto}");
+    }
+
+    #[test]
+    fn sweep_line_words_flag_is_hardened() {
+        let run = |extra: &[&str]| {
+            cmd_sweep(
+                &Flags::parse(&args(
+                    &[&["--kernel", "matmul", "--n", "8"][..], extra].concat(),
+                ))
+                .unwrap(),
+            )
+        };
+        // Malformed values are one-line diagnostics.
+        for bad in ["0", "3", "banana"] {
+            let err = run(&["--engine", "stackdist", "--line-words", bad]).unwrap_err();
+            assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+        }
+        // Without an engine the flag would silently not price anything.
+        let err = run(&["--line-words", "4"]).unwrap_err();
+        assert!(err.contains("--engine"), "{err}");
+        // Engines that cannot price the model are refused by the sweep
+        // with a directed message, not silently degraded.
+        let err = run(&["--engine", "sampled:3", "--line-words", "4"]).unwrap_err();
+        assert!(err.contains("replay"), "{err}");
+        // Device sweeps run unbudgeted: the resumable drivers are
+        // word-granular machinery.
+        let err = run(&[
+            "--engine",
+            "stackdist",
+            "--line-words",
+            "4",
+            "--max-addresses",
+            "100",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unbudgeted"), "{err}");
+    }
+
+    #[test]
+    fn hierarchy_device_annotations_measure_write_backs() {
+        // An outer level with its own 8-word line: the measured section
+        // switches to the dual ledger, defaulting to the replay engine
+        // (mixed granularity: word-granular local under an 8-word line).
+        let mixed = cmd_hierarchy(
+            &Flags::parse(&args(&[
+                "--levels", "128:1e7,16384:1e6:0:8", "--kernel", "matmul", "--n", "16",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(mixed.contains("wb_i (words)"), "{mixed}");
+        assert!(mixed.contains("Replay"), "{mixed}");
+        // A uniform line (the flag covers the local level too) keeps the
+        // one-pass engine, bit-identical to the explicit replay run.
+        let base = &[
+            "--levels", "128:1e7,16384:1e6:0:8", "--kernel", "matmul", "--n", "16",
+            "--line-words", "8",
+        ];
+        let onepass = cmd_hierarchy(&Flags::parse(&args(base)).unwrap()).unwrap();
+        assert!(onepass.contains("StackDist"), "{onepass}");
+        assert!(onepass.contains("8-word lines"), "{onepass}");
+        let replay = cmd_hierarchy(
+            &Flags::parse(&args(&[base, &["--engine", "replay"][..]].concat())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(onepass.replace("StackDist", "Replay"), replay);
+        // The write-back ledger is live: matmul's C accumulation dirties
+        // lines, so some boundary records write-backs. (The measured rows
+        // are `L<i> read wb r`; the analytic rows above fail the u64
+        // parse on their scientific-notation bandwidth column.)
+        let some_wb = onepass
+            .lines()
+            .filter(|l| l.starts_with('L'))
+            .filter_map(|l| l.split_whitespace().nth(2)?.parse::<u64>().ok())
+            .any(|wb| wb > 0);
+        assert!(some_wb, "{onepass}");
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub fn e13_lru_ablation_at(scale: Scale) -> Report {
     // At Scale::Large this turns five 402M-address cache replays into one.
     let profile = {
         let mut engine = StackDistance::with_address_bound(addr_bound);
-        engine.observe_trace(NaiveTrace::new(n));
+        engine.observe_trace(NaiveTrace::new(n).map(|a| a.addr));
         engine.into_profile()
     };
 

@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod amdahl_exp;
 pub mod analytic;
 pub mod bigtrace;
+pub mod devices;
 pub mod extension;
 pub mod figures;
 pub mod hierarchy_exp;
@@ -52,9 +53,9 @@ impl Scale {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 25] = [
+pub const ALL_IDS: [&str; 26] = [
     "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-    "E12", "E13", "E14", "E15", "E20", "E21", "E22", "E23", "E24", "E25",
+    "E12", "E13", "E14", "E15", "E20", "E21", "E22", "E23", "E24", "E25", "E26",
 ];
 
 /// Runs one experiment by id (case-insensitive) at the default scale.
@@ -96,6 +97,7 @@ pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
         "E23" | "BIGTRACE" => bigtrace::e23_bigtrace_at(scale),
         "E24" | "RESUME" => resume::e24_resume(),
         "E25" | "ANALYTIC" => analytic::e25_analytic(),
+        "E26" | "DEVICES" => devices::e26_devices(),
         _ => return None,
     })
 }

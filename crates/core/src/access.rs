@@ -1,0 +1,95 @@
+//! Tagged memory accesses: the device-realistic trace item.
+//!
+//! The paper's model prices a single scalar stream of words, but every
+//! real memory boundary distinguishes the direction of a transfer: a
+//! *read* (fetch) fills a line from the outer level, a *write* dirties it
+//! and eventually forces a write-back. [`Access`] is the trace item that
+//! carries that distinction — a word address plus an [`AccessKind`] tag —
+//! and is what every kernel's canonical trace yields (see
+//! `balance-kernels`' trace builders) and what the line-granular replay
+//! engines consume (`balance-machine`'s dirty-bit `LruCache` and the
+//! write-back ledger of its `TrafficProfile`).
+//!
+//! A read-modify-write (e.g. matmul's `C[i][j] += …` accumulation) is
+//! tagged [`AccessKind::Write`]: the fetch it implies is accounted anyway
+//! (a write miss allocates the line — write-allocate semantics), and the
+//! tag is what records that the line leaves dirty.
+
+use core::fmt;
+
+/// The direction of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AccessKind {
+    /// A load: fills the line, leaves it clean.
+    Read,
+    /// A store (or read-modify-write): fills the line under write-allocate
+    /// semantics and marks it dirty, so its eventual eviction emits a
+    /// write-back.
+    Write,
+}
+
+/// One tagged memory access: a word address and its direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Access {
+    /// The word address touched.
+    pub addr: u64,
+    /// Whether the access reads or writes the word.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A read of `addr`.
+    #[must_use]
+    pub const fn read(addr: u64) -> Self {
+        Access {
+            addr,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write of `addr`.
+    #[must_use]
+    pub const fn write(addr: u64) -> Self {
+        Access {
+            addr,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// True for [`AccessKind::Write`].
+    #[must_use]
+    pub const fn is_write(&self) -> bool {
+        matches!(self.kind, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            AccessKind::Read => write!(f, "R {}", self.addr),
+            AccessKind::Write => write!(f, "W {}", self.addr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_tag_direction() {
+        assert_eq!(Access::read(7).kind, AccessKind::Read);
+        assert_eq!(Access::write(7).kind, AccessKind::Write);
+        assert!(!Access::read(7).is_write());
+        assert!(Access::write(7).is_write());
+        assert_eq!(Access::read(7).addr, 7);
+    }
+
+    #[test]
+    fn display_shows_direction() {
+        assert_eq!(Access::read(3).to_string(), "R 3");
+        assert_eq!(Access::write(12).to_string(), "W 12");
+    }
+}

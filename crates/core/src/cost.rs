@@ -19,17 +19,30 @@ use crate::hierarchy::{HierarchySpec, MAX_MEMORY_LEVELS};
 use crate::pe::PeSpec;
 use crate::units::{OpsPerSec, Seconds, Words};
 
-/// Per-boundary I/O traffic, innermost boundary first.
+/// Per-boundary I/O traffic, innermost boundary first — a **dual ledger**
+/// of read (fetch) words and write-back words per boundary.
 ///
 /// Stored inline (up to [`MAX_MEMORY_LEVELS`] entries) so cost profiles
 /// stay `Copy` and hashable. Entry `i` is the number of words that crossed
 /// the boundary between level `i` and level `i+1` (the last entry faces the
 /// external world).
+///
+/// The historical scalar view survives as the **sum** of the two streams:
+/// [`LevelTraffic::get`], [`LevelTraffic::as_slice`], and `Display` all
+/// report `read + writeback` words, so every word-granular consumer (where
+/// write-backs are always zero) keeps its numbers bit for bit. The split
+/// is read back with [`LevelTraffic::read_at`] /
+/// [`LevelTraffic::writeback_at`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LevelTraffic {
     len: u8,
+    /// Total words per boundary: read (fetch) + write-back.
     words: [u64; MAX_MEMORY_LEVELS],
+    /// The write-back share of `words`, per boundary (all-zero in the
+    /// word-granular read-priced model).
+    #[cfg_attr(feature = "serde", serde(default))]
+    writebacks: [u64; MAX_MEMORY_LEVELS],
 }
 
 impl LevelTraffic {
@@ -38,7 +51,26 @@ impl LevelTraffic {
     pub const fn single(io_words: u64) -> Self {
         let mut words = [0u64; MAX_MEMORY_LEVELS];
         words[0] = io_words;
-        LevelTraffic { len: 1, words }
+        LevelTraffic {
+            len: 1,
+            words,
+            writebacks: [0u64; MAX_MEMORY_LEVELS],
+        }
+    }
+
+    /// A one-boundary dual ledger: `reads` fetch words plus `writebacks`
+    /// write-back words (the scalar view reports their sum).
+    #[must_use]
+    pub const fn single_rw(reads: u64, writebacks: u64) -> Self {
+        let mut words = [0u64; MAX_MEMORY_LEVELS];
+        words[0] = reads + writebacks;
+        let mut wb = [0u64; MAX_MEMORY_LEVELS];
+        wb[0] = writebacks;
+        LevelTraffic {
+            len: 1,
+            words,
+            writebacks: wb,
+        }
     }
 
     /// A traffic vector from per-boundary word counts.
@@ -58,7 +90,31 @@ impl LevelTraffic {
         LevelTraffic {
             len: traffic.len() as u8,
             words,
+            writebacks: [0u64; MAX_MEMORY_LEVELS],
         }
+    }
+
+    /// A dual-ledger traffic vector from per-boundary read (fetch) and
+    /// write-back word counts. The scalar view ([`LevelTraffic::get`],
+    /// [`LevelTraffic::as_slice`]) reports `read + writeback` per boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two slices differ in length or exceed
+    /// [`MAX_MEMORY_LEVELS`] boundaries.
+    #[must_use]
+    pub fn from_reads_and_writebacks(reads: &[u64], writebacks: &[u64]) -> Self {
+        assert_eq!(
+            reads.len(),
+            writebacks.len(),
+            "read and write-back ledgers must cover the same boundaries"
+        );
+        let mut t = LevelTraffic::from_slice(reads);
+        for (i, &wb) in writebacks.iter().enumerate() {
+            t.words[i] += wb;
+            t.writebacks[i] = wb;
+        }
+        t
     }
 
     /// Number of recorded boundaries.
@@ -93,7 +149,36 @@ impl LevelTraffic {
         }
     }
 
-    /// The recorded boundaries as a slice.
+    /// Read (fetch) words at boundary `level` — the total minus the
+    /// write-back share — or `None` beyond the recorded depth.
+    #[must_use]
+    pub const fn read_at(&self, level: usize) -> Option<u64> {
+        if level < self.len() {
+            Some(self.words[level] - self.writebacks[level])
+        } else {
+            None
+        }
+    }
+
+    /// Write-back words at boundary `level` (zero in the word-granular
+    /// read-priced model), or `None` beyond the recorded depth.
+    #[must_use]
+    pub const fn writeback_at(&self, level: usize) -> Option<u64> {
+        if level < self.len() {
+            Some(self.writebacks[level])
+        } else {
+            None
+        }
+    }
+
+    /// True when any boundary recorded write-back traffic.
+    #[must_use]
+    pub fn has_writebacks(&self) -> bool {
+        self.writebacks[..self.len()].iter().any(|&w| w > 0)
+    }
+
+    /// The recorded boundaries as a slice (total words: read +
+    /// write-back — the historical scalar view).
     #[must_use]
     pub fn as_slice(&self) -> &[u64] {
         &self.words[..self.len()]
@@ -109,14 +194,17 @@ impl LevelTraffic {
             other.len()
         };
         let mut words = [0u64; MAX_MEMORY_LEVELS];
+        let mut writebacks = [0u64; MAX_MEMORY_LEVELS];
         let mut i = 0;
         while i < len {
             words[i] = self.words[i] + other.words[i];
+            writebacks[i] = self.writebacks[i] + other.writebacks[i];
             i += 1;
         }
         LevelTraffic {
             len: len as u8,
             words,
+            writebacks,
         }
     }
 
@@ -135,7 +223,15 @@ impl fmt::Display for LevelTraffic {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{w}")?;
+            // All-read boundaries keep the pre-refactor rendering; dual
+            // ledgers annotate the write-back share ("10+4w" = 10 read
+            // words plus 4 write-back words, 14 total on the scalar view).
+            let wb = self.writebacks[i];
+            if wb == 0 {
+                write!(f, "{w}")?;
+            } else {
+                write!(f, "{}+{}w", w - wb, wb)?;
+            }
         }
         write!(f, "]")
     }
@@ -198,6 +294,33 @@ impl CostProfile {
         CostProfile { comp_ops, io }
     }
 
+    /// Creates a cost profile with per-boundary dual ledgers: read (fetch)
+    /// and write-back word counts, innermost first. The scalar accessors
+    /// report their sum per boundary.
+    ///
+    /// Empty slices normalize to one zero-traffic boundary, as
+    /// [`CostProfile::with_levels`] does.
+    ///
+    /// # Panics
+    ///
+    /// As [`LevelTraffic::from_reads_and_writebacks`]: mismatched slice
+    /// lengths or more than [`MAX_MEMORY_LEVELS`] boundaries panic.
+    #[must_use]
+    pub fn with_dual_levels(comp_ops: u64, reads: &[u64], writebacks: &[u64]) -> Self {
+        let io = if reads.is_empty() && writebacks.is_empty() {
+            LevelTraffic::single(0)
+        } else {
+            LevelTraffic::from_reads_and_writebacks(reads, writebacks)
+        };
+        CostProfile { comp_ops, io }
+    }
+
+    /// Creates a cost profile around an already-built traffic vector.
+    #[must_use]
+    pub const fn with_traffic(comp_ops: u64, io: LevelTraffic) -> Self {
+        CostProfile { comp_ops, io }
+    }
+
     /// Total operations `C_comp`.
     #[must_use]
     pub const fn comp_ops(&self) -> u64 {
@@ -217,10 +340,25 @@ impl CostProfile {
     }
 
     /// Traffic at boundary `level` (0 = PE port, last = external world),
-    /// or `None` beyond the recorded depth.
+    /// or `None` beyond the recorded depth. The total of both streams:
+    /// read (fetch) + write-back words.
     #[must_use]
     pub const fn io_at(&self, level: usize) -> Option<u64> {
         self.io.get(level)
+    }
+
+    /// Read (fetch) words at boundary `level`, or `None` beyond the
+    /// recorded depth.
+    #[must_use]
+    pub const fn read_at(&self, level: usize) -> Option<u64> {
+        self.io.read_at(level)
+    }
+
+    /// Write-back words at boundary `level`, or `None` beyond the
+    /// recorded depth.
+    #[must_use]
+    pub const fn writeback_at(&self, level: usize) -> Option<u64> {
+        self.io.writeback_at(level)
     }
 
     /// Number of recorded boundaries (1 for every flat profile).
@@ -291,24 +429,47 @@ impl CostProfile {
     /// bandwidth term plus its per-word access latency
     /// (`io_i · (1/IO_i + latency_i)`, see [`LevelSpec::seconds_per_word`]).
     ///
+    /// When the level prices its write-back stream on a separate channel
+    /// ([`LevelSpec::write_bandwidth`] is `Some`), the two streams overlap
+    /// (full duplex) and the boundary's time is the **max** of the read
+    /// channel's time and the write channel's time, each charging its own
+    /// words at its own bandwidth (the per-word access latency applies on
+    /// both). Without a separate write bandwidth the streams serialize on
+    /// the shared channel: the total (read + write-back) words are priced
+    /// at the one bandwidth, which at zero write-back traffic is exactly
+    /// the historical word-granular formula, bit for bit.
+    ///
     /// Returns `None` beyond the recorded traffic depth. Boundaries of
     /// `spec` deeper than the recorded traffic are simply not consulted
     /// (they saw no traffic); traffic deeper than `spec` is a caller error
     /// and also yields `None`.
     ///
     /// [`LevelSpec::seconds_per_word`]: crate::hierarchy::LevelSpec::seconds_per_word
+    /// [`LevelSpec::write_bandwidth`]: crate::hierarchy::LevelSpec::write_bandwidth
     #[must_use]
     pub fn io_time_at(&self, spec: &HierarchySpec, level: usize) -> Option<Seconds> {
         if level >= spec.depth() {
             return None;
         }
-        let io = self.io.get(level)? as f64;
+        let total = self.io.get(level)? as f64;
         let l = spec.level(level);
-        // Sum form rather than io·seconds_per_word: at zero latency this is
-        // exactly the historical io/IO_i, bit for bit.
-        Some(Seconds::new(
-            io / l.bandwidth().get() + io * l.latency().get(),
-        ))
+        match l.write_bandwidth() {
+            // Shared channel: price the sum. Sum form rather than
+            // io·seconds_per_word: at zero latency this is exactly the
+            // historical io/IO_i, bit for bit.
+            None => Some(Seconds::new(
+                total / l.bandwidth().get() + total * l.latency().get(),
+            )),
+            // Split channels: reads and write-backs overlap; the boundary
+            // is done when the slower stream drains.
+            Some(wbw) => {
+                let wb = self.io.writeback_at(level).unwrap_or(0) as f64;
+                let rd = total - wb;
+                let t_read = rd / l.bandwidth().get() + rd * l.latency().get();
+                let t_write = wb / wbw.get() + wb * l.latency().get();
+                Some(Seconds::new(t_read.max(t_write)))
+            }
+        }
     }
 
     /// The slowest boundary's I/O time on `spec` — the I/O subsystem is
@@ -656,6 +817,120 @@ mod tests {
     #[should_panic(expected = "exceed the supported maximum")]
     fn too_many_levels_panic() {
         let _ = LevelTraffic::from_slice(&[1; 9]);
+    }
+
+    #[test]
+    fn dual_ledger_scalar_view_is_the_sum() {
+        let t = LevelTraffic::from_reads_and_writebacks(&[10, 4], &[4, 1]);
+        assert_eq!(t.as_slice(), &[14, 5], "scalar view sums both streams");
+        assert_eq!(t.get(0), Some(14));
+        assert_eq!(t.read_at(0), Some(10));
+        assert_eq!(t.writeback_at(0), Some(4));
+        assert_eq!(t.read_at(1), Some(4));
+        assert_eq!(t.writeback_at(1), Some(1));
+        assert_eq!(t.read_at(2), None);
+        assert_eq!(t.writeback_at(2), None);
+        assert!(t.has_writebacks());
+        // Read-only vectors report a zero write-back stream everywhere.
+        let ro = LevelTraffic::from_slice(&[8, 4]);
+        assert_eq!(ro.read_at(0), Some(8));
+        assert_eq!(ro.writeback_at(0), Some(0));
+        assert!(!ro.has_writebacks());
+        // single_rw matches the general constructor.
+        assert_eq!(
+            LevelTraffic::single_rw(10, 4),
+            LevelTraffic::from_reads_and_writebacks(&[10], &[4])
+        );
+        assert_eq!(LevelTraffic::single_rw(7, 0), LevelTraffic::single(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "same boundaries")]
+    fn mismatched_dual_ledgers_panic() {
+        let _ = LevelTraffic::from_reads_and_writebacks(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn dual_ledger_combines_both_streams() {
+        let a = LevelTraffic::from_reads_and_writebacks(&[10], &[4]);
+        let b = LevelTraffic::from_reads_and_writebacks(&[5, 2], &[1, 2]);
+        let c = a.combined(&b);
+        assert_eq!(c.read_at(0), Some(15));
+        assert_eq!(c.writeback_at(0), Some(5));
+        assert_eq!(c.read_at(1), Some(2));
+        assert_eq!(c.writeback_at(1), Some(2));
+        assert_eq!(c.as_slice(), &[20, 4]);
+    }
+
+    #[test]
+    fn dual_ledger_display_annotates_writebacks() {
+        let t = LevelTraffic::from_reads_and_writebacks(&[10, 4], &[4, 0]);
+        assert_eq!(t.to_string(), "[10+4w, 4]");
+        // All-read vectors keep the pre-refactor rendering exactly.
+        assert_eq!(LevelTraffic::from_slice(&[8, 4, 2]).to_string(), "[8, 4, 2]");
+    }
+
+    #[test]
+    fn dual_profile_accessors() {
+        let cost = CostProfile::with_dual_levels(100, &[10, 4], &[4, 1]);
+        assert_eq!(cost.io_at(0), Some(14), "io_at is the scalar sum");
+        assert_eq!(cost.read_at(0), Some(10));
+        assert_eq!(cost.writeback_at(0), Some(4));
+        assert_eq!(cost.io_words(), 14);
+        // Empty dual ledgers normalize like with_levels.
+        assert_eq!(
+            CostProfile::with_dual_levels(7, &[], &[]),
+            CostProfile::new(7, 0)
+        );
+        // with_traffic wraps a prebuilt vector.
+        let t = LevelTraffic::single_rw(10, 4);
+        assert_eq!(
+            CostProfile::with_traffic(100, t),
+            CostProfile::with_dual_levels(100, &[10], &[4])
+        );
+    }
+
+    #[test]
+    fn split_write_channel_prices_the_max_stream() {
+        use crate::hierarchy::{HierarchySpec, LevelSpec};
+        // Read channel 10 word/s, write-back channel 2 word/s.
+        let asym = HierarchySpec::new(vec![LevelSpec::new(
+            Words::new(64),
+            WordsPerSec::new(10.0),
+        )
+        .unwrap()
+        .with_write_bandwidth(WordsPerSec::new(2.0))
+        .unwrap()])
+        .unwrap();
+        // 100 read words (10 s) vs 40 write-back words (20 s): the write
+        // channel binds even though the shared-channel sum would be 14 s.
+        let cost = CostProfile::with_dual_levels(0, &[100], &[40]);
+        assert_eq!(cost.io_time_at(&asym, 0).unwrap().get(), 20.0);
+        // Drop the write-backs to 10 words (5 s): reads bind at 10 s.
+        let read_heavy = CostProfile::with_dual_levels(0, &[100], &[10]);
+        assert_eq!(read_heavy.io_time_at(&asym, 0).unwrap().get(), 10.0);
+        // Without a write bandwidth the same dual ledger serializes on the
+        // shared channel: (100 + 40) / 10 = 14 s.
+        let shared = spec_with_latencies(&[0.0]);
+        assert_eq!(cost.io_time_at(&shared, 0).unwrap().get(), 14.0);
+    }
+
+    #[test]
+    fn split_write_channel_charges_latency_on_both_streams() {
+        use crate::hierarchy::{HierarchySpec, LevelSpec};
+        let asym = HierarchySpec::new(vec![LevelSpec::new(
+            Words::new(64),
+            WordsPerSec::new(10.0),
+        )
+        .unwrap()
+        .with_write_bandwidth(WordsPerSec::new(2.0))
+        .unwrap()
+        .with_latency(Seconds::new(0.5))
+        .unwrap()])
+        .unwrap();
+        // Reads: 100·(0.1 + 0.5) = 60 s; write-backs: 40·(0.5 + 0.5) = 40 s.
+        let cost = CostProfile::with_dual_levels(0, &[100], &[40]);
+        assert_eq!(cost.io_time_at(&asym, 0).unwrap().get(), 60.0);
     }
 
     #[test]

@@ -32,13 +32,45 @@ use crate::units::{Seconds, Words, WordsPerSec};
 pub const MAX_MEMORY_LEVELS: usize = 8;
 
 /// One level of a memory hierarchy: capacity, the bandwidth of the channel
-/// below it, and an access latency.
+/// below it, an access latency, and the device-realistic transfer knobs —
+/// the line (block) size fetches into this level move at, and an optional
+/// separate write-back bandwidth.
+///
+/// # Device taxonomy
+///
+/// The default (`line_words = 1`, no write bandwidth) is the paper's
+/// word-granular read-priced channel, and every pre-refactor consumer
+/// keeps its numbers bit for bit. The two knobs describe real devices:
+///
+/// * **SRAM/DRAM-class** levels move cache lines (8–16 words): set
+///   [`LevelSpec::with_line_words`] and spatial locality starts to matter
+///   — a blocked kernel's contiguous tiles amortize each fetched line,
+///   where a strided naive trace wastes most of it.
+/// * **NVRAM-class** levels read fast but write slowly (and wear):
+///   [`LevelSpec::with_write_bandwidth`] prices the write-back stream on
+///   its own, slower channel.
+/// * **HDD/SSD-class** levels move large blocks (KB-scale `line_words`)
+///   with strongly asymmetric sequential bandwidths — both knobs at once.
+///
+/// With a separate write bandwidth the two streams overlap (full-duplex
+/// channels, elapsed I/O time is the max of the two); without one they
+/// serialize on the shared channel (time prices the sum) — see
+/// [`CostProfile::io_time_at`](crate::cost::CostProfile::io_time_at).
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LevelSpec {
     capacity: Words,
     bandwidth: WordsPerSec,
     latency: Seconds,
+    #[cfg_attr(feature = "serde", serde(default = "default_line_words"))]
+    line_words: u64,
+    #[cfg_attr(feature = "serde", serde(default))]
+    write_bandwidth: Option<WordsPerSec>,
+}
+
+#[cfg(feature = "serde")]
+fn default_line_words() -> u64 {
+    1
 }
 
 impl LevelSpec {
@@ -63,6 +95,8 @@ impl LevelSpec {
             capacity,
             bandwidth,
             latency: Seconds::new(0.0),
+            line_words: 1,
+            write_bandwidth: None,
         })
     }
 
@@ -83,6 +117,49 @@ impl LevelSpec {
         Ok(self)
     }
 
+    /// The same level with a transfer-line size attached: fetches across
+    /// this level's boundary move whole lines of `line_words` words
+    /// (`line_words = 1` is the paper's word-granular model).
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidQuantity`] for a zero or non-power-of-two
+    /// line size (line-granular replay maps addresses with a shift, and a
+    /// power-of-two keeps word capacities expressible in whole lines).
+    pub fn with_line_words(mut self, line_words: u64) -> Result<Self, BalanceError> {
+        if line_words == 0 || !line_words.is_power_of_two() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "level line size (must be a power of two)",
+                value: line_words as f64,
+            });
+        }
+        self.line_words = line_words;
+        Ok(self)
+    }
+
+    /// The same level with a separate write-back bandwidth: the read
+    /// (fetch) stream keeps [`LevelSpec::bandwidth`], while write-backs
+    /// drain at `write_bandwidth` on their own channel and the elapsed
+    /// I/O time is the max of the two streams.
+    ///
+    /// # Errors
+    ///
+    /// [`BalanceError::InvalidQuantity`] for a non-positive or non-finite
+    /// bandwidth.
+    pub fn with_write_bandwidth(
+        mut self,
+        write_bandwidth: WordsPerSec,
+    ) -> Result<Self, BalanceError> {
+        if !write_bandwidth.is_valid() {
+            return Err(BalanceError::InvalidQuantity {
+                what: "level write bandwidth",
+                value: write_bandwidth.get(),
+            });
+        }
+        self.write_bandwidth = Some(write_bandwidth);
+        Ok(self)
+    }
+
     /// Capacity `M_i`, in words.
     #[must_use]
     pub fn capacity(&self) -> Words {
@@ -99,6 +176,28 @@ impl LevelSpec {
     #[must_use]
     pub fn latency(&self) -> Seconds {
         self.latency
+    }
+
+    /// Transfer-line size of this level's boundary, in words (1 = the
+    /// paper's word-granular model).
+    #[must_use]
+    pub fn line_words(&self) -> u64 {
+        self.line_words
+    }
+
+    /// The separate write-back bandwidth, when this level prices its two
+    /// streams asymmetrically (`None` = writes share
+    /// [`LevelSpec::bandwidth`]).
+    #[must_use]
+    pub fn write_bandwidth(&self) -> Option<WordsPerSec> {
+        self.write_bandwidth
+    }
+
+    /// True when this level needs the device-realistic replay path:
+    /// line-granular transfers or asymmetric write pricing.
+    #[must_use]
+    pub fn is_device_real(&self) -> bool {
+        self.line_words > 1 || self.write_bandwidth.is_some()
     }
 
     /// Seconds to move one word across this level's boundary: the
@@ -137,6 +236,12 @@ impl fmt::Display for LevelSpec {
         write!(f, "{} @ {}", self.capacity, self.bandwidth)?;
         if self.latency.get() > 0.0 {
             write!(f, " (+{})", self.latency)?;
+        }
+        if self.line_words > 1 {
+            write!(f, " [line {}]", self.line_words)?;
+        }
+        if let Some(wbw) = self.write_bandwidth {
+            write!(f, " [wb {wbw}]")?;
         }
         Ok(())
     }
@@ -224,6 +329,8 @@ impl HierarchySpec {
                 capacity: m,
                 bandwidth: WordsPerSec::new(1.0),
                 latency: Seconds::new(0.0),
+                line_words: 1,
+                write_bandwidth: None,
             }],
         }
     }
@@ -275,6 +382,14 @@ impl HierarchySpec {
     #[must_use]
     pub fn total_latency(&self) -> Seconds {
         Seconds::new(self.levels.iter().map(|l| l.latency().get()).sum())
+    }
+
+    /// True when any level needs the device-realistic replay path
+    /// (line-granular transfers or asymmetric write pricing) — the
+    /// word-granular analytic fast paths must decline such ladders.
+    #[must_use]
+    pub fn is_device_real(&self) -> bool {
+        self.levels.iter().any(LevelSpec::is_device_real)
     }
 }
 
@@ -387,6 +502,70 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(spec.total_latency().get(), 2.0);
+    }
+
+    #[test]
+    fn line_words_validation() {
+        // Default is the word-granular model.
+        let l = level(64, 1.0);
+        assert_eq!(l.line_words(), 1);
+        assert_eq!(l.write_bandwidth(), None);
+        assert!(!l.is_device_real());
+        // Powers of two pass; zero and non-powers are rejected.
+        assert_eq!(level(64, 1.0).with_line_words(8).unwrap().line_words(), 8);
+        assert!(matches!(
+            level(64, 1.0).with_line_words(0),
+            Err(BalanceError::InvalidQuantity { .. })
+        ));
+        assert!(matches!(
+            level(64, 1.0).with_line_words(6),
+            Err(BalanceError::InvalidQuantity { .. })
+        ));
+        // line_words = 1 explicitly is fine and stays word-granular.
+        assert!(!level(64, 1.0).with_line_words(1).unwrap().is_device_real());
+    }
+
+    #[test]
+    fn write_bandwidth_validation() {
+        let l = level(64, 4.0)
+            .with_write_bandwidth(WordsPerSec::new(1.0))
+            .unwrap();
+        assert_eq!(l.write_bandwidth().unwrap().get(), 1.0);
+        assert!(l.is_device_real());
+        assert!(matches!(
+            level(64, 4.0).with_write_bandwidth(WordsPerSec::new(0.0)),
+            Err(BalanceError::InvalidQuantity { .. })
+        ));
+        assert!(matches!(
+            level(64, 4.0).with_write_bandwidth(WordsPerSec::new(f64::NAN)),
+            Err(BalanceError::InvalidQuantity { .. })
+        ));
+    }
+
+    #[test]
+    fn device_real_ladders_are_flagged() {
+        let word = HierarchySpec::new(vec![level(64, 2.0), level(128, 1.0)]).unwrap();
+        assert!(!word.is_device_real());
+        let lined = HierarchySpec::new(vec![
+            level(64, 2.0),
+            level(128, 1.0).with_line_words(16).unwrap(),
+        ])
+        .unwrap();
+        assert!(lined.is_device_real());
+    }
+
+    #[test]
+    fn display_shows_device_knobs() {
+        let l = level(64, 2.0)
+            .with_line_words(8)
+            .unwrap()
+            .with_write_bandwidth(WordsPerSec::new(0.5))
+            .unwrap();
+        let s = l.to_string();
+        assert!(s.contains("[line 8]"), "{s}");
+        assert!(s.contains("[wb 0.5 word/s]"), "{s}");
+        // Word-granular levels keep the pre-refactor rendering exactly.
+        assert_eq!(level(64, 2.0).to_string(), "64 words @ 2 word/s");
     }
 
     #[test]

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod access;
 pub mod amdahl;
 pub mod budget;
 pub mod cost;
@@ -83,6 +84,7 @@ pub mod rebalance;
 pub mod solver;
 pub mod units;
 
+pub use access::{Access, AccessKind};
 pub use budget::{Budget, BudgetTrip};
 pub use cost::{BalanceState, CostProfile, Execution, LevelTraffic};
 pub use error::BalanceError;
@@ -96,6 +98,7 @@ pub use units::{OpsPerSec, Seconds, Words, WordsPerSec};
 
 /// Convenient glob import: `use balance_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::access::{Access, AccessKind};
     pub use crate::amdahl;
     pub use crate::budget::{Budget, BudgetTrip};
     pub use crate::cost::{BalanceState, CostProfile, Execution, LevelTraffic};

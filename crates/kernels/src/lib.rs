@@ -78,7 +78,7 @@ pub mod prelude {
         capacity_sweep, capacity_sweep_par, engine_spec, hierarchy_capacity_sweep,
         hierarchy_capacity_sweep_par, hierarchy_sweep, hierarchy_sweep_par, intensity_sweep,
         intensity_sweep_par, par_map, robust_capacity_profile, DegradationStep, Engine,
-        Provenance, SweepConfig, SweepResult,
+        Provenance, SweepConfig, SweepResult, TrafficModel,
     };
     pub use crate::trace::AccessTrace;
     pub use crate::traits::{all_kernels, extension_kernels, Kernel, KernelRun};

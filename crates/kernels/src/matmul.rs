@@ -14,12 +14,14 @@
 //! Hong & Kung (1981) showed this is the best possible up to a constant, so
 //! `M_new = α²·M_old` is tight — this kernel is the paper's flagship example.
 //!
-//! The module also exports **streaming address-trace** generators
-//! ([`NaiveTrace`], [`BlockedTrace`]: lazy `Iterator<Item = u64> +
-//! ExactSizeIterator`, O(1) memory for the `3n³`-address traces), used by
+//! The module also exports **streaming access-trace** generators
+//! ([`NaiveTrace`], [`BlockedTrace`]: lazy `Iterator<Item = Access> +
+//! ExactSizeIterator`, O(1) memory for the `3n³`-access traces), used by
 //! the E13 ablation to show that an LRU cache of the same capacity, fed
 //! the naive trace, does *not* achieve the `√M` intensity — the
-//! decomposition scheme, not the memory itself, earns the balance.
+//! decomposition scheme, not the memory itself, earns the balance. Each
+//! `C[i][j]` accumulation is tagged a write (read-modify-write convention);
+//! the `A`/`B` streams are reads.
 //!
 //! # Analytic reuse-distance histogram of the naive trace
 //!
@@ -58,7 +60,7 @@
 //! The derivation is pinned bit-exact against the replayed engine at every
 //! capacity by the registry-wide property tests (`analytic_profiles_*`).
 
-use balance_core::{CostProfile, HierarchySpec, IntensityModel};
+use balance_core::{Access, CostProfile, HierarchySpec, IntensityModel};
 use balance_machine::{AnalyticProfile, ExternalStore, Pe};
 
 use crate::error::KernelError;
@@ -245,16 +247,17 @@ impl Kernel for MatMul {
     }
 }
 
-/// Streaming word-address trace of the *naive* triple-loop `C = A·B`
+/// Streaming tagged access trace of the *naive* triple-loop `C = A·B`
 /// (row-major, `ijk` order), for the LRU ablation (E13).
 ///
 /// Addresses: `A` at `[0, n²)`, `B` at `[n², 2n²)`, `C` at `[2n², 3n²)`.
-/// Each inner iteration touches `A[i][k]`, `B[k][j]`, `C[i][j]`.
+/// Each inner iteration reads `A[i][k]`, `B[k][j]` and accumulates into
+/// `C[i][j]` (a write, by the read-modify-write convention).
 ///
-/// The trace is `3n³` addresses long — ~3 GB materialized at `n = 512` —
+/// The trace is `3n³` accesses long — ~3 GB materialized at `n = 512` —
 /// so it is generated lazily: the iterator holds a handful of counters and
-/// feeds `LruCache::run_trace` in O(1) memory. [`naive_address_trace`] is
-/// the thin `collect()` wrapper for small-`n` uses.
+/// feeds the replay engines in O(1) memory. [`naive_address_trace`] is
+/// the thin address-collecting wrapper for small-`n` uses.
 #[derive(Debug, Clone)]
 pub struct NaiveTrace {
     n: u64,
@@ -284,17 +287,17 @@ impl NaiveTrace {
 }
 
 impl Iterator for NaiveTrace {
-    type Item = u64;
+    type Item = Access;
 
-    fn next(&mut self) -> Option<u64> {
+    fn next(&mut self) -> Option<Access> {
         if self.remaining == 0 {
             return None;
         }
         self.remaining -= 1;
-        let addr = match self.phase {
-            0 => self.i * self.n + self.k,               // A[i][k]
-            1 => self.n2 + self.k * self.n + self.j,     // B[k][j]
-            _ => 2 * self.n2 + self.i * self.n + self.j, // C[i][j]
+        let access = match self.phase {
+            0 => Access::read(self.i * self.n + self.k), // A[i][k]
+            1 => Access::read(self.n2 + self.k * self.n + self.j), // B[k][j]
+            _ => Access::write(2 * self.n2 + self.i * self.n + self.j), // C[i][j] +=
         };
         self.phase += 1;
         if self.phase == 3 {
@@ -309,7 +312,7 @@ impl Iterator for NaiveTrace {
                 }
             }
         }
-        Some(addr)
+        Some(access)
     }
 
     /// O(1) positional skip: the element at absolute position
@@ -318,7 +321,7 @@ impl Iterator for NaiveTrace {
     /// per-range slicing) costs one division chain instead of a scan —
     /// `Iterator::skip` defers to `nth`, and `Box<dyn Iterator>` forwards
     /// it.
-    fn nth(&mut self, skip: usize) -> Option<u64> {
+    fn nth(&mut self, skip: usize) -> Option<Access> {
         let skip = u64::try_from(skip).unwrap_or(u64::MAX);
         if skip >= self.remaining {
             self.remaining = 0;
@@ -426,26 +429,26 @@ impl BlockedTrace {
 }
 
 impl Iterator for BlockedTrace {
-    type Item = u64;
+    type Item = Access;
 
-    fn next(&mut self) -> Option<u64> {
+    fn next(&mut self) -> Option<Access> {
         if self.remaining == 0 {
             return None;
         }
         self.remaining -= 1;
         let n = self.n as u64;
         let (i, j, k) = (self.i as u64, self.j as u64, self.k as u64);
-        let addr = match self.phase {
-            0 => i * n + k,                   // A[i][k]
-            1 => self.n2 + k * n + j,         // B[k][j]
-            _ => 2 * self.n2 + i * n + j,     // C[i][j]
+        let access = match self.phase {
+            0 => Access::read(i * n + k),                   // A[i][k]
+            1 => Access::read(self.n2 + k * n + j),         // B[k][j]
+            _ => Access::write(2 * self.n2 + i * n + j),    // C[i][j] +=
         };
         self.phase += 1;
         if self.phase == 3 {
             self.phase = 0;
             self.advance();
         }
-        Some(addr)
+        Some(access)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -456,16 +459,16 @@ impl Iterator for BlockedTrace {
 
 impl ExactSizeIterator for BlockedTrace {}
 
-/// Materialized form of [`NaiveTrace`] for small `n` (tests, plots).
+/// Materialized addresses of [`NaiveTrace`] for small `n` (tests, plots).
 #[must_use]
 pub fn naive_address_trace(n: usize) -> Vec<u64> {
-    NaiveTrace::new(n).collect()
+    NaiveTrace::new(n).map(|a| a.addr).collect()
 }
 
-/// Materialized form of [`BlockedTrace`] for small `n` (tests, plots).
+/// Materialized addresses of [`BlockedTrace`] for small `n` (tests, plots).
 #[must_use]
 pub fn blocked_address_trace(n: usize, b: usize) -> Vec<u64> {
-    BlockedTrace::new(n, b).collect()
+    BlockedTrace::new(n, b).map(|a| a.addr).collect()
 }
 
 #[cfg(test)]
@@ -610,15 +613,16 @@ mod tests {
         // skip() defers to the positional nth: every range slice must
         // equal the materialized slice, including empty and out-of-range.
         for start in [0usize, 1, 2, 7, 100, full.len() - 1, full.len(), full.len() + 9] {
-            let got: Vec<u64> = NaiveTrace::new(n).skip(start).take(11).collect();
+            let got: Vec<u64> =
+                NaiveTrace::new(n).skip(start).take(11).map(|a| a.addr).collect();
             let want: Vec<u64> = full.iter().skip(start).take(11).copied().collect();
             assert_eq!(got, want, "start = {start}");
         }
         // Direct nth calls, repeated on one iterator.
         let mut t = NaiveTrace::new(n);
-        assert_eq!(t.nth(10), Some(full[10]));
-        assert_eq!(t.nth(0), Some(full[11]));
-        assert_eq!(t.nth(5), Some(full[17]));
+        assert_eq!(t.nth(10).map(|a| a.addr), Some(full[10]));
+        assert_eq!(t.nth(0).map(|a| a.addr), Some(full[11]));
+        assert_eq!(t.nth(5).map(|a| a.addr), Some(full[17]));
         assert_eq!(t.len(), full.len() - 18);
         assert_eq!(NaiveTrace::new(0).nth(3), None);
     }

@@ -42,8 +42,8 @@ use std::time::Instant;
 use balance_core::fit::{fit_best, DataPoint, FitReport};
 use balance_core::solver::MeasuredCurve;
 use balance_core::{
-    BalanceError, Budget, BudgetTrip, CostProfile, Execution, HierarchySpec, LevelSpec, Words,
-    WordsPerSec,
+    Access, BalanceError, Budget, BudgetTrip, CostProfile, Execution, HierarchySpec, LevelSpec,
+    Words, WordsPerSec,
 };
 use balance_machine::{
     resumable_replay, sampled_profile_of, sampled_profile_of_bounded, segmented_profile_of,
@@ -148,6 +148,102 @@ impl Engine {
             }
         }
     }
+
+    /// [`Engine::auto_for_kernel`] with the traffic model in hand. Under
+    /// the word-granular read-priced model it is exactly
+    /// [`Engine::auto_for_kernel`]; under a device-real model the
+    /// closed-form, segmented, and sampled tiers are all word-granular
+    /// machinery and are never chosen — the one-pass tagged engine is the
+    /// fast exact tier (on the same ≥ 4-point amortization threshold as
+    /// [`Engine::auto`]), the per-point replay below that.
+    #[must_use]
+    pub fn auto_for_model(
+        points: usize,
+        kernel: &dyn Kernel,
+        n: usize,
+        model: TrafficModel,
+    ) -> Engine {
+        if model.is_word_granular_read_priced() {
+            Engine::auto_for_kernel(points, kernel, n)
+        } else if points >= 4 {
+            Engine::StackDist
+        } else {
+            Engine::Replay
+        }
+    }
+}
+
+/// The traffic model a capacity sweep prices: transfer granularity and
+/// whether stores are tagged and dirty evictions ledgered as a second
+/// write-back stream.
+///
+/// The default ([`TrafficModel::WORD`]) is the paper's model — one word
+/// per transfer, every miss a read — and routes every sweep through the
+/// exact code paths that existed before the device-real refactor, so the
+/// numbers are bit-identical (pinned by property test across the
+/// registry). Any other setting selects the device-real measurement
+/// paths: line-granular LRU state and, with [`TrafficModel::writebacks`]
+/// on, a dirty-bit write-back ledger per boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrafficModel {
+    /// Transfer granularity in words (a power of two; 1 = the paper's
+    /// word-granular model).
+    pub line_words: u64,
+    /// Whether stores are tagged and dirty evictions charged as a
+    /// separate write-back stream (plus the end-of-run flush).
+    pub writebacks: bool,
+}
+
+impl Default for TrafficModel {
+    fn default() -> Self {
+        TrafficModel::WORD
+    }
+}
+
+impl TrafficModel {
+    /// The paper's model: word-granular transfers, all misses priced as
+    /// reads, no write-back ledger.
+    pub const WORD: TrafficModel = TrafficModel {
+        line_words: 1,
+        writebacks: false,
+    };
+
+    /// A device-real model: `line_words`-granular transfers with the
+    /// dirty-write-back ledger on.
+    #[must_use]
+    pub const fn device(line_words: u64) -> Self {
+        TrafficModel {
+            line_words,
+            writebacks: true,
+        }
+    }
+
+    /// True for the word-granular all-read model — the configuration
+    /// every pre-device code path (analytic tier, segmented engine,
+    /// sampling, budget ladder) implements exactly.
+    #[must_use]
+    pub const fn is_word_granular_read_priced(&self) -> bool {
+        self.line_words <= 1 && !self.writebacks
+    }
+
+    /// Validates the model's shape (the same rule as
+    /// [`LevelSpec::with_line_words`]: a positive power of two).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadParameters`] for a zero or non-power-of-two line
+    /// size.
+    fn validate(&self) -> Result<(), KernelError> {
+        if self.line_words == 0 || !self.line_words.is_power_of_two() {
+            return Err(KernelError::BadParameters {
+                reason: format!(
+                    "line size must be a positive power of two words, got {}",
+                    self.line_words
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Parameters of one memory sweep.
@@ -180,6 +276,12 @@ pub struct SweepConfig {
     /// [`balance_machine::checkpoint`]). The kernel-running executors
     /// ignore it.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// The traffic model the capacity executors price
+    /// ([`TrafficModel::WORD`] by default — bit-identical to every
+    /// pre-device sweep). The kernel-running executors ignore it: a
+    /// decomposition scheme moves its words explicitly, so there is no
+    /// cache state for a line size or dirty bit to live in.
+    pub traffic: TrafficModel,
 }
 
 impl Default for SweepConfig {
@@ -196,6 +298,7 @@ impl Default for SweepConfig {
             engine: Engine::default(),
             budget: None,
             checkpoint: None,
+            traffic: TrafficModel::default(),
         }
     }
 }
@@ -240,6 +343,14 @@ impl SweepConfig {
     #[must_use]
     pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoint = Some(policy);
+        self
+    }
+
+    /// The same sweep under a different traffic model (line granularity
+    /// and write-back pricing for the capacity executors).
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
         self
     }
 }
@@ -321,6 +432,39 @@ fn validate_outer(outer: &[LevelSpec]) -> Result<(), KernelError> {
     HierarchySpec::new(outer.to_vec())
         .map(|_| ())
         .map_err(|e| bad(format!("outer levels: {e}")))
+}
+
+/// The kernel-running executors count each scheme's explicit word-granular
+/// transfers; a device-real outer level (line-granular transfers or a
+/// split write channel) would be silently mispriced, so it is refused with
+/// a pointer to the capacity sweeps, which model both.
+fn reject_device_outer(outer: &[LevelSpec]) -> Result<(), KernelError> {
+    if let Some(i) = outer.iter().position(LevelSpec::is_device_real) {
+        return Err(KernelError::BadParameters {
+            reason: format!(
+                "outer level {} is device-real (line size {} words{}), but the \
+                 kernel-running executors count explicit word-granular transfers; \
+                 use the capacity sweeps with SweepConfig::with_traffic to price \
+                 line-granular or write-back traffic",
+                i + 2,
+                outer[i].line_words(),
+                if outer[i].write_bandwidth().is_some() {
+                    ", split write channel"
+                } else {
+                    ""
+                }
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// True when a capacity sweep must run on the device-real path: a
+/// non-trivial [`TrafficModel`], or an outer level annotated with its own
+/// line size / write channel (the legacy word path would silently ignore
+/// the annotation).
+fn needs_device_path(cfg: &SweepConfig, outer: &[LevelSpec]) -> bool {
+    !cfg.traffic.is_word_granular_read_priced() || outer.iter().any(LevelSpec::is_device_real)
 }
 
 /// The machine for one sweep point: local memory `m` under the fixed outer
@@ -431,6 +575,7 @@ pub fn hierarchy_sweep(
     outer: &[LevelSpec],
 ) -> Result<SweepResult, KernelError> {
     validate_outer(outer)?;
+    reject_device_outer(outer)?;
     let memories = eligible_memories(kernel, cfg, outer);
     // Lazy map: collect_sweep stops pulling (and thus running) points at
     // the first failure.
@@ -456,6 +601,7 @@ pub fn hierarchy_sweep_par(
     outer: &[LevelSpec],
 ) -> Result<SweepResult, KernelError> {
     validate_outer(outer)?;
+    reject_device_outer(outer)?;
     let memories = eligible_memories(kernel, cfg, outer);
     let results = par_map(&memories, |i, &m| {
         let machine = machine_for(m, outer)?;
@@ -566,6 +712,9 @@ pub fn hierarchy_capacity_sweep(
     outer: &[LevelSpec],
 ) -> Result<SweepResult, KernelError> {
     validate_outer(outer)?;
+    if needs_device_path(cfg, outer) {
+        return device_capacity_points(kernel, cfg, outer, false);
+    }
     let memories = eligible_capacities(cfg, outer);
     match cfg.engine {
         // A budgeted/checkpointed Replay routes through the profile path:
@@ -594,6 +743,9 @@ pub fn hierarchy_capacity_sweep_par(
     outer: &[LevelSpec],
 ) -> Result<SweepResult, KernelError> {
     validate_outer(outer)?;
+    if needs_device_path(cfg, outer) {
+        return device_capacity_points(kernel, cfg, outer, true);
+    }
     let memories = eligible_capacities(cfg, outer);
     match cfg.engine {
         Engine::Replay if cfg.budget.is_none() && cfg.checkpoint.is_none() => collect_sweep(
@@ -666,6 +818,221 @@ fn direct_bound(bound: u64) -> Option<u64> {
     (bound > 0 && bound < u64::from(u32::MAX / 2)).then_some(bound)
 }
 
+/// The line size a ladder level transfers under `model`: the level's own
+/// explicit line size when it declares one, the sweep model's otherwise
+/// (a default `line_words = 1` level *inherits* the model granularity —
+/// an unannotated `--levels CAP:BW` entry should not silently demote a
+/// line-granular sweep back to words).
+fn effective_line(model: TrafficModel, level: &LevelSpec) -> u64 {
+    if level.line_words() > 1 {
+        level.line_words()
+    } else {
+        model.line_words
+    }
+}
+
+/// The tagged access stream a device-real measurement replays: the
+/// kernel's honest read/write tags when write-backs are ledgered, the
+/// same addresses demoted to reads when only line granularity is priced
+/// (no store ever dirties a line, so no write-back can be charged).
+fn device_accesses(trace: AccessTrace, model: TrafficModel) -> Box<dyn Iterator<Item = Access>> {
+    if model.writebacks {
+        trace.into_accesses()
+    } else {
+        Box::new(trace.into_addrs().map(Access::read))
+    }
+}
+
+/// One device-real sweep point as a [`KernelRun`]: dual-ledger traffic
+/// (read words + write-back words per boundary) under the traced
+/// computation's op count. The device counterpart of [`capacity_run`];
+/// both engines build points through here, so engine bit-identity is
+/// structural here too.
+fn device_capacity_run(n: usize, m: usize, comp_ops: u64, reads: &[u64], wbs: &[u64]) -> KernelRun {
+    KernelRun {
+        n,
+        m,
+        execution: Execution::new(
+            CostProfile::with_dual_levels(comp_ops, reads, wbs),
+            Words::new(m as u64),
+        ),
+    }
+}
+
+/// The device-real capacity executor: every sweep under a non-trivial
+/// [`TrafficModel`] routes here (the word-granular read-priced model
+/// never does — its sweeps run the untouched exact paths bit for bit).
+///
+/// Engine gating, per tier:
+///
+/// * [`Engine::Replay`] replays the tagged trace through actual
+///   line-granular dirty-bit LRU state per point (fanned out over
+///   workers when `par`);
+/// * [`Engine::StackDist`] answers the whole sweep from **one** tagged
+///   replay via [`TrafficProfile`](balance_machine::TrafficProfile) —
+///   bit-identical to the per-point replays (pinned by test);
+/// * [`Engine::Analytic`]'s closed forms are word-granular read-priced
+///   derivations, so the tier **declines** device-real models and the
+///   one-pass tagged engine answers instead (exact, just not free);
+/// * [`Engine::StackDistPar`] and [`Engine::Sampled`] are word-granular
+///   machinery (segment merges and hash sampling carry no dirty state)
+///   and are refused outright rather than silently mispriced.
+///
+/// Sweep capacities smaller than one line are skipped — a cache that
+/// cannot hold a single line is not a capacity point.
+///
+/// # Errors
+///
+/// [`KernelError::BadParameters`] for a malformed line size, a refused
+/// engine, a budget/checkpoint policy (the resumable drivers replay
+/// untagged addresses — word-granular machinery), or a kernel without a
+/// canonical trace at `cfg.n`.
+fn device_capacity_points(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+    par: bool,
+) -> Result<SweepResult, KernelError> {
+    let model = cfg.traffic;
+    model.validate()?;
+    let bad = |reason: String| KernelError::BadParameters { reason };
+    if cfg.budget.is_some() || cfg.checkpoint.is_some() {
+        return Err(bad(format!(
+            "budgets and checkpoints are word-granular machinery (the resumable replay \
+             drivers stream untagged addresses); the device-real traffic model \
+             (line_words = {}, writebacks = {}) runs unbudgeted",
+            model.line_words, model.writebacks
+        )));
+    }
+    let memories: Vec<usize> = eligible_capacities(cfg, outer)
+        .into_iter()
+        .filter(|&m| m as u64 >= model.line_words)
+        .collect();
+    match cfg.engine {
+        Engine::StackDistPar { .. } | Engine::Sampled { .. } => Err(bad(format!(
+            "engine {} is word-granular read-priced machinery; the device-real traffic \
+             model (line_words = {}, writebacks = {}) needs `replay` or `stackdist`",
+            engine_spec(cfg.engine),
+            model.line_words,
+            model.writebacks
+        ))),
+        Engine::Replay if par => collect_sweep(
+            kernel,
+            par_map(&memories, |_, &m| device_point_replay(kernel, cfg, outer, m)),
+        ),
+        Engine::Replay => collect_sweep(
+            kernel,
+            memories
+                .iter()
+                .map(|&m| device_point_replay(kernel, cfg, outer, m)),
+        ),
+        Engine::StackDist | Engine::Analytic => device_points_profile(kernel, cfg, outer, &memories),
+    }
+}
+
+/// One device-real replay point: the tagged trace through actual
+/// line-granular dirty-bit LRU state of capacity `m` (a flat
+/// [`LruCache`] on the direct-indexed backend, or a
+/// [`Hierarchy::from_spec_device`] ladder under outer levels, each level
+/// at its [`effective_line`] size).
+fn device_point_replay(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+    m: usize,
+) -> Result<KernelRun, KernelError> {
+    let model = cfg.traffic;
+    let lw = model.line_words;
+    let trace = trace_for(kernel, cfg.n)?;
+    let comp = trace.comp_ops();
+    let bound = trace.addr_bound();
+    if outer.is_empty() {
+        let lines = usize::try_from(m as u64 / lw)
+            .unwrap_or_else(|_| panic!("capacity {m} overflows the line count"));
+        let mut cache = LruCache::with_address_bound(lines, lw, bound);
+        let _ = cache.run_tagged_trace(device_accesses(trace, model));
+        return Ok(device_capacity_run(
+            cfg.n,
+            m,
+            comp,
+            &[cache.miss_words()],
+            &[cache.writeback_words()],
+        ));
+    }
+    let bad = |e: &dyn core::fmt::Display| KernelError::BadParameters {
+        reason: format!("sweep point M = {m}: {e}"),
+    };
+    let local = LevelSpec::new(Words::new(m as u64), WordsPerSec::new(1.0))
+        .and_then(|l| l.with_line_words(lw))
+        .map_err(|e| bad(&e))?;
+    let mut levels = vec![local];
+    for level in outer {
+        levels.push(
+            level
+                .with_line_words(effective_line(model, level))
+                .map_err(|e| bad(&e))?,
+        );
+    }
+    let spec = HierarchySpec::new(levels).map_err(|e| bad(&e))?;
+    let mut ladder = Hierarchy::from_spec_device(&spec);
+    let traffic = ladder.run_tagged_trace(device_accesses(trace, model));
+    let depth = traffic.len();
+    let reads: Vec<u64> = (0..depth).map(|i| traffic.read_at(i).unwrap_or(0)).collect();
+    let wbs: Vec<u64> = (0..depth)
+        .map(|i| traffic.writeback_at(i).unwrap_or(0))
+        .collect();
+    Ok(device_capacity_run(cfg.n, m, comp, &reads, &wbs))
+}
+
+/// All device-real profile points from **one** tagged replay: a
+/// [`TrafficProfile`](balance_machine::TrafficProfile) answers every
+/// capacity's read misses and write-backs in O(1).
+///
+/// The one-pass read is only sound at a **uniform** line size: LRU
+/// inclusion (the Mattson stack property the whole-ladder read rests on)
+/// holds level-to-level only when every level tracks the same lines, so
+/// a mixed-line ladder is refused here and needs [`Engine::Replay`].
+fn device_points_profile(
+    kernel: &dyn Kernel,
+    cfg: &SweepConfig,
+    outer: &[LevelSpec],
+    memories: &[usize],
+) -> Result<SweepResult, KernelError> {
+    let model = cfg.traffic;
+    for level in outer {
+        let eff = effective_line(model, level);
+        if eff != model.line_words {
+            return Err(KernelError::BadParameters {
+                reason: format!(
+                    "the one-pass tagged engine needs a uniform line size across the \
+                     ladder (sweep model {} words, outer level {} words); use engine \
+                     `replay` for mixed-line ladders",
+                    model.line_words, eff
+                ),
+            });
+        }
+    }
+    let trace = trace_for(kernel, cfg.n)?;
+    let comp = trace.comp_ops();
+    let bound = trace.addr_bound();
+    let accesses = device_accesses(trace, model);
+    let tp = match direct_bound(bound) {
+        Some(b) => StackDistance::traffic_profile_of_bounded(accesses, model.line_words, b),
+        None => StackDistance::traffic_profile_of(accesses, model.line_words),
+    };
+    collect_sweep(
+        kernel,
+        memories.iter().map(|&m| {
+            let capacities =
+                std::iter::once(m as u64).chain(outer.iter().map(|l| l.capacity().get()));
+            let (reads, wbs): (Vec<u64>, Vec<u64>) = capacities
+                .map(|c| (tp.read_words_at(c), tp.writeback_words_at(c)))
+                .unzip();
+            Ok(device_capacity_run(cfg.n, m, comp, &reads, &wbs))
+        }),
+    )
+}
+
 /// Builds the kernel's [`CapacityProfile`] on the requested profile
 /// engine ([`Engine::Replay`] has no profile and is rejected by the
 /// callers' dispatch).
@@ -736,7 +1103,7 @@ fn resolve_threads(threads: usize) -> usize {
 ///
 /// Panics if the kernel refuses to produce the trace it just produced —
 /// a broken [`Kernel::access_trace`] contract, not an input condition.
-fn kernel_addrs(kernel: &dyn Kernel, n: usize) -> Box<dyn Iterator<Item = u64> + Send> {
+fn kernel_addrs(kernel: &dyn Kernel, n: usize) -> impl Iterator<Item = u64> + Send {
     trace_for(kernel, n)
         .unwrap_or_else(|e| panic!("trace_for succeeded above: {e}"))
         .into_addrs()
@@ -1621,6 +1988,329 @@ mod tests {
             }
             other => panic!("expected BadParameters, got {other}"),
         }
+    }
+
+    #[test]
+    fn traffic_model_defaults_and_predicates() {
+        assert_eq!(TrafficModel::default(), TrafficModel::WORD);
+        assert!(TrafficModel::WORD.is_word_granular_read_priced());
+        assert!(!TrafficModel::device(1).is_word_granular_read_priced());
+        assert!(!TrafficModel::device(8).is_word_granular_read_priced());
+        let line_only = TrafficModel {
+            line_words: 4,
+            writebacks: false,
+        };
+        assert!(!line_only.is_word_granular_read_priced());
+        // Default configs carry the word model: every pre-device sweep is
+        // untouched by construction.
+        assert_eq!(SweepConfig::default().traffic, TrafficModel::WORD);
+    }
+
+    #[test]
+    fn device_engines_are_bit_identical() {
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![4, 16, 64, 256, 1024, 4096],
+            seed: 0,
+            verify: Verify::None,
+            engine: Engine::Replay,
+            ..SweepConfig::default()
+        }
+        .with_traffic(TrafficModel::device(2));
+        let replay = capacity_sweep(&MatMul, &cfg).unwrap();
+        let onepass =
+            capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::StackDist)).unwrap();
+        assert_eq!(replay.runs, onepass.runs);
+        let par = capacity_sweep_par(&MatMul, &cfg).unwrap();
+        assert_eq!(replay.runs, par.runs);
+        // A device run carries the dual ledger: the scalar view is the
+        // sum of the streams, and matmul's C stores make the ledger
+        // genuinely non-empty.
+        for run in &replay.runs {
+            let cost = &run.execution.cost;
+            assert_eq!(
+                cost.io_at(0).unwrap(),
+                cost.read_at(0).unwrap() + cost.writeback_at(0).unwrap()
+            );
+            assert!(cost.writeback_at(0).unwrap() > 0, "m = {}", run.m);
+        }
+    }
+
+    #[test]
+    fn device_line1_read_stream_matches_the_word_granular_sweep() {
+        // Write-allocate at line_words = 1: every miss fetches exactly
+        // the word the legacy model charged, so the device read stream IS
+        // the word-granular sweep's traffic bit for bit — write-backs
+        // ride on top as the separate stream.
+        let word_cfg = SweepConfig {
+            n: 12,
+            memories: vec![4, 16, 64, 256, 1024],
+            verify: Verify::None,
+            ..SweepConfig::default()
+        };
+        let device_cfg = word_cfg.clone().with_traffic(TrafficModel::device(1));
+        let word = capacity_sweep(&MatMul, &word_cfg).unwrap();
+        let device = capacity_sweep(&MatMul, &device_cfg).unwrap();
+        assert_eq!(word.runs.len(), device.runs.len());
+        for (w, d) in word.runs.iter().zip(&device.runs) {
+            assert_eq!(w.execution.cost.io_at(0), d.execution.cost.read_at(0));
+        }
+    }
+
+    #[test]
+    fn line_only_models_price_reads_without_a_ledger() {
+        // line_words > 1 with write-backs off: line-granular all-read
+        // pricing — whole lines move, no store ever dirties one.
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![16, 64, 256],
+            verify: Verify::None,
+            ..SweepConfig::default()
+        }
+        .with_traffic(TrafficModel {
+            line_words: 4,
+            writebacks: false,
+        });
+        let onepass = capacity_sweep(&MatMul, &cfg).unwrap();
+        let replay = capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::Replay)).unwrap();
+        assert_eq!(onepass.runs, replay.runs);
+        for run in &onepass.runs {
+            assert_eq!(run.execution.cost.writeback_at(0), Some(0));
+            assert_eq!(
+                run.execution.cost.io_at(0).unwrap() % 4,
+                0,
+                "line-granular traffic moves whole lines"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_engine_declines_device_real_models() {
+        // MatMul derives an analytic profile, but the closed forms are
+        // word-granular read-priced: under a device model the tier
+        // declines and the one-pass tagged engine answers — identical to
+        // asking for stackdist directly.
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![4, 16, 64, 256],
+            verify: Verify::None,
+            engine: Engine::Analytic,
+            ..SweepConfig::default()
+        }
+        .with_traffic(TrafficModel::device(4));
+        let fell_back = capacity_sweep(&MatMul, &cfg).unwrap();
+        let onepass =
+            capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::StackDist)).unwrap();
+        assert_eq!(fell_back.runs, onepass.runs);
+        // Auto-selection never steers a device sweep into the tiers that
+        // would refuse (or misprice) it.
+        let device = TrafficModel::device(4);
+        assert_eq!(
+            Engine::auto_for_model(16, &MatMul, 12, device),
+            Engine::StackDist
+        );
+        assert_eq!(
+            Engine::auto_for_model(2, &MatMul, 12, device),
+            Engine::Replay
+        );
+        // Under the word model it is exactly auto_for_kernel.
+        assert_eq!(
+            Engine::auto_for_model(16, &MatMul, 12, TrafficModel::WORD),
+            Engine::Analytic
+        );
+    }
+
+    #[test]
+    fn segmented_and_sampled_engines_refuse_device_real_models() {
+        for engine in [
+            Engine::StackDistPar { threads: 2 },
+            Engine::Sampled { shift: 2 },
+        ] {
+            let cfg = SweepConfig {
+                n: 12,
+                memories: vec![16, 64],
+                verify: Verify::None,
+                engine,
+                ..SweepConfig::default()
+            }
+            .with_traffic(TrafficModel::device(2));
+            let err = capacity_sweep(&MatMul, &cfg).unwrap_err();
+            match err {
+                KernelError::BadParameters { reason } => {
+                    assert!(reason.contains("word-granular"), "got: {reason}");
+                    assert!(reason.contains(&engine_spec(engine)), "got: {reason}");
+                }
+                other => panic!("expected BadParameters, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_and_malformed_device_sweeps_are_refused() {
+        let base = SweepConfig {
+            n: 12,
+            memories: vec![16, 64],
+            verify: Verify::None,
+            ..SweepConfig::default()
+        };
+        let budgeted = base
+            .clone()
+            .with_traffic(TrafficModel::device(2))
+            .with_budget(Budget::unlimited());
+        assert!(matches!(
+            capacity_sweep(&MatMul, &budgeted),
+            Err(KernelError::BadParameters { .. })
+        ));
+        for bad_line in [0u64, 3, 12] {
+            let cfg = base.clone().with_traffic(TrafficModel::device(bad_line));
+            let err = capacity_sweep(&MatMul, &cfg).unwrap_err();
+            assert!(
+                matches!(&err, KernelError::BadParameters { reason }
+                    if reason.contains("power of two")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_sweeps_skip_capacities_below_one_line() {
+        let cfg = SweepConfig {
+            n: 8,
+            memories: vec![1, 2, 4, 8, 64],
+            verify: Verify::None,
+            ..SweepConfig::default()
+        }
+        .with_traffic(TrafficModel::device(4));
+        let result = capacity_sweep(&MatMul, &cfg).unwrap();
+        let ms: Vec<usize> = result.runs.iter().map(|r| r.m).collect();
+        assert_eq!(ms, vec![4, 8, 64], "a cache must hold at least one line");
+    }
+
+    #[test]
+    fn uniform_line_hierarchy_device_engines_agree() {
+        // An unannotated outer level inherits the sweep's line size, so
+        // the ladder is uniform and the one-pass read is sound.
+        let outer = vec![LevelSpec::new(Words::new(2048), WordsPerSec::new(1.0)).unwrap()];
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![16, 64, 256],
+            verify: Verify::None,
+            engine: Engine::Replay,
+            ..SweepConfig::default()
+        }
+        .with_traffic(TrafficModel::device(4));
+        let replay = hierarchy_capacity_sweep(&MatMul, &cfg, &outer).unwrap();
+        let onepass =
+            hierarchy_capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::StackDist), &outer)
+                .unwrap();
+        assert_eq!(replay.runs, onepass.runs);
+        let par = hierarchy_capacity_sweep_par(&MatMul, &cfg, &outer).unwrap();
+        assert_eq!(replay.runs, par.runs);
+    }
+
+    #[test]
+    fn mixed_line_ladders_need_the_replay_engine() {
+        // An outer disk-class level with its own 8-word line under a
+        // 2-word local line: no cross-granularity LRU inclusion, so the
+        // one-pass read is unsound and refused; the replay engine models
+        // each level at its own granularity.
+        let outer = vec![LevelSpec::new(Words::new(4096), WordsPerSec::new(0.5))
+            .unwrap()
+            .with_line_words(8)
+            .unwrap()];
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![16, 64, 256],
+            verify: Verify::None,
+            engine: Engine::StackDist,
+            ..SweepConfig::default()
+        }
+        .with_traffic(TrafficModel::device(2));
+        let err = hierarchy_capacity_sweep(&MatMul, &cfg, &outer).unwrap_err();
+        assert!(
+            matches!(&err, KernelError::BadParameters { reason }
+                if reason.contains("uniform line size")),
+            "{err}"
+        );
+        let replayed =
+            hierarchy_capacity_sweep(&MatMul, &cfg.clone().with_engine(Engine::Replay), &outer)
+                .unwrap();
+        assert_eq!(replayed.runs.len(), 3);
+        for run in &replayed.runs {
+            let cost = &run.execution.cost;
+            assert_eq!(cost.level_count(), 2);
+            assert!(cost.io_at(1).unwrap() <= cost.io_at(0).unwrap());
+        }
+    }
+
+    #[test]
+    fn annotated_outer_levels_route_word_sweeps_to_the_device_path() {
+        // A word-granular (default) sweep over a line-annotated outer
+        // ladder must not silently ignore the annotation: it routes
+        // through the device path, where the level's own line size is
+        // honored.
+        let plain = vec![LevelSpec::new(Words::new(4096), WordsPerSec::new(1.0)).unwrap()];
+        let lined = vec![plain[0].with_line_words(8).unwrap()];
+        let cfg = SweepConfig {
+            n: 12,
+            memories: vec![16, 64, 256],
+            verify: Verify::None,
+            engine: Engine::Replay,
+            ..SweepConfig::default()
+        };
+        let word = hierarchy_capacity_sweep(&MatMul, &cfg, &plain).unwrap();
+        let device = hierarchy_capacity_sweep(&MatMul, &cfg, &lined).unwrap();
+        assert_eq!(word.runs.len(), device.runs.len());
+        for (w, d) in word.runs.iter().zip(&device.runs) {
+            // The outer boundary now transfers whole 8-word lines...
+            let outer_io = d.execution.cost.io_at(1).unwrap();
+            assert_eq!(outer_io % 8, 0, "line-granular outer traffic");
+            // ...while the unannotated local boundary stays word-granular
+            // and bit-identical to the legacy path.
+            assert_eq!(d.execution.cost.io_at(0), w.execution.cost.io_at(0));
+        }
+        // The one-pass engine refuses the mixed-granularity ladder (word
+        // local under an 8-word outer line) instead of mispricing it.
+        let err = hierarchy_capacity_sweep(
+            &MatMul,
+            &cfg.clone().with_engine(Engine::StackDist),
+            &lined,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, KernelError::BadParameters { reason }
+                if reason.contains("uniform line size")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn kernel_running_sweeps_refuse_device_real_outer_levels() {
+        // The scheme executors count explicit word transfers; a
+        // device-real annotation they cannot honor is an error, not a
+        // silently word-priced run.
+        let lined = vec![LevelSpec::new(Words::new(4096), WordsPerSec::new(1.0))
+            .unwrap()
+            .with_line_words(4)
+            .unwrap()];
+        let cfg = SweepConfig::pow2(12, 5, 8, 0).with_verify(Verify::None);
+        for result in [
+            hierarchy_sweep(&MatMul, &cfg, &lined),
+            hierarchy_sweep_par(&MatMul, &cfg, &lined),
+        ] {
+            let err = result.unwrap_err();
+            assert!(
+                matches!(&err, KernelError::BadParameters { reason }
+                    if reason.contains("device-real") && reason.contains("level 2")),
+                "{err}"
+            );
+        }
+        // A split write channel alone is just as device-real.
+        let priced = vec![LevelSpec::new(Words::new(4096), WordsPerSec::new(1.0))
+            .unwrap()
+            .with_write_bandwidth(WordsPerSec::new(0.5))
+            .unwrap()];
+        assert!(hierarchy_sweep(&MatMul, &cfg, &priced).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Canonical word-address traces: the natural (unblocked) access sequence
-//! of each computation, as a streamed iterator.
+//! Canonical tagged access traces: the natural (unblocked) access sequence
+//! of each computation, as a streamed iterator of read/write-tagged
+//! accesses.
 //!
 //! The one-pass capacity sweeps ([`crate::sweep::capacity_sweep`]) measure
 //! the *cache-model* intensity curve of a computation: its canonical trace
@@ -9,6 +10,16 @@
 //! address map, an exact length, and the operation count of the traced
 //! computation. [`AccessTrace`] packages exactly that, and
 //! [`Kernel::access_trace`](crate::Kernel::access_trace) returns it.
+//!
+//! Every access carries its direction ([`balance_core::Access`]): a store
+//! into a result location is a [`AccessKind::Write`](balance_core::AccessKind),
+//! everything else a read, with read-modify-write updates (accumulations,
+//! in-place eliminations) tagged as writes. The tags feed the
+//! device-realistic engines' dirty-write-back ledger
+//! ([`balance_machine::TrafficProfile`]); the word-granular all-read
+//! sweeps simply drop them via [`AccessTrace::into_addrs`], whose
+//! [`AddrIter`] adapter forwards the underlying iterator's O(1) `nth` so
+//! segmented range-slicing stays cheap.
 //!
 //! Address maps are dense and documented per builder; lengths are exact
 //! (the stack-distance engine and the replay model both pre-size from
@@ -22,12 +33,15 @@
 
 use core::fmt;
 
+use balance_core::Access;
+
 use crate::matmul::NaiveTrace;
 
-/// A kernel's canonical access trace: a streamed address iterator plus the
-/// exact metadata the capacity-sweep engines pre-size and price with.
+/// A kernel's canonical access trace: a streamed, read/write-tagged
+/// iterator plus the exact metadata the capacity-sweep engines pre-size
+/// and price with.
 pub struct AccessTrace {
-    addrs: Box<dyn Iterator<Item = u64> + Send>,
+    accesses: Box<dyn Iterator<Item = Access> + Send>,
     len: u64,
     addr_bound: u64,
     comp_ops: u64,
@@ -44,25 +58,25 @@ impl fmt::Debug for AccessTrace {
 }
 
 impl AccessTrace {
-    /// Packages a trace. `len` must be the exact number of addresses the
-    /// iterator yields and every address must lie in `[0, addr_bound)` —
-    /// both are contract, both are pinned by the registry tests.
+    /// Packages a tagged trace. `len` must be the exact number of accesses
+    /// the iterator yields and every address must lie in `[0, addr_bound)`
+    /// — both are contract, both are pinned by the registry tests.
     #[must_use]
     pub fn new(
-        addrs: impl Iterator<Item = u64> + Send + 'static,
+        accesses: impl Iterator<Item = Access> + Send + 'static,
         len: u64,
         addr_bound: u64,
         comp_ops: u64,
     ) -> Self {
         AccessTrace {
-            addrs: Box::new(addrs),
+            accesses: Box::new(accesses),
             len,
             addr_bound,
             comp_ops,
         }
     }
 
-    /// Exact number of addresses in the trace.
+    /// Exact number of accesses in the trace.
     #[must_use]
     pub fn len(&self) -> u64 {
         self.len
@@ -88,17 +102,61 @@ impl AccessTrace {
         self.comp_ops
     }
 
-    /// Consumes the trace, yielding the address stream.
+    /// Consumes the trace, yielding the tagged access stream — the
+    /// device-realistic engines' input.
     #[must_use]
-    pub fn into_addrs(self) -> Box<dyn Iterator<Item = u64> + Send> {
-        self.addrs
+    pub fn into_accesses(self) -> Box<dyn Iterator<Item = Access> + Send> {
+        self.accesses
+    }
+
+    /// Consumes the trace, yielding the bare address stream (tags
+    /// dropped) — the word-granular all-read engines' input. The adapter
+    /// forwards `nth`, so positional skips stay O(1) where the underlying
+    /// generator decodes them in closed form.
+    #[must_use]
+    pub fn into_addrs(self) -> AddrIter<Box<dyn Iterator<Item = Access> + Send>> {
+        AddrIter(self.accesses)
     }
 }
 
+/// Address-projecting adapter over a tagged access iterator: yields
+/// `access.addr`, forwarding `nth` and `size_hint` (a plain
+/// `map(|a| a.addr)` would degrade the streaming generators' O(1)
+/// positional skip to a scan — the segmented parallel engine's per-range
+/// slicing depends on it).
+#[derive(Debug, Clone)]
+pub struct AddrIter<I>(I);
+
+impl<I: Iterator<Item = Access>> AddrIter<I> {
+    /// Wraps a tagged iterator.
+    pub fn new(inner: I) -> Self {
+        AddrIter(inner)
+    }
+}
+
+impl<I: Iterator<Item = Access>> Iterator for AddrIter<I> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.0.next().map(|a| a.addr)
+    }
+
+    fn nth(&mut self, n: usize) -> Option<u64> {
+        self.0.nth(n).map(|a| a.addr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: ExactSizeIterator<Item = Access>> ExactSizeIterator for AddrIter<I> {}
+
 /// Naive triple-loop matmul (`ijk` order): `A` at `[0, n²)`, `B` at
-/// `[n², 2n²)`, `C` at `[2n², 3n²)`; `3n³` addresses, `2n³` ops. Reuses
-/// the streaming [`NaiveTrace`] generator — its `ExactSizeIterator::len`
-/// is the trace length (honesty pinned by regression test).
+/// `[n², 2n²)`, `C` at `[2n², 3n²)`; `3n³` accesses (the `C`
+/// accumulation tagged a write), `2n³` ops. Reuses the streaming
+/// [`NaiveTrace`] generator — its `ExactSizeIterator::len` is the trace
+/// length (honesty pinned by regression test).
 #[must_use]
 pub fn matmul(n: usize) -> AccessTrace {
     let t = NaiveTrace::new(n);
@@ -110,8 +168,8 @@ pub fn matmul(n: usize) -> AccessTrace {
 /// Unblocked right-looking Gaussian elimination (no pivoting) on `A` at
 /// `[0, n²)`: for each `k`, each row `i > k` reads `A[i][k]`, `A[k][k]`,
 /// writes the multiplier back, then updates its trailing row (`A[k][j]`
-/// read, `A[i][j]` read+write). Ops: one divide per multiplier, two per
-/// update — the `2n³/3` leading term.
+/// read, `A[i][j]` read then written). Ops: one divide per multiplier,
+/// two per update — the `2n³/3` leading term.
 #[must_use]
 pub fn triangularization(n: usize) -> AccessTrace {
     let n64 = n as u64;
@@ -124,11 +182,19 @@ pub fn triangularization(n: usize) -> AccessTrace {
     }
     let iter = (0..n as u64).flat_map(move |k| {
         (k + 1..n64).flat_map(move |i| {
-            [i * n64 + k, k * n64 + k, i * n64 + k]
-                .into_iter()
-                .chain((k + 1..n64).flat_map(move |j| {
-                    [k * n64 + j, i * n64 + j, i * n64 + j]
-                }))
+            [
+                Access::read(i * n64 + k),
+                Access::read(k * n64 + k),
+                Access::write(i * n64 + k), // multiplier stored in place
+            ]
+            .into_iter()
+            .chain((k + 1..n64).flat_map(move |j| {
+                [
+                    Access::read(k * n64 + j),
+                    Access::read(i * n64 + j),
+                    Access::write(i * n64 + j), // trailing update in place
+                ]
+            }))
         })
     });
     AccessTrace::new(iter, len, n64 * n64, ops)
@@ -167,10 +233,10 @@ pub fn grid(dim: usize, iters: usize) -> AccessTrace {
         (0..cells).flat_map(move |c| {
             (0..star + 1).map(move |probe| {
                 if probe == 0 {
-                    return src + c;
+                    return Access::read(src + c);
                 }
                 if probe == star {
-                    return dst + c;
+                    return Access::write(dst + c);
                 }
                 let axis = (probe - 1) / 2;
                 let stride = side.pow(u32::try_from(axis).unwrap_or_else(|_| panic!("dim <= 4")));
@@ -180,7 +246,7 @@ pub fn grid(dim: usize, iters: usize) -> AccessTrace {
                 } else {
                     (x + 1) % side
                 };
-                src + c - x * stride + wrapped * stride
+                Access::read(src + c - x * stride + wrapped * stride)
             })
         })
     });
@@ -191,9 +257,10 @@ pub fn grid(dim: usize, iters: usize) -> AccessTrace {
 /// In-place iterative radix-2 decimation-in-time FFT over `n` complex
 /// points (`n` a power of two), one complex point = two words at
 /// `[2i, 2i+1]`: each of the `log₂n` stages runs `n/2` butterflies, each
-/// reading then writing both points (8 word accesses, 10 real ops).
-/// Returns `None` when `n` is not a power of two or is below 2 — the same
-/// restriction as the kernel.
+/// reading then writing both points (8 word accesses — the last 4 are the
+/// write-backs of the butterfly result — 10 real ops). Returns `None`
+/// when `n` is not a power of two or is below 2 — the same restriction as
+/// the kernel.
 #[must_use]
 pub fn fft(n: usize) -> Option<AccessTrace> {
     if n < 2 || !n.is_power_of_two() {
@@ -209,7 +276,16 @@ pub fn fft(n: usize) -> Option<AccessTrace> {
             let a = ((b >> s) << (s + 1)) + j;
             let p = a + span;
             // Read both complex points, then write both back.
-            [2 * a, 2 * a + 1, 2 * p, 2 * p + 1, 2 * a, 2 * a + 1, 2 * p, 2 * p + 1]
+            [
+                Access::read(2 * a),
+                Access::read(2 * a + 1),
+                Access::read(2 * p),
+                Access::read(2 * p + 1),
+                Access::write(2 * a),
+                Access::write(2 * a + 1),
+                Access::write(2 * p),
+                Access::write(2 * p + 1),
+            ]
         })
     });
     Some(AccessTrace::new(
@@ -221,16 +297,16 @@ pub fn fft(n: usize) -> Option<AccessTrace> {
 }
 
 /// Ping-pong merge sort over `n` keys: `⌈log₂n⌉` passes, each streaming
-/// every key from the source buffer to the destination buffer (buffers
-/// alternate between `[0, n)` and `[n, 2n)`); one comparison per key per
-/// pass — the unit the sorting kernel counts.
+/// every key from the source buffer (read) to the destination buffer
+/// (write; buffers alternate between `[0, n)` and `[n, 2n)`); one
+/// comparison per key per pass — the unit the sorting kernel counts.
 #[must_use]
 pub fn sort(n: usize) -> AccessTrace {
     let n64 = n as u64;
     let passes = u64::from(n.next_power_of_two().trailing_zeros());
     let iter = (0..passes).flat_map(move |p| {
         let (src, dst) = if p % 2 == 0 { (0, n64) } else { (n64, 0) };
-        (0..n64).flat_map(move |i| [src + i, dst + i])
+        (0..n64).flat_map(move |i| [Access::read(src + i), Access::write(dst + i)])
     });
     AccessTrace::new(iter, passes * 2 * n64, 2 * n64, passes * n64)
 }
@@ -245,8 +321,8 @@ pub fn matvec(n: usize) -> AccessTrace {
     let y0 = x0 + n64;
     let iter = (0..n64).flat_map(move |i| {
         (0..n64)
-            .flat_map(move |j| [i * n64 + j, x0 + j])
-            .chain([y0 + i])
+            .flat_map(move |j| [Access::read(i * n64 + j), Access::read(x0 + j)])
+            .chain([Access::write(y0 + i)])
     });
     AccessTrace::new(iter, n64 * (2 * n64 + 1), y0 + n64, 2 * n64 * n64)
 }
@@ -263,8 +339,12 @@ pub fn trisolve(n: usize) -> AccessTrace {
     let x0 = b0 + n64;
     let iter = (0..n64).flat_map(move |i| {
         (0..i)
-            .flat_map(move |j| [i * n64 + j, x0 + j])
-            .chain([b0 + i, i * n64 + i, x0 + i])
+            .flat_map(move |j| [Access::read(i * n64 + j), Access::read(x0 + j)])
+            .chain([
+                Access::read(b0 + i),
+                Access::read(i * n64 + i),
+                Access::write(x0 + i),
+            ])
     });
     AccessTrace::new(iter, n64 * n64 + 2 * n64, x0 + n64, n64 * n64)
 }
@@ -277,8 +357,11 @@ pub fn trisolve(n: usize) -> AccessTrace {
 pub fn transpose(n: usize) -> AccessTrace {
     let n64 = n as u64;
     let b0 = n64 * n64;
-    let iter = (0..n64)
-        .flat_map(move |i| (0..n64).flat_map(move |j| [i * n64 + j, b0 + j * n64 + i]));
+    let iter = (0..n64).flat_map(move |i| {
+        (0..n64).flat_map(move |j| {
+            [Access::read(i * n64 + j), Access::write(b0 + j * n64 + i)]
+        })
+    });
     AccessTrace::new(iter, 2 * n64 * n64, 2 * n64 * n64, n64 * n64)
 }
 
@@ -291,7 +374,9 @@ pub fn convolution(n: usize, taps: usize) -> AccessTrace {
     let w0 = n64 + k - 1;
     let y0 = w0 + k;
     let iter = (0..n64).flat_map(move |i| {
-        (0..k).flat_map(move |t| [i + t, w0 + t]).chain([y0 + i])
+        (0..k)
+            .flat_map(move |t| [Access::read(i + t), Access::read(w0 + t)])
+            .chain([Access::write(y0 + i)])
     });
     AccessTrace::new(iter, n64 * (2 * k + 1), y0 + n64, 2 * k * n64)
 }
@@ -308,8 +393,10 @@ pub fn multi_matvec(n: usize, v: usize) -> AccessTrace {
     let iter = (0..v64).flat_map(move |vec| {
         (0..n64).flat_map(move |i| {
             (0..n64)
-                .flat_map(move |j| [i * n64 + j, x0 + vec * n64 + j])
-                .chain([y0 + vec * n64 + i])
+                .flat_map(move |j| {
+                    [Access::read(i * n64 + j), Access::read(x0 + vec * n64 + j)]
+                })
+                .chain([Access::write(y0 + vec * n64 + i)])
         })
     });
     AccessTrace::new(
@@ -328,12 +415,16 @@ mod tests {
         let (len, bound) = (trace.len(), trace.addr_bound());
         let mut count = 0u64;
         let mut max = 0u64;
-        for a in trace.into_addrs() {
+        let mut writes = 0u64;
+        for a in trace.into_accesses() {
             count += 1;
-            max = max.max(a + 1);
+            max = max.max(a.addr + 1);
+            writes += u64::from(a.is_write());
         }
         assert_eq!(count, len, "declared length must be exact");
         assert!(max <= bound, "address {max} exceeds bound {bound}");
+        assert!(writes > 0, "every computation stores its result");
+        assert!(writes < count, "a trace is never writes alone");
     }
 
     #[test]
@@ -369,25 +460,70 @@ mod tests {
     }
 
     #[test]
+    fn addr_iter_forwards_positional_skips() {
+        // AddrIter::nth must agree with stepping — through the Box and
+        // through NaiveTrace's closed-form decode.
+        let stepped: Vec<u64> = matmul(4).into_addrs().collect();
+        for start in [0usize, 1, 7, 100] {
+            let mut it = matmul(4).into_addrs();
+            assert_eq!(it.nth(start), stepped.get(start).copied(), "skip {start}");
+        }
+        let mut it = AddrIter::new(NaiveTrace::new(4));
+        assert_eq!(it.len(), 3 * 64);
+        assert_eq!(it.nth(5), Some(stepped[5]));
+        assert_eq!(it.len(), 3 * 64 - 6);
+    }
+
+    #[test]
     fn grid_trace_touches_both_buffers() {
         let t = grid(2, 2);
         let cells = 16u64 * 16;
         assert_eq!(t.addr_bound(), 2 * cells);
-        let addrs: Vec<u64> = t.into_addrs().collect();
+        let accesses: Vec<Access> = t.into_accesses().collect();
         // Sweep 0 writes the upper buffer, sweep 1 writes it back.
-        assert!(addrs.iter().any(|&a| a >= cells));
-        assert!(addrs.iter().any(|&a| a < cells));
+        assert!(accesses.iter().any(|a| a.is_write() && a.addr >= cells));
+        assert!(accesses.iter().any(|a| a.is_write() && a.addr < cells));
         // Per cell: 4 star reads + self + write.
-        assert_eq!(addrs.len() as u64, 2 * cells * 6);
+        assert_eq!(accesses.len() as u64, 2 * cells * 6);
+        let writes = accesses.iter().filter(|a| a.is_write()).count() as u64;
+        assert_eq!(writes, 2 * cells, "exactly one write per cell per sweep");
     }
 
     #[test]
-    fn sort_trace_alternates_buffers() {
+    fn sort_trace_alternates_buffers_and_tags_stores() {
         let t = sort(4); // 2 passes
-        let addrs: Vec<u64> = t.into_addrs().collect();
-        assert_eq!(addrs.len(), 2 * 2 * 4);
-        assert_eq!(&addrs[..4], &[0, 4, 1, 5]); // pass 0: [0,n) -> [n,2n)
-        assert_eq!(&addrs[8..12], &[4, 0, 5, 1]); // pass 1: back
+        let accesses: Vec<Access> = t.into_accesses().collect();
+        assert_eq!(accesses.len(), 2 * 2 * 4);
+        assert_eq!(
+            &accesses[..4],
+            &[
+                Access::read(0),
+                Access::write(4),
+                Access::read(1),
+                Access::write(5)
+            ]
+        ); // pass 0: [0,n) -> [n,2n)
+        assert_eq!(
+            &accesses[8..12],
+            &[
+                Access::read(4),
+                Access::write(0),
+                Access::read(5),
+                Access::write(1)
+            ]
+        ); // pass 1: back
+    }
+
+    #[test]
+    fn in_place_kernels_write_their_updates() {
+        // Triangularization stores every multiplier and trailing update in
+        // place; the FFT writes each butterfly's 4 result words.
+        let tri: Vec<Access> = triangularization(4).into_accesses().collect();
+        let writes = tri.iter().filter(|a| a.is_write()).count();
+        assert_eq!(writes, tri.len() / 3, "one write per 3-access group");
+        let fft_trace: Vec<Access> = fft(8).unwrap().into_accesses().collect();
+        let fft_writes = fft_trace.iter().filter(|a| a.is_write()).count();
+        assert_eq!(fft_writes, fft_trace.len() / 2, "4 of each 8 butterfly words");
     }
 
     #[test]

@@ -97,15 +97,16 @@ proptest! {
     /// stays truthful at every step.
     #[test]
     fn naive_trace_streams_the_materialized_sequence(n in 0usize..14) {
-        // The pre-streaming generator, verbatim, as the oracle.
+        // The pre-streaming generator, verbatim, as the oracle — the A/B
+        // streams read, the C accumulation tagged a write.
         let n2 = (n * n) as u64;
         let mut want = Vec::with_capacity(3 * n * n * n);
         for i in 0..n as u64 {
             for j in 0..n as u64 {
                 for k in 0..n as u64 {
-                    want.push(i * n as u64 + k);
-                    want.push(n2 + k * n as u64 + j);
-                    want.push(2 * n2 + i * n as u64 + j);
+                    want.push(balance_core::Access::read(i * n as u64 + k));
+                    want.push(balance_core::Access::read(n2 + k * n as u64 + j));
+                    want.push(balance_core::Access::write(2 * n2 + i * n as u64 + j));
                 }
             }
         }
@@ -134,9 +135,9 @@ proptest! {
                     for i in i0..i0 + ib {
                         for k in k0..k0 + kb {
                             for j in j0..j0 + jb {
-                                want.push((i * n + k) as u64);
-                                want.push(n2 + (k * n + j) as u64);
-                                want.push(2 * n2 + (i * n + j) as u64);
+                                want.push(balance_core::Access::read((i * n + k) as u64));
+                                want.push(balance_core::Access::read(n2 + (k * n + j) as u64));
+                                want.push(balance_core::Access::write(2 * n2 + (i * n + j) as u64));
                             }
                         }
                     }
@@ -145,7 +146,7 @@ proptest! {
         }
         let it = balance_kernels::matmul::BlockedTrace::new(n, b);
         prop_assert_eq!(it.len(), 3 * n * n * n);
-        let got: Vec<u64> = it.collect();
+        let got: Vec<balance_core::Access> = it.collect();
         prop_assert_eq!(got, want);
     }
 
@@ -395,6 +396,129 @@ proptest! {
         prop_assert_eq!(
             classic.execution.cost.io_at(0),
             Some(classic.execution.cost.io_words())
+        );
+    }
+
+    /// The device model's safety net, across the whole registry: at
+    /// 1-word lines the device read stream *is* the word-granular miss
+    /// curve — `read_at(0)` equals the legacy sweep's `io_words()` at
+    /// every capacity, on both tagged engines — and the read-only
+    /// `line_words = 1` model (`TrafficModel::WORD`) routes through the
+    /// legacy path bit-identically.
+    #[test]
+    fn device_unit_line_reads_match_word_sweeps_across_registry(
+        kernel_idx in 0usize..11,
+        seed in 0u64..8,
+    ) {
+        let mut kernels = all_kernels();
+        kernels.extend(extension_kernels());
+        let kernel = &kernels[kernel_idx];
+        let cfg = SweepConfig {
+            n: 8,
+            memories: vec![2, 8, 32, 128, 512],
+            seed,
+            verify: Verify::None,
+            engine: Engine::StackDist,
+            ..SweepConfig::default()
+        };
+        let word = capacity_sweep(&**kernel, &cfg).unwrap();
+        let tagged = capacity_sweep(
+            &**kernel,
+            &cfg.clone().with_traffic(TrafficModel::WORD),
+        )
+        .unwrap();
+        prop_assert_eq!(&word.runs, &tagged.runs, "kernel {}", kernel.name());
+        let unit = capacity_sweep(
+            &**kernel,
+            &cfg.clone().with_traffic(TrafficModel::device(1)),
+        )
+        .unwrap();
+        let unit_replay = capacity_sweep(
+            &**kernel,
+            &cfg.clone()
+                .with_engine(Engine::Replay)
+                .with_traffic(TrafficModel::device(1)),
+        )
+        .unwrap();
+        prop_assert_eq!(&unit.runs, &unit_replay.runs, "kernel {}", kernel.name());
+        for (w, u) in word.runs.iter().zip(&unit.runs) {
+            prop_assert_eq!(
+                Some(w.execution.cost.io_words()),
+                u.execution.cost.read_at(0),
+                "kernel {} at M = {}", kernel.name(), w.m
+            );
+        }
+    }
+
+    /// The one-pass write-back ledger is bit-identical to a dirty-bit
+    /// `LruCache` replay of the tagged trace (final flush included) at
+    /// every capacity, across the registry and line sizes, on both the
+    /// hashed and direct-indexed cache backends.
+    #[test]
+    fn writeback_ledger_matches_dirty_lru_replay_across_registry(
+        kernel_idx in 0usize..11,
+        lw_idx in 0usize..3,
+        cap_lines in 1usize..96,
+    ) {
+        let mut kernels = all_kernels();
+        kernels.extend(extension_kernels());
+        let kernel = &kernels[kernel_idx];
+        let lw = [1u64, 2, 8][lw_idx];
+        let trace = kernel.access_trace(8).expect("registry traces exist at n = 8");
+        let bound = trace.addr_bound();
+        let profile = balance_machine::StackDistance::traffic_profile_of(
+            trace.into_accesses(),
+            lw,
+        );
+        let m = cap_lines as u64 * lw;
+        let trace = kernel.access_trace(8).unwrap();
+        let mut fx = balance_machine::LruCache::new(cap_lines, lw);
+        let (misses, wbs) = fx.run_tagged_trace(trace.into_accesses());
+        prop_assert_eq!(
+            (profile.read_misses_at(m), profile.writebacks_at(m)),
+            (misses, wbs),
+            "kernel {}, line {}, M = {}", kernel.name(), lw, m
+        );
+        let trace = kernel.access_trace(8).unwrap();
+        let mut direct =
+            balance_machine::LruCache::with_address_bound(cap_lines, lw, bound.max(1));
+        prop_assert_eq!(
+            direct.run_tagged_trace(trace.into_accesses()),
+            (misses, wbs),
+            "kernel {}, line {}, M = {} (direct)", kernel.name(), lw, m
+        );
+    }
+
+    /// `writebacks_at(M)` is monotone non-increasing in `M` with the
+    /// end-of-run flush as its floor: no capacity, however large, avoids
+    /// writing each distinct dirty line back once.
+    #[test]
+    fn writebacks_monotone_with_flush_floor_across_registry(
+        kernel_idx in 0usize..11,
+        lw_idx in 0usize..3,
+    ) {
+        let mut kernels = all_kernels();
+        kernels.extend(extension_kernels());
+        let kernel = &kernels[kernel_idx];
+        let lw = [1u64, 2, 8][lw_idx];
+        let trace = kernel.access_trace(8).expect("registry traces exist at n = 8");
+        let profile =
+            balance_machine::StackDistance::traffic_profile_of(trace.into_accesses(), lw);
+        let floor = profile.written_lines();
+        let mut last = profile.writebacks_at(0);
+        for cap_lines in 0u64..256 {
+            let wb = profile.writebacks_at(cap_lines * lw);
+            prop_assert!(
+                wb <= last,
+                "kernel {}, line {}: wb({}) = {} > {}",
+                kernel.name(), lw, cap_lines * lw, wb, last
+            );
+            prop_assert!(wb >= floor, "kernel {}, line {}", kernel.name(), lw);
+            last = wb;
+        }
+        prop_assert_eq!(
+            profile.writebacks_at(u64::MAX), floor,
+            "kernel {}, line {}", kernel.name(), lw
         );
     }
 

@@ -41,6 +41,8 @@ struct Node {
     key: u64,
     prev: usize,
     next: usize,
+    /// Written since it was filled: eviction emits a write-back.
+    dirty: bool,
 }
 
 /// One packed probe slot: key and node-arena index side by side, so a
@@ -181,6 +183,7 @@ pub struct LruCache {
     tail: usize, // least recently used
     hits: u64,
     misses: u64,
+    writebacks: u64,
 }
 
 impl LruCache {
@@ -212,6 +215,7 @@ impl LruCache {
             tail: NIL,
             hits: 0,
             misses: 0,
+            writebacks: 0,
         }
     }
 
@@ -262,14 +266,32 @@ impl LruCache {
         LruCache::new(capacity_words, 1)
     }
 
-    /// Touches word address `addr`; returns `true` on hit. A miss inserts
-    /// the containing line, evicting the least recently used line if full.
+    /// Touches word address `addr` as a read; returns `true` on hit. A
+    /// miss inserts the containing line, evicting the least recently used
+    /// line if full (a dirty victim emits a write-back).
     ///
     /// # Panics
     ///
     /// On the direct-indexed backend, panics if `addr` exceeds the bound
     /// declared at construction.
     pub fn access(&mut self, addr: u64) -> bool {
+        self.access_inner(addr, false)
+    }
+
+    /// Touches word address `addr` with an explicit direction
+    /// ([`balance_core::Access`]); returns `true` on hit. A write marks the
+    /// containing line dirty (write-allocate: a write miss fills the line
+    /// like a read miss would), so its eventual eviction — or a final
+    /// [`LruCache::flush_dirty`] — emits a write-back.
+    ///
+    /// # Panics
+    ///
+    /// As [`LruCache::access`].
+    pub fn access_tagged(&mut self, access: balance_core::Access) -> bool {
+        self.access_inner(access.addr, access.is_write())
+    }
+
+    fn access_inner(&mut self, addr: u64, is_write: bool) -> bool {
         let key = addr / self.line_words;
         // One probe on either backend. The Fx probe is entry-style: on a
         // miss it also yields the slot the key will be inserted into.
@@ -297,6 +319,9 @@ impl LruCache {
             Ok(idx) => {
                 self.hits += 1;
                 self.move_to_front(idx);
+                if is_write {
+                    self.nodes[idx].dirty = true;
+                }
                 return true;
             }
             Err(fx_slot) => fx_slot,
@@ -310,7 +335,7 @@ impl LruCache {
         // leaves vacant slots, and the backward-shift removal is correct
         // in any valid table state.)
         let evicted_key = (self.resident == self.capacity_lines).then(|| self.detach_lru());
-        let idx = self.alloc_node(key);
+        let idx = self.alloc_node(key, is_write);
         self.push_front(idx);
         match &mut self.index {
             LineIndex::Direct { slots } => {
@@ -346,6 +371,41 @@ impl LruCache {
         self.misses - before
     }
 
+    /// Runs a whole tagged trace; returns `(misses, writebacks)` incurred
+    /// by it, including the final flush of lines left dirty at the end
+    /// ([`LruCache::flush_dirty`]) — the convention of the one-pass
+    /// write-back ledger, whose every capacity charges a computation's
+    /// lingering dirty lines.
+    pub fn run_tagged_trace(
+        &mut self,
+        accesses: impl IntoIterator<Item = balance_core::Access>,
+    ) -> (u64, u64) {
+        let (miss0, wb0) = (self.misses, self.writebacks);
+        for a in accesses {
+            self.access_tagged(a);
+        }
+        self.flush_dirty();
+        (self.misses - miss0, self.writebacks - wb0)
+    }
+
+    /// Writes every resident dirty line back (marking it clean, residency
+    /// unchanged) and returns how many write-backs that emitted. The
+    /// end-of-run flush: a computation's final results must reach the
+    /// outer level no matter how big the cache was.
+    pub fn flush_dirty(&mut self) -> u64 {
+        let mut flushed = 0u64;
+        let mut idx = self.head;
+        while idx != NIL {
+            if self.nodes[idx].dirty {
+                self.nodes[idx].dirty = false;
+                flushed += 1;
+            }
+            idx = self.nodes[idx].next;
+        }
+        self.writebacks += flushed;
+        flushed
+    }
+
     /// Cache hits so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
@@ -362,6 +422,19 @@ impl LruCache {
     #[must_use]
     pub fn miss_words(&self) -> u64 {
         self.misses * self.line_words
+    }
+
+    /// Write-backs so far: dirty evictions plus any explicit
+    /// [`LruCache::flush_dirty`] flushes.
+    #[must_use]
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// I/O words implied by the write-backs (`writebacks × line_words`).
+    #[must_use]
+    pub fn writeback_words(&self) -> u64 {
+        self.writebacks * self.line_words
     }
 
     /// Lines currently resident.
@@ -382,12 +455,13 @@ impl LruCache {
         self.line_words
     }
 
-    fn alloc_node(&mut self, key: u64) -> usize {
+    fn alloc_node(&mut self, key: u64, dirty: bool) -> usize {
         if let Some(idx) = self.free.pop() {
             self.nodes[idx] = Node {
                 key,
                 prev: NIL,
                 next: NIL,
+                dirty,
             };
             idx
         } else {
@@ -395,6 +469,7 @@ impl LruCache {
                 key,
                 prev: NIL,
                 next: NIL,
+                dirty,
             });
             self.nodes.len() - 1
         }
@@ -435,13 +510,17 @@ impl LruCache {
     }
 
     /// Unlinks the LRU node from the list and arena, returning its key.
-    /// The caller is responsible for removing the key from the line index
-    /// (deferred so the evicting-miss path can insert entry-style first).
+    /// A dirty victim is charged one write-back here. The caller is
+    /// responsible for removing the key from the line index (deferred so
+    /// the evicting-miss path can insert entry-style first).
     fn detach_lru(&mut self) -> u64 {
         let idx = self.tail;
         debug_assert_ne!(idx, NIL, "evict called on empty cache");
         self.unlink(idx);
         let key = self.nodes[idx].key;
+        if self.nodes[idx].dirty {
+            self.writebacks += 1;
+        }
         self.free.push(idx);
         self.resident -= 1;
         key
@@ -598,6 +677,82 @@ mod tests {
         }
         assert_eq!(c.hits() + misses, 50 * 40);
         assert!(c.resident_lines() <= 17);
+    }
+
+    #[test]
+    fn dirty_evictions_emit_writebacks() {
+        use balance_core::Access;
+        for mut c in both(2, 1, 64) {
+            c.access_tagged(Access::write(1)); // miss, line 1 dirty
+            c.access_tagged(Access::read(2)); // miss, clean
+            c.access_tagged(Access::read(3)); // miss, evicts dirty 1 -> wb
+            assert_eq!(c.writebacks(), 1);
+            c.access_tagged(Access::read(4)); // evicts clean 2 -> no wb
+            assert_eq!(c.writebacks(), 1);
+            assert_eq!(c.writeback_words(), 1);
+        }
+    }
+
+    #[test]
+    fn write_hit_dirties_a_clean_line() {
+        use balance_core::Access;
+        for mut c in both(2, 1, 64) {
+            c.access_tagged(Access::read(1)); // miss, clean
+            c.access_tagged(Access::write(1)); // hit, now dirty
+            c.access_tagged(Access::read(2));
+            c.access_tagged(Access::read(3)); // evicts 1 -> wb
+            assert_eq!(c.writebacks(), 1);
+        }
+    }
+
+    #[test]
+    fn flush_emits_remaining_dirty_lines_once() {
+        use balance_core::Access;
+        for mut c in both(4, 1, 64) {
+            c.access_tagged(Access::write(1));
+            c.access_tagged(Access::write(2));
+            c.access_tagged(Access::read(3));
+            assert_eq!(c.writebacks(), 0, "nothing evicted yet");
+            assert_eq!(c.flush_dirty(), 2);
+            assert_eq!(c.writebacks(), 2);
+            // A second flush finds everything clean.
+            assert_eq!(c.flush_dirty(), 0);
+            assert_eq!(c.resident_lines(), 3, "flush keeps lines resident");
+        }
+    }
+
+    #[test]
+    fn line_granular_writes_dirty_the_whole_line() {
+        use balance_core::Access;
+        for mut c in both(2, 8, 64) {
+            c.access_tagged(Access::write(3)); // line 0 dirty
+            c.access_tagged(Access::read(8)); // line 1
+            c.access_tagged(Access::read(16)); // line 2, evicts line 0 -> wb
+            assert_eq!(c.writebacks(), 1);
+            assert_eq!(c.writeback_words(), 8);
+        }
+    }
+
+    #[test]
+    fn run_tagged_trace_includes_the_final_flush() {
+        use balance_core::Access;
+        for mut c in both(8, 1, 64) {
+            let (misses, wbs) =
+                c.run_tagged_trace([Access::write(1), Access::read(2), Access::write(3)]);
+            assert_eq!(misses, 3);
+            assert_eq!(wbs, 2, "both dirty lines flush at end of run");
+        }
+    }
+
+    #[test]
+    fn untagged_access_is_read_only() {
+        for mut c in both(2, 1, 64) {
+            c.access(1);
+            c.access(2);
+            c.access(3); // evicts 1 — clean, no wb
+            assert_eq!(c.writebacks(), 0);
+            assert_eq!(c.flush_dirty(), 0);
+        }
     }
 
     #[test]

@@ -51,7 +51,13 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"KBSD";
 /// Current checkpoint format version. Bumped on any layout change; images
 /// from other versions are rejected with
 /// [`CheckpointError::UnsupportedVersion`] rather than misread.
-pub const CHECKPOINT_VERSION: u16 = 1;
+///
+/// **v2** (the current format) extends v1 with the tagged engine's dirty
+/// write-back state: a second histogram of closed dirty-chain gaps plus
+/// the per-line open chains. v1 images (from builds before the
+/// device-realistic traffic model) are rejected cleanly — re-run the
+/// producing replay to regenerate them.
+pub const CHECKPOINT_VERSION: u16 = 2;
 
 /// How often the driver polls an armed wall-clock deadline, in addresses.
 const DEADLINE_POLL: u64 = 1 << 20;

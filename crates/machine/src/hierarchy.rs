@@ -175,10 +175,45 @@ impl Hierarchy {
 
     /// Builds the backend for a validated [`HierarchySpec`] (all levels,
     /// including level 0, cache-managed — the trace-driven configuration).
+    ///
+    /// Word-granular: every level transfers single words regardless of the
+    /// spec's line sizes. Use [`Hierarchy::from_spec_device`] to honor
+    /// them.
     #[must_use]
     pub fn from_spec(spec: &HierarchySpec) -> Self {
         let caps: Vec<Words> = spec.levels().iter().map(|l| l.capacity()).collect();
         Hierarchy::new(&caps)
+    }
+
+    /// Builds the device-realistic backend for a validated
+    /// [`HierarchySpec`]: each level is an LRU over `capacity / line_words`
+    /// lines of that level's own line size, with dirty-bit write-back
+    /// accounting. Feed it tagged accesses
+    /// ([`Hierarchy::run_tagged_trace`]) and read the dual ledger off
+    /// [`Hierarchy::dual_traffic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a level's capacity is smaller than its line size (the
+    /// level could not hold even one line).
+    #[must_use]
+    pub fn from_spec_device(spec: &HierarchySpec) -> Self {
+        let levels = spec
+            .levels()
+            .iter()
+            .map(|l| {
+                let lw = l.line_words();
+                assert!(
+                    l.capacity().get() >= lw,
+                    "level capacity {} cannot hold a {lw}-word line",
+                    l.capacity()
+                );
+                let lines = usize::try_from(l.capacity().get() / lw)
+                    .unwrap_or_else(|_| panic!("level capacity overflows usize"));
+                LruCache::new(lines, lw)
+            })
+            .collect();
+        Hierarchy { levels, accesses: 0 }
     }
 
     /// Total accesses observed at the innermost level.
@@ -220,10 +255,60 @@ impl Hierarchy {
         hit_level
     }
 
-    /// Discards all cached state and counters (capacities are kept).
+    /// Observes one *tagged* access at every level (each level tracks its
+    /// own line granularity and dirty bits); returns the innermost level
+    /// that hit, as [`Hierarchy::access_returning_level`].
+    pub fn access_tagged_returning_level(&mut self, access: balance_core::Access) -> usize {
+        self.accesses += 1;
+        let depth = self.levels.len();
+        let mut hit_level = depth;
+        for (i, cache) in self.levels.iter_mut().enumerate() {
+            if cache.access_tagged(access) && hit_level == depth {
+                hit_level = i;
+            }
+        }
+        hit_level
+    }
+
+    /// Writes every resident dirty line back at every level; returns the
+    /// total write-backs (lines) emitted. The end-of-run flush — call it
+    /// before reading [`Hierarchy::dual_traffic`] for a finished
+    /// computation.
+    pub fn flush_dirty(&mut self) -> u64 {
+        self.levels.iter_mut().map(LruCache::flush_dirty).sum()
+    }
+
+    /// Runs a whole tagged trace through every level and flushes the
+    /// lingering dirty lines; returns the dual ledger
+    /// ([`Hierarchy::dual_traffic`]).
+    pub fn run_tagged_trace(
+        &mut self,
+        accesses: impl IntoIterator<Item = balance_core::Access>,
+    ) -> LevelTraffic {
+        for a in accesses {
+            let _ = self.access_tagged_returning_level(a);
+        }
+        self.flush_dirty();
+        self.dual_traffic()
+    }
+
+    /// The dual ledger: fetch words and write-back words that crossed each
+    /// boundary, innermost first. The scalar view
+    /// ([`LevelTraffic::get`] / [`LevelTraffic::as_slice`]) reads the sum,
+    /// so word-granular all-read replays report exactly what
+    /// [`MemorySystem::traffic`] always did.
+    #[must_use]
+    pub fn dual_traffic(&self) -> LevelTraffic {
+        let reads: Vec<u64> = self.levels.iter().map(LruCache::miss_words).collect();
+        let wbs: Vec<u64> = self.levels.iter().map(LruCache::writeback_words).collect();
+        LevelTraffic::from_reads_and_writebacks(&reads, &wbs)
+    }
+
+    /// Discards all cached state and counters (capacities and line sizes
+    /// are kept).
     pub fn reset(&mut self) {
         for cache in &mut self.levels {
-            *cache = LruCache::new(cache.capacity_lines(), 1);
+            *cache = LruCache::new(cache.capacity_lines(), cache.line_words());
         }
         self.accesses = 0;
     }
@@ -244,7 +329,8 @@ impl MemorySystem for Hierarchy {
     }
 
     fn capacity(&self, level: usize) -> Words {
-        Words::new(self.levels[level].capacity_lines() as u64)
+        let c = &self.levels[level];
+        Words::new(c.capacity_lines() as u64 * c.line_words())
     }
 }
 
@@ -336,5 +422,95 @@ mod tests {
     #[should_panic(expected = "at least one level")]
     fn empty_hierarchy_panics() {
         let _ = Hierarchy::new(&[]);
+    }
+
+    fn device_spec(levels: &[(u64, u64)]) -> HierarchySpec {
+        use balance_core::{LevelSpec, WordsPerSec};
+        HierarchySpec::new(
+            levels
+                .iter()
+                .map(|&(cap, lw)| {
+                    LevelSpec::new(Words::new(cap), WordsPerSec::new(1.0))
+                        .unwrap()
+                        .with_line_words(lw)
+                        .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn mixed_trace(n: u64, space: u64) -> Vec<balance_core::Access> {
+        (0..n)
+            .map(|i| {
+                let addr = (i * 13 + (i * i) % 7) % space;
+                if i % 3 == 0 {
+                    balance_core::Access::write(addr)
+                } else {
+                    balance_core::Access::read(addr)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn device_hierarchy_levels_are_standalone_dirty_lrus() {
+        // Each level of the ladder must count exactly what a lone
+        // line-granular dirty LRU of the same shape counts — levels with
+        // *different* line sizes included.
+        let spec = device_spec(&[(8, 2), (32, 4), (128, 8)]);
+        let trace = mixed_trace(800, 96);
+        let mut h = Hierarchy::from_spec_device(&spec);
+        let t = h.run_tagged_trace(trace.iter().copied());
+        for (i, &(cap, lw)) in [(8u64, 2u64), (32, 4), (128, 8)].iter().enumerate() {
+            let mut lone = LruCache::new((cap / lw) as usize, lw);
+            let (misses, wbs) = lone.run_tagged_trace(trace.iter().copied());
+            assert_eq!(t.read_at(i), Some(misses * lw), "level {i} fetch words");
+            assert_eq!(t.writeback_at(i), Some(wbs * lw), "level {i} wb words");
+            assert_eq!(h.capacity(i).get(), cap);
+        }
+    }
+
+    #[test]
+    fn device_hierarchy_matches_traffic_profile_at_uniform_line_size() {
+        // With one line size everywhere, the one-pass tagged engine's dual
+        // ledger must be bit-identical to the ladder replay.
+        use crate::stackdist::StackDistance;
+        let spec = device_spec(&[(16, 4), (64, 4), (256, 4)]);
+        let trace = mixed_trace(1200, 200);
+        let mut h = Hierarchy::from_spec_device(&spec);
+        let replayed = h.run_tagged_trace(trace.iter().copied());
+        let tp = StackDistance::traffic_profile_of(trace.iter().copied(), 4);
+        assert_eq!(tp.traffic_for(&spec), replayed);
+    }
+
+    #[test]
+    fn all_read_tagged_ladder_reports_the_word_granular_numbers() {
+        let spec = device_spec(&[(4, 1), (16, 1)]);
+        let addrs: Vec<u64> = (0..300u64).map(|i| (i * 5 + 1) % 40).collect();
+        let mut tagged = Hierarchy::from_spec_device(&spec);
+        let dual = tagged
+            .run_tagged_trace(addrs.iter().map(|&a| balance_core::Access::read(a)));
+        let mut plain = Hierarchy::from_spec(&spec);
+        let scalar = plain.run_trace(addrs.iter().copied());
+        assert_eq!(dual.as_slice(), scalar.as_slice(), "scalar view unchanged");
+        assert!(!dual.has_writebacks());
+    }
+
+    #[test]
+    fn device_reset_keeps_line_sizes() {
+        let spec = device_spec(&[(8, 4)]);
+        let mut h = Hierarchy::from_spec_device(&spec);
+        let t1 = h.run_tagged_trace(mixed_trace(100, 32));
+        h.reset();
+        assert_eq!(h.accesses(), 0);
+        let t2 = h.run_tagged_trace(mixed_trace(100, 32));
+        assert_eq!(t1, t2, "reset must preserve the level shapes");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn device_level_smaller_than_its_line_panics() {
+        let _ = Hierarchy::from_spec_device(&device_spec(&[(2, 4)]));
     }
 }

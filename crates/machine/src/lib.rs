@@ -33,6 +33,12 @@
 //!   boundary traffic of every ladder — is an O(1) read. This is what
 //!   collapses capacity sweeps from one replay per memory size to one
 //!   replay total (see `balance-kernels`' `capacity_sweep`).
+//! * [`TrafficProfile`] — the device-realistic twin: one *tagged* replay
+//!   ([`StackDistance::observe_tagged_trace`]) over read/write-tagged
+//!   accesses at line granularity records the reuse histogram **and** a
+//!   dirty-chain ledger, answering both `read_misses_at(M)` and
+//!   `writebacks_at(M)` for every capacity — bit-identical to a
+//!   line-granular dirty-bit LRU replay with an end-of-run flush.
 //! * [`segmented_profile_of`] / [`SampledStackDistance`] — the scaled
 //!   tiers of the same engine for billion-address traces: exact
 //!   segmented parallel Mattson (K time ranges on scoped threads, merged
@@ -107,7 +113,7 @@ pub use sampling::{
 pub use segmented::{
     segmented_profile_of, segmented_profile_resumable, SegmentedStats, MAX_SEGMENT_RETRIES,
 };
-pub use stackdist::{AnalyticProfile, CapacityProfile, StackDistance};
+pub use stackdist::{AnalyticProfile, CapacityProfile, StackDistance, TrafficProfile};
 pub use memory::{BufferId, LocalMemory};
 pub use pe::Pe;
 pub use store::{ExternalStore, Region};

@@ -156,6 +156,106 @@ enum LastIndex {
     Map(HashMap<u64, u64>),
 }
 
+/// No-open-chain marker in the dirty index. A chain's max gap is a stack
+/// distance, bounded by the distinct-address count — it never reaches
+/// `u64::MAX`.
+const CLOSED: u64 = u64::MAX;
+
+/// The line → open dirty-chain running max, in the same two backend
+/// representations as [`LastIndex`].
+#[derive(Debug, Clone)]
+enum DirtyIndex {
+    /// Flat table keyed directly by line id (`CLOSED` = no open chain).
+    Direct(Vec<u64>),
+    /// Hash fallback for unbounded address spaces.
+    Map(HashMap<u64, u64>),
+}
+
+impl DirtyIndex {
+    fn get(&self, line: u64) -> Option<u64> {
+        match self {
+            DirtyIndex::Direct(table) => {
+                let v = table[line as usize];
+                (v != CLOSED).then_some(v)
+            }
+            DirtyIndex::Map(map) => map.get(&line).copied(),
+        }
+    }
+
+    fn set(&mut self, line: u64, max_gap: u64) {
+        match self {
+            DirtyIndex::Direct(table) => table[line as usize] = max_gap,
+            DirtyIndex::Map(map) => {
+                map.insert(line, max_gap);
+            }
+        }
+    }
+
+    /// The open chains as sorted `(line, max gap)` pairs (snapshot order).
+    fn open_pairs(&self) -> Vec<(u64, u64)> {
+        match self {
+            DirtyIndex::Direct(table) => table
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != CLOSED)
+                .map(|(line, &v)| (line as u64, v))
+                .collect(),
+            DirtyIndex::Map(map) => {
+                let mut pairs: Vec<(u64, u64)> = map.iter().map(|(&l, &v)| (l, v)).collect();
+                pairs.sort_unstable();
+                pairs
+            }
+        }
+    }
+}
+
+/// The tagged pass's write-back bookkeeping: dirty *chains*. A chain opens
+/// at each write of a line and closes at the line's next write (or stays
+/// open to the end of the trace); its statistic is the **max** of the
+/// consecutive reuse-distance gaps it spans. At capacity `M` a closed
+/// chain emits exactly one write-back iff its max gap exceeds `M` (the
+/// line was evicted dirty somewhere in the chain — once evicted it is
+/// clean until the next write, so never twice per chain), and an open
+/// chain emits exactly one write-back at *every* capacity (either a dirty
+/// eviction inside the chain or the end-of-run flush of the still-dirty
+/// line). That turns `writebacks_at(M)` into the same kind of one-pass
+/// histogram query as Mattson's miss count.
+#[derive(Debug, Clone)]
+struct DirtyState {
+    index: DirtyIndex,
+    /// `wb_hist[d]` = closed chains with max gap exactly `d` (`wb_hist[0]`
+    /// unused: a chain closes at a reuse, whose distance is ≥ 1).
+    wb_hist: Vec<u64>,
+    /// Lines with an open chain — the write-back floor no capacity
+    /// removes (each is a distinct line that was written).
+    open: u64,
+}
+
+impl DirtyState {
+    /// A fresh dirty ledger on the backend matching the engine's
+    /// last-access index.
+    fn for_index(index: &LastIndex) -> Self {
+        let index = match index {
+            LastIndex::Direct(table) => DirtyIndex::Direct(vec![CLOSED; table.len()]),
+            LastIndex::Map(_) => DirtyIndex::Map(HashMap::new()),
+        };
+        DirtyState {
+            index,
+            wb_hist: Vec::new(),
+            open: 0,
+        }
+    }
+
+    /// Counts one closed chain with max gap `d`.
+    fn close(&mut self, d: u64) {
+        let d = usize::try_from(d).unwrap_or_else(|_| panic!("chain gap overflows usize"));
+        if d >= self.wb_hist.len() {
+            self.wb_hist.resize(d + 1, 0);
+        }
+        self.wb_hist[d] += 1;
+    }
+}
+
 /// The streaming one-pass engine: feed it a trace with
 /// [`StackDistance::observe`], then read the whole capacity ladder off the
 /// resulting [`CapacityProfile`].
@@ -203,6 +303,10 @@ pub struct StackDistance {
     /// When recording (segmented passes), every first-touch address in
     /// touch order — the boundary state [`crate::segmented`] merges.
     first_touches: Option<Vec<u64>>,
+    /// The tagged pass's dirty-chain ledger, created lazily at the first
+    /// [`StackDistance::observe_tagged`] — untagged replays never pay for
+    /// it.
+    dirty: Option<DirtyState>,
 }
 
 impl Default for StackDistance {
@@ -259,6 +363,7 @@ impl StackDistance {
             compulsory: 0,
             accesses: 0,
             first_touches: None,
+            dirty: None,
         }
     }
 
@@ -311,7 +416,11 @@ impl StackDistance {
             LastIndex::Direct(table) => (1u8, table.len() as u64),
         };
         w.u8(tag);
-        w.u8(u8::from(self.first_touches.is_some()));
+        let mut flags = u8::from(self.first_touches.is_some());
+        if self.dirty.is_some() {
+            flags |= 2;
+        }
+        w.u8(flags);
         w.u64(bound);
         w.u64(self.clock);
         w.u64(self.accesses);
@@ -323,6 +432,18 @@ impl StackDistance {
         w.u64_slice(&self.hist);
         if let Some(ft) = &self.first_touches {
             w.u64_slice(ft);
+        }
+        // v2 trailer: the tagged pass's dirty-chain state — closed-chain
+        // histogram plus the open chains as sorted (line, max gap) pairs.
+        if let Some(state) = &self.dirty {
+            let pairs = state.index.open_pairs();
+            w.u64(state.wb_hist.len() as u64);
+            w.u64(pairs.len() as u64);
+            w.u64_slice(&state.wb_hist);
+            for (line, max_gap) in pairs {
+                w.u64(line);
+                w.u64(max_gap);
+            }
         }
         w.finish()
     }
@@ -355,7 +476,7 @@ impl StackDistance {
         }
         let tag = r.u8()?;
         let flags = r.u8()?;
-        if flags > 1 {
+        if flags > 3 {
             return Err(corrupt("unknown flag bits"));
         }
         let bound = r.u64()?;
@@ -373,6 +494,32 @@ impl StackDistance {
             None
         } else {
             return Err(corrupt("first-touch payload without its flag"));
+        };
+        // v2 trailer: dirty-chain state, present only when the tagged pass
+        // ran (flag bit 2) — untagged snapshots keep the v1 tail layout.
+        let dirty_payload = if flags & 2 == 2 {
+            let wb_len = r.u64()?;
+            let pair_count = r.u64()?;
+            let wb_hist = r.u64_vec(wb_len)?;
+            let mut pairs = Vec::with_capacity(
+                usize::try_from(pair_count).map_err(|_| corrupt("open-chain count overflows"))?,
+            );
+            let mut prev: Option<u64> = None;
+            for _ in 0..pair_count {
+                let line = r.u64()?;
+                let max_gap = r.u64()?;
+                if prev.is_some_and(|p| p >= line) {
+                    return Err(corrupt("open dirty chains out of order"));
+                }
+                if max_gap == EMPTY {
+                    return Err(corrupt("open dirty chain carries the closed sentinel"));
+                }
+                prev = Some(line);
+                pairs.push((line, max_gap));
+            }
+            Some((wb_hist, pairs))
+        } else {
+            None
         };
         r.expect_end()?;
         if clock < live {
@@ -435,6 +582,20 @@ impl StackDistance {
         engine.compulsory = compulsory;
         engine.accesses = accesses;
         engine.first_touches = first_touches;
+        if let Some((wb_hist, pairs)) = dirty_payload {
+            let mut state = DirtyState::for_index(&engine.index);
+            state.wb_hist = wb_hist;
+            state.open = pairs.len() as u64;
+            for (line, max_gap) in pairs {
+                if let DirtyIndex::Direct(table) = &state.index {
+                    if usize::try_from(line).ok().filter(|&l| l < table.len()).is_none() {
+                        return Err(corrupt("dirty line beyond the declared bound"));
+                    }
+                }
+                state.index.set(line, max_gap);
+            }
+            engine.dirty = Some(state);
+        }
         Ok(engine)
     }
 
@@ -523,6 +684,85 @@ impl StackDistance {
     pub fn observe_trace(&mut self, addrs: impl IntoIterator<Item = u64>) {
         for a in addrs {
             self.observe(a);
+        }
+    }
+
+    /// Observes one *tagged* access of line id `line`, updating both the
+    /// reuse-distance histogram and the dirty-chain write-back ledger. A
+    /// tagged replay must route **every** access through this method (an
+    /// interleaved [`StackDistance::observe`] would skip a chain's gap
+    /// update); address-to-line mapping is the caller's — see
+    /// [`traffic_profile_of`] for the word-address entry point.
+    ///
+    /// With all-read tags this is observationally identical to
+    /// [`StackDistance::observe`]: the dirty ledger stays empty and
+    /// [`TrafficProfile::writebacks_at`] is zero everywhere.
+    ///
+    /// # Panics
+    ///
+    /// As [`StackDistance::observe`].
+    pub fn observe_tagged(&mut self, line: u64, is_write: bool) {
+        self.accesses += 1;
+        let gap = match self.index_touch(line) {
+            None => {
+                self.compulsory += 1;
+                if let Some(rec) = &mut self.first_touches {
+                    rec.push(line);
+                }
+                None
+            }
+            Some(p) => {
+                let d = self.markers.count_after(p) + 1;
+                self.bump_hist(d);
+                self.markers.remove(p);
+                Some(d)
+            }
+        };
+        self.push_top(line);
+        if self.dirty.is_none() && !is_write {
+            // No chain can be open yet: reads before the first write need
+            // no ledger at all.
+            return;
+        }
+        let state = self
+            .dirty
+            .get_or_insert_with(|| DirtyState::for_index(&self.index));
+        // An open chain spans this access's gap: a dirty eviction inside
+        // the gap is what the running max records. A first touch (no gap)
+        // cannot have an open chain — the line was never seen, let alone
+        // written.
+        let open = match (state.index.get(line), gap) {
+            (Some(m), Some(d)) => Some(m.max(d)),
+            (open, _) => open,
+        };
+        if is_write {
+            // The previous chain (if any) closes here with its final max;
+            // this write opens a fresh one.
+            match open {
+                Some(m) => state.close(m),
+                None => state.open += 1,
+            }
+            state.index.set(line, 0);
+        } else if let Some(m) = open {
+            state.index.set(line, m);
+        }
+    }
+
+    /// Feeds a whole tagged access trace, mapping each word address onto
+    /// its `line_words`-sized line (consecutive same-line touches collapse
+    /// to distance-1 hits — spatial locality becomes visible).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line_words` is zero.
+    pub fn observe_tagged_trace(
+        &mut self,
+        accesses: impl IntoIterator<Item = balance_core::Access>,
+        line_words: u64,
+    ) {
+        assert!(line_words > 0, "lines must hold at least one word");
+        for a in accesses {
+            self.observe_tagged(a.addr / line_words, a.is_write());
         }
     }
 
@@ -648,6 +888,44 @@ impl StackDistance {
         }
     }
 
+    /// Finalizes a tagged replay into a [`TrafficProfile`]: the dual
+    /// answer sheet reporting line fetches *and* write-backs for every
+    /// capacity. The engine must have observed **line ids** (see
+    /// [`StackDistance::observe_tagged_trace`]); `line_words` is the line
+    /// size those ids were derived with, so word-capacity queries can map
+    /// back.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line_words` is zero.
+    #[must_use]
+    pub fn into_traffic_profile(mut self, line_words: u64) -> TrafficProfile {
+        assert!(line_words > 0, "lines must hold at least one word");
+        let dirty = self.dirty.take();
+        let profile = self.into_profile();
+        let (wb_steps, closed, open) = match dirty {
+            None => (Vec::new(), 0, 0),
+            Some(state) => {
+                let mut steps = Vec::new();
+                let mut acc = 0u64;
+                for (d, &h) in state.wb_hist.iter().enumerate().skip(1) {
+                    if h > 0 {
+                        acc += h;
+                        steps.push((d as u64, acc));
+                    }
+                }
+                (steps, acc, state.open)
+            }
+        };
+        TrafficProfile {
+            profile,
+            line_words,
+            wb_steps,
+            closed,
+            open,
+        }
+    }
+
     /// Replays a whole trace through a fresh unbounded-address engine; the
     /// iterator's `size_hint` (exact for the workspace's streaming trace
     /// generators — pinned by regression test) pre-sizes the slot space.
@@ -678,6 +956,44 @@ impl StackDistance {
         let mut engine = Self::with_address_bound(addr_bound);
         engine.observe_trace(addrs);
         engine.into_profile()
+    }
+
+    /// Replays a whole tagged trace at `line_words` granularity through a
+    /// fresh unbounded-address engine into a [`TrafficProfile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line_words` is zero.
+    #[must_use]
+    pub fn traffic_profile_of(
+        accesses: impl IntoIterator<Item = balance_core::Access>,
+        line_words: u64,
+    ) -> TrafficProfile {
+        let iter = accesses.into_iter();
+        let hint = iter.size_hint().0.clamp(16, 1 << 20);
+        let mut engine = Self::with_slots(LastIndex::Map(HashMap::new()), hint);
+        engine.observe_tagged_trace(iter, line_words);
+        engine.into_traffic_profile(line_words)
+    }
+
+    /// As [`StackDistance::traffic_profile_of`], with the direct-indexed
+    /// backend for traces whose word addresses lie in `[0, addr_bound)`
+    /// (the line-id space is `addr_bound / line_words`, rounded up).
+    ///
+    /// # Panics
+    ///
+    /// As [`StackDistance::with_address_bound`]; also panics when
+    /// `line_words` is zero.
+    #[must_use]
+    pub fn traffic_profile_of_bounded(
+        accesses: impl IntoIterator<Item = balance_core::Access>,
+        line_words: u64,
+        addr_bound: u64,
+    ) -> TrafficProfile {
+        assert!(line_words > 0, "lines must hold at least one word");
+        let mut engine = Self::with_address_bound(addr_bound.div_ceil(line_words).max(1));
+        engine.observe_tagged_trace(accesses, line_words);
+        engine.into_traffic_profile(line_words)
     }
 
     /// Squeezes the dead slots out of the time axis, preserving recency
@@ -892,6 +1208,135 @@ impl CapacityProfile {
 
     /// [`CapacityProfile::traffic_at`] for a validated [`HierarchySpec`]
     /// (all levels cache-managed — the trace-driven configuration).
+    #[must_use]
+    pub fn traffic_for(&self, spec: &HierarchySpec) -> LevelTraffic {
+        let caps: Vec<Words> = spec.levels().iter().map(|l| l.capacity()).collect();
+        self.traffic_at(&caps)
+    }
+}
+
+/// The device-realistic answer sheet: line fetches **and** dirty
+/// write-backs for every capacity, from one tagged pass.
+///
+/// Obtained from [`StackDistance::traffic_profile_of`] (or its bounded
+/// sibling / [`StackDistance::into_traffic_profile`]). The read side is a
+/// plain [`CapacityProfile`] over *line ids* — a miss fetches one line
+/// regardless of direction (write-allocate). The write-back side is the
+/// dirty-chain histogram: at capacity `M` a line is written back once per
+/// dirty chain whose max reuse gap exceeds `M` lines, plus once per line
+/// still dirty at the end of the run (the end-of-run flush). Both queries
+/// are O(log #pieces) binary searches; both are bit-identical to replaying
+/// the tagged trace through a line-granular [`crate::LruCache`] with dirty
+/// bits and a final flush (pinned by property test, on both index
+/// backends).
+///
+/// Capacities are given in **words**; the profile converts by its line
+/// size (`m` words hold `m / line_words` lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficProfile {
+    /// The read/fetch curve over line ids.
+    profile: CapacityProfile,
+    /// Line size the ids were derived with (≥ 1).
+    line_words: u64,
+    /// Breakpoints `(d, c)`: `c` = closed dirty chains with max gap ≤ `d`
+    /// lines, one entry per gap with a nonzero count, strictly increasing
+    /// in both coordinates.
+    wb_steps: Vec<(u64, u64)>,
+    /// Total closed dirty chains.
+    closed: u64,
+    /// Open dirty chains = distinct lines written — the write-back floor
+    /// no capacity removes (every written line flushes at least once).
+    open: u64,
+}
+
+impl TrafficProfile {
+    /// The read/fetch curve over line ids — capacities in **lines**, not
+    /// words. Exact by construction (tagged replay is never sampled).
+    #[must_use]
+    pub fn profile(&self) -> &CapacityProfile {
+        &self.profile
+    }
+
+    /// The line size (words per line) the trace was replayed at.
+    #[must_use]
+    pub fn line_words(&self) -> u64 {
+        self.line_words
+    }
+
+    /// Total accesses in the replayed trace (reads + writes).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.profile.accesses()
+    }
+
+    /// Distinct lines written in the trace — the write-back count no
+    /// capacity avoids.
+    #[must_use]
+    pub fn written_lines(&self) -> u64 {
+        self.open
+    }
+
+    /// Line fetches of an `m`-**word** memory replaying the trace: every
+    /// access (read or write) that misses fetches its line
+    /// (write-allocate).
+    #[must_use]
+    pub fn read_misses_at(&self, m: u64) -> u64 {
+        self.profile.misses_at(m / self.line_words)
+    }
+
+    /// Dirty-eviction write-backs of an `m`-**word** memory replaying the
+    /// trace, counting the end-of-run flush of still-dirty lines.
+    /// Monotone non-increasing in `m` with floor
+    /// [`TrafficProfile::written_lines`] (pinned by property test).
+    #[must_use]
+    pub fn writebacks_at(&self, m: u64) -> u64 {
+        let d = m / self.line_words;
+        // Closed chains whose max gap fits within d lines stay resident
+        // across the whole chain: the rewrite catches the line still
+        // cached and still dirty, so no write-back.
+        let idx = self.wb_steps.partition_point(|&(gap, _)| gap <= d);
+        let kept = if idx == 0 { 0 } else { self.wb_steps[idx - 1].1 };
+        (self.closed - kept) + self.open
+    }
+
+    /// [`TrafficProfile::read_misses_at`] in words: one line of traffic
+    /// per missing access.
+    #[must_use]
+    pub fn read_words_at(&self, m: u64) -> u64 {
+        self.read_misses_at(m).saturating_mul(self.line_words)
+    }
+
+    /// [`TrafficProfile::writebacks_at`] in words: one line of traffic per
+    /// write-back.
+    #[must_use]
+    pub fn writeback_words_at(&self, m: u64) -> u64 {
+        self.writebacks_at(m).saturating_mul(self.line_words)
+    }
+
+    /// The multi-level dual read: fetch and write-back **words** crossing
+    /// the boundary below each level (innermost first). Bit-identical to
+    /// replaying the tagged trace through a line-granular
+    /// [`crate::Hierarchy`] of the same capacities with a final flush
+    /// (pinned by property test).
+    ///
+    /// # Panics
+    ///
+    /// As [`LevelTraffic::from_reads_and_writebacks`]: more than
+    /// [`balance_core::MAX_MEMORY_LEVELS`] capacities panic.
+    #[must_use]
+    pub fn traffic_at(&self, capacities: &[Words]) -> LevelTraffic {
+        let reads: Vec<u64> = capacities
+            .iter()
+            .map(|m| self.read_words_at(m.get()))
+            .collect();
+        let wbs: Vec<u64> = capacities
+            .iter()
+            .map(|m| self.writeback_words_at(m.get()))
+            .collect();
+        LevelTraffic::from_reads_and_writebacks(&reads, &wbs)
+    }
+
+    /// [`TrafficProfile::traffic_at`] for a validated [`HierarchySpec`].
     #[must_use]
     pub fn traffic_for(&self, spec: &HierarchySpec) -> LevelTraffic {
         let caps: Vec<Words> = spec.levels().iter().map(|l| l.capacity()).collect();
@@ -1346,6 +1791,205 @@ mod tests {
         assert!(matches!(
             StackDistance::restore(&wrong_version),
             Err(CheckpointError::UnsupportedVersion { .. })
+        ));
+    }
+
+    /// A deterministic mixed read/write trace over `addr_space` word
+    /// addresses, one write every `write_every` accesses.
+    fn tagged_trace(n: u64, addr_space: u64, write_every: u64) -> Vec<balance_core::Access> {
+        (0..n)
+            .map(|i| {
+                let addr = (i * 7 + (i * i) % 13) % addr_space;
+                if i % write_every == 0 {
+                    balance_core::Access::write(addr)
+                } else {
+                    balance_core::Access::read(addr)
+                }
+            })
+            .collect()
+    }
+
+    /// Both tagged backends against a dirty-bit LRU replay at **every**
+    /// capacity — the exactness contract of the write-back ledger.
+    fn check_tagged_against_replay(
+        accesses: &[balance_core::Access],
+        line_words: u64,
+        addr_bound: u64,
+    ) {
+        let hashed =
+            StackDistance::traffic_profile_of(accesses.iter().copied(), line_words);
+        let direct = StackDistance::traffic_profile_of_bounded(
+            accesses.iter().copied(),
+            line_words,
+            addr_bound,
+        );
+        assert_eq!(hashed, direct, "tagged backends disagree");
+        let max_lines = addr_bound.div_ceil(line_words) + 2;
+        for m_lines in 1..=max_lines {
+            let mut cache = LruCache::new(
+                usize::try_from(m_lines).expect("line count fits usize"),
+                line_words,
+            );
+            let (misses, wbs) = cache.run_tagged_trace(accesses.iter().copied());
+            let m = m_lines * line_words;
+            assert_eq!(
+                hashed.read_misses_at(m),
+                misses,
+                "read misses at {m_lines} lines of {line_words} words"
+            );
+            assert_eq!(
+                hashed.writebacks_at(m),
+                wbs,
+                "write-backs at {m_lines} lines of {line_words} words"
+            );
+        }
+    }
+
+    #[test]
+    fn tagged_ledger_matches_dirty_lru_replay_at_every_capacity() {
+        for line_words in [1u64, 2, 4, 8] {
+            for write_every in [1u64, 2, 3, 7] {
+                let trace = tagged_trace(600, 64, write_every);
+                check_tagged_against_replay(&trace, line_words, 64);
+            }
+        }
+        // All-write and single-access edge shapes.
+        check_tagged_against_replay(&[balance_core::Access::write(5)], 4, 16);
+        check_tagged_against_replay(&tagged_trace(100, 16, 1), 4, 16);
+    }
+
+    #[test]
+    fn all_read_tagged_replay_is_the_untagged_profile() {
+        let addrs: Vec<u64> = (0..500u64).map(|i| (i * 11 + i / 3) % 80).collect();
+        let tp = StackDistance::traffic_profile_of(
+            addrs.iter().map(|&a| balance_core::Access::read(a)),
+            1,
+        );
+        let plain = StackDistance::profile_of(addrs.iter().copied());
+        assert_eq!(*tp.profile(), plain, "read side must be bit-identical");
+        assert_eq!(tp.written_lines(), 0);
+        for m in 0..=90u64 {
+            assert_eq!(tp.writebacks_at(m), 0, "no writes, no write-backs");
+            assert_eq!(tp.read_misses_at(m), plain.misses_at(m));
+        }
+    }
+
+    #[test]
+    fn writebacks_are_monotone_non_increasing_with_flush_floor() {
+        let trace = tagged_trace(1000, 100, 3);
+        let tp = StackDistance::traffic_profile_of(trace.iter().copied(), 2);
+        let mut prev = u64::MAX;
+        for m in 0..=240u64 {
+            let wb = tp.writebacks_at(m);
+            assert!(wb <= prev, "write-backs grew from {prev} to {wb} at {m}");
+            assert!(wb >= tp.written_lines(), "below the flush floor at {m}");
+            prev = wb;
+        }
+        // Far beyond saturation only the end-of-run flush remains: one
+        // write-back per distinct written line.
+        assert_eq!(tp.writebacks_at(1 << 40), tp.written_lines());
+        assert!(tp.written_lines() > 0, "the trace writes");
+    }
+
+    #[test]
+    fn traffic_at_prices_both_streams_in_words() {
+        let trace = tagged_trace(400, 32, 2);
+        let lw = 4u64;
+        let tp = StackDistance::traffic_profile_of(trace.iter().copied(), lw);
+        let caps = [Words::new(8), Words::new(16), Words::new(64)];
+        let t = tp.traffic_at(&caps);
+        for (i, m) in caps.iter().enumerate() {
+            assert_eq!(t.read_at(i), Some(tp.read_misses_at(m.get()) * lw));
+            assert_eq!(t.writeback_at(i), Some(tp.writebacks_at(m.get()) * lw));
+        }
+        assert!(t.has_writebacks());
+    }
+
+    #[test]
+    fn tagged_snapshot_roundtrips_on_both_backends() {
+        let trace = tagged_trace(300, 40, 3);
+        for cut in [0usize, 1, 7, 150, 299, 300] {
+            for bounded in [false, true] {
+                let mut engine = if bounded {
+                    StackDistance::with_address_bound(40)
+                } else {
+                    StackDistance::new()
+                };
+                engine.observe_tagged_trace(trace[..cut].iter().copied(), 1);
+                let mut restored = StackDistance::restore(&engine.snapshot()).unwrap();
+                restored.observe_tagged_trace(trace[cut..].iter().copied(), 1);
+                let resumed = restored.into_traffic_profile(1);
+                let mut whole = if bounded {
+                    StackDistance::with_address_bound(40)
+                } else {
+                    StackDistance::new()
+                };
+                whole.observe_tagged_trace(trace.iter().copied(), 1);
+                assert_eq!(
+                    resumed,
+                    whole.into_traffic_profile(1),
+                    "cut {cut} bounded {bounded}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_snapshot_rejects_any_single_byte_flip() {
+        let mut engine = StackDistance::with_address_bound(16);
+        engine.observe_tagged_trace(tagged_trace(50, 16, 2), 1);
+        let image = engine.snapshot();
+        assert!(StackDistance::restore(&image).is_ok());
+        for i in 0..image.len() {
+            let mut bad = image.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                StackDistance::restore(&bad).is_err(),
+                "flip at byte {i} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_v1_images() {
+        use crate::checkpoint::{fnv1a, CheckpointError};
+        // A KBSD v1 image differs only in its version field for untagged
+        // engines — the restore path must refuse it cleanly, not
+        // misinterpret it.
+        let mut engine = StackDistance::new();
+        engine.observe_trace([1u64, 2, 3, 1]);
+        let image = engine.snapshot();
+        let payload_len = image.len() - 8;
+        let mut v1 = image[..payload_len].to_vec();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let sum = fnv1a(&v1).to_le_bytes();
+        v1.extend_from_slice(&sum);
+        assert!(matches!(
+            StackDistance::restore(&v1),
+            Err(CheckpointError::UnsupportedVersion { found: 1 })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_dirty_payload_corruption() {
+        use crate::checkpoint::{fnv1a, CheckpointError};
+        // Swap the two open-chain pairs out of order and re-checksum: only
+        // the structural validation can catch it.
+        let mut engine = StackDistance::new();
+        engine.observe_tagged(3, true);
+        engine.observe_tagged(9, true);
+        let image = engine.snapshot();
+        let payload_len = image.len() - 8;
+        let mut bad = image[..payload_len].to_vec();
+        // Tail layout: .. wb_hist_len(=0) pairs(=2) (3,0) (9,0).
+        let pair_bytes = bad.len() - 4 * 8;
+        let (a, b) = bad[pair_bytes..].split_at_mut(16);
+        a.swap_with_slice(&mut b[..16]);
+        let sum = fnv1a(&bad).to_le_bytes();
+        bad.extend_from_slice(&sum);
+        assert!(matches!(
+            StackDistance::restore(&bad),
+            Err(CheckpointError::Corrupt { .. })
         ));
     }
 

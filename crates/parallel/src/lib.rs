@@ -44,8 +44,9 @@ pub mod warp;
 
 pub use array::LinearArray;
 pub use measure::{
-    measured_balance_memory, measured_growth_law, measured_series, parallel_sweep,
-    parallel_sweep_par, MeasuredBalanceConfig, ParallelPoint, ParallelSweepConfig,
+    measured_balance_memory, measured_balance_memory_with_model, measured_growth_law,
+    measured_series, parallel_sweep, parallel_sweep_par, MeasuredBalanceConfig, ParallelPoint,
+    ParallelSweepConfig,
 };
 pub use mesh::SquareMesh;
 pub use pkernels::{

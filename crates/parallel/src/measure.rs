@@ -22,7 +22,7 @@
 use balance_core::fit::{fit_best, snap_degree, DataPoint};
 use balance_core::{GrowthLaw, HierarchySpec, PeSpec, Words};
 use balance_kernels::error::KernelError;
-use balance_kernels::sweep::par_map;
+use balance_kernels::sweep::{par_map, TrafficModel};
 use balance_kernels::Verify;
 
 use crate::pkernels::{ParallelKernel, ParallelRun};
@@ -203,6 +203,30 @@ pub fn measured_balance_memory(
     topology: Topology,
     cfg: &MeasuredBalanceConfig,
 ) -> Result<Option<Words>, KernelError> {
+    measured_balance_memory_with_model(kernel, topology, cfg, TrafficModel::default())
+}
+
+/// [`measured_balance_memory`] under an explicit [`TrafficModel`].
+///
+/// The one-replay [`ExternalIoProfile`](crate::pkernels::ExternalIoProfile)
+/// fast path is a **word-granular read-priced** curve — one histogram
+/// read per probe, no line state, no dirty bits. Under a device-real
+/// model (`line_words > 1` or write-back pricing on) that curve no longer
+/// answers the priced question, so the fast path **declines** and every
+/// probe falls back to a real kernel run, whose external traffic is the
+/// decomposition's explicit message movement (model-independent). The
+/// search lattice is identical either way, so under the word-granular
+/// model this is exactly [`measured_balance_memory`] (pinned by test).
+///
+/// # Errors
+///
+/// As [`measured_balance_memory`].
+pub fn measured_balance_memory_with_model(
+    kernel: &dyn ParallelKernel,
+    topology: Topology,
+    cfg: &MeasuredBalanceConfig,
+    model: TrafficModel,
+) -> Result<Option<Words>, KernelError> {
     let target = topology
         .aggregate(cfg.cell)
         .map_err(|e| KernelError::BadParameters {
@@ -210,12 +234,14 @@ pub fn measured_balance_memory(
         })?
         .machine_balance();
     let lo0 = kernel.min_memory_per_pe(cfg.n, topology).min(cfg.m_max);
-    // The histogram fast path promises the *exact* external-I/O curve: a
-    // SHARDS-sampled (approximate) profile must not silently shift a
-    // measured balance point, so it falls through to real kernel runs.
+    // The histogram fast path promises the *exact* external-I/O curve
+    // under the word-granular read-priced model: a SHARDS-sampled
+    // (approximate) profile — or a device-real pricing question the
+    // word-granular histogram cannot answer — must not silently shift a
+    // measured balance point, so both fall through to real kernel runs.
     match kernel
         .io_profile(cfg.n, topology)
-        .filter(|profile| profile.profile().is_exact())
+        .filter(|profile| model.is_word_granular_read_priced() && profile.profile().is_exact())
     {
         Some(profile) => {
             let p = topology.pe_count();
@@ -615,6 +641,48 @@ mod tests {
                 let replayed =
                     measured_balance_memory(&ReplayOnlyTranspose, topo, &cfg).unwrap();
                 assert_eq!(gated, replayed, "balance {balance} on {topo}");
+            }
+        }
+    }
+
+    #[test]
+    fn device_real_models_decline_the_profile_fast_path() {
+        // ParTranspose's exact word-granular profile answers the word
+        // model's question only: under a device-real model the fast path
+        // must decline and the search land exactly where the
+        // run-per-probe kernel lands. At the word model the _with_model
+        // entry point is measured_balance_memory, bit for bit.
+        for balance in [0.2, 0.45, 0.6] {
+            for topo in [topo(1), topo(2)] {
+                let cfg = MeasuredBalanceConfig {
+                    cell: cell(balance),
+                    n: 16,
+                    seed: 3,
+                    verify: Verify::Full,
+                    m_max: 4096,
+                };
+                let declined = measured_balance_memory_with_model(
+                    &ParTranspose,
+                    topo,
+                    &cfg,
+                    TrafficModel::device(8),
+                )
+                .unwrap();
+                let replayed =
+                    measured_balance_memory(&ReplayOnlyTranspose, topo, &cfg).unwrap();
+                assert_eq!(declined, replayed, "balance {balance} on {topo}");
+                let word = measured_balance_memory_with_model(
+                    &ParTranspose,
+                    topo,
+                    &cfg,
+                    TrafficModel::WORD,
+                )
+                .unwrap();
+                assert_eq!(
+                    word,
+                    measured_balance_memory(&ParTranspose, topo, &cfg).unwrap(),
+                    "the word model keeps the fast path"
+                );
             }
         }
     }

@@ -6,7 +6,7 @@
 # BENCH_<n>.json at the repo root, seeding the perf trajectory tracked
 # across PRs.
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_8.json)
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_9.json)
 #
 # PR 7 added the checkpoint_overhead/* tier: the resumable replay with
 # checkpoints every 2^24 addresses (the production default) must stay
@@ -14,13 +14,19 @@
 # showing the amortized cost of real image writes (the tiers now share
 # one warm-up pass, so run order no longer skews the comparison).
 #
-# PR 8 adds the analytic tier: capacity_sweep_matmul_n96/engine_analytic
+# PR 8 added the analytic tier: capacity_sweep_matmul_n96/engine_analytic
 # (the closed-form histogram, zero replay) and the headline
 # analytic_vs_stackdist_speedup ratio, which must stay >= 100x.
+#
+# PR 9 adds the device-traffic tiers: line_granular_sweep/* (the 16-point
+# matmul sweep under the 8-word-line dirty-write-back model, one-pass
+# vs tagged replay vs the word baseline) and the headline
+# blocked_vs_naive_line_win ratio — how much more blocked matmul beats
+# naive at 8-word lines than at word granularity (> 1, ~8.7x measured).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 # Absolute path: cargo bench runs each target with cwd = its package dir.
 jsonl="$(pwd)/target/bench_smoke.jsonl"
 rm -f "$jsonl"
