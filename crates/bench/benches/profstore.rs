@@ -1,0 +1,134 @@
+//! Profile-store benchmarks: the PR-10 serve and build tiers.
+//!
+//! * `profstore/serve_query_warm` — one `io` what-if query through the
+//!   real `balance serve` session (`ServeSession::answer`) against a
+//!   warm in-memory artifact: the path the batch service sustains.
+//! * `store_query_throughput` — the headline queries/s figure, appended
+//!   to the bench JSON through the same `"name": value` line protocol
+//!   as the criterion shim and E23. The PR-10 acceptance bar is ≥ 10⁵
+//!   queries/s.
+//! * `store_build_registry` — median wall-clock (ns) of precomputing
+//!   the full 11-kernel registry × {16, 32} grid into a fresh store
+//!   (every image encoded, checksummed, and atomically published).
+
+use std::time::{Duration, Instant};
+
+use balance_bench::storecli::ServeSession;
+use balance_kernels::prelude::*;
+use balance_machine::{FaultPlan, ProfileStore};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const GRID: [usize; 2] = [16, 32];
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("kb-bench-profstore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_serve_query(c: &mut Criterion) {
+    let dir = tmp_dir("serve");
+    let store = ProfileStore::open(&dir).expect("temp store opens");
+    let mut session = ServeSession::new(&store, TrafficModel::WORD, None, 1.0e9);
+    // First answer repairs the miss and warms the in-memory artifact.
+    let _ = session.answer("io matmul 32 64");
+    let mut g = c.benchmark_group("profstore");
+    let mut m = 16u64;
+    g.bench_function("serve_query_warm", |b| {
+        b.iter(|| {
+            m = 16 + (m * 7 + 11) % 1024;
+            session
+                .answer(&format!("io matmul 32 {m}"))
+                .expect("query answered")
+        });
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Median wall-clock of `runs` evaluations of `f`.
+fn median_of<O>(runs: usize, mut f: impl FnMut() -> O) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            criterion::black_box(f());
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn append_json(line: &str) {
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        use std::io::Write as _;
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("warning: BENCH_JSON write to {path:?} failed: {e}");
+        }
+    }
+}
+
+/// The two headline numbers, on the same line protocol the bench-smoke
+/// script folds into `BENCH_<n>.json`.
+fn report_headlines() {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+
+    // Throughput: warm batch queries through the real serve session.
+    let dir = tmp_dir("throughput");
+    let store = ProfileStore::open(&dir).expect("temp store opens");
+    let mut session = ServeSession::new(&store, TrafficModel::WORD, None, 1.0e9);
+    let _ = session.answer("io matmul 32 64");
+    let queries: u32 = if smoke { 20_000 } else { 200_000 };
+    let elapsed = median_of(if smoke { 3 } else { 5 }, || {
+        for i in 0..queries {
+            let m = 16 + u64::from(i % 64) * 16;
+            criterion::black_box(session.answer(&format!("io matmul 32 {m}")));
+        }
+    });
+    let qps = f64::from(queries) / elapsed.as_secs_f64();
+    println!(
+        "bench: store_query_throughput                   {qps:.3e} queries/s \
+         ({queries} warm io queries in {elapsed:?})"
+    );
+    append_json(&format!("\"store_query_throughput\": {:.0}\n", qps));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Build: the full registry x grid into a fresh store each run.
+    let kernels = registry();
+    let build = median_of(3, || {
+        let dir = tmp_dir("build");
+        let store = ProfileStore::open(&dir).expect("temp store opens");
+        let outcome = build_store(
+            &store,
+            &kernels,
+            &GRID,
+            TrafficModel::WORD,
+            None,
+            &FaultPlan::none(),
+        )
+        .expect("build completes");
+        assert!(outcome.failed.is_empty(), "no grid point fails");
+        let _ = std::fs::remove_dir_all(&dir);
+        outcome.built
+    });
+    println!(
+        "bench: store_build_registry                     {} ns \
+         ({} kernels x {:?} grid)",
+        build.as_nanos(),
+        kernels.len(),
+        GRID
+    );
+    append_json(&format!("\"store_build_registry\": {}\n", build.as_nanos()));
+}
+
+fn bench_headlines(_c: &mut Criterion) {
+    report_headlines();
+}
+
+criterion_group!(benches, bench_serve_query, bench_headlines);
+criterion_main!(benches);

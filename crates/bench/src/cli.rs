@@ -872,8 +872,13 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage());
     };
+    if cmd == "store" {
+        // `store` has positional subcommands (build | fsck) before its flags.
+        return crate::storecli::cmd_store(rest);
+    }
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
+        "serve" => crate::storecli::cmd_serve(&flags),
         "pe" => cmd_pe(&flags),
         "rebalance" => cmd_rebalance(&flags),
         "sweep" => cmd_sweep(&flags),
@@ -936,6 +941,26 @@ USAGE:
       term. A mesh needs a square PE count.
   balance warp
       The §5 Warp machine case study.
+  balance store build --dir <path> [--kernels a,b,...] [--grid N1,N2,...] [--line-words <L>] [--max-wall-secs <s>] [--max-resident-bytes <b>] [--max-addresses <a>]
+      Precompute a kernel registry × size grid of capacity (or, with
+      --line-words, device-real traffic) profiles into a crash-safe,
+      content-addressed store of versioned, checksummed KBCP images.
+      Resumable: grid points whose entry already validates are skipped,
+      so a killed build completes only the remainder on re-run.
+  balance store fsck --dir <path>
+      Scrub a profile store: quarantine corrupt, truncated, or
+      stale-version images, adopt valid orphans, rewrite the manifest.
+  balance serve --store <path> [--batch FILE|-] [--line-words <L>] [--peak <op/s>] [budget flags]
+      Answer batch/REPL what-if queries from the store through the
+      self-healing service (one query per line; --batch - or no --batch
+      reads stdin): 'io K N M' (boundary words at capacity M),
+      'intensity K N M' (op/word), 'balance K N R' (smallest M reaching
+      R op/word), 'binding K N CAP:BW[,...]' (binding level of a ladder
+      under --peak). Hits serve from the store; misses and quarantined
+      entries are recomputed down the repair ladder and re-persisted.
+      Every answer reports its provenance (hit vs repaired, engine,
+      exactness); exact-only queries (balance, binding) refuse sampled
+      artifacts.
 "
     .to_string()
 }

@@ -16,6 +16,7 @@ pub mod parallel_measured;
 pub mod pebble_exp;
 pub mod resume;
 pub mod roofline_exp;
+pub mod store_exp;
 
 use crate::report::Report;
 
@@ -53,9 +54,9 @@ impl Scale {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 26] = [
+pub const ALL_IDS: [&str; 27] = [
     "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-    "E12", "E13", "E14", "E15", "E20", "E21", "E22", "E23", "E24", "E25", "E26",
+    "E12", "E13", "E14", "E15", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27",
 ];
 
 /// Runs one experiment by id (case-insensitive) at the default scale.
@@ -98,6 +99,7 @@ pub fn run_by_id_at(id: &str, scale: Scale) -> Option<Report> {
         "E24" | "RESUME" => resume::e24_resume(),
         "E25" | "ANALYTIC" => analytic::e25_analytic(),
         "E26" | "DEVICES" => devices::e26_devices(),
+        "E27" | "STORE" => store_exp::e27_store(),
         _ => return None,
     })
 }

@@ -1,0 +1,201 @@
+//! Experiment E27 (store): the crash-safe profile store and the
+//! self-healing query service, demonstrated.
+//!
+//! PR 10's robustness contract: measured profiles live in versioned,
+//! checksummed `KBCP` images inside a content-addressed store with
+//! atomic publishes; a corrupted, truncated, torn, or version-skewed
+//! entry is *detected* and *quarantined* — never served — and the query
+//! path heals it by recomputing down the repair ladder and
+//! re-persisting, bit-identical to a fresh recompute. This experiment
+//! executes the whole fault matrix in-process under the deterministic
+//! harness ([`balance_machine::FaultPlan`]) and then measures the warm
+//! serve path's throughput.
+//!
+//! The CI robustness smoke is the out-of-process counterpart: it
+//! SIGKILLs a real `balance store build` mid-run, expects `fsck` to
+//! account for every image, and the resumed build + serve to agree with
+//! a fresh store.
+
+use balance_kernels::prelude::*;
+use balance_machine::{FaultPlan, Lookup, ProfileStore, StoreFault};
+
+use crate::report::{Finding, Report};
+use crate::storecli::ServeSession;
+
+/// Grid for the in-process store: powers of two so every registry
+/// kernel (the FFT included) has a canonical trace.
+const GRID: [usize; 2] = [16, 32];
+
+fn tmp_store(tag: &str) -> (std::path::PathBuf, ProfileStore) {
+    let dir = std::env::temp_dir().join(format!("balance-e27-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ProfileStore::open(&dir).unwrap_or_else(|e| panic!("temp store opens: {e}"));
+    (dir, store)
+}
+
+/// E27 — store build/serve bit-identity, the injected-fault matrix
+/// (torn write, bit flip, ENOSPC, stale version), and warm-path
+/// throughput.
+#[must_use]
+pub fn e27_store() -> Report {
+    let mut body = String::new();
+    let mut findings = Vec::new();
+
+    // 1: build the full registry × grid, resumably.
+    let (dir, store) = tmp_store("build");
+    let kernels = registry();
+    let outcome = build_store(
+        &store,
+        &kernels,
+        &GRID,
+        TrafficModel::WORD,
+        None,
+        &FaultPlan::none(),
+    )
+    .unwrap_or_else(|e| panic!("store build completes: {e}"));
+    let expected = kernels.len() * GRID.len();
+    body.push_str(&format!(
+        "store build: {} kernels x {:?} -> built {}, skipped {}, failed {}\n",
+        kernels.len(),
+        GRID,
+        outcome.built,
+        outcome.skipped,
+        outcome.failed.len()
+    ));
+    findings.push(Finding::new(
+        "registry x grid builds every entry",
+        format!("{expected} built, 0 failed"),
+        format!("{} built, {} failed", outcome.built, outcome.failed.len()),
+        outcome.built == expected && outcome.failed.is_empty(),
+    ));
+    let second = build_store(
+        &store,
+        &kernels,
+        &GRID,
+        TrafficModel::WORD,
+        None,
+        &FaultPlan::none(),
+    )
+    .unwrap_or_else(|e| panic!("second pass completes: {e}"));
+    findings.push(Finding::new(
+        "second build pass is a no-op (resumable)",
+        format!("{expected} skipped, 0 built"),
+        format!("{} skipped, {} built", second.skipped, second.built),
+        second.skipped == expected && second.built == 0,
+    ));
+
+    // 2: served answers are bit-identical to a fresh recompute.
+    let service = ProfileService::new(&store);
+    let mm = registry_kernel("matmul").unwrap_or_else(|| panic!("matmul registered"));
+    let (_, fresh, _) = service
+        .recompute(mm.as_ref(), 32, TrafficModel::WORD)
+        .unwrap_or_else(|e| panic!("fresh recompute: {e}"));
+    let served = service
+        .fetch(mm.as_ref(), 32, TrafficModel::WORD)
+        .unwrap_or_else(|e| panic!("store fetch: {e}"));
+    body.push_str(&format!("matmul n=32 served: {}\n", served.describe()));
+    findings.push(Finding::new(
+        "store hit serves the recompute's exact bits",
+        "hit, payload == fresh recompute",
+        served.describe(),
+        served.source == ServeSource::Hit && served.payload == fresh,
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 3: the fault matrix — every injected publish fault is detected,
+    // quarantined (or, for ENOSPC, never published), healed by the
+    // service, and the healed bits equal the fresh recompute's.
+    let matrix = [
+        (StoreFault::TornWrite, FaultPlan::none().with_torn_store_writes(1)),
+        (StoreFault::BitFlip, FaultPlan::none().with_store_bit_flips(1)),
+        (StoreFault::Enospc, FaultPlan::none().with_store_enospc(1)),
+        (
+            StoreFault::StaleVersion,
+            FaultPlan::none().with_stale_store_versions(1),
+        ),
+    ];
+    for (fault, plan) in matrix {
+        let (dir, store) = tmp_store(&format!("fault-{fault}"));
+        let service = ProfileService::new(&store);
+        let (meta, payload, _) = service
+            .recompute(mm.as_ref(), 16, TrafficModel::WORD)
+            .unwrap_or_else(|e| panic!("recompute: {e}"));
+        let key = key_for("matmul", 16, TrafficModel::WORD);
+        let published = store.put_with(&meta, &payload, &plan);
+        let detected = match (&published, store.get(&key)) {
+            // ENOSPC: the publish failed; atomicity means nothing changed.
+            (Err(_), Ok(Lookup::Miss)) => true,
+            // The other three publish corrupt bits; the next read must
+            // detect and quarantine them, never serve them.
+            (Ok(()), Ok(Lookup::Quarantined { .. })) => true,
+            _ => false,
+        };
+        let healed = service
+            .fetch(mm.as_ref(), 16, TrafficModel::WORD)
+            .unwrap_or_else(|e| panic!("heal: {e}"));
+        let again = service
+            .fetch(mm.as_ref(), 16, TrafficModel::WORD)
+            .unwrap_or_else(|e| panic!("refetch: {e}"));
+        let fsck = store.fsck().unwrap_or_else(|e| panic!("fsck: {e}"));
+        body.push_str(&format!(
+            "{fault}: detected={detected}, healed via {}, refetch {}\n",
+            healed.describe(),
+            again.describe()
+        ));
+        findings.push(Finding::new(
+            format!("{fault}: detected, healed, post-repair bit-identical"),
+            "detected; repaired != hit; healed == fresh; next fetch is a hit",
+            format!("{} then {}", healed.source, again.source),
+            detected
+                && healed.source != ServeSource::Hit
+                && healed.payload == payload
+                && again.source == ServeSource::Hit
+                && again.payload == payload
+                && fsck.healthy(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // 4: warm-path throughput through the real serve session. The
+    // release-build criterion bench (benches/profstore.rs) is the
+    // recorded number; this finding keeps the order of magnitude honest
+    // in-process (debug builds get a proportionally lower bar).
+    let (dir, store) = tmp_store("throughput");
+    let mut session = ServeSession::new(&store, TrafficModel::WORD, None, 1.0e9);
+    let _ = session.answer("io matmul 32 64"); // warm: repair once
+    let queries = 20_000u32;
+    let start = std::time::Instant::now();
+    for i in 0..queries {
+        let m = 16 + u64::from(i % 64) * 16;
+        let answered = session.answer(&format!("io matmul 32 {m}"));
+        assert!(answered.is_some(), "query answered");
+    }
+    let qps = f64::from(queries) / start.elapsed().as_secs_f64();
+    let bar = if cfg!(debug_assertions) { 1.0e4 } else { 1.0e5 };
+    body.push_str(&format!("warm serve path: {qps:.3e} queries/s\n"));
+    findings.push(Finding::new(
+        "warm serve path sustains batch query rates",
+        format!(">= {bar:.0e} queries/s"),
+        format!("{qps:.3e} queries/s"),
+        qps >= bar,
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Report {
+        id: "E27",
+        title: "crash-safe profile store: fault matrix, self-healing serve, throughput",
+        body,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e27_passes_end_to_end() {
+        let report = e27_store();
+        assert!(report.passed(), "{report}");
+    }
+}

@@ -25,6 +25,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod report;
+pub mod storecli;
 
 pub use experiments::{run_all, run_by_id, run_by_id_at, Scale, ALL_IDS};
 pub use report::{Finding, Report};

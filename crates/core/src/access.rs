@@ -19,7 +19,6 @@ use core::fmt;
 
 /// The direction of one memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessKind {
     /// A load: fills the line, leaves it clean.
     Read,
@@ -31,7 +30,6 @@ pub enum AccessKind {
 
 /// One tagged memory access: a word address and its direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Access {
     /// The word address touched.
     pub addr: u64,

@@ -34,14 +34,12 @@ use crate::units::{OpsPerSec, Seconds, Words};
 /// is read back with [`LevelTraffic::read_at`] /
 /// [`LevelTraffic::writeback_at`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LevelTraffic {
     len: u8,
     /// Total words per boundary: read (fetch) + write-back.
     words: [u64; MAX_MEMORY_LEVELS],
     /// The write-back share of `words`, per boundary (all-zero in the
     /// word-granular read-priced model).
-    #[cfg_attr(feature = "serde", serde(default))]
     writebacks: [u64; MAX_MEMORY_LEVELS],
 }
 
@@ -120,8 +118,7 @@ impl LevelTraffic {
     /// Number of recorded boundaries.
     ///
     /// Clamped to [`MAX_MEMORY_LEVELS`]: the constructors never exceed
-    /// it, but a value deserialized from untrusted data (the optional
-    /// `serde` feature derives `Deserialize` field-wise) could carry an
+    /// it, but a value rebuilt from external bytes could carry an
     /// oversized `len`, and every slice accessor routes through here —
     /// corrupt input degrades to a truncated vector instead of a panic.
     #[must_use]
@@ -249,7 +246,6 @@ impl fmt::Display for LevelTraffic {
 /// assert!((cost.intensity() - 30.0).abs() < 2.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostProfile {
     comp_ops: u64,
     io: LevelTraffic,
@@ -553,7 +549,6 @@ impl fmt::Display for CostProfile {
 
 /// Which subsystem limits the execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BalanceState {
     /// Compute time equals I/O time (within tolerance): the design point the
     /// paper is after.
@@ -633,7 +628,6 @@ impl fmt::Display for BalanceState {
 /// Produced by the `balance-machine` simulator and by analytic models alike;
 /// keeping it here lets every crate in the workspace speak the same type.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Execution {
     /// Measured operation and word counts.
     pub cost: CostProfile,

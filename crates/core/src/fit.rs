@@ -15,7 +15,6 @@ use crate::intensity::IntensityModel;
 
 /// One measured sample: local memory size and observed intensity ratio.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataPoint {
     /// Local memory size, in words.
     pub memory: f64,
@@ -37,7 +36,6 @@ impl DataPoint {
 
 /// A fitted candidate law with its goodness of fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FittedLaw {
     /// `r ≈ coeff · M^exponent`.
     Power {
@@ -136,7 +134,6 @@ impl fmt::Display for FittedLaw {
 
 /// The result of fitting all candidate laws to a data set.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FitReport {
     /// The selected law.
     pub best: FittedLaw,

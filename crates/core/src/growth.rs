@@ -16,7 +16,6 @@ use crate::units::Words;
 
 /// How the balanced memory size scales with the rebalance factor `α`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GrowthLaw {
     /// `M_new = α^degree · M_old`.
     ///

@@ -57,20 +57,12 @@ pub const MAX_MEMORY_LEVELS: usize = 8;
 /// serialize on the shared channel (time prices the sum) — see
 /// [`CostProfile::io_time_at`](crate::cost::CostProfile::io_time_at).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LevelSpec {
     capacity: Words,
     bandwidth: WordsPerSec,
     latency: Seconds,
-    #[cfg_attr(feature = "serde", serde(default = "default_line_words"))]
     line_words: u64,
-    #[cfg_attr(feature = "serde", serde(default))]
     write_bandwidth: Option<WordsPerSec>,
-}
-
-#[cfg(feature = "serde")]
-fn default_line_words() -> u64 {
-    1
 }
 
 impl LevelSpec {
@@ -269,7 +261,6 @@ impl fmt::Display for LevelSpec {
 /// # Ok::<(), balance_core::BalanceError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HierarchySpec {
     levels: Vec<LevelSpec>,
 }

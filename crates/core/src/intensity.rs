@@ -36,7 +36,6 @@ use crate::units::Words;
 /// assert_eq!(fft.eval(1024.0), 10.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IntensityModel {
     /// `r(M) = coeff · M^exponent` with `exponent > 0`.
     ///

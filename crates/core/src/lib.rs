@@ -41,6 +41,14 @@
 //!   [`solver`];
 //! * the classical Amdahl memory rule of thumb, for contrast, in [`amdahl`].
 //!
+//! This crate deliberately has **no serialization dependency or feature**:
+//! durable artifacts are hand-rolled, versioned, checksummed binary images
+//! owned by the crates that define them (`balance-machine`'s `KBSD` engine
+//! checkpoints and `KBCP` profile-store images), which keeps the offline
+//! build dependency-free and the on-disk formats explicit about
+//! validation — an old optional `serde` cfg-gate here was never enabled
+//! and has been removed in favor of that discipline.
+//!
 //! ## Quickstart
 //!
 //! ```

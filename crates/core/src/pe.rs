@@ -29,7 +29,6 @@ use crate::units::{OpsPerSec, Words, WordsPerSec};
 /// # Ok::<(), balance_core::BalanceError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PeSpec {
     comp_bw: OpsPerSec,
     io_bw: WordsPerSec,

@@ -31,7 +31,6 @@ use crate::units::Words;
 /// # Ok::<(), balance_core::BalanceError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Alpha(f64);
 
 impl Alpha {
@@ -75,7 +74,6 @@ impl fmt::Display for Alpha {
 
 /// The answer to the rebalancing question for one computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RebalancePlan {
     /// The rebalance factor applied.
     pub alpha: f64,

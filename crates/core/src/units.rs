@@ -26,7 +26,6 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!(format!("{m}"), "65536 words");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Words(u64);
 
 impl Words {
@@ -147,7 +146,6 @@ impl From<u64> for Words {
 /// assert_eq!(c.get(), 10.0e6);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpsPerSec(f64);
 
 impl OpsPerSec {
@@ -194,7 +192,6 @@ impl fmt::Display for OpsPerSec {
 /// assert!(io.is_valid());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WordsPerSec(f64);
 
 impl WordsPerSec {
@@ -240,7 +237,6 @@ impl fmt::Display for WordsPerSec {
 /// assert_eq!(t.get(), 2.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Seconds(f64);
 
 impl Seconds {

@@ -49,6 +49,7 @@ pub mod matmul;
 pub mod matrix;
 pub mod matvec;
 pub mod multi_matvec;
+pub mod profservice;
 pub mod reference;
 pub mod sorting;
 pub mod sweep;
@@ -73,6 +74,10 @@ pub mod prelude {
     pub use crate::matmul::MatMul;
     pub use crate::matvec::MatVec;
     pub use crate::multi_matvec::MultiMatVec;
+    pub use crate::profservice::{
+        build_store, key_for, registry, registry_kernel, BuildOutcome, ProfileService, Served,
+        ServeSource,
+    };
     pub use crate::sorting::ExternalSort;
     pub use crate::sweep::{
         capacity_sweep, capacity_sweep_par, engine_spec, hierarchy_capacity_sweep,

@@ -42,6 +42,19 @@ pub struct FaultPlan {
     kill_segment: AtomicU64,
     /// How many times that segment worker dies before succeeding.
     kill_segment_times: AtomicU32,
+    /// Upcoming profile-store publishes to tear (only a prefix of the
+    /// image reaches the final path, as a power loss after a partial
+    /// write would leave it).
+    store_torn_writes: AtomicU32,
+    /// Upcoming profile-store publishes to bit-rot (one byte flipped in
+    /// the image after checksumming — silent media corruption).
+    store_bit_flips: AtomicU32,
+    /// Upcoming profile-store publishes to fail with `ENOSPC` before any
+    /// byte is durably published.
+    store_enospc: AtomicU32,
+    /// Upcoming profile-store publishes to stamp with a future format
+    /// version (an image written by a newer build — version skew).
+    store_stale_versions: AtomicU32,
 }
 
 impl Default for FaultPlan {
@@ -60,6 +73,10 @@ impl FaultPlan {
             corrupt_checkpoints: AtomicU32::new(0),
             kill_segment: AtomicU64::new(NEVER),
             kill_segment_times: AtomicU32::new(0),
+            store_torn_writes: AtomicU32::new(0),
+            store_bit_flips: AtomicU32::new(0),
+            store_enospc: AtomicU32::new(0),
+            store_stale_versions: AtomicU32::new(0),
         }
     }
 
@@ -94,6 +111,81 @@ impl FaultPlan {
             .store(segment as u64, Ordering::Relaxed);
         self.kill_segment_times.store(times, Ordering::Relaxed);
         self
+    }
+
+    /// Arms tearing of the next `times` profile-store publishes (only a
+    /// prefix of the image reaches the final path; the reader's checksum
+    /// must reject it).
+    #[must_use]
+    pub fn with_torn_store_writes(self, times: u32) -> FaultPlan {
+        self.store_torn_writes.store(times, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms bit rot on the next `times` profile-store publishes (one byte
+    /// flipped after checksumming — the classic silent-corruption case).
+    #[must_use]
+    pub fn with_store_bit_flips(self, times: u32) -> FaultPlan {
+        self.store_bit_flips.store(times, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms `ENOSPC` on the next `times` profile-store publishes: the
+    /// write fails before anything is durably published, so the store
+    /// must remain exactly as it was.
+    #[must_use]
+    pub fn with_store_enospc(self, times: u32) -> FaultPlan {
+        self.store_enospc.store(times, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms version skew on the next `times` profile-store publishes: the
+    /// image is stamped with a future format version, as if written by a
+    /// newer build this one cannot read.
+    #[must_use]
+    pub fn with_stale_store_versions(self, times: u32) -> FaultPlan {
+        self.store_stale_versions.store(times, Ordering::Relaxed);
+        self
+    }
+
+    /// Consumes one profile-store fault, if any is armed, in a fixed
+    /// priority order (torn → bit flip → `ENOSPC` → stale version). The
+    /// store's publish path calls this once per put.
+    #[must_use]
+    pub fn take_store_fault(&self) -> Option<StoreFault> {
+        let take = |counter: &AtomicU32| {
+            counter
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        };
+        if take(&self.store_torn_writes) {
+            return Some(StoreFault::TornWrite);
+        }
+        if take(&self.store_bit_flips) {
+            return Some(StoreFault::BitFlip);
+        }
+        if take(&self.store_enospc) {
+            return Some(StoreFault::Enospc);
+        }
+        if take(&self.store_stale_versions) {
+            return Some(StoreFault::StaleVersion);
+        }
+        None
+    }
+
+    /// A plan arming exactly one profile-store fault chosen by `seed` —
+    /// the deterministic entry point for the store fault-matrix proptests
+    /// (same seed, same fault).
+    #[must_use]
+    pub fn seeded_store(seed: u64) -> FaultPlan {
+        let plan = FaultPlan::none();
+        match splitmix64(seed) & 3 {
+            0 => plan.store_torn_writes.store(1, Ordering::Relaxed),
+            1 => plan.store_bit_flips.store(1, Ordering::Relaxed),
+            2 => plan.store_enospc.store(1, Ordering::Relaxed),
+            _ => plan.store_stale_versions.store(1, Ordering::Relaxed),
+        }
+        plan
     }
 
     /// A pseudo-random plan derived entirely from `seed` over a replay of
@@ -167,6 +259,34 @@ impl FaultPlan {
                 .kill_segment_times
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                 .is_ok()
+    }
+}
+
+/// A durability fault injected into a profile-store publish (see
+/// [`crate::profstore::ProfileStore::put_with`]) — each is a distinct
+/// real-world failure the store's read path must detect rather than
+/// serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StoreFault {
+    /// Only a prefix of the image reached the final path.
+    TornWrite,
+    /// One byte of the published image flipped after checksumming.
+    BitFlip,
+    /// The filesystem ran out of space before anything was published.
+    Enospc,
+    /// The image carries a future format version this build cannot read.
+    StaleVersion,
+}
+
+impl fmt::Display for StoreFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreFault::TornWrite => write!(f, "torn write"),
+            StoreFault::BitFlip => write!(f, "bit flip"),
+            StoreFault::Enospc => write!(f, "out of space"),
+            StoreFault::StaleVersion => write!(f, "stale (future) format version"),
+        }
     }
 }
 
@@ -245,6 +365,34 @@ mod tests {
         assert!(plan.segment_dies(3));
         assert!(plan.segment_dies(3));
         assert!(!plan.segment_dies(3), "times exhausted");
+    }
+
+    #[test]
+    fn store_faults_fire_once_in_priority_order() {
+        let plan = FaultPlan::none()
+            .with_torn_store_writes(1)
+            .with_store_bit_flips(1)
+            .with_store_enospc(1)
+            .with_stale_store_versions(1);
+        assert_eq!(plan.take_store_fault(), Some(StoreFault::TornWrite));
+        assert_eq!(plan.take_store_fault(), Some(StoreFault::BitFlip));
+        assert_eq!(plan.take_store_fault(), Some(StoreFault::Enospc));
+        assert_eq!(plan.take_store_fault(), Some(StoreFault::StaleVersion));
+        assert_eq!(plan.take_store_fault(), None, "one-shot: must not refire");
+    }
+
+    #[test]
+    fn seeded_store_plans_arm_exactly_one_fault() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded_store(seed);
+            let b = FaultPlan::seeded_store(seed);
+            let fault = a.take_store_fault().expect("exactly one fault armed");
+            assert_eq!(b.take_store_fault(), Some(fault), "same seed, same fault");
+            assert_eq!(a.take_store_fault(), None);
+            seen.insert(fault);
+        }
+        assert_eq!(seen.len(), 4, "64 seeds must cover all four fault kinds");
     }
 
     #[test]

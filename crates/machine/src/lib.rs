@@ -51,6 +51,12 @@
 //!   fault-injection harness (seeded deaths, allocation failures,
 //!   checkpoint corruption, segment-worker kills) that the recovery paths
 //!   are continuously tested through.
+//! * [`profstore`] — the crash-safe home of the measured artifacts:
+//!   versioned, checksummed `KBCP` profile images (capacity and traffic)
+//!   in a content-addressed [`ProfileStore`] with atomic publishes, a
+//!   manifest, a quarantining `fsck` scrub, and store-level fault
+//!   injection (torn writes, bit rot, `ENOSPC`, version skew) — so a
+//!   corrupted entry is detected and repaired, never served.
 //! * [`PhaseRecorder`] — phase-labeled cost attribution for multi-phase
 //!   algorithms (e.g. the two phases of external sorting).
 //!
@@ -91,6 +97,7 @@ pub mod faults;
 pub mod hierarchy;
 pub mod memory;
 pub mod pe;
+pub mod profstore;
 pub mod sampling;
 pub mod segmented;
 pub mod stackdist;
@@ -104,7 +111,11 @@ pub use checkpoint::{
     ReplayStats, DEFAULT_CHECKPOINT_EVERY,
 };
 pub use error::MachineError;
-pub use faults::{FaultPlan, InjectedFault};
+pub use faults::{FaultPlan, InjectedFault, StoreFault};
+pub use profstore::{
+    decode_profile, encode_profile, FsckReport, Lookup, ProfileImageError, ProfileKey,
+    ProfileMeta, ProfilePayload, ProfileStore, StoreError, PROFILE_MAGIC, PROFILE_VERSION,
+};
 pub use hierarchy::{Hierarchy, MemorySystem};
 pub use sampling::{
     sampled_profile_of, sampled_profile_of_bounded, splitmix64, SampledStackDistance,

@@ -1075,6 +1075,34 @@ pub struct CapacityProfile {
     shift: u32,
 }
 
+/// Raw field windows for the `KBCP` profile codec ([`crate::profstore`]).
+/// The codec lives in a sibling module, so (de)construction crosses the
+/// privacy boundary through these crate-internal accessors instead of by
+/// making the invariant-carrying fields public; the decoder re-validates
+/// every invariant before calling [`CapacityProfile::from_raw_parts`].
+impl CapacityProfile {
+    /// `(accesses, compulsory, steps, shift)`, exactly as stored.
+    pub(crate) fn raw_parts(&self) -> (u64, u64, &[(u64, u64)], u32) {
+        (self.accesses, self.compulsory, &self.steps, self.shift)
+    }
+
+    /// Rebuilds a profile from decoded fields. The caller (the codec) is
+    /// responsible for having validated the breakpoint invariants.
+    pub(crate) fn from_raw_parts(
+        accesses: u64,
+        compulsory: u64,
+        steps: Vec<(u64, u64)>,
+        shift: u32,
+    ) -> CapacityProfile {
+        CapacityProfile {
+            accesses,
+            compulsory,
+            steps,
+            shift,
+        }
+    }
+}
+
 impl CapacityProfile {
     /// The profile of a trace touching `accesses` distinct addresses once
     /// each: every miss compulsory, no reuse at any capacity. The closed
@@ -1247,6 +1275,39 @@ pub struct TrafficProfile {
     /// Open dirty chains = distinct lines written — the write-back floor
     /// no capacity removes (every written line flushes at least once).
     open: u64,
+}
+
+/// Raw field windows for the `KBCP` profile codec ([`crate::profstore`]);
+/// see the matching [`CapacityProfile`] impl for the rationale.
+impl TrafficProfile {
+    /// `(read profile, line_words, wb_steps, closed, open)`, as stored.
+    pub(crate) fn raw_parts(&self) -> (&CapacityProfile, u64, &[(u64, u64)], u64, u64) {
+        (
+            &self.profile,
+            self.line_words,
+            &self.wb_steps,
+            self.closed,
+            self.open,
+        )
+    }
+
+    /// Rebuilds a traffic profile from decoded fields. The caller (the
+    /// codec) is responsible for having validated the ledger invariants.
+    pub(crate) fn from_raw_parts(
+        profile: CapacityProfile,
+        line_words: u64,
+        wb_steps: Vec<(u64, u64)>,
+        closed: u64,
+        open: u64,
+    ) -> TrafficProfile {
+        TrafficProfile {
+            profile,
+            line_words,
+            wb_steps,
+            closed,
+            open,
+        }
+    }
 }
 
 impl TrafficProfile {

@@ -533,3 +533,122 @@ proptest! {
         prop_assert!(StackDistance::restore(trunc).is_err());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// KBCP codec round trip (PR 10): an arbitrary profile — exact, or
+    /// sampled with an arbitrary rate — survives encode/decode
+    /// structurally equal, provenance header included.
+    #[test]
+    fn kbcp_capacity_images_round_trip_structurally_equal(
+        trace in proptest::collection::vec(0u64..512, 1..400),
+        shift in 0u32..6,
+    ) {
+        use balance_machine::{decode_profile, encode_profile, ProfileMeta, ProfilePayload};
+        let profile = if shift == 0 {
+            StackDistance::profile_of(trace.iter().copied())
+        } else {
+            sampled_profile_of(trace.iter().copied(), shift)
+        };
+        let meta = ProfileMeta {
+            kernel: "matmul".to_string(),
+            n: 64,
+            engine: if shift == 0 { "stackdist".to_string() } else { format!("sampled:{shift}") },
+            sample_shift: profile.sample_shift(),
+            line_words: 1,
+            writebacks: false,
+        };
+        let payload = ProfilePayload::Capacity(profile);
+        let bytes = encode_profile(&meta, &payload);
+        let (meta2, payload2) = decode_profile(&bytes).unwrap();
+        prop_assert_eq!(meta, meta2);
+        prop_assert_eq!(payload, payload2);
+    }
+
+    /// The traffic dual-ledger twin round-trips too: read curve,
+    /// write-back chains, closed/open totals, line size.
+    #[test]
+    fn kbcp_traffic_images_round_trip_structurally_equal(
+        trace in proptest::collection::vec((0u64..256, proptest::bool::ANY), 1..300),
+        lw_shift in 0u32..4,
+    ) {
+        use balance_core::Access;
+        use balance_machine::{decode_profile, encode_profile, ProfileMeta, ProfilePayload};
+        let line_words = 1u64 << lw_shift;
+        let accesses = trace.iter().map(|&(addr, w)| {
+            if w { Access::write(addr) } else { Access::read(addr) }
+        });
+        let traffic = StackDistance::traffic_profile_of(accesses, line_words);
+        let meta = ProfileMeta {
+            kernel: "sort".to_string(),
+            n: 128,
+            engine: "stackdist".to_string(),
+            sample_shift: 0,
+            line_words,
+            writebacks: true,
+        };
+        let payload = ProfilePayload::Traffic(traffic);
+        let bytes = encode_profile(&meta, &payload);
+        let (meta2, payload2) = decode_profile(&bytes).unwrap();
+        prop_assert_eq!(meta, meta2);
+        prop_assert_eq!(payload, payload2);
+    }
+
+    /// Adversarial pin: *every* 1-byte truncation and *every* single
+    /// bit-flip of a KBCP image is rejected with a typed error — never a
+    /// panic, never a silently different profile.
+    #[test]
+    fn kbcp_rejects_every_truncation_and_single_bit_flip(
+        trace in proptest::collection::vec(0u64..64, 1..40),
+        writeback in proptest::bool::ANY,
+    ) {
+        use balance_core::Access;
+        use balance_machine::{decode_profile, encode_profile, ProfileMeta, ProfilePayload};
+        let (payload, writebacks, line_words) = if writeback {
+            let accesses = trace.iter().map(|&a| {
+                if a & 1 == 0 { Access::read(a) } else { Access::write(a) }
+            });
+            (
+                ProfilePayload::Traffic(StackDistance::traffic_profile_of(accesses, 2)),
+                true,
+                2,
+            )
+        } else {
+            (
+                ProfilePayload::Capacity(StackDistance::profile_of(trace.iter().copied())),
+                false,
+                1,
+            )
+        };
+        let meta = ProfileMeta {
+            kernel: "fft".to_string(),
+            n: 32,
+            engine: "stackdist".to_string(),
+            sample_shift: 0,
+            line_words,
+            writebacks,
+        };
+        let bytes = encode_profile(&meta, &payload);
+        for len in 0..bytes.len() {
+            prop_assert!(
+                decode_profile(&bytes[..len]).is_err(),
+                "truncation to {} of {} bytes accepted",
+                len,
+                bytes.len()
+            );
+        }
+        for pos in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                prop_assert!(
+                    decode_profile(&bad).is_err(),
+                    "flip of bit {} at byte {} accepted",
+                    bit,
+                    pos
+                );
+            }
+        }
+    }
+}

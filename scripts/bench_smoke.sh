@@ -6,7 +6,7 @@
 # BENCH_<n>.json at the repo root, seeding the perf trajectory tracked
 # across PRs.
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_9.json)
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_10.json)
 #
 # PR 7 added the checkpoint_overhead/* tier: the resumable replay with
 # checkpoints every 2^24 addresses (the production default) must stay
@@ -23,10 +23,17 @@
 # vs tagged replay vs the word baseline) and the headline
 # blocked_vs_naive_line_win ratio — how much more blocked matmul beats
 # naive at 8-word lines than at word granularity (> 1, ~8.7x measured).
+#
+# PR 10 adds the profile-store tiers: profstore/serve_query_warm (one
+# warm what-if query through the real `balance serve` session) and the
+# headlines store_query_throughput (>= 1e5 queries/s acceptance bar)
+# and store_build_registry (full 11-kernel registry x {16,32} grid into
+# a fresh crash-safe store, every image checksummed and atomically
+# published).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 # Absolute path: cargo bench runs each target with cwd = its package dir.
 jsonl="$(pwd)/target/bench_smoke.jsonl"
 rm -f "$jsonl"
